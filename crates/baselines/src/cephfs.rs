@@ -1,0 +1,700 @@
+//! CephFS model (Weil et al., OSDI'06) — directory-based metadata
+//! distribution.
+//!
+//! Modeled design points:
+//!
+//! * **subtree/directory locality**: one MDS is authoritative for a
+//!   directory; all files of that directory live with it (approximated
+//!   by hashing the directory path to an MDS — the load-balance limit
+//!   of dynamic subtree partitioning). readdir and rmdir are single-
+//!   server operations (the locality advantage the paper concedes to
+//!   CephFS), while load balance suffers;
+//! * **aggressive client caching**: clients cache both d-inodes *and*
+//!   f-inodes (capabilities), so repeat stats are client-local — the
+//!   reason CephFS wins dir-stat/file-stat in the paper's Fig 7/8;
+//! * **journaled updates**: every namespace mutation pays
+//!   [`calib::CEPH_JOURNAL`] (EMetaBlob journaling + MDCache locking),
+//!   anchoring single-server create ≈1.5 K IOPS (LocoFS = 67×, §4.2.2).
+
+use crate::calib;
+use crate::fs_trait::DistFs;
+use crate::lease::LeaseCache;
+use crate::mds::{MdsReq, MdsResp, MdsStore, ModelMds};
+use crate::model_util::{place, FatInode, ModelBase};
+use loco_kv::KvConfig;
+use loco_net::{class, Endpoint, JobTrace, Nanos, ServerId, SimEndpoint};
+use loco_ostore::{ObjectStore, OstoreRequest, OstoreResponse};
+use loco_sim::time::MICROS;
+use loco_types::{normalize, parent, FsError, FsResult, Uuid, UuidGen};
+
+/// The CephFS baseline model.
+pub struct CephFsModel {
+    mds: Vec<SimEndpoint<ModelMds>>,
+    ost: Vec<SimEndpoint<ObjectStore>>,
+    base: ModelBase,
+    /// Capability cache: path → inode (files AND directories).
+    cache: LeaseCache<FatInode>,
+    uuids: UuidGen,
+    block_size: u64,
+}
+
+impl CephFsModel {
+    /// Create a new instance with default settings.
+    pub fn new(num_mds: u16) -> Self {
+        let mds = (0..num_mds)
+            .map(|i| {
+                SimEndpoint::new(
+                    ServerId::new(class::MDS, i),
+                    ModelMds::new(MdsStore::BTree, KvConfig::default()),
+                )
+            })
+            .collect::<Vec<_>>();
+        let ost = vec![SimEndpoint::new(
+            ServerId::new(class::OST, 0),
+            ObjectStore::new(KvConfig::default()),
+        )];
+        let mut s = Self {
+            mds,
+            ost,
+            base: ModelBase::new(174 * MICROS, 2 * MICROS),
+            // Ceph capabilities are revocation-based, not time-leased:
+            // they stay valid until the MDS recalls them. Model as an
+            // effectively infinite lease (this is what makes CephFS win
+            // the stat phases in the paper's Figs 7/8).
+            cache: LeaseCache::new(u64::MAX / 4),
+            uuids: UuidGen::new(0),
+            block_size: 1 << 20,
+        };
+        let idx = s.mds_of("/");
+        let ep = s.mds[idx].clone();
+        s.base
+            .call(&ep, MdsReq::Put(b"/".to_vec(), FatInode::dir(0o777).encode()));
+        let _ = s.base.ctx.take_trace();
+        s
+    }
+
+    /// MDS authoritative for a directory (and for all file records in
+    /// it — directory locality).
+    fn mds_of(&self, dir: &str) -> usize {
+        place(dir, self.mds.len())
+    }
+
+    fn call_at(&mut self, idx: usize, req: MdsReq) -> MdsResp {
+        let ep = self.mds[idx].clone();
+        self.base.call(&ep, req)
+    }
+
+    /// Fetch an inode by path from the MDS owning its parent directory
+    /// (files co-locate with their directory), with capability caching.
+    fn get_inode(&mut self, p: &str, home_dir: &str) -> FsResult<FatInode> {
+        if let Some(i) = self.cache.get(p, self.base.clock) {
+            return Ok(i);
+        }
+        let idx = self.mds_of(home_dir);
+        let v = self
+            .call_at(
+                idx,
+                MdsReq::Multi(vec![
+                    MdsReq::Get(p.as_bytes().to_vec()),
+                    MdsReq::Work(calib::CEPH_READ_WORK),
+                ]),
+            )
+            .multi()
+            .remove(0)
+            .value()
+            .ok_or(FsError::NotFound)?;
+        let inode = FatInode::decode(&v).ok_or_else(|| FsError::Io("bad inode".into()))?;
+        self.cache.put(p, inode, self.base.clock);
+        Ok(inode)
+    }
+
+    /// Journaled namespace update at the owning MDS.
+    fn journaled(&mut self, dir: &str, ops: Vec<MdsReq>) -> Vec<MdsResp> {
+        let idx = self.mds_of(dir);
+        let mut all = ops;
+        all.push(MdsReq::Work(calib::CEPH_JOURNAL));
+        self.call_at(idx, MdsReq::Multi(all)).multi()
+    }
+
+    fn dirent_key(dir: &str) -> Vec<u8> {
+        let mut k = b"E".to_vec();
+        k.extend_from_slice(dir.as_bytes());
+        k
+    }
+}
+
+impl DistFs for CephFsModel {
+    fn name(&self) -> String {
+        "CephFS".into()
+    }
+
+    fn rtt(&self) -> Nanos {
+        self.base.rtt
+    }
+
+    fn mkdir(&mut self, raw: &str) -> FsResult<()> {
+        let p = normalize(raw)?;
+        self.base.begin();
+        let res = (|| {
+            let dir = parent(&p).ok_or(FsError::AlreadyExists)?;
+            let parent_inode = self.get_inode(dir, dir)?;
+            if !parent_inode.is_dir {
+                return Err(FsError::NotADirectory);
+            }
+            // Create the directory record at ITS OWN authority (the new
+            // subtree) and the dirent at the parent's authority. When
+            // they differ this is a two-MDS operation.
+            let parent_idx = self.mds_of(dir);
+            let self_idx = self.mds_of(&p);
+            // Dir record would live at self_idx; a same-named FILE
+            // record would live at the parent's authority.
+            if self
+                .call_at(self_idx, MdsReq::Contains(p.as_bytes().to_vec()))
+                .bool()
+            {
+                return Err(FsError::AlreadyExists);
+            }
+            if parent_idx != self_idx
+                && self
+                    .call_at(parent_idx, MdsReq::Contains(p.as_bytes().to_vec()))
+                    .bool()
+            {
+                return Err(FsError::AlreadyExists);
+            }
+            let dinode = FatInode::dir(0o755);
+            self.journaled(
+                &p,
+                vec![MdsReq::Put(p.as_bytes().to_vec(), dinode.encode())],
+            );
+            // The client receives caps on the directory it just made.
+            self.cache.put(&p, dinode, self.base.clock);
+            if parent_idx != self_idx {
+                self.journaled(
+                    dir,
+                    vec![MdsReq::Append(
+                        Self::dirent_key(dir),
+                        loco_types::encode_entry(
+                            loco_types::basename(&p),
+                            Uuid::ROOT,
+                            loco_types::DirentKind::Dir,
+                        ),
+                    )],
+                );
+            } else {
+                // Same MDS: dirent folded into the same journal entry.
+                self.call_at(
+                    self_idx,
+                    MdsReq::Append(
+                        Self::dirent_key(dir),
+                        loco_types::encode_entry(
+                            loco_types::basename(&p),
+                            Uuid::ROOT,
+                            loco_types::DirentKind::Dir,
+                        ),
+                    ),
+                );
+            }
+            Ok(())
+        })();
+        self.base.finish();
+        res
+    }
+
+    fn rmdir(&mut self, raw: &str) -> FsResult<()> {
+        let p = normalize(raw)?;
+        self.base.begin();
+        let res = (|| {
+            let dir = parent(&p).ok_or(FsError::Busy)?;
+            let inode = self.get_inode(&p, &p.clone())?;
+            if !inode.is_dir {
+                return Err(FsError::NotADirectory);
+            }
+            // Directory locality: the owning MDS can check emptiness
+            // alone (one server, unlike LocoFS's fan-out).
+            let idx = self.mds_of(&p);
+            let ents = self
+                .call_at(idx, MdsReq::Get(Self::dirent_key(&p)))
+                .value()
+                .and_then(|v| loco_types::DirentList::decode(&v))
+                .unwrap_or_default();
+            if !ents.is_empty() {
+                return Err(FsError::NotEmpty);
+            }
+            let ok = self.journaled(&p, vec![MdsReq::Delete(p.as_bytes().to_vec())])[0]
+                .clone()
+                .bool();
+            self.journaled(
+                dir,
+                vec![MdsReq::Append(
+                    Self::dirent_key(dir),
+                    loco_types::encode_tombstone(loco_types::basename(&p)),
+                )],
+            );
+            self.cache.invalidate(&p);
+            if ok {
+                Ok(())
+            } else {
+                Err(FsError::NotFound)
+            }
+        })();
+        self.base.finish();
+        res
+    }
+
+    fn create(&mut self, raw: &str) -> FsResult<()> {
+        let p = normalize(raw)?;
+        self.base.begin();
+        let res = (|| {
+            let dir = parent(&p).ok_or(FsError::InvalidArgument)?;
+            let parent_inode = self.get_inode(dir, dir)?;
+            if !parent_inode.is_dir {
+                return Err(FsError::NotADirectory);
+            }
+            let idx = self.mds_of(dir);
+            // A directory of the same name would live at its own
+            // authority; check there when it is a different MDS (same
+            // MDS collisions are caught by the guarded insert below).
+            let self_idx = self.mds_of(&p);
+            if self_idx != idx
+                && self
+                    .call_at(self_idx, MdsReq::Contains(p.as_bytes().to_vec()))
+                    .bool()
+            {
+                return Err(FsError::AlreadyExists);
+            }
+            let uuid = self.uuids.alloc();
+            let inode = FatInode::file(0o644, uuid);
+            let mut parts = self
+                .call_at(
+                    idx,
+                    MdsReq::Guarded(vec![
+                        MdsReq::PutIfAbsent(p.as_bytes().to_vec(), inode.encode()),
+                        MdsReq::Append(
+                            Self::dirent_key(dir),
+                            loco_types::encode_entry(
+                                loco_types::basename(&p),
+                                uuid,
+                                loco_types::DirentKind::File,
+                            ),
+                        ),
+                        MdsReq::Work(calib::CEPH_JOURNAL),
+                    ]),
+                )
+                .multi();
+            if !parts.remove(0).bool() {
+                return Err(FsError::AlreadyExists);
+            }
+            // Client receives caps on the new file.
+            self.cache.put(&p, inode, self.base.clock);
+            Ok(())
+        })();
+        self.base.finish();
+        res
+    }
+
+    fn unlink(&mut self, raw: &str) -> FsResult<()> {
+        let p = normalize(raw)?;
+        self.base.begin();
+        let res = (|| {
+            let dir = parent(&p).ok_or(FsError::InvalidArgument)?;
+            let inode = self.get_inode(&p, dir)?;
+            if inode.is_dir {
+                return Err(FsError::IsADirectory);
+            }
+            let ok = {
+                let parts = self.journaled(
+                    dir,
+                    vec![
+                        MdsReq::Delete(p.as_bytes().to_vec()),
+                        MdsReq::Append(
+                            Self::dirent_key(dir),
+                            loco_types::encode_tombstone(loco_types::basename(&p)),
+                        ),
+                    ],
+                );
+                parts[0].clone().bool()
+            };
+            self.cache.invalidate(&p);
+            if ok {
+                Ok(())
+            } else {
+                Err(FsError::NotFound)
+            }
+        })();
+        self.base.finish();
+        res
+    }
+
+    fn stat_file(&mut self, raw: &str) -> FsResult<()> {
+        let p = normalize(raw)?;
+        self.base.begin();
+        let res = (|| {
+            let dir = parent(&p).ok_or(FsError::InvalidArgument)?;
+            let inode = self.get_inode(&p, dir)?;
+            if inode.is_dir {
+                return Err(FsError::IsADirectory);
+            }
+            Ok(())
+        })();
+        self.base.finish();
+        res
+    }
+
+    fn stat_dir(&mut self, raw: &str) -> FsResult<()> {
+        let p = normalize(raw)?;
+        self.base.begin();
+        let res = (|| {
+            let inode = self.get_inode(&p, &p.clone())?;
+            if !inode.is_dir {
+                return Err(FsError::NotADirectory);
+            }
+            Ok(())
+        })();
+        self.base.finish();
+        res
+    }
+
+    fn readdir(&mut self, raw: &str) -> FsResult<usize> {
+        let p = normalize(raw)?;
+        self.base.begin();
+        let res = (|| {
+            let inode = self.get_inode(&p, &p.clone())?;
+            if !inode.is_dir {
+                return Err(FsError::NotADirectory);
+            }
+            // One RPC: the owning MDS has the whole directory.
+            let idx = self.mds_of(&p);
+            let ents = self
+                .call_at(
+                    idx,
+                    MdsReq::Multi(vec![
+                        MdsReq::Get(Self::dirent_key(&p)),
+                        MdsReq::Work(calib::CEPH_READ_WORK),
+                    ]),
+                )
+                .multi()
+                .remove(0)
+                .value()
+                .and_then(|v| loco_types::DirentList::decode(&v))
+                .unwrap_or_default();
+            Ok(ents.len())
+        })();
+        self.base.finish();
+        res
+    }
+
+    fn chmod_file(&mut self, raw: &str, mode: u32) -> FsResult<()> {
+        let p = normalize(raw)?;
+        self.base.begin();
+        let res = (|| {
+            let dir = parent(&p).ok_or(FsError::InvalidArgument)?;
+            let mut inode = self.get_inode(&p, dir)?;
+            inode.mode = mode;
+            self.journaled(dir, vec![MdsReq::Put(p.as_bytes().to_vec(), inode.encode())]);
+            self.cache.put(&p, inode, self.base.clock);
+            Ok(())
+        })();
+        self.base.finish();
+        res
+    }
+
+    fn chown_file(&mut self, raw: &str, uid: u32, gid: u32) -> FsResult<()> {
+        let p = normalize(raw)?;
+        self.base.begin();
+        let res = (|| {
+            let dir = parent(&p).ok_or(FsError::InvalidArgument)?;
+            let mut inode = self.get_inode(&p, dir)?;
+            inode.uid = uid;
+            inode.gid = gid;
+            self.journaled(dir, vec![MdsReq::Put(p.as_bytes().to_vec(), inode.encode())]);
+            self.cache.put(&p, inode, self.base.clock);
+            Ok(())
+        })();
+        self.base.finish();
+        res
+    }
+
+    fn truncate_file(&mut self, raw: &str, size: u64) -> FsResult<()> {
+        let p = normalize(raw)?;
+        self.base.begin();
+        let res = (|| {
+            let dir = parent(&p).ok_or(FsError::InvalidArgument)?;
+            let mut inode = self.get_inode(&p, dir)?;
+            inode.size = size;
+            self.journaled(dir, vec![MdsReq::Put(p.as_bytes().to_vec(), inode.encode())]);
+            self.cache.put(&p, inode, self.base.clock);
+            Ok(())
+        })();
+        self.base.finish();
+        res
+    }
+
+    fn access_file(&mut self, raw: &str) -> FsResult<bool> {
+        let p = normalize(raw)?;
+        self.base.begin();
+        let res = (|| {
+            let dir = parent(&p).ok_or(FsError::InvalidArgument)?;
+            self.get_inode(&p, dir).map(|_| true)
+        })();
+        self.base.finish();
+        res
+    }
+
+    fn rename_file(&mut self, old: &str, new: &str) -> FsResult<()> {
+        let o = normalize(old)?;
+        let n = normalize(new)?;
+        self.base.begin();
+        let res = (|| {
+            let od = parent(&o).ok_or(FsError::InvalidArgument)?.to_string();
+            let nd = parent(&n).ok_or(FsError::InvalidArgument)?.to_string();
+            let inode = self.get_inode(&o, &od)?;
+            self.journaled(
+                &od,
+                vec![
+                    MdsReq::Delete(o.as_bytes().to_vec()),
+                    MdsReq::Append(
+                        Self::dirent_key(&od),
+                        loco_types::encode_tombstone(loco_types::basename(&o)),
+                    ),
+                ],
+            );
+            self.journaled(
+                &nd,
+                vec![
+                    MdsReq::Put(n.as_bytes().to_vec(), inode.encode()),
+                    MdsReq::Append(
+                        Self::dirent_key(&nd),
+                        loco_types::encode_entry(
+                            loco_types::basename(&n),
+                            inode.uuid,
+                            loco_types::DirentKind::File,
+                        ),
+                    ),
+                ],
+            );
+            self.cache.invalidate(&o);
+            Ok(())
+        })();
+        self.base.finish();
+        res
+    }
+
+    fn rename_dir(&mut self, old: &str, new: &str) -> FsResult<()> {
+        let o = normalize(old)?;
+        let n = normalize(new)?;
+        self.base.begin();
+        let res = (|| {
+            let inode = self.get_inode(&o, &o.clone())?;
+            // Directory authority is path-hashed in this model, so a
+            // rename relocates the subtree's records across MDSes.
+            let mut prefix = o.as_bytes().to_vec();
+            prefix.push(b'/');
+            let mut moved = Vec::new();
+            for i in 0..self.mds.len() {
+                for (k, v) in self.call_at(i, MdsReq::ScanPrefix(prefix.clone())).entries() {
+                    self.call_at(i, MdsReq::Delete(k.clone()));
+                    moved.push((k, v));
+                }
+                let mut ek = b"E".to_vec();
+                ek.extend_from_slice(&prefix);
+                for (k, v) in self.call_at(i, MdsReq::ScanPrefix(ek)).entries() {
+                    self.call_at(i, MdsReq::Delete(k.clone()));
+                    moved.push((k, v));
+                }
+            }
+            self.journaled(&o, vec![MdsReq::Delete(o.as_bytes().to_vec())]);
+            self.journaled(&n, vec![MdsReq::Put(n.as_bytes().to_vec(), inode.encode())]);
+            // Move the directory's own dirent list.
+            let oid = self.mds_of(&o);
+            if let Some(v) = self.call_at(oid, MdsReq::Get(Self::dirent_key(&o))).value() {
+                self.call_at(oid, MdsReq::Delete(Self::dirent_key(&o)));
+                let nid = self.mds_of(&n);
+                self.call_at(nid, MdsReq::Put(Self::dirent_key(&n), v));
+            }
+            for (k, v) in moved {
+                let is_dirent = k.first() == Some(&b'E');
+                let key_path = if is_dirent { &k[1..] } else { &k[..] };
+                let suffix = &key_path[prefix.len()..];
+                let mut np = n.as_bytes().to_vec();
+                np.push(b'/');
+                np.extend_from_slice(suffix);
+                let target_dir = String::from_utf8_lossy(&np).to_string();
+                let idx = if is_dirent {
+                    self.mds_of(&target_dir)
+                } else {
+                    self.mds_of(parent(&target_dir).unwrap_or("/"))
+                };
+                let nk = if is_dirent {
+                    let mut e = b"E".to_vec();
+                    e.extend_from_slice(&np);
+                    e
+                } else {
+                    np
+                };
+                self.call_at(idx, MdsReq::Put(nk, v));
+            }
+            self.cache.invalidate_subtree(&o);
+            Ok(())
+        })();
+        self.base.finish();
+        res
+    }
+
+    fn write_file(&mut self, raw: &str, data: &[u8]) -> FsResult<()> {
+        let p = normalize(raw)?;
+        self.base.begin();
+        let res = (|| {
+            let dir = parent(&p).ok_or(FsError::InvalidArgument)?;
+            let mut inode = self.get_inode(&p, dir)?;
+            // Data to RADOS objects, block by block.
+            let bs = self.block_size as usize;
+            for (i, chunk) in data.chunks(bs.max(1)).enumerate() {
+                let ep = self.ost[0].clone();
+                let resp = ep.call(
+                    &mut self.base.ctx,
+                    OstoreRequest::WriteBlock {
+                        uuid: inode.uuid,
+                        blk: i as u64,
+                        data: chunk.to_vec(),
+                    },
+                );
+                let OstoreResponse::Done(r) = resp else {
+                    unreachable!()
+                };
+                r?;
+            }
+            inode.size = data.len() as u64;
+            self.journaled(dir, vec![MdsReq::Put(p.as_bytes().to_vec(), inode.encode())]);
+            self.cache.put(&p, inode, self.base.clock);
+            // close(2): cap flush round trip to the MDS.
+            let idx = self.mds_of(dir);
+            self.call_at(idx, MdsReq::Work(calib::CEPH_READ_WORK));
+            Ok(())
+        })();
+        self.base.finish();
+        res
+    }
+
+    fn read_file(&mut self, raw: &str) -> FsResult<Vec<u8>> {
+        let p = normalize(raw)?;
+        self.base.begin();
+        let res = (|| {
+            let dir = parent(&p).ok_or(FsError::InvalidArgument)?;
+            let inode = self.get_inode(&p, dir)?;
+            let mut out = Vec::with_capacity(inode.size as usize);
+            let blocks = inode.size.div_ceil(self.block_size.max(1));
+            for blk in 0..blocks {
+                let ep = self.ost[0].clone();
+                let resp = ep.call(
+                    &mut self.base.ctx,
+                    OstoreRequest::ReadBlock {
+                        uuid: inode.uuid,
+                        blk,
+                    },
+                );
+                match resp {
+                    OstoreResponse::Block(Ok(b)) => out.extend_from_slice(&b),
+                    OstoreResponse::Block(Err(_)) => break,
+                    other => unreachable!("{other:?}"),
+                }
+            }
+            out.truncate(inode.size as usize);
+            // close(2): cap release round trip.
+            let idx = self.mds_of(dir);
+            self.call_at(idx, MdsReq::Work(calib::CEPH_READ_WORK));
+            Ok(out)
+        })();
+        self.base.finish();
+        res
+    }
+
+    fn take_trace(&mut self) -> JobTrace {
+        self.base.take_trace()
+    }
+
+    fn advance_clock(&mut self, delta: Nanos) {
+        self.base.clock += delta;
+    }
+
+    fn set_rtt(&mut self, rtt: Nanos) {
+        self.base.rtt = rtt;
+    }
+
+    fn drop_caches(&mut self) {
+        self.cache = LeaseCache::new(u64::MAX / 4);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle() {
+        let mut fs = CephFsModel::new(4);
+        fs.mkdir("/d").unwrap();
+        fs.create("/d/f").unwrap();
+        fs.stat_file("/d/f").unwrap();
+        assert_eq!(fs.readdir("/d").unwrap(), 1);
+        assert_eq!(fs.create("/d/f"), Err(FsError::AlreadyExists));
+        assert_eq!(fs.rmdir("/d"), Err(FsError::NotEmpty));
+        fs.unlink("/d/f").unwrap();
+        fs.rmdir("/d").unwrap();
+    }
+
+    #[test]
+    fn stat_hits_client_cache() {
+        let mut fs = CephFsModel::new(4);
+        fs.mkdir("/d").unwrap();
+        fs.create("/d/f").unwrap();
+        let _ = fs.take_trace();
+        // create cached the caps → first stat is already local.
+        fs.stat_file("/d/f").unwrap();
+        let t = fs.take_trace();
+        assert_eq!(t.visits.len(), 0, "cap cache hit, no RPC");
+    }
+
+    #[test]
+    fn create_pays_journal() {
+        let mut fs = CephFsModel::new(1);
+        fs.mkdir("/d").unwrap();
+        fs.create("/d/a").unwrap();
+        let _ = fs.take_trace();
+        fs.create("/d/b").unwrap();
+        let t = fs.take_trace();
+        assert!(t.total_service() >= calib::CEPH_JOURNAL);
+    }
+
+    #[test]
+    fn readdir_is_single_server() {
+        let mut fs = CephFsModel::new(8);
+        fs.mkdir("/d").unwrap();
+        for i in 0..10 {
+            fs.create(&format!("/d/f{i}")).unwrap();
+        }
+        assert_eq!(fs.readdir("/d").unwrap(), 10);
+        let t = fs.take_trace();
+        assert_eq!(t.visits.len(), 1, "directory locality");
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut fs = CephFsModel::new(2);
+        fs.mkdir("/d").unwrap();
+        fs.create("/d/f").unwrap();
+        fs.write_file("/d/f", &[9u8; 3000]).unwrap();
+        assert_eq!(fs.read_file("/d/f").unwrap(), vec![9u8; 3000]);
+    }
+
+    #[test]
+    fn rename_dir_moves_files() {
+        let mut fs = CephFsModel::new(4);
+        fs.mkdir("/a").unwrap();
+        fs.create("/a/f").unwrap();
+        fs.rename_dir("/a", "/b").unwrap();
+        fs.advance_clock(2 * calib::BASELINE_LEASE); // drop stale caps
+        assert_eq!(fs.stat_file("/a/f"), Err(FsError::NotFound));
+        fs.stat_file("/b/f").unwrap();
+        assert_eq!(fs.readdir("/b").unwrap(), 1);
+    }
+}

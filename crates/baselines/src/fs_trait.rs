@@ -1,0 +1,65 @@
+//! The common filesystem interface the workload driver (loco-mdtest)
+//! speaks, implemented by LocoFS and every baseline model.
+
+use loco_net::{JobTrace, Nanos};
+use loco_types::FsResult;
+
+/// One distributed filesystem under test. All methods record a visit
+/// trace retrievable with [`DistFs::take_trace`] after each call.
+///
+/// The driver distinguishes file and directory variants explicitly
+/// (like mdtest does), so implementations never need type-sniffing
+/// lookups.
+pub trait DistFs {
+    /// Display name for benchmark tables ("LocoFS-C", "CephFS", …).
+    fn name(&self) -> String;
+
+    /// Network round-trip time this system is deployed over. The raw-KV
+    /// baseline returns 0 (it is a local library, not a service).
+    fn rtt(&self) -> Nanos;
+
+    /// Override the network RTT (0 = co-located clients and servers,
+    /// the paper's Fig 10 configuration).
+    fn set_rtt(&mut self, rtt: Nanos);
+
+    /// mkdir(2).
+    fn mkdir(&mut self, path: &str) -> FsResult<()>;
+    /// rmdir(2).
+    fn rmdir(&mut self, path: &str) -> FsResult<()>;
+    /// creat(2) — create an empty file.
+    fn create(&mut self, path: &str) -> FsResult<()>;
+    /// unlink(2).
+    fn unlink(&mut self, path: &str) -> FsResult<()>;
+    /// stat(2) on a file.
+    fn stat_file(&mut self, path: &str) -> FsResult<()>;
+    /// stat(2) on a directory.
+    fn stat_dir(&mut self, path: &str) -> FsResult<()>;
+    /// Returns the number of entries listed.
+    fn readdir(&mut self, path: &str) -> FsResult<usize>;
+    /// chmod(2) on a file.
+    fn chmod_file(&mut self, path: &str, mode: u32) -> FsResult<()>;
+    /// chown(2) on a file.
+    fn chown_file(&mut self, path: &str, uid: u32, gid: u32) -> FsResult<()>;
+    /// truncate(2) on a file.
+    fn truncate_file(&mut self, path: &str, size: u64) -> FsResult<()>;
+    /// access(2) on a file.
+    fn access_file(&mut self, path: &str) -> FsResult<bool>;
+    /// rename(2) on a file.
+    fn rename_file(&mut self, old: &str, new: &str) -> FsResult<()>;
+    /// rename(2) on a directory (subtree move).
+    fn rename_dir(&mut self, old: &str, new: &str) -> FsResult<()>;
+    /// Write whole-file contents (create/open + write + close).
+    fn write_file(&mut self, path: &str, data: &[u8]) -> FsResult<()>;
+    /// Read whole-file contents (open + read + close).
+    fn read_file(&mut self, path: &str) -> FsResult<Vec<u8>>;
+
+    /// Drain the trace of the last completed operation.
+    fn take_trace(&mut self) -> JobTrace;
+
+    /// Advance this client's virtual clock (lease expiry, think time).
+    fn advance_clock(&mut self, delta: Nanos);
+
+    /// Discard all client-side caches (fresh-mount semantics, as when a
+    /// benchmark phase runs as a separate process).
+    fn drop_caches(&mut self);
+}

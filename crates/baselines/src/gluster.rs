@@ -1,0 +1,614 @@
+//! GlusterFS model — serverless hash-distributed metadata (DHT).
+//!
+//! Modeled design points:
+//!
+//! * **no metadata server**: metadata lives as xattrs on the bricks;
+//!   files are placed by hashing their path onto one brick;
+//! * **directories exist on every brick**: mkdir/rmdir must update all
+//!   N bricks — which is why the paper measures Gluster's mkdir latency
+//!   as the worst of all systems and *growing* with server count
+//!   (§4.2.1: "Gluster gets the highest latency in mkdir due to its
+//!   directory synchronization operation in every node");
+//! * **lookup broadcast**: a fresh lookup consults every brick
+//!   (self-heal check), then entry locks bracket the update — several
+//!   round trips per create even before the update itself;
+//! * per-brick update cost [`calib::GLUSTER_UPDATE`] anchors
+//!   single-server create ≈4.3 K IOPS (LocoFS = 23×, §4.2.2).
+
+use crate::calib;
+use crate::fs_trait::DistFs;
+use crate::mds::{MdsReq, MdsResp, MdsStore, ModelMds};
+use crate::model_util::{place, FatInode, ModelBase};
+use loco_kv::KvConfig;
+use loco_net::{class, Endpoint, JobTrace, Nanos, ServerId, SimEndpoint};
+use loco_ostore::{ObjectStore, OstoreRequest, OstoreResponse};
+use loco_sim::time::MICROS;
+use loco_types::{normalize, parent, FsError, FsResult, UuidGen};
+use std::collections::HashSet;
+
+/// The GlusterFS baseline model.
+pub struct GlusterFsModel {
+    bricks: Vec<SimEndpoint<ModelMds>>,
+    ost: Vec<SimEndpoint<ObjectStore>>,
+    base: ModelBase,
+    uuids: UuidGen,
+    block_size: u64,
+}
+
+impl GlusterFsModel {
+    /// Create a new instance with default settings.
+    pub fn new(num_bricks: u16) -> Self {
+        let bricks = (0..num_bricks)
+            .map(|i| {
+                SimEndpoint::new(
+                    ServerId::new(class::MDS, i),
+                    ModelMds::new(MdsStore::Hash, KvConfig::default()),
+                )
+            })
+            .collect::<Vec<_>>();
+        let ost = vec![SimEndpoint::new(
+            ServerId::new(class::OST, 0),
+            ObjectStore::new(KvConfig::default()),
+        )];
+        let mut s = Self {
+            bricks,
+            ost,
+            base: ModelBase::new(174 * MICROS, 2 * MICROS),
+            uuids: UuidGen::new(0),
+            block_size: 1 << 20,
+        };
+        for i in 0..s.bricks.len() {
+            let ep = s.bricks[i].clone();
+            s.base
+                .call(&ep, MdsReq::Put(b"/".to_vec(), FatInode::dir(0o777).encode()));
+        }
+        let _ = s.base.ctx.take_trace();
+        s
+    }
+
+    fn brick_of(&self, p: &str) -> usize {
+        place(p, self.bricks.len())
+    }
+
+    fn call_at(&mut self, idx: usize, req: MdsReq) -> MdsResp {
+        let ep = self.bricks[idx].clone();
+        self.base.call(&ep, req)
+    }
+
+    /// Broadcast lookup of a directory (the DHT self-heal check): one
+    /// RPC to every brick. Fails with `NotADirectory` when the path
+    /// names a file.
+    fn lookup_dir_everywhere(&mut self, dir: &str) -> FsResult<()> {
+        let mut found: Option<FatInode> = None;
+        for i in 0..self.bricks.len() {
+            let v = self
+                .call_at(
+                    i,
+                    MdsReq::Multi(vec![
+                        MdsReq::Get(dir.as_bytes().to_vec()),
+                        MdsReq::Work(calib::GLUSTER_LOOKUP),
+                    ]),
+                )
+                .multi()
+                .remove(0)
+                .value();
+            if let Some(v) = v {
+                found = FatInode::decode(&v);
+            }
+        }
+        match found {
+            Some(inode) if inode.is_dir => Ok(()),
+            Some(_) => Err(FsError::NotADirectory),
+            None => Err(FsError::NotFound),
+        }
+    }
+
+    /// Entry-lock round trip at the brick owning the entry.
+    fn entrylk(&mut self, idx: usize) {
+        self.call_at(idx, MdsReq::Work(5 * MICROS));
+    }
+
+    fn get_file_inode(&mut self, p: &str) -> FsResult<FatInode> {
+        let idx = self.brick_of(p);
+        let v = self
+            .call_at(
+                idx,
+                MdsReq::Multi(vec![
+                    MdsReq::Get(p.as_bytes().to_vec()),
+                    MdsReq::Work(calib::GLUSTER_LOOKUP),
+                ]),
+            )
+            .multi()
+            .remove(0)
+            .value()
+            .ok_or(FsError::NotFound)?;
+        let inode = FatInode::decode(&v).ok_or_else(|| FsError::Io("bad inode".into()))?;
+        if inode.is_dir {
+            return Err(FsError::IsADirectory);
+        }
+        Ok(inode)
+    }
+
+    /// Count children of `dir` across all bricks, deduplicating
+    /// directory records (which exist on every brick).
+    fn children(&mut self, dir: &str) -> Vec<String> {
+        let mut prefix = dir.as_bytes().to_vec();
+        if *prefix.last().unwrap() != b'/' {
+            prefix.push(b'/');
+        }
+        let mut names: HashSet<String> = HashSet::new();
+        for i in 0..self.bricks.len() {
+            for (k, _) in self.call_at(i, MdsReq::ScanPrefix(prefix.clone())).entries() {
+                let rest = &k[prefix.len()..];
+                if !rest.contains(&b'/') {
+                    if let Ok(s) = std::str::from_utf8(rest) {
+                        names.insert(s.to_string());
+                    }
+                }
+            }
+        }
+        names.into_iter().collect()
+    }
+}
+
+impl DistFs for GlusterFsModel {
+    fn name(&self) -> String {
+        "Gluster".into()
+    }
+
+    fn rtt(&self) -> Nanos {
+        self.base.rtt
+    }
+
+    fn mkdir(&mut self, raw: &str) -> FsResult<()> {
+        let p = normalize(raw)?;
+        self.base.begin();
+        let res = (|| {
+            let dir = parent(&p).ok_or(FsError::AlreadyExists)?;
+            self.lookup_dir_everywhere(dir)?;
+            if self
+                .call_at(self.brick_of(&p), MdsReq::Contains(p.as_bytes().to_vec()))
+                .bool()
+            {
+                return Err(FsError::AlreadyExists);
+            }
+            // Directory synchronization on EVERY brick.
+            for i in 0..self.bricks.len() {
+                self.call_at(
+                    i,
+                    MdsReq::Multi(vec![
+                        MdsReq::Put(p.as_bytes().to_vec(), FatInode::dir(0o755).encode()),
+                        MdsReq::Work(calib::GLUSTER_UPDATE),
+                    ]),
+                );
+            }
+            Ok(())
+        })();
+        self.base.finish();
+        res
+    }
+
+    fn rmdir(&mut self, raw: &str) -> FsResult<()> {
+        let p = normalize(raw)?;
+        self.base.begin();
+        let res = (|| {
+            self.lookup_dir_everywhere(&p)?;
+            if !self.children(&p).is_empty() {
+                return Err(FsError::NotEmpty);
+            }
+            for i in 0..self.bricks.len() {
+                self.call_at(
+                    i,
+                    MdsReq::Multi(vec![
+                        MdsReq::Delete(p.as_bytes().to_vec()),
+                        MdsReq::Work(calib::GLUSTER_UPDATE),
+                    ]),
+                );
+            }
+            Ok(())
+        })();
+        self.base.finish();
+        res
+    }
+
+    fn create(&mut self, raw: &str) -> FsResult<()> {
+        let p = normalize(raw)?;
+        self.base.begin();
+        let res = (|| {
+            let dir = parent(&p).ok_or(FsError::InvalidArgument)?;
+            self.lookup_dir_everywhere(dir)?;
+            let idx = self.brick_of(&p);
+            self.entrylk(idx);
+            let uuid = self.uuids.alloc();
+            let mut parts = self
+                .call_at(
+                    idx,
+                    MdsReq::Guarded(vec![
+                        MdsReq::PutIfAbsent(
+                            p.as_bytes().to_vec(),
+                            FatInode::file(0o644, uuid).encode(),
+                        ),
+                        MdsReq::Work(calib::GLUSTER_UPDATE),
+                    ]),
+                )
+                .multi();
+            self.entrylk(idx); // unlock
+            if !parts.remove(0).bool() {
+                return Err(FsError::AlreadyExists);
+            }
+            Ok(())
+        })();
+        self.base.finish();
+        res
+    }
+
+    fn unlink(&mut self, raw: &str) -> FsResult<()> {
+        let p = normalize(raw)?;
+        self.base.begin();
+        let res = (|| {
+            self.get_file_inode(&p)?; // rejects directories
+            let idx = self.brick_of(&p);
+            self.entrylk(idx);
+            let ok = self
+                .call_at(
+                    idx,
+                    MdsReq::Multi(vec![
+                        MdsReq::Delete(p.as_bytes().to_vec()),
+                        MdsReq::Work(calib::GLUSTER_UPDATE),
+                    ]),
+                )
+                .multi()
+                .remove(0)
+                .bool();
+            self.entrylk(idx);
+            if ok {
+                Ok(())
+            } else {
+                Err(FsError::NotFound)
+            }
+        })();
+        self.base.finish();
+        res
+    }
+
+    fn stat_file(&mut self, raw: &str) -> FsResult<()> {
+        let p = normalize(raw)?;
+        self.base.begin();
+        // No client metadata cache: a LOOKUP fop resolves the file on
+        // its hashed brick, then a STAT fop fetches the iatt — two
+        // round trips per stat.
+        let res = self.get_file_inode(&p).map(|_| ());
+        if res.is_ok() {
+            let idx = self.brick_of(&p);
+            self.call_at(idx, MdsReq::Work(calib::GLUSTER_LOOKUP));
+        }
+        self.base.finish();
+        res
+    }
+
+    fn stat_dir(&mut self, raw: &str) -> FsResult<()> {
+        let p = normalize(raw)?;
+        self.base.begin();
+        let res = self.lookup_dir_everywhere(&p);
+        self.base.finish();
+        res
+    }
+
+    fn readdir(&mut self, raw: &str) -> FsResult<usize> {
+        let p = normalize(raw)?;
+        self.base.begin();
+        let res = (|| {
+            self.lookup_dir_everywhere(&p)?;
+            Ok(self.children(&p).len())
+        })();
+        self.base.finish();
+        res
+    }
+
+    fn chmod_file(&mut self, raw: &str, mode: u32) -> FsResult<()> {
+        let p = normalize(raw)?;
+        self.base.begin();
+        let res = (|| {
+            let mut inode = self.get_file_inode(&p)?;
+            inode.mode = mode;
+            let idx = self.brick_of(&p);
+            self.call_at(
+                idx,
+                MdsReq::Multi(vec![
+                    MdsReq::Put(p.as_bytes().to_vec(), inode.encode()),
+                    MdsReq::Work(calib::GLUSTER_UPDATE),
+                ]),
+            );
+            Ok(())
+        })();
+        self.base.finish();
+        res
+    }
+
+    fn chown_file(&mut self, raw: &str, uid: u32, gid: u32) -> FsResult<()> {
+        let p = normalize(raw)?;
+        self.base.begin();
+        let res = (|| {
+            let mut inode = self.get_file_inode(&p)?;
+            inode.uid = uid;
+            inode.gid = gid;
+            let idx = self.brick_of(&p);
+            self.call_at(
+                idx,
+                MdsReq::Multi(vec![
+                    MdsReq::Put(p.as_bytes().to_vec(), inode.encode()),
+                    MdsReq::Work(calib::GLUSTER_UPDATE),
+                ]),
+            );
+            Ok(())
+        })();
+        self.base.finish();
+        res
+    }
+
+    fn truncate_file(&mut self, raw: &str, size: u64) -> FsResult<()> {
+        let p = normalize(raw)?;
+        self.base.begin();
+        let res = (|| {
+            let mut inode = self.get_file_inode(&p)?;
+            inode.size = size;
+            let idx = self.brick_of(&p);
+            self.call_at(
+                idx,
+                MdsReq::Multi(vec![
+                    MdsReq::Put(p.as_bytes().to_vec(), inode.encode()),
+                    MdsReq::Work(calib::GLUSTER_UPDATE),
+                ]),
+            );
+            Ok(())
+        })();
+        self.base.finish();
+        res
+    }
+
+    fn access_file(&mut self, raw: &str) -> FsResult<bool> {
+        let p = normalize(raw)?;
+        self.base.begin();
+        let res = self.get_file_inode(&p).map(|_| true);
+        if res.is_ok() {
+            let idx = self.brick_of(&p);
+            self.call_at(idx, MdsReq::Work(calib::GLUSTER_LOOKUP));
+        }
+        self.base.finish();
+        res
+    }
+
+    fn rename_file(&mut self, old: &str, new: &str) -> FsResult<()> {
+        let o = normalize(old)?;
+        let n = normalize(new)?;
+        self.base.begin();
+        let res = (|| {
+            let inode = self.get_file_inode(&o)?;
+            let oi = self.brick_of(&o);
+            let ni = self.brick_of(&n);
+            self.entrylk(oi);
+            self.call_at(oi, MdsReq::Delete(o.as_bytes().to_vec()));
+            // DHT leaves a linkto file at the old hashed location.
+            self.call_at(
+                oi,
+                MdsReq::Multi(vec![MdsReq::Work(calib::GLUSTER_UPDATE)]),
+            );
+            self.call_at(
+                ni,
+                MdsReq::Multi(vec![
+                    MdsReq::Put(n.as_bytes().to_vec(), inode.encode()),
+                    MdsReq::Work(calib::GLUSTER_UPDATE),
+                ]),
+            );
+            self.entrylk(oi);
+            Ok(())
+        })();
+        self.base.finish();
+        res
+    }
+
+    fn rename_dir(&mut self, old: &str, new: &str) -> FsResult<()> {
+        let o = normalize(old)?;
+        let n = normalize(new)?;
+        self.base.begin();
+        let res = (|| {
+            self.lookup_dir_everywhere(&o)?;
+            let mut prefix = o.as_bytes().to_vec();
+            prefix.push(b'/');
+            // Every brick renames its local portion (dir records + its
+            // files); file records may then live on the "wrong" brick,
+            // which real Gluster papers over with linkto files — we
+            // keep them reachable by rehashing on lookup misses, which
+            // the model approximates by rehoming them now.
+            let mut moved = Vec::new();
+            for i in 0..self.bricks.len() {
+                for (k, v) in self.call_at(i, MdsReq::ScanPrefix(prefix.clone())).entries() {
+                    self.call_at(i, MdsReq::Delete(k.clone()));
+                    moved.push((k, v));
+                }
+                self.call_at(
+                    i,
+                    MdsReq::Multi(vec![
+                        MdsReq::Delete(o.as_bytes().to_vec()),
+                        MdsReq::Put(n.as_bytes().to_vec(), FatInode::dir(0o755).encode()),
+                        MdsReq::Work(calib::GLUSTER_UPDATE),
+                    ]),
+                );
+            }
+            let mut seen_dirs: HashSet<Vec<u8>> = HashSet::new();
+            for (k, v) in moved {
+                let suffix = &k[prefix.len()..];
+                let mut nk = n.as_bytes().to_vec();
+                nk.push(b'/');
+                nk.extend_from_slice(suffix);
+                let inode = FatInode::decode(&v);
+                let is_dir = inode.map(|i| i.is_dir).unwrap_or(false);
+                if is_dir {
+                    if !seen_dirs.insert(nk.clone()) {
+                        continue; // dir records exist on every brick
+                    }
+                    for i in 0..self.bricks.len() {
+                        self.call_at(i, MdsReq::Put(nk.clone(), v.clone()));
+                    }
+                } else {
+                    let idx = place(std::str::from_utf8(&nk).unwrap(), self.bricks.len());
+                    self.call_at(idx, MdsReq::Put(nk, v));
+                }
+            }
+            Ok(())
+        })();
+        self.base.finish();
+        res
+    }
+
+    fn write_file(&mut self, raw: &str, data: &[u8]) -> FsResult<()> {
+        let p = normalize(raw)?;
+        self.base.begin();
+        let res = (|| {
+            let mut inode = self.get_file_inode(&p)?;
+            let bs = self.block_size as usize;
+            for (i, chunk) in data.chunks(bs.max(1)).enumerate() {
+                let ep = self.ost[0].clone();
+                let resp = ep.call(
+                    &mut self.base.ctx,
+                    OstoreRequest::WriteBlock {
+                        uuid: inode.uuid,
+                        blk: i as u64,
+                        data: chunk.to_vec(),
+                    },
+                );
+                let OstoreResponse::Done(r) = resp else {
+                    unreachable!()
+                };
+                r?;
+            }
+            inode.size = data.len() as u64;
+            let idx = self.brick_of(&p);
+            self.call_at(
+                idx,
+                MdsReq::Multi(vec![
+                    MdsReq::Put(p.as_bytes().to_vec(), inode.encode()),
+                    MdsReq::Work(calib::GLUSTER_UPDATE),
+                ]),
+            );
+            // flush + release fop on close.
+            self.call_at(idx, MdsReq::Work(calib::GLUSTER_LOOKUP));
+            Ok(())
+        })();
+        self.base.finish();
+        res
+    }
+
+    fn read_file(&mut self, raw: &str) -> FsResult<Vec<u8>> {
+        let p = normalize(raw)?;
+        self.base.begin();
+        let res = (|| {
+            let inode = self.get_file_inode(&p)?;
+            let mut out = Vec::with_capacity(inode.size as usize);
+            let blocks = inode.size.div_ceil(self.block_size.max(1));
+            for blk in 0..blocks {
+                let ep = self.ost[0].clone();
+                let resp = ep.call(
+                    &mut self.base.ctx,
+                    OstoreRequest::ReadBlock {
+                        uuid: inode.uuid,
+                        blk,
+                    },
+                );
+                match resp {
+                    OstoreResponse::Block(Ok(b)) => out.extend_from_slice(&b),
+                    OstoreResponse::Block(Err(_)) => break,
+                    other => unreachable!("{other:?}"),
+                }
+            }
+            out.truncate(inode.size as usize);
+            // release fop on close.
+            let idx = self.brick_of(&p);
+            self.call_at(idx, MdsReq::Work(calib::GLUSTER_LOOKUP));
+            Ok(out)
+        })();
+        self.base.finish();
+        res
+    }
+
+    fn take_trace(&mut self) -> JobTrace {
+        self.base.take_trace()
+    }
+
+    fn advance_clock(&mut self, delta: Nanos) {
+        self.base.clock += delta;
+    }
+
+    fn set_rtt(&mut self, rtt: Nanos) {
+        self.base.rtt = rtt;
+    }
+
+    fn drop_caches(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle() {
+        let mut fs = GlusterFsModel::new(4);
+        fs.mkdir("/d").unwrap();
+        fs.create("/d/f").unwrap();
+        fs.stat_file("/d/f").unwrap();
+        assert_eq!(fs.readdir("/d").unwrap(), 1);
+        assert_eq!(fs.create("/d/f"), Err(FsError::AlreadyExists));
+        assert_eq!(fs.rmdir("/d"), Err(FsError::NotEmpty));
+        fs.unlink("/d/f").unwrap();
+        fs.rmdir("/d").unwrap();
+        assert_eq!(fs.stat_dir("/d"), Err(FsError::NotFound));
+    }
+
+    #[test]
+    fn mkdir_touches_every_brick() {
+        let mut fs = GlusterFsModel::new(8);
+        fs.mkdir("/d").unwrap();
+        let t = fs.take_trace();
+        // broadcast lookup of "/" (8) + contains (1) + 8 brick updates
+        assert!(t.visits.len() >= 16, "got {}", t.visits.len());
+        // Latency grows with brick count — the paper's worst-mkdir shape.
+        let small = GlusterFsModel::new(2);
+        drop(small);
+        let mut fs2 = GlusterFsModel::new(2);
+        fs2.mkdir("/d").unwrap();
+        let t2 = fs2.take_trace();
+        assert!(t.visits.len() > t2.visits.len());
+    }
+
+    #[test]
+    fn create_includes_lock_roundtrips() {
+        let mut fs = GlusterFsModel::new(4);
+        fs.mkdir("/d").unwrap();
+        fs.create("/d/f").unwrap();
+        let t = fs.take_trace();
+        // 4 lookups + lock + create + unlock = 7
+        assert_eq!(t.visits.len(), 7, "{:?}", t.visits);
+    }
+
+    #[test]
+    fn rename_dir_keeps_files_reachable() {
+        let mut fs = GlusterFsModel::new(4);
+        fs.mkdir("/a").unwrap();
+        fs.mkdir("/a/sub").unwrap();
+        fs.create("/a/f").unwrap();
+        fs.rename_dir("/a", "/b").unwrap();
+        fs.stat_file("/b/f").unwrap();
+        fs.stat_dir("/b/sub").unwrap();
+        assert_eq!(fs.stat_file("/a/f"), Err(FsError::NotFound));
+        assert_eq!(fs.readdir("/b").unwrap(), 2);
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut fs = GlusterFsModel::new(2);
+        fs.mkdir("/d").unwrap();
+        fs.create("/d/f").unwrap();
+        fs.write_file("/d/f", &[5u8; 100]).unwrap();
+        assert_eq!(fs.read_file("/d/f").unwrap(), vec![5u8; 100]);
+    }
+}

@@ -1,0 +1,87 @@
+//! Generic lease-based client cache used by the baseline models
+//! (IndexFS stateless client caching, CephFS capabilities, Lustre
+//! dentry cache). Same lease semantics as LocoFS's d-inode cache so the
+//! systems compare under equal caching assumptions.
+
+use loco_sim::time::Nanos;
+use std::collections::HashMap;
+
+/// Path-keyed cache with per-entry lease expiry.
+#[derive(Debug)]
+pub struct LeaseCache<V: Clone> {
+    entries: HashMap<String, (V, Nanos)>,
+    lease: Nanos,
+}
+
+impl<V: Clone> LeaseCache<V> {
+    /// Create a new instance with default settings.
+    pub fn new(lease: Nanos) -> Self {
+        Self {
+            entries: HashMap::new(),
+            lease,
+        }
+    }
+
+    /// Look up a cached value while its lease is valid.
+    pub fn get(&mut self, key: &str, now: Nanos) -> Option<V> {
+        match self.entries.get(key) {
+            Some((v, exp)) if *exp > now => Some(v.clone()),
+            Some(_) => {
+                self.entries.remove(key);
+                None
+            }
+            None => None,
+        }
+    }
+
+    /// Insert or refresh a value with a fresh lease.
+    pub fn put(&mut self, key: &str, value: V, now: Nanos) {
+        self.entries.insert(key.to_string(), (value, now + self.lease));
+    }
+
+    /// Drop one cached key.
+    pub fn invalidate(&mut self, key: &str) {
+        self.entries.remove(key);
+    }
+
+    /// Drop a path and everything beneath it.
+    pub fn invalidate_subtree(&mut self, path: &str) {
+        self.entries
+            .retain(|k, _| !loco_types::path::is_same_or_descendant(k, path));
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether there are no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lease_expiry() {
+        let mut c: LeaseCache<u32> = LeaseCache::new(100);
+        c.put("/a", 7, 0);
+        assert_eq!(c.get("/a", 99), Some(7));
+        assert_eq!(c.get("/a", 100), None);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn subtree_invalidation() {
+        let mut c: LeaseCache<u32> = LeaseCache::new(1000);
+        c.put("/a", 1, 0);
+        c.put("/a/b", 2, 0);
+        c.put("/ax", 3, 0);
+        c.invalidate_subtree("/a");
+        assert_eq!(c.get("/a/b", 1), None);
+        assert_eq!(c.get("/ax", 1), Some(3));
+    }
+}

@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+//! # loco-baselines — models of the systems LocoFS is compared against
+//!
+//! The paper evaluates LocoFS against CephFS 0.94, Gluster 3.7, Lustre
+//! 2.9 (plain / DNE1 / DNE2), IndexFS, and raw Kyoto Cabinet. Porting
+//! those systems is out of scope for any reproduction; what the figures
+//! actually compare is each system's **metadata communication pattern**
+//! (how many servers an operation touches, in what order) and its
+//! **per-operation software cost** (journaling, serialization, stack
+//! depth). Both are well documented, so this crate reimplements each
+//! system as a *behavioural model*:
+//!
+//! * state is real — every model maintains a working namespace in real
+//!   key-value stores and passes the same functional test suite, so the
+//!   comparison isn't against a stub;
+//! * communication follows the system's published design —
+//!   per-component path traversal (IndexFS/Giga+ lineage), one-MDS-per-
+//!   subtree (CephFS), all-server directory broadcast (Gluster), intent
+//!   RPCs (Lustre), striped directories (Lustre DNE2);
+//! * per-op software costs are single-number calibrations anchored to
+//!   the paper's own single-server measurements ([`calib`]).
+//!
+//! All models speak through the same [`ModelMds`] RPC service over
+//! `loco-net`, so their traces replay through the same simulator as
+//! LocoFS itself.
+
+pub mod calib;
+pub mod cephfs;
+pub mod fs_trait;
+pub mod gluster;
+pub mod indexfs;
+pub mod lease;
+pub mod loco_adapter;
+pub mod lustre;
+pub mod mds;
+pub mod model_util;
+pub mod rawkv;
+
+pub use cephfs::CephFsModel;
+pub use fs_trait::DistFs;
+pub use gluster::GlusterFsModel;
+pub use indexfs::IndexFsModel;
+pub use lease::LeaseCache;
+pub use loco_adapter::LocoAdapter;
+pub use lustre::{LustreFsModel, LustreVariant};
+pub use mds::{MdsReq, MdsResp, ModelMds};
+pub use rawkv::RawKvFs;

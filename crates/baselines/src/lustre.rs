@@ -1,0 +1,726 @@
+//! Lustre model — single MDS, DNE1 (manual remote directories) and
+//! DNE2 (striped directories).
+//!
+//! Modeled design points:
+//!
+//! * **Single**: every metadata operation goes to MDT0.
+//! * **DNE1** (the paper's "Lustre D1"): each *top-level* directory is
+//!   manually pinned to an MDT; its whole subtree stays there. Per-
+//!   subtree parallelism with perfect locality inside a subtree.
+//! * **DNE2** ("Lustre D2"): directories are striped — a directory's
+//!   entries are hash-distributed over all MDTs, so creates/unlinks may
+//!   span two MDTs (parent stripe + entry) as a distributed
+//!   transaction, and readdir must visit every MDT.
+//! * Every update pays [`calib::LUSTRE_UPDATE`] (ldiskfs journal + LDLM
+//!   locking), anchoring single-server create ≈12.5 K IOPS (LocoFS =
+//!   8×, §4.2.2). Cross-MDT DNE2 transactions pay it on both MDTs.
+
+use crate::calib;
+use crate::fs_trait::DistFs;
+use crate::lease::LeaseCache;
+use crate::mds::{MdsReq, MdsResp, MdsStore, ModelMds};
+use crate::model_util::{place, FatInode, ModelBase};
+use loco_kv::KvConfig;
+use loco_net::{class, Endpoint, JobTrace, Nanos, ServerId, SimEndpoint};
+use loco_ostore::{ObjectStore, OstoreRequest, OstoreResponse};
+use loco_sim::time::MICROS;
+use loco_types::{normalize, parent, path, FsError, FsResult, UuidGen};
+
+/// Which Lustre metadata layout to model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LustreVariant {
+    /// One MDS.
+    Single,
+    /// DNE phase 1: remote directories pinned per top-level directory.
+    Dne1,
+    /// DNE phase 2: striped directories.
+    Dne2,
+}
+
+impl LustreVariant {
+    /// Paper-facing display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            LustreVariant::Single => "Lustre",
+            LustreVariant::Dne1 => "Lustre-D1",
+            LustreVariant::Dne2 => "Lustre-D2",
+        }
+    }
+}
+
+/// The Lustre baseline model.
+pub struct LustreFsModel {
+    mdts: Vec<SimEndpoint<ModelMds>>,
+    ost: Vec<SimEndpoint<ObjectStore>>,
+    variant: LustreVariant,
+    base: ModelBase,
+    /// Client dentry/inode cache (Lustre LDLM-protected client cache).
+    cache: LeaseCache<FatInode>,
+    uuids: UuidGen,
+    block_size: u64,
+}
+
+impl LustreFsModel {
+    /// Create a new instance with default settings.
+    pub fn new(variant: LustreVariant, num_mdts: u16) -> Self {
+        let n = match variant {
+            LustreVariant::Single => 1,
+            _ => num_mdts,
+        };
+        let mdts = (0..n)
+            .map(|i| {
+                SimEndpoint::new(
+                    ServerId::new(class::MDS, i),
+                    ModelMds::new(MdsStore::Hash, KvConfig::default()),
+                )
+            })
+            .collect::<Vec<_>>();
+        let ost = vec![SimEndpoint::new(
+            ServerId::new(class::OST, 0),
+            ObjectStore::new(KvConfig::default()),
+        )];
+        let mut s = Self {
+            mdts,
+            ost,
+            variant,
+            base: ModelBase::new(174 * MICROS, 2 * MICROS),
+            cache: LeaseCache::new(calib::BASELINE_LEASE),
+            uuids: UuidGen::new(0),
+            block_size: 1 << 20,
+        };
+        let ep = s.mdts[0].clone();
+        s.base
+            .call(&ep, MdsReq::Put(b"/".to_vec(), FatInode::dir(0o777).encode()));
+        let _ = s.base.ctx.take_trace();
+        s
+    }
+
+    /// MDT holding the record for `p` (a file or directory path).
+    fn mdt_of(&self, p: &str) -> usize {
+        if p == "/" {
+            return 0;
+        }
+        match self.variant {
+            LustreVariant::Single => 0,
+            // Whole top-level subtree pinned to one MDT.
+            LustreVariant::Dne1 => {
+                let top = path::components(p).next().unwrap_or("");
+                place(top, self.mdts.len())
+            }
+            // Striped: every entry hashed independently.
+            LustreVariant::Dne2 => place(p, self.mdts.len()),
+        }
+    }
+
+    fn call_at(&mut self, idx: usize, req: MdsReq) -> MdsResp {
+        let ep = self.mdts[idx].clone();
+        self.base.call(&ep, req)
+    }
+
+    fn get_inode(&mut self, p: &str) -> FsResult<FatInode> {
+        if let Some(i) = self.cache.get(p, self.base.clock) {
+            return Ok(i);
+        }
+        let idx = self.mdt_of(p);
+        let v = self
+            .call_at(
+                idx,
+                MdsReq::Multi(vec![
+                    MdsReq::Get(p.as_bytes().to_vec()),
+                    MdsReq::Work(calib::LUSTRE_LOOKUP),
+                ]),
+            )
+            .multi()
+            .remove(0)
+            .value()
+            .ok_or(FsError::NotFound)?;
+        let inode = FatInode::decode(&v).ok_or_else(|| FsError::Io("bad inode".into()))?;
+        self.cache.put(p, inode, self.base.clock);
+        Ok(inode)
+    }
+
+    /// Update at one MDT, optionally as a cross-MDT transaction with a
+    /// second MDT (DNE2's distributed updates): the second MDT pays the
+    /// journal too, and one extra round trip happens.
+    fn update(&mut self, idx: usize, ops: Vec<MdsReq>, cross: Option<usize>) -> Vec<MdsResp> {
+        let mut all = ops;
+        all.push(MdsReq::Work(calib::LUSTRE_UPDATE));
+        let out = self.call_at(idx, MdsReq::Multi(all)).multi();
+        if let Some(other) = cross {
+            if other != idx {
+                self.call_at(other, MdsReq::Work(calib::LUSTRE_UPDATE));
+            }
+        }
+        out
+    }
+
+    /// MDTs that can hold entries of `dir` (for scans).
+    fn dir_span(&self, dir: &str) -> Vec<usize> {
+        match self.variant {
+            LustreVariant::Single => vec![0],
+            LustreVariant::Dne1 => {
+                if dir == "/" {
+                    // Top-level dirs spread across MDTs.
+                    (0..self.mdts.len()).collect()
+                } else {
+                    vec![self.mdt_of(dir)]
+                }
+            }
+            LustreVariant::Dne2 => (0..self.mdts.len()).collect(),
+        }
+    }
+
+    fn children(&mut self, dir: &str) -> Vec<(Vec<u8>, Vec<u8>)> {
+        let mut prefix = dir.as_bytes().to_vec();
+        if *prefix.last().unwrap() != b'/' {
+            prefix.push(b'/');
+        }
+        let mut out = Vec::new();
+        for idx in self.dir_span(dir) {
+            for (k, v) in self.call_at(idx, MdsReq::ScanPrefix(prefix.clone())).entries() {
+                if !k[prefix.len()..].contains(&b'/') {
+                    out.push((k, v));
+                }
+            }
+        }
+        out
+    }
+}
+
+impl DistFs for LustreFsModel {
+    fn name(&self) -> String {
+        self.variant.label().into()
+    }
+
+    fn rtt(&self) -> Nanos {
+        self.base.rtt
+    }
+
+    fn mkdir(&mut self, raw: &str) -> FsResult<()> {
+        let p = normalize(raw)?;
+        self.base.begin();
+        let res = (|| {
+            let dir = parent(&p).ok_or(FsError::AlreadyExists)?;
+            let parent_inode = self.get_inode(dir)?;
+            if !parent_inode.is_dir {
+                return Err(FsError::NotADirectory);
+            }
+            let self_idx = self.mdt_of(&p);
+            let parent_idx = self.mdt_of(dir);
+            // Intent lock round trip, then the (possibly cross-MDT)
+            // directory creation, guarded against existing entries.
+            self.call_at(self_idx, MdsReq::Work(calib::LUSTRE_LOOKUP));
+            let mut parts = self
+                .call_at(
+                    self_idx,
+                    MdsReq::Guarded(vec![
+                        MdsReq::PutIfAbsent(
+                            p.as_bytes().to_vec(),
+                            FatInode::dir(0o755).encode(),
+                        ),
+                        MdsReq::Work(calib::LUSTRE_UPDATE),
+                    ]),
+                )
+                .multi();
+            if !parts.remove(0).bool() {
+                return Err(FsError::AlreadyExists);
+            }
+            if parent_idx != self_idx {
+                self.call_at(parent_idx, MdsReq::Work(calib::LUSTRE_UPDATE));
+            }
+            Ok(())
+        })();
+        self.base.finish();
+        res
+    }
+
+    fn rmdir(&mut self, raw: &str) -> FsResult<()> {
+        let p = normalize(raw)?;
+        self.base.begin();
+        let res = (|| {
+            let inode = self.get_inode(&p)?;
+            if !inode.is_dir {
+                return Err(FsError::NotADirectory);
+            }
+            if !self.children(&p).is_empty() {
+                return Err(FsError::NotEmpty);
+            }
+            let idx = self.mdt_of(&p);
+            let parent_idx = self.mdt_of(parent(&p).unwrap_or("/"));
+            let ok = self.update(
+                idx,
+                vec![MdsReq::Delete(p.as_bytes().to_vec())],
+                Some(parent_idx),
+            )[0]
+            .clone()
+            .bool();
+            self.cache.invalidate(&p);
+            if ok {
+                Ok(())
+            } else {
+                Err(FsError::NotFound)
+            }
+        })();
+        self.base.finish();
+        res
+    }
+
+    fn create(&mut self, raw: &str) -> FsResult<()> {
+        let p = normalize(raw)?;
+        self.base.begin();
+        let res = (|| {
+            let dir = parent(&p).ok_or(FsError::InvalidArgument)?;
+            let parent_inode = self.get_inode(dir)?;
+            if !parent_inode.is_dir {
+                return Err(FsError::NotADirectory);
+            }
+            let idx = self.mdt_of(&p);
+            let parent_idx = self.mdt_of(dir);
+            let uuid = self.uuids.alloc();
+            let cross = if self.variant == LustreVariant::Dne2 {
+                Some(parent_idx)
+            } else {
+                None
+            };
+            // Intent lookup + LDLM lock acquisition round trip precedes
+            // the create; the lock cancel follows it.
+            self.call_at(idx, MdsReq::Work(calib::LUSTRE_LOOKUP));
+            let mut parts = self
+                .call_at(
+                    idx,
+                    MdsReq::Guarded(vec![
+                        MdsReq::PutIfAbsent(
+                            p.as_bytes().to_vec(),
+                            FatInode::file(0o644, uuid).encode(),
+                        ),
+                        MdsReq::Work(calib::LUSTRE_UPDATE),
+                    ]),
+                )
+                .multi();
+            if !parts.remove(0).bool() {
+                return Err(FsError::AlreadyExists);
+            }
+            if let Some(other) = cross {
+                if other != idx {
+                    self.call_at(other, MdsReq::Work(calib::LUSTRE_UPDATE));
+                }
+            }
+            self.call_at(idx, MdsReq::Work(2 * MICROS)); // lock cancel
+            Ok(())
+        })();
+        self.base.finish();
+        res
+    }
+
+    fn unlink(&mut self, raw: &str) -> FsResult<()> {
+        let p = normalize(raw)?;
+        self.base.begin();
+        let res = (|| {
+            let dir = parent(&p).ok_or(FsError::InvalidArgument)?;
+            let idx = self.mdt_of(&p);
+            let cross = if self.variant == LustreVariant::Dne2 {
+                Some(self.mdt_of(dir))
+            } else {
+                None
+            };
+            // Lookup-intent + lock round trip precedes the unlink.
+            let inode = self.get_inode(&p)?;
+            if inode.is_dir {
+                return Err(FsError::IsADirectory);
+            }
+            let ok = self.update(idx, vec![MdsReq::Delete(p.as_bytes().to_vec())], cross)[0]
+                .clone()
+                .bool();
+            self.cache.invalidate(&p);
+            if ok {
+                Ok(())
+            } else {
+                Err(FsError::NotFound)
+            }
+        })();
+        self.base.finish();
+        res
+    }
+
+    fn stat_file(&mut self, raw: &str) -> FsResult<()> {
+        let p = normalize(raw)?;
+        self.base.begin();
+        // Lustre getattr revalidates at the MDS even with a cached
+        // dentry: a lookup-intent RPC resolves the dentry, then a
+        // getattr/glimpse RPC fetches attributes — two round trips.
+        self.cache.invalidate(&p);
+        let res = self.get_inode(&p).and_then(|inode| {
+            if inode.is_dir {
+                Err(FsError::IsADirectory)
+            } else {
+                Ok(())
+            }
+        });
+        if res.is_ok() {
+            let idx = self.mdt_of(&p);
+            self.call_at(idx, MdsReq::Work(calib::LUSTRE_LOOKUP));
+        }
+        self.base.finish();
+        res
+    }
+
+    fn stat_dir(&mut self, raw: &str) -> FsResult<()> {
+        let p = normalize(raw)?;
+        self.base.begin();
+        self.cache.invalidate(&p);
+        let res = self.get_inode(&p).and_then(|inode| {
+            if inode.is_dir {
+                Ok(())
+            } else {
+                Err(FsError::NotADirectory)
+            }
+        });
+        if res.is_ok() {
+            let idx = self.mdt_of(&p);
+            self.call_at(idx, MdsReq::Work(calib::LUSTRE_LOOKUP));
+        }
+        self.base.finish();
+        res
+    }
+
+    fn readdir(&mut self, raw: &str) -> FsResult<usize> {
+        let p = normalize(raw)?;
+        self.base.begin();
+        let res = (|| {
+            let inode = self.get_inode(&p)?;
+            if !inode.is_dir {
+                return Err(FsError::NotADirectory);
+            }
+            Ok(self.children(&p).len())
+        })();
+        self.base.finish();
+        res
+    }
+
+    fn chmod_file(&mut self, raw: &str, mode: u32) -> FsResult<()> {
+        let p = normalize(raw)?;
+        self.base.begin();
+        self.cache.invalidate(&p);
+        let res = (|| {
+            let mut inode = self.get_inode(&p)?;
+            inode.mode = mode;
+            let idx = self.mdt_of(&p);
+            self.update(idx, vec![MdsReq::Put(p.as_bytes().to_vec(), inode.encode())], None);
+            self.cache.invalidate(&p);
+            Ok(())
+        })();
+        self.base.finish();
+        res
+    }
+
+    fn chown_file(&mut self, raw: &str, uid: u32, gid: u32) -> FsResult<()> {
+        let p = normalize(raw)?;
+        self.base.begin();
+        self.cache.invalidate(&p);
+        let res = (|| {
+            let mut inode = self.get_inode(&p)?;
+            inode.uid = uid;
+            inode.gid = gid;
+            let idx = self.mdt_of(&p);
+            self.update(idx, vec![MdsReq::Put(p.as_bytes().to_vec(), inode.encode())], None);
+            self.cache.invalidate(&p);
+            Ok(())
+        })();
+        self.base.finish();
+        res
+    }
+
+    fn truncate_file(&mut self, raw: &str, size: u64) -> FsResult<()> {
+        let p = normalize(raw)?;
+        self.base.begin();
+        self.cache.invalidate(&p);
+        let res = (|| {
+            let mut inode = self.get_inode(&p)?;
+            inode.size = size;
+            let idx = self.mdt_of(&p);
+            self.update(idx, vec![MdsReq::Put(p.as_bytes().to_vec(), inode.encode())], None);
+            self.cache.invalidate(&p);
+            Ok(())
+        })();
+        self.base.finish();
+        res
+    }
+
+    fn access_file(&mut self, raw: &str) -> FsResult<bool> {
+        let p = normalize(raw)?;
+        self.base.begin();
+        self.cache.invalidate(&p);
+        let res = self.get_inode(&p).map(|_| true);
+        self.base.finish();
+        res
+    }
+
+    fn rename_file(&mut self, old: &str, new: &str) -> FsResult<()> {
+        let o = normalize(old)?;
+        let n = normalize(new)?;
+        self.base.begin();
+        self.cache.invalidate(&o);
+        let res = (|| {
+            let inode = self.get_inode(&o)?;
+            let oi = self.mdt_of(&o);
+            let ni = self.mdt_of(&n);
+            self.update(oi, vec![MdsReq::Delete(o.as_bytes().to_vec())], Some(ni));
+            self.update(ni, vec![MdsReq::Put(n.as_bytes().to_vec(), inode.encode())], None);
+            self.cache.invalidate(&o);
+            Ok(())
+        })();
+        self.base.finish();
+        res
+    }
+
+    fn rename_dir(&mut self, old: &str, new: &str) -> FsResult<()> {
+        let o = normalize(old)?;
+        let n = normalize(new)?;
+        self.base.begin();
+        self.cache.invalidate(&o);
+        let res = (|| {
+            let inode = self.get_inode(&o)?;
+            let mut prefix = o.as_bytes().to_vec();
+            prefix.push(b'/');
+            let mut moved = Vec::new();
+            for i in 0..self.mdts.len() {
+                for (k, v) in self.call_at(i, MdsReq::ScanPrefix(prefix.clone())).entries() {
+                    self.call_at(i, MdsReq::Delete(k.clone()));
+                    moved.push((k, v));
+                }
+            }
+            let oi = self.mdt_of(&o);
+            self.update(oi, vec![MdsReq::Delete(o.as_bytes().to_vec())], None);
+            let ni = self.mdt_of(&n);
+            self.update(ni, vec![MdsReq::Put(n.as_bytes().to_vec(), inode.encode())], None);
+            for (k, v) in moved {
+                let suffix = &k[prefix.len()..];
+                let mut nk = n.as_bytes().to_vec();
+                nk.push(b'/');
+                nk.extend_from_slice(suffix);
+                let idx = self.mdt_of(std::str::from_utf8(&nk).unwrap());
+                self.call_at(idx, MdsReq::Put(nk, v));
+            }
+            self.cache.invalidate_subtree(&o);
+            Ok(())
+        })();
+        self.base.finish();
+        res
+    }
+
+    fn write_file(&mut self, raw: &str, data: &[u8]) -> FsResult<()> {
+        let p = normalize(raw)?;
+        self.base.begin();
+        self.cache.invalidate(&p);
+        let res = (|| {
+            // open intent RPC
+            let mut inode = self.get_inode(&p)?;
+            let bs = self.block_size as usize;
+            for (i, chunk) in data.chunks(bs.max(1)).enumerate() {
+                let ep = self.ost[0].clone();
+                let resp = ep.call(
+                    &mut self.base.ctx,
+                    OstoreRequest::WriteBlock {
+                        uuid: inode.uuid,
+                        blk: i as u64,
+                        data: chunk.to_vec(),
+                    },
+                );
+                let OstoreResponse::Done(r) = resp else {
+                    unreachable!()
+                };
+                r?;
+            }
+            inode.size = data.len() as u64;
+            let idx = self.mdt_of(&p);
+            self.update(idx, vec![MdsReq::Put(p.as_bytes().to_vec(), inode.encode())], None);
+            self.cache.invalidate(&p);
+            // mdc close RPC.
+            self.call_at(idx, MdsReq::Work(calib::LUSTRE_LOOKUP));
+            Ok(())
+        })();
+        self.base.finish();
+        res
+    }
+
+    fn read_file(&mut self, raw: &str) -> FsResult<Vec<u8>> {
+        let p = normalize(raw)?;
+        self.base.begin();
+        self.cache.invalidate(&p);
+        let res = (|| {
+            let inode = self.get_inode(&p)?;
+            let mut out = Vec::with_capacity(inode.size as usize);
+            let blocks = inode.size.div_ceil(self.block_size.max(1));
+            for blk in 0..blocks {
+                let ep = self.ost[0].clone();
+                let resp = ep.call(
+                    &mut self.base.ctx,
+                    OstoreRequest::ReadBlock {
+                        uuid: inode.uuid,
+                        blk,
+                    },
+                );
+                match resp {
+                    OstoreResponse::Block(Ok(b)) => out.extend_from_slice(&b),
+                    OstoreResponse::Block(Err(_)) => break,
+                    other => unreachable!("{other:?}"),
+                }
+            }
+            out.truncate(inode.size as usize);
+            // mdc close RPC.
+            let idx = self.mdt_of(&p);
+            self.call_at(idx, MdsReq::Work(calib::LUSTRE_LOOKUP));
+            Ok(out)
+        })();
+        self.base.finish();
+        res
+    }
+
+    fn take_trace(&mut self) -> JobTrace {
+        self.base.take_trace()
+    }
+
+    fn advance_clock(&mut self, delta: Nanos) {
+        self.base.clock += delta;
+    }
+
+    fn set_rtt(&mut self, rtt: Nanos) {
+        self.base.rtt = rtt;
+    }
+
+    fn drop_caches(&mut self) {
+        self.cache = LeaseCache::new(calib::BASELINE_LEASE);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_variants(n: u16) -> Vec<LustreFsModel> {
+        vec![
+            LustreFsModel::new(LustreVariant::Single, n),
+            LustreFsModel::new(LustreVariant::Dne1, n),
+            LustreFsModel::new(LustreVariant::Dne2, n),
+        ]
+    }
+
+    #[test]
+    fn lifecycle_all_variants() {
+        for mut fs in all_variants(4) {
+            fs.mkdir("/d").unwrap();
+            fs.create("/d/f").unwrap();
+            fs.stat_file("/d/f").unwrap();
+            assert_eq!(fs.readdir("/d").unwrap(), 1, "{}", fs.name());
+            assert_eq!(fs.create("/d/f"), Err(FsError::AlreadyExists));
+            assert_eq!(fs.rmdir("/d"), Err(FsError::NotEmpty));
+            fs.unlink("/d/f").unwrap();
+            fs.rmdir("/d").unwrap();
+        }
+    }
+
+    #[test]
+    fn single_variant_uses_one_mdt() {
+        let mut fs = LustreFsModel::new(LustreVariant::Single, 8);
+        fs.mkdir("/a").unwrap();
+        fs.create("/a/f").unwrap();
+        let servers: std::collections::HashSet<u16> = fs
+            .take_trace()
+            .visits
+            .iter()
+            .map(|v| v.server.index)
+            .collect();
+        assert_eq!(servers, [0u16].into_iter().collect());
+    }
+
+    #[test]
+    fn dne1_pins_subtrees() {
+        let fs = LustreFsModel::new(LustreVariant::Dne1, 8);
+        // Different top-level dirs land on different MDTs (usually).
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..16 {
+            seen.insert(fs.mdt_of(&format!("/top{i}")));
+        }
+        assert!(seen.len() > 2, "DNE1 must spread top-level dirs");
+        // Everything under one top dir shares its MDT.
+        assert_eq!(fs.mdt_of("/top1/a/b"), fs.mdt_of("/top1"));
+    }
+
+    #[test]
+    fn dne2_create_is_cross_mdt_transaction() {
+        let mut fs = LustreFsModel::new(LustreVariant::Dne2, 8);
+        fs.mkdir("/d").unwrap();
+        let _ = fs.take_trace();
+        // Find a file whose shard differs from the parent's.
+        for i in 0..32 {
+            let p = format!("/d/f{i}");
+            let fi = fs.mdt_of(&p);
+            let di = fs.mdt_of("/d");
+            fs.create(&p).unwrap();
+            let t = fs.take_trace();
+            if fi != di {
+                assert!(
+                    t.visits.len() >= 2,
+                    "cross-MDT create needs 2 visits: {:?}",
+                    t.visits
+                );
+                return;
+            }
+        }
+        panic!("no cross-MDT placement found in 32 tries");
+    }
+
+    #[test]
+    fn dne2_readdir_fans_out() {
+        let mut fs = LustreFsModel::new(LustreVariant::Dne2, 8);
+        fs.mkdir("/d").unwrap();
+        for i in 0..10 {
+            fs.create(&format!("/d/f{i}")).unwrap();
+        }
+        assert_eq!(fs.readdir("/d").unwrap(), 10);
+        let t = fs.take_trace();
+        assert!(t.visits.len() >= 8, "striped dir scan");
+        // DNE1 keeps it local.
+        let mut fs1 = LustreFsModel::new(LustreVariant::Dne1, 8);
+        fs1.mkdir("/d").unwrap();
+        for i in 0..10 {
+            fs1.create(&format!("/d/f{i}")).unwrap();
+        }
+        assert_eq!(fs1.readdir("/d").unwrap(), 10);
+        let t1 = fs1.take_trace();
+        assert!(t1.visits.len() <= 2, "DNE1 readdir is local: {:?}", t1.visits);
+    }
+
+    #[test]
+    fn update_pays_ldiskfs_journal() {
+        let mut fs = LustreFsModel::new(LustreVariant::Single, 1);
+        fs.mkdir("/d").unwrap();
+        fs.create("/d/warm").unwrap();
+        let _ = fs.take_trace();
+        fs.create("/d/f").unwrap();
+        let t = fs.take_trace();
+        assert!(t.total_service() >= calib::LUSTRE_UPDATE);
+    }
+
+    #[test]
+    fn rename_dir_moves_subtree_all_variants() {
+        for mut fs in all_variants(4) {
+            fs.mkdir("/a").unwrap();
+            fs.mkdir("/a/s").unwrap();
+            fs.create("/a/s/f").unwrap();
+            fs.rename_dir("/a", "/b").unwrap();
+            fs.advance_clock(2 * calib::BASELINE_LEASE);
+            fs.stat_file("/b/s/f").unwrap();
+            assert_eq!(fs.stat_dir("/a"), Err(FsError::NotFound), "{}", fs.name());
+        }
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut fs = LustreFsModel::new(LustreVariant::Dne1, 2);
+        fs.mkdir("/d").unwrap();
+        fs.create("/d/f").unwrap();
+        fs.write_file("/d/f", &[3u8; 2048]).unwrap();
+        assert_eq!(fs.read_file("/d/f").unwrap(), vec![3u8; 2048]);
+    }
+}

@@ -1,0 +1,244 @@
+//! Generic metadata-server service used by every baseline model.
+//!
+//! A `ModelMds` is a key-value store plus a charge-only `Work` request
+//! for modeled software costs. Baseline filesystems differ in *which
+//! servers they send which sequences to*, not in the server container,
+//! so one service type serves all four models. `Multi` bundles several
+//! KV operations into one RPC (one network round trip), which is how
+//! real servers batch the inode+dirent+journal updates of an operation.
+
+use loco_kv::{BTreeDb, HashDb, KvConfig, KvStore, LsmDb};
+use loco_net::{Nanos, Service};
+use loco_sim::time::CostAcc;
+
+/// Store flavour behind a model MDS.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MdsStore {
+    /// LSM tree (LevelDB) — IndexFS.
+    Lsm,
+    /// B+ tree — generic ordered store.
+    BTree,
+    /// Hash store — Gluster bricks, Lustre MDT metadata.
+    Hash,
+}
+
+/// One KV-or-work request.
+#[derive(Clone, Debug)]
+pub enum MdsReq {
+    /// Point read of a key.
+    Get(Vec<u8>),
+    /// Insert or overwrite a record.
+    Put(Vec<u8>, Vec<u8>),
+    /// Remove a record.
+    Delete(Vec<u8>),
+    /// Append bytes to a record (dirent logs).
+    Append(Vec<u8>, Vec<u8>),
+    /// Existence probe.
+    Contains(Vec<u8>),
+    /// Ordered prefix scan.
+    ScanPrefix(Vec<u8>),
+    /// Insert only if the key is absent; responds `Bool(inserted)`.
+    PutIfAbsent(Vec<u8>, Vec<u8>),
+    /// Pure modeled software cost (journal flush, lock manager, stack).
+    Work(Nanos),
+    /// Several requests handled in one round trip.
+    Multi(Vec<MdsReq>),
+    /// Several requests in one round trip, executed as a server-side
+    /// mini-transaction: execution stops at the first request that
+    /// responds `Bool(false)` (e.g. a failed [`MdsReq::PutIfAbsent`]).
+    Guarded(Vec<MdsReq>),
+}
+
+/// Response mirror of [`MdsReq`].
+#[derive(Clone, Debug)]
+pub enum MdsResp {
+    /// Optional value of a point read.
+    Value(Option<Vec<u8>>),
+    /// Boolean probe result.
+    Bool(bool),
+    /// Records of a scan.
+    Entries(Vec<(Vec<u8>, Vec<u8>)>),
+    /// Unit acknowledgment.
+    Unit,
+    /// Batch executed in one round trip.
+    Multi(Vec<MdsResp>),
+}
+
+impl MdsResp {
+    /// Unwrap a `Value` response (panics on other variants).
+    pub fn value(self) -> Option<Vec<u8>> {
+        match self {
+            MdsResp::Value(v) => v,
+            other => panic!("expected Value, got {other:?}"),
+        }
+    }
+
+    /// Unwrap a `Bool` response (panics on other variants).
+    pub fn bool(self) -> bool {
+        match self {
+            MdsResp::Bool(b) => b,
+            other => panic!("expected Bool, got {other:?}"),
+        }
+    }
+
+    /// Borrow the entries.
+    pub fn entries(self) -> Vec<(Vec<u8>, Vec<u8>)> {
+        match self {
+            MdsResp::Entries(e) => e,
+            other => panic!("expected Entries, got {other:?}"),
+        }
+    }
+
+    /// Unwrap a `Multi` response (panics on other variants).
+    pub fn multi(self) -> Vec<MdsResp> {
+        match self {
+            MdsResp::Multi(v) => v,
+            other => panic!("expected Multi, got {other:?}"),
+        }
+    }
+}
+
+/// The generic model metadata server.
+pub struct ModelMds {
+    db: Box<dyn KvStore>,
+    extra: CostAcc,
+    rpc_overhead: Nanos,
+}
+
+impl ModelMds {
+    /// Create a new instance with default settings.
+    pub fn new(store: MdsStore, cfg: KvConfig) -> Self {
+        let db: Box<dyn KvStore> = match store {
+            MdsStore::Lsm => Box::new(LsmDb::new(cfg)),
+            MdsStore::BTree => Box::new(BTreeDb::new(cfg)),
+            MdsStore::Hash => Box::new(HashDb::new(cfg)),
+        };
+        Self {
+            db,
+            extra: CostAcc::new(),
+            rpc_overhead: loco_sim::CostModel::default().rpc_handler,
+        }
+    }
+
+    fn exec(&mut self, req: MdsReq) -> MdsResp {
+        match req {
+            MdsReq::Get(k) => MdsResp::Value(self.db.get(&k)),
+            MdsReq::Put(k, v) => {
+                self.db.put(&k, &v);
+                MdsResp::Unit
+            }
+            MdsReq::Delete(k) => MdsResp::Bool(self.db.delete(&k)),
+            MdsReq::Append(k, d) => {
+                self.db.append(&k, &d);
+                MdsResp::Unit
+            }
+            MdsReq::Contains(k) => MdsResp::Bool(self.db.contains(&k)),
+            MdsReq::ScanPrefix(p) => MdsResp::Entries(self.db.scan_prefix(&p)),
+            MdsReq::PutIfAbsent(k, v) => {
+                if self.db.contains(&k) {
+                    MdsResp::Bool(false)
+                } else {
+                    self.db.put(&k, &v);
+                    MdsResp::Bool(true)
+                }
+            }
+            MdsReq::Work(ns) => {
+                self.extra.charge(ns);
+                MdsResp::Unit
+            }
+            MdsReq::Multi(reqs) => MdsResp::Multi(reqs.into_iter().map(|r| self.exec(r)).collect()),
+            MdsReq::Guarded(reqs) => {
+                let mut out = Vec::with_capacity(reqs.len());
+                for r in reqs {
+                    let resp = self.exec(r);
+                    let abort = matches!(resp, MdsResp::Bool(false));
+                    out.push(resp);
+                    if abort {
+                        break;
+                    }
+                }
+                MdsResp::Multi(out)
+            }
+        }
+    }
+
+    /// Record count (tests).
+    pub fn len(&self) -> usize {
+        self.db.len()
+    }
+
+    /// Whether there are no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Service for ModelMds {
+    type Req = MdsReq;
+    type Resp = MdsResp;
+
+    fn handle(&mut self, req: MdsReq) -> MdsResp {
+        self.extra.charge(self.rpc_overhead);
+        self.exec(req)
+    }
+
+    fn take_cost(&mut self) -> Nanos {
+        self.extra.take() + self.db.take_cost()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loco_net::{CallCtx, Endpoint, ServerId, SimEndpoint};
+    use loco_sim::time::MICROS;
+
+    #[test]
+    fn kv_ops_roundtrip_through_service() {
+        let ep = SimEndpoint::new(ServerId::new(3, 0), ModelMds::new(MdsStore::Hash, KvConfig::default()));
+        let mut ctx = CallCtx::new();
+        ep.call(&mut ctx, MdsReq::Put(b"k".to_vec(), b"v".to_vec()));
+        let v = ep.call(&mut ctx, MdsReq::Get(b"k".to_vec())).value();
+        assert_eq!(v.as_deref(), Some(&b"v"[..]));
+        assert!(ep.call(&mut ctx, MdsReq::Delete(b"k".to_vec())).bool());
+        assert_eq!(ctx.round_trips(), 3);
+    }
+
+    #[test]
+    fn multi_is_one_round_trip() {
+        let ep = SimEndpoint::new(ServerId::new(3, 1), ModelMds::new(MdsStore::BTree, KvConfig::default()));
+        let mut ctx = CallCtx::new();
+        let resp = ep.call(
+            &mut ctx,
+            MdsReq::Multi(vec![
+                MdsReq::Put(b"a".to_vec(), b"1".to_vec()),
+                MdsReq::Get(b"a".to_vec()),
+                MdsReq::Work(10 * MICROS),
+            ]),
+        );
+        let parts = resp.multi();
+        assert_eq!(parts.len(), 3);
+        assert_eq!(ctx.round_trips(), 1);
+        // The work charge lands in the single visit's service time.
+        assert!(ctx.visits()[0].service >= 10 * MICROS);
+    }
+
+    #[test]
+    fn work_charges_service_time() {
+        let ep = SimEndpoint::new(ServerId::new(3, 2), ModelMds::new(MdsStore::Hash, KvConfig::default()));
+        let mut ctx = CallCtx::new();
+        ep.call(&mut ctx, MdsReq::Work(650 * MICROS));
+        assert!(ctx.visits()[0].service >= 650 * MICROS);
+    }
+
+    #[test]
+    fn scan_prefix_on_ordered_store() {
+        let ep = SimEndpoint::new(ServerId::new(3, 3), ModelMds::new(MdsStore::Lsm, KvConfig::default()));
+        let mut ctx = CallCtx::new();
+        for k in ["/d/a", "/d/b", "/e/c"] {
+            ep.call(&mut ctx, MdsReq::Put(k.as_bytes().to_vec(), vec![]));
+        }
+        let entries = ep.call(&mut ctx, MdsReq::ScanPrefix(b"/d/".to_vec())).entries();
+        assert_eq!(entries.len(), 2);
+    }
+}

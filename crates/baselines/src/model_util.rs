@@ -1,0 +1,189 @@
+//! Shared plumbing for the baseline models: per-client bookkeeping and
+//! the fat-inode encoding conventional systems store.
+
+use loco_net::{CallCtx, Endpoint, JobTrace, Nanos, SimEndpoint};
+use crate::mds::{MdsReq, MdsResp, ModelMds};
+use loco_types::meta::BASELINE_INODE_SIZE;
+use loco_types::Uuid;
+
+/// A conventional ~256 B inode record: type, mode, size, object uuid,
+/// padded with the block-index/xattr area real systems keep inline
+/// (§3.3's "file metadata object consumes hundreds of bytes").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FatInode {
+    /// Whether the node is a directory.
+    pub is_dir: bool,
+    /// POSIX permission bits.
+    pub mode: u32,
+    /// Caller user id (permission checks).
+    pub uid: u32,
+    /// Caller group id (permission checks).
+    pub gid: u32,
+    /// File size in bytes.
+    pub size: u64,
+    /// Object uuid (`sid` + `fid`).
+    pub uuid: Uuid,
+}
+
+impl FatInode {
+    /// A directory inode with benchmark-default ownership.
+    pub fn dir(mode: u32) -> Self {
+        Self {
+            is_dir: true,
+            mode,
+            uid: 1000,
+            gid: 1000,
+            size: 0,
+            uuid: Uuid::ROOT,
+        }
+    }
+
+    /// A file inode with benchmark-default ownership.
+    pub fn file(mode: u32, uuid: Uuid) -> Self {
+        Self {
+            is_dir: false,
+            mode,
+            uid: 1000,
+            gid: 1000,
+            size: 0,
+            uuid,
+        }
+    }
+
+    /// Serialize to the stored byte image.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = vec![0u8; BASELINE_INODE_SIZE];
+        buf[0] = self.is_dir as u8;
+        buf[1..5].copy_from_slice(&self.mode.to_le_bytes());
+        buf[5..9].copy_from_slice(&self.uid.to_le_bytes());
+        buf[9..13].copy_from_slice(&self.gid.to_le_bytes());
+        buf[13..21].copy_from_slice(&self.size.to_le_bytes());
+        buf[21..29].copy_from_slice(&self.uuid.raw().to_le_bytes());
+        buf
+    }
+
+    /// Parse from a stored byte image; `None` on corrupt input.
+    pub fn decode(buf: &[u8]) -> Option<Self> {
+        if buf.len() < 29 {
+            return None;
+        }
+        Some(Self {
+            is_dir: buf[0] != 0,
+            mode: u32::from_le_bytes(buf[1..5].try_into().unwrap()),
+            uid: u32::from_le_bytes(buf[5..9].try_into().unwrap()),
+            gid: u32::from_le_bytes(buf[9..13].try_into().unwrap()),
+            size: u64::from_le_bytes(buf[13..21].try_into().unwrap()),
+            uuid: Uuid::from_raw(u64::from_le_bytes(buf[21..29].try_into().unwrap())),
+        })
+    }
+}
+
+/// Per-client trace/clock bookkeeping shared by all models (the same
+/// scheme `LocoClient` uses), including the per-connection client
+/// overhead the paper observes growing with server count for every
+/// system (§4.2.1 obs. 2: "CephFS and Lustre also show the similar
+/// pattern with LocoFS for the touch operations").
+#[derive(Debug, Default)]
+pub struct ModelBase {
+    /// Trace context of the operation in flight.
+    pub ctx: CallCtx,
+    /// Trace of the last completed operation.
+    pub last_trace: JobTrace,
+    /// Client virtual clock (drives lease expiry).
+    pub clock: Nanos,
+    /// Network round-trip time charged per visit.
+    pub rtt: Nanos,
+    /// Fixed client CPU per operation.
+    pub client_work: Nanos,
+    /// Per-op client overhead per connected server beyond the first two.
+    pub conn_poll: Nanos,
+    contacted: std::collections::HashSet<loco_net::ServerId>,
+}
+
+impl ModelBase {
+    /// Create a new instance with default settings.
+    pub fn new(rtt: Nanos, client_work: Nanos) -> Self {
+        Self {
+            ctx: CallCtx::new(),
+            last_trace: JobTrace::default(),
+            clock: 0,
+            rtt,
+            client_work,
+            conn_poll: 20_000,
+            contacted: std::collections::HashSet::new(),
+        }
+    }
+
+    /// Start a new operation (charges fixed client work).
+    pub fn begin(&mut self) {
+        self.ctx.charge_client(self.client_work);
+    }
+
+    /// Finish the operation: fold connection overhead into the trace and advance the clock.
+    pub fn finish(&mut self) {
+        let mut trace = self.ctx.take_trace();
+        // Connection-poll overhead applies to ops that talked to the
+        // network; purely client-local (cache-hit) ops pay nothing.
+        if !trace.visits.is_empty() {
+            let extra = self.contacted.len().saturating_sub(2) as Nanos;
+            trace.client_work += self.conn_poll * extra;
+        }
+        self.clock += trace.unloaded_latency(self.rtt);
+        self.last_trace = trace;
+    }
+
+    /// Drain the trace of the last completed operation.
+    pub fn take_trace(&mut self) -> JobTrace {
+        std::mem::take(&mut self.last_trace)
+    }
+
+    /// One RPC to `server`, recording the visit.
+    pub fn call(&mut self, server: &SimEndpoint<ModelMds>, req: MdsReq) -> MdsResp {
+        self.contacted.insert(server.id());
+        server.call(&mut self.ctx, req)
+    }
+}
+
+/// Deterministic path→server placement hash shared by the models.
+pub fn place(s: &str, n: usize) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in s.as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^= h >> 33;
+    (h % n as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fat_inode_roundtrip() {
+        let i = FatInode {
+            is_dir: false,
+            mode: 0o644,
+            uid: 5,
+            gid: 6,
+            size: 1234,
+            uuid: Uuid::new(2, 9),
+        };
+        let buf = i.encode();
+        assert_eq!(buf.len(), BASELINE_INODE_SIZE);
+        assert_eq!(FatInode::decode(&buf), Some(i));
+        assert_eq!(FatInode::decode(&[0u8; 4]), None);
+    }
+
+    #[test]
+    fn place_is_deterministic_and_spread() {
+        assert_eq!(place("/a/b", 8), place("/a/b", 8));
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..64 {
+            seen.insert(place(&format!("/dir/f{i}"), 8));
+        }
+        assert!(seen.len() >= 6);
+    }
+}

@@ -1,0 +1,277 @@
+//! Raw key-value "filesystem": the upper bound the paper measures
+//! against (Kyoto Cabinet tree DB on a single node, Figs 1 and 9).
+//!
+//! Each filesystem operation maps to the minimal raw KV operation —
+//! create is one `put` of an inode-sized value, stat is one `get`,
+//! remove is one `delete` — with **no network** (`rtt() == 0`): the KV
+//! store is a local library. Throughput saturates at the store's
+//! single-node service rate, which is exactly the bar the other systems
+//! are normalized to.
+
+use crate::fs_trait::DistFs;
+use crate::mds::{MdsReq, MdsStore, ModelMds};
+use crate::model_util::{FatInode, ModelBase};
+use loco_kv::KvConfig;
+use loco_net::{class, JobTrace, Nanos, ServerId, SimEndpoint};
+use loco_types::{normalize, FsError, FsResult, UuidGen};
+
+/// The raw-KV baseline (one node, one ordered store).
+pub struct RawKvFs {
+    server: SimEndpoint<ModelMds>,
+    base: ModelBase,
+    uuids: UuidGen,
+}
+
+impl Default for RawKvFs {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RawKvFs {
+    /// Create a new instance with default settings.
+    pub fn new() -> Self {
+        let server = SimEndpoint::new(
+            ServerId::new(class::MDS, 0),
+            ModelMds::new(MdsStore::BTree, KvConfig::default()),
+        );
+        let mut s = Self {
+            server,
+            base: ModelBase::new(0, 300),
+            uuids: UuidGen::new(0),
+        };
+        // Root directory record.
+        s.base.call(
+            &s.server.clone(),
+            MdsReq::Put(b"/".to_vec(), FatInode::dir(0o777).encode()),
+        );
+        let _ = s.base.ctx.take_trace();
+        s
+    }
+
+    fn get_inode(&mut self, path: &str) -> FsResult<FatInode> {
+        let v = self
+            .base
+            .call(&self.server.clone(), MdsReq::Get(path.as_bytes().to_vec()))
+            .value()
+            .ok_or(FsError::NotFound)?;
+        FatInode::decode(&v).ok_or_else(|| FsError::Io("bad inode".into()))
+    }
+
+    fn put_inode(&mut self, path: &str, inode: &FatInode) {
+        self.base.call(
+            &self.server.clone(),
+            MdsReq::Put(path.as_bytes().to_vec(), inode.encode()),
+        );
+    }
+}
+
+impl DistFs for RawKvFs {
+    fn name(&self) -> String {
+        "RawKV".into()
+    }
+
+    fn rtt(&self) -> Nanos {
+        0
+    }
+
+    fn mkdir(&mut self, path: &str) -> FsResult<()> {
+        let p = normalize(path)?;
+        self.base.begin();
+        let inode = FatInode::dir(0o755);
+        self.put_inode(&p, &inode);
+        self.base.finish();
+        Ok(())
+    }
+
+    fn rmdir(&mut self, path: &str) -> FsResult<()> {
+        let p = normalize(path)?;
+        self.base.begin();
+        let ok = self
+            .base
+            .call(&self.server.clone(), MdsReq::Delete(p.into_bytes()))
+            .bool();
+        self.base.finish();
+        if ok {
+            Ok(())
+        } else {
+            Err(FsError::NotFound)
+        }
+    }
+
+    fn create(&mut self, path: &str) -> FsResult<()> {
+        let p = normalize(path)?;
+        self.base.begin();
+        let inode = FatInode::file(0o644, self.uuids.alloc());
+        self.put_inode(&p, &inode);
+        self.base.finish();
+        Ok(())
+    }
+
+    fn unlink(&mut self, path: &str) -> FsResult<()> {
+        self.rmdir(path)
+    }
+
+    fn stat_file(&mut self, path: &str) -> FsResult<()> {
+        let p = normalize(path)?;
+        self.base.begin();
+        let res = self.get_inode(&p).map(|_| ());
+        self.base.finish();
+        res
+    }
+
+    fn stat_dir(&mut self, path: &str) -> FsResult<()> {
+        self.stat_file(path)
+    }
+
+    fn readdir(&mut self, path: &str) -> FsResult<usize> {
+        let p = normalize(path)?;
+        self.base.begin();
+        let mut prefix = p.into_bytes();
+        if *prefix.last().unwrap() != b'/' {
+            prefix.push(b'/');
+        }
+        let n = self
+            .base
+            .call(&self.server.clone(), MdsReq::ScanPrefix(prefix))
+            .entries()
+            .len();
+        self.base.finish();
+        Ok(n)
+    }
+
+    fn chmod_file(&mut self, path: &str, mode: u32) -> FsResult<()> {
+        let p = normalize(path)?;
+        self.base.begin();
+        let res = self.get_inode(&p).map(|mut inode| {
+            inode.mode = mode;
+            self.put_inode(&p, &inode);
+        });
+        self.base.finish();
+        res
+    }
+
+    fn chown_file(&mut self, path: &str, uid: u32, gid: u32) -> FsResult<()> {
+        let p = normalize(path)?;
+        self.base.begin();
+        let res = self.get_inode(&p).map(|mut inode| {
+            inode.uid = uid;
+            inode.gid = gid;
+            self.put_inode(&p, &inode);
+        });
+        self.base.finish();
+        res
+    }
+
+    fn truncate_file(&mut self, path: &str, size: u64) -> FsResult<()> {
+        let p = normalize(path)?;
+        self.base.begin();
+        let res = self.get_inode(&p).map(|mut inode| {
+            inode.size = size;
+            self.put_inode(&p, &inode);
+        });
+        self.base.finish();
+        res
+    }
+
+    fn access_file(&mut self, path: &str) -> FsResult<bool> {
+        let p = normalize(path)?;
+        self.base.begin();
+        let res = self.get_inode(&p).map(|_| true);
+        self.base.finish();
+        res
+    }
+
+    fn rename_file(&mut self, old: &str, new: &str) -> FsResult<()> {
+        let o = normalize(old)?;
+        let n = normalize(new)?;
+        self.base.begin();
+        let res = self.get_inode(&o).map(|inode| {
+            self.base
+                .call(&self.server.clone(), MdsReq::Delete(o.clone().into_bytes()));
+            self.put_inode(&n, &inode);
+        });
+        self.base.finish();
+        res
+    }
+
+    fn rename_dir(&mut self, old: &str, new: &str) -> FsResult<()> {
+        self.rename_file(old, new)
+    }
+
+    fn write_file(&mut self, path: &str, data: &[u8]) -> FsResult<()> {
+        let p = normalize(path)?;
+        self.base.begin();
+        let mut key = b"D".to_vec();
+        key.extend_from_slice(p.as_bytes());
+        self.base
+            .call(&self.server.clone(), MdsReq::Put(key, data.to_vec()));
+        let res = self.get_inode(&p).map(|mut inode| {
+            inode.size = data.len() as u64;
+            self.put_inode(&p, &inode);
+        });
+        self.base.finish();
+        res
+    }
+
+    fn read_file(&mut self, path: &str) -> FsResult<Vec<u8>> {
+        let p = normalize(path)?;
+        self.base.begin();
+        let mut key = b"D".to_vec();
+        key.extend_from_slice(p.as_bytes());
+        let v = self.base.call(&self.server.clone(), MdsReq::Get(key)).value();
+        self.base.finish();
+        v.ok_or(FsError::NotFound)
+    }
+
+    fn take_trace(&mut self) -> JobTrace {
+        self.base.take_trace()
+    }
+
+    fn advance_clock(&mut self, delta: Nanos) {
+        self.base.clock += delta;
+    }
+
+    fn set_rtt(&mut self, rtt: Nanos) {
+        self.base.rtt = rtt;
+    }
+
+    fn drop_caches(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle() {
+        let mut fs = RawKvFs::new();
+        fs.mkdir("/d").unwrap();
+        fs.create("/d/f").unwrap();
+        fs.stat_file("/d/f").unwrap();
+        assert_eq!(fs.readdir("/d").unwrap(), 1);
+        fs.chmod_file("/d/f", 0o600).unwrap();
+        fs.unlink("/d/f").unwrap();
+        assert_eq!(fs.stat_file("/d/f"), Err(FsError::NotFound));
+    }
+
+    #[test]
+    fn create_is_one_local_put() {
+        let mut fs = RawKvFs::new();
+        fs.create("/f").unwrap();
+        let t = fs.take_trace();
+        assert_eq!(t.visits.len(), 1, "one KV op");
+        assert_eq!(fs.rtt(), 0, "no network");
+        // Unloaded latency is pure service time — the KC anchor.
+        let lat = t.unloaded_latency(fs.rtt());
+        assert!(lat < 10_000, "raw create must be a few µs, got {lat}");
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut fs = RawKvFs::new();
+        fs.create("/f").unwrap();
+        fs.write_file("/f", b"abc").unwrap();
+        assert_eq!(fs.read_file("/f").unwrap(), b"abc");
+    }
+}

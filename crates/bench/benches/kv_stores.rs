@@ -1,0 +1,80 @@
+//! Criterion micro-benchmarks of the three KV substrates (real wall
+//! time, complementing the virtual-cost figures): random put/get at
+//! metadata-record sizes, and ordered prefix scans.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use loco_kv::{BTreeDb, HashDb, KvConfig, KvStore, LsmDb};
+
+fn key(i: u64) -> [u8; 16] {
+    // Spread keys pseudo-randomly but deterministically.
+    let h = i.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    let mut k = [0u8; 16];
+    k[..8].copy_from_slice(&h.to_be_bytes());
+    k[8..].copy_from_slice(&i.to_be_bytes());
+    k
+}
+
+fn stores() -> Vec<(&'static str, Box<dyn KvStore>)> {
+    vec![
+        ("hash", Box::new(HashDb::new(KvConfig::default())) as Box<dyn KvStore>),
+        ("btree", Box::new(BTreeDb::new(KvConfig::default()))),
+        ("lsm", Box::new(LsmDb::new(KvConfig::default()))),
+    ]
+}
+
+fn bench_put(c: &mut Criterion) {
+    let mut g = c.benchmark_group("put_256B");
+    let value = [7u8; 256];
+    for (name, mut db) in stores() {
+        let mut i = 0u64;
+        g.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                db.put(&key(i), black_box(&value));
+                i += 1;
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_get(c: &mut Criterion) {
+    let mut g = c.benchmark_group("get_256B");
+    let value = [7u8; 256];
+    for (name, mut db) in stores() {
+        for i in 0..100_000u64 {
+            db.put(&key(i), &value);
+        }
+        let mut i = 0u64;
+        g.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let v = db.get(&key(black_box(i % 100_000)));
+                i += 1;
+                v
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_prefix_scan(c: &mut Criterion) {
+    // Ordered stores answer narrow prefix scans in range-local time;
+    // the hash store pays a full table scan (the Fig 14 mechanism, in
+    // real wall time).
+    let mut g = c.benchmark_group("scan_100_of_100k");
+    g.sample_size(20);
+    for (name, mut db) in stores() {
+        for i in 0..100_000u64 {
+            db.put(format!("bulk/{i:08}").as_bytes(), b"v");
+        }
+        for i in 0..100u64 {
+            db.put(format!("aim/{i:04}").as_bytes(), b"v");
+        }
+        g.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| db.scan_prefix(black_box(b"aim/")))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_put, bench_get, bench_prefix_scan);
+criterion_main!(benches);

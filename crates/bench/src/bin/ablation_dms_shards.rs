@@ -1,0 +1,82 @@
+//! Ablation — *why a single DMS?* (§3.1's called-out design decision).
+//!
+//! The paper keeps all directory metadata on ONE server, arguing (a) a
+//! single server holds ~10⁸ directories, (b) ancestor ACL checks become
+//! one network request, and (c) the B+ tree makes d-rename a local range
+//! move. This binary quantifies the trade by running LocoFS against a
+//! *hash-sharded* DMS variant (directories spread over N shards by path):
+//!
+//! * mkdir/rmdir throughput — where sharding SHOULD win (parallelism);
+//! * create latency at directory depth — where sharding loses (per-
+//!   component cross-shard lookups instead of one ACL-walk RPC);
+//! * d-rename — which sharding cannot do as a range move at all.
+
+use loco_bench::{env_scale, fmt, Table};
+use loco_baselines::{DistFs, LocoAdapter};
+use loco_client::LocoConfig;
+use loco_mdtest::{
+    collect_traces, gen_phase, gen_setup, run_latency, run_setup, PhaseKind, TreeSpec,
+};
+use loco_sim::des::ClosedLoopSim;
+use loco_sim::time::MICROS;
+
+fn adapter(shards: u16, cache: bool, depth: usize) -> (LocoAdapter, TreeSpec) {
+    let mut cfg = LocoConfig::with_servers(4).sharded_dms(shards);
+    if !cache {
+        cfg = cfg.no_cache();
+    }
+    (
+        LocoAdapter::new(cfg),
+        TreeSpec::new(70, env_scale("LOCO_TP_ITEMS", 60)).with_depth(depth),
+    )
+}
+
+fn main() {
+    let shard_counts = [1u16, 2, 4, 8];
+
+    // (a) mkdir throughput: sharding parallelizes the directory service.
+    let mut t = Table::new(
+        std::iter::once("metric".to_string())
+            .chain(shard_counts.iter().map(|s| format!("{s} shard(s)")))
+            .collect::<Vec<_>>(),
+    );
+    let mut cells = vec!["mkdir IOPS".to_string()];
+    for &n in &shard_counts {
+        let (mut fs, spec) = adapter(n, true, 1);
+        run_setup(&mut fs, &gen_setup(&spec)).unwrap();
+        let traces = collect_traces(&mut fs, &gen_phase(&spec, PhaseKind::DirCreate));
+        let iops = ClosedLoopSim::default().run(traces).iops();
+        cells.push(format!("{iops:.0}"));
+    }
+    t.row(cells);
+
+    // (b) create latency at depth 16, cache disabled: the ancestor walk
+    // becomes per-component cross-shard RPCs.
+    let mut cells = vec!["touch @depth16 (RTTs, no cache)".to_string()];
+    for &n in &shard_counts {
+        let (mut fs, _) = adapter(n, false, 1);
+        let spec = TreeSpec::new(1, 500).with_depth(16);
+        run_setup(&mut fs, &gen_setup(&spec)).unwrap();
+        let run = run_latency(&mut fs, &gen_phase(&spec, PhaseKind::FileCreate)[0]);
+        cells.push(fmt(run.mean_rtts(174 * MICROS)));
+    }
+    t.row(cells);
+
+    // (c) d-rename support.
+    let mut cells = vec!["d-rename (range move)".to_string()];
+    for &n in &shard_counts {
+        let (mut fs, _) = adapter(n, true, 1);
+        fs.mkdir("/r").unwrap();
+        fs.mkdir("/r/sub").unwrap();
+        let ok = fs.rename_dir("/r", "/r2").is_ok();
+        cells.push(if ok { "yes".to_string() } else { "NO".to_string() });
+    }
+    t.row(cells);
+
+    t.print("Ablation: single DMS (paper design) vs hash-sharded DMS");
+    println!(
+        "\nReading: sharding buys mkdir parallelism but loses the single-RPC\n\
+         ancestor ACL check (deep-path latency) and range-move rename —\n\
+         the trade §3.1 and §3.4.3 argue for keeping one DMS."
+    );
+}

@@ -1,0 +1,58 @@
+//! Ablation — rename sensitivity under realistic mixed workloads
+//! (§3.4.1).
+//!
+//! The paper defends hash-based placement by measuring that real traces
+//! contain essentially no renames (0 in the Sunway TaihuLight trace;
+//! ~10⁻⁷ of ops in BSC's GPFS trace), and by bounding the cost when
+//! they do occur (UUID indirection + B+-tree range moves). This binary
+//! sweeps the rename fraction of a metadata-heavy mixed workload and
+//! reports LocoFS throughput: flat at realistic fractions, degrading
+//! only when renames become orders of magnitude more common than any
+//! measured trace.
+
+use loco_bench::{env_scale, fmt, Table};
+use loco_baselines::{DistFs, LocoAdapter};
+use loco_client::LocoConfig;
+use loco_mdtest::{collect_traces, OpMix, TraceGen};
+use loco_sim::des::ClosedLoopSim;
+
+fn main() {
+    let clients = env_scale("LOCO_MAX_CLIENTS", 64);
+    let ops_per_client = env_scale("LOCO_TP_ITEMS", 150);
+    let fractions = [0.0, 1e-4, 1e-3, 1e-2, 5e-2, 2e-1];
+
+    let mut t = Table::new(vec!["rename fraction", "IOPS", "vs 0%"]);
+    let mut baseline = 0.0f64;
+    for &frac in &fractions {
+        let mut fs = LocoAdapter::new(LocoConfig::with_servers(8));
+        let mix = OpMix::hpc().with_rename_fraction(frac);
+        // Per-client streams from independent generators over disjoint
+        // subtrees.
+        let mut streams = Vec::new();
+        for c in 0..clients {
+            let root = format!("/c{c}");
+            fs.mkdir(&root).unwrap();
+            let _ = fs.take_trace();
+            let mut gen = TraceGen::new(c as u64 + 1, &root, mix);
+            streams.push(gen.take(ops_per_client));
+        }
+        let traces = collect_traces(&mut fs, &streams);
+        let iops = ClosedLoopSim::default().run(traces).iops();
+        if frac == 0.0 {
+            baseline = iops;
+        }
+        t.row(vec![
+            format!("{frac:.0e}"),
+            format!("{iops:.0}"),
+            format!("{}%", fmt(100.0 * iops / baseline)),
+        ]);
+    }
+    t.print(&format!(
+        "Ablation: mixed-workload throughput vs rename fraction  \
+         [clients = {clients}, ops/client = {ops_per_client}]"
+    ));
+    println!(
+        "\nMeasured traces put renames at ≤1e-7 of operations (§3.4.1) —\n\
+         far left of any degradation above."
+    );
+}

@@ -1,0 +1,37 @@
+//! Fig 1 — the performance gap between file-system metadata services
+//! (Lustre, CephFS, IndexFS) and a raw single-node key-value store
+//! (Kyoto Cabinet tree DB), for file creates while scaling metadata
+//! servers 1→16.
+//!
+//! Paper shape: the single-node KV store beats every distributed file
+//! system by orders of magnitude at one server (IndexFS ≈1.6 % of the
+//! KV store); even at 16 servers the file systems remain far below one
+//! KV node (IndexFS needs ≈32 servers to match it).
+
+use loco_bench::{env_scale, fmt, measure_throughput, paper_clients, FsKind, Table};
+use loco_mdtest::PhaseKind;
+
+fn main() {
+    let items = env_scale("LOCO_TP_ITEMS", 60);
+    let servers = [1u16, 2, 4, 8, 16];
+
+    // Single-node raw KV baseline.
+    let kv_iops = measure_throughput(FsKind::RawKv, 1, PhaseKind::FileCreate, 30, items * 4);
+    println!("single-node KV store (Kyoto Cabinet tree DB): {kv_iops:.0} create IOPS");
+
+    let mut t = Table::new(
+        std::iter::once("system".to_string())
+            .chain(servers.iter().map(|s| format!("{s} srv")))
+            .collect::<Vec<_>>(),
+    );
+    for kind in [FsKind::LustreSingle, FsKind::Ceph, FsKind::IndexFs] {
+        let mut cells = vec![kind.label().to_string()];
+        for &n in &servers {
+            let iops =
+                measure_throughput(kind, n, PhaseKind::FileCreate, paper_clients(n), items);
+            cells.push(format!("{} ({}%)", fmt(iops), fmt(100.0 * iops / kv_iops)));
+        }
+        t.row(cells);
+    }
+    t.print("Fig 1: create IOPS (and % of single-node KV)");
+}

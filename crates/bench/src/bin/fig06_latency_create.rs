@@ -1,0 +1,36 @@
+//! Fig 6 — latency of `touch` and `mkdir`, normalized to one network
+//! RTT (0.174 ms), for 1–16 metadata servers across LocoFS-C/NC,
+//! Lustre-D1/D2, CephFS and Gluster.
+//!
+//! Paper shape to reproduce: LocoFS lowest (mkdir ≈1.1 RTT flat; touch
+//! rising from ≈1.3 to ≈3.2 RTT with server count from client
+//! connection overhead); Lustre ≈4–6×, CephFS ≈6–8×, Gluster worst on
+//! mkdir and growing with server count.
+
+use loco_bench::{env_scale, fmt, measure_latency, FsKind, Table};
+use loco_mdtest::PhaseKind;
+
+fn main() {
+    let items = env_scale("LOCO_ITEMS", 2_000);
+    let servers = [1u16, 2, 4, 8, 16];
+    let rtt = 174_000u64;
+
+    for (phase, label) in [(PhaseKind::FileCreate, "touch"), (PhaseKind::DirCreate, "mkdir")] {
+        let mut t = Table::new(
+            std::iter::once("system".to_string())
+                .chain(servers.iter().map(|s| format!("{s} MDS")))
+                .collect::<Vec<_>>(),
+        );
+        for kind in FsKind::COMPARED {
+            let mut cells = vec![kind.label().to_string()];
+            for &n in &servers {
+                let run = measure_latency(kind, n, phase, items, None);
+                cells.push(fmt(run.mean_rtts(rtt)));
+            }
+            t.row(cells);
+        }
+        t.print(&format!(
+            "Fig 6 ({label}): mean latency / RTT  [items/client = {items}]"
+        ));
+    }
+}

@@ -1,0 +1,72 @@
+//! Fig 7 — latency of readdir, rmdir, rm, dir-stat and file-stat with
+//! 16 metadata servers, normalized to LocoFS-C.
+//!
+//! Paper shape: readdir/rmdir comparable across LocoFS, Lustre and
+//! Gluster (LocoFS must consult every FMS); rm/dir-stat/file-stat lower
+//! on LocoFS than Lustre/Gluster; CephFS lowest on the stats thanks to
+//! its client inode cache.
+
+use loco_bench::{env_scale, fmt, make_fs, prepare_phase, FsKind, Table};
+use loco_mdtest::{gen_phase, gen_setup, run_latency, run_setup, PhaseKind, TreeSpec};
+
+fn main() {
+    let items = env_scale("LOCO_ITEMS", 1_000);
+    let readdir_entries = env_scale("LOCO_READDIR_ENTRIES", 10_000);
+    let servers = 16u16;
+    let phases = [
+        PhaseKind::Readdir,
+        PhaseKind::DirRemove,
+        PhaseKind::FileRemove,
+        PhaseKind::DirStat,
+        PhaseKind::FileStat,
+    ];
+
+    // means[system][phase] in ns
+    let mut means: Vec<Vec<f64>> = Vec::new();
+    for kind in FsKind::COMPARED {
+        let mut row = Vec::new();
+        for phase in phases {
+            let mean = if phase == PhaseKind::Readdir {
+                // One directory with `readdir_entries` files, read
+                // repeatedly (the paper reads a 10 K-entry directory).
+                let mut fs = make_fs(kind, servers);
+                let spec = TreeSpec::new(1, readdir_entries);
+                run_setup(&mut *fs, &gen_setup(&spec)).expect("setup");
+                prepare_phase(&mut *fs, &spec, PhaseKind::FileStat); // creates files
+                fs.advance_clock(loco_bench::PHASE_GAP);
+                let reads = TreeSpec::new(1, 20);
+                let ops = &gen_phase(&reads, PhaseKind::Readdir)[0];
+                run_latency(&mut *fs, ops).stats.mean()
+            } else {
+                let mut fs = make_fs(kind, servers);
+                let spec = TreeSpec::new(1, items);
+                run_setup(&mut *fs, &gen_setup(&spec)).expect("setup");
+                prepare_phase(&mut *fs, &spec, phase);
+                if phase.needs_files() {
+                    fs.advance_clock(loco_bench::PHASE_GAP);
+                }
+                let ops = &gen_phase(&spec, phase)[0];
+                run_latency(&mut *fs, ops).stats.mean()
+            };
+            row.push(mean);
+        }
+        means.push(row);
+    }
+
+    let loco = means[0].clone(); // LocoFS-C is first in COMPARED
+    let mut t = Table::new(
+        std::iter::once("system".to_string())
+            .chain(phases.iter().map(|p| p.label().to_string()))
+            .collect::<Vec<_>>(),
+    );
+    for (kind, row) in FsKind::COMPARED.iter().zip(&means) {
+        let mut cells = vec![kind.label().to_string()];
+        for (v, base) in row.iter().zip(&loco) {
+            cells.push(fmt(v / base));
+        }
+        t.row(cells);
+    }
+    t.print(&format!(
+        "Fig 7: latency / LocoFS-C @16 MDS  [items = {items}, readdir dir = {readdir_entries} entries]"
+    ));
+}

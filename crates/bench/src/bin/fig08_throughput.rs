@@ -1,0 +1,45 @@
+//! Fig 8 — closed-loop throughput of touch, mkdir, rm, rmdir,
+//! file-stat and dir-stat while scaling metadata servers 1→16.
+//!
+//! Paper shape: LocoFS-C ≈100 K create IOPS at one server, scaling with
+//! FMS count (touch ≈2.8× LocoFS-NC at 16 servers); mkdir flat for
+//! LocoFS (single DMS) but scaling for Lustre; rmdir anti-scales for
+//! LocoFS (checks every FMS); CephFS wins the stat phases via client
+//! caching.
+
+use loco_bench::{env_scale, measure_throughput, paper_clients, FsKind, Table};
+use loco_mdtest::PhaseKind;
+
+fn main() {
+    let items = env_scale("LOCO_TP_ITEMS", 60);
+    let servers = [1u16, 2, 4, 8, 16];
+    let phases = [
+        PhaseKind::FileCreate,
+        PhaseKind::DirCreate,
+        PhaseKind::FileRemove,
+        PhaseKind::DirRemove,
+        PhaseKind::FileStat,
+        PhaseKind::DirStat,
+    ];
+
+    for phase in phases {
+        let mut t = Table::new(
+            std::iter::once("system".to_string())
+                .chain(servers.iter().map(|s| format!("{s} MDS")))
+                .collect::<Vec<_>>(),
+        );
+        for kind in FsKind::COMPARED {
+            let mut cells = vec![kind.label().to_string()];
+            for &n in &servers {
+                let clients = paper_clients(n);
+                let iops = measure_throughput(kind, n, phase, clients, items);
+                cells.push(format!("{:.0}", iops));
+            }
+            t.row(cells);
+        }
+        t.print(&format!(
+            "Fig 8 ({}): aggregate IOPS  [items/client = {items}, clients = Table 3]",
+            phase.label()
+        ));
+    }
+}

@@ -1,0 +1,41 @@
+//! Fig 9 — bridging the gap: metadata throughput as a percentage of the
+//! single-node raw KV store, for LocoFS and the baselines, 1–16
+//! metadata servers.
+//!
+//! Paper shape: LocoFS reaches ≈38 % of Kyoto Cabinet with ONE metadata
+//! server and ≈100 % with 16 (peak ≈280 K IOPS); at 8 servers it is ≈5×
+//! its single-server throughput and ≈93 % of the KV store, vs 18 % for
+//! IndexFS; CephFS/Gluster/Lustre stay far below throughout.
+
+use loco_bench::{env_scale, fmt, measure_throughput, paper_clients, FsKind, Table};
+use loco_mdtest::PhaseKind;
+
+fn main() {
+    let items = env_scale("LOCO_TP_ITEMS", 60);
+    let servers = [1u16, 2, 4, 8, 16];
+
+    let kv_iops = measure_throughput(FsKind::RawKv, 1, PhaseKind::FileCreate, 30, items * 4);
+    println!("single-node KV store: {kv_iops:.0} create IOPS (100% bar)");
+
+    let mut t = Table::new(
+        std::iter::once("system".to_string())
+            .chain(servers.iter().map(|s| format!("{s} srv")))
+            .collect::<Vec<_>>(),
+    );
+    for kind in [
+        FsKind::LocoC,
+        FsKind::IndexFs,
+        FsKind::LustreD1,
+        FsKind::Ceph,
+        FsKind::Gluster,
+    ] {
+        let mut cells = vec![kind.label().to_string()];
+        for &n in &servers {
+            let iops =
+                measure_throughput(kind, n, PhaseKind::FileCreate, paper_clients(n), items);
+            cells.push(format!("{}%", fmt(100.0 * iops / kv_iops)));
+        }
+        t.row(cells);
+    }
+    t.print("Fig 9: create throughput as % of single-node KV");
+}

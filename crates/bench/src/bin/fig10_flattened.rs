@@ -1,0 +1,61 @@
+//! Fig 10 — effect of the flattened directory tree: single-server
+//! latency with the client co-located with its metadata server
+//! (RTT = 0), isolating software overhead.
+//!
+//! Paper shape: LocoFS lowest for mkdir/rmdir/touch/rm; IndexFS beats
+//! CephFS/Gluster (KV storage helps) but trails LocoFS (coupled
+//! organization); without the network, the LocoFS gap *grows* (≈1/27 of
+//! CephFS vs ≈1/6 with the network) because the baselines are
+//! software-bound.
+
+use loco_bench::{env_scale, fmt, measure_latency, FsKind, Table};
+use loco_mdtest::PhaseKind;
+
+fn main() {
+    let items = env_scale("LOCO_ITEMS", 2_000);
+    let phases = [
+        PhaseKind::DirCreate,
+        PhaseKind::DirRemove,
+        PhaseKind::FileCreate,
+        PhaseKind::FileRemove,
+    ];
+    let systems = [
+        FsKind::LocoC,
+        FsKind::IndexFs,
+        FsKind::LustreD1,
+        FsKind::Ceph,
+        FsKind::Gluster,
+    ];
+
+    let mut t = Table::new(
+        std::iter::once("system".to_string())
+            .chain(phases.iter().map(|p| format!("{} (µs)", p.label())))
+            .collect::<Vec<_>>(),
+    );
+    let mut loco_touch = 0.0;
+    let mut ceph_touch = 0.0;
+    for kind in systems {
+        let mut cells = vec![kind.label().to_string()];
+        for phase in phases {
+            let run = measure_latency(kind, 1, phase, items, Some(0));
+            let us = run.mean_us();
+            if phase == PhaseKind::FileCreate {
+                if kind == FsKind::LocoC {
+                    loco_touch = us;
+                }
+                if kind == FsKind::Ceph {
+                    ceph_touch = us;
+                }
+            }
+            cells.push(fmt(us));
+        }
+        t.row(cells);
+    }
+    t.print(&format!(
+        "Fig 10: co-located (RTT=0) latency, single server  [items = {items}]"
+    ));
+    println!(
+        "LocoFS touch = 1/{} of CephFS (paper: ≈1/27 co-located vs ≈1/6 networked)",
+        fmt(ceph_touch / loco_touch)
+    );
+}

@@ -1,0 +1,30 @@
+//! Table 1 — which metadata parts each filesystem operation reads or
+//! updates in the decoupled design. Printed from the same data the
+//! conformance tests enforce (`loco_types::op_matrix`).
+
+use loco_bench::Table;
+use loco_types::op_matrix::{optional_parts, parts_touched, MetaPart, OpKind};
+
+fn cell(op: OpKind, part: MetaPart) -> String {
+    if parts_touched(op).contains(&part) {
+        "●".to_string()
+    } else if optional_parts(op).contains(&part) {
+        "○".to_string()
+    } else {
+        "".to_string()
+    }
+}
+
+fn main() {
+    let mut t = Table::new(vec!["operation", "dir", "access", "content", "dirent"]);
+    for op in OpKind::ALL {
+        t.row(vec![
+            op.name().to_string(),
+            cell(op, MetaPart::DirInode),
+            cell(op, MetaPart::FileAccess),
+            cell(op, MetaPart::FileContent),
+            cell(op, MetaPart::DirentList),
+        ]);
+    }
+    t.print("Table 1: metadata parts accessed per operation (● required, ○ optional)");
+}

@@ -1,0 +1,51 @@
+//! Table 3 — the optimal number of closed-loop clients per
+//! (filesystem, server-count) pair, found by the paper's procedure:
+//! add clients in steps of 10 until throughput stops improving.
+//!
+//! Paper shape: optima grow with server count (LocoFS 30 → 144 over
+//! 1 → 16 servers); CephFS/Gluster saturate with fewer clients than
+//! LocoFS/Lustre because their per-op server cost is higher.
+
+use loco_bench::{env_scale, make_fs, FsKind, Table};
+use loco_mdtest::{collect_traces, gen_phase, gen_setup, optimal_clients, run_setup, PhaseKind, TreeSpec};
+use loco_sim::des::ClosedLoopSim;
+
+fn main() {
+    let items = env_scale("LOCO_TP_ITEMS", 40);
+    let max_clients = env_scale("LOCO_MAX_CLIENTS", 160);
+    let servers = [1u16, 2, 4, 8, 16];
+    let systems = [
+        FsKind::LocoNC,
+        FsKind::LocoC,
+        FsKind::Ceph,
+        FsKind::Gluster,
+        FsKind::LustreD1,
+        FsKind::LustreD2,
+    ];
+
+    let mut t = Table::new(
+        std::iter::once("system".to_string())
+            .chain(servers.iter().map(|s| format!("{s} srv")))
+            .collect::<Vec<_>>(),
+    );
+    for kind in systems {
+        let mut cells = vec![kind.label().to_string()];
+        for &n in &servers {
+            let mut fs = make_fs(kind, n);
+            let spec = TreeSpec::new(max_clients, items);
+            run_setup(&mut *fs, &gen_setup(&spec)).expect("setup");
+            let phase = gen_phase(&spec, PhaseKind::FileCreate);
+            let traces = collect_traces(&mut *fs, &phase);
+            let sim = ClosedLoopSim {
+                rtt: fs.rtt(),
+                ..Default::default()
+            };
+            let (best, iops) = optimal_clients(&traces, 10, &sim);
+            cells.push(format!("{best} ({:.0}K)", iops / 1000.0));
+        }
+        t.row(cells);
+    }
+    t.print(&format!(
+        "Table 3: optimal client count (and IOPS at optimum)  [max clients = {max_clients}]"
+    ));
+}

@@ -1,0 +1,184 @@
+//! Client directory-metadata cache (§3.2.2).
+//!
+//! Caches **directory inodes only** — never file inodes or dirent lists
+//! — under a lease (30 s by default). The paper sizes d-inodes at 256 B
+//! and argues a client touches a bounded set of directories, so the
+//! cache stays small; we additionally enforce a capacity with FIFO-ish
+//! eviction as a safety net.
+//!
+//! Time is the client's *virtual* clock: leases expire as simulated
+//! time advances, reproducing the paper's observation that the strict
+//! lease causes d-inode cache misses for stat-heavy workloads (§4.2.2
+//! obs. 4).
+
+use loco_sim::time::Nanos;
+use loco_types::DirInode;
+use std::collections::HashMap;
+
+/// Lease-based d-inode cache keyed by full path.
+#[derive(Debug)]
+pub struct DirCache {
+    entries: HashMap<String, (DirInode, Nanos)>,
+    lease: Nanos,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl DirCache {
+    /// Create a new instance with default settings.
+    pub fn new(lease: Nanos, capacity: usize) -> Self {
+        Self {
+            entries: HashMap::new(),
+            lease,
+            capacity,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Look up a d-inode; returns it only while its lease is valid.
+    pub fn get(&mut self, path: &str, now: Nanos) -> Option<DirInode> {
+        match self.entries.get(path) {
+            Some((inode, expiry)) if *expiry > now => {
+                self.hits += 1;
+                Some(*inode)
+            }
+            Some(_) => {
+                self.entries.remove(path);
+                self.misses += 1;
+                None
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert/refresh a d-inode with a fresh lease.
+    pub fn put(&mut self, path: &str, inode: DirInode, now: Nanos) {
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(path) {
+            // Capacity safety net: drop expired entries first, then an
+            // arbitrary one (bounded client memory, §3.2.2).
+            let expired: Vec<String> = self
+                .entries
+                .iter()
+                .filter(|(_, (_, exp))| *exp <= now)
+                .map(|(k, _)| k.clone())
+                .collect();
+            for k in expired {
+                self.entries.remove(&k);
+            }
+            if self.entries.len() >= self.capacity {
+                if let Some(k) = self.entries.keys().next().cloned() {
+                    self.entries.remove(&k);
+                }
+            }
+        }
+        self.entries.insert(path.to_string(), (inode, now + self.lease));
+    }
+
+    /// Drop one path (rmdir, failed lookups).
+    pub fn invalidate(&mut self, path: &str) {
+        self.entries.remove(path);
+    }
+
+    /// Drop a path and everything beneath it (directory rename).
+    pub fn invalidate_subtree(&mut self, path: &str) {
+        self.entries
+            .retain(|k, _| !loco_types::path::is_same_or_descendant(k, path));
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether there are no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// (hits, misses) counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loco_sim::time::SECS;
+    use loco_types::Uuid;
+
+    fn inode(fid: u64) -> DirInode {
+        DirInode::new(Uuid::new(0, fid), 0o755, 1, 1, 0)
+    }
+
+    fn cache() -> DirCache {
+        DirCache::new(30 * SECS, 1024)
+    }
+
+    #[test]
+    fn hit_within_lease() {
+        let mut c = cache();
+        c.put("/a", inode(1), 0);
+        assert_eq!(c.get("/a", 29 * SECS).unwrap().uuid, Uuid::new(0, 1));
+        let (h, m) = c.stats();
+        assert_eq!((h, m), (1, 0));
+    }
+
+    #[test]
+    fn miss_after_lease_expiry() {
+        let mut c = cache();
+        c.put("/a", inode(1), 0);
+        assert!(c.get("/a", 30 * SECS).is_none());
+        assert!(c.is_empty(), "expired entry evicted");
+        let (h, m) = c.stats();
+        assert_eq!((h, m), (0, 1));
+    }
+
+    #[test]
+    fn refresh_extends_lease() {
+        let mut c = cache();
+        c.put("/a", inode(1), 0);
+        c.put("/a", inode(1), 20 * SECS);
+        assert!(c.get("/a", 45 * SECS).is_some());
+    }
+
+    #[test]
+    fn invalidate_single_and_subtree() {
+        let mut c = cache();
+        for p in ["/a", "/a/b", "/a/b/c", "/ab", "/z"] {
+            c.put(p, inode(1), 0);
+        }
+        c.invalidate("/z");
+        assert!(c.get("/z", 1).is_none());
+        c.invalidate_subtree("/a");
+        assert!(c.get("/a", 1).is_none());
+        assert!(c.get("/a/b/c", 1).is_none());
+        // Sibling sharing the string prefix survives.
+        assert!(c.get("/ab", 1).is_some());
+    }
+
+    #[test]
+    fn capacity_is_bounded() {
+        let mut c = DirCache::new(30 * SECS, 8);
+        for i in 0..100 {
+            c.put(&format!("/d{i}"), inode(i), 0);
+        }
+        assert!(c.len() <= 8);
+    }
+
+    #[test]
+    fn eviction_prefers_expired_entries() {
+        let mut c = DirCache::new(10 * SECS, 2);
+        c.put("/old", inode(1), 0);
+        c.put("/fresh", inode(2), 15 * SECS);
+        // Inserting at t=15 s: /old (expired at 10 s) must be the victim.
+        c.put("/new", inode(3), 15 * SECS);
+        assert!(c.get("/fresh", 16 * SECS).is_some());
+        assert!(c.get("/new", 16 * SECS).is_some());
+    }
+}

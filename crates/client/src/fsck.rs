@@ -1,0 +1,327 @@
+//! fsck — namespace consistency checking and reconstruction.
+//!
+//! The flattened directory tree stores *backward* indices: each inode
+//! carries its own dirent, and the per-directory dirent lists are
+//! derived data. That is the ReconFS idea the paper builds on (§5:
+//! "ReconFS redesigns the namespace management … and makes it
+//! reconstructable"), and it makes LocoFS unusually repair-friendly:
+//! **every dirent list can be rebuilt from the primary inode records
+//! alone** — d-inode full-path keys encode the directory tree, and FMS
+//! record keys encode each file's parent uuid and name.
+//!
+//! [`fsck`] verifies four invariants; [`fsck_repair`] reconstructs the
+//! dirent lists from primary records:
+//!
+//! 1. every subdirectory dirent on the DMS names an existing d-inode
+//!    (and vice versa: every non-root d-inode appears in its parent's
+//!    list);
+//! 2. every d-inode's parent path exists;
+//! 3. every file dirent on each FMS has a backing metadata record, and
+//!    every record has a dirent;
+//! 4. every file's `directory_uuid` refers to a live directory
+//!    (otherwise the file is an orphan, unreachable by any path).
+
+use crate::LocoCluster;
+use loco_types::{basename, parent, DirentKind, DirentList, Uuid};
+use std::collections::{HashMap, HashSet};
+
+/// Findings of a consistency pass.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FsckReport {
+    /// Directories inspected.
+    pub directories: usize,
+    /// Files inspected.
+    pub files: usize,
+    /// Subdirectory dirents pointing at missing d-inodes.
+    pub dangling_dir_dirents: Vec<String>,
+    /// d-inodes missing from their parent's dirent list.
+    pub unlisted_dirs: Vec<String>,
+    /// d-inodes whose parent path does not exist.
+    pub detached_dirs: Vec<String>,
+    /// File dirents without a backing metadata record (per FMS).
+    pub dangling_file_dirents: Vec<String>,
+    /// File records missing from their server's dirent list.
+    pub unlisted_files: Vec<String>,
+    /// Files whose directory uuid has no live d-inode.
+    pub orphan_files: Vec<String>,
+}
+
+impl FsckReport {
+    /// No inconsistencies found?
+    pub fn is_clean(&self) -> bool {
+        self.dangling_dir_dirents.is_empty()
+            && self.unlisted_dirs.is_empty()
+            && self.detached_dirs.is_empty()
+            && self.dangling_file_dirents.is_empty()
+            && self.unlisted_files.is_empty()
+            && self.orphan_files.is_empty()
+    }
+
+    /// Total number of findings.
+    pub fn findings(&self) -> usize {
+        self.dangling_dir_dirents.len()
+            + self.unlisted_dirs.len()
+            + self.detached_dirs.len()
+            + self.dangling_file_dirents.len()
+            + self.unlisted_files.len()
+            + self.orphan_files.len()
+    }
+}
+
+/// Run a read-only consistency pass over the whole metadata tier.
+pub fn fsck(cluster: &LocoCluster) -> FsckReport {
+    let mut report = FsckReport::default();
+
+    // --- gather DMS state (shard 0 holds everything in the paper's
+    // design; the sharded ablation is out of scope for fsck) ---
+    let dirs: Vec<(String, loco_types::DirInode)> =
+        cluster.dms[0].with_service(|s| s.export_dirs());
+    let dms_lists: Vec<(Uuid, DirentList)> =
+        cluster.dms[0].with_service(|s| s.export_dirent_lists());
+    report.directories = dirs.len();
+
+    let by_path: HashMap<&str, &loco_types::DirInode> =
+        dirs.iter().map(|(p, i)| (p.as_str(), i)).collect();
+    let live_uuids: HashSet<Uuid> = dirs.iter().map(|(_, i)| i.uuid).collect();
+    let uuid_to_path: HashMap<Uuid, &str> =
+        dirs.iter().map(|(p, i)| (i.uuid, p.as_str())).collect();
+
+    // Invariant 1a: every subdir dirent points at a real d-inode.
+    for (dir_uuid, list) in &dms_lists {
+        let Some(dir_path) = uuid_to_path.get(dir_uuid) else {
+            continue; // list for a removed dir; harmless garbage
+        };
+        for e in list.entries() {
+            let child = loco_types::join(dir_path, &e.name);
+            match by_path.get(child.as_str()) {
+                Some(inode) if inode.uuid == e.uuid => {}
+                _ => report.dangling_dir_dirents.push(child),
+            }
+        }
+    }
+
+    // Invariants 1b + 2: every non-root dir is listed by its parent,
+    // and its parent exists.
+    let lists_by_uuid: HashMap<Uuid, &DirentList> =
+        dms_lists.iter().map(|(u, l)| (*u, l)).collect();
+    for (path, inode) in &dirs {
+        let Some(parent_path) = parent(path) else {
+            continue; // root
+        };
+        let Some(parent_inode) = by_path.get(parent_path) else {
+            report.detached_dirs.push(path.clone());
+            continue;
+        };
+        let listed = lists_by_uuid
+            .get(&parent_inode.uuid)
+            .and_then(|l| l.find(basename(path)))
+            .map(|e| e.uuid == inode.uuid)
+            .unwrap_or(false);
+        if !listed {
+            report.unlisted_dirs.push(path.clone());
+        }
+    }
+
+    // --- per-FMS checks ---
+    for fms in &cluster.fms {
+        let files: Vec<(Uuid, String, Uuid)> = fms.with_service(|s| s.export_files());
+        let lists: Vec<(Uuid, DirentList)> = fms.with_service(|s| s.export_dirent_lists());
+        report.files += files.len();
+
+        let record_names: HashSet<(Uuid, &str)> =
+            files.iter().map(|(d, n, _)| (*d, n.as_str())).collect();
+        // Invariant 3a: dirents → records.
+        for (dir_uuid, list) in &lists {
+            for e in list.entries() {
+                if e.kind == DirentKind::File
+                    && !record_names.contains(&(*dir_uuid, e.name.as_str()))
+                {
+                    report
+                        .dangling_file_dirents
+                        .push(format!("{dir_uuid}:{}", e.name));
+                }
+            }
+        }
+        // Invariant 3b: records → dirents; invariant 4: live parent.
+        let lists_by_uuid: HashMap<Uuid, &DirentList> =
+            lists.iter().map(|(u, l)| (*u, l)).collect();
+        for (dir_uuid, name, _) in &files {
+            let listed = lists_by_uuid
+                .get(dir_uuid)
+                .and_then(|l| l.find(name))
+                .is_some();
+            if !listed {
+                report.unlisted_files.push(format!("{dir_uuid}:{name}"));
+            }
+            if !live_uuids.contains(dir_uuid) {
+                report.orphan_files.push(format!("{dir_uuid}:{name}"));
+            }
+        }
+    }
+    report
+}
+
+/// Reconstruct every dirent list from the primary inode records — the
+/// backward-index rebuild the flattened-tree design makes possible.
+/// Returns the number of lists rewritten.
+pub fn fsck_repair(cluster: &LocoCluster) -> usize {
+    let mut rewritten = 0;
+
+    // DMS: rebuild subdir lists from d-inode paths.
+    let dirs: Vec<(String, loco_types::DirInode)> =
+        cluster.dms[0].with_service(|s| s.export_dirs());
+    let by_path: HashMap<&str, Uuid> =
+        dirs.iter().map(|(p, i)| (p.as_str(), i.uuid)).collect();
+    let mut rebuilt: HashMap<Uuid, DirentList> =
+        dirs.iter().map(|(_, i)| (i.uuid, DirentList::new())).collect();
+    for (path, inode) in &dirs {
+        let Some(parent_path) = parent(path) else {
+            continue;
+        };
+        if let Some(parent_uuid) = by_path.get(parent_path) {
+            rebuilt
+                .get_mut(parent_uuid)
+                .expect("all uuids present")
+                .upsert(basename(path), inode.uuid, DirentKind::Dir);
+        }
+    }
+    for (uuid, list) in &rebuilt {
+        cluster.dms[0].with_service(|s| s.repair_dirent_list(*uuid, list));
+        rewritten += 1;
+    }
+
+    // FMS: rebuild per-server file lists from record keys.
+    for fms in &cluster.fms {
+        let files: Vec<(Uuid, String, Uuid)> = fms.with_service(|s| s.export_files());
+        let mut rebuilt: HashMap<Uuid, DirentList> = HashMap::new();
+        for (dir_uuid, name, uuid) in &files {
+            rebuilt
+                .entry(*dir_uuid)
+                .or_default()
+                .upsert(name, *uuid, DirentKind::File);
+        }
+        // Also clear lists for directories that no longer have files on
+        // this server.
+        let existing: Vec<(Uuid, DirentList)> = fms.with_service(|s| s.export_dirent_lists());
+        for (uuid, _) in existing {
+            rebuilt.entry(uuid).or_default();
+        }
+        for (uuid, list) in &rebuilt {
+            fms.with_service(|s| s.repair_dirent_list(*uuid, list));
+            rewritten += 1;
+        }
+    }
+    rewritten
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LocoConfig;
+
+    fn populated() -> LocoCluster {
+        let cluster = LocoCluster::new(LocoConfig::with_servers(4));
+        let mut fs = cluster.client();
+        fs.mkdir("/a", 0o755).unwrap();
+        fs.mkdir("/a/b", 0o755).unwrap();
+        fs.mkdir("/c", 0o755).unwrap();
+        for i in 0..12 {
+            fs.create(&format!("/a/f{i}"), 0o644).unwrap();
+            fs.create(&format!("/a/b/g{i}"), 0o644).unwrap();
+        }
+        cluster
+    }
+
+    #[test]
+    fn healthy_namespace_is_clean() {
+        let cluster = populated();
+        let report = fsck(&cluster);
+        assert!(report.is_clean(), "{report:#?}");
+        assert_eq!(report.directories, 4); // root, /a, /a/b, /c
+        assert_eq!(report.files, 24);
+    }
+
+    #[test]
+    fn detects_and_repairs_lost_dms_dirent_list() {
+        let cluster = populated();
+        let mut fs = cluster.client();
+        let a = fs.stat_dir("/a").unwrap();
+        // Corruption: the subdir dirent list of /a vanishes.
+        cluster.dms[0].with_service(|s| s.drop_dirent_list(a.uuid));
+        let report = fsck(&cluster);
+        assert!(!report.is_clean());
+        assert!(report.unlisted_dirs.contains(&"/a/b".to_string()), "{report:#?}");
+
+        fsck_repair(&cluster);
+        let report = fsck(&cluster);
+        assert!(report.is_clean(), "{report:#?}");
+        // And the namespace actually works again.
+        let entries = fs.readdir("/a").unwrap();
+        assert_eq!(entries.len(), 13); // b + 12 files
+    }
+
+    #[test]
+    fn detects_and_repairs_lost_fms_dirent_list() {
+        let cluster = populated();
+        let mut fs = cluster.client();
+        let a = fs.stat_dir("/a").unwrap();
+        for f in &cluster.fms {
+            f.with_service(|s| s.drop_dirent_list(a.uuid));
+        }
+        let report = fsck(&cluster);
+        assert!(!report.is_clean());
+        assert_eq!(report.unlisted_files.len(), 12, "{report:#?}");
+        // readdir is now missing the files…
+        assert_eq!(fs.readdir("/a").unwrap().len(), 1);
+
+        fsck_repair(&cluster);
+        assert!(fsck(&cluster).is_clean());
+        // …and reconstruction brings them back, with uuids intact.
+        assert_eq!(fs.readdir("/a").unwrap().len(), 13);
+        assert!(fs.stat_file("/a/f3").is_ok());
+    }
+
+    #[test]
+    fn detects_orphan_files() {
+        let cluster = populated();
+        let mut fs = cluster.client();
+        // Create a file, then force-remove its directory behind the
+        // client's back (leaving the file's records in place).
+        fs.mkdir("/doomed", 0o755).unwrap();
+        fs.create("/doomed/survivor", 0o644).unwrap();
+        cluster.dms[0].with_service(|s| {
+            let doomed = s.lookup("/doomed").unwrap();
+            s.drop_dirent_list(doomed.uuid);
+        });
+        // Delete the d-inode record itself via a rename trick is not
+        // possible; use the export/repair surface: rebuild the DMS
+        // without /doomed by dropping it through the raw handler.
+        cluster.dms[0].with_service(|s| {
+            use loco_dms::DmsRequest;
+            use loco_net::Service;
+            s.handle(DmsRequest::RmdirLocal {
+                path: "/doomed".into(),
+            });
+        });
+        let report = fsck(&cluster);
+        assert_eq!(report.orphan_files.len(), 1, "{report:#?}");
+        assert!(report.orphan_files[0].ends_with(":survivor"));
+    }
+
+    #[test]
+    fn detects_dangling_dir_dirent() {
+        let cluster = populated();
+        // Corruption: /c listed under root but its d-inode vanishes.
+        cluster.dms[0].with_service(|s| {
+            use loco_dms::DmsRequest;
+            use loco_net::Service;
+            s.handle(DmsRequest::RmdirLocal { path: "/c".into() });
+        });
+        let report = fsck(&cluster);
+        assert!(report
+            .dangling_dir_dirents
+            .contains(&"/c".to_string()), "{report:#?}");
+        fsck_repair(&cluster);
+        assert!(fsck(&cluster).is_clean());
+    }
+}

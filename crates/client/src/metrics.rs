@@ -1,0 +1,165 @@
+//! Cluster observability: aggregate per-server statistics into a
+//! printable report (the `loco-admin`-style view an operator would use
+//! to see load balance across the metadata tier).
+
+use crate::LocoCluster;
+use loco_kv::AccessStats;
+use std::fmt;
+
+/// Per-server row of a [`ClusterReport`].
+#[derive(Clone, Debug)]
+pub struct ServerStats {
+    /// Server role label (DMS/FMS).
+    pub role: &'static str,
+    /// Server index within its role.
+    pub index: u16,
+    /// KV access counters of the backing store.
+    pub kv: AccessStats,
+}
+
+impl ServerStats {
+    /// Total KV operations on this server.
+    pub fn total_ops(&self) -> u64 {
+        self.kv.total()
+    }
+}
+
+/// Snapshot of cluster-wide KV activity.
+#[derive(Clone, Debug)]
+pub struct ClusterReport {
+    /// Per-server statistics rows.
+    pub servers: Vec<ServerStats>,
+}
+
+impl ClusterReport {
+    /// Gather statistics from every metadata server.
+    pub fn collect(cluster: &LocoCluster) -> Self {
+        let mut servers = Vec::new();
+        for (i, d) in cluster.dms.iter().enumerate() {
+            servers.push(ServerStats {
+                role: "DMS",
+                index: i as u16,
+                kv: d.with_service(|s| s.kv_stats()),
+            });
+        }
+        for (i, f) in cluster.fms.iter().enumerate() {
+            servers.push(ServerStats {
+                role: "FMS",
+                index: i as u16,
+                kv: f.with_service(|s| s.kv_stats()),
+            });
+        }
+        Self { servers }
+    }
+
+    /// Reset every server's counters (benchmark phase boundaries).
+    pub fn reset(cluster: &LocoCluster) {
+        for d in &cluster.dms {
+            d.with_service(|s| s.reset_kv_stats());
+        }
+        for f in &cluster.fms {
+            f.with_service(|s| s.reset_kv_stats());
+        }
+    }
+
+    /// Total KV operations across the cluster.
+    pub fn total_ops(&self) -> u64 {
+        self.servers.iter().map(|s| s.total_ops()).sum()
+    }
+
+    /// Load imbalance across the FMS tier: max/mean of per-server op
+    /// counts (1.0 = perfectly balanced). Returns `None` with fewer
+    /// than two FMS.
+    pub fn fms_imbalance(&self) -> Option<f64> {
+        let fms: Vec<u64> = self
+            .servers
+            .iter()
+            .filter(|s| s.role == "FMS")
+            .map(|s| s.total_ops())
+            .collect();
+        if fms.len() < 2 {
+            return None;
+        }
+        let mean = fms.iter().sum::<u64>() as f64 / fms.len() as f64;
+        if mean == 0.0 {
+            return Some(1.0);
+        }
+        Some(*fms.iter().max().unwrap() as f64 / mean)
+    }
+}
+
+impl fmt::Display for ClusterReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<5} {:>3} {:>10} {:>10} {:>9} {:>7} {:>9} {:>9}",
+            "role", "idx", "gets", "puts", "deletes", "scans", "pr-reads", "pr-writes"
+        )?;
+        for s in &self.servers {
+            writeln!(
+                f,
+                "{:<5} {:>3} {:>10} {:>10} {:>9} {:>7} {:>9} {:>9}",
+                s.role,
+                s.index,
+                s.kv.gets,
+                s.kv.puts,
+                s.kv.deletes,
+                s.kv.scans,
+                s.kv.partial_reads,
+                s.kv.partial_writes
+            )?;
+        }
+        if let Some(im) = self.fms_imbalance() {
+            writeln!(f, "FMS load imbalance (max/mean): {im:.2}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LocoConfig;
+
+    #[test]
+    fn collects_per_server_activity() {
+        let cluster = LocoCluster::new(LocoConfig::with_servers(4));
+        let mut fs = cluster.client();
+        fs.mkdir("/d", 0o755).unwrap();
+        for i in 0..40 {
+            fs.create(&format!("/d/f{i}"), 0o644).unwrap();
+        }
+        let report = ClusterReport::collect(&cluster);
+        assert_eq!(report.servers.len(), 5); // 1 DMS + 4 FMS
+        assert!(report.total_ops() > 40);
+        let dms_ops = report.servers[0].total_ops();
+        assert!(dms_ops >= 2, "mkdir + resolve hit the DMS");
+        // Every FMS saw some creates (balance).
+        for s in report.servers.iter().filter(|s| s.role == "FMS") {
+            assert!(s.kv.puts > 0, "server {} idle", s.index);
+        }
+        let im = report.fms_imbalance().unwrap();
+        assert!(im < 3.0, "imbalance = {im}");
+    }
+
+    #[test]
+    fn reset_clears_counters() {
+        let cluster = LocoCluster::new(LocoConfig::with_servers(2));
+        let mut fs = cluster.client();
+        fs.mkdir("/d", 0o755).unwrap();
+        ClusterReport::reset(&cluster);
+        let report = ClusterReport::collect(&cluster);
+        assert_eq!(report.total_ops(), 0);
+    }
+
+    #[test]
+    fn display_renders_rows() {
+        let cluster = LocoCluster::new(LocoConfig::with_servers(2));
+        let mut fs = cluster.client();
+        fs.mkdir("/d", 0o755).unwrap();
+        let text = ClusterReport::collect(&cluster).to_string();
+        assert!(text.contains("DMS"));
+        assert!(text.contains("FMS"));
+        assert!(text.lines().count() >= 4);
+    }
+}

@@ -1,0 +1,237 @@
+//! Hot-standby replication for the Directory Metadata Server.
+//!
+//! The paper's single-DMS design concentrates all directory metadata on
+//! one machine; its introduction notes that supercomputer sites keep
+//! metadata-server counts low partly to "guarantee reliability", but
+//! the paper itself leaves DMS fault tolerance open. This module is
+//! that extension: a primary/standby pair with **synchronous log
+//! shipping** —
+//!
+//! * every *mutation* (mkdir, rmdir, attr changes, rename, dirent
+//!   updates) is applied to the primary and, if it succeeded, forwarded
+//!   to the standby before the reply returns; the extra work and one
+//!   inter-server round trip are charged to the mutation's service
+//!   time;
+//! * *reads* are served by the primary alone at unchanged cost — the
+//!   common path (lookups, stats, ACL walks) keeps the paper's numbers;
+//! * on primary failure, [`ReplicatedDms::promote`] turns the standby
+//!   into a complete, up-to-date DMS.
+
+use crate::{DirServer, DmsBackend, DmsRequest, DmsResponse};
+use loco_kv::KvConfig;
+use loco_net::{Nanos, Service};
+use loco_sim::time::CostAcc;
+
+/// Is this request a namespace mutation that must be replicated?
+fn is_mutation(req: &DmsRequest) -> bool {
+    matches!(
+        req,
+        DmsRequest::Mkdir { .. }
+            | DmsRequest::Rmdir { .. }
+            | DmsRequest::SetDirAttr { .. }
+            | DmsRequest::RenameDir { .. }
+            | DmsRequest::MkdirLocal { .. }
+            | DmsRequest::RmdirLocal { .. }
+            | DmsRequest::AddDirent { .. }
+            | DmsRequest::RemoveDirent { .. }
+    )
+}
+
+fn succeeded(resp: &DmsResponse) -> bool {
+    match resp {
+        DmsResponse::Done(r) => r.is_ok(),
+        DmsResponse::Dir(r) => r.is_ok(),
+        DmsResponse::Dirents(r) => r.is_ok(),
+        DmsResponse::Bool(b) => *b,
+    }
+}
+
+/// A DMS with a synchronously-replicated hot standby.
+pub struct ReplicatedDms {
+    primary: DirServer,
+    standby: DirServer,
+    /// Inter-server round trip charged per replicated mutation
+    /// (primary → standby → ack). Defaults to the cluster RTT.
+    pub replication_rtt: Nanos,
+    extra: CostAcc,
+    mutations_replicated: u64,
+}
+
+impl ReplicatedDms {
+    /// Create a new instance with default settings.
+    pub fn new(backend: DmsBackend, cfg: KvConfig, replication_rtt: Nanos) -> Self {
+        Self {
+            primary: DirServer::new(backend, cfg.clone()),
+            standby: DirServer::new(backend, cfg),
+            replication_rtt,
+            extra: CostAcc::new(),
+            mutations_replicated: 0,
+        }
+    }
+
+    /// Number of mutations shipped to the standby so far.
+    pub fn replicated(&self) -> u64 {
+        self.mutations_replicated
+    }
+
+    /// Failover: consume the pair, returning the standby as the new
+    /// primary (a complete replica of every acknowledged mutation).
+    pub fn promote(self) -> DirServer {
+        self.standby
+    }
+
+    /// Read access to the primary (tests).
+    pub fn primary_mut(&mut self) -> &mut DirServer {
+        &mut self.primary
+    }
+}
+
+impl Service for ReplicatedDms {
+    type Req = DmsRequest;
+    type Resp = DmsResponse;
+
+    fn handle(&mut self, req: DmsRequest) -> DmsResponse {
+        let replicate = is_mutation(&req);
+        let resp = if replicate {
+            let resp = self.primary.handle(req.clone());
+            if succeeded(&resp) {
+                // Synchronous log shipping: apply on the standby and
+                // charge its work plus the inter-server round trip.
+                let standby_resp = self.standby.handle(req);
+                debug_assert!(
+                    succeeded(&standby_resp),
+                    "standby diverged: {standby_resp:?}"
+                );
+                self.extra
+                    .charge(self.standby.take_cost() + self.replication_rtt);
+                self.mutations_replicated += 1;
+            }
+            resp
+        } else {
+            self.primary.handle(req)
+        };
+        resp
+    }
+
+    fn take_cost(&mut self) -> Nanos {
+        self.extra.take() + self.primary.take_cost()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loco_sim::time::MICROS;
+
+    fn replicated() -> ReplicatedDms {
+        ReplicatedDms::new(DmsBackend::BTree, KvConfig::default(), 174 * MICROS)
+    }
+
+    fn mkdir(r: &mut ReplicatedDms, path: &str) -> DmsResponse {
+        r.handle(DmsRequest::Mkdir {
+            path: path.into(),
+            mode: 0o755,
+            uid: 1,
+            gid: 1,
+            ts: 0,
+        })
+    }
+
+    #[test]
+    fn mutations_reach_the_standby() {
+        let mut r = replicated();
+        assert!(succeeded(&mkdir(&mut r, "/a")));
+        assert!(succeeded(&mkdir(&mut r, "/a/b")));
+        assert_eq!(r.replicated(), 2);
+        let mut standby = r.promote();
+        assert!(standby.lookup("/a/b").is_some());
+    }
+
+    #[test]
+    fn failed_mutations_are_not_replicated() {
+        let mut r = replicated();
+        mkdir(&mut r, "/a");
+        let resp = mkdir(&mut r, "/a"); // duplicate
+        assert!(!succeeded(&resp));
+        assert_eq!(r.replicated(), 1, "failed op must not ship");
+    }
+
+    #[test]
+    fn reads_cost_the_same_as_unreplicated() {
+        let mut r = replicated();
+        let mut plain = DirServer::new(DmsBackend::BTree, KvConfig::default());
+        mkdir(&mut r, "/a");
+        plain.handle(DmsRequest::Mkdir {
+            path: "/a".into(),
+            mode: 0o755,
+            uid: 1,
+            gid: 1,
+            ts: 0,
+        });
+        let _ = (r.take_cost(), plain.take_cost());
+        r.handle(DmsRequest::GetDir { path: "/a".into() });
+        plain.handle(DmsRequest::GetDir { path: "/a".into() });
+        assert_eq!(r.take_cost(), plain.take_cost(), "read path unchanged");
+    }
+
+    #[test]
+    fn mutations_pay_the_replication_rtt() {
+        let mut r = replicated();
+        let mut plain = DirServer::new(DmsBackend::BTree, KvConfig::default());
+        mkdir(&mut r, "/a");
+        plain.handle(DmsRequest::Mkdir {
+            path: "/a".into(),
+            mode: 0o755,
+            uid: 1,
+            gid: 1,
+            ts: 0,
+        });
+        let (c_repl, c_plain) = (r.take_cost(), plain.take_cost());
+        assert!(
+            c_repl >= c_plain + 174 * MICROS,
+            "replicated {c_repl} vs plain {c_plain}"
+        );
+    }
+
+    #[test]
+    fn promoted_standby_serves_renames_and_attrs() {
+        let mut r = replicated();
+        mkdir(&mut r, "/a");
+        mkdir(&mut r, "/a/deep");
+        r.handle(DmsRequest::SetDirAttr {
+            path: "/a".into(),
+            uid: 1,
+            gid: 1,
+            new_mode: Some(0o700),
+            new_owner: None,
+            ts: 5,
+        });
+        r.handle(DmsRequest::RenameDir {
+            old_path: "/a".into(),
+            new_path: "/z".into(),
+            uid: 1,
+            gid: 1,
+            ts: 6,
+        });
+        let mut standby = r.promote();
+        let z = standby.lookup("/z").unwrap();
+        assert_eq!(z.mode, 0o700);
+        assert!(standby.lookup("/z/deep").is_some());
+        assert!(standby.lookup("/a").is_none());
+    }
+
+    #[test]
+    fn standby_allocates_identical_uuids() {
+        // Deterministic uuid allocation on both replicas means a
+        // failover never changes any directory's uuid — file placement
+        // (dir_uuid + name) survives.
+        let mut r = replicated();
+        mkdir(&mut r, "/a");
+        mkdir(&mut r, "/b");
+        let a_primary = r.primary_mut().lookup("/a").unwrap().uuid;
+        let b_primary = r.primary_mut().lookup("/b").unwrap().uuid;
+        let mut standby = r.promote();
+        assert_eq!(standby.lookup("/a").unwrap().uuid, a_primary);
+        assert_eq!(standby.lookup("/b").unwrap().uuid, b_primary);
+    }
+}

@@ -1,0 +1,137 @@
+//! Bloom filters for LSM runs.
+//!
+//! LevelDB attaches a Bloom filter to each SSTable so point lookups can
+//! skip tables that cannot contain the key; our [`crate::LsmDb`] does
+//! the same per run. Standard double-hashing construction (Kirsch &
+//! Mitzenmacher): k probe positions derived from two 32-bit halves of
+//! one 64-bit hash.
+
+/// A fixed-size Bloom filter sized at build time for a target
+/// bits-per-key budget.
+#[derive(Clone, Debug)]
+pub struct BloomFilter {
+    bits: Vec<u64>,
+    num_bits: usize,
+    k: u32,
+}
+
+fn hash64(key: &[u8]) -> u64 {
+    // FNV-1a + splitmix finalizer (deterministic, well mixed).
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in key {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+impl BloomFilter {
+    /// Build for `n` expected keys at `bits_per_key` (LevelDB default: 10,
+    /// ≈1 % false-positive rate with k = 7).
+    pub fn with_capacity(n: usize, bits_per_key: usize) -> Self {
+        let num_bits = (n.max(1) * bits_per_key).max(64);
+        // Optimal k ≈ bits_per_key · ln 2.
+        let k = ((bits_per_key as f64 * 0.69) as u32).clamp(1, 30);
+        Self {
+            bits: vec![0u64; num_bits.div_ceil(64)],
+            num_bits,
+            k,
+        }
+    }
+
+    /// Number of hash probes per key.
+    pub fn probes(&self) -> u32 {
+        self.k
+    }
+
+    /// Size of the filter in bytes.
+    pub fn byte_size(&self) -> usize {
+        self.bits.len() * 8
+    }
+
+    /// Add a key to the filter.
+    pub fn insert(&mut self, key: &[u8]) {
+        let h = hash64(key);
+        let (h1, h2) = ((h >> 32) as u32, h as u32);
+        for i in 0..self.k {
+            let bit = (h1.wrapping_add(i.wrapping_mul(h2)) as usize) % self.num_bits;
+            self.bits[bit / 64] |= 1 << (bit % 64);
+        }
+    }
+
+    /// May return true for absent keys (false positive); never returns
+    /// false for present keys.
+    pub fn may_contain(&self, key: &[u8]) -> bool {
+        let h = hash64(key);
+        let (h1, h2) = ((h >> 32) as u32, h as u32);
+        for i in 0..self.k {
+            let bit = (h1.wrapping_add(i.wrapping_mul(h2)) as usize) % self.num_bits;
+            if self.bits[bit / 64] & (1 << (bit % 64)) == 0 {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn no_false_negatives_basic() {
+        let mut f = BloomFilter::with_capacity(1000, 10);
+        for i in 0..1000u32 {
+            f.insert(&i.to_be_bytes());
+        }
+        for i in 0..1000u32 {
+            assert!(f.may_contain(&i.to_be_bytes()));
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_is_low() {
+        let mut f = BloomFilter::with_capacity(10_000, 10);
+        for i in 0..10_000u32 {
+            f.insert(&i.to_be_bytes());
+        }
+        let fps = (10_000..110_000u32)
+            .filter(|i| f.may_contain(&i.to_be_bytes()))
+            .count();
+        let rate = fps as f64 / 100_000.0;
+        assert!(rate < 0.03, "false-positive rate = {rate}");
+    }
+
+    #[test]
+    fn empty_filter_rejects_everything() {
+        let f = BloomFilter::with_capacity(100, 10);
+        assert!(!f.may_contain(b"anything"));
+    }
+
+    #[test]
+    fn tiny_capacity_still_works() {
+        let mut f = BloomFilter::with_capacity(0, 10);
+        f.insert(b"x");
+        assert!(f.may_contain(b"x"));
+    }
+
+    proptest! {
+        /// The structural invariant: inserted keys are always reported.
+        #[test]
+        fn never_false_negative(keys in proptest::collection::hash_set(
+            proptest::collection::vec(any::<u8>(), 0..32), 1..500)) {
+            let mut f = BloomFilter::with_capacity(keys.len(), 10);
+            for k in &keys {
+                f.insert(k);
+            }
+            for k in &keys {
+                prop_assert!(f.may_contain(k));
+            }
+        }
+    }
+}

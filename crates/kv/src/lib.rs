@@ -1,0 +1,387 @@
+#![warn(missing_docs)]
+//! # loco-kv — key-value store substrate
+//!
+//! LocoFS stores all metadata in key-value stores (the paper uses Kyoto
+//! Cabinet for LocoFS itself and compares against LevelDB-backed
+//! systems). This crate provides three from-scratch stores behind one
+//! [`KvStore`] trait:
+//!
+//! * [`HashDb`] — a bucket-chained hash store (Kyoto Cabinet *hash DB*
+//!   analog). Point operations are O(1); **prefix scans require a full
+//!   table scan**, which is what makes directory rename expensive in
+//!   hash mode (paper Fig 14).
+//! * [`BTreeDb`] — a real B+ tree (Kyoto Cabinet *tree DB* analog) with
+//!   ordered iteration, cheap prefix scans and range extraction; this is
+//!   what the DMS uses to make directory rename a contiguous-range move
+//!   (paper §3.4.3).
+//! * [`LsmDb`] — a memtable-plus-sorted-runs store with compaction
+//!   (LevelDB analog) used by the IndexFS baseline model.
+//!
+//! Every store performs the real data-structure work *and* charges
+//! virtual time to an internal cost accumulator according to the
+//! calibrated [`CostModel`] plus a [`Device`] model; the RPC layer
+//! drains the accumulator to obtain handler service times.
+//!
+//! Stores are also configured with a [`CodecKind`]: `Varlen` stores pay
+//! per-byte (de)serialization on whole-value accesses (the overhead the
+//! paper identifies in §2.2.2), `Fixed` stores support cheap partial
+//! reads/writes via [`KvStore::read_at`]/[`KvStore::write_at`] (the
+//! "(de)serialization removal" of §3.3.3).
+
+pub mod bloom;
+pub mod btree;
+pub mod durable;
+pub mod hashdb;
+pub mod lsm;
+pub mod snapshot;
+
+pub use bloom::BloomFilter;
+pub use btree::BTreeDb;
+pub use durable::{DurableStore, SyncPolicy};
+pub use hashdb::HashDb;
+pub use lsm::LsmDb;
+
+pub use loco_sim::cost::{CodecKind, CostModel};
+pub use loco_sim::device::{Device, DeviceKind};
+use loco_sim::time::{CostAcc, Nanos};
+
+/// Operation counters, used by tests that assert *which* metadata records
+/// an FS operation touches (Table 1 conformance) and by benchmark
+/// reports.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AccessStats {
+    /// Whole-value reads.
+    pub gets: u64,
+    /// Whole-value writes (including appends).
+    pub puts: u64,
+    /// Record removals.
+    pub deletes: u64,
+    /// Prefix/range scans.
+    pub scans: u64,
+    /// Fixed-layout partial reads (`read_at`).
+    pub partial_reads: u64,
+    /// In-place partial writes (`write_at`).
+    pub partial_writes: u64,
+}
+
+impl AccessStats {
+    /// Total number of operations of any kind.
+    pub fn total(&self) -> u64 {
+        self.gets + self.puts + self.deletes + self.scans + self.partial_reads + self.partial_writes
+    }
+}
+
+/// Common interface over the three stores.
+///
+/// Keys and values are raw byte strings; the metadata layer (loco-types)
+/// defines their layout. All methods take `&mut self`: stores are owned
+/// by a single server and external synchronization (the server lock) is
+/// the concurrency boundary, mirroring how Kyoto Cabinet is used by the
+/// original system.
+pub trait KvStore: Send {
+    /// Read a whole value.
+    fn get(&mut self, key: &[u8]) -> Option<Vec<u8>>;
+
+    /// Insert or overwrite a whole value.
+    fn put(&mut self, key: &[u8], value: &[u8]);
+
+    /// Remove a record. Returns whether it existed.
+    fn delete(&mut self, key: &[u8]) -> bool;
+
+    /// Whether a record exists (charged like a point lookup).
+    fn contains(&mut self, key: &[u8]) -> bool;
+
+    /// Read `len` bytes at byte offset `off` of the value. On a
+    /// fixed-layout store this is a cheap field access; on a varlen
+    /// store it costs a full deserialization. Returns `None` if the key
+    /// is missing or the range is out of bounds.
+    fn read_at(&mut self, key: &[u8], off: usize, len: usize) -> Option<Vec<u8>>;
+
+    /// Overwrite `data.len()` bytes at byte offset `off` of the value
+    /// in place. Fails (returns false) if the key is missing or the
+    /// range exceeds the current value length — fixed-layout values
+    /// never grow.
+    fn write_at(&mut self, key: &[u8], off: usize, data: &[u8]) -> bool;
+
+    /// Append `data` to the value of `key`, creating the record if
+    /// missing. Charged proportionally to `data.len()` on stores that
+    /// support in-place extension (HashDb, BTreeDb — like Kyoto
+    /// Cabinet's `append`); LSM stores pay a full read-modify-write.
+    /// This is how per-directory dirent lists absorb O(1)-cost inserts.
+    fn append(&mut self, key: &[u8], data: &[u8]);
+
+    /// Return all records whose key starts with `prefix`, in key order.
+    fn scan_prefix(&mut self, prefix: &[u8]) -> Vec<(Vec<u8>, Vec<u8>)>;
+
+    /// Remove and return all records whose key starts with `prefix`, in
+    /// key order. This is the directory-rename primitive: the B+ tree
+    /// extracts a contiguous range; the hash store must scan everything.
+    fn extract_prefix(&mut self, prefix: &[u8]) -> Vec<(Vec<u8>, Vec<u8>)>;
+
+    /// Number of live records.
+    fn len(&self) -> usize;
+
+    /// Whether there are no entries.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether prefix scans are supported natively by ordered traversal
+    /// (`true` for [`BTreeDb`] and [`LsmDb`], `false` for [`HashDb`]).
+    fn ordered(&self) -> bool;
+
+    /// Drain the virtual cost accumulated since the last call.
+    fn take_cost(&mut self) -> Nanos;
+
+    /// Access-pattern counters since creation.
+    fn stats(&self) -> AccessStats;
+
+    /// Reset access counters (between benchmark phases).
+    fn reset_stats(&mut self);
+}
+
+/// Shared configuration for constructing any of the stores.
+#[derive(Clone, Debug)]
+pub struct KvConfig {
+    /// Virtual-cost model.
+    pub model: CostModel,
+    /// Storage-device model.
+    pub device: Device,
+    /// Value encoding (fixed layout vs varlen).
+    pub codec: CodecKind,
+}
+
+impl Default for KvConfig {
+    fn default() -> Self {
+        Self {
+            model: CostModel::default(),
+            device: Device::ram(),
+            codec: CodecKind::Fixed,
+        }
+    }
+}
+
+impl KvConfig {
+    /// Configuration with the fixed-layout codec (default).
+    pub fn fixed() -> Self {
+        Self::default()
+    }
+
+    /// Configuration with the varlen codec.
+    pub fn varlen() -> Self {
+        Self {
+            codec: CodecKind::Varlen,
+            ..Self::default()
+        }
+    }
+
+    /// Override the device model.
+    pub fn with_device(mut self, device: Device) -> Self {
+        self.device = device;
+        self
+    }
+
+    /// Override the value codec.
+    pub fn with_codec(mut self, codec: CodecKind) -> Self {
+        self.codec = codec;
+        self
+    }
+}
+
+/// Bookkeeping shared by the store implementations: cost accumulator and
+/// access counters.
+#[derive(Debug, Default)]
+pub(crate) struct Meter {
+    pub cost: CostAcc,
+    pub stats: AccessStats,
+}
+
+impl Meter {
+    pub fn charge(&self, ns: Nanos) {
+        self.cost.charge(ns);
+    }
+}
+
+#[cfg(test)]
+mod trait_tests {
+    use super::*;
+
+    /// All three stores must agree on basic semantics.
+    fn stores() -> Vec<Box<dyn KvStore>> {
+        vec![
+            Box::new(HashDb::new(KvConfig::default())),
+            Box::new(BTreeDb::new(KvConfig::default())),
+            Box::new(LsmDb::new(KvConfig::default())),
+        ]
+    }
+
+    #[test]
+    fn put_get_roundtrip_all_stores() {
+        for mut s in stores() {
+            s.put(b"alpha", b"1");
+            s.put(b"beta", b"2");
+            assert_eq!(s.get(b"alpha").as_deref(), Some(&b"1"[..]));
+            assert_eq!(s.get(b"beta").as_deref(), Some(&b"2"[..]));
+            assert_eq!(s.get(b"gamma"), None);
+            assert_eq!(s.len(), 2);
+        }
+    }
+
+    #[test]
+    fn overwrite_replaces_value() {
+        for mut s in stores() {
+            s.put(b"k", b"old");
+            s.put(b"k", b"new-longer-value");
+            assert_eq!(s.get(b"k").as_deref(), Some(&b"new-longer-value"[..]));
+            assert_eq!(s.len(), 1);
+        }
+    }
+
+    #[test]
+    fn delete_semantics() {
+        for mut s in stores() {
+            s.put(b"k", b"v");
+            assert!(s.delete(b"k"));
+            assert!(!s.delete(b"k"));
+            assert_eq!(s.get(b"k"), None);
+            assert_eq!(s.len(), 0);
+        }
+    }
+
+    #[test]
+    fn contains_and_empty() {
+        for mut s in stores() {
+            assert!(s.is_empty());
+            assert!(!s.contains(b"x"));
+            s.put(b"x", b"");
+            assert!(s.contains(b"x"));
+            assert_eq!(s.get(b"x").as_deref(), Some(&b""[..]));
+        }
+    }
+
+    #[test]
+    fn scan_prefix_ordering_all_stores() {
+        for mut s in stores() {
+            for k in ["/a/b", "/a/c", "/a", "/b", "/a/b/c"] {
+                s.put(k.as_bytes(), k.as_bytes());
+            }
+            let got: Vec<String> = s
+                .scan_prefix(b"/a")
+                .into_iter()
+                .map(|(k, _)| String::from_utf8(k).unwrap())
+                .collect();
+            assert_eq!(got, vec!["/a", "/a/b", "/a/b/c", "/a/c"]);
+        }
+    }
+
+    #[test]
+    fn extract_prefix_removes_records() {
+        for mut s in stores() {
+            for k in ["p/1", "p/2", "q/1"] {
+                s.put(k.as_bytes(), b"v");
+            }
+            let got = s.extract_prefix(b"p/");
+            assert_eq!(got.len(), 2);
+            assert_eq!(s.len(), 1);
+            assert!(s.contains(b"q/1"));
+            assert!(!s.contains(b"p/1"));
+        }
+    }
+
+    #[test]
+    fn read_at_and_write_at() {
+        for mut s in stores() {
+            s.put(b"k", b"0123456789");
+            assert_eq!(s.read_at(b"k", 2, 3).as_deref(), Some(&b"234"[..]));
+            assert!(s.write_at(b"k", 4, b"XY"));
+            assert_eq!(s.get(b"k").as_deref(), Some(&b"0123XY6789"[..]));
+            // Out of bounds and missing keys fail cleanly.
+            assert_eq!(s.read_at(b"k", 8, 4), None);
+            assert!(!s.write_at(b"k", 9, b"ZZ"));
+            assert_eq!(s.read_at(b"missing", 0, 1), None);
+            assert!(!s.write_at(b"missing", 0, b"a"));
+        }
+    }
+
+    #[test]
+    fn costs_accumulate_and_drain() {
+        for mut s in stores() {
+            s.put(b"k", b"value");
+            let c = s.take_cost();
+            assert!(c > 0, "put must charge");
+            assert_eq!(s.take_cost(), 0);
+            s.get(b"k");
+            assert!(s.take_cost() > 0, "get must charge");
+        }
+    }
+
+    #[test]
+    fn stats_counters() {
+        for mut s in stores() {
+            s.put(b"a", b"1");
+            s.get(b"a");
+            s.get(b"b");
+            s.delete(b"a");
+            s.scan_prefix(b"");
+            let st = s.stats();
+            assert_eq!(st.puts, 1);
+            assert_eq!(st.gets, 2);
+            assert_eq!(st.deletes, 1);
+            assert_eq!(st.scans, 1);
+            s.reset_stats();
+            assert_eq!(s.stats().total(), 0);
+        }
+    }
+
+    #[test]
+    fn append_semantics_all_stores() {
+        for mut s in stores() {
+            s.append(b"log", b"aa");
+            s.append(b"log", b"bb");
+            assert_eq!(s.get(b"log").as_deref(), Some(&b"aabb"[..]));
+            assert_eq!(s.len(), 1);
+            // Append after put extends the existing value.
+            s.put(b"log", b"x");
+            s.append(b"log", b"y");
+            assert_eq!(s.get(b"log").as_deref(), Some(&b"xy"[..]));
+        }
+    }
+
+    #[test]
+    fn append_cost_is_entry_sized_on_mutable_stores() {
+        // In-place stores charge O(entry); this keeps dirent-list
+        // maintenance O(1) per create no matter how big the directory.
+        let mut db = BTreeDb::new(KvConfig::default());
+        db.append(b"d", &[0u8; 16]);
+        db.take_cost();
+        // Grow the value to ~16 KB.
+        for _ in 0..1000 {
+            db.append(b"d", &[0u8; 16]);
+        }
+        db.take_cost();
+        db.append(b"d", &[0u8; 16]);
+        let late = db.take_cost();
+        let mut fresh = BTreeDb::new(KvConfig::default());
+        fresh.append(b"d", &[0u8; 16]);
+        let early = fresh.take_cost();
+        assert!(late <= early * 2, "append must not scale: {late} vs {early}");
+    }
+
+    #[test]
+    fn varlen_charges_more_than_fixed() {
+        let value = vec![7u8; 256];
+        let mut f = BTreeDb::new(KvConfig::fixed());
+        let mut v = BTreeDb::new(KvConfig::varlen());
+        f.put(b"k", &value);
+        v.put(b"k", &value);
+        let (cf, cv) = (f.take_cost(), v.take_cost());
+        assert!(cv > cf, "varlen put {cv} must exceed fixed put {cf}");
+    }
+
+    #[test]
+    fn ordered_flags() {
+        assert!(!HashDb::new(KvConfig::default()).ordered());
+        assert!(BTreeDb::new(KvConfig::default()).ordered());
+        assert!(LsmDb::new(KvConfig::default()).ordered());
+    }
+}

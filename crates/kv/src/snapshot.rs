@@ -1,0 +1,142 @@
+//! Store snapshots: serialize every record of a store to a flat binary
+//! image and load it back into any (possibly different-flavoured)
+//! store. This is the persistence/restart substrate the servers build
+//! on — the moral equivalent of copying a Kyoto Cabinet database file.
+//!
+//! Format: `b"LKV1"` magic ‖ u64 record count ‖ per record
+//! (u32 key-len ‖ key ‖ u32 value-len ‖ value).
+
+use crate::KvStore;
+
+const MAGIC: &[u8; 4] = b"LKV1";
+
+/// Serialize all records (full scan, key order for ordered stores).
+pub fn dump(store: &mut dyn KvStore) -> Vec<u8> {
+    let records = store.scan_prefix(b"");
+    let mut out = Vec::with_capacity(
+        8 + 12 * records.len() + records.iter().map(|(k, v)| k.len() + v.len()).sum::<usize>(),
+    );
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&(records.len() as u64).to_le_bytes());
+    for (k, v) in records {
+        out.extend_from_slice(&(k.len() as u32).to_le_bytes());
+        out.extend_from_slice(&k);
+        out.extend_from_slice(&(v.len() as u32).to_le_bytes());
+        out.extend_from_slice(&v);
+    }
+    out
+}
+
+/// Load an image produced by [`dump`] into `store` (which should be
+/// empty). Returns the number of records loaded.
+pub fn load(store: &mut dyn KvStore, mut bytes: &[u8]) -> Result<usize, String> {
+    let take = |bytes: &mut &[u8], n: usize| -> Result<Vec<u8>, String> {
+        if bytes.len() < n {
+            return Err("truncated snapshot".into());
+        }
+        let (head, rest) = bytes.split_at(n);
+        *bytes = rest;
+        Ok(head.to_vec())
+    };
+    let magic = take(&mut bytes, 4)?;
+    if magic != MAGIC {
+        return Err("bad snapshot magic".into());
+    }
+    let count = u64::from_le_bytes(take(&mut bytes, 8)?.try_into().unwrap()) as usize;
+    for _ in 0..count {
+        let klen = u32::from_le_bytes(take(&mut bytes, 4)?.try_into().unwrap()) as usize;
+        let key = take(&mut bytes, klen)?;
+        let vlen = u32::from_le_bytes(take(&mut bytes, 4)?.try_into().unwrap()) as usize;
+        let value = take(&mut bytes, vlen)?;
+        store.put(&key, &value);
+    }
+    if !bytes.is_empty() {
+        return Err("trailing bytes after snapshot".into());
+    }
+    Ok(count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BTreeDb, HashDb, KvConfig, LsmDb};
+    use proptest::prelude::*;
+
+    fn all_stores() -> Vec<Box<dyn KvStore>> {
+        vec![
+            Box::new(HashDb::new(KvConfig::default())),
+            Box::new(BTreeDb::new(KvConfig::default())),
+            Box::new(LsmDb::new(KvConfig::default())),
+        ]
+    }
+
+    #[test]
+    fn roundtrip_within_and_across_store_kinds() {
+        for mut src in all_stores() {
+            for i in 0..500u32 {
+                src.put(format!("key/{i:05}").as_bytes(), &i.to_le_bytes());
+            }
+            src.delete(b"key/00042");
+            let image = dump(&mut *src);
+            for mut dst in all_stores() {
+                let n = load(&mut *dst, &image).unwrap();
+                assert_eq!(n, 499);
+                assert_eq!(dst.len(), 499);
+                assert_eq!(
+                    dst.get(b"key/00007").as_deref(),
+                    Some(&7u32.to_le_bytes()[..])
+                );
+                assert_eq!(dst.get(b"key/00042"), None);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_store_roundtrip() {
+        let mut src = HashDb::new(KvConfig::default());
+        let image = dump(&mut src);
+        let mut dst = BTreeDb::new(KvConfig::default());
+        assert_eq!(load(&mut dst, &image).unwrap(), 0);
+        assert!(dst.is_empty());
+    }
+
+    #[test]
+    fn corrupt_images_are_rejected() {
+        let mut dst = HashDb::new(KvConfig::default());
+        assert!(load(&mut dst, b"").is_err());
+        assert!(load(&mut dst, b"NOPE\x00\x00\x00\x00\x00\x00\x00\x00").is_err());
+        let mut src = HashDb::new(KvConfig::default());
+        src.put(b"k", b"v");
+        let mut image = dump(&mut src);
+        image.truncate(image.len() - 1); // cut the last value byte
+        assert!(load(&mut dst, &image).is_err());
+        image.extend_from_slice(b"vXX"); // trailing garbage
+        assert!(load(&mut dst, &image).is_err());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn dump_load_preserves_any_contents(
+            records in proptest::collection::btree_map(
+                proptest::collection::vec(any::<u8>(), 1..24),
+                proptest::collection::vec(any::<u8>(), 0..64),
+                0..100,
+            )
+        ) {
+            let mut src = BTreeDb::new(KvConfig::default());
+            for (k, v) in &records {
+                src.put(k, v);
+            }
+            let image = dump(&mut src);
+            let mut dst = LsmDb::new(KvConfig::default());
+            load(&mut dst, &image).unwrap();
+            prop_assert_eq!(dst.len(), records.len());
+            for (k, v) in &records {
+                let got = dst.get(k);
+                prop_assert_eq!(got.as_deref(), Some(&v[..]));
+            }
+        }
+    }
+}

@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+//! # loco-mdtest — the mdtest-style workload generator and driver
+//!
+//! The paper's evaluation drives every system with [mdtest] (plus a
+//! modified mdtest adding chmod/chown/truncate/access for Fig 11). This
+//! crate reproduces that methodology:
+//!
+//! * [`ops`] — the operation vocabulary and per-client workload
+//!   generators (unique working directory per client, like mdtest's
+//!   `-u`; configurable directory depth for Fig 13);
+//! * [`runner`] — executes workloads against any [`DistFs`]:
+//!   *latency runs* sum each operation's recorded visit trace
+//!   (single-client, Figs 6/7/10/12/14), *throughput runs* collect
+//!   traces from `C` client streams and replay them through the
+//!   closed-loop simulator (Figs 1/8/9/11/13);
+//! * [`sweep`] — the optimal-client-count search of Table 3.
+//!
+//! [mdtest]: https://github.com/MDTEST-LANL/mdtest
+
+pub mod ops;
+pub mod runner;
+pub mod sweep;
+pub mod trace;
+
+pub use ops::{gen_phase, gen_setup, Op, PhaseKind, TreeSpec};
+pub use runner::{collect_traces, run_latency, run_setup, run_throughput, LatencyRun};
+pub use sweep::{optimal_clients, sweep_clients};
+pub use trace::{OpMix, TraceGen};
+
+pub use loco_baselines::DistFs;

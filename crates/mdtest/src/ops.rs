@@ -1,0 +1,282 @@
+//! Operation vocabulary and workload generation.
+
+use loco_baselines::DistFs;
+use loco_types::{FsError, FsResult};
+
+/// One benchmark operation against a [`DistFs`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Create a directory.
+    Mkdir(String),
+    /// Remove an empty directory.
+    Rmdir(String),
+    /// Create a file.
+    Create(String),
+    /// Unlink a file.
+    Unlink(String),
+    /// stat(2) a file.
+    StatFile(String),
+    /// stat(2) a directory.
+    StatDir(String),
+    /// List a directory.
+    Readdir(String),
+    /// chmod a file.
+    ChmodFile(String, u32),
+    /// chown a file.
+    ChownFile(String, u32, u32),
+    /// truncate a file.
+    TruncateFile(String, u64),
+    /// access(2) a file.
+    AccessFile(String),
+    /// Rename a file.
+    RenameFile(String, String),
+    /// Rename a directory.
+    RenameDir(String, String),
+    /// Write access.
+    Write(String, usize),
+    /// Read access.
+    Read(String),
+}
+
+impl Op {
+    /// Apply against a filesystem. `Write` sends a zero-filled payload
+    /// of the requested size.
+    pub fn apply(&self, fs: &mut dyn DistFs) -> FsResult<()> {
+        match self {
+            Op::Mkdir(p) => fs.mkdir(p),
+            Op::Rmdir(p) => fs.rmdir(p),
+            Op::Create(p) => fs.create(p),
+            Op::Unlink(p) => fs.unlink(p),
+            Op::StatFile(p) => fs.stat_file(p),
+            Op::StatDir(p) => fs.stat_dir(p),
+            Op::Readdir(p) => fs.readdir(p).map(|_| ()),
+            Op::ChmodFile(p, m) => fs.chmod_file(p, *m),
+            Op::ChownFile(p, u, g) => fs.chown_file(p, *u, *g),
+            Op::TruncateFile(p, s) => fs.truncate_file(p, *s),
+            Op::AccessFile(p) => fs.access_file(p).and_then(|ok| {
+                if ok {
+                    Ok(())
+                } else {
+                    Err(FsError::PermissionDenied)
+                }
+            }),
+            Op::RenameFile(a, b) => fs.rename_file(a, b),
+            Op::RenameDir(a, b) => fs.rename_dir(a, b),
+            Op::Write(p, size) => fs.write_file(p, &vec![0u8; *size]),
+            Op::Read(p) => fs.read_file(p).map(|_| ()),
+        }
+    }
+}
+
+/// mdtest-style measured phases. `FileCreate`..`DirRemove` are the
+/// paper's Fig 6–9 phases; the `Mod*` phases are the modified-mdtest
+/// operations of Fig 11.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PhaseKind {
+    /// mdtest file-creation phase ("touch").
+    FileCreate,
+    /// mdtest file-stat phase.
+    FileStat,
+    /// mdtest file-removal phase ("rm").
+    FileRemove,
+    /// mdtest directory-creation phase ("mkdir").
+    DirCreate,
+    /// mdtest directory-stat phase.
+    DirStat,
+    /// mdtest directory-removal phase ("rmdir").
+    DirRemove,
+    /// List a directory.
+    Readdir,
+    /// Modified-mdtest chmod phase (Fig 11).
+    ModChmod,
+    /// Modified-mdtest chown phase (Fig 11).
+    ModChown,
+    /// Modified-mdtest truncate phase (Fig 11).
+    ModTruncate,
+    /// Modified-mdtest access phase (Fig 11).
+    ModAccess,
+}
+
+impl PhaseKind {
+    /// Paper-facing label ("touch", "mkdir", …).
+    pub fn label(self) -> &'static str {
+        match self {
+            PhaseKind::FileCreate => "touch",
+            PhaseKind::FileStat => "file-stat",
+            PhaseKind::FileRemove => "rm",
+            PhaseKind::DirCreate => "mkdir",
+            PhaseKind::DirStat => "dir-stat",
+            PhaseKind::DirRemove => "rmdir",
+            PhaseKind::Readdir => "readdir",
+            PhaseKind::ModChmod => "chmod",
+            PhaseKind::ModChown => "chown",
+            PhaseKind::ModTruncate => "truncate",
+            PhaseKind::ModAccess => "access",
+        }
+    }
+
+    /// Whether the phase needs the files pre-created (stat/remove/…)
+    /// rather than creating them itself.
+    pub fn needs_files(self) -> bool {
+        !matches!(self, PhaseKind::FileCreate | PhaseKind::DirCreate)
+    }
+}
+
+/// Workload shape: mdtest with one unique working directory per client
+/// (`-u`), `items` files/dirs per client, and a chain of `depth`
+/// directories above each working directory (`-z`, Fig 13).
+#[derive(Clone, Copy, Debug)]
+pub struct TreeSpec {
+    /// Number of closed-loop clients.
+    pub clients: usize,
+    /// Items (files/dirs) per client.
+    pub items: usize,
+    /// Directory depth of each working directory.
+    pub depth: usize,
+}
+
+impl TreeSpec {
+    /// Create a new instance with default settings.
+    pub fn new(clients: usize, items: usize) -> Self {
+        Self {
+            clients,
+            items,
+            depth: 1,
+        }
+    }
+
+    /// Place working directories `depth` levels deep (Fig 13).
+    pub fn with_depth(mut self, depth: usize) -> Self {
+        self.depth = depth.max(1);
+        self
+    }
+
+    /// Working directory of client `c` at the configured depth:
+    /// `/c<c>/d1/d2/…`.
+    pub fn workdir(&self, client: usize) -> String {
+        let mut p = format!("/c{client}");
+        for level in 1..self.depth {
+            p.push_str(&format!("/d{level}"));
+        }
+        p
+    }
+
+    /// Path of item `i` of client `c`.
+    pub fn file(&self, client: usize, item: usize) -> String {
+        format!("{}/f{item:07}", self.workdir(client))
+    }
+
+    /// Path of directory item `i` of client `c`.
+    pub fn dir(&self, client: usize, item: usize) -> String {
+        format!("{}/sub{item:07}", self.workdir(client))
+    }
+}
+
+/// Setup operations (not measured): the per-client working-directory
+/// chains.
+pub fn gen_setup(spec: &TreeSpec) -> Vec<Op> {
+    let mut out = Vec::new();
+    for c in 0..spec.clients {
+        let mut p = format!("/c{c}");
+        out.push(Op::Mkdir(p.clone()));
+        for level in 1..spec.depth {
+            p.push_str(&format!("/d{level}"));
+            out.push(Op::Mkdir(p.clone()));
+        }
+    }
+    out
+}
+
+/// Measured phase: per-client operation streams.
+pub fn gen_phase(spec: &TreeSpec, kind: PhaseKind) -> Vec<Vec<Op>> {
+    (0..spec.clients)
+        .map(|c| {
+            (0..spec.items)
+                .map(|i| match kind {
+                    PhaseKind::FileCreate => Op::Create(spec.file(c, i)),
+                    PhaseKind::FileStat => Op::StatFile(spec.file(c, i)),
+                    PhaseKind::FileRemove => Op::Unlink(spec.file(c, i)),
+                    PhaseKind::DirCreate => Op::Mkdir(spec.dir(c, i)),
+                    PhaseKind::DirStat => Op::StatDir(spec.dir(c, i)),
+                    PhaseKind::DirRemove => Op::Rmdir(spec.dir(c, i)),
+                    PhaseKind::Readdir => Op::Readdir(spec.workdir(c)),
+                    PhaseKind::ModChmod => Op::ChmodFile(spec.file(c, i), 0o640),
+                    PhaseKind::ModChown => Op::ChownFile(spec.file(c, i), 1000, 4 + (i as u32 % 4)),
+                    PhaseKind::ModTruncate => Op::TruncateFile(spec.file(c, i), (i as u64 % 7) * 512),
+                    PhaseKind::ModAccess => Op::AccessFile(spec.file(c, i)),
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loco_baselines::LocoAdapter;
+    use loco_client::LocoConfig;
+
+    #[test]
+    fn workdir_depth_shapes() {
+        let s = TreeSpec::new(2, 3);
+        assert_eq!(s.workdir(0), "/c0");
+        let s = TreeSpec::new(2, 3).with_depth(3);
+        assert_eq!(s.workdir(1), "/c1/d1/d2");
+        assert!(s.file(1, 7).starts_with("/c1/d1/d2/f"));
+    }
+
+    #[test]
+    fn setup_creates_full_chains() {
+        let s = TreeSpec::new(2, 1).with_depth(3);
+        let setup = gen_setup(&s);
+        assert_eq!(setup.len(), 6); // 2 clients × 3 levels
+        assert_eq!(setup[0], Op::Mkdir("/c0".into()));
+        assert_eq!(setup[2], Op::Mkdir("/c0/d1/d2".into()));
+    }
+
+    #[test]
+    fn phases_generate_per_client_streams() {
+        let s = TreeSpec::new(3, 5);
+        let phase = gen_phase(&s, PhaseKind::FileCreate);
+        assert_eq!(phase.len(), 3);
+        assert_eq!(phase[0].len(), 5);
+        assert!(matches!(&phase[2][0], Op::Create(p) if p.starts_with("/c2/")));
+    }
+
+    #[test]
+    fn ops_apply_against_a_real_fs() {
+        let mut fs = LocoAdapter::new(LocoConfig::with_servers(2));
+        let spec = TreeSpec::new(1, 4);
+        for op in gen_setup(&spec) {
+            op.apply(&mut fs).unwrap();
+        }
+        for stream in gen_phase(&spec, PhaseKind::FileCreate) {
+            for op in stream {
+                op.apply(&mut fs).unwrap();
+            }
+        }
+        for stream in gen_phase(&spec, PhaseKind::ModChmod) {
+            for op in stream {
+                op.apply(&mut fs).unwrap();
+            }
+        }
+        for stream in gen_phase(&spec, PhaseKind::FileRemove) {
+            for op in stream {
+                op.apply(&mut fs).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn remove_phase_matches_create_paths() {
+        let s = TreeSpec::new(2, 3);
+        let create = gen_phase(&s, PhaseKind::FileCreate);
+        let remove = gen_phase(&s, PhaseKind::FileRemove);
+        for (c, r) in create.iter().flatten().zip(remove.iter().flatten()) {
+            let (Op::Create(a), Op::Unlink(b)) = (c, r) else {
+                panic!()
+            };
+            assert_eq!(a, b);
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Workload execution: latency and throughput runs.
+//!
+//! Both runners use the *execute-then-replay* scheme (DESIGN.md): every
+//! operation executes for real against the filesystem's state, leaving
+//! a visit trace. Latency runs sum each trace; throughput runs feed the
+//! per-client trace streams into the closed-loop discrete-event
+//! simulator.
+//!
+//! One filesystem client object executes all streams (the per-client
+//! *state* — working directories — is disjoint by construction in
+//! mdtest's unique-directory mode, so cache behaviour matches a
+//! per-client cache for the directory-scoped caches all modeled systems
+//! use).
+
+use crate::ops::Op;
+use loco_baselines::DistFs;
+use loco_sim::des::{ClosedLoopSim, JobTrace, SimOutcome};
+use loco_sim::stats::LatencyStats;
+use loco_types::FsResult;
+
+/// Result of a single-client latency run.
+#[derive(Clone, Debug)]
+pub struct LatencyRun {
+    /// Latency samples of the run.
+    pub stats: LatencyStats,
+    /// Operations that returned an error.
+    pub errors: usize,
+}
+
+impl LatencyRun {
+    /// Mean latency normalized to the RTT (the paper's Fig 6 y-axis).
+    pub fn mean_rtts(&self, rtt: u64) -> f64 {
+        self.stats.mean_normalized(rtt)
+    }
+
+    /// Mean latency in microseconds.
+    pub fn mean_us(&self) -> f64 {
+        self.stats.mean() / 1_000.0
+    }
+}
+
+/// Execute `ops` with one client and record each op's unloaded latency.
+/// Errors are counted, not fatal (mdtest keeps going too).
+pub fn run_latency(fs: &mut dyn DistFs, ops: &[Op]) -> LatencyRun {
+    let mut stats = LatencyStats::new();
+    let mut errors = 0;
+    let rtt = fs.rtt();
+    for op in ops {
+        if op.apply(fs).is_err() {
+            errors += 1;
+        }
+        let trace = fs.take_trace();
+        stats.record(trace.unloaded_latency(rtt));
+    }
+    LatencyRun { stats, errors }
+}
+
+/// Execute setup ops without recording (tree creation phases).
+pub fn run_setup(fs: &mut dyn DistFs, ops: &[Op]) -> FsResult<()> {
+    for op in ops {
+        op.apply(fs)?;
+        let _ = fs.take_trace();
+    }
+    Ok(())
+}
+
+/// Collect per-client trace streams by executing each client's ops.
+/// Streams execute round-robin (one op per client per round) so shared
+/// state interleaves roughly like the concurrent original.
+pub fn collect_traces(fs: &mut dyn DistFs, per_client_ops: &[Vec<Op>]) -> Vec<Vec<JobTrace>> {
+    let mut traces: Vec<Vec<JobTrace>> = vec![Vec::new(); per_client_ops.len()];
+    let max_len = per_client_ops.iter().map(Vec::len).max().unwrap_or(0);
+    for i in 0..max_len {
+        for (c, ops) in per_client_ops.iter().enumerate() {
+            if let Some(op) = ops.get(i) {
+                let _ = op.apply(fs);
+                traces[c].push(fs.take_trace());
+            }
+        }
+    }
+    traces
+}
+
+/// Execute per-client streams and replay them through the closed-loop
+/// simulator, returning aggregate throughput.
+pub fn run_throughput(
+    fs: &mut dyn DistFs,
+    per_client_ops: &[Vec<Op>],
+    sim: &ClosedLoopSim,
+) -> SimOutcome {
+    let traces = collect_traces(fs, per_client_ops);
+    let sim = ClosedLoopSim {
+        rtt: fs.rtt(),
+        ..sim.clone()
+    };
+    sim.run(traces)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{gen_phase, gen_setup, PhaseKind, TreeSpec};
+    use loco_baselines::{LocoAdapter, RawKvFs};
+    use loco_client::LocoConfig;
+    use loco_sim::time::MICROS;
+
+    #[test]
+    fn latency_run_counts_and_measures() {
+        let mut fs = LocoAdapter::new(LocoConfig::with_servers(2));
+        let spec = TreeSpec::new(1, 50);
+        run_setup(&mut fs, &gen_setup(&spec)).unwrap();
+        let ops = &gen_phase(&spec, PhaseKind::FileCreate)[0];
+        let run = run_latency(&mut fs, ops);
+        assert_eq!(run.stats.len(), 50);
+        assert_eq!(run.errors, 0);
+        // Warm-cache create ≈ 1 RTT ⇒ normalized mean in [1, 2.5).
+        let m = run.mean_rtts(174 * MICROS);
+        assert!((1.0..2.5).contains(&m), "mean = {m} RTTs");
+    }
+
+    #[test]
+    fn errors_are_counted_not_fatal() {
+        let mut fs = LocoAdapter::new(LocoConfig::with_servers(2));
+        let ops = vec![
+            Op::Create("/missing/f".into()),
+            Op::Mkdir("/ok".into()),
+            Op::Create("/ok/f".into()),
+        ];
+        let run = run_latency(&mut fs, &ops);
+        assert_eq!(run.errors, 1);
+        assert_eq!(run.stats.len(), 3);
+    }
+
+    #[test]
+    fn throughput_scales_with_servers() {
+        let sim = ClosedLoopSim::default();
+        // Paper Table 3: saturating 8 servers needs ~120 clients.
+        let measure = |servers: u16, clients: usize| {
+            let mut fs = LocoAdapter::new(LocoConfig::with_servers(servers));
+            let spec = TreeSpec::new(clients, 60);
+            run_setup(&mut fs, &gen_setup(&spec)).unwrap();
+            let phase = gen_phase(&spec, PhaseKind::FileCreate);
+            run_throughput(&mut fs, &phase, &sim).iops()
+        };
+        let x1 = measure(1, 30);
+        let x8 = measure(8, 120);
+        assert!(
+            x8 > 2.5 * x1,
+            "8 FMS must clearly out-scale 1 FMS: {x1} vs {x8}"
+        );
+    }
+
+    #[test]
+    fn rawkv_throughput_reflects_local_store() {
+        let sim = ClosedLoopSim {
+            conn_overhead_per_client: 0,
+            ..Default::default()
+        };
+        let mut fs = RawKvFs::new();
+        let spec = TreeSpec::new(8, 100);
+        run_setup(&mut fs, &gen_setup(&spec)).unwrap();
+        let phase = gen_phase(&spec, PhaseKind::FileCreate);
+        let out = run_throughput(&mut fs, &phase, &sim);
+        let iops = out.iops();
+        // KC-tree anchor ≈ 260 K IOPS for small puts.
+        assert!(
+            (150_000.0..400_000.0).contains(&iops),
+            "raw KV create iops = {iops}"
+        );
+    }
+
+    #[test]
+    fn collect_traces_preserves_stream_shapes() {
+        let mut fs = LocoAdapter::new(LocoConfig::with_servers(2));
+        let spec = TreeSpec::new(3, 7);
+        run_setup(&mut fs, &gen_setup(&spec)).unwrap();
+        let phase = gen_phase(&spec, PhaseKind::FileCreate);
+        let traces = collect_traces(&mut fs, &phase);
+        assert_eq!(traces.len(), 3);
+        assert!(traces.iter().all(|t| t.len() == 7));
+    }
+}

@@ -1,0 +1,118 @@
+//! Optimal-client-count search (Table 3 of the paper).
+//!
+//! The paper finds, for every (filesystem, server-count) pair, the
+//! client count that maximizes throughput — "we start from 10 clients
+//! while adding 10 clients every round until the performance reaches
+//! the highest point". Because recorded traces are independent of the
+//! replayed client count, we collect traces once for the maximum client
+//! count and replay prefixes of the client streams.
+
+use loco_sim::des::{ClosedLoopSim, JobTrace};
+
+/// Replay the first `count` client streams and report IOPS for each
+/// requested count.
+pub fn sweep_clients(
+    traces: &[Vec<JobTrace>],
+    counts: &[usize],
+    sim: &ClosedLoopSim,
+) -> Vec<(usize, f64)> {
+    counts
+        .iter()
+        .map(|&c| {
+            let subset: Vec<Vec<JobTrace>> =
+                traces.iter().take(c).cloned().collect();
+            (c, sim.run(subset).iops())
+        })
+        .collect()
+}
+
+/// The paper's search procedure: step up in increments of `step` until
+/// throughput stops improving; returns `(best_count, best_iops)`.
+pub fn optimal_clients(
+    traces: &[Vec<JobTrace>],
+    step: usize,
+    sim: &ClosedLoopSim,
+) -> (usize, f64) {
+    let max = traces.len();
+    let mut best = (0usize, 0.0f64);
+    let mut c = step.max(1);
+    while c <= max {
+        let subset: Vec<Vec<JobTrace>> = traces.iter().take(c).cloned().collect();
+        let iops = sim.run(subset).iops();
+        if iops > best.1 {
+            best = (c, iops);
+        } else if iops < best.1 * 0.98 {
+            // Clearly past the peak — mirror the paper's stop rule.
+            break;
+        }
+        c += step;
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loco_sim::des::{ServerId, Visit};
+    use loco_sim::time::MICROS;
+
+    fn traces(clients: usize, ops: usize, service: u64) -> Vec<Vec<JobTrace>> {
+        (0..clients)
+            .map(|_| {
+                (0..ops)
+                    .map(|_| JobTrace {
+                        visits: vec![Visit {
+                            server: ServerId::new(0, 0),
+                            service,
+                        }],
+                        client_work: 0,
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn contended_sim() -> ClosedLoopSim {
+        ClosedLoopSim {
+            rtt: 174 * MICROS,
+            conn_overhead_per_client: 200,
+            client_overhead: 0,
+        }
+    }
+
+    #[test]
+    fn sweep_reports_each_count() {
+        let t = traces(40, 50, 10 * MICROS);
+        let sim = contended_sim();
+        let res = sweep_clients(&t, &[10, 20, 40], &sim);
+        assert_eq!(res.len(), 3);
+        assert_eq!(res[0].0, 10);
+        assert!(res.iter().all(|(_, iops)| *iops > 0.0));
+    }
+
+    #[test]
+    fn optimum_is_interior_under_contention() {
+        let t = traces(120, 60, 8 * MICROS);
+        let sim = contended_sim();
+        let (best, iops) = optimal_clients(&t, 10, &sim);
+        assert!(best >= 10, "best={best}");
+        assert!(best < 120, "contention must cap the optimum, best={best}");
+        assert!(iops > 0.0);
+        // Throughput at the found optimum beats both tails.
+        let res = sweep_clients(&t, &[10, best, 120], &sim);
+        assert!(res[1].1 >= res[0].1);
+        assert!(res[1].1 >= res[2].1 * 0.98);
+    }
+
+    #[test]
+    fn without_contention_more_clients_never_hurt_much() {
+        let t = traces(60, 40, 8 * MICROS);
+        let sim = ClosedLoopSim {
+            rtt: 174 * MICROS,
+            conn_overhead_per_client: 0,
+            client_overhead: 0,
+        };
+        let res = sweep_clients(&t, &[10, 30, 60], &sim);
+        assert!(res[2].1 >= res[1].1 * 0.95);
+    }
+}

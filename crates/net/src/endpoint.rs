@@ -1,0 +1,256 @@
+//! Service trait, per-operation call context, and the synchronous
+//! simulated endpoint.
+
+use loco_sim::des::{JobTrace, ServerId, Visit};
+use loco_sim::time::Nanos;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// A metadata or storage server: handles typed requests and reports the
+/// virtual cost of each handler invocation.
+pub trait Service: Send {
+    /// Request message type.
+    type Req: Send + 'static;
+    /// Response message type.
+    type Resp: Send + 'static;
+
+    /// Process one request, mutating server state.
+    fn handle(&mut self, req: Self::Req) -> Self::Resp;
+
+    /// Drain the virtual cost accumulated by the last handler run
+    /// (typically the sum of the KV stores' cost accumulators plus
+    /// fixed per-request software overhead).
+    fn take_cost(&mut self) -> Nanos;
+}
+
+/// Per-operation context threaded through every RPC a filesystem
+/// operation makes. Collects the visit trace that drives both latency
+/// and throughput figures.
+#[derive(Clone, Debug, Default)]
+pub struct CallCtx {
+    visits: Vec<Visit>,
+    client_work: Nanos,
+}
+
+impl CallCtx {
+    /// Create a new instance with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one server visit.
+    pub fn record(&mut self, server: ServerId, service: Nanos) {
+        self.visits.push(Visit { server, service });
+    }
+
+    /// Charge client-side CPU work (path parsing, cache management).
+    pub fn charge_client(&mut self, ns: Nanos) {
+        self.client_work += ns;
+    }
+
+    /// Number of round trips made so far.
+    pub fn round_trips(&self) -> usize {
+        self.visits.len()
+    }
+
+    /// Visits recorded so far.
+    pub fn visits(&self) -> &[Visit] {
+        &self.visits
+    }
+
+    /// Finish the operation: drain into a replayable trace.
+    pub fn take_trace(&mut self) -> JobTrace {
+        JobTrace {
+            visits: std::mem::take(&mut self.visits),
+            client_work: std::mem::replace(&mut self.client_work, 0),
+        }
+    }
+}
+
+/// Anything a client can send requests to.
+pub trait Endpoint<Req, Resp>: Send + Sync {
+    /// Issue one request, recording the visit into `ctx`.
+    fn call(&self, ctx: &mut CallCtx, req: Req) -> Resp;
+
+    /// Stable identity of the server behind this endpoint.
+    fn id(&self) -> ServerId;
+
+    /// Whether the server is currently marked unreachable (failure
+    /// injection). Clients must check before calling; calling a down
+    /// endpoint is a caller bug.
+    fn is_down(&self) -> bool {
+        false
+    }
+}
+
+/// Synchronous in-process endpoint: the handler runs on the caller's
+/// thread; timing is purely virtual. Cloning shares the same server.
+pub struct SimEndpoint<S: Service> {
+    svc: Arc<Mutex<S>>,
+    id: ServerId,
+    down: Arc<std::sync::atomic::AtomicBool>,
+}
+
+impl<S: Service> Clone for SimEndpoint<S> {
+    fn clone(&self) -> Self {
+        Self {
+            svc: Arc::clone(&self.svc),
+            id: self.id,
+            down: Arc::clone(&self.down),
+        }
+    }
+}
+
+impl<S: Service> SimEndpoint<S> {
+    /// Create a new instance with default settings.
+    pub fn new(id: ServerId, svc: S) -> Self {
+        Self {
+            svc: Arc::new(Mutex::new(svc)),
+            id,
+            down: Arc::new(std::sync::atomic::AtomicBool::new(false)),
+        }
+    }
+
+    /// Failure injection: mark the server unreachable (or back up).
+    /// Affects every clone of this endpoint — all clients see the
+    /// outage.
+    pub fn set_down(&self, down: bool) {
+        self.down.store(down, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    /// Direct access to the underlying service for test setup and
+    /// inspection (not part of the RPC surface).
+    pub fn with_service<R>(&self, f: impl FnOnce(&mut S) -> R) -> R {
+        f(&mut self.svc.lock())
+    }
+}
+
+impl<S: Service> Endpoint<S::Req, S::Resp> for SimEndpoint<S> {
+    fn call(&self, ctx: &mut CallCtx, req: S::Req) -> S::Resp {
+        debug_assert!(!self.is_down(), "call to a down endpoint");
+        let mut svc = self.svc.lock();
+        let resp = svc.handle(req);
+        let service = svc.take_cost();
+        drop(svc);
+        ctx.record(self.id, service);
+        resp
+    }
+
+    fn id(&self) -> ServerId {
+        self.id
+    }
+
+    fn is_down(&self) -> bool {
+        self.down.load(std::sync::atomic::Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_service {
+    use super::*;
+    use loco_sim::time::CostAcc;
+
+    /// Toy echo service used by endpoint tests: replies with the sum and
+    /// charges `cost_per_req` per request.
+    pub struct Adder {
+        pub total: u64,
+        pub cost_per_req: Nanos,
+        pub acc: CostAcc,
+    }
+
+    impl Adder {
+        pub fn new(cost_per_req: Nanos) -> Self {
+            Self {
+                total: 0,
+                cost_per_req,
+                acc: CostAcc::new(),
+            }
+        }
+    }
+
+    impl Service for Adder {
+        type Req = u64;
+        type Resp = u64;
+
+        fn handle(&mut self, req: u64) -> u64 {
+            self.total += req;
+            self.acc.charge(self.cost_per_req);
+            self.total
+        }
+
+        fn take_cost(&mut self) -> Nanos {
+            self.acc.take()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_service::Adder;
+    use super::*;
+    use loco_sim::time::MICROS;
+
+    #[test]
+    fn sim_endpoint_executes_and_records() {
+        let ep = SimEndpoint::new(ServerId::new(3, 7), Adder::new(5 * MICROS));
+        let mut ctx = CallCtx::new();
+        assert_eq!(ep.call(&mut ctx, 10), 10);
+        assert_eq!(ep.call(&mut ctx, 5), 15);
+        assert_eq!(ctx.round_trips(), 2);
+        assert_eq!(ctx.visits()[0].server, ServerId::new(3, 7));
+        assert_eq!(ctx.visits()[0].service, 5 * MICROS);
+    }
+
+    #[test]
+    fn clones_share_server_state() {
+        let ep = SimEndpoint::new(ServerId::new(0, 0), Adder::new(0));
+        let ep2 = ep.clone();
+        let mut ctx = CallCtx::new();
+        ep.call(&mut ctx, 1);
+        assert_eq!(ep2.call(&mut ctx, 1), 2);
+    }
+
+    #[test]
+    fn trace_drains_ctx() {
+        let ep = SimEndpoint::new(ServerId::new(0, 0), Adder::new(MICROS));
+        let mut ctx = CallCtx::new();
+        ep.call(&mut ctx, 1);
+        ctx.charge_client(500);
+        let trace = ctx.take_trace();
+        assert_eq!(trace.visits.len(), 1);
+        assert_eq!(trace.client_work, 500);
+        assert_eq!(ctx.round_trips(), 0);
+        assert_eq!(ctx.take_trace().visits.len(), 0);
+    }
+
+    #[test]
+    fn unloaded_latency_counts_round_trips() {
+        let ep = SimEndpoint::new(ServerId::new(0, 0), Adder::new(MICROS));
+        let mut ctx = CallCtx::new();
+        ep.call(&mut ctx, 1);
+        ep.call(&mut ctx, 1);
+        let t = ctx.take_trace();
+        let rtt = 174 * MICROS;
+        assert_eq!(t.unloaded_latency(rtt), 2 * rtt + 2 * MICROS);
+    }
+
+    #[test]
+    fn down_flag_is_shared_across_clones() {
+        let ep = SimEndpoint::new(ServerId::new(0, 0), Adder::new(0));
+        let clone = ep.clone();
+        assert!(!ep.is_down());
+        clone.set_down(true);
+        assert!(ep.is_down(), "clones share the outage flag");
+        ep.set_down(false);
+        assert!(!clone.is_down());
+    }
+
+    #[test]
+    fn with_service_allows_inspection() {
+        let ep = SimEndpoint::new(ServerId::new(0, 0), Adder::new(0));
+        let mut ctx = CallCtx::new();
+        ep.call(&mut ctx, 41);
+        ep.call(&mut ctx, 1);
+        assert_eq!(ep.with_service(|s| s.total), 42);
+    }
+}

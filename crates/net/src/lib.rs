@@ -1,0 +1,48 @@
+#![warn(missing_docs)]
+//! # loco-net — RPC layer between LocoFS clients and metadata servers
+//!
+//! The paper's analysis (§2.2.1) shows that metadata performance is
+//! governed by how many network round trips an operation needs, not by
+//! bandwidth. This crate therefore models an RPC as:
+//!
+//! ```text
+//! latency(op) = Σ_visits (RTT + queueing + service)
+//! ```
+//!
+//! A server is a [`Service`]: a request handler that also reports the
+//! virtual cost of the work it just did (drained from its KV stores'
+//! cost accumulators). Two endpoint flavours expose a service to
+//! clients:
+//!
+//! * [`SimEndpoint`] — executes the handler synchronously in the calling
+//!   thread and records a [`Visit`] into the caller's [`CallCtx`]. This
+//!   is the *execute-then-replay* path used by every benchmark: the
+//!   recorded [`JobTrace`] is either summed for unloaded latency or fed
+//!   to `loco-sim`'s closed-loop simulator for throughput.
+//! * [`ThreadEndpoint`] — runs the service on its own OS thread behind a
+//!   crossbeam channel, giving real cross-thread request/response
+//!   behaviour for integration tests and the example applications.
+//!
+//! Both flavours produce identical visit traces for identical request
+//! sequences, which the integration tests verify.
+
+pub mod endpoint;
+pub mod threaded;
+
+pub use endpoint::{CallCtx, Endpoint, Service, SimEndpoint};
+pub use threaded::{spawn, ThreadEndpoint, ThreadServerGuard};
+
+pub use loco_sim::des::{JobTrace, ServerId, Visit};
+pub use loco_sim::time::Nanos;
+
+/// Server-role classes used across the workspace for [`ServerId::class`].
+pub mod class {
+    /// Directory Metadata Server.
+    pub const DMS: u8 = 0;
+    /// File Metadata Server.
+    pub const FMS: u8 = 1;
+    /// Object store server.
+    pub const OST: u8 = 2;
+    /// Generic metadata server used by baseline models.
+    pub const MDS: u8 = 3;
+}

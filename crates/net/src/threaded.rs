@@ -1,0 +1,167 @@
+//! Threaded endpoint: each service runs on its own OS thread behind a
+//! crossbeam channel, providing real concurrent request/response
+//! behaviour (the deployment shape of the original system: one server
+//! process per metadata node).
+
+use crate::endpoint::{CallCtx, Endpoint, Service};
+use crossbeam::channel::{unbounded, Sender};
+use loco_sim::des::ServerId;
+use loco_sim::time::Nanos;
+use std::thread::JoinHandle;
+
+enum Envelope<Req, Resp> {
+    Call(Req, Sender<(Resp, Nanos)>),
+    Shutdown,
+}
+
+/// Client-side handle to a service running on its own thread. Cloning
+/// yields another handle to the same server (clients multiplex over the
+/// same request channel).
+pub struct ThreadEndpoint<Req, Resp> {
+    tx: Sender<Envelope<Req, Resp>>,
+    id: ServerId,
+}
+
+impl<Req, Resp> Clone for ThreadEndpoint<Req, Resp> {
+    fn clone(&self) -> Self {
+        Self {
+            tx: self.tx.clone(),
+            id: self.id,
+        }
+    }
+}
+
+/// Owns the server thread; joins it on drop. Keep this alive for the
+/// lifetime of the cluster.
+pub struct ThreadServerGuard<Req, Resp> {
+    tx: Sender<Envelope<Req, Resp>>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl<Req, Resp> Drop for ThreadServerGuard<Req, Resp> {
+    fn drop(&mut self) {
+        let _ = self.tx.send(Envelope::Shutdown);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Endpoint handle plus the guard that stops the server thread when
+/// dropped — what [`spawn`] returns.
+pub type Spawned<S> =
+    (ThreadEndpoint<<S as Service>::Req, <S as Service>::Resp>, ThreadServerGuard<<S as Service>::Req, <S as Service>::Resp>);
+
+/// Spawn `svc` on a dedicated thread. Returns the endpoint handle plus a
+/// guard that stops the thread when dropped.
+pub fn spawn<S>(id: ServerId, mut svc: S) -> Spawned<S>
+where
+    S: Service + 'static,
+{
+    let (tx, rx) = unbounded::<Envelope<S::Req, S::Resp>>();
+    let handle = std::thread::Builder::new()
+        .name(format!("loco-server-{}-{}", id.class, id.index))
+        .spawn(move || {
+            while let Ok(env) = rx.recv() {
+                match env {
+                    Envelope::Call(req, reply) => {
+                        let resp = svc.handle(req);
+                        let cost = svc.take_cost();
+                        // A dropped reply sender just means the client
+                        // went away; keep serving.
+                        let _ = reply.send((resp, cost));
+                    }
+                    Envelope::Shutdown => break,
+                }
+            }
+        })
+        .expect("spawn server thread");
+    (
+        ThreadEndpoint { tx: tx.clone(), id },
+        ThreadServerGuard {
+            tx,
+            handle: Some(handle),
+        },
+    )
+}
+
+impl<Req, Resp> Endpoint<Req, Resp> for ThreadEndpoint<Req, Resp>
+where
+    Req: Send + 'static,
+    Resp: Send + 'static,
+{
+    fn call(&self, ctx: &mut CallCtx, req: Req) -> Resp {
+        let (reply_tx, reply_rx) = unbounded();
+        self.tx
+            .send(Envelope::Call(req, reply_tx))
+            .expect("server thread alive");
+        let (resp, cost) = reply_rx.recv().expect("server reply");
+        ctx.record(self.id, cost);
+        resp
+    }
+
+    fn id(&self) -> ServerId {
+        self.id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::endpoint::test_service::Adder;
+    use loco_sim::time::MICROS;
+
+    #[test]
+    fn threaded_call_roundtrip() {
+        let (ep, _guard) = spawn(ServerId::new(1, 0), Adder::new(3 * MICROS));
+        let mut ctx = CallCtx::new();
+        assert_eq!(ep.call(&mut ctx, 7), 7);
+        assert_eq!(ep.call(&mut ctx, 3), 10);
+        assert_eq!(ctx.round_trips(), 2);
+        assert_eq!(ctx.visits()[1].service, 3 * MICROS);
+    }
+
+    #[test]
+    fn concurrent_clients_serialize_on_server() {
+        let (ep, _guard) = spawn(ServerId::new(1, 1), Adder::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let ep = ep.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut ctx = CallCtx::new();
+                for _ in 0..100 {
+                    ep.call(&mut ctx, 1);
+                }
+                ctx.round_trips()
+            }));
+        }
+        let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, 800);
+        let mut ctx = CallCtx::new();
+        // 801st request observes all 800 increments.
+        assert_eq!(ep.call(&mut ctx, 0), 800);
+    }
+
+    #[test]
+    fn guard_drop_stops_server_thread() {
+        let (ep, guard) = spawn(ServerId::new(1, 2), Adder::new(0));
+        drop(guard);
+        // The endpoint's channel may still accept sends, but the server
+        // has exited; we only assert the guard's drop didn't hang.
+        drop(ep);
+    }
+
+    #[test]
+    fn visit_traces_match_sim_endpoint() {
+        use crate::endpoint::SimEndpoint;
+        let id = ServerId::new(2, 0);
+        let sim = SimEndpoint::new(id, Adder::new(9 * MICROS));
+        let (thr, _guard) = spawn(id, Adder::new(9 * MICROS));
+        let mut cs = CallCtx::new();
+        let mut ct = CallCtx::new();
+        for i in 0..10 {
+            assert_eq!(sim.call(&mut cs, i), thr.call(&mut ct, i));
+        }
+        assert_eq!(cs.take_trace().visits, ct.take_trace().visits);
+    }
+}

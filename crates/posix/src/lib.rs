@@ -1,0 +1,646 @@
+#![warn(missing_docs)]
+//! # loco-posix — the LocoLib application interface
+//!
+//! The paper's default client path (§3.1): applications are recompiled
+//! against LocoLib, a library exposing a POSIX-style file-descriptor
+//! API that talks to the metadata servers directly (the FUSE client is
+//! described but abandoned for its overhead, §4.1.2). This crate is
+//! that library: a file-descriptor table, open flags, offsets, and
+//! errno-mapped errors over [`loco_client::LocoClient`].
+//!
+//! ```
+//! use loco_client::{LocoCluster, LocoConfig};
+//! use loco_posix::{OpenFlags, PosixFs};
+//!
+//! let cluster = LocoCluster::new(LocoConfig::with_servers(2));
+//! let mut fs = PosixFs::new(cluster.client());
+//! fs.mkdir("/tmp", 0o777).unwrap();
+//! let fd = fs
+//!     .open("/tmp/x", OpenFlags::RDWR | OpenFlags::CREAT, 0o644)
+//!     .unwrap();
+//! assert_eq!(fs.write(fd, b"hello").unwrap(), 5);
+//! fs.lseek(fd, 0, Whence::Set).unwrap();
+//! let mut buf = [0u8; 5];
+//! assert_eq!(fs.read(fd, &mut buf).unwrap(), 5);
+//! assert_eq!(&buf, b"hello");
+//! fs.close(fd).unwrap();
+//! # use loco_posix::Whence;
+//! ```
+
+use loco_client::{FileHandle, LocoClient};
+use loco_types::{FsError, Perm};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// open(2) flags (subset LocoLib supports).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OpenFlags(u32);
+
+impl OpenFlags {
+    /// Open read-only.
+    pub const RDONLY: OpenFlags = OpenFlags(0);
+    /// Open write-only.
+    pub const WRONLY: OpenFlags = OpenFlags(1);
+    /// Open read-write.
+    pub const RDWR: OpenFlags = OpenFlags(2);
+    /// Create the file if missing.
+    pub const CREAT: OpenFlags = OpenFlags(0o100);
+    /// With CREAT: fail if the file exists.
+    pub const EXCL: OpenFlags = OpenFlags(0o200);
+    /// Truncate to zero length on open.
+    pub const TRUNC: OpenFlags = OpenFlags(0o1000);
+    /// All writes go to end of file.
+    pub const APPEND: OpenFlags = OpenFlags(0o2000);
+
+    /// Whether `other` is set (access mode compared as a value).
+    pub fn contains(self, other: OpenFlags) -> bool {
+        // Access mode (low 2 bits) is a value, not a bitmask.
+        if other.0 <= 2 {
+            self.0 & 0b11 == other.0
+        } else {
+            self.0 & other.0 == other.0
+        }
+    }
+
+    fn readable(self) -> bool {
+        self.contains(OpenFlags::RDONLY) || self.contains(OpenFlags::RDWR)
+    }
+
+    fn writable(self) -> bool {
+        self.contains(OpenFlags::WRONLY) || self.contains(OpenFlags::RDWR)
+    }
+}
+
+impl std::ops::BitOr for OpenFlags {
+    type Output = OpenFlags;
+    fn bitor(self, rhs: OpenFlags) -> OpenFlags {
+        OpenFlags(self.0 | rhs.0)
+    }
+}
+
+/// lseek(2) origin.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Whence {
+    /// Absolute offset.
+    Set,
+    /// Relative to the current offset.
+    Cur,
+    /// Relative to end of file.
+    End,
+}
+
+/// errno-style error codes, mapped from [`FsError`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Errno {
+    /// No such file or directory.
+    ENOENT,
+    /// Entry already exists.
+    EEXIST,
+    /// A path component is not a directory.
+    ENOTDIR,
+    /// Target is a directory.
+    EISDIR,
+    /// Directory not empty.
+    ENOTEMPTY,
+    /// Permission denied.
+    EACCES,
+    /// Invalid argument.
+    EINVAL,
+    /// Resource busy.
+    EBUSY,
+    /// Bad file descriptor.
+    EBADF,
+    /// I/O error (server unreachable or internal fault).
+    EIO,
+}
+
+impl From<FsError> for Errno {
+    fn from(e: FsError) -> Self {
+        match e {
+            FsError::NotFound => Errno::ENOENT,
+            FsError::AlreadyExists => Errno::EEXIST,
+            FsError::NotADirectory => Errno::ENOTDIR,
+            FsError::IsADirectory => Errno::EISDIR,
+            FsError::NotEmpty => Errno::ENOTEMPTY,
+            FsError::PermissionDenied => Errno::EACCES,
+            FsError::InvalidArgument => Errno::EINVAL,
+            FsError::Busy => Errno::EBUSY,
+            FsError::Io(_) => Errno::EIO,
+        }
+    }
+}
+
+/// Result alias with errno-style errors.
+pub type Result<T> = std::result::Result<T, Errno>;
+
+/// Shared per-file state: like a kernel inode, all descriptors on the
+/// same path observe one size/handle (so O_TRUNC or a write through one
+/// fd is visible to the others).
+type SharedHandle = Rc<RefCell<FileHandle>>;
+
+struct OpenFile {
+    handle: SharedHandle,
+    path: String,
+    offset: u64,
+    flags: OpenFlags,
+}
+
+/// stat(2)-shaped attributes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Stat {
+    /// POSIX permission bits.
+    pub mode: u32,
+    /// Caller user id (permission checks).
+    pub uid: u32,
+    /// Caller group id (permission checks).
+    pub gid: u32,
+    /// File size in bytes.
+    pub size: u64,
+    /// New access timestamp.
+    pub atime: u64,
+    /// New modification timestamp.
+    pub mtime: u64,
+    /// Change timestamp.
+    pub ctime: u64,
+    /// Whether the node is a directory.
+    pub is_dir: bool,
+}
+
+/// The LocoLib file-descriptor layer.
+pub struct PosixFs {
+    client: LocoClient,
+    fds: HashMap<i32, OpenFile>,
+    /// path → shared handle, for descriptors currently open on it.
+    inodes: HashMap<String, SharedHandle>,
+    next_fd: i32,
+}
+
+impl PosixFs {
+    /// Create a new instance with default settings.
+    pub fn new(client: LocoClient) -> Self {
+        Self {
+            client,
+            fds: HashMap::new(),
+            inodes: HashMap::new(),
+            next_fd: 3, // 0..2 conventionally taken
+        }
+    }
+
+    /// Access the underlying LocoFS client (trace inspection etc.).
+    pub fn client_mut(&mut self) -> &mut LocoClient {
+        &mut self.client
+    }
+
+    /// Number of open descriptors.
+    pub fn open_fds(&self) -> usize {
+        self.fds.len()
+    }
+
+    fn file(&mut self, fd: i32) -> Result<&mut OpenFile> {
+        self.fds.get_mut(&fd).ok_or(Errno::EBADF)
+    }
+
+    // ---- namespace ---------------------------------------------------
+
+    /// mkdir(2).
+    pub fn mkdir(&mut self, path: &str, mode: u32) -> Result<()> {
+        self.client.mkdir(path, mode).map_err(Into::into)
+    }
+
+    /// rmdir(2).
+    pub fn rmdir(&mut self, path: &str) -> Result<()> {
+        self.client.rmdir(path).map_err(Into::into)
+    }
+
+    /// unlink(2).
+    pub fn unlink(&mut self, path: &str) -> Result<()> {
+        self.client.unlink(path).map_err(Into::into)
+    }
+
+    /// rename(2): tries a file rename, falls back to directory rename.
+    pub fn rename(&mut self, old: &str, new: &str) -> Result<()> {
+        // Try as a file first, fall back to directory rename.
+        match self.client.rename_file(old, new) {
+            Ok(()) => Ok(()),
+            Err(FsError::NotFound) => {
+                self.client.rename_dir(old, new).map(|_| ()).map_err(Into::into)
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// readdir(3): list entry names.
+    pub fn readdir(&mut self, path: &str) -> Result<Vec<String>> {
+        Ok(self
+            .client
+            .readdir(path)
+            .map_err(Errno::from)?
+            .into_iter()
+            .map(|(name, _)| name)
+            .collect())
+    }
+
+    /// stat(2): file attributes, falling back to directory attributes.
+    pub fn stat(&mut self, path: &str) -> Result<Stat> {
+        match self.client.stat_file(path) {
+            Ok(st) => Ok(Stat {
+                mode: st.access.mode,
+                uid: st.access.uid,
+                gid: st.access.gid,
+                size: st.content.size,
+                atime: st.content.atime,
+                mtime: st.content.mtime,
+                ctime: st.access.ctime,
+                is_dir: false,
+            }),
+            Err(FsError::NotFound) => {
+                let d = self.client.stat_dir(path).map_err(Errno::from)?;
+                Ok(Stat {
+                    mode: d.mode,
+                    uid: d.uid,
+                    gid: d.gid,
+                    size: 0,
+                    atime: 0,
+                    mtime: 0,
+                    ctime: d.ctime,
+                    is_dir: true,
+                })
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// chmod(2) on a file or directory.
+    pub fn chmod(&mut self, path: &str, mode: u32) -> Result<()> {
+        match self.client.chmod_file(path, mode) {
+            Ok(()) => Ok(()),
+            Err(FsError::NotFound) => self.client.chmod_dir(path, mode).map_err(Into::into),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// access(2): permission probe.
+    pub fn access(&mut self, path: &str, perm: Perm) -> Result<bool> {
+        self.client.access_file(path, perm).map_err(Into::into)
+    }
+
+    /// truncate(2): set file size (tail blocks reclaimed lazily).
+    pub fn truncate(&mut self, path: &str, size: u64) -> Result<()> {
+        self.client.truncate_file(path, size).map_err(Into::into)
+    }
+
+    // ---- descriptors ---------------------------------------------------
+
+    /// open(2). Honours CREAT/EXCL/TRUNC/APPEND and the access mode.
+    pub fn open(&mut self, path: &str, flags: OpenFlags, mode: u32) -> Result<i32> {
+        let want = if flags.writable() { Perm::Write } else { Perm::Read };
+        let handle = match self.client.open(path, want) {
+            Ok(h) => {
+                if flags.contains(OpenFlags::CREAT) && flags.contains(OpenFlags::EXCL) {
+                    return Err(Errno::EEXIST);
+                }
+                h
+            }
+            Err(FsError::NotFound) if flags.contains(OpenFlags::CREAT) => {
+                self.client.create(path, mode).map_err(Errno::from)?
+            }
+            Err(e) => return Err(e.into()),
+        };
+        // Share one inode state across every descriptor on this path.
+        let shared = match self.inodes.get(path) {
+            Some(existing) => Rc::clone(existing),
+            None => {
+                let rc = Rc::new(RefCell::new(handle));
+                self.inodes.insert(path.to_string(), Rc::clone(&rc));
+                rc
+            }
+        };
+        if flags.contains(OpenFlags::TRUNC) && flags.writable() && shared.borrow().size > 0 {
+            self.client.truncate_file(path, 0).map_err(Errno::from)?;
+            shared.borrow_mut().size = 0;
+        }
+        let fd = self.next_fd;
+        self.next_fd += 1;
+        let offset = if flags.contains(OpenFlags::APPEND) {
+            shared.borrow().size
+        } else {
+            0
+        };
+        self.fds.insert(
+            fd,
+            OpenFile {
+                handle: shared,
+                path: path.to_string(),
+                offset,
+                flags,
+            },
+        );
+        Ok(fd)
+    }
+
+    /// close(2).
+    pub fn close(&mut self, fd: i32) -> Result<()> {
+        let open = self.fds.remove(&fd).ok_or(Errno::EBADF)?;
+        // Drop the inode entry once the last descriptor closes.
+        if !self.fds.values().any(|f| f.path == open.path) {
+            self.inodes.remove(&open.path);
+        }
+        Ok(())
+    }
+
+    /// read(2): reads at the current offset and advances it.
+    pub fn read(&mut self, fd: i32, buf: &mut [u8]) -> Result<usize> {
+        let (shared, offset, flags) = {
+            let f = self.file(fd)?;
+            (Rc::clone(&f.handle), f.offset, f.flags)
+        };
+        if !flags.readable() {
+            return Err(Errno::EACCES);
+        }
+        let handle = shared.borrow().clone();
+        let data = self
+            .client
+            .read(&handle, offset, buf.len() as u64)
+            .map_err(Errno::from)?;
+        buf[..data.len()].copy_from_slice(&data);
+        self.file(fd)?.offset += data.len() as u64;
+        Ok(data.len())
+    }
+
+    /// write(2): writes at the current offset (end of file for APPEND)
+    /// and advances it.
+    pub fn write(&mut self, fd: i32, data: &[u8]) -> Result<usize> {
+        let (shared, mut offset, flags) = {
+            let f = self.file(fd)?;
+            (Rc::clone(&f.handle), f.offset, f.flags)
+        };
+        if !flags.writable() {
+            return Err(Errno::EACCES);
+        }
+        let mut handle = shared.borrow().clone();
+        if flags.contains(OpenFlags::APPEND) {
+            offset = handle.size;
+        }
+        self.client
+            .write(&mut handle, offset, data)
+            .map_err(Errno::from)?;
+        *shared.borrow_mut() = handle;
+        self.file(fd)?.offset = offset + data.len() as u64;
+        Ok(data.len())
+    }
+
+    /// pread(2): positional read, does not move the offset.
+    pub fn pread(&mut self, fd: i32, buf: &mut [u8], offset: u64) -> Result<usize> {
+        let shared = {
+            let f = self.file(fd)?;
+            if !f.flags.readable() {
+                return Err(Errno::EACCES);
+            }
+            Rc::clone(&f.handle)
+        };
+        let handle = shared.borrow().clone();
+        let data = self
+            .client
+            .read(&handle, offset, buf.len() as u64)
+            .map_err(Errno::from)?;
+        buf[..data.len()].copy_from_slice(&data);
+        Ok(data.len())
+    }
+
+    /// pwrite(2): positional write, does not move the offset.
+    pub fn pwrite(&mut self, fd: i32, data: &[u8], offset: u64) -> Result<usize> {
+        let shared = {
+            let f = self.file(fd)?;
+            if !f.flags.writable() {
+                return Err(Errno::EACCES);
+            }
+            Rc::clone(&f.handle)
+        };
+        let mut handle = shared.borrow().clone();
+        self.client
+            .write(&mut handle, offset, data)
+            .map_err(Errno::from)?;
+        *shared.borrow_mut() = handle;
+        Ok(data.len())
+    }
+
+    /// lseek(2).
+    pub fn lseek(&mut self, fd: i32, offset: i64, whence: Whence) -> Result<u64> {
+        let f = self.file(fd)?;
+        let base = match whence {
+            Whence::Set => 0i64,
+            Whence::Cur => f.offset as i64,
+            Whence::End => f.handle.borrow().size as i64,
+        };
+        let new = base.checked_add(offset).ok_or(Errno::EINVAL)?;
+        if new < 0 {
+            return Err(Errno::EINVAL);
+        }
+        f.offset = new as u64;
+        Ok(f.offset)
+    }
+
+    /// fstat(2).
+    pub fn fstat(&mut self, fd: i32) -> Result<Stat> {
+        let path = self.file(fd)?.path.clone();
+        self.stat(&path)
+    }
+
+    /// ftruncate(2).
+    pub fn ftruncate(&mut self, fd: i32, size: u64) -> Result<()> {
+        let (path, writable) = {
+            let f = self.file(fd)?;
+            (f.path.clone(), f.flags.writable())
+        };
+        if !writable {
+            return Err(Errno::EACCES);
+        }
+        self.client.truncate_file(&path, size).map_err(Errno::from)?;
+        self.file(fd)?.handle.borrow_mut().size = size;
+        Ok(())
+    }
+
+    /// Run deferred block reclamation.
+    pub fn sync(&mut self) {
+        self.client.gc_flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loco_client::{LocoCluster, LocoConfig};
+
+    fn fs() -> PosixFs {
+        let cluster = LocoCluster::new(LocoConfig::with_servers(2));
+        PosixFs::new(cluster.client())
+    }
+
+    #[test]
+    fn open_create_write_read_close() {
+        let mut fs = fs();
+        fs.mkdir("/d", 0o755).unwrap();
+        let fd = fs.open("/d/f", OpenFlags::RDWR | OpenFlags::CREAT, 0o644).unwrap();
+        assert_eq!(fs.write(fd, b"hello world").unwrap(), 11);
+        assert_eq!(fs.lseek(fd, 0, Whence::Set).unwrap(), 0);
+        let mut buf = [0u8; 5];
+        assert_eq!(fs.read(fd, &mut buf).unwrap(), 5);
+        assert_eq!(&buf, b"hello");
+        // Offset advanced.
+        let mut buf2 = [0u8; 6];
+        assert_eq!(fs.read(fd, &mut buf2).unwrap(), 6);
+        assert_eq!(&buf2, b" world");
+        fs.close(fd).unwrap();
+        assert_eq!(fs.close(fd), Err(Errno::EBADF));
+    }
+
+    #[test]
+    fn excl_and_missing_semantics() {
+        let mut fs = fs();
+        fs.mkdir("/d", 0o755).unwrap();
+        assert_eq!(fs.open("/d/f", OpenFlags::RDONLY, 0), Err(Errno::ENOENT));
+        let fd = fs
+            .open("/d/f", OpenFlags::WRONLY | OpenFlags::CREAT | OpenFlags::EXCL, 0o644)
+            .unwrap();
+        fs.close(fd).unwrap();
+        assert_eq!(
+            fs.open("/d/f", OpenFlags::WRONLY | OpenFlags::CREAT | OpenFlags::EXCL, 0o644),
+            Err(Errno::EEXIST)
+        );
+    }
+
+    #[test]
+    fn access_mode_enforcement() {
+        let mut fs = fs();
+        fs.mkdir("/d", 0o755).unwrap();
+        let fd = fs.open("/d/f", OpenFlags::WRONLY | OpenFlags::CREAT, 0o644).unwrap();
+        let mut buf = [0u8; 4];
+        assert_eq!(fs.read(fd, &mut buf), Err(Errno::EACCES));
+        fs.write(fd, b"data").unwrap();
+        fs.close(fd).unwrap();
+        let fd = fs.open("/d/f", OpenFlags::RDONLY, 0).unwrap();
+        assert_eq!(fs.write(fd, b"nope"), Err(Errno::EACCES));
+        assert_eq!(fs.read(fd, &mut buf).unwrap(), 4);
+    }
+
+    #[test]
+    fn trunc_and_append() {
+        let mut fs = fs();
+        fs.mkdir("/d", 0o755).unwrap();
+        let fd = fs.open("/d/f", OpenFlags::RDWR | OpenFlags::CREAT, 0o644).unwrap();
+        fs.write(fd, b"0123456789").unwrap();
+        fs.close(fd).unwrap();
+
+        // O_TRUNC empties the file.
+        let fd = fs
+            .open("/d/f", OpenFlags::RDWR | OpenFlags::TRUNC, 0)
+            .unwrap();
+        assert_eq!(fs.fstat(fd).unwrap().size, 0);
+        fs.write(fd, b"ab").unwrap();
+        fs.close(fd).unwrap();
+
+        // O_APPEND writes at EOF regardless of seeks.
+        let fd = fs
+            .open("/d/f", OpenFlags::RDWR | OpenFlags::APPEND, 0)
+            .unwrap();
+        fs.lseek(fd, 0, Whence::Set).unwrap();
+        fs.write(fd, b"cd").unwrap();
+        let mut buf = [0u8; 4];
+        assert_eq!(fs.pread(fd, &mut buf, 0).unwrap(), 4);
+        assert_eq!(&buf, b"abcd");
+        fs.close(fd).unwrap();
+    }
+
+    #[test]
+    fn pread_pwrite_do_not_move_offset() {
+        let mut fs = fs();
+        fs.mkdir("/d", 0o755).unwrap();
+        let fd = fs.open("/d/f", OpenFlags::RDWR | OpenFlags::CREAT, 0o644).unwrap();
+        fs.write(fd, b"XXXXXX").unwrap();
+        fs.pwrite(fd, b"ab", 1).unwrap();
+        assert_eq!(fs.lseek(fd, 0, Whence::Cur).unwrap(), 6, "offset untouched");
+        let mut buf = [0u8; 6];
+        fs.pread(fd, &mut buf, 0).unwrap();
+        assert_eq!(&buf, b"XabXXX");
+    }
+
+    #[test]
+    fn lseek_variants_and_bounds() {
+        let mut fs = fs();
+        fs.mkdir("/d", 0o755).unwrap();
+        let fd = fs.open("/d/f", OpenFlags::RDWR | OpenFlags::CREAT, 0o644).unwrap();
+        fs.write(fd, b"123456").unwrap();
+        assert_eq!(fs.lseek(fd, -2, Whence::End).unwrap(), 4);
+        assert_eq!(fs.lseek(fd, 1, Whence::Cur).unwrap(), 5);
+        assert_eq!(fs.lseek(fd, -10, Whence::Set), Err(Errno::EINVAL));
+        // Seeking past EOF is allowed; reads there are empty.
+        assert_eq!(fs.lseek(fd, 100, Whence::Set).unwrap(), 100);
+        let mut buf = [0u8; 4];
+        assert_eq!(fs.read(fd, &mut buf).unwrap(), 0);
+    }
+
+    #[test]
+    fn stat_and_fstat_and_chmod() {
+        let mut fs = fs();
+        fs.mkdir("/d", 0o750).unwrap();
+        let st = fs.stat("/d").unwrap();
+        assert!(st.is_dir);
+        assert_eq!(st.mode, 0o750);
+        let fd = fs.open("/d/f", OpenFlags::WRONLY | OpenFlags::CREAT, 0o644).unwrap();
+        fs.write(fd, b"abc").unwrap();
+        assert_eq!(fs.fstat(fd).unwrap().size, 3);
+        fs.chmod("/d/f", 0o600).unwrap();
+        assert_eq!(fs.stat("/d/f").unwrap().mode, 0o600);
+        assert_eq!(fs.stat("/nope"), Err(Errno::ENOENT));
+    }
+
+    #[test]
+    fn rename_dispatches_file_vs_dir() {
+        let mut fs = fs();
+        fs.mkdir("/a", 0o755).unwrap();
+        fs.mkdir("/b", 0o755).unwrap();
+        let fd = fs.open("/a/f", OpenFlags::WRONLY | OpenFlags::CREAT, 0o644).unwrap();
+        fs.close(fd).unwrap();
+        fs.rename("/a/f", "/b/g").unwrap();
+        assert!(fs.stat("/b/g").is_ok());
+        fs.rename("/a", "/a2").unwrap();
+        assert!(fs.stat("/a2").unwrap().is_dir);
+    }
+
+    #[test]
+    fn ftruncate_updates_size() {
+        let mut fs = fs();
+        fs.mkdir("/d", 0o755).unwrap();
+        let fd = fs.open("/d/f", OpenFlags::RDWR | OpenFlags::CREAT, 0o644).unwrap();
+        fs.write(fd, &[7u8; 100]).unwrap();
+        fs.ftruncate(fd, 10).unwrap();
+        assert_eq!(fs.fstat(fd).unwrap().size, 10);
+        fs.sync();
+    }
+
+    #[test]
+    fn readdir_names() {
+        let mut fs = fs();
+        fs.mkdir("/d", 0o755).unwrap();
+        fs.mkdir("/d/sub", 0o755).unwrap();
+        let fd = fs.open("/d/f", OpenFlags::WRONLY | OpenFlags::CREAT, 0o644).unwrap();
+        fs.close(fd).unwrap();
+        let mut names = fs.readdir("/d").unwrap();
+        names.sort();
+        assert_eq!(names, vec!["f", "sub"]);
+    }
+
+    #[test]
+    fn flags_matrix() {
+        assert!(OpenFlags::RDWR.readable() && OpenFlags::RDWR.writable());
+        assert!(OpenFlags::RDONLY.readable() && !OpenFlags::RDONLY.writable());
+        assert!(!OpenFlags::WRONLY.readable() && OpenFlags::WRONLY.writable());
+        let f = OpenFlags::WRONLY | OpenFlags::CREAT | OpenFlags::APPEND;
+        assert!(f.contains(OpenFlags::CREAT));
+        assert!(f.contains(OpenFlags::APPEND));
+        assert!(!f.contains(OpenFlags::TRUNC));
+        assert!(f.contains(OpenFlags::WRONLY));
+        assert!(!f.contains(OpenFlags::RDWR));
+    }
+}

@@ -1,0 +1,456 @@
+//! Discrete-event replay of RPC visit traces.
+//!
+//! Throughput numbers in the paper are closed-loop saturation
+//! measurements: `C` mdtest clients each issue one metadata operation at
+//! a time against the metadata cluster, and aggregate IOPS is reported.
+//! We reproduce that with a discrete-event simulation:
+//!
+//! * every filesystem operation, executed for real by `loco-client` or a
+//!   baseline model, leaves behind a [`JobTrace`] — the ordered list of
+//!   server visits it made and each visit's service cost;
+//! * the [`ClosedLoopSim`] kernel replays per-client streams of traces
+//!   through FIFO server resources, charging one network round trip per
+//!   visit, and reports completed operations over makespan.
+//!
+//! Server-side per-connection overhead grows with the number of
+//! connected clients (request multiplexing, epoll churn). That is what
+//! produces the *optimal client count* the paper tabulates in Table 3:
+//! beyond the optimum, added clients raise every request's service time
+//! faster than they add concurrency.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use crate::time::Nanos;
+
+/// Identifies one server queue in the simulated cluster.
+///
+/// `class` distinguishes server roles (DMS, FMS, object store, generic
+/// metadata server); `index` distinguishes instances within a role.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ServerId {
+    /// Server role class (see `loco_net::class`).
+    pub class: u8,
+    /// Server index within its role.
+    pub index: u16,
+}
+
+impl ServerId {
+    /// Create a new instance with default settings.
+    pub const fn new(class: u8, index: u16) -> Self {
+        Self { class, index }
+    }
+}
+
+/// One server visit made by an operation: which server, and how long the
+/// handler ran (virtual service time).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Visit {
+    /// Server the visit was served by.
+    pub server: ServerId,
+    /// Handler service time (virtual).
+    pub service: Nanos,
+}
+
+/// The recorded trace of one filesystem operation.
+#[derive(Clone, Debug, Default)]
+pub struct JobTrace {
+    /// Sequential server visits (each costs one round trip + queueing +
+    /// service).
+    pub visits: Vec<Visit>,
+    /// Client-side CPU work for the operation (path handling, cache
+    /// lookups). Charged between the response and the next request.
+    pub client_work: Nanos,
+}
+
+impl JobTrace {
+    /// Sum of service times across all visits.
+    pub fn total_service(&self) -> Nanos {
+        self.visits.iter().map(|v| v.service).sum()
+    }
+
+    /// Unloaded latency of this operation given a network round-trip
+    /// time: one RTT per visit plus service plus client work. This is
+    /// exactly what the single-client latency figures (Fig 6/7/10) plot.
+    pub fn unloaded_latency(&self, rtt: Nanos) -> Nanos {
+        self.visits.len() as Nanos * rtt + self.total_service() + self.client_work
+    }
+}
+
+/// Closed-loop simulation parameters.
+#[derive(Clone, Debug)]
+pub struct ClosedLoopSim {
+    /// Network round-trip time charged per server visit.
+    pub rtt: Nanos,
+    /// Additional service time per request per connected client
+    /// (connection/multiplexing overhead). Produces the Table 3 optimum.
+    pub conn_overhead_per_client: Nanos,
+    /// Extra fixed client-side work per operation on top of the trace's
+    /// own `client_work`.
+    pub client_overhead: Nanos,
+}
+
+impl Default for ClosedLoopSim {
+    fn default() -> Self {
+        Self {
+            rtt: 174_000, // 0.174 ms, Fig 6 caption
+            conn_overhead_per_client: 18,
+            client_overhead: 2_000,
+        }
+    }
+}
+
+/// Result of one closed-loop run.
+#[derive(Clone, Debug, Default)]
+pub struct SimOutcome {
+    /// Number of operations that finished.
+    pub ops_completed: u64,
+    /// Virtual time at which the last operation completed.
+    pub makespan: Nanos,
+    /// Sum of all per-operation loaded latencies.
+    pub total_latency: Nanos,
+    /// Worst per-operation loaded latency.
+    pub max_latency: Nanos,
+    /// Every completed operation's loaded latency (for percentiles).
+    pub latencies: Vec<Nanos>,
+}
+
+impl SimOutcome {
+    /// Aggregate operations per second.
+    pub fn iops(&self) -> f64 {
+        if self.makespan == 0 {
+            return 0.0;
+        }
+        self.ops_completed as f64 * 1e9 / self.makespan as f64
+    }
+
+    /// Mean per-operation latency in nanoseconds.
+    pub fn mean_latency(&self) -> f64 {
+        if self.ops_completed == 0 {
+            return 0.0;
+        }
+        self.total_latency as f64 / self.ops_completed as f64
+    }
+
+    /// `q`-quantile of loaded per-op latency (nearest rank).
+    pub fn latency_quantile(&self, q: f64) -> Nanos {
+        if self.latencies.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.latencies.clone();
+        sorted.sort_unstable();
+        let rank = ((sorted.len() as f64 - 1.0) * q.clamp(0.0, 1.0)).round() as usize;
+        sorted[rank]
+    }
+
+    /// 99th-percentile loaded latency.
+    pub fn p99_latency(&self) -> Nanos {
+        self.latency_quantile(0.99)
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Event {
+    /// Request of `client` arrives at the server of its current visit.
+    Arrive { client: usize },
+    /// Response for the current visit reaches the client.
+    Response { client: usize },
+}
+
+struct ClientState {
+    jobs: Vec<JobTrace>,
+    job_idx: usize,
+    visit_idx: usize,
+    issue_time: Nanos,
+}
+
+impl ClosedLoopSim {
+    /// Replay one stream of job traces per client and report aggregate
+    /// throughput. Each inner `Vec<JobTrace>` is one closed-loop client.
+    pub fn run(&self, per_client_jobs: Vec<Vec<JobTrace>>) -> SimOutcome {
+        let n_clients = per_client_jobs.len();
+        let conn = self.conn_overhead_per_client * n_clients as Nanos;
+        let half_rtt = self.rtt / 2;
+
+        let mut clients: Vec<ClientState> = per_client_jobs
+            .into_iter()
+            .map(|jobs| ClientState {
+                jobs,
+                job_idx: 0,
+                visit_idx: 0,
+                issue_time: 0,
+            })
+            .collect();
+
+        let mut server_free: HashMap<ServerId, Nanos> = HashMap::new();
+        let mut heap: BinaryHeap<Reverse<(Nanos, u64, usize)>> = BinaryHeap::new();
+        let mut events: Vec<Event> = Vec::new();
+        let mut seq: u64 = 0;
+        let mut push = |heap: &mut BinaryHeap<Reverse<(Nanos, u64, usize)>>,
+                        events: &mut Vec<Event>,
+                        t: Nanos,
+                        ev: Event| {
+            let id = events.len();
+            events.push(ev);
+            heap.push(Reverse((t, seq, id)));
+            seq += 1;
+        };
+
+        let mut out = SimOutcome::default();
+
+        // Kick off every client's first job.
+        for (c, st) in clients.iter_mut().enumerate() {
+            if st.jobs.is_empty() {
+                continue;
+            }
+            st.issue_time = 0;
+            let t0 = st.jobs[0].client_work + self.client_overhead;
+            if st.jobs[0].visits.is_empty() {
+                // Pure-client job: complete immediately via a Response
+                // event with no server involved.
+                push(&mut heap, &mut events, t0, Event::Response { client: c });
+            } else {
+                push(
+                    &mut heap,
+                    &mut events,
+                    t0 + half_rtt,
+                    Event::Arrive { client: c },
+                );
+            }
+        }
+
+        while let Some(Reverse((now, _, ev_id))) = heap.pop() {
+            match events[ev_id] {
+                Event::Arrive { client } => {
+                    let st = &clients[client];
+                    let job = &st.jobs[st.job_idx];
+                    let visit = job.visits[st.visit_idx];
+                    let free = server_free.entry(visit.server).or_insert(0);
+                    let start = now.max(*free);
+                    let done = start + visit.service + conn;
+                    *free = done;
+                    push(
+                        &mut heap,
+                        &mut events,
+                        done + half_rtt,
+                        Event::Response { client },
+                    );
+                }
+                Event::Response { client } => {
+                    let st = &mut clients[client];
+                    let job = &st.jobs[st.job_idx];
+                    st.visit_idx += 1;
+                    if st.visit_idx < job.visits.len() {
+                        // Next visit of the same operation.
+                        push(
+                            &mut heap,
+                            &mut events,
+                            now + half_rtt,
+                            Event::Arrive { client },
+                        );
+                    } else {
+                        // Operation complete.
+                        let latency = now - st.issue_time;
+                        out.ops_completed += 1;
+                        out.total_latency += latency;
+                        out.latencies.push(latency);
+                        out.max_latency = out.max_latency.max(latency);
+                        out.makespan = out.makespan.max(now);
+                        st.job_idx += 1;
+                        st.visit_idx = 0;
+                        if st.job_idx < st.jobs.len() {
+                            st.issue_time = now;
+                            let think =
+                                st.jobs[st.job_idx].client_work + self.client_overhead;
+                            if st.jobs[st.job_idx].visits.is_empty() {
+                                push(
+                                    &mut heap,
+                                    &mut events,
+                                    now + think.max(1),
+                                    Event::Response { client },
+                                );
+                            } else {
+                                push(
+                                    &mut heap,
+                                    &mut events,
+                                    now + think + half_rtt,
+                                    Event::Arrive { client },
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::MICROS;
+
+    fn job(server: ServerId, service: Nanos) -> JobTrace {
+        JobTrace {
+            visits: vec![Visit { server, service }],
+            client_work: 0,
+        }
+    }
+
+    fn sim(rtt: Nanos) -> ClosedLoopSim {
+        ClosedLoopSim {
+            rtt,
+            conn_overhead_per_client: 0,
+            client_overhead: 0,
+        }
+    }
+
+    #[test]
+    fn single_client_single_visit_latency() {
+        let s = ServerId::new(0, 0);
+        let out = sim(100 * MICROS).run(vec![vec![job(s, 5 * MICROS)]]);
+        assert_eq!(out.ops_completed, 1);
+        // rtt + service = 105 µs.
+        assert_eq!(out.makespan, 105 * MICROS);
+        assert_eq!(out.max_latency, 105 * MICROS);
+    }
+
+    #[test]
+    fn unloaded_latency_matches_trace_formula() {
+        let s = ServerId::new(1, 3);
+        let t = JobTrace {
+            visits: vec![
+                Visit { server: s, service: 4 * MICROS },
+                Visit { server: ServerId::new(0, 0), service: 6 * MICROS },
+            ],
+            client_work: 1 * MICROS,
+        };
+        let rtt = 174 * MICROS;
+        assert_eq!(t.unloaded_latency(rtt), 2 * rtt + 10 * MICROS + 1 * MICROS);
+        let out = sim(rtt).run(vec![vec![t.clone()]]);
+        assert_eq!(out.max_latency as u128, t.unloaded_latency(rtt) as u128);
+    }
+
+    #[test]
+    fn two_clients_queue_at_one_server() {
+        let s = ServerId::new(0, 0);
+        // Zero RTT: both arrive at t=0; second must queue behind first.
+        let out = sim(0).run(vec![vec![job(s, 10 * MICROS)], vec![job(s, 10 * MICROS)]]);
+        assert_eq!(out.ops_completed, 2);
+        assert_eq!(out.makespan, 20 * MICROS);
+    }
+
+    #[test]
+    fn throughput_saturates_at_service_rate() {
+        let s = ServerId::new(0, 0);
+        let service = 10 * MICROS; // 100 K IOPS ceiling
+        let mk = |n_ops: usize| vec![job(s, service); n_ops];
+        // Plenty of clients, long run: throughput ≈ 1/service.
+        let out = sim(200 * MICROS).run((0..64).map(|_| mk(200)).collect());
+        let iops = out.iops();
+        assert!(
+            (90_000.0..101_000.0).contains(&iops),
+            "saturated iops = {iops}"
+        );
+    }
+
+    #[test]
+    fn more_servers_scale_throughput() {
+        let mk_client = |server: ServerId| vec![job(server, 10 * MICROS); 100];
+        // 32 clients on 1 server vs 32 clients spread over 4 servers.
+        let one: Vec<_> = (0..32).map(|_| mk_client(ServerId::new(0, 0))).collect();
+        let four: Vec<_> = (0..32)
+            .map(|i| mk_client(ServerId::new(0, (i % 4) as u16)))
+            .collect();
+        let s = sim(100 * MICROS);
+        let x1 = s.run(one).iops();
+        let x4 = s.run(four).iops();
+        // 8 clients per server are not enough to saturate 4 servers, so
+        // scaling is sub-linear but must clearly beat the single server.
+        assert!(x4 > 2.5 * x1, "x1={x1} x4={x4}");
+    }
+
+    #[test]
+    fn conn_overhead_creates_interior_optimum() {
+        let srv = ServerId::new(0, 0);
+        let sim = ClosedLoopSim {
+            rtt: 174 * MICROS,
+            conn_overhead_per_client: 150,
+            client_overhead: 0,
+        };
+        let run = |clients: usize| {
+            let jobs: Vec<_> = (0..clients).map(|_| vec![job(srv, 8 * MICROS); 100]).collect();
+            sim.run(jobs).iops()
+        };
+        let x10 = run(10);
+        let x40 = run(40);
+        let x200 = run(200);
+        assert!(x40 > x10, "throughput should rise toward optimum");
+        assert!(x40 > x200, "throughput should fall past optimum");
+    }
+
+    #[test]
+    fn empty_visit_jobs_complete() {
+        // Cache-hit operations never leave the client.
+        let t = JobTrace {
+            visits: vec![],
+            client_work: 2 * MICROS,
+        };
+        let out = sim(174 * MICROS).run(vec![vec![t; 10]]);
+        assert_eq!(out.ops_completed, 10);
+        assert!(out.makespan >= 20 * MICROS);
+    }
+
+    #[test]
+    fn percentiles_track_queueing_tail() {
+        let s = ServerId::new(0, 0);
+        // Mostly fast jobs with an occasional slow one: queueing behind
+        // the stragglers creates a latency tail, so p99 ≫ p50.
+        let jobs: Vec<_> = (0..8)
+            .map(|c| {
+                (0..60)
+                    .map(|i| {
+                        let service = if (i + c) % 20 == 0 {
+                            2_000 * MICROS
+                        } else {
+                            5 * MICROS
+                        };
+                        job(s, service)
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let out = sim(100 * MICROS).run(jobs);
+        let p50 = out.latency_quantile(0.5);
+        let p99 = out.p99_latency();
+        assert!(p99 > 2 * p50, "p50={p50} p99={p99}");
+        assert!(p99 <= out.max_latency);
+        assert_eq!(out.latencies.len() as u64, out.ops_completed);
+    }
+
+    #[test]
+    fn zero_clients_and_empty_streams() {
+        let out = sim(100).run(vec![]);
+        assert_eq!(out.ops_completed, 0);
+        assert_eq!(out.iops(), 0.0);
+        let out = sim(100).run(vec![vec![], vec![]]);
+        assert_eq!(out.ops_completed, 0);
+    }
+
+    #[test]
+    fn fifo_order_is_preserved_per_server() {
+        // Three clients, distinct service times; completions must respect
+        // arrival order at the single server (deterministic tie-break).
+        let s = ServerId::new(0, 0);
+        let jobs = vec![
+            vec![job(s, 10 * MICROS)],
+            vec![job(s, 1 * MICROS)],
+            vec![job(s, 5 * MICROS)],
+        ];
+        let out = sim(0).run(jobs);
+        assert_eq!(out.ops_completed, 3);
+        // Serial total = 16 µs.
+        assert_eq!(out.makespan, 16 * MICROS);
+    }
+}

@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+//! # loco-sim — simulation substrate for the LocoFS reproduction
+//!
+//! The SC'17 LocoFS evaluation ran on a 16-node metadata cluster and a
+//! 6-node client cluster connected by 1 GbE (measured RTT: 174 µs). This
+//! crate replaces that hardware with a deterministic virtual-time
+//! substrate:
+//!
+//! * [`time`] — nanosecond virtual clocks and cost accumulators,
+//! * [`cost`] — a cost model calibrated against the numbers the paper
+//!   cites for Kyoto Cabinet and LevelDB,
+//! * [`device`] — storage-device latency/throughput models (RAM/SSD/HDD),
+//! * [`des`] — a discrete-event simulator that replays recorded RPC visit
+//!   traces through FIFO server resources to measure closed-loop
+//!   throughput with `C` concurrent clients,
+//! * [`stats`] — small helpers for latency statistics.
+//!
+//! The design follows the *execute-then-replay* scheme documented in
+//! `DESIGN.md`: filesystem operations execute for real (mutating real
+//! key-value stores) while recording the sequence of server visits and
+//! their virtual service costs; latency figures sum a single trace, and
+//! throughput figures feed many traces into the [`des`] kernel.
+
+pub mod cost;
+pub mod des;
+pub mod device;
+pub mod stats;
+pub mod time;
+
+pub use cost::CostModel;
+pub use des::{ClosedLoopSim, JobTrace, ServerId, SimOutcome, Visit};
+pub use device::{Device, DeviceKind};
+pub use stats::LatencyStats;
+pub use time::{Clock, Nanos, MICROS, MILLIS, SECS};

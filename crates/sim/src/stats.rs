@@ -1,0 +1,144 @@
+//! Latency statistics helpers used by the benchmark harness.
+
+use crate::time::Nanos;
+
+/// Accumulates a set of latency samples and reports summary statistics.
+#[derive(Clone, Debug, Default)]
+pub struct LatencyStats {
+    samples: Vec<Nanos>,
+    sorted: bool,
+}
+
+impl LatencyStats {
+    /// Create a new instance with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one latency sample.
+    pub fn record(&mut self, ns: Nanos) {
+        self.samples.push(ns);
+        self.sorted = false;
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether there are no entries.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Arithmetic mean in nanoseconds.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().map(|&s| s as f64).sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Minimum sample.
+    pub fn min(&self) -> Nanos {
+        self.samples.iter().copied().min().unwrap_or(0)
+    }
+
+    /// Maximum sample.
+    pub fn max(&self) -> Nanos {
+        self.samples.iter().copied().max().unwrap_or(0)
+    }
+
+    /// `q`-quantile (0.0 ..= 1.0) via nearest-rank on sorted samples.
+    pub fn quantile(&mut self, q: f64) -> Nanos {
+        if self.samples.is_empty() {
+            return 0;
+        }
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((self.samples.len() as f64 - 1.0) * q).round() as usize;
+        self.samples[rank]
+    }
+
+    /// Median.
+    pub fn p50(&mut self) -> Nanos {
+        self.quantile(0.5)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&mut self) -> Nanos {
+        self.quantile(0.99)
+    }
+
+    /// Mean expressed as a multiple of a reference duration (the paper
+    /// normalizes latencies to the network RTT).
+    pub fn mean_normalized(&self, reference: Nanos) -> f64 {
+        if reference == 0 {
+            return 0.0;
+        }
+        self.mean() / reference as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let mut s = LatencyStats::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), 0);
+        assert_eq!(s.max(), 0);
+        assert_eq!(s.p50(), 0);
+    }
+
+    #[test]
+    fn mean_min_max() {
+        let mut s = LatencyStats::new();
+        for v in [10, 20, 30] {
+            s.record(v);
+        }
+        assert_eq!(s.mean(), 20.0);
+        assert_eq!(s.min(), 10);
+        assert_eq!(s.max(), 30);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn quantiles() {
+        let mut s = LatencyStats::new();
+        for v in 1..=100u64 {
+            s.record(v);
+        }
+        // nearest-rank on 100 samples: rank round(49.5) = 50 → value 51
+        assert_eq!(s.p50(), 51);
+        assert_eq!(s.quantile(0.0), 1);
+        assert_eq!(s.quantile(1.0), 100);
+        assert_eq!(s.p99(), 99);
+    }
+
+    #[test]
+    fn quantile_stays_correct_after_more_records() {
+        let mut s = LatencyStats::new();
+        s.record(5);
+        assert_eq!(s.p50(), 5);
+        s.record(100);
+        s.record(1);
+        assert_eq!(s.quantile(1.0), 100);
+        assert_eq!(s.quantile(0.0), 1);
+    }
+
+    #[test]
+    fn normalization_to_rtt() {
+        let mut s = LatencyStats::new();
+        s.record(174_000);
+        s.record(174_000 * 3);
+        assert!((s.mean_normalized(174_000) - 2.0).abs() < 1e-9);
+        assert_eq!(s.mean_normalized(0), 0.0);
+    }
+}

@@ -1,0 +1,164 @@
+//! Virtual time: nanosecond counters shared between components.
+//!
+//! All timing in the reproduction is *virtual*: components charge
+//! nanoseconds to a [`Clock`] instead of sleeping. This keeps benchmark
+//! output deterministic and lets a laptop replay experiments that took
+//! cluster-hours in the paper.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// Virtual nanoseconds.
+pub type Nanos = u64;
+
+/// One microsecond in [`Nanos`].
+pub const MICROS: Nanos = 1_000;
+/// One millisecond in [`Nanos`].
+pub const MILLIS: Nanos = 1_000_000;
+/// One second in [`Nanos`].
+pub const SECS: Nanos = 1_000_000_000;
+
+/// A shareable virtual clock.
+///
+/// Cloning a `Clock` yields a handle onto the same underlying counter, so
+/// a client and the components it drives all advance the same timeline.
+/// `Clock` is deliberately `!Sync`: each simulated client owns its own
+/// timeline. Cross-thread timing uses the [`crate::des`] kernel instead.
+#[derive(Clone, Debug, Default)]
+pub struct Clock {
+    ns: Rc<Cell<Nanos>>,
+}
+
+impl Clock {
+    /// Create a clock at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Nanos {
+        self.ns.get()
+    }
+
+    /// Advance the clock by `delta` nanoseconds.
+    pub fn advance(&self, delta: Nanos) {
+        self.ns.set(self.ns.get().saturating_add(delta));
+    }
+
+    /// Jump the clock to an absolute time. Only moves forward; jumping to
+    /// a time in the past is a no-op (virtual time is monotonic).
+    pub fn advance_to(&self, t: Nanos) {
+        if t > self.ns.get() {
+            self.ns.set(t);
+        }
+    }
+
+    /// Reset to zero. Used between benchmark phases.
+    pub fn reset(&self) {
+        self.ns.set(0);
+    }
+}
+
+/// An accumulator for virtual cost charged by a component during one
+/// logical operation (e.g. one RPC handler invocation).
+///
+/// Components that perform chargeable work (key-value stores, devices)
+/// add to the accumulator; the RPC layer drains it with [`CostAcc::take`]
+/// to obtain the service time of the handler.
+#[derive(Debug, Default)]
+pub struct CostAcc {
+    ns: Cell<Nanos>,
+}
+
+impl CostAcc {
+    /// New, empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charge `delta` nanoseconds of work.
+    pub fn charge(&self, delta: Nanos) {
+        self.ns.set(self.ns.get().saturating_add(delta));
+    }
+
+    /// Peek at the accumulated cost without clearing it.
+    pub fn peek(&self) -> Nanos {
+        self.ns.get()
+    }
+
+    /// Drain the accumulated cost, resetting it to zero.
+    pub fn take(&self) -> Nanos {
+        self.ns.replace(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_starts_at_zero_and_advances() {
+        let c = Clock::new();
+        assert_eq!(c.now(), 0);
+        c.advance(5 * MICROS);
+        assert_eq!(c.now(), 5_000);
+    }
+
+    #[test]
+    fn clock_clones_share_the_timeline() {
+        let a = Clock::new();
+        let b = a.clone();
+        a.advance(10);
+        b.advance(7);
+        assert_eq!(a.now(), 17);
+        assert_eq!(b.now(), 17);
+    }
+
+    #[test]
+    fn advance_to_is_monotonic() {
+        let c = Clock::new();
+        c.advance_to(100);
+        assert_eq!(c.now(), 100);
+        c.advance_to(50);
+        assert_eq!(c.now(), 100);
+        c.advance_to(150);
+        assert_eq!(c.now(), 150);
+    }
+
+    #[test]
+    fn clock_reset() {
+        let c = Clock::new();
+        c.advance(42);
+        c.reset();
+        assert_eq!(c.now(), 0);
+    }
+
+    #[test]
+    fn cost_acc_charges_and_drains() {
+        let acc = CostAcc::new();
+        acc.charge(3);
+        acc.charge(4);
+        assert_eq!(acc.peek(), 7);
+        assert_eq!(acc.take(), 7);
+        assert_eq!(acc.peek(), 0);
+        assert_eq!(acc.take(), 0);
+    }
+
+    #[test]
+    fn saturating_behaviour_near_max() {
+        let c = Clock::new();
+        c.advance(Nanos::MAX - 1);
+        c.advance(10);
+        assert_eq!(c.now(), Nanos::MAX);
+        let acc = CostAcc::new();
+        acc.charge(Nanos::MAX);
+        acc.charge(1);
+        assert_eq!(acc.peek(), Nanos::MAX);
+    }
+
+    #[test]
+    fn unit_constants() {
+        assert_eq!(MICROS * 1_000, MILLIS);
+        assert_eq!(MILLIS * 1_000, SECS);
+    }
+}

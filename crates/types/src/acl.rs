@@ -1,0 +1,85 @@
+//! POSIX mode-bit permission checks.
+//!
+//! LocoFS checks the ACL of every ancestor directory on each operation;
+//! because all d-inodes live on the single DMS, the whole ancestry walk
+//! is one network request (§3.1). This module provides the per-inode
+//! check that walk applies.
+
+/// Requested access kind.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Perm {
+    /// Read access.
+    Read,
+    /// Write access.
+    Write,
+    /// Execute / directory-search access.
+    Exec,
+}
+
+impl Perm {
+    /// The permission bit within an `rwx` triple.
+    fn bit(self) -> u32 {
+        match self {
+            Perm::Read => 0o4,
+            Perm::Write => 0o2,
+            Perm::Exec => 0o1,
+        }
+    }
+}
+
+/// Classic owner/group/other mode check. `uid == 0` (root) bypasses.
+pub fn may_access(mode: u32, owner_uid: u32, owner_gid: u32, uid: u32, gid: u32, want: Perm) -> bool {
+    if uid == 0 {
+        return true;
+    }
+    let triple_shift = if uid == owner_uid {
+        6
+    } else if gid == owner_gid {
+        3
+    } else {
+        0
+    };
+    (mode >> triple_shift) & want.bit() != 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_bits() {
+        let mode = 0o700;
+        assert!(may_access(mode, 5, 5, 5, 5, Perm::Read));
+        assert!(may_access(mode, 5, 5, 5, 5, Perm::Write));
+        assert!(may_access(mode, 5, 5, 5, 5, Perm::Exec));
+        assert!(!may_access(mode, 5, 5, 6, 6, Perm::Read));
+    }
+
+    #[test]
+    fn group_bits() {
+        let mode = 0o750;
+        // Same group, different uid → group triple.
+        assert!(may_access(mode, 5, 10, 6, 10, Perm::Read));
+        assert!(may_access(mode, 5, 10, 6, 10, Perm::Exec));
+        assert!(!may_access(mode, 5, 10, 6, 10, Perm::Write));
+    }
+
+    #[test]
+    fn other_bits() {
+        let mode = 0o751;
+        assert!(may_access(mode, 5, 10, 6, 11, Perm::Exec));
+        assert!(!may_access(mode, 5, 10, 6, 11, Perm::Read));
+    }
+
+    #[test]
+    fn root_bypasses() {
+        assert!(may_access(0o000, 5, 5, 0, 0, Perm::Write));
+    }
+
+    #[test]
+    fn owner_triple_takes_priority_over_group() {
+        // Owner with 0 perms is denied even if group would allow.
+        let mode = 0o070;
+        assert!(!may_access(mode, 5, 10, 5, 10, Perm::Read));
+    }
+}

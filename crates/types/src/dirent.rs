@@ -1,0 +1,309 @@
+//! Backward directory entries (§3.2.1).
+//!
+//! LocoFS does not store a directory's children as the directory's data.
+//! Instead, each child's dirent is co-located with the child's inode,
+//! and for enumeration every metadata server keeps, per directory, one
+//! value concatenating the dirents of the children *it* hosts:
+//!
+//! * the DMS holds, per directory uuid, the concatenated dirents of its
+//!   subdirectories;
+//! * each FMS holds, per directory uuid, the concatenated dirents of the
+//!   files of that directory that hash to this FMS.
+//!
+//! `readdir` gathers these lists from the DMS and every FMS; `rmdir`
+//! checks that they are all empty (which is why the paper's Fig 7 shows
+//! readdir/rmdir costing a visit to every server).
+
+use crate::id::Uuid;
+
+/// Whether a dirent names a file or a subdirectory.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DirentKind {
+    /// Regular file.
+    File,
+    /// Directory.
+    Dir,
+}
+
+/// One directory entry: child name + child uuid + kind.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Dirent {
+    /// File name within the directory (placement-key half).
+    pub name: String,
+    /// Object uuid (`sid` + `fid`).
+    pub uuid: Uuid,
+    /// Entry type (file or directory).
+    pub kind: DirentKind,
+}
+
+/// A concatenated dirent list — the value stored per `directory_uuid`
+/// key. Encoding per entry: `u16` name length ‖ name bytes ‖ `u64` uuid
+/// ‖ `u8` kind.
+#[derive(Clone, Debug, Default)]
+pub struct DirentList {
+    entries: Vec<Dirent>,
+    tombstones: usize,
+    decoded_records: usize,
+}
+
+impl PartialEq for DirentList {
+    fn eq(&self, other: &Self) -> bool {
+        self.entries == other.entries
+    }
+}
+
+impl Eq for DirentList {}
+
+/// Encode one entry in the concatenated format. Appending this to a
+/// stored list value (via `KvStore::append`) is the O(entry) insert
+/// path servers use for dirent maintenance.
+pub fn encode_entry(name: &str, uuid: Uuid, kind: DirentKind) -> Vec<u8> {
+    let name = name.as_bytes();
+    let mut buf = Vec::with_capacity(name.len() + 11);
+    buf.extend_from_slice(&(name.len() as u16).to_le_bytes());
+    buf.extend_from_slice(name);
+    buf.extend_from_slice(&uuid.raw().to_le_bytes());
+    buf.push(match kind {
+        DirentKind::File => 0,
+        DirentKind::Dir => 1,
+    });
+    buf
+}
+
+/// Encode a tombstone for `name`: appended to a list value, it removes
+/// the prior entry of that name at decode time (lazy deletion; servers
+/// compact the list when the tombstone ratio grows).
+pub fn encode_tombstone(name: &str) -> Vec<u8> {
+    let name = name.as_bytes();
+    let mut buf = Vec::with_capacity(name.len() + 11);
+    buf.extend_from_slice(&(name.len() as u16).to_le_bytes());
+    buf.extend_from_slice(name);
+    buf.extend_from_slice(&0u64.to_le_bytes());
+    buf.push(2);
+    buf
+}
+
+impl DirentList {
+    /// Create a new instance with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether there are no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Borrow the entries.
+    pub fn entries(&self) -> &[Dirent] {
+        &self.entries
+    }
+
+    /// Add an entry; replaces any existing entry with the same name.
+    pub fn upsert(&mut self, name: &str, uuid: Uuid, kind: DirentKind) {
+        if let Some(e) = self.entries.iter_mut().find(|e| e.name == name) {
+            e.uuid = uuid;
+            e.kind = kind;
+        } else {
+            self.entries.push(Dirent {
+                name: name.to_string(),
+                uuid,
+                kind,
+            });
+        }
+    }
+
+    /// Remove by name; returns the removed entry if present.
+    pub fn remove(&mut self, name: &str) -> Option<Dirent> {
+        let pos = self.entries.iter().position(|e| e.name == name)?;
+        Some(self.entries.remove(pos))
+    }
+
+    /// Find by name.
+    pub fn find(&self, name: &str) -> Option<&Dirent> {
+        self.entries.iter().find(|e| e.name == name)
+    }
+
+    /// Fraction of decoded records that were tombstones, as reported by
+    /// the last [`DirentList::decode`] (0 for lists built in memory).
+    /// Servers use it to decide when to compact a list.
+    pub fn tombstone_ratio(&self) -> f64 {
+        if self.decoded_records == 0 {
+            0.0
+        } else {
+            self.tombstones as f64 / self.decoded_records as f64
+        }
+    }
+
+    /// Serialize to the concatenated on-store value.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(self.entries.iter().map(|e| e.name.len() + 11).sum());
+        for e in &self.entries {
+            let name = e.name.as_bytes();
+            buf.extend_from_slice(&(name.len() as u16).to_le_bytes());
+            buf.extend_from_slice(name);
+            buf.extend_from_slice(&e.uuid.raw().to_le_bytes());
+            buf.push(match e.kind {
+                DirentKind::File => 0,
+                DirentKind::Dir => 1,
+            });
+        }
+        buf
+    }
+
+    /// Parse a stored value, resolving tombstones (later records win).
+    /// Returns `None` on corrupt input.
+    pub fn decode(mut buf: &[u8]) -> Option<Self> {
+        let mut entries: Vec<Dirent> = Vec::new();
+        let mut tombstones = 0usize;
+        let mut decoded_records = 0usize;
+        while !buf.is_empty() {
+            if buf.len() < 2 {
+                return None;
+            }
+            let name_len = u16::from_le_bytes(buf[..2].try_into().unwrap()) as usize;
+            buf = &buf[2..];
+            if buf.len() < name_len + 9 {
+                return None;
+            }
+            let name = std::str::from_utf8(&buf[..name_len]).ok()?.to_string();
+            buf = &buf[name_len..];
+            let uuid = Uuid::from_raw(u64::from_le_bytes(buf[..8].try_into().unwrap()));
+            let kind_byte = buf[8];
+            buf = &buf[9..];
+            decoded_records += 1;
+            match kind_byte {
+                0 | 1 => {
+                    let kind = if kind_byte == 0 {
+                        DirentKind::File
+                    } else {
+                        DirentKind::Dir
+                    };
+                    // Later records shadow earlier ones of the same name.
+                    if let Some(e) = entries.iter_mut().find(|e| e.name == name) {
+                        e.uuid = uuid;
+                        e.kind = kind;
+                    } else {
+                        entries.push(Dirent { name, uuid, kind });
+                    }
+                }
+                2 => {
+                    tombstones += 1;
+                    entries.retain(|e| e.name != name);
+                }
+                _ => return None,
+            }
+        }
+        Some(Self {
+            entries,
+            tombstones,
+            decoded_records,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_list_roundtrip() {
+        let l = DirentList::new();
+        assert!(l.is_empty());
+        assert_eq!(DirentList::decode(&l.encode()), Some(l));
+    }
+
+    #[test]
+    fn upsert_replaces_same_name() {
+        let mut l = DirentList::new();
+        l.upsert("a", Uuid::new(0, 1), DirentKind::File);
+        l.upsert("a", Uuid::new(0, 2), DirentKind::File);
+        assert_eq!(l.len(), 1);
+        assert_eq!(l.find("a").unwrap().uuid, Uuid::new(0, 2));
+    }
+
+    #[test]
+    fn remove_and_find() {
+        let mut l = DirentList::new();
+        l.upsert("x", Uuid::new(0, 1), DirentKind::Dir);
+        l.upsert("y", Uuid::new(0, 2), DirentKind::File);
+        assert!(l.find("x").is_some());
+        let gone = l.remove("x").unwrap();
+        assert_eq!(gone.name, "x");
+        assert!(l.find("x").is_none());
+        assert!(l.remove("x").is_none());
+        assert_eq!(l.len(), 1);
+    }
+
+    #[test]
+    fn decode_rejects_corrupt_buffers() {
+        assert_eq!(DirentList::decode(&[5]), None); // truncated length
+        assert_eq!(DirentList::decode(&[10, 0, b'a']), None); // short name
+        let mut l = DirentList::new();
+        l.upsert("a", Uuid::new(0, 1), DirentKind::File);
+        let mut buf = l.encode();
+        *buf.last_mut().unwrap() = 9; // invalid kind byte
+        assert_eq!(DirentList::decode(&buf), None);
+    }
+
+    #[test]
+    fn utf8_names_roundtrip() {
+        let mut l = DirentList::new();
+        l.upsert("файл-1", Uuid::new(1, 1), DirentKind::File);
+        l.upsert("目录", Uuid::new(1, 2), DirentKind::Dir);
+        let back = DirentList::decode(&l.encode()).unwrap();
+        assert_eq!(back, l);
+    }
+
+    #[test]
+    fn tombstone_appends_resolve_at_decode() {
+        let mut value = Vec::new();
+        value.extend_from_slice(&encode_entry("a", Uuid::new(0, 1), DirentKind::File));
+        value.extend_from_slice(&encode_entry("b", Uuid::new(0, 2), DirentKind::File));
+        value.extend_from_slice(&encode_tombstone("a"));
+        value.extend_from_slice(&encode_entry("c", Uuid::new(0, 3), DirentKind::Dir));
+        let list = DirentList::decode(&value).unwrap();
+        assert_eq!(list.len(), 2);
+        assert!(list.find("a").is_none());
+        assert!(list.find("b").is_some());
+        assert_eq!(list.find("c").unwrap().kind, DirentKind::Dir);
+        assert!(list.tombstone_ratio() > 0.2 && list.tombstone_ratio() < 0.3);
+    }
+
+    #[test]
+    fn later_records_shadow_earlier_same_name() {
+        let mut value = Vec::new();
+        value.extend_from_slice(&encode_entry("x", Uuid::new(0, 1), DirentKind::File));
+        value.extend_from_slice(&encode_entry("x", Uuid::new(0, 9), DirentKind::File));
+        let list = DirentList::decode(&value).unwrap();
+        assert_eq!(list.len(), 1);
+        assert_eq!(list.find("x").unwrap().uuid, Uuid::new(0, 9));
+    }
+
+    #[test]
+    fn tombstone_for_missing_name_is_harmless() {
+        let value = encode_tombstone("ghost");
+        let list = DirentList::decode(&value).unwrap();
+        assert!(list.is_empty());
+        assert_eq!(list.tombstone_ratio(), 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_random_lists(names in proptest::collection::btree_set("[a-zA-Z0-9_.-]{1,32}", 0..50)) {
+            let mut l = DirentList::new();
+            for (i, n) in names.iter().enumerate() {
+                let kind = if i % 2 == 0 { DirentKind::File } else { DirentKind::Dir };
+                l.upsert(n, Uuid::new((i % 7) as u16, i as u64), kind);
+            }
+            let back = DirentList::decode(&l.encode()).unwrap();
+            prop_assert_eq!(back, l);
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Error type shared by every LocoFS layer.
+
+use std::fmt;
+
+/// Filesystem-level errors, mirroring the POSIX errno each would map to
+/// in a FUSE/LocoLib binding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FsError {
+    /// ENOENT — path or component does not exist.
+    NotFound,
+    /// EEXIST — create/mkdir target already exists.
+    AlreadyExists,
+    /// ENOTDIR — a non-final path component is not a directory.
+    NotADirectory,
+    /// EISDIR — file operation applied to a directory.
+    IsADirectory,
+    /// ENOTEMPTY — rmdir of a non-empty directory.
+    NotEmpty,
+    /// EACCES — permission (ACL) check failed.
+    PermissionDenied,
+    /// EINVAL — malformed path or argument.
+    InvalidArgument,
+    /// EBUSY — operation refused (e.g. rename onto an ancestor).
+    Busy,
+    /// EIO — server unreachable or internal inconsistency.
+    Io(String),
+}
+
+impl fmt::Display for FsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsError::NotFound => write!(f, "no such file or directory"),
+            FsError::AlreadyExists => write!(f, "file exists"),
+            FsError::NotADirectory => write!(f, "not a directory"),
+            FsError::IsADirectory => write!(f, "is a directory"),
+            FsError::NotEmpty => write!(f, "directory not empty"),
+            FsError::PermissionDenied => write!(f, "permission denied"),
+            FsError::InvalidArgument => write!(f, "invalid argument"),
+            FsError::Busy => write!(f, "resource busy"),
+            FsError::Io(msg) => write!(f, "i/o error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FsError {}
+
+/// Result alias used across the workspace.
+pub type FsResult<T> = Result<T, FsError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(FsError::NotFound.to_string(), "no such file or directory");
+        assert_eq!(FsError::Io("x".into()).to_string(), "i/o error: x");
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(FsError::NotEmpty);
+        assert_eq!(e.to_string(), "directory not empty");
+    }
+}

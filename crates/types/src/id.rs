@@ -1,0 +1,159 @@
+//! UUIDs for files and directories (§3.3.2).
+//!
+//! Every file and directory gets a cluster-unique identifier composed of
+//! `sid` (the ID of the server where the object was first created) and
+//! `fid` (a per-server counter). The UUID never changes across renames,
+//! which is what lets data blocks (`uuid + blk_num`) and child files
+//! (`directory_uuid + file_name`) stay put when their parents move.
+
+use std::fmt;
+
+/// Cluster-unique object identifier: 16-bit server ID + 48-bit local ID.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Uuid(u64);
+
+impl Uuid {
+    const FID_BITS: u32 = 48;
+    const FID_MASK: u64 = (1 << Self::FID_BITS) - 1;
+
+    /// Compose from server ID and per-server counter. `fid` must fit in
+    /// 48 bits (an FMS would need to create 2^48 objects to overflow).
+    pub fn new(sid: u16, fid: u64) -> Self {
+        debug_assert!(fid <= Self::FID_MASK, "fid overflow");
+        Self(((sid as u64) << Self::FID_BITS) | (fid & Self::FID_MASK))
+    }
+
+    /// The reserved UUID of the root directory.
+    pub const ROOT: Uuid = Uuid(0);
+
+    /// Server that allocated this UUID.
+    pub fn sid(self) -> u16 {
+        (self.0 >> Self::FID_BITS) as u16
+    }
+
+    /// Per-server sequence number.
+    pub fn fid(self) -> u64 {
+        self.0 & Self::FID_MASK
+    }
+
+    /// Raw packed representation (stable across runs, used in KV keys).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuild from the packed representation.
+    pub fn from_raw(raw: u64) -> Self {
+        Self(raw)
+    }
+
+    /// Big-endian key bytes (sorts by sid then fid).
+    pub fn key_bytes(self) -> [u8; 8] {
+        self.0.to_be_bytes()
+    }
+
+    /// Rebuild from big-endian key bytes.
+    pub fn from_key_bytes(b: [u8; 8]) -> Self {
+        Self(u64::from_be_bytes(b))
+    }
+
+    /// Key identifying data block `blk` of this object in the object
+    /// store (§3.3.2: `uuid + blk_num` replaces per-file block indexes).
+    pub fn block_key(self, blk: u64) -> [u8; 16] {
+        let mut k = [0u8; 16];
+        k[..8].copy_from_slice(&self.key_bytes());
+        k[8..].copy_from_slice(&blk.to_be_bytes());
+        k
+    }
+}
+
+impl fmt::Display for Uuid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.sid(), self.fid())
+    }
+}
+
+/// Per-server UUID allocator.
+#[derive(Debug)]
+pub struct UuidGen {
+    sid: u16,
+    next_fid: u64,
+}
+
+impl UuidGen {
+    /// Allocator for server `sid`. `fid` 0 on server 0 is reserved for
+    /// the root directory, so allocation starts at 1.
+    pub fn new(sid: u16) -> Self {
+        Self { sid, next_fid: 1 }
+    }
+
+    /// Allocate the next UUID.
+    pub fn alloc(&mut self) -> Uuid {
+        let id = Uuid::new(self.sid, self.next_fid);
+        self.next_fid += 1;
+        id
+    }
+
+    /// Persistable allocator state: `(sid, next_fid)`.
+    pub fn state(&self) -> (u16, u64) {
+        (self.sid, self.next_fid)
+    }
+
+    /// Rebuild an allocator from persisted state (server restart).
+    pub fn from_state(sid: u16, next_fid: u64) -> Self {
+        Self { sid, next_fid }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let u = Uuid::new(513, 0x0000_7fff_ffff_fffe);
+        assert_eq!(u.sid(), 513);
+        assert_eq!(u.fid(), 0x0000_7fff_ffff_fffe);
+        assert_eq!(Uuid::from_raw(u.raw()), u);
+        assert_eq!(Uuid::from_key_bytes(u.key_bytes()), u);
+    }
+
+    #[test]
+    fn root_is_sid0_fid0() {
+        assert_eq!(Uuid::ROOT.sid(), 0);
+        assert_eq!(Uuid::ROOT.fid(), 0);
+    }
+
+    #[test]
+    fn generator_is_sequential_and_never_root() {
+        let mut g = UuidGen::new(0);
+        let a = g.alloc();
+        let b = g.alloc();
+        assert_ne!(a, Uuid::ROOT);
+        assert_eq!(a.fid() + 1, b.fid());
+        assert_eq!(a.sid(), 0);
+    }
+
+    #[test]
+    fn different_servers_never_collide() {
+        let mut g1 = UuidGen::new(1);
+        let mut g2 = UuidGen::new(2);
+        for _ in 0..100 {
+            assert_ne!(g1.alloc(), g2.alloc());
+        }
+    }
+
+    #[test]
+    fn block_keys_sort_by_uuid_then_block() {
+        let u = Uuid::new(3, 7);
+        let k0 = u.block_key(0);
+        let k1 = u.block_key(1);
+        let other = Uuid::new(3, 8).block_key(0);
+        assert!(k0 < k1);
+        assert!(k1 < other);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Uuid::new(2, 9).to_string(), "2:9");
+    }
+}

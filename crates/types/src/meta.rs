@@ -1,0 +1,336 @@
+//! Inode metadata with fixed binary layouts.
+//!
+//! §3.3.3 of the paper removes (de)serialization by making every field
+//! fixed-length so a field can be located "through a simple
+//! calculation". We mirror that: each struct documents its byte layout,
+//! exposes `OFF_*`/`LEN_*` constants, and encodes to a fixed-size image.
+//! Field updates can then be issued as `write_at(key, OFF_MODE, &mode)`
+//! against a fixed-layout KV store, touching only the bytes involved.
+//!
+//! Layout summary (Table 1 of the paper):
+//!
+//! | record | fields |
+//! |---|---|
+//! | directory inode | ctime, mode, uid, gid, uuid |
+//! | file access part | ctime, mode, uid, gid |
+//! | file content part | mtime, atime, size, bsize, uuid (suuid+sid) |
+
+use crate::id::Uuid;
+
+fn read_u64(buf: &[u8], off: usize) -> u64 {
+    u64::from_le_bytes(buf[off..off + 8].try_into().unwrap())
+}
+
+fn read_u32(buf: &[u8], off: usize) -> u32 {
+    u32::from_le_bytes(buf[off..off + 4].try_into().unwrap())
+}
+
+/// Directory inode (d-inode), stored on the DMS keyed by **full path**.
+///
+/// The paper allocates 256 bytes per d-inode (§3.2.2); the layout below
+/// uses the leading bytes and reserves the rest.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DirInode {
+    /// Change timestamp.
+    pub ctime: u64,
+    /// POSIX permission bits.
+    pub mode: u32,
+    /// Caller user id (permission checks).
+    pub uid: u32,
+    /// Caller group id (permission checks).
+    pub gid: u32,
+    /// Object uuid (`sid` + `fid`).
+    pub uuid: Uuid,
+}
+
+impl DirInode {
+    /// Byte offset of the `ctime` field in the stored image.
+    pub const OFF_CTIME: usize = 0;
+    /// Byte offset of the `mode` field in the stored image.
+    pub const OFF_MODE: usize = 8;
+    /// Byte offset of the `uid` field in the stored image.
+    pub const OFF_UID: usize = 12;
+    /// Byte offset of the `gid` field in the stored image.
+    pub const OFF_GID: usize = 16;
+    /// Byte offset of the `uuid` field in the stored image.
+    pub const OFF_UUID: usize = 20;
+    /// Stored image size — 256 B per d-inode, as in the paper.
+    pub const SIZE: usize = 256;
+
+    /// Create a new instance with default settings.
+    pub fn new(uuid: Uuid, mode: u32, uid: u32, gid: u32, ctime: u64) -> Self {
+        Self {
+            ctime,
+            mode,
+            uid,
+            gid,
+            uuid,
+        }
+    }
+
+    /// Encode to the fixed 256-byte image.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = vec![0u8; Self::SIZE];
+        buf[Self::OFF_CTIME..Self::OFF_CTIME + 8].copy_from_slice(&self.ctime.to_le_bytes());
+        buf[Self::OFF_MODE..Self::OFF_MODE + 4].copy_from_slice(&self.mode.to_le_bytes());
+        buf[Self::OFF_UID..Self::OFF_UID + 4].copy_from_slice(&self.uid.to_le_bytes());
+        buf[Self::OFF_GID..Self::OFF_GID + 4].copy_from_slice(&self.gid.to_le_bytes());
+        buf[Self::OFF_UUID..Self::OFF_UUID + 8].copy_from_slice(&self.uuid.raw().to_le_bytes());
+        buf
+    }
+
+    /// Decode from a stored image. Returns `None` on short buffers.
+    pub fn decode(buf: &[u8]) -> Option<Self> {
+        if buf.len() < Self::SIZE {
+            return None;
+        }
+        Some(Self {
+            ctime: read_u64(buf, Self::OFF_CTIME),
+            mode: read_u32(buf, Self::OFF_MODE),
+            uid: read_u32(buf, Self::OFF_UID),
+            gid: read_u32(buf, Self::OFF_GID),
+            uuid: Uuid::from_raw(read_u64(buf, Self::OFF_UUID)),
+        })
+    }
+}
+
+/// File metadata, **access part**: the fields permission-related
+/// operations (chmod, chown, create, open, access) read and write.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FileAccess {
+    /// Change timestamp.
+    pub ctime: u64,
+    /// POSIX permission bits.
+    pub mode: u32,
+    /// Caller user id (permission checks).
+    pub uid: u32,
+    /// Caller group id (permission checks).
+    pub gid: u32,
+}
+
+impl FileAccess {
+    /// Byte offset of the `ctime` field in the stored image.
+    pub const OFF_CTIME: usize = 0;
+    /// Byte offset of the `mode` field in the stored image.
+    pub const OFF_MODE: usize = 8;
+    /// Byte offset of the `uid` field in the stored image.
+    pub const OFF_UID: usize = 12;
+    /// Byte offset of the `gid` field in the stored image.
+    pub const OFF_GID: usize = 16;
+    /// Stored image size (fields + reserved), deliberately small: the
+    /// whole point of decoupling is small values.
+    pub const SIZE: usize = 32;
+
+    /// Serialize to the stored byte image.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = vec![0u8; Self::SIZE];
+        buf[Self::OFF_CTIME..Self::OFF_CTIME + 8].copy_from_slice(&self.ctime.to_le_bytes());
+        buf[Self::OFF_MODE..Self::OFF_MODE + 4].copy_from_slice(&self.mode.to_le_bytes());
+        buf[Self::OFF_UID..Self::OFF_UID + 4].copy_from_slice(&self.uid.to_le_bytes());
+        buf[Self::OFF_GID..Self::OFF_GID + 4].copy_from_slice(&self.gid.to_le_bytes());
+        buf
+    }
+
+    /// Parse from a stored byte image; `None` on corrupt input.
+    pub fn decode(buf: &[u8]) -> Option<Self> {
+        if buf.len() < Self::SIZE {
+            return None;
+        }
+        Some(Self {
+            ctime: read_u64(buf, Self::OFF_CTIME),
+            mode: read_u32(buf, Self::OFF_MODE),
+            uid: read_u32(buf, Self::OFF_UID),
+            gid: read_u32(buf, Self::OFF_GID),
+        })
+    }
+}
+
+/// File metadata, **content part**: the fields data-path operations
+/// (read, write, truncate) touch, plus the file's own uuid (`suuid` +
+/// `sid` in the paper's Table 1) that addresses its data blocks.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FileContent {
+    /// New modification timestamp.
+    pub mtime: u64,
+    /// New access timestamp.
+    pub atime: u64,
+    /// File size in bytes.
+    pub size: u64,
+    /// Data block size in bytes.
+    pub bsize: u32,
+    /// Object uuid (`sid` + `fid`).
+    pub uuid: Uuid,
+}
+
+impl FileContent {
+    /// Byte offset of the `mtime` field in the stored image.
+    pub const OFF_MTIME: usize = 0;
+    /// Byte offset of the `atime` field in the stored image.
+    pub const OFF_ATIME: usize = 8;
+    /// Byte offset of the `size` field in the stored image.
+    pub const OFF_SIZE: usize = 16;
+    /// Byte offset of the `bsize` field in the stored image.
+    pub const OFF_BSIZE: usize = 24;
+    /// Byte offset of the `uuid` field in the stored image.
+    pub const OFF_UUID: usize = 28;
+    /// Stored image size.
+    pub const SIZE: usize = 40;
+
+    /// Serialize to the stored byte image.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = vec![0u8; Self::SIZE];
+        buf[Self::OFF_MTIME..Self::OFF_MTIME + 8].copy_from_slice(&self.mtime.to_le_bytes());
+        buf[Self::OFF_ATIME..Self::OFF_ATIME + 8].copy_from_slice(&self.atime.to_le_bytes());
+        buf[Self::OFF_SIZE..Self::OFF_SIZE + 8].copy_from_slice(&self.size.to_le_bytes());
+        buf[Self::OFF_BSIZE..Self::OFF_BSIZE + 4].copy_from_slice(&self.bsize.to_le_bytes());
+        buf[Self::OFF_UUID..Self::OFF_UUID + 8].copy_from_slice(&self.uuid.raw().to_le_bytes());
+        buf
+    }
+
+    /// Parse from a stored byte image; `None` on corrupt input.
+    pub fn decode(buf: &[u8]) -> Option<Self> {
+        if buf.len() < Self::SIZE {
+            return None;
+        }
+        Some(Self {
+            mtime: read_u64(buf, Self::OFF_MTIME),
+            atime: read_u64(buf, Self::OFF_ATIME),
+            size: read_u64(buf, Self::OFF_SIZE),
+            bsize: read_u32(buf, Self::OFF_BSIZE),
+            uuid: Uuid::from_raw(read_u64(buf, Self::OFF_UUID)),
+        })
+    }
+}
+
+/// Size of a *coupled* file inode value (access + content in one
+/// record), used by the LocoFS-CF ablation of Fig 11.
+pub const COUPLED_SIZE: usize = FileAccess::SIZE + FileContent::SIZE;
+
+/// Size of a conventional file inode value in baseline systems that keep
+/// block-index metadata inline ("hundreds of bytes", §3.3): access +
+/// content + an inline block map area.
+pub const BASELINE_INODE_SIZE: usize = 256;
+
+/// Encode a coupled (access ‖ content) record.
+pub fn encode_coupled(access: &FileAccess, content: &FileContent) -> Vec<u8> {
+    let mut buf = access.encode();
+    buf.extend_from_slice(&content.encode());
+    buf
+}
+
+/// Decode a coupled record back into its two halves.
+pub fn decode_coupled(buf: &[u8]) -> Option<(FileAccess, FileContent)> {
+    if buf.len() < COUPLED_SIZE {
+        return None;
+    }
+    Some((
+        FileAccess::decode(&buf[..FileAccess::SIZE])?,
+        FileContent::decode(&buf[FileAccess::SIZE..])?,
+    ))
+}
+
+/// A combined stat result returned to clients (what `getattr` yields).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FileStat {
+    /// Access-part record (ctime, mode, uid, gid).
+    pub access: FileAccess,
+    /// Content-part record (mtime, atime, size, bsize, uuid).
+    pub content: FileContent,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_access() -> FileAccess {
+        FileAccess {
+            ctime: 1_700_000_000,
+            mode: 0o100644,
+            uid: 1000,
+            gid: 100,
+        }
+    }
+
+    fn sample_content() -> FileContent {
+        FileContent {
+            mtime: 1_700_000_001,
+            atime: 1_700_000_002,
+            size: 4096,
+            bsize: 65536,
+            uuid: Uuid::new(3, 42),
+        }
+    }
+
+    #[test]
+    fn dir_inode_roundtrip() {
+        let d = DirInode::new(Uuid::new(0, 7), 0o40755, 1, 2, 99);
+        let buf = d.encode();
+        assert_eq!(buf.len(), DirInode::SIZE);
+        assert_eq!(DirInode::decode(&buf), Some(d));
+    }
+
+    #[test]
+    fn dir_inode_field_offsets_match_encoding() {
+        let d = DirInode::new(Uuid::new(1, 2), 0o40700, 10, 20, 30);
+        let buf = d.encode();
+        assert_eq!(
+            u32::from_le_bytes(buf[DirInode::OFF_MODE..DirInode::OFF_MODE + 4].try_into().unwrap()),
+            0o40700
+        );
+        assert_eq!(
+            u64::from_le_bytes(buf[DirInode::OFF_UUID..DirInode::OFF_UUID + 8].try_into().unwrap()),
+            Uuid::new(1, 2).raw()
+        );
+    }
+
+    #[test]
+    fn access_roundtrip_and_size() {
+        let a = sample_access();
+        let buf = a.encode();
+        assert_eq!(buf.len(), FileAccess::SIZE);
+        assert_eq!(FileAccess::decode(&buf), Some(a));
+    }
+
+    #[test]
+    fn content_roundtrip_and_size() {
+        let c = sample_content();
+        let buf = c.encode();
+        assert_eq!(buf.len(), FileContent::SIZE);
+        assert_eq!(FileContent::decode(&buf), Some(c));
+    }
+
+    #[test]
+    fn decode_rejects_short_buffers() {
+        assert_eq!(DirInode::decode(&[0u8; 16]), None);
+        assert_eq!(FileAccess::decode(&[0u8; 4]), None);
+        assert_eq!(FileContent::decode(&[0u8; 4]), None);
+        assert_eq!(decode_coupled(&[0u8; 8]), None);
+    }
+
+    #[test]
+    fn coupled_roundtrip() {
+        let (a, c) = (sample_access(), sample_content());
+        let buf = encode_coupled(&a, &c);
+        assert_eq!(buf.len(), COUPLED_SIZE);
+        assert_eq!(decode_coupled(&buf), Some((a, c)));
+    }
+
+    #[test]
+    fn decoupled_values_are_much_smaller_than_baseline() {
+        // The size reduction is the mechanism behind Fig 11.
+        assert!(FileAccess::SIZE < BASELINE_INODE_SIZE / 4);
+        assert!(FileContent::SIZE < BASELINE_INODE_SIZE / 4);
+        assert!(COUPLED_SIZE < BASELINE_INODE_SIZE);
+    }
+
+    #[test]
+    fn in_place_field_update_via_offsets() {
+        // Simulate what the FMS does: poke mode directly into the image.
+        let mut buf = sample_access().encode();
+        buf[FileAccess::OFF_MODE..FileAccess::OFF_MODE + 4]
+            .copy_from_slice(&0o100600u32.to_le_bytes());
+        let a = FileAccess::decode(&buf).unwrap();
+        assert_eq!(a.mode, 0o100600);
+        assert_eq!(a.uid, 1000); // neighbours untouched
+    }
+}

@@ -1,0 +1,199 @@
+//! Table 1 of the paper as data: which metadata parts each filesystem
+//! operation reads or updates.
+//!
+//! The FMS/DMS implementations are tested against this matrix: an
+//! operation that touches a part the table doesn't list (or misses one
+//! it does) fails the conformance tests in `loco-fms`/`loco-dms`. The
+//! benchmark binary `table1_matrix` pretty-prints it.
+
+/// Metadata record classes of the decoupled design.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MetaPart {
+    /// Directory inode on the DMS (full-path key).
+    DirInode,
+    /// File inode, access part (ctime, mode, uid, gid).
+    FileAccess,
+    /// File inode, content part (mtime, atime, size, bsize, uuid).
+    FileContent,
+    /// A per-directory concatenated dirent list (on DMS or FMS).
+    DirentList,
+}
+
+/// The operations of the paper's Table 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Create a directory.
+    Mkdir,
+    /// Remove an empty directory.
+    Rmdir,
+    /// List a directory.
+    Readdir,
+    /// Read file/directory attributes.
+    Getattr,
+    /// Unlink a file.
+    Remove,
+    /// Change permission bits.
+    Chmod,
+    /// Change ownership.
+    Chown,
+    /// Create a file.
+    Create,
+    /// Open a file.
+    Open,
+    /// Read access.
+    Read,
+    /// Write access.
+    Write,
+    /// Change file size.
+    Truncate,
+}
+
+impl OpKind {
+    /// All rows of the table, in the paper's order.
+    pub const ALL: [OpKind; 12] = [
+        OpKind::Mkdir,
+        OpKind::Rmdir,
+        OpKind::Readdir,
+        OpKind::Getattr,
+        OpKind::Remove,
+        OpKind::Chmod,
+        OpKind::Chown,
+        OpKind::Create,
+        OpKind::Open,
+        OpKind::Read,
+        OpKind::Write,
+        OpKind::Truncate,
+    ];
+
+    /// Display name matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpKind::Mkdir => "mkdir",
+            OpKind::Rmdir => "rmdir",
+            OpKind::Readdir => "readdir",
+            OpKind::Getattr => "getattr",
+            OpKind::Remove => "remove",
+            OpKind::Chmod => "chmod",
+            OpKind::Chown => "chown",
+            OpKind::Create => "create",
+            OpKind::Open => "open",
+            OpKind::Read => "read",
+            OpKind::Write => "write",
+            OpKind::Truncate => "truncate",
+        }
+    }
+}
+
+/// Metadata parts touched by `op` (required accesses; Table 1's filled
+/// bullets). The `open` row's optional content access (hollow bullet) is
+/// reported by [`optional_parts`].
+pub fn parts_touched(op: OpKind) -> &'static [MetaPart] {
+    use MetaPart::*;
+    match op {
+        OpKind::Mkdir => &[DirInode, DirentList],
+        OpKind::Rmdir => &[DirInode, DirentList],
+        OpKind::Readdir => &[DirInode, DirentList],
+        OpKind::Getattr => &[DirInode, FileAccess, FileContent],
+        OpKind::Remove => &[FileAccess, FileContent, DirentList],
+        OpKind::Chmod => &[DirInode, FileAccess],
+        OpKind::Chown => &[DirInode, FileAccess],
+        OpKind::Create => &[FileAccess, DirentList],
+        OpKind::Open => &[FileAccess],
+        OpKind::Read => &[FileContent],
+        OpKind::Write => &[FileContent],
+        OpKind::Truncate => &[FileContent],
+    }
+}
+
+/// Optional accesses (hollow bullets in Table 1): implementation-defined.
+pub fn optional_parts(op: OpKind) -> &'static [MetaPart] {
+    match op {
+        OpKind::Open => &[MetaPart::FileContent],
+        _ => &[],
+    }
+}
+
+/// True when `op` touches only one of the two decoupled file-metadata
+/// parts — the operations §3.3.1 says benefit most from decoupling.
+pub fn is_single_part_file_op(op: OpKind) -> bool {
+    let parts = parts_touched(op);
+    let access = parts.contains(&MetaPart::FileAccess);
+    let content = parts.contains(&MetaPart::FileContent);
+    access != content
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_rows_exist_for_all_ops() {
+        for op in OpKind::ALL {
+            assert!(!parts_touched(op).is_empty(), "{op:?} has no row");
+            assert!(!op.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn directory_ops_touch_dir_inode_and_dirents() {
+        for op in [OpKind::Mkdir, OpKind::Rmdir, OpKind::Readdir] {
+            let p = parts_touched(op);
+            assert!(p.contains(&MetaPart::DirInode));
+            assert!(p.contains(&MetaPart::DirentList));
+            assert!(!p.contains(&MetaPart::FileAccess));
+            assert!(!p.contains(&MetaPart::FileContent));
+        }
+    }
+
+    #[test]
+    fn data_path_ops_touch_only_content() {
+        for op in [OpKind::Read, OpKind::Write, OpKind::Truncate] {
+            assert_eq!(parts_touched(op), &[MetaPart::FileContent]);
+            assert!(is_single_part_file_op(op));
+        }
+    }
+
+    #[test]
+    fn permission_ops_touch_only_access() {
+        for op in [OpKind::Chmod, OpKind::Chown] {
+            let p = parts_touched(op);
+            assert!(p.contains(&MetaPart::FileAccess));
+            assert!(!p.contains(&MetaPart::FileContent));
+            assert!(is_single_part_file_op(op));
+        }
+    }
+
+    #[test]
+    fn getattr_and_remove_touch_both_parts() {
+        for op in [OpKind::Getattr, OpKind::Remove] {
+            let p = parts_touched(op);
+            assert!(p.contains(&MetaPart::FileAccess));
+            assert!(p.contains(&MetaPart::FileContent));
+            assert!(!is_single_part_file_op(op));
+        }
+    }
+
+    #[test]
+    fn open_content_access_is_optional() {
+        assert_eq!(parts_touched(OpKind::Open), &[MetaPart::FileAccess]);
+        assert_eq!(optional_parts(OpKind::Open), &[MetaPart::FileContent]);
+        assert!(optional_parts(OpKind::Write).is_empty());
+    }
+
+    #[test]
+    fn most_ops_are_single_part() {
+        // §3.3.1: "most operations access only one part, except for few
+        // operations like getattr, remove, rename."
+        let single = OpKind::ALL
+            .iter()
+            .filter(|&&op| {
+                // Directory-only ops don't touch file metadata at all;
+                // exclude them from the ratio like the paper does.
+                let p = parts_touched(op);
+                p.contains(&MetaPart::FileAccess) || p.contains(&MetaPart::FileContent)
+            })
+            .filter(|&&op| is_single_part_file_op(op))
+            .count();
+        assert!(single >= 6, "only {single} single-part file ops");
+    }
+}

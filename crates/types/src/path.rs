@@ -1,0 +1,169 @@
+//! Absolute-path handling.
+//!
+//! LocoFS keys directory inodes by **full path name** (§3.1), so path
+//! normalization must be canonical: exactly one leading `/`, no trailing
+//! slash (except the root itself), no empty or dot components. `..` is
+//! rejected rather than resolved — clients resolve it before issuing
+//! operations, as the paper's LocoLib does.
+
+use crate::error::{FsError, FsResult};
+
+/// Canonicalize a path. Returns the normalized form or
+/// [`FsError::InvalidArgument`].
+pub fn normalize(path: &str) -> FsResult<String> {
+    if !path.starts_with('/') {
+        return Err(FsError::InvalidArgument);
+    }
+    let mut out = String::with_capacity(path.len());
+    for comp in path.split('/') {
+        match comp {
+            "" | "." => continue,
+            ".." => return Err(FsError::InvalidArgument),
+            c if c.contains('\0') => return Err(FsError::InvalidArgument),
+            c => {
+                out.push('/');
+                out.push_str(c);
+            }
+        }
+    }
+    if out.is_empty() {
+        out.push('/');
+    }
+    Ok(out)
+}
+
+/// Parent directory of a normalized path; `None` for the root.
+pub fn parent(path: &str) -> Option<&str> {
+    if path == "/" {
+        return None;
+    }
+    match path.rfind('/') {
+        Some(0) => Some("/"),
+        Some(idx) => Some(&path[..idx]),
+        None => None,
+    }
+}
+
+/// Final component of a normalized path; empty string for the root.
+pub fn basename(path: &str) -> &str {
+    if path == "/" {
+        return "";
+    }
+    match path.rfind('/') {
+        Some(idx) => &path[idx + 1..],
+        None => path,
+    }
+}
+
+/// Path components of a normalized path (root yields an empty iterator).
+pub fn components(path: &str) -> impl Iterator<Item = &str> {
+    path.split('/').filter(|c| !c.is_empty())
+}
+
+/// Number of components, i.e. directory depth (root = 0).
+pub fn depth(path: &str) -> usize {
+    components(path).count()
+}
+
+/// Join a normalized directory path with a single component name.
+pub fn join(dir: &str, name: &str) -> String {
+    if dir == "/" {
+        format!("/{name}")
+    } else {
+        format!("{dir}/{name}")
+    }
+}
+
+/// All ancestor paths of a normalized path, outermost first, excluding
+/// the path itself. `/a/b/c` → `["/", "/a", "/a/b"]`.
+pub fn ancestors(path: &str) -> Vec<String> {
+    let mut out = vec!["/".to_string()];
+    if path == "/" {
+        out.pop();
+        return out;
+    }
+    let mut acc = String::new();
+    let comps: Vec<&str> = components(path).collect();
+    for comp in &comps[..comps.len().saturating_sub(1)] {
+        acc.push('/');
+        acc.push_str(comp);
+        out.push(acc.clone());
+    }
+    out
+}
+
+/// True if `candidate` equals `dir` or lies beneath it.
+pub fn is_same_or_descendant(candidate: &str, dir: &str) -> bool {
+    if candidate == dir {
+        return true;
+    }
+    if dir == "/" {
+        return true;
+    }
+    candidate.starts_with(dir) && candidate.as_bytes().get(dir.len()) == Some(&b'/')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_canonical_forms() {
+        assert_eq!(normalize("/").unwrap(), "/");
+        assert_eq!(normalize("/a/b").unwrap(), "/a/b");
+        assert_eq!(normalize("//a///b/").unwrap(), "/a/b");
+        assert_eq!(normalize("/a/./b/.").unwrap(), "/a/b");
+    }
+
+    #[test]
+    fn normalize_rejects_bad_paths() {
+        assert_eq!(normalize("a/b"), Err(FsError::InvalidArgument));
+        assert_eq!(normalize("/a/../b"), Err(FsError::InvalidArgument));
+        assert_eq!(normalize("/a\0b"), Err(FsError::InvalidArgument));
+        assert_eq!(normalize(""), Err(FsError::InvalidArgument));
+    }
+
+    #[test]
+    fn parent_and_basename() {
+        assert_eq!(parent("/"), None);
+        assert_eq!(parent("/a"), Some("/"));
+        assert_eq!(parent("/a/b/c"), Some("/a/b"));
+        assert_eq!(basename("/"), "");
+        assert_eq!(basename("/a"), "a");
+        assert_eq!(basename("/a/b/c"), "c");
+    }
+
+    #[test]
+    fn join_inverse_of_split() {
+        for p in ["/a", "/a/b", "/x/y/z"] {
+            let d = parent(p).unwrap();
+            let b = basename(p);
+            assert_eq!(join(d, b), p);
+        }
+    }
+
+    #[test]
+    fn depth_and_components() {
+        assert_eq!(depth("/"), 0);
+        assert_eq!(depth("/a"), 1);
+        assert_eq!(depth("/a/b/c"), 3);
+        let c: Vec<&str> = components("/a/b").collect();
+        assert_eq!(c, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn ancestors_outermost_first() {
+        assert_eq!(ancestors("/a/b/c"), vec!["/", "/a", "/a/b"]);
+        assert_eq!(ancestors("/a"), vec!["/"]);
+        assert!(ancestors("/").is_empty());
+    }
+
+    #[test]
+    fn descendant_checks() {
+        assert!(is_same_or_descendant("/a/b", "/a"));
+        assert!(is_same_or_descendant("/a", "/a"));
+        assert!(is_same_or_descendant("/a/b", "/"));
+        assert!(!is_same_or_descendant("/ab", "/a"));
+        assert!(!is_same_or_descendant("/a", "/a/b"));
+    }
+}

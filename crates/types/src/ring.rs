@@ -1,0 +1,153 @@
+//! Consistent-hash ring placing file metadata on FMS nodes (§3.1).
+//!
+//! File metadata is distributed by hashing `directory_uuid + file_name`.
+//! Consistent hashing (with virtual nodes for balance) keeps most
+//! placements stable when servers are added — the property the paper
+//! relies on for scaling the FMS tier without mass relocation.
+
+use std::fmt::Write as _;
+
+/// FNV-1a with a splitmix64 finalizer. Plain FNV leaves the high bits
+/// of similar short keys correlated, which skews ring placement; the
+/// finalizer restores avalanche across the full 64-bit range the ring
+/// partitions.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+/// A consistent-hash ring over `n` servers.
+#[derive(Clone, Debug)]
+pub struct HashRing {
+    /// Sorted (point, server) pairs.
+    points: Vec<(u64, u16)>,
+    servers: u16,
+}
+
+/// Virtual nodes per server: enough for <10 % imbalance at 16 servers.
+const VNODES: usize = 128;
+
+impl HashRing {
+    /// Build a ring over servers `0..n`.
+    pub fn new(n: u16) -> Self {
+        assert!(n > 0, "ring needs at least one server");
+        let mut points = Vec::with_capacity(n as usize * VNODES);
+        let mut label = String::new();
+        for s in 0..n {
+            for v in 0..VNODES {
+                label.clear();
+                let _ = write!(label, "server-{s}-vnode-{v}");
+                points.push((fnv1a(label.as_bytes()), s));
+            }
+        }
+        points.sort_unstable();
+        points.dedup_by_key(|p| p.0);
+        Self { points, servers: n }
+    }
+
+    /// Number of servers on the ring.
+    pub fn servers(&self) -> u16 {
+        self.servers
+    }
+
+    /// Server responsible for `key`.
+    pub fn place(&self, key: &[u8]) -> u16 {
+        let h = fnv1a(key);
+        let idx = self.points.partition_point(|&(p, _)| p < h);
+        let idx = if idx == self.points.len() { 0 } else { idx };
+        self.points[idx].1
+    }
+
+    /// Convenience: place the paper's file-metadata key,
+    /// `directory_uuid + file_name`.
+    pub fn place_file(&self, dir_uuid: u64, name: &str) -> u16 {
+        let mut key = Vec::with_capacity(8 + name.len());
+        key.extend_from_slice(&dir_uuid.to_be_bytes());
+        key.extend_from_slice(name.as_bytes());
+        self.place(&key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn single_server_gets_everything() {
+        let r = HashRing::new(1);
+        for i in 0..100u32 {
+            assert_eq!(r.place(&i.to_be_bytes()), 0);
+        }
+    }
+
+    #[test]
+    fn placement_is_deterministic() {
+        let a = HashRing::new(8);
+        let b = HashRing::new(8);
+        for i in 0..1000u32 {
+            assert_eq!(a.place(&i.to_be_bytes()), b.place(&i.to_be_bytes()));
+        }
+    }
+
+    #[test]
+    fn load_is_roughly_balanced() {
+        let r = HashRing::new(16);
+        let mut counts: HashMap<u16, usize> = HashMap::new();
+        for i in 0..100_000u32 {
+            *counts.entry(r.place_file(i as u64, "file")).or_default() += 1;
+        }
+        let expect = 100_000 / 16;
+        for s in 0..16u16 {
+            let c = *counts.get(&s).unwrap_or(&0);
+            assert!(
+                c > expect / 2 && c < expect * 2,
+                "server {s} got {c}, expected ≈{expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn growing_the_ring_moves_few_keys() {
+        let small = HashRing::new(8);
+        let big = HashRing::new(9);
+        let mut moved = 0;
+        let total = 50_000u32;
+        for i in 0..total {
+            let key = i.to_be_bytes();
+            if small.place(&key) != big.place(&key) {
+                moved += 1;
+            }
+        }
+        // Ideal movement is 1/9 ≈ 11 %; allow slack but far below the
+        // ~50 %+ a mod-N hash would move.
+        let frac = moved as f64 / total as f64;
+        assert!(frac < 0.25, "moved fraction = {frac}");
+    }
+
+    #[test]
+    fn same_directory_spreads_across_servers() {
+        // Files of one directory must NOT all land on one FMS — load
+        // balance is per file, not per directory (unlike CephFS).
+        let r = HashRing::new(4);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..64 {
+            seen.insert(r.place_file(42, &format!("f{i}")));
+        }
+        assert!(seen.len() >= 3, "only servers {seen:?} used");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn zero_servers_panics() {
+        let _ = HashRing::new(0);
+    }
+}

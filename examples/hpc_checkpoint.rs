@@ -1,0 +1,79 @@
+//! HPC checkpoint/restart — the workload class the paper's introduction
+//! motivates (earth simulation / weather forecast applications that
+//! "store files in a specific set of directories", §3.2.2).
+//!
+//! N simulated MPI ranks each write a checkpoint file per step into a
+//! per-rank directory, then a restart phase reads the latest step back.
+//! The run reports metadata round trips and shows why the d-inode
+//! client cache matters for this directory-local pattern.
+//!
+//! Run with: `cargo run --release --example hpc_checkpoint`
+
+use locofs::client::{LocoCluster, LocoConfig};
+use locofs::types::Perm;
+
+const RANKS: usize = 32;
+const STEPS: usize = 8;
+const CKPT_BYTES: usize = 64 * 1024;
+
+fn run(cache: bool) -> (u64, usize) {
+    let config = if cache {
+        LocoConfig::with_servers(8)
+    } else {
+        LocoConfig::with_servers(8).no_cache()
+    };
+    let cluster = LocoCluster::new(config);
+    let mut fs = cluster.client();
+    let rtt = fs.rtt();
+
+    // Job prologue: one directory per rank.
+    fs.mkdir("/ckpt", 0o755).unwrap();
+    for rank in 0..RANKS {
+        fs.mkdir(&format!("/ckpt/rank{rank:04}"), 0o755).unwrap();
+    }
+
+    // Checkpoint phases.
+    let payload = vec![0xCCu8; CKPT_BYTES];
+    let mut total_ns = 0u64;
+    let mut total_rpcs = 0usize;
+    for step in 0..STEPS {
+        for rank in 0..RANKS {
+            let path = format!("/ckpt/rank{rank:04}/step{step:05}.ckpt");
+            let mut fh = fs.create(&path, 0o644).unwrap();
+            let t = fs.take_trace();
+            total_rpcs += t.visits.len();
+            total_ns += t.unloaded_latency(rtt);
+            fs.write(&mut fh, 0, &payload).unwrap();
+            let t = fs.take_trace();
+            total_rpcs += t.visits.len();
+            total_ns += t.unloaded_latency(rtt);
+        }
+    }
+
+    // Restart: read the last step back and verify.
+    for rank in 0..RANKS {
+        let path = format!("/ckpt/rank{rank:04}/step{:05}.ckpt", STEPS - 1);
+        let fh = fs.open(&path, Perm::Read).unwrap();
+        let data = fs.read(&fh, 0, fh.size).unwrap();
+        assert_eq!(data.len(), CKPT_BYTES);
+        let t = fs.take_trace();
+        total_rpcs += t.visits.len();
+    }
+
+    (total_ns, total_rpcs)
+}
+
+fn main() {
+    println!(
+        "checkpoint workload: {RANKS} ranks × {STEPS} steps × {CKPT_BYTES} B + restart read\n"
+    );
+    let (ns_c, rpc_c) = run(true);
+    let (ns_nc, rpc_nc) = run(false);
+    println!("with d-inode cache   : {rpc_c:6} metadata/data RPCs, checkpoint path {:.1} ms virtual", ns_c as f64 / 1e6);
+    println!("without cache        : {rpc_nc:6} metadata/data RPCs, checkpoint path {:.1} ms virtual", ns_nc as f64 / 1e6);
+    println!(
+        "\ncache removed {} DMS lookups — checkpoint apps have exactly the\n\
+         directory locality §3.2.2 argues the client cache exploits.",
+        rpc_nc - rpc_c
+    );
+}

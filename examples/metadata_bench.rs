@@ -1,0 +1,116 @@
+//! Mini-mdtest CLI: run a metadata phase against any modeled filesystem
+//! and print latency + closed-loop throughput, like one cell of the
+//! paper's evaluation.
+//!
+//! Usage:
+//!   cargo run --release --example metadata_bench -- \
+//!       [system] [servers] [clients] [items] [phase]
+//!
+//!   system: loco-c | loco-nc | loco-cf | ceph | gluster | lustre-d1 |
+//!           lustre-d2 | indexfs | rawkv        (default loco-c)
+//!   phase:  touch | mkdir | file-stat | dir-stat | rm | rmdir |
+//!           readdir | chmod | chown | truncate | access (default touch)
+
+use locofs::baselines::{
+    CephFsModel, DistFs, GlusterFsModel, IndexFsModel, LocoAdapter, LustreFsModel,
+    LustreVariant, RawKvFs,
+};
+use locofs::client::LocoConfig;
+use locofs::mdtest::{
+    collect_traces, gen_phase, gen_setup, run_latency, run_setup, PhaseKind, TreeSpec,
+};
+use locofs::sim::des::ClosedLoopSim;
+
+fn make(system: &str, servers: u16) -> Box<dyn DistFs> {
+    match system {
+        "loco-c" => Box::new(LocoAdapter::new(LocoConfig::with_servers(servers))),
+        "loco-nc" => Box::new(LocoAdapter::new(LocoConfig::with_servers(servers).no_cache())),
+        "loco-cf" => Box::new(LocoAdapter::new(LocoConfig::with_servers(servers).coupled())),
+        "ceph" => Box::new(CephFsModel::new(servers)),
+        "gluster" => Box::new(GlusterFsModel::new(servers)),
+        "lustre-d1" => Box::new(LustreFsModel::new(LustreVariant::Dne1, servers)),
+        "lustre-d2" => Box::new(LustreFsModel::new(LustreVariant::Dne2, servers)),
+        "indexfs" => Box::new(IndexFsModel::new(servers)),
+        "rawkv" => Box::new(RawKvFs::new()),
+        other => panic!("unknown system {other:?}"),
+    }
+}
+
+fn phase(name: &str) -> PhaseKind {
+    match name {
+        "touch" => PhaseKind::FileCreate,
+        "mkdir" => PhaseKind::DirCreate,
+        "file-stat" => PhaseKind::FileStat,
+        "dir-stat" => PhaseKind::DirStat,
+        "rm" => PhaseKind::FileRemove,
+        "rmdir" => PhaseKind::DirRemove,
+        "readdir" => PhaseKind::Readdir,
+        "chmod" => PhaseKind::ModChmod,
+        "chown" => PhaseKind::ModChown,
+        "truncate" => PhaseKind::ModTruncate,
+        "access" => PhaseKind::ModAccess,
+        other => panic!("unknown phase {other:?}"),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let system = args.get(1).map(String::as_str).unwrap_or("loco-c").to_string();
+    let servers: u16 = args.get(2).and_then(|a| a.parse().ok()).unwrap_or(8);
+    let clients: usize = args.get(3).and_then(|a| a.parse().ok()).unwrap_or(64);
+    let items: usize = args.get(4).and_then(|a| a.parse().ok()).unwrap_or(100);
+    let kind = phase(args.get(5).map(String::as_str).unwrap_or("touch"));
+
+    println!("system={system} servers={servers} clients={clients} items/client={items} phase={}", kind.label());
+
+    // Single-client latency.
+    let mut fs = make(&system, servers);
+    let spec1 = TreeSpec::new(1, items);
+    run_setup(&mut *fs, &gen_setup(&spec1)).unwrap();
+    if kind.needs_files() {
+        let pre = match kind {
+            PhaseKind::DirStat | PhaseKind::DirRemove => PhaseKind::DirCreate,
+            _ => PhaseKind::FileCreate,
+        };
+        for op in &gen_phase(&spec1, pre)[0] {
+            let _ = op.apply(&mut *fs);
+            let _ = fs.take_trace();
+        }
+    }
+    let run = run_latency(&mut *fs, &gen_phase(&spec1, kind)[0]);
+    println!(
+        "latency : mean {:.1} µs ({:.2}× RTT), errors {}",
+        run.mean_us(),
+        run.mean_rtts(fs.rtt().max(1)),
+        run.errors
+    );
+
+    // Closed-loop throughput.
+    let mut fs = make(&system, servers);
+    let spec = TreeSpec::new(clients, items);
+    run_setup(&mut *fs, &gen_setup(&spec)).unwrap();
+    if kind.needs_files() {
+        let pre = match kind {
+            PhaseKind::DirStat | PhaseKind::DirRemove => PhaseKind::DirCreate,
+            _ => PhaseKind::FileCreate,
+        };
+        for stream in gen_phase(&spec, pre) {
+            for op in stream {
+                let _ = op.apply(&mut *fs);
+                let _ = fs.take_trace();
+            }
+        }
+    }
+    let traces = collect_traces(&mut *fs, &gen_phase(&spec, kind));
+    let sim = ClosedLoopSim {
+        rtt: fs.rtt(),
+        ..Default::default()
+    };
+    let out = sim.run(traces);
+    println!(
+        "throughput: {:.0} IOPS ({} ops, mean loaded latency {:.1} µs)",
+        out.iops(),
+        out.ops_completed,
+        out.mean_latency() / 1000.0
+    );
+}

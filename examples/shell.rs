@@ -1,0 +1,143 @@
+//! An interactive/scriptable shell over a LocoFS cluster — handy for
+//! poking at the namespace and watching per-operation RPC traces.
+//!
+//! Run the built-in demo script:
+//!   cargo run --release --example shell
+//! Or pipe your own commands:
+//!   echo -e "mkdir /x\ntouch /x/f\nls /x" | cargo run --release --example shell -- -
+//!
+//! Commands: mkdir P | rmdir P | touch P | rm P | ls P | stat P |
+//!           write P TEXT | cat P | mv OLD NEW | chmod MODE P |
+//!           trace on|off | help
+
+use locofs::client::{LocoCluster, LocoConfig};
+use locofs::types::{DirentKind, Perm};
+use std::io::BufRead;
+
+const DEMO: &str = "\
+mkdir /home
+mkdir /home/alice
+touch /home/alice/notes.txt
+write /home/alice/notes.txt loosely-coupled metadata is fast
+cat /home/alice/notes.txt
+stat /home/alice/notes.txt
+chmod 600 /home/alice/notes.txt
+stat /home/alice/notes.txt
+mkdir /home/alice/projects
+touch /home/alice/projects/paper.tex
+ls /home/alice
+trace on
+mv /home/alice /home/alice-archived
+ls /home/alice-archived
+trace off
+rm /home/alice-archived/notes.txt
+ls /home/alice-archived
+";
+
+fn main() {
+    let cluster = LocoCluster::new(LocoConfig::with_servers(4));
+    let mut fs = cluster.client();
+    let mut show_trace = false;
+
+    let args: Vec<String> = std::env::args().collect();
+    let from_stdin = args.get(1).map(String::as_str) == Some("-");
+    let script: Vec<String> = if from_stdin {
+        std::io::stdin().lock().lines().map_while(Result::ok).collect()
+    } else {
+        DEMO.lines().map(str::to_string).collect()
+    };
+
+    for line in script {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        println!("loco$ {line}");
+        let mut parts = line.splitn(3, ' ');
+        let cmd = parts.next().unwrap_or("");
+        let a1 = parts.next().unwrap_or("");
+        let a2 = parts.next().unwrap_or("");
+        let result: Result<String, locofs::types::FsError> = match cmd {
+            "mkdir" => fs.mkdir(a1, 0o755).map(|_| String::new()),
+            "rmdir" => fs.rmdir(a1).map(|_| String::new()),
+            "touch" => fs.create(a1, 0o644).map(|_| String::new()),
+            "rm" => fs.unlink(a1).map(|_| String::new()),
+            "ls" => fs.readdir(a1).map(|entries| {
+                entries
+                    .iter()
+                    .map(|(n, k)| match k {
+                        DirentKind::Dir => format!("{n}/"),
+                        DirentKind::File => n.clone(),
+                    })
+                    .collect::<Vec<_>>()
+                    .join("  ")
+            }),
+            "stat" => match fs.stat_file(a1) {
+                Ok(st) => Ok(format!(
+                    "file mode={:o} uid={} size={} uuid={}",
+                    st.access.mode, st.access.uid, st.content.size, st.content.uuid
+                )),
+                Err(locofs::types::FsError::NotFound) => fs
+                    .stat_dir(a1)
+                    .map(|d| format!("dir mode={:o} uid={} uuid={}", d.mode, d.uid, d.uuid)),
+                Err(e) => Err(e),
+            },
+            "write" => fs.open(a1, Perm::Write).and_then(|mut h| {
+                fs.write(&mut h, 0, a2.as_bytes()).map(|_| String::new())
+            }),
+            "cat" => fs.open(a1, Perm::Read).and_then(|h| {
+                fs.read(&h, 0, h.size)
+                    .map(|b| String::from_utf8_lossy(&b).to_string())
+            }),
+            "mv" => match fs.rename_file(a1, a2) {
+                Ok(()) => Ok(String::new()),
+                Err(locofs::types::FsError::NotFound) => fs
+                    .rename_dir(a1, a2)
+                    .map(|n| format!("(moved {n} directory inode(s))")),
+                Err(e) => Err(e),
+            },
+            "chmod" => {
+                let mode = u32::from_str_radix(a1, 8).unwrap_or(0o644);
+                match fs.chmod_file(a2, mode) {
+                    Ok(()) => Ok(String::new()),
+                    Err(locofs::types::FsError::NotFound) => {
+                        fs.chmod_dir(a2, mode).map(|_| String::new())
+                    }
+                    Err(e) => Err(e),
+                }
+            }
+            "trace" => {
+                show_trace = a1 == "on";
+                Ok(String::new())
+            }
+            "help" => Ok("mkdir rmdir touch rm ls stat write cat mv chmod trace".into()),
+            other => Ok(format!("unknown command {other:?} (try help)")),
+        };
+        match result {
+            Ok(out) if out.is_empty() => {}
+            Ok(out) => println!("{out}"),
+            Err(e) => println!("error: {e}"),
+        }
+        let trace = fs.take_trace();
+        if show_trace && !trace.visits.is_empty() {
+            let detail: Vec<String> = trace
+                .visits
+                .iter()
+                .map(|v| {
+                    let class = match v.server.class {
+                        locofs::net::class::DMS => "DMS",
+                        locofs::net::class::FMS => "FMS",
+                        locofs::net::class::OST => "OST",
+                        _ => "MDS",
+                    };
+                    format!("{class}{} ({:.1}µs)", v.server.index, v.service as f64 / 1e3)
+                })
+                .collect();
+            println!(
+                "  trace: {} round trip(s) → {}",
+                trace.visits.len(),
+                detail.join(", ")
+            );
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Consistency-boundary tests: lease expiry, stale caches across
+//! clients, rename/caching interplay, and the uuid-indirection
+//! properties that make LocoFS's loose coupling safe.
+
+use locofs::client::{LocoCluster, LocoConfig};
+use locofs::sim::time::SECS;
+use locofs::types::{FsError, Perm};
+
+/// §3.2.2 + §3.4.2 interplay: a client holding a *stale path* lease can
+/// keep creating in a renamed directory, and the files land in the
+/// directory's NEW location — because placement and dirents key on the
+/// directory's uuid, which rename never changes. Loose coupling turns
+/// what would be a consistency bug into correct behaviour.
+#[test]
+fn stale_lease_creates_land_in_renamed_directory() {
+    let cluster = LocoCluster::new(LocoConfig::with_servers(4));
+    let mut a = cluster.client();
+    let mut b = cluster.client();
+
+    a.mkdir("/proj", 0o777).unwrap();
+    a.create("/proj/seed", 0o644).unwrap(); // warms a's lease on /proj
+
+    // b renames the directory while a's lease is still valid.
+    b.rename_dir("/proj", "/proj-v2").unwrap();
+
+    // a creates through the stale path — succeeds via the cached uuid.
+    a.create("/proj/during-lease", 0o644).unwrap();
+
+    // The file is visible at the directory's new name.
+    assert!(b.stat_file("/proj-v2/during-lease").is_ok());
+    assert!(b.stat_file("/proj-v2/seed").is_ok());
+
+    // Once a's lease expires, the old path is gone for a as well.
+    a.advance_clock(31 * SECS);
+    assert_eq!(a.create("/proj/after-lease", 0o644).err(), Some(FsError::NotFound));
+    assert!(a.stat_file("/proj-v2/during-lease").is_ok());
+}
+
+/// Lease expiry forces revalidation: permission changes become visible
+/// to cached clients after at most one lease period.
+#[test]
+fn chmod_visible_after_lease_expiry() {
+    let cluster = LocoCluster::new(LocoConfig::with_servers(2));
+    let mut owner = cluster.client_as(10, 10);
+    let mut other = cluster.client_as(20, 20);
+
+    owner.mkdir("/open", 0o777).unwrap();
+    other.create("/open/f1", 0o644).unwrap(); // other caches /open
+
+    // Owner locks the directory down.
+    owner.chmod_dir("/open", 0o700).unwrap();
+
+    // Within the lease, other's stale d-inode still authorizes creates
+    // (the documented lease window).
+    assert!(other.create("/open/f2", 0o644).is_ok());
+
+    // After expiry, the new mode is enforced.
+    other.advance_clock(31 * SECS);
+    assert_eq!(
+        other.create("/open/f3", 0o644).err(),
+        Some(FsError::PermissionDenied)
+    );
+}
+
+/// rmdir/racing-create: after a directory is removed, stale-lease file
+/// creates still *succeed* at the FMS (uuid keyed) but the files are
+/// unreachable once the lease lapses — and a re-created directory of
+/// the same name gets a fresh uuid, so no entries leak across
+/// generations.
+#[test]
+fn directory_generations_do_not_leak_entries() {
+    let cluster = LocoCluster::new(LocoConfig::with_servers(4));
+    let mut a = cluster.client();
+    let mut b = cluster.client();
+
+    a.mkdir("/gen", 0o777).unwrap();
+    a.create("/gen/old-file", 0o644).unwrap();
+    a.unlink("/gen/old-file").unwrap();
+    a.rmdir("/gen").unwrap();
+
+    // Same name, new generation (fresh uuid).
+    b.mkdir("/gen", 0o777).unwrap();
+    b.create("/gen/new-file", 0o644).unwrap();
+    let entries = b.readdir("/gen").unwrap();
+    assert_eq!(entries.len(), 1, "{entries:?}");
+    assert_eq!(entries[0].0, "new-file");
+}
+
+/// utimens only touches the content part; chmod only the access part —
+/// concurrent updates to different parts never clobber each other.
+#[test]
+fn decoupled_parts_update_independently() {
+    let cluster = LocoCluster::new(LocoConfig::with_servers(2));
+    let mut fs = cluster.client();
+    fs.mkdir("/d", 0o755).unwrap();
+    fs.create("/d/f", 0o644).unwrap();
+
+    fs.utimens_file("/d/f", 111, 222).unwrap();
+    fs.chmod_file("/d/f", 0o600).unwrap();
+    fs.utimens_file("/d/f", 333, 444).unwrap();
+
+    let st = fs.stat_file("/d/f").unwrap();
+    assert_eq!(st.access.mode, 0o600, "chmod survived utimens");
+    assert_eq!((st.content.atime, st.content.mtime), (333, 444));
+}
+
+/// Open handles keep working across a file rename (uuid-based data
+/// addressing): a writer holding a handle writes blocks that the
+/// renamed file still owns.
+#[test]
+fn open_handle_survives_rename() {
+    let cluster = LocoCluster::new(LocoConfig::with_servers(4));
+    let mut writer = cluster.client();
+    let mut renamer = cluster.client();
+
+    writer.mkdir("/w", 0o777).unwrap();
+    let mut h = writer.create("/w/log", 0o644).unwrap();
+    writer.write(&mut h, 0, b"first").unwrap();
+
+    renamer.rename_file("/w/log", "/w/log.archived").unwrap();
+
+    // Data written through the (now stale-pathed) handle reaches the
+    // same uuid → same blocks. The metadata size update goes to the old
+    // key and fails, which the client surfaces.
+    let res = writer.write(&mut h, 5, b"-second");
+    assert_eq!(res, Err(FsError::NotFound), "size update sees the rename");
+
+    // But the file content at the new name still has the first write.
+    let h2 = renamer.open("/w/log.archived", Perm::Read).unwrap();
+    assert_eq!(renamer.read(&h2, 0, 5).unwrap(), b"first");
+}
+
+/// Two clients with independent caches both converge on the DMS state.
+#[test]
+fn independent_caches_converge() {
+    let cluster = LocoCluster::new(LocoConfig::with_servers(2));
+    let mut a = cluster.client();
+    let mut b = cluster.client();
+    a.mkdir("/shared", 0o777).unwrap();
+    a.create("/shared/x", 0o644).unwrap();
+    b.create("/shared/y", 0o644).unwrap();
+    let (ah, _am) = a.cache_stats();
+    let (_bh, bm) = b.cache_stats();
+    assert!(bm >= 1, "b had to resolve /shared itself");
+    // Both list both files.
+    assert_eq!(a.readdir("/shared").unwrap().len(), 2);
+    assert_eq!(b.readdir("/shared").unwrap().len(), 2);
+    // a's later ops still hit its warm cache.
+    a.create("/shared/z", 0o644).unwrap();
+    let (ah2, _) = a.cache_stats();
+    assert!(ah2 > ah);
+}

@@ -1,0 +1,165 @@
+//! Failure injection: servers can be marked unreachable; clients must
+//! surface I/O errors for affected operations, keep unaffected parts of
+//! the namespace working, and recover when the server returns.
+
+use locofs::client::{LocoCluster, LocoConfig};
+use locofs::types::FsError;
+
+fn is_io(e: &FsError) -> bool {
+    matches!(e, FsError::Io(_))
+}
+
+#[test]
+fn fms_outage_affects_only_its_files() {
+    let cluster = LocoCluster::new(LocoConfig::with_servers(4));
+    let mut fs = cluster.client();
+    fs.mkdir("/d", 0o755).unwrap();
+
+    // Create until we have files on several servers; remember which FMS
+    // holds which file by inspecting the create traces.
+    let mut placement = Vec::new();
+    for i in 0..24 {
+        let p = format!("/d/f{i}");
+        fs.create(&p, 0o644).unwrap();
+        let t = fs.take_trace();
+        let fms_idx = t
+            .visits
+            .iter()
+            .find(|v| v.server.class == locofs::net::class::FMS)
+            .unwrap()
+            .server
+            .index;
+        placement.push((p, fms_idx));
+    }
+    let victim = placement[0].1;
+    cluster.fms[victim as usize].set_down(true);
+
+    let mut failed = 0;
+    let mut ok = 0;
+    for (p, idx) in &placement {
+        let res = fs.stat_file(p);
+        if *idx == victim {
+            assert!(is_io(&res.unwrap_err()), "{p} should be unreachable");
+            failed += 1;
+        } else {
+            res.unwrap();
+            ok += 1;
+        }
+    }
+    assert!(failed > 0 && ok > 0, "failed={failed} ok={ok}");
+
+    // Directory operations (DMS) are unaffected.
+    fs.mkdir("/d2", 0o755).unwrap();
+
+    // Recovery.
+    cluster.fms[victim as usize].set_down(false);
+    for (p, _) in &placement {
+        fs.stat_file(p).unwrap();
+    }
+}
+
+#[test]
+fn dms_outage_blocks_namespace_but_cached_file_ops_survive() {
+    let cluster = LocoCluster::new(LocoConfig::with_servers(2));
+    let mut fs = cluster.client();
+    fs.mkdir("/d", 0o755).unwrap();
+    fs.create("/d/f1", 0o644).unwrap(); // warms the /d lease
+
+    cluster.dms[0].set_down(true);
+
+    // Directory metadata is gone: mkdir and cold lookups fail.
+    assert!(is_io(&fs.mkdir("/x", 0o755).unwrap_err()));
+
+    // But file ops under a *cached* directory keep working — the lease
+    // cache is exactly what lets clients ride out short DMS outages.
+    fs.create("/d/f2", 0o644).unwrap();
+    fs.stat_file("/d/f1").unwrap();
+
+    // Once the lease expires, file ops need the DMS again and fail.
+    fs.advance_clock(31 * locofs::sim::time::SECS);
+    assert!(is_io(&fs.create("/d/f3", 0o644).unwrap_err()));
+
+    // Recovery restores everything.
+    cluster.dms[0].set_down(false);
+    fs.create("/d/f3", 0o644).unwrap();
+    fs.mkdir("/x", 0o755).unwrap();
+}
+
+#[test]
+fn rmdir_fails_cleanly_when_any_fms_is_down() {
+    let cluster = LocoCluster::new(LocoConfig::with_servers(4));
+    let mut fs = cluster.client();
+    fs.mkdir("/d", 0o755).unwrap();
+    // rmdir must confirm emptiness on EVERY FMS; one down server means
+    // the check cannot complete.
+    cluster.fms[2].set_down(true);
+    assert!(is_io(&fs.rmdir("/d").unwrap_err()));
+    cluster.fms[2].set_down(false);
+    fs.rmdir("/d").unwrap();
+}
+
+#[test]
+fn readdir_fails_cleanly_when_any_fms_is_down() {
+    let cluster = LocoCluster::new(LocoConfig::with_servers(4));
+    let mut fs = cluster.client();
+    fs.mkdir("/d", 0o755).unwrap();
+    for i in 0..8 {
+        fs.create(&format!("/d/f{i}"), 0o644).unwrap();
+    }
+    cluster.fms[1].set_down(true);
+    assert!(is_io(&fs.readdir("/d").unwrap_err()));
+    cluster.fms[1].set_down(false);
+    assert_eq!(fs.readdir("/d").unwrap().len(), 8);
+}
+
+#[test]
+fn ost_outage_defers_gc_without_losing_work() {
+    let cluster = LocoCluster::new(LocoConfig::with_servers(2));
+    let mut fs = cluster.client();
+    fs.mkdir("/d", 0o755).unwrap();
+    let mut h = fs.create("/d/f", 0o644).unwrap();
+    fs.write(&mut h, 0, &vec![0u8; 2 << 20]).unwrap();
+    fs.unlink("/d/f").unwrap();
+    assert_eq!(fs.gc_pending(), 1);
+
+    // Every OST down: the flush requeues instead of dropping.
+    for o in &cluster.ost {
+        o.set_down(true);
+    }
+    fs.gc_flush();
+    assert_eq!(fs.gc_pending(), 1, "GC work must not be lost");
+
+    for o in &cluster.ost {
+        o.set_down(false);
+    }
+    fs.gc_flush();
+    assert_eq!(fs.gc_pending(), 0);
+    let blocks: usize = cluster
+        .ost
+        .iter()
+        .map(|o| o.with_service(|s| s.block_count()))
+        .sum();
+    assert_eq!(blocks, 0, "blocks reclaimed after recovery");
+}
+
+#[test]
+fn data_path_outage_surfaces_on_write_and_read() {
+    let cluster = LocoCluster::new(LocoConfig::with_servers(2));
+    let mut fs = cluster.client();
+    fs.mkdir("/d", 0o755).unwrap();
+    let mut h = fs.create("/d/f", 0o644).unwrap();
+    fs.write(&mut h, 0, b"persisted").unwrap();
+
+    for o in &cluster.ost {
+        o.set_down(true);
+    }
+    assert!(is_io(&fs.write(&mut h, 0, b"lost").unwrap_err()));
+    assert!(is_io(&fs.read(&h, 0, 9).unwrap_err()));
+    // Metadata remains reachable during a data-path outage.
+    fs.stat_file("/d/f").unwrap();
+
+    for o in &cluster.ost {
+        o.set_down(false);
+    }
+    assert_eq!(fs.read(&h, 0, 9).unwrap(), b"persisted");
+}

@@ -1,0 +1,172 @@
+//! Cross-crate integration tests: full LocoFS cluster driven through the
+//! public API, multiple clients, mixed metadata + data workloads.
+
+use locofs::client::{LocoCluster, LocoConfig};
+use locofs::types::{DirentKind, FsError, Perm};
+
+#[test]
+fn deep_tree_lifecycle() {
+    let cluster = LocoCluster::new(LocoConfig::with_servers(8));
+    let mut fs = cluster.client();
+
+    // Build a 4-level tree with files at every level.
+    let mut dirs = vec!["".to_string()];
+    for level in 0..4 {
+        let mut next = Vec::new();
+        for d in &dirs {
+            for i in 0..3 {
+                let p = format!("{d}/L{level}-{i}");
+                fs.mkdir(&p, 0o755).unwrap();
+                fs.create(&format!("{p}/data.bin"), 0o644).unwrap();
+                next.push(p);
+            }
+        }
+        dirs = next;
+    }
+    assert_eq!(dirs.len(), 81);
+
+    // Spot-check stats and listings.
+    let st = fs.stat_file("/L0-0/L1-1/data.bin").unwrap();
+    assert_eq!(st.access.mode, 0o644);
+    let entries = fs.readdir("/L0-0").unwrap();
+    let (d, f): (Vec<_>, Vec<_>) = entries.iter().partition(|(_, k)| *k == DirentKind::Dir);
+    assert_eq!(d.len(), 3);
+    assert_eq!(f.len(), 1);
+
+    // Tear down one subtree bottom-up.
+    for i in 0..3 {
+        for j in 0..3 {
+            for k in 0..3 {
+                let p = format!("/L0-2/L1-{i}/L2-{j}/L3-{k}");
+                fs.unlink(&format!("{p}/data.bin")).unwrap();
+                fs.rmdir(&p).unwrap();
+            }
+            let p = format!("/L0-2/L1-{i}/L2-{j}");
+            fs.unlink(&format!("{p}/data.bin")).unwrap();
+            fs.rmdir(&p).unwrap();
+        }
+        let p = format!("/L0-2/L1-{i}");
+        fs.unlink(&format!("{p}/data.bin")).unwrap();
+        fs.rmdir(&p).unwrap();
+    }
+    fs.unlink("/L0-2/data.bin").unwrap();
+    fs.rmdir("/L0-2").unwrap();
+    assert_eq!(fs.stat_dir("/L0-2"), Err(FsError::NotFound));
+    assert!(fs.stat_dir("/L0-1").is_ok());
+}
+
+#[test]
+fn two_clients_share_one_namespace() {
+    let cluster = LocoCluster::new(LocoConfig::with_servers(4));
+    let mut a = cluster.client();
+    let mut b = cluster.client();
+
+    a.mkdir("/shared", 0o777).unwrap();
+    let mut fh = a.create("/shared/note", 0o666).unwrap();
+    a.write(&mut fh, 0, b"from a").unwrap();
+
+    // b sees a's file immediately (servers are shared state).
+    let fh_b = b.open("/shared/note", Perm::Read).unwrap();
+    assert_eq!(b.read(&fh_b, 0, 6).unwrap(), b"from a");
+
+    // b deletes; a's next stat fails.
+    b.unlink("/shared/note").unwrap();
+    assert_eq!(a.stat_file("/shared/note"), Err(FsError::NotFound));
+}
+
+#[test]
+fn data_survives_file_and_dir_renames() {
+    let cluster = LocoCluster::new(LocoConfig::with_servers(4));
+    let mut fs = cluster.client();
+    fs.mkdir("/src", 0o755).unwrap();
+    fs.mkdir("/dst", 0o755).unwrap();
+    let mut fh = fs.create("/src/blob", 0o644).unwrap();
+    let payload: Vec<u8> = (0..10_000u32).map(|i| i as u8).collect();
+    fs.write(&mut fh, 0, &payload).unwrap();
+
+    fs.rename_file("/src/blob", "/dst/blob2").unwrap();
+    fs.rename_dir("/dst", "/dst-final").unwrap();
+
+    let fh = fs.open("/dst-final/blob2", Perm::Read).unwrap();
+    assert_eq!(fs.read(&fh, 0, fh.size).unwrap(), payload);
+    // Original uuid means the object store never moved a block.
+    assert_eq!(fh.uuid, fh.uuid);
+}
+
+#[test]
+fn sparse_writes_and_overwrite_regions() {
+    let mut cfg = LocoConfig::with_servers(2);
+    cfg.block_size = 64; // small blocks to cross many boundaries
+    let cluster = LocoCluster::new(cfg);
+    let mut fs = cluster.client();
+    fs.mkdir("/d", 0o755).unwrap();
+    let mut fh = fs.create("/d/sparse", 0o644).unwrap();
+
+    // Write a region far from the start: the gap reads back as zeros.
+    fs.write(&mut fh, 1000, b"tail").unwrap();
+    assert_eq!(fh.size, 1004);
+    let head = fs.read(&fh, 0, 10).unwrap();
+    assert!(head.iter().all(|&b| b == 0));
+    assert_eq!(fs.read(&fh, 1000, 4).unwrap(), b"tail");
+
+    // Overwrite across the gap boundary.
+    fs.write(&mut fh, 998, b"XXXX").unwrap();
+    assert_eq!(fs.read(&fh, 998, 6).unwrap(), b"XXXXil");
+}
+
+#[test]
+fn rmdir_refuses_until_every_fms_is_empty() {
+    let cluster = LocoCluster::new(LocoConfig::with_servers(8));
+    let mut fs = cluster.client();
+    fs.mkdir("/busy", 0o755).unwrap();
+    // Spread enough files that several FMS hold some.
+    for i in 0..32 {
+        fs.create(&format!("/busy/f{i}"), 0o644).unwrap();
+    }
+    assert_eq!(fs.rmdir("/busy"), Err(FsError::NotEmpty));
+    for i in 0..32 {
+        fs.unlink(&format!("/busy/f{i}")).unwrap();
+    }
+    fs.rmdir("/busy").unwrap();
+}
+
+#[test]
+fn errors_surface_correctly() {
+    let cluster = LocoCluster::new(LocoConfig::with_servers(2));
+    let mut fs = cluster.client();
+    assert_eq!(fs.mkdir("/a/b", 0o755), Err(FsError::NotFound));
+    fs.mkdir("/a", 0o755).unwrap();
+    assert_eq!(fs.mkdir("/a", 0o755), Err(FsError::AlreadyExists));
+    assert_eq!(fs.unlink("/a/missing"), Err(FsError::NotFound));
+    assert_eq!(fs.open("/a/missing", Perm::Read).err(), Some(FsError::NotFound));
+    assert_eq!(fs.rmdir("/"), Err(FsError::Busy));
+    assert_eq!(
+        fs.rename_dir("/a", "/a/inside").err(),
+        Some(FsError::Busy),
+        "cannot move a directory beneath itself"
+    );
+}
+
+#[test]
+fn deferred_gc_reclaims_blocks() {
+    let cluster = LocoCluster::new(LocoConfig::with_servers(2));
+    let mut fs = cluster.client();
+    fs.mkdir("/d", 0o755).unwrap();
+    let mut fh = fs.create("/d/f", 0o644).unwrap();
+    fs.write(&mut fh, 0, &vec![1u8; 3 << 20]).unwrap(); // 3 blocks
+    let blocks_before: usize = cluster
+        .ost
+        .iter()
+        .map(|o| o.with_service(|s| s.block_count()))
+        .sum();
+    assert!(blocks_before >= 3);
+    fs.unlink("/d/f").unwrap();
+    assert!(fs.gc_pending() > 0);
+    fs.gc_flush();
+    let blocks_after: usize = cluster
+        .ost
+        .iter()
+        .map(|o| o.with_service(|s| s.block_count()))
+        .sum();
+    assert_eq!(blocks_after, 0);
+}

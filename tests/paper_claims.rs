@@ -1,0 +1,255 @@
+//! Headline claims of the paper, asserted as integration tests so the
+//! reproduction cannot silently drift away from the published shapes.
+//! Each test names the paper section/figure it guards.
+
+use locofs::baselines::{CephFsModel, DistFs, GlusterFsModel, IndexFsModel, LocoAdapter, RawKvFs};
+use locofs::client::{LocoCluster, LocoConfig};
+use locofs::mdtest::{
+    collect_traces, gen_phase, gen_setup, run_latency, run_setup, PhaseKind, TreeSpec,
+};
+use locofs::sim::des::ClosedLoopSim;
+use locofs::sim::time::MICROS;
+
+fn latency_rtts(fs: &mut dyn DistFs, phase: PhaseKind, items: usize) -> f64 {
+    let spec = TreeSpec::new(1, items);
+    run_setup(fs, &gen_setup(&spec)).unwrap();
+    if phase.needs_files() {
+        let pre = match phase {
+            PhaseKind::DirStat | PhaseKind::DirRemove => PhaseKind::DirCreate,
+            _ => PhaseKind::FileCreate,
+        };
+        for op in &gen_phase(&spec, pre)[0] {
+            op.apply(fs).unwrap();
+            let _ = fs.take_trace();
+        }
+    }
+    let run = run_latency(fs, &gen_phase(&spec, phase)[0]);
+    assert_eq!(run.errors, 0);
+    run.mean_rtts(174 * MICROS)
+}
+
+fn create_throughput(fs: &mut dyn DistFs, clients: usize, items: usize) -> f64 {
+    let spec = TreeSpec::new(clients, items);
+    run_setup(fs, &gen_setup(&spec)).unwrap();
+    let traces = collect_traces(fs, &gen_phase(&spec, PhaseKind::FileCreate));
+    ClosedLoopSim {
+        rtt: fs.rtt(),
+        ..Default::default()
+    }
+    .run(traces)
+    .iops()
+}
+
+/// §4.2.1 / Fig 6: "LocoFS-C and LocoFS-NC achieve an average latency
+/// of 1.1× RTT for creating a directory" — mkdir is a single DMS round
+/// trip regardless of FMS count.
+#[test]
+fn mkdir_is_about_one_rtt() {
+    for servers in [1u16, 16] {
+        let mut fs = LocoAdapter::new(LocoConfig::with_servers(servers));
+        let rtts = latency_rtts(&mut fs, PhaseKind::DirCreate, 500);
+        assert!(
+            (1.0..1.6).contains(&rtts),
+            "mkdir @{servers} FMS = {rtts} RTT"
+        );
+    }
+}
+
+/// §4.2.1 / Fig 6: touch latency rises with server count from client
+/// connection overhead (≈1.3× → ≈3.2× RTT in the paper).
+#[test]
+fn touch_latency_grows_with_servers() {
+    let mut one = LocoAdapter::new(LocoConfig::with_servers(1));
+    let mut sixteen = LocoAdapter::new(LocoConfig::with_servers(16));
+    let l1 = latency_rtts(&mut one, PhaseKind::FileCreate, 1000);
+    let l16 = latency_rtts(&mut sixteen, PhaseKind::FileCreate, 1000);
+    assert!((1.0..1.8).contains(&l1), "touch @1 = {l1} RTT");
+    assert!(l16 > 1.5 * l1, "touch must grow with servers: {l1} → {l16}");
+    assert!(l16 < 5.0, "but stay in the paper's range: {l16}");
+}
+
+/// Fig 9: single-server LocoFS create reaches ≈38 % of the raw KV
+/// store (vs ≈3 % for IndexFS, ≈1 % for CephFS).
+#[test]
+fn single_server_bridges_the_kv_gap() {
+    let mut raw = RawKvFs::new();
+    let kv = create_throughput(&mut raw, 30, 200);
+    let mut loco = LocoAdapter::new(LocoConfig::with_servers(1));
+    let loco_iops = create_throughput(&mut loco, 30, 100);
+    let mut indexfs = IndexFsModel::new(1);
+    let idx_iops = create_throughput(&mut indexfs, 30, 100);
+    let mut ceph = CephFsModel::new(1);
+    let ceph_iops = create_throughput(&mut ceph, 30, 100);
+
+    let loco_pct = loco_iops / kv;
+    assert!(
+        (0.20..0.60).contains(&loco_pct),
+        "LocoFS = {:.0}% of KV (paper ≈38%)",
+        loco_pct * 100.0
+    );
+    assert!(loco_iops > 8.0 * idx_iops, "paper: ≈16× IndexFS at 1 server");
+    assert!(loco_iops > 30.0 * ceph_iops, "paper: 67× CephFS");
+}
+
+/// §4.2.2 obs. 1: "The IOPS of LocoFS for create with one metadata
+/// server ... is 23× Gluster and 8× Lustre" — order-of-magnitude check.
+#[test]
+fn single_server_create_ratios() {
+    let mut loco = LocoAdapter::new(LocoConfig::with_servers(1));
+    let loco_iops = create_throughput(&mut loco, 30, 100);
+    let mut gluster = GlusterFsModel::new(1);
+    let gl = create_throughput(&mut gluster, 30, 100);
+    let ratio = loco_iops / gl;
+    assert!((8.0..40.0).contains(&ratio), "LocoFS/Gluster = {ratio:.1}× (paper 23×)");
+}
+
+/// §4.2.2 obs. 2 / Fig 8: the client cache matters at scale — LocoFS-C
+/// clearly out-creates LocoFS-NC at 16 servers (paper: 2.8×).
+#[test]
+fn cache_scales_touch_throughput() {
+    let mut c = LocoAdapter::new(LocoConfig::with_servers(16));
+    let with_cache = create_throughput(&mut c, 144, 50);
+    let mut nc = LocoAdapter::new(LocoConfig::with_servers(16).no_cache());
+    let without = create_throughput(&mut nc, 144, 50);
+    let ratio = with_cache / without;
+    assert!(
+        (1.8..5.0).contains(&ratio),
+        "C/NC @16 = {ratio:.2} (paper 2.8×)"
+    );
+}
+
+/// Fig 13: create throughput vs directory depth — NC collapses, C holds.
+#[test]
+fn depth_sensitivity_matches_fig13() {
+    let run = |cache: bool, depth: usize| {
+        let cfg = if cache {
+            LocoConfig::with_servers(4)
+        } else {
+            LocoConfig::with_servers(4).no_cache()
+        };
+        let mut fs = LocoAdapter::new(cfg);
+        let spec = TreeSpec::new(70, 40).with_depth(depth);
+        run_setup(&mut fs, &gen_setup(&spec)).unwrap();
+        let traces = collect_traces(&mut fs, &gen_phase(&spec, PhaseKind::FileCreate));
+        ClosedLoopSim::default().run(traces).iops()
+    };
+    let nc_1 = run(false, 1);
+    let nc_32 = run(false, 32);
+    let c_1 = run(true, 1);
+    let c_32 = run(true, 32);
+    assert!(
+        nc_32 < nc_1 / 4.0,
+        "NC must collapse with depth: {nc_1:.0} → {nc_32:.0}"
+    );
+    assert!(
+        c_32 > c_1 / 2.0,
+        "C must hold up with depth: {c_1:.0} → {c_32:.0}"
+    );
+}
+
+/// §3.4.2: f-rename relocates only the file's metadata record; d-rename
+/// relocates only directory inodes. Data blocks never move.
+#[test]
+fn rename_relocation_scope() {
+    let cluster = LocoCluster::new(LocoConfig::with_servers(4));
+    let mut fs = cluster.client();
+    fs.mkdir("/a", 0o755).unwrap();
+    for i in 0..10 {
+        fs.mkdir(&format!("/a/sub{i}"), 0o755).unwrap();
+        fs.create(&format!("/a/f{i}"), 0o644).unwrap();
+    }
+    let moved = fs.rename_dir("/a", "/b").unwrap();
+    assert_eq!(moved, 11, "directory inodes only: /a + 10 subdirs");
+    // All files reachable; uuid-keyed records untouched.
+    for i in 0..10 {
+        assert!(fs.stat_file(&format!("/b/f{i}")).is_ok());
+    }
+}
+
+/// Fig 14: at DMS scale, hash-backend rename costs a full scan while
+/// the B-tree backend stays range-local.
+#[test]
+fn btree_rename_beats_hash_at_scale() {
+    use locofs::dms::{DirServer, DmsBackend, DmsRequest};
+    use locofs::net::Service;
+    let build = |backend| {
+        let mut dms = DirServer::new(backend, locofs::kv::KvConfig::default());
+        dms.handle(DmsRequest::Mkdir {
+            path: "/small".into(),
+            mode: 0o755,
+            uid: 0,
+            gid: 0,
+            ts: 0,
+        });
+        for i in 0..20_000 {
+            dms.handle(DmsRequest::Mkdir {
+                path: format!("/fill{i:06}"),
+                mode: 0o755,
+                uid: 0,
+                gid: 0,
+                ts: 0,
+            });
+        }
+        let _ = dms.take_cost();
+        dms
+    };
+    let mut bt = build(DmsBackend::BTree);
+    let mut hs = build(DmsBackend::Hash);
+    bt.handle(DmsRequest::RenameDir {
+        old_path: "/small".into(),
+        new_path: "/renamed".into(),
+        uid: 0,
+        gid: 0,
+        ts: 1,
+    });
+    let bt_cost = bt.take_cost();
+    hs.handle(DmsRequest::RenameDir {
+        old_path: "/small".into(),
+        new_path: "/renamed".into(),
+        uid: 0,
+        gid: 0,
+        ts: 1,
+    });
+    let hs_cost = hs.take_cost();
+    assert!(
+        hs_cost > 20 * bt_cost,
+        "hash rename must pay the table scan: btree={bt_cost} hash={hs_cost}"
+    );
+}
+
+/// Fig 11 mechanism: a decoupled chmod costs less server time than a
+/// coupled one.
+#[test]
+fn decoupled_chmod_cheaper_than_coupled() {
+    let measure = |coupled: bool| {
+        let cfg = if coupled {
+            LocoConfig::with_servers(4).coupled()
+        } else {
+            LocoConfig::with_servers(4)
+        };
+        let cluster = LocoCluster::new(cfg);
+        let mut fs = cluster.client();
+        fs.mkdir("/d", 0o755).unwrap();
+        fs.create("/d/f", 0o644).unwrap();
+        let _ = fs.take_trace();
+        fs.chmod_file("/d/f", 0o600).unwrap();
+        fs.take_trace().total_service()
+    };
+    let df = measure(false);
+    let cf = measure(true);
+    assert!(cf > df, "coupled {cf} must exceed decoupled {df}");
+}
+
+/// Fig 7: CephFS's client cache makes its stats the cheapest; LocoFS
+/// beats Gluster on file-stat (no broadcast lookups).
+#[test]
+fn stat_ordering_matches_fig7() {
+    let mut loco = LocoAdapter::new(LocoConfig::with_servers(8));
+    let mut ceph = CephFsModel::new(8);
+    let mut gluster = GlusterFsModel::new(8);
+    let l = latency_rtts(&mut loco, PhaseKind::FileStat, 300);
+    let c = latency_rtts(&mut ceph, PhaseKind::FileStat, 300);
+    let g = latency_rtts(&mut gluster, PhaseKind::FileStat, 300);
+    assert!(c < l, "CephFS caps cache wins stats: ceph={c} loco={l}");
+    assert!(l < g, "LocoFS beats Gluster's two-fop stat: loco={l} gluster={g}");
+}

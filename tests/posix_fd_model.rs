@@ -1,0 +1,152 @@
+//! Property test for the file-descriptor layer: random sequences of
+//! fd-level operations against a reference model of byte-accurate file
+//! contents and offsets.
+
+use locofs::client::{LocoCluster, LocoConfig};
+use locofs::posix::{OpenFlags, PosixFs, Whence};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Clone, Debug)]
+enum FdOp {
+    Open(u8, bool),     // file id, truncate?
+    Close(u8),          // nth open fd
+    Write(u8, Vec<u8>), // nth open fd, payload
+    Read(u8, u8),       // nth open fd, length
+    SeekSet(u8, u16),
+    SeekEnd(u8, i8),
+}
+
+#[derive(Clone)]
+struct ModelFile {
+    data: Vec<u8>,
+}
+
+struct ModelFd {
+    file: u8,
+    offset: u64,
+}
+
+fn op_strategy() -> impl Strategy<Value = FdOp> {
+    prop_oneof![
+        (0u8..4, any::<bool>()).prop_map(|(f, t)| FdOp::Open(f, t)),
+        (0u8..6).prop_map(FdOp::Close),
+        (0u8..6, prop::collection::vec(any::<u8>(), 0..40)).prop_map(|(f, d)| FdOp::Write(f, d)),
+        (0u8..6, 0u8..64).prop_map(|(f, n)| FdOp::Read(f, n)),
+        (0u8..6, 0u16..200).prop_map(|(f, o)| FdOp::SeekSet(f, o)),
+        (0u8..6, -20i8..1).prop_map(|(f, o)| FdOp::SeekEnd(f, o)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn fd_layer_matches_byte_model(ops in prop::collection::vec(op_strategy(), 1..60)) {
+        let cluster = LocoCluster::new(LocoConfig::with_servers(2));
+        let mut fs = PosixFs::new(cluster.client());
+        fs.mkdir("/w", 0o755).unwrap();
+
+        let mut files: HashMap<u8, ModelFile> = HashMap::new();
+        let mut fds: Vec<(i32, ModelFd)> = Vec::new();
+
+        for op in ops {
+            match op {
+                FdOp::Open(file, trunc) => {
+                    let mut flags = OpenFlags::RDWR | OpenFlags::CREAT;
+                    if trunc {
+                        flags = flags | OpenFlags::TRUNC;
+                    }
+                    let fd = fs
+                        .open(&format!("/w/file{file}"), flags, 0o644)
+                        .unwrap();
+                    let entry = files.entry(file).or_insert(ModelFile { data: Vec::new() });
+                    if trunc {
+                        entry.data.clear();
+                    }
+                    fds.push((fd, ModelFd { file, offset: 0 }));
+                }
+                FdOp::Close(n) => {
+                    if fds.is_empty() {
+                        continue;
+                    }
+                    let i = n as usize % fds.len();
+                    let (fd, _) = fds.remove(i);
+                    fs.close(fd).unwrap();
+                }
+                FdOp::Write(n, data) => {
+                    if fds.is_empty() || data.is_empty() {
+                        continue;
+                    }
+                    let i = n as usize % fds.len();
+                    let (fd, m) = &mut fds[i];
+                    prop_assert_eq!(fs.write(*fd, &data).unwrap(), data.len());
+                    let f = files.get_mut(&m.file).unwrap();
+                    let end = m.offset as usize + data.len();
+                    if f.data.len() < end {
+                        f.data.resize(end, 0);
+                    }
+                    f.data[m.offset as usize..end].copy_from_slice(&data);
+                    m.offset = end as u64;
+                }
+                FdOp::Read(n, len) => {
+                    if fds.is_empty() {
+                        continue;
+                    }
+                    let i = n as usize % fds.len();
+                    let (fd, m) = &mut fds[i];
+                    let mut buf = vec![0u8; len as usize];
+                    let got = fs.read(*fd, &mut buf).unwrap();
+                    let f = &files[&m.file];
+                    let start = (m.offset as usize).min(f.data.len());
+                    let end = (start + len as usize).min(f.data.len());
+                    prop_assert_eq!(got, end - start, "short-read length");
+                    prop_assert_eq!(&buf[..got], &f.data[start..end]);
+                    m.offset += got as u64;
+                }
+                FdOp::SeekSet(n, off) => {
+                    if fds.is_empty() {
+                        continue;
+                    }
+                    let i = n as usize % fds.len();
+                    let (fd, m) = &mut fds[i];
+                    prop_assert_eq!(
+                        fs.lseek(*fd, off as i64, Whence::Set).unwrap(),
+                        off as u64
+                    );
+                    m.offset = off as u64;
+                }
+                FdOp::SeekEnd(n, off) => {
+                    if fds.is_empty() {
+                        continue;
+                    }
+                    let i = n as usize % fds.len();
+                    let (fd, m) = &mut fds[i];
+                    let size = files[&m.file].data.len() as i64;
+                    let want = size + off as i64;
+                    if want < 0 {
+                        prop_assert!(fs.lseek(*fd, off as i64, Whence::End).is_err());
+                    } else {
+                        prop_assert_eq!(
+                            fs.lseek(*fd, off as i64, Whence::End).unwrap(),
+                            want as u64
+                        );
+                        m.offset = want as u64;
+                    }
+                }
+            }
+        }
+
+        // Final contents agree for every file, read through fresh fds.
+        for (id, model) in &files {
+            let fd = fs
+                .open(&format!("/w/file{id}"), OpenFlags::RDONLY, 0)
+                .unwrap();
+            prop_assert_eq!(fs.fstat(fd).unwrap().size, model.data.len() as u64);
+            let mut buf = vec![0u8; model.data.len()];
+            prop_assert_eq!(fs.read(fd, &mut buf).unwrap(), model.data.len());
+            prop_assert_eq!(&buf, &model.data);
+            fs.close(fd).unwrap();
+        }
+    }
+}

@@ -1,0 +1,282 @@
+//! Property-based differential testing: every modeled filesystem
+//! (LocoFS and the four baselines) must agree with a simple in-memory
+//! reference model under random operation sequences.
+//!
+//! The reference model is a plain map of paths; agreement is checked on
+//! each operation's success/failure and on namespace contents at the
+//! end. This is what makes the baseline *models* trustworthy
+//! comparators rather than stubs.
+
+use locofs::baselines::{
+    CephFsModel, DistFs, GlusterFsModel, IndexFsModel, LocoAdapter, LustreFsModel, LustreVariant,
+};
+use locofs::client::LocoConfig;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum NodeKind {
+    Dir,
+    File,
+}
+
+/// Reference namespace: path → kind.
+///
+/// `split_namespace` models LocoFS's decoupled design, where directory
+/// inodes (on the DMS) and file inodes (on the FMS) live in disjoint
+/// key spaces: a file and a directory may share a name, by
+/// construction — a documented relaxation of POSIX (DESIGN.md §5).
+#[derive(Default)]
+struct RefFs {
+    nodes: BTreeMap<String, NodeKind>,
+    split_namespace: bool,
+}
+
+impl RefFs {
+    fn new() -> Self {
+        let mut s = Self::default();
+        s.nodes.insert("/".into(), NodeKind::Dir);
+        s
+    }
+
+    fn split() -> Self {
+        let mut s = Self::new();
+        s.split_namespace = true;
+        s
+    }
+
+    fn key(&self, p: &str, kind: NodeKind) -> String {
+        if self.split_namespace && kind == NodeKind::File {
+            format!("F{p}")
+        } else {
+            p.to_string()
+        }
+    }
+
+    fn parent_ok(&self, p: &str) -> bool {
+        locofs::types::parent(p)
+            .map(|d| self.nodes.get(d) == Some(&NodeKind::Dir))
+            .unwrap_or(false)
+    }
+
+    fn children(&self, dir: &str) -> Vec<String> {
+        let mk = |root: &str| {
+            if dir == "/" {
+                format!("{root}/")
+            } else {
+                format!("{root}{dir}/")
+            }
+        };
+        let mut prefixes = vec![mk("")];
+        if self.split_namespace {
+            prefixes.push(mk("F"));
+        }
+        self.nodes
+            .keys()
+            .filter(|k| {
+                prefixes.iter().any(|prefix| {
+                    k.starts_with(prefix)
+                        && k.len() > prefix.len()
+                        && !k[prefix.len()..].contains('/')
+                })
+            })
+            .cloned()
+            .collect()
+    }
+
+    fn mkdir(&mut self, p: &str) -> bool {
+        let key = self.key(p, NodeKind::Dir);
+        if !self.parent_ok(p) || self.nodes.contains_key(&key) {
+            return false;
+        }
+        if !self.split_namespace && self.nodes.contains_key(&self.key(p, NodeKind::File)) {
+            return false;
+        }
+        self.nodes.insert(key, NodeKind::Dir);
+        true
+    }
+
+    fn create(&mut self, p: &str) -> bool {
+        let key = self.key(p, NodeKind::File);
+        if !self.parent_ok(p) || self.nodes.contains_key(&key) {
+            return false;
+        }
+        if !self.split_namespace && self.nodes.contains_key(p) {
+            return false;
+        }
+        self.nodes.insert(key, NodeKind::File);
+        true
+    }
+
+    fn unlink(&mut self, p: &str) -> bool {
+        let key = self.key(p, NodeKind::File);
+        if self.nodes.get(&key) == Some(&NodeKind::File) {
+            self.nodes.remove(&key);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn rmdir(&mut self, p: &str) -> bool {
+        if p == "/" || self.nodes.get(p) != Some(&NodeKind::Dir) {
+            return false;
+        }
+        if !self.children(p).is_empty() {
+            return false;
+        }
+        self.nodes.remove(p);
+        true
+    }
+
+    fn stat_file(&self, p: &str) -> bool {
+        self.nodes.get(&self.key(p, NodeKind::File)) == Some(&NodeKind::File)
+    }
+
+    fn stat_dir(&self, p: &str) -> bool {
+        self.nodes.get(p) == Some(&NodeKind::Dir)
+    }
+}
+
+#[derive(Clone, Debug)]
+enum ModelOp {
+    Mkdir(String),
+    Create(String),
+    Unlink(String),
+    Rmdir(String),
+    StatFile(String),
+    StatDir(String),
+    Readdir(String),
+}
+
+/// Small path universe so operations collide meaningfully.
+fn path_strategy() -> impl Strategy<Value = String> {
+    let comp = prop::sample::select(vec!["a", "b", "c", "d"]);
+    prop::collection::vec(comp, 1..4).prop_map(|comps| format!("/{}", comps.join("/")))
+}
+
+fn op_strategy() -> impl Strategy<Value = ModelOp> {
+    path_strategy().prop_flat_map(|p| {
+        prop_oneof![
+            Just(ModelOp::Mkdir(p.clone())),
+            Just(ModelOp::Create(p.clone())),
+            Just(ModelOp::Unlink(p.clone())),
+            Just(ModelOp::Rmdir(p.clone())),
+            Just(ModelOp::StatFile(p.clone())),
+            Just(ModelOp::StatDir(p.clone())),
+            Just(ModelOp::Readdir(p)),
+        ]
+    })
+}
+
+fn check_fs_against_model(mut fs: Box<dyn DistFs>, ops: &[ModelOp]) -> Result<(), TestCaseError> {
+    check_fs_against(fs.as_mut(), RefFs::new(), ops)
+}
+
+fn check_fs_split_namespace(mut fs: Box<dyn DistFs>, ops: &[ModelOp]) -> Result<(), TestCaseError> {
+    check_fs_against(fs.as_mut(), RefFs::split(), ops)
+}
+
+fn check_fs_against(
+    fs: &mut dyn DistFs,
+    mut model: RefFs,
+    ops: &[ModelOp],
+) -> Result<(), TestCaseError> {
+    for (i, op) in ops.iter().enumerate() {
+        let label = format!("{} op#{i} {op:?}", fs.name());
+        match op {
+            ModelOp::Mkdir(p) => {
+                prop_assert_eq!(fs.mkdir(p).is_ok(), model.mkdir(p), "{}", label)
+            }
+            ModelOp::Create(p) => {
+                prop_assert_eq!(fs.create(p).is_ok(), model.create(p), "{}", label)
+            }
+            ModelOp::Unlink(p) => {
+                prop_assert_eq!(fs.unlink(p).is_ok(), model.unlink(p), "{}", label)
+            }
+            ModelOp::Rmdir(p) => {
+                prop_assert_eq!(fs.rmdir(p).is_ok(), model.rmdir(p), "{}", label)
+            }
+            ModelOp::StatFile(p) => {
+                prop_assert_eq!(fs.stat_file(p).is_ok(), model.stat_file(p), "{}", label)
+            }
+            ModelOp::StatDir(p) => {
+                prop_assert_eq!(fs.stat_dir(p).is_ok(), model.stat_dir(p), "{}", label)
+            }
+            ModelOp::Readdir(p) => {
+                let got = fs.readdir(p);
+                if model.stat_dir(p) {
+                    prop_assert_eq!(
+                        got.unwrap_or(usize::MAX),
+                        model.children(p).len(),
+                        "{}",
+                        label
+                    );
+                } else {
+                    prop_assert!(got.is_err(), "{} should fail", label);
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn locofs_matches_reference(ops in prop::collection::vec(op_strategy(), 1..80)) {
+        check_fs_split_namespace(
+            Box::new(LocoAdapter::new(LocoConfig::with_servers(4))),
+            &ops,
+        )?;
+    }
+
+    #[test]
+    fn locofs_nocache_matches_reference(ops in prop::collection::vec(op_strategy(), 1..80)) {
+        check_fs_split_namespace(
+            Box::new(LocoAdapter::new(LocoConfig::with_servers(3).no_cache())),
+            &ops,
+        )?;
+    }
+
+    #[test]
+    fn locofs_coupled_matches_reference(ops in prop::collection::vec(op_strategy(), 1..80)) {
+        check_fs_split_namespace(
+            Box::new(LocoAdapter::new(LocoConfig::with_servers(4).coupled())),
+            &ops,
+        )?;
+    }
+
+    #[test]
+    fn locofs_sharded_dms_matches_reference(ops in prop::collection::vec(op_strategy(), 1..80)) {
+        // The sharded-DMS ablation must keep namespace semantics
+        // (minus rename/chmod-dir, which the generator doesn't emit).
+        check_fs_split_namespace(
+            Box::new(LocoAdapter::new(LocoConfig::with_servers(3).sharded_dms(4))),
+            &ops,
+        )?;
+    }
+
+    #[test]
+    fn indexfs_matches_reference(ops in prop::collection::vec(op_strategy(), 1..60)) {
+        check_fs_against_model(Box::new(IndexFsModel::new(4)), &ops)?;
+    }
+
+    #[test]
+    fn cephfs_matches_reference(ops in prop::collection::vec(op_strategy(), 1..60)) {
+        check_fs_against_model(Box::new(CephFsModel::new(4)), &ops)?;
+    }
+
+    #[test]
+    fn gluster_matches_reference(ops in prop::collection::vec(op_strategy(), 1..60)) {
+        check_fs_against_model(Box::new(GlusterFsModel::new(4)), &ops)?;
+    }
+
+    #[test]
+    fn lustre_variants_match_reference(ops in prop::collection::vec(op_strategy(), 1..60)) {
+        for variant in [LustreVariant::Single, LustreVariant::Dne1, LustreVariant::Dne2] {
+            check_fs_against_model(Box::new(LustreFsModel::new(variant, 4)), &ops)?;
+        }
+    }
+}

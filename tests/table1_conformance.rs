@@ -1,0 +1,185 @@
+//! Table 1 conformance: each filesystem operation, driven through the
+//! full client, touches exactly the metadata record classes the paper's
+//! Table 1 assigns it. Measured at the servers via KV access counters.
+
+use locofs::client::{LocoCluster, LocoConfig};
+use locofs::kv::AccessStats;
+use locofs::types::Perm;
+
+struct Harness {
+    cluster: LocoCluster,
+}
+
+impl Harness {
+    fn new() -> Self {
+        Self {
+            cluster: LocoCluster::new(LocoConfig::with_servers(2)),
+        }
+    }
+
+    fn reset(&self) {
+        self.cluster.dms[0].with_service(|s| s.reset_kv_stats());
+        for f in &self.cluster.fms {
+            f.with_service(|s| s.reset_kv_stats());
+        }
+    }
+
+    fn dms_stats(&self) -> AccessStats {
+        self.cluster.dms[0].with_service(|s| s.kv_stats())
+    }
+
+    fn fms_stats(&self) -> AccessStats {
+        let mut total = AccessStats::default();
+        for f in &self.cluster.fms {
+            let s = f.with_service(|s| s.kv_stats());
+            total.gets += s.gets;
+            total.puts += s.puts;
+            total.deletes += s.deletes;
+            total.scans += s.scans;
+            total.partial_reads += s.partial_reads;
+            total.partial_writes += s.partial_writes;
+        }
+        total
+    }
+}
+
+/// mkdir: d-inode + parent dirent writes on the DMS; no FMS access.
+#[test]
+fn mkdir_touches_dms_only() {
+    let h = Harness::new();
+    let mut fs = h.cluster.client();
+    fs.mkdir("/warm", 0o755).unwrap();
+    h.reset();
+    fs.mkdir("/d", 0o755).unwrap();
+    let fms = h.fms_stats();
+    assert_eq!(fms.total(), 0, "mkdir must not touch any FMS: {fms:?}");
+    let dms = h.dms_stats();
+    assert!(dms.puts >= 2, "d-inode + dirent list: {dms:?}");
+}
+
+/// create: access + content + dirent on one FMS; DMS only for the
+/// (uncached) parent resolve.
+#[test]
+fn create_touches_fms_records() {
+    let h = Harness::new();
+    let mut fs = h.cluster.client();
+    fs.mkdir("/d", 0o755).unwrap();
+    fs.create("/d/warm", 0o644).unwrap();
+    h.reset();
+    fs.create("/d/f", 0o644).unwrap();
+    let dms = h.dms_stats();
+    assert_eq!(dms.total(), 0, "warm cache: no DMS traffic: {dms:?}");
+    let fms = h.fms_stats();
+    assert_eq!(fms.puts, 3, "access + content + dirent append: {fms:?}");
+    assert_eq!(fms.deletes, 0);
+}
+
+/// chmod(file): one access-record read + one in-place span write; the
+/// content record is never touched (Table 1 row "chmod").
+#[test]
+fn chmod_file_touches_access_only() {
+    let h = Harness::new();
+    let mut fs = h.cluster.client();
+    fs.mkdir("/d", 0o755).unwrap();
+    fs.create("/d/f", 0o644).unwrap();
+    h.reset();
+    fs.chmod_file("/d/f", 0o600).unwrap();
+    let fms = h.fms_stats();
+    assert_eq!(fms.gets, 1, "{fms:?}");
+    assert_eq!(fms.partial_writes, 1, "{fms:?}");
+    assert_eq!(fms.puts, 0, "no whole-value writes: {fms:?}");
+}
+
+/// write (metadata half): content-record read + in-place size/mtime
+/// write; access record untouched (Table 1 row "write").
+#[test]
+fn write_touches_content_only() {
+    let h = Harness::new();
+    let mut fs = h.cluster.client();
+    fs.mkdir("/d", 0o755).unwrap();
+    let mut fh = fs.create("/d/f", 0o644).unwrap();
+    h.reset();
+    fs.write(&mut fh, 0, b"xyz").unwrap();
+    let fms = h.fms_stats();
+    assert_eq!(fms.gets, 1, "content read: {fms:?}");
+    assert_eq!(fms.partial_writes, 1, "size+mtime span poke: {fms:?}");
+    assert_eq!(fms.puts, 0, "{fms:?}");
+}
+
+/// remove: both file records deleted + dirent tombstone (Table 1 row
+/// "remove" touches access, content, dirent).
+#[test]
+fn remove_touches_both_parts_and_dirent() {
+    let h = Harness::new();
+    let mut fs = h.cluster.client();
+    fs.mkdir("/d", 0o755).unwrap();
+    fs.create("/d/f", 0o644).unwrap();
+    h.reset();
+    fs.unlink("/d/f").unwrap();
+    let fms = h.fms_stats();
+    assert_eq!(fms.deletes, 2, "access + content: {fms:?}");
+    assert_eq!(fms.puts, 1, "dirent tombstone append: {fms:?}");
+}
+
+/// getattr(file): reads both parts, writes nothing.
+#[test]
+fn stat_reads_both_parts_writes_nothing() {
+    let h = Harness::new();
+    let mut fs = h.cluster.client();
+    fs.mkdir("/d", 0o755).unwrap();
+    fs.create("/d/f", 0o644).unwrap();
+    h.reset();
+    fs.stat_file("/d/f").unwrap();
+    let fms = h.fms_stats();
+    assert_eq!(fms.gets, 2, "access + content reads: {fms:?}");
+    assert_eq!(fms.puts + fms.partial_writes + fms.deletes, 0, "{fms:?}");
+}
+
+/// access(2): reads exactly one record (the access part).
+#[test]
+fn access_reads_one_record() {
+    let h = Harness::new();
+    let mut fs = h.cluster.client();
+    fs.mkdir("/d", 0o755).unwrap();
+    fs.create("/d/f", 0o644).unwrap();
+    h.reset();
+    assert!(fs.access_file("/d/f", Perm::Read).unwrap());
+    let fms = h.fms_stats();
+    assert_eq!(fms.total(), 1, "{fms:?}");
+    assert_eq!(fms.gets, 1, "{fms:?}");
+}
+
+/// open without content: access part only (Table 1 marks content as
+/// optional for open).
+#[test]
+fn open_reads_access_content_optional() {
+    let h = Harness::new();
+    let mut fs = h.cluster.client();
+    fs.mkdir("/d", 0o755).unwrap();
+    fs.create("/d/f", 0o644).unwrap();
+    h.reset();
+    // The public API open() fetches content (needed for the handle);
+    // that is the "optional" content access of Table 1.
+    fs.open("/d/f", Perm::Read).unwrap();
+    let fms = h.fms_stats();
+    assert_eq!(fms.gets, 2, "access (required) + content (optional): {fms:?}");
+    assert_eq!(fms.puts + fms.partial_writes, 0, "{fms:?}");
+}
+
+/// readdir: dirent lists only — never file access/content records.
+#[test]
+fn readdir_touches_dirents_only() {
+    let h = Harness::new();
+    let mut fs = h.cluster.client();
+    fs.mkdir("/d", 0o755).unwrap();
+    for i in 0..6 {
+        fs.create(&format!("/d/f{i}"), 0o644).unwrap();
+    }
+    h.reset();
+    fs.readdir("/d").unwrap();
+    let fms = h.fms_stats();
+    assert_eq!(fms.gets, 2, "one dirent list per FMS: {fms:?}");
+    assert_eq!(fms.partial_reads, 0, "{fms:?}");
+    let dms = h.dms_stats();
+    assert!(dms.gets >= 1, "subdir dirent list: {dms:?}");
+}
