@@ -63,6 +63,7 @@ mod tests {
     /// The paper's single-server create ratios must be recoverable from
     /// the constants (within slack — KV and RPC costs add on top).
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn single_server_create_ordering_matches_paper() {
         // software cost ordering: ceph > gluster > indexfs > lustre
         assert!(CEPH_JOURNAL > GLUSTER_UPDATE);
@@ -74,8 +75,17 @@ mod tests {
     fn implied_iops_anchors() {
         let iops = |ns: Nanos| 1_000_000_000 / ns;
         assert!((1_300..1_800).contains(&iops(CEPH_JOURNAL)), "ceph ≈1.5K");
-        assert!((4_000..4_800).contains(&iops(GLUSTER_UPDATE)), "gluster ≈4.3K");
-        assert!((11_000..14_500).contains(&iops(LUSTRE_UPDATE)), "lustre ≈12.5K");
-        assert!((6_000..7_000).contains(&iops(INDEXFS_CREATE_WORK)), "indexfs ≈6K");
+        assert!(
+            (4_000..4_800).contains(&iops(GLUSTER_UPDATE)),
+            "gluster ≈4.3K"
+        );
+        assert!(
+            (11_000..14_500).contains(&iops(LUSTRE_UPDATE)),
+            "lustre ≈12.5K"
+        );
+        assert!(
+            (6_000..7_000).contains(&iops(INDEXFS_CREATE_WORK)),
+            "indexfs ≈6K"
+        );
     }
 }

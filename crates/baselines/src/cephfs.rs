@@ -67,8 +67,10 @@ impl CephFsModel {
         };
         let idx = s.mds_of("/");
         let ep = s.mds[idx].clone();
-        s.base
-            .call(&ep, MdsReq::Put(b"/".to_vec(), FatInode::dir(0o777).encode()));
+        s.base.call(
+            &ep,
+            MdsReq::Put(b"/".to_vec(), FatInode::dir(0o777).encode()),
+        );
         let _ = s.base.ctx.take_trace();
         s
     }
@@ -390,7 +392,10 @@ impl DistFs for CephFsModel {
             let dir = parent(&p).ok_or(FsError::InvalidArgument)?;
             let mut inode = self.get_inode(&p, dir)?;
             inode.mode = mode;
-            self.journaled(dir, vec![MdsReq::Put(p.as_bytes().to_vec(), inode.encode())]);
+            self.journaled(
+                dir,
+                vec![MdsReq::Put(p.as_bytes().to_vec(), inode.encode())],
+            );
             self.cache.put(&p, inode, self.base.clock);
             Ok(())
         })();
@@ -406,7 +411,10 @@ impl DistFs for CephFsModel {
             let mut inode = self.get_inode(&p, dir)?;
             inode.uid = uid;
             inode.gid = gid;
-            self.journaled(dir, vec![MdsReq::Put(p.as_bytes().to_vec(), inode.encode())]);
+            self.journaled(
+                dir,
+                vec![MdsReq::Put(p.as_bytes().to_vec(), inode.encode())],
+            );
             self.cache.put(&p, inode, self.base.clock);
             Ok(())
         })();
@@ -421,7 +429,10 @@ impl DistFs for CephFsModel {
             let dir = parent(&p).ok_or(FsError::InvalidArgument)?;
             let mut inode = self.get_inode(&p, dir)?;
             inode.size = size;
-            self.journaled(dir, vec![MdsReq::Put(p.as_bytes().to_vec(), inode.encode())]);
+            self.journaled(
+                dir,
+                vec![MdsReq::Put(p.as_bytes().to_vec(), inode.encode())],
+            );
             self.cache.put(&p, inode, self.base.clock);
             Ok(())
         })();
@@ -491,7 +502,10 @@ impl DistFs for CephFsModel {
             prefix.push(b'/');
             let mut moved = Vec::new();
             for i in 0..self.mds.len() {
-                for (k, v) in self.call_at(i, MdsReq::ScanPrefix(prefix.clone())).entries() {
+                for (k, v) in self
+                    .call_at(i, MdsReq::ScanPrefix(prefix.clone()))
+                    .entries()
+                {
                     self.call_at(i, MdsReq::Delete(k.clone()));
                     moved.push((k, v));
                 }
@@ -564,7 +578,10 @@ impl DistFs for CephFsModel {
                 r?;
             }
             inode.size = data.len() as u64;
-            self.journaled(dir, vec![MdsReq::Put(p.as_bytes().to_vec(), inode.encode())]);
+            self.journaled(
+                dir,
+                vec![MdsReq::Put(p.as_bytes().to_vec(), inode.encode())],
+            );
             self.cache.put(&p, inode, self.base.clock);
             // close(2): cap flush round trip to the MDS.
             let idx = self.mds_of(dir);

@@ -62,4 +62,10 @@ pub trait DistFs {
     /// Discard all client-side caches (fresh-mount semantics, as when a
     /// benchmark phase runs as a separate process).
     fn drop_caches(&mut self);
+
+    /// Prometheus-format metrics snapshot, for systems that carry a
+    /// metrics registry (LocoFS). Baseline cost models return `None`.
+    fn metrics_text(&mut self) -> Option<String> {
+        None
+    }
 }

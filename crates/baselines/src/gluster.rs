@@ -59,8 +59,10 @@ impl GlusterFsModel {
         };
         for i in 0..s.bricks.len() {
             let ep = s.bricks[i].clone();
-            s.base
-                .call(&ep, MdsReq::Put(b"/".to_vec(), FatInode::dir(0o777).encode()));
+            s.base.call(
+                &ep,
+                MdsReq::Put(b"/".to_vec(), FatInode::dir(0o777).encode()),
+            );
         }
         let _ = s.base.ctx.take_trace();
         s
@@ -138,7 +140,10 @@ impl GlusterFsModel {
         }
         let mut names: HashSet<String> = HashSet::new();
         for i in 0..self.bricks.len() {
-            for (k, _) in self.call_at(i, MdsReq::ScanPrefix(prefix.clone())).entries() {
+            for (k, _) in self
+                .call_at(i, MdsReq::ScanPrefix(prefix.clone()))
+                .entries()
+            {
                 let rest = &k[prefix.len()..];
                 if !rest.contains(&b'/') {
                     if let Ok(s) = std::str::from_utf8(rest) {
@@ -389,10 +394,7 @@ impl DistFs for GlusterFsModel {
             self.entrylk(oi);
             self.call_at(oi, MdsReq::Delete(o.as_bytes().to_vec()));
             // DHT leaves a linkto file at the old hashed location.
-            self.call_at(
-                oi,
-                MdsReq::Multi(vec![MdsReq::Work(calib::GLUSTER_UPDATE)]),
-            );
+            self.call_at(oi, MdsReq::Multi(vec![MdsReq::Work(calib::GLUSTER_UPDATE)]));
             self.call_at(
                 ni,
                 MdsReq::Multi(vec![
@@ -422,7 +424,10 @@ impl DistFs for GlusterFsModel {
             // the model approximates by rehoming them now.
             let mut moved = Vec::new();
             for i in 0..self.bricks.len() {
-                for (k, v) in self.call_at(i, MdsReq::ScanPrefix(prefix.clone())).entries() {
+                for (k, v) in self
+                    .call_at(i, MdsReq::ScanPrefix(prefix.clone()))
+                    .entries()
+                {
                     self.call_at(i, MdsReq::Delete(k.clone()));
                     moved.push((k, v));
                 }

@@ -411,7 +411,10 @@ impl DistFs for IndexFsModel {
             prefix.push(b'/');
             let mut moved: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
             for i in 0..self.servers.len() {
-                for (k, v) in self.call_at(i, MdsReq::ScanPrefix(prefix.clone())).entries() {
+                for (k, v) in self
+                    .call_at(i, MdsReq::ScanPrefix(prefix.clone()))
+                    .entries()
+                {
                     self.call_at(i, MdsReq::Delete(k.clone()));
                     moved.push((k, v));
                 }

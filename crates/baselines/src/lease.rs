@@ -36,7 +36,8 @@ impl<V: Clone> LeaseCache<V> {
 
     /// Insert or refresh a value with a fresh lease.
     pub fn put(&mut self, key: &str, value: V, now: Nanos) {
-        self.entries.insert(key.to_string(), (value, now + self.lease));
+        self.entries
+            .insert(key.to_string(), (value, now + self.lease));
     }
 
     /// Drop one cached key.

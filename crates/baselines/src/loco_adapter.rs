@@ -159,6 +159,10 @@ impl DistFs for LocoAdapter {
     fn drop_caches(&mut self) {
         self.client.drop_caches();
     }
+
+    fn metrics_text(&mut self) -> Option<String> {
+        Some(self.client.registry().render_prometheus())
+    }
 }
 
 #[cfg(test)]
@@ -194,5 +198,23 @@ mod tests {
     fn no_cache_label() {
         let fs = LocoAdapter::new(LocoConfig::with_servers(2).no_cache());
         assert_eq!(fs.name(), "LocoFS-NC");
+    }
+
+    #[test]
+    fn metrics_text_exposes_op_and_rpc_families() {
+        let mut fs = LocoAdapter::new(LocoConfig::with_servers(2));
+        fs.mkdir("/d").unwrap();
+        fs.create("/d/f").unwrap();
+        let text = fs.metrics_text().expect("LocoFS carries a registry");
+        assert!(
+            text.contains(r#"client_op_latency_nanos{op="mkdir",quantile="0.5"}"#),
+            "{text}"
+        );
+        assert!(text.contains("rpc_requests_total"), "{text}");
+        assert!(text.contains(r#"role="dms""#), "{text}");
+        assert!(text.contains(r#"role="fms""#), "{text}");
+        // Baselines have none.
+        let mut base = crate::CephFsModel::new(2);
+        assert!(DistFs::metrics_text(&mut base).is_none());
     }
 }

@@ -89,8 +89,10 @@ impl LustreFsModel {
             block_size: 1 << 20,
         };
         let ep = s.mdts[0].clone();
-        s.base
-            .call(&ep, MdsReq::Put(b"/".to_vec(), FatInode::dir(0o777).encode()));
+        s.base.call(
+            &ep,
+            MdsReq::Put(b"/".to_vec(), FatInode::dir(0o777).encode()),
+        );
         let _ = s.base.ctx.take_trace();
         s
     }
@@ -177,7 +179,10 @@ impl LustreFsModel {
         }
         let mut out = Vec::new();
         for idx in self.dir_span(dir) {
-            for (k, v) in self.call_at(idx, MdsReq::ScanPrefix(prefix.clone())).entries() {
+            for (k, v) in self
+                .call_at(idx, MdsReq::ScanPrefix(prefix.clone()))
+                .entries()
+            {
                 if !k[prefix.len()..].contains(&b'/') {
                     out.push((k, v));
                 }
@@ -214,10 +219,7 @@ impl DistFs for LustreFsModel {
                 .call_at(
                     self_idx,
                     MdsReq::Guarded(vec![
-                        MdsReq::PutIfAbsent(
-                            p.as_bytes().to_vec(),
-                            FatInode::dir(0o755).encode(),
-                        ),
+                        MdsReq::PutIfAbsent(p.as_bytes().to_vec(), FatInode::dir(0o755).encode()),
                         MdsReq::Work(calib::LUSTRE_UPDATE),
                     ]),
                 )
@@ -405,7 +407,11 @@ impl DistFs for LustreFsModel {
             let mut inode = self.get_inode(&p)?;
             inode.mode = mode;
             let idx = self.mdt_of(&p);
-            self.update(idx, vec![MdsReq::Put(p.as_bytes().to_vec(), inode.encode())], None);
+            self.update(
+                idx,
+                vec![MdsReq::Put(p.as_bytes().to_vec(), inode.encode())],
+                None,
+            );
             self.cache.invalidate(&p);
             Ok(())
         })();
@@ -422,7 +428,11 @@ impl DistFs for LustreFsModel {
             inode.uid = uid;
             inode.gid = gid;
             let idx = self.mdt_of(&p);
-            self.update(idx, vec![MdsReq::Put(p.as_bytes().to_vec(), inode.encode())], None);
+            self.update(
+                idx,
+                vec![MdsReq::Put(p.as_bytes().to_vec(), inode.encode())],
+                None,
+            );
             self.cache.invalidate(&p);
             Ok(())
         })();
@@ -438,7 +448,11 @@ impl DistFs for LustreFsModel {
             let mut inode = self.get_inode(&p)?;
             inode.size = size;
             let idx = self.mdt_of(&p);
-            self.update(idx, vec![MdsReq::Put(p.as_bytes().to_vec(), inode.encode())], None);
+            self.update(
+                idx,
+                vec![MdsReq::Put(p.as_bytes().to_vec(), inode.encode())],
+                None,
+            );
             self.cache.invalidate(&p);
             Ok(())
         })();
@@ -465,7 +479,11 @@ impl DistFs for LustreFsModel {
             let oi = self.mdt_of(&o);
             let ni = self.mdt_of(&n);
             self.update(oi, vec![MdsReq::Delete(o.as_bytes().to_vec())], Some(ni));
-            self.update(ni, vec![MdsReq::Put(n.as_bytes().to_vec(), inode.encode())], None);
+            self.update(
+                ni,
+                vec![MdsReq::Put(n.as_bytes().to_vec(), inode.encode())],
+                None,
+            );
             self.cache.invalidate(&o);
             Ok(())
         })();
@@ -484,7 +502,10 @@ impl DistFs for LustreFsModel {
             prefix.push(b'/');
             let mut moved = Vec::new();
             for i in 0..self.mdts.len() {
-                for (k, v) in self.call_at(i, MdsReq::ScanPrefix(prefix.clone())).entries() {
+                for (k, v) in self
+                    .call_at(i, MdsReq::ScanPrefix(prefix.clone()))
+                    .entries()
+                {
                     self.call_at(i, MdsReq::Delete(k.clone()));
                     moved.push((k, v));
                 }
@@ -492,7 +513,11 @@ impl DistFs for LustreFsModel {
             let oi = self.mdt_of(&o);
             self.update(oi, vec![MdsReq::Delete(o.as_bytes().to_vec())], None);
             let ni = self.mdt_of(&n);
-            self.update(ni, vec![MdsReq::Put(n.as_bytes().to_vec(), inode.encode())], None);
+            self.update(
+                ni,
+                vec![MdsReq::Put(n.as_bytes().to_vec(), inode.encode())],
+                None,
+            );
             for (k, v) in moved {
                 let suffix = &k[prefix.len()..];
                 let mut nk = n.as_bytes().to_vec();
@@ -533,7 +558,11 @@ impl DistFs for LustreFsModel {
             }
             inode.size = data.len() as u64;
             let idx = self.mdt_of(&p);
-            self.update(idx, vec![MdsReq::Put(p.as_bytes().to_vec(), inode.encode())], None);
+            self.update(
+                idx,
+                vec![MdsReq::Put(p.as_bytes().to_vec(), inode.encode())],
+                None,
+            );
             self.cache.invalidate(&p);
             // mdc close RPC.
             self.call_at(idx, MdsReq::Work(calib::LUSTRE_LOOKUP));
@@ -688,7 +717,11 @@ mod tests {
         }
         assert_eq!(fs1.readdir("/d").unwrap(), 10);
         let t1 = fs1.take_trace();
-        assert!(t1.visits.len() <= 2, "DNE1 readdir is local: {:?}", t1.visits);
+        assert!(
+            t1.visits.len() <= 2,
+            "DNE1 readdir is local: {:?}",
+            t1.visits
+        );
     }
 
     #[test]

@@ -195,7 +195,10 @@ mod tests {
 
     #[test]
     fn kv_ops_roundtrip_through_service() {
-        let ep = SimEndpoint::new(ServerId::new(3, 0), ModelMds::new(MdsStore::Hash, KvConfig::default()));
+        let ep = SimEndpoint::new(
+            ServerId::new(3, 0),
+            ModelMds::new(MdsStore::Hash, KvConfig::default()),
+        );
         let mut ctx = CallCtx::new();
         ep.call(&mut ctx, MdsReq::Put(b"k".to_vec(), b"v".to_vec()));
         let v = ep.call(&mut ctx, MdsReq::Get(b"k".to_vec())).value();
@@ -206,7 +209,10 @@ mod tests {
 
     #[test]
     fn multi_is_one_round_trip() {
-        let ep = SimEndpoint::new(ServerId::new(3, 1), ModelMds::new(MdsStore::BTree, KvConfig::default()));
+        let ep = SimEndpoint::new(
+            ServerId::new(3, 1),
+            ModelMds::new(MdsStore::BTree, KvConfig::default()),
+        );
         let mut ctx = CallCtx::new();
         let resp = ep.call(
             &mut ctx,
@@ -225,7 +231,10 @@ mod tests {
 
     #[test]
     fn work_charges_service_time() {
-        let ep = SimEndpoint::new(ServerId::new(3, 2), ModelMds::new(MdsStore::Hash, KvConfig::default()));
+        let ep = SimEndpoint::new(
+            ServerId::new(3, 2),
+            ModelMds::new(MdsStore::Hash, KvConfig::default()),
+        );
         let mut ctx = CallCtx::new();
         ep.call(&mut ctx, MdsReq::Work(650 * MICROS));
         assert!(ctx.visits()[0].service >= 650 * MICROS);
@@ -233,12 +242,17 @@ mod tests {
 
     #[test]
     fn scan_prefix_on_ordered_store() {
-        let ep = SimEndpoint::new(ServerId::new(3, 3), ModelMds::new(MdsStore::Lsm, KvConfig::default()));
+        let ep = SimEndpoint::new(
+            ServerId::new(3, 3),
+            ModelMds::new(MdsStore::Lsm, KvConfig::default()),
+        );
         let mut ctx = CallCtx::new();
         for k in ["/d/a", "/d/b", "/e/c"] {
             ep.call(&mut ctx, MdsReq::Put(k.as_bytes().to_vec(), vec![]));
         }
-        let entries = ep.call(&mut ctx, MdsReq::ScanPrefix(b"/d/".to_vec())).entries();
+        let entries = ep
+            .call(&mut ctx, MdsReq::ScanPrefix(b"/d/".to_vec()))
+            .entries();
         assert_eq!(entries.len(), 2);
     }
 }

@@ -1,8 +1,8 @@
 //! Shared plumbing for the baseline models: per-client bookkeeping and
 //! the fat-inode encoding conventional systems store.
 
-use loco_net::{CallCtx, Endpoint, JobTrace, Nanos, SimEndpoint};
 use crate::mds::{MdsReq, MdsResp, ModelMds};
+use loco_net::{CallCtx, Endpoint, JobTrace, Nanos, SimEndpoint};
 use loco_types::meta::BASELINE_INODE_SIZE;
 use loco_types::Uuid;
 

@@ -219,7 +219,10 @@ impl DistFs for RawKvFs {
         self.base.begin();
         let mut key = b"D".to_vec();
         key.extend_from_slice(p.as_bytes());
-        let v = self.base.call(&self.server.clone(), MdsReq::Get(key)).value();
+        let v = self
+            .base
+            .call(&self.server.clone(), MdsReq::Get(key))
+            .value();
         self.base.finish();
         v.ok_or(FsError::NotFound)
     }

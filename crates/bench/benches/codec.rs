@@ -1,12 +1,13 @@
-//! Criterion benchmark of the metadata codecs: fixed-layout field
-//! access vs full encode/decode round trips — the real-wall-time
-//! counterpart of the (de)serialization-removal argument (§3.3.3).
+//! Benchmark of the metadata codecs: fixed-layout field access vs full
+//! encode/decode round trips — the real-wall-time counterpart of the
+//! (de)serialization-removal argument (§3.3.3). Runs on the in-tree
+//! `loco_bench::micro` harness.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use loco_bench::micro::{bb, bench};
 use loco_types::meta::{decode_coupled, encode_coupled};
 use loco_types::{DirentKind, DirentList, FileAccess, FileContent, Uuid};
 
-fn bench_fixed_field_poke(c: &mut Criterion) {
+fn main() {
     // Fixed layout: update the mode field by poking 4 bytes in place.
     let mut image = FileAccess {
         ctime: 1,
@@ -15,16 +16,12 @@ fn bench_fixed_field_poke(c: &mut Criterion) {
         gid: 20,
     }
     .encode();
-    c.bench_function("fixed_layout_field_update", |b| {
-        b.iter(|| {
-            image[FileAccess::OFF_MODE..FileAccess::OFF_MODE + 4]
-                .copy_from_slice(&black_box(0o600u32).to_le_bytes());
-            black_box(&image);
-        })
+    bench("fixed_layout_field_update", 2_000_000, |_| {
+        image[FileAccess::OFF_MODE..FileAccess::OFF_MODE + 4]
+            .copy_from_slice(&bb(0o600u32).to_le_bytes());
+        bb(&image);
     });
-}
 
-fn bench_coupled_roundtrip(c: &mut Criterion) {
     // Coupled record: deserialize, mutate, reserialize.
     let access = FileAccess {
         ctime: 1,
@@ -40,31 +37,25 @@ fn bench_coupled_roundtrip(c: &mut Criterion) {
         uuid: Uuid::new(1, 2),
     };
     let record = encode_coupled(&access, &content);
-    c.bench_function("coupled_record_rmw", |b| {
-        b.iter(|| {
-            let (mut a, ct) = decode_coupled(black_box(&record)).unwrap();
-            a.mode = 0o600;
-            encode_coupled(&a, &ct)
-        })
+    bench("coupled_record_rmw", 1_000_000, |_| {
+        let (mut a, ct) = decode_coupled(bb(&record)).unwrap();
+        a.mode = 0o600;
+        bb(encode_coupled(&a, &ct));
     });
-}
 
-fn bench_dirent_append_vs_rebuild(c: &mut Criterion) {
     // The O(entry) append record vs re-encoding a 1000-entry list.
     let mut list = DirentList::new();
     for i in 0..1000 {
         list.upsert(&format!("f{i:06}"), Uuid::new(0, i), DirentKind::File);
     }
-    c.bench_function("dirent_append_one", |b| {
-        b.iter(|| loco_types::encode_entry(black_box("newfile"), Uuid::new(0, 7), DirentKind::File))
+    bench("dirent_append_one", 1_000_000, |_| {
+        bb(loco_types::encode_entry(
+            bb("newfile"),
+            Uuid::new(0, 7),
+            DirentKind::File,
+        ));
     });
-    c.bench_function("dirent_rebuild_1000", |b| b.iter(|| black_box(&list).encode()));
+    bench("dirent_rebuild_1000", 20_000, |_| {
+        bb(bb(&list).encode());
+    });
 }
-
-criterion_group!(
-    benches,
-    bench_fixed_field_poke,
-    bench_coupled_roundtrip,
-    bench_dirent_append_vs_rebuild
-);
-criterion_main!(benches);

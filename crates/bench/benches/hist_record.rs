@@ -1,0 +1,44 @@
+//! Microbenchmark: `LogHistogram::record` hot-path cost.
+//!
+//! The histogram sits on every RPC and every client op, so `record`
+//! must stay in the low-nanosecond range. The number this prints is
+//! cited in `DESIGN.md` (Observability section). Run with:
+//!
+//! ```text
+//! cargo bench -p loco-bench --bench hist_record
+//! ```
+
+use loco_bench::micro::{bb, bench};
+use loco_obs::LogHistogram;
+use loco_sim::rng::Rng;
+
+fn main() {
+    let h = LogHistogram::new();
+
+    // Pre-generate values so the PRNG is not part of the measurement.
+    let mut rng = Rng::seed_from_u64(0xC0FFEE);
+    let values: Vec<u64> = (0..1 << 16)
+        .map(|_| 100 + rng.gen_u64() % 100_000_000)
+        .collect();
+    let mask = values.len() as u64 - 1;
+
+    bench("LogHistogram::record (log-uniform)", 4_000_000, |i| {
+        h.record(bb(values[(i & mask) as usize]));
+    });
+    bench("LogHistogram::record (constant 5µs)", 4_000_000, |_| {
+        h.record(bb(5_000));
+    });
+
+    let other = LogHistogram::new();
+    for &v in &values {
+        other.record(v);
+    }
+    bench("LogHistogram::merge (7424 buckets)", 10_000, |_| {
+        h.merge(bb(&other));
+    });
+    bench("LogHistogram::quantile(0.99)", 10_000, |_| {
+        bb(h.quantile(0.99));
+    });
+
+    eprintln!("recorded total: {}", h.count());
+}

@@ -1,8 +1,9 @@
-//! Criterion micro-benchmarks of the three KV substrates (real wall
-//! time, complementing the virtual-cost figures): random put/get at
-//! metadata-record sizes, and ordered prefix scans.
+//! Micro-benchmarks of the three KV substrates (real wall time,
+//! complementing the virtual-cost figures): random put/get at
+//! metadata-record sizes, and ordered prefix scans. Runs on the
+//! in-tree `loco_bench::micro` harness.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use loco_bench::micro::{bb, bench};
 use loco_kv::{BTreeDb, HashDb, KvConfig, KvStore, LsmDb};
 
 fn key(i: u64) -> [u8; 16] {
@@ -16,52 +17,36 @@ fn key(i: u64) -> [u8; 16] {
 
 fn stores() -> Vec<(&'static str, Box<dyn KvStore>)> {
     vec![
-        ("hash", Box::new(HashDb::new(KvConfig::default())) as Box<dyn KvStore>),
+        (
+            "hash",
+            Box::new(HashDb::new(KvConfig::default())) as Box<dyn KvStore>,
+        ),
         ("btree", Box::new(BTreeDb::new(KvConfig::default()))),
         ("lsm", Box::new(LsmDb::new(KvConfig::default()))),
     ]
 }
 
-fn bench_put(c: &mut Criterion) {
-    let mut g = c.benchmark_group("put_256B");
+fn main() {
     let value = [7u8; 256];
+
     for (name, mut db) in stores() {
-        let mut i = 0u64;
-        g.bench_function(BenchmarkId::from_parameter(name), |b| {
-            b.iter(|| {
-                db.put(&key(i), black_box(&value));
-                i += 1;
-            })
+        bench(&format!("put_256B/{name}"), 200_000, |i| {
+            db.put(&key(i), bb(&value));
         });
     }
-    g.finish();
-}
 
-fn bench_get(c: &mut Criterion) {
-    let mut g = c.benchmark_group("get_256B");
-    let value = [7u8; 256];
     for (name, mut db) in stores() {
         for i in 0..100_000u64 {
             db.put(&key(i), &value);
         }
-        let mut i = 0u64;
-        g.bench_function(BenchmarkId::from_parameter(name), |b| {
-            b.iter(|| {
-                let v = db.get(&key(black_box(i % 100_000)));
-                i += 1;
-                v
-            })
+        bench(&format!("get_256B/{name}"), 500_000, |i| {
+            bb(db.get(&key(bb(i % 100_000))));
         });
     }
-    g.finish();
-}
 
-fn bench_prefix_scan(c: &mut Criterion) {
     // Ordered stores answer narrow prefix scans in range-local time;
     // the hash store pays a full table scan (the Fig 14 mechanism, in
     // real wall time).
-    let mut g = c.benchmark_group("scan_100_of_100k");
-    g.sample_size(20);
     for (name, mut db) in stores() {
         for i in 0..100_000u64 {
             db.put(format!("bulk/{i:08}").as_bytes(), b"v");
@@ -69,12 +54,8 @@ fn bench_prefix_scan(c: &mut Criterion) {
         for i in 0..100u64 {
             db.put(format!("aim/{i:04}").as_bytes(), b"v");
         }
-        g.bench_function(BenchmarkId::from_parameter(name), |b| {
-            b.iter(|| db.scan_prefix(black_box(b"aim/")))
+        bench(&format!("scan_100_of_100k/{name}"), 200, |_| {
+            bb(db.scan_prefix(bb(b"aim/")));
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_put, bench_get, bench_prefix_scan);
-criterion_main!(benches);

@@ -1,8 +1,9 @@
-//! Criterion benchmark of the directory-rename primitive: extracting a
-//! key-range subtree from the B+ tree vs scanning the whole hash table
-//! — the real-wall-time counterpart of Fig 14.
+//! Benchmark of the directory-rename primitive: extracting a key-range
+//! subtree from the B+ tree vs scanning the whole hash table — the
+//! real-wall-time counterpart of Fig 14. Runs on the in-tree
+//! `loco_bench::micro` harness.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use loco_bench::micro::{bb, bench};
 use loco_kv::{BTreeDb, HashDb, KvConfig, KvStore};
 
 fn populate(db: &mut dyn KvStore, total: usize, subtree: usize) {
@@ -16,8 +17,16 @@ fn populate(db: &mut dyn KvStore, total: usize, subtree: usize) {
 
 /// Extract + reinsert under a new prefix (one full rename).
 fn rename_once(db: &mut dyn KvStore, round: usize) {
-    let src = if round % 2 == 0 { "/victim/" } else { "/w2/" };
-    let dst = if round % 2 == 0 { "/w2/" } else { "/victim/" };
+    let src = if round.is_multiple_of(2) {
+        "/victim/"
+    } else {
+        "/w2/"
+    };
+    let dst = if round.is_multiple_of(2) {
+        "/w2/"
+    } else {
+        "/victim/"
+    };
     let moved = db.extract_prefix(src.as_bytes());
     for (k, v) in moved {
         let mut nk = dst.as_bytes().to_vec();
@@ -26,25 +35,19 @@ fn rename_once(db: &mut dyn KvStore, round: usize) {
     }
 }
 
-fn bench_rename(c: &mut Criterion) {
-    let mut g = c.benchmark_group("rename_1k_subtree_in_50k_table");
-    g.sample_size(10);
+fn main() {
     let mk: Vec<(&str, Box<dyn KvStore>)> = vec![
         ("btree", Box::new(BTreeDb::new(KvConfig::default()))),
         ("hash", Box::new(HashDb::new(KvConfig::default()))),
     ];
     for (name, mut db) in mk {
         populate(&mut *db, 50_000, 1_000);
-        let mut round = 0usize;
-        g.bench_function(BenchmarkId::from_parameter(name), |b| {
-            b.iter(|| {
-                rename_once(&mut *db, black_box(round));
-                round += 1;
-            })
-        });
+        bench(
+            &format!("rename_1k_subtree_in_50k_table/{name}"),
+            20,
+            |round| {
+                rename_once(&mut *db, bb(round as usize));
+            },
+        );
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_rename);
-criterion_main!(benches);

@@ -11,7 +11,7 @@
 use loco_bench::{env_scale, fmt, Table};
 use loco_dms::{DirServer, DmsBackend, DmsRequest, ReplicatedDms};
 use loco_kv::KvConfig;
-use loco_net::{class, CallCtx, Endpoint, ServerId, SimEndpoint, Service};
+use loco_net::{class, CallCtx, Endpoint, ServerId, Service, SimEndpoint};
 use loco_sim::time::{Nanos, MICROS};
 
 const RTT: Nanos = 174 * MICROS;

@@ -11,8 +11,8 @@
 //!   component cross-shard lookups instead of one ACL-walk RPC);
 //! * d-rename — which sharding cannot do as a range move at all.
 
-use loco_bench::{env_scale, fmt, Table};
 use loco_baselines::{DistFs, LocoAdapter};
+use loco_bench::{env_scale, fmt, Table};
 use loco_client::LocoConfig;
 use loco_mdtest::{
     collect_traces, gen_phase, gen_setup, run_latency, run_setup, PhaseKind, TreeSpec,
@@ -69,7 +69,11 @@ fn main() {
         fs.mkdir("/r").unwrap();
         fs.mkdir("/r/sub").unwrap();
         let ok = fs.rename_dir("/r", "/r2").is_ok();
-        cells.push(if ok { "yes".to_string() } else { "NO".to_string() });
+        cells.push(if ok {
+            "yes".to_string()
+        } else {
+            "NO".to_string()
+        });
     }
     t.row(cells);
 

@@ -12,11 +12,7 @@ use loco_sim::time::MICROS;
 
 fn main() {
     let servers = 16u16;
-    let sizes = [
-        100usize,
-        1_000,
-        env_scale("LOCO_READDIR_ENTRIES", 10_000),
-    ];
+    let sizes = [100usize, 1_000, env_scale("LOCO_READDIR_ENTRIES", 10_000)];
 
     let mut t = Table::new(vec![
         "entries".to_string(),

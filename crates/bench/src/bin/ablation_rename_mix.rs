@@ -10,8 +10,8 @@
 //! only when renames become orders of magnitude more common than any
 //! measured trace.
 
-use loco_bench::{env_scale, fmt, Table};
 use loco_baselines::{DistFs, LocoAdapter};
+use loco_bench::{env_scale, fmt, Table};
 use loco_client::LocoConfig;
 use loco_mdtest::{collect_traces, OpMix, TraceGen};
 use loco_sim::des::ClosedLoopSim;

@@ -27,8 +27,7 @@ fn main() {
     for kind in [FsKind::LustreSingle, FsKind::Ceph, FsKind::IndexFs] {
         let mut cells = vec![kind.label().to_string()];
         for &n in &servers {
-            let iops =
-                measure_throughput(kind, n, PhaseKind::FileCreate, paper_clients(n), items);
+            let iops = measure_throughput(kind, n, PhaseKind::FileCreate, paper_clients(n), items);
             cells.push(format!("{} ({}%)", fmt(iops), fmt(100.0 * iops / kv_iops)));
         }
         t.row(cells);

@@ -8,8 +8,8 @@
 //! This binary measures exactly that: cold-cache lookup cost by path
 //! depth, IndexFS-style per-component traversal vs the LocoFS DMS.
 
-use loco_bench::{fmt, Table};
 use loco_baselines::{DistFs, IndexFsModel, LocoAdapter};
+use loco_bench::{fmt, Table};
 use loco_client::LocoConfig;
 use loco_sim::time::MICROS;
 
@@ -36,9 +36,11 @@ fn main() {
     let depths = [1usize, 2, 4, 8, 16];
     let mut t = Table::new(
         std::iter::once("system".to_string())
-            .chain(depths.iter().flat_map(|d| {
-                [format!("d{d} RPCs"), format!("d{d} RTTs")]
-            }))
+            .chain(
+                depths
+                    .iter()
+                    .flat_map(|d| [format!("d{d} RPCs"), format!("d{d} RTTs")]),
+            )
             .collect::<Vec<_>>(),
     );
     for (name, mk) in [
@@ -56,6 +58,7 @@ fn main() {
         for &d in &depths {
             let mut fs = mk();
             let (rpcs, rtts) = cold_lookup_cost(&mut *fs, d);
+            loco_bench::dump_phase_metrics(&format!("{name} lookup depth={d}"), &mut *fs);
             cells.push(rpcs.to_string());
             cells.push(fmt(rtts));
         }

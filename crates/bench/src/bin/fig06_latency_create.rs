@@ -15,7 +15,10 @@ fn main() {
     let servers = [1u16, 2, 4, 8, 16];
     let rtt = 174_000u64;
 
-    for (phase, label) in [(PhaseKind::FileCreate, "touch"), (PhaseKind::DirCreate, "mkdir")] {
+    for (phase, label) in [
+        (PhaseKind::FileCreate, "touch"),
+        (PhaseKind::DirCreate, "mkdir"),
+    ] {
         let mut t = Table::new(
             std::iter::once("system".to_string())
                 .chain(servers.iter().map(|s| format!("{s} MDS")))

@@ -36,7 +36,12 @@ fn main() {
                 fs.advance_clock(loco_bench::PHASE_GAP);
                 let reads = TreeSpec::new(1, 20);
                 let ops = &gen_phase(&reads, PhaseKind::Readdir)[0];
-                run_latency(&mut *fs, ops).stats.mean()
+                let mean = run_latency(&mut *fs, ops).stats.mean();
+                loco_bench::dump_phase_metrics(
+                    &format!("{} {phase:?} servers={servers}", kind.label()),
+                    &mut *fs,
+                );
+                mean
             } else {
                 let mut fs = make_fs(kind, servers);
                 let spec = TreeSpec::new(1, items);
@@ -46,7 +51,12 @@ fn main() {
                     fs.advance_clock(loco_bench::PHASE_GAP);
                 }
                 let ops = &gen_phase(&spec, phase)[0];
-                run_latency(&mut *fs, ops).stats.mean()
+                let mean = run_latency(&mut *fs, ops).stats.mean();
+                loco_bench::dump_phase_metrics(
+                    &format!("{} {phase:?} servers={servers}", kind.label()),
+                    &mut *fs,
+                );
+                mean
             };
             row.push(mean);
         }

@@ -31,8 +31,7 @@ fn main() {
     ] {
         let mut cells = vec![kind.label().to_string()];
         for &n in &servers {
-            let iops =
-                measure_throughput(kind, n, PhaseKind::FileCreate, paper_clients(n), items);
+            let iops = measure_throughput(kind, n, PhaseKind::FileCreate, paper_clients(n), items);
             cells.push(format!("{}%", fmt(100.0 * iops / kv_iops)));
         }
         t.row(cells);

@@ -7,9 +7,11 @@
 //! improves further on every operation because each touches only one
 //! small fixed-layout record (no (de)serialization, §3.3).
 
-use loco_bench::{default_sim, env_scale, make_fs, paper_clients, prepare_phase, FsKind, Table, PHASE_GAP};
-use loco_mdtest::{collect_traces, gen_phase, gen_setup, run_setup, TreeSpec};
+use loco_bench::{
+    default_sim, env_scale, make_fs, paper_clients, prepare_phase, FsKind, Table, PHASE_GAP,
+};
 use loco_mdtest::PhaseKind;
+use loco_mdtest::{collect_traces, gen_phase, gen_setup, run_setup, TreeSpec};
 
 fn main() {
     let items = env_scale("LOCO_TP_ITEMS", 60);
@@ -22,8 +24,8 @@ fn main() {
         PhaseKind::ModAccess,
     ];
     let systems = [
-        FsKind::LocoC,   // decoupled = LocoFS-DF
-        FsKind::LocoCF,  // coupled ablation
+        FsKind::LocoC,  // decoupled = LocoFS-DF
+        FsKind::LocoCF, // coupled ablation
         FsKind::LustreD1,
         FsKind::Ceph,
         FsKind::Gluster,
@@ -55,8 +57,15 @@ fn main() {
             let traces = collect_traces(&mut *fs, &ops);
             let n: usize = traces.iter().map(Vec::len).sum();
             let service: u64 = traces.iter().flatten().map(|t| t.total_service()).sum();
-            let sim = loco_sim::des::ClosedLoopSim { rtt: fs.rtt(), ..default_sim() };
+            let sim = loco_sim::des::ClosedLoopSim {
+                rtt: fs.rtt(),
+                ..default_sim()
+            };
             let iops = sim.run(traces).iops();
+            loco_bench::dump_phase_metrics(
+                &format!("{} {phase:?} servers={servers}", kind.label()),
+                &mut *fs,
+            );
             cells.push(format!("{iops:.0}"));
             svc_cells.push(format!("{:.1}", service as f64 / n as f64 / 1000.0));
         }

@@ -46,13 +46,26 @@ fn run(kind: FsKind, files: usize, write: bool) -> Vec<f64> {
             }
         }
         out.push(total / files as f64 / 1_000.0); // µs
+        loco_bench::dump_phase_metrics(
+            &format!(
+                "{} {} size={size}",
+                kind.label(),
+                if write { "write" } else { "read" }
+            ),
+            &mut *fs,
+        );
     }
     out
 }
 
 fn main() {
     let files = env_scale("LOCO_FILES", 16);
-    let systems = [FsKind::LocoC, FsKind::LustreD1, FsKind::Gluster, FsKind::Ceph];
+    let systems = [
+        FsKind::LocoC,
+        FsKind::LustreD1,
+        FsKind::Gluster,
+        FsKind::Ceph,
+    ];
 
     for (write, label) in [(true, "write"), (false, "read")] {
         let mut rows = Vec::new();

@@ -35,6 +35,13 @@ fn main() {
             run_setup(&mut *fs, &gen_setup(&spec)).expect("setup");
             let ops = gen_phase(&spec, PhaseKind::FileCreate);
             let iops = run_throughput(&mut *fs, &ops, &ClosedLoopSim::default()).iops();
+            loco_bench::dump_phase_metrics(
+                &format!(
+                    "{} FileCreate servers={servers} depth={depth}",
+                    kind.label()
+                ),
+                &mut *fs,
+            );
             cells.push(format!("{iops:.0}"));
         }
         t.row(cells);

@@ -11,6 +11,7 @@ use loco_bench::{env_scale, fmt, Table};
 use loco_dms::{DirServer, DmsBackend};
 use loco_kv::{Device, KvConfig};
 use loco_net::Service;
+use loco_obs::MetricsRegistry;
 use loco_sim::time::SECS;
 
 fn build(backend: DmsBackend, device: Device, sizes: &[usize], filler: usize) -> DirServer {
@@ -64,9 +65,14 @@ fn main() {
             .chain(sizes.iter().map(|s| format!("{s} dirs")))
             .collect::<Vec<_>>(),
     );
+    let registry = MetricsRegistry::new();
     for (backend, blabel) in [(DmsBackend::BTree, "btree"), (DmsBackend::Hash, "hash")] {
         for (device, dlabel) in [(Device::ssd(), "ssd"), (Device::hdd(), "hdd")] {
             let mut dms = build(backend, device, &sizes, filler);
+            let hist = registry.histogram(
+                "rename_service_nanos",
+                &[("backend", blabel), ("device", dlabel)],
+            );
             let mut cells = vec![format!("{blabel}/{dlabel}")];
             for (tno, _) in sizes.iter().enumerate() {
                 dms.handle(loco_dms::DmsRequest::RenameDir {
@@ -77,10 +83,16 @@ fn main() {
                     ts: 1,
                 });
                 let cost = dms.take_cost();
+                hist.record(cost);
                 cells.push(format!("{}s", fmt(cost as f64 / SECS as f64)));
             }
             t.row(cells);
         }
     }
     t.print("Fig 14: d-rename time by renamed-subtree size");
+    if std::env::var("LOCO_METRICS").as_deref() != Ok("off") {
+        eprintln!("--- metrics [fig14 rename phases] ---");
+        eprint!("{}", registry.render_prometheus());
+        eprintln!("--- end metrics ---");
+    }
 }

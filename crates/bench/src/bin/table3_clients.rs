@@ -7,7 +7,9 @@
 //! LocoFS/Lustre because their per-op server cost is higher.
 
 use loco_bench::{env_scale, make_fs, FsKind, Table};
-use loco_mdtest::{collect_traces, gen_phase, gen_setup, optimal_clients, run_setup, PhaseKind, TreeSpec};
+use loco_mdtest::{
+    collect_traces, gen_phase, gen_setup, optimal_clients, run_setup, PhaseKind, TreeSpec,
+};
 use loco_sim::des::ClosedLoopSim;
 
 fn main() {

@@ -24,11 +24,15 @@
 //! finishes in seconds while preserving each figure's shape; raise them
 //! to approach paper scale.
 //!
-//! Criterion micro-benches of the substrates live under `benches/`.
+//! Micro-benches of the substrates live under `benches/`, running on
+//! the in-tree [`micro`] harness (the workspace builds offline, so
+//! Criterion is unavailable).
+
+pub mod micro;
 
 use loco_baselines::{
-    CephFsModel, DistFs, GlusterFsModel, IndexFsModel, LocoAdapter, LustreFsModel,
-    LustreVariant, RawKvFs,
+    CephFsModel, DistFs, GlusterFsModel, IndexFsModel, LocoAdapter, LustreFsModel, LustreVariant,
+    RawKvFs,
 };
 use loco_client::LocoConfig;
 use loco_sim::des::ClosedLoopSim;
@@ -129,7 +133,11 @@ pub const PHASE_GAP: loco_net::Nanos = 31 * loco_sim::time::SECS;
 
 /// Pre-create whatever a phase operates on (files for stat/remove/mod
 /// phases, directories for dir-stat/rmdir), without recording.
-pub fn prepare_phase(fs: &mut dyn DistFs, spec: &loco_mdtest::TreeSpec, phase: loco_mdtest::PhaseKind) {
+pub fn prepare_phase(
+    fs: &mut dyn DistFs,
+    spec: &loco_mdtest::TreeSpec,
+    phase: loco_mdtest::PhaseKind,
+) {
     use loco_mdtest::PhaseKind;
     if !phase.needs_files() {
         return;
@@ -145,6 +153,8 @@ pub fn prepare_phase(fs: &mut dyn DistFs, spec: &loco_mdtest::TreeSpec, phase: l
         }
     }
 }
+
+pub use loco_mdtest::{dump_phase_metrics, prom_family_sum};
 
 /// Closed-loop throughput of one (system, servers, phase) cell.
 pub fn measure_throughput(
@@ -165,7 +175,15 @@ pub fn measure_throughput(
         fs.advance_clock(PHASE_GAP);
     }
     let ops = loco_mdtest::gen_phase(&spec, phase);
-    loco_mdtest::run_throughput(&mut *fs, &ops, &default_sim()).iops()
+    let iops = loco_mdtest::run_throughput(&mut *fs, &ops, &default_sim()).iops();
+    dump_phase_metrics(
+        &format!(
+            "{} {phase:?} servers={servers} clients={clients}",
+            kind.label()
+        ),
+        &mut *fs,
+    );
+    iops
 }
 
 /// Single-client latency of one (system, servers, phase) cell.
@@ -188,7 +206,12 @@ pub fn measure_latency(
         fs.advance_clock(PHASE_GAP);
     }
     let ops = &loco_mdtest::gen_phase(&spec, phase)[0];
-    loco_mdtest::run_latency(&mut *fs, ops)
+    let run = loco_mdtest::run_latency(&mut *fs, ops);
+    dump_phase_metrics(
+        &format!("{} {phase:?} servers={servers} latency", kind.label()),
+        &mut *fs,
+    );
+    run
 }
 
 /// Fixed-width table printer for figure output.
@@ -303,7 +326,7 @@ mod tests {
     #[test]
     fn fmt_ranges() {
         assert_eq!(fmt(0.0), "0");
-        assert_eq!(fmt(3.14159), "3.14");
+        assert_eq!(fmt(4.25519), "4.26");
         assert_eq!(fmt(42.123), "42.1");
         assert_eq!(fmt(123456.7), "123457");
     }

@@ -1,0 +1,79 @@
+//! Tiny in-tree microbenchmark harness.
+//!
+//! The workspace builds offline, so Criterion is unavailable; the
+//! `benches/*.rs` targets (all `harness = false`) use this instead. It
+//! keeps the parts that matter for our use: warmup, many timed
+//! iterations, best-of-several batches (robust against scheduler
+//! noise), and a `black_box` to stop the optimizer from deleting the
+//! measured work.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Re-export of [`std::hint::black_box`] under the name bench code
+/// expects.
+pub fn bb<T>(x: T) -> T {
+    black_box(x)
+}
+
+/// Result of one benchmark: best observed per-iteration time.
+#[derive(Clone, Copy, Debug)]
+pub struct MicroReport {
+    /// Nanoseconds per iteration (best batch).
+    pub ns_per_iter: f64,
+    /// Iterations per timed batch.
+    pub iters: u64,
+}
+
+impl std::fmt::Display for MicroReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.ns_per_iter >= 1_000.0 {
+            write!(f, "{:10.3} µs/iter", self.ns_per_iter / 1_000.0)
+        } else {
+            write!(f, "{:10.1} ns/iter", self.ns_per_iter)
+        }
+    }
+}
+
+/// Run `f` repeatedly and report the best per-iteration time over
+/// several batches. `f` receives the iteration index so benchmarks can
+/// vary their input cheaply.
+pub fn bench(name: &str, iters: u64, mut f: impl FnMut(u64)) -> MicroReport {
+    // Warmup: one batch, untimed.
+    for i in 0..iters.min(10_000) {
+        f(i);
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..5 {
+        let t0 = Instant::now();
+        for i in 0..iters {
+            f(i);
+        }
+        let dt = t0.elapsed().as_nanos() as f64 / iters as f64;
+        if dt < best {
+            best = dt;
+        }
+    }
+    let report = MicroReport {
+        ns_per_iter: best,
+        iters,
+    };
+    println!("{name:<40} {report}");
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_reports_plausible_time() {
+        let mut acc = 0u64;
+        let r = bench("noop-add", 10_000, |i| {
+            acc = acc.wrapping_add(bb(i));
+        });
+        assert!(r.ns_per_iter >= 0.0);
+        assert!(r.ns_per_iter < 1_000_000.0, "a wrapping add is not 1ms");
+        bb(acc);
+    }
+}

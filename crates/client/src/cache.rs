@@ -23,6 +23,7 @@ pub struct DirCache {
     capacity: usize,
     hits: u64,
     misses: u64,
+    expired: u64,
 }
 
 impl DirCache {
@@ -34,6 +35,7 @@ impl DirCache {
             capacity,
             hits: 0,
             misses: 0,
+            expired: 0,
         }
     }
 
@@ -45,8 +47,11 @@ impl DirCache {
                 Some(*inode)
             }
             Some(_) => {
+                // A present-but-stale entry is the §4.2.2 obs. 4 case:
+                // counted both as a miss and as an expired lease.
                 self.entries.remove(path);
                 self.misses += 1;
+                self.expired += 1;
                 None
             }
             None => {
@@ -76,7 +81,8 @@ impl DirCache {
                 }
             }
         }
-        self.entries.insert(path.to_string(), (inode, now + self.lease));
+        self.entries
+            .insert(path.to_string(), (inode, now + self.lease));
     }
 
     /// Drop one path (rmdir, failed lookups).
@@ -103,6 +109,12 @@ impl DirCache {
     /// (hits, misses) counters.
     pub fn stats(&self) -> (u64, u64) {
         (self.hits, self.misses)
+    }
+
+    /// Misses caused specifically by an expired lease (a subset of the
+    /// miss count): the entry was cached but its lease had lapsed.
+    pub fn expired(&self) -> u64 {
+        self.expired
     }
 }
 
@@ -137,6 +149,11 @@ mod tests {
         assert!(c.is_empty(), "expired entry evicted");
         let (h, m) = c.stats();
         assert_eq!((h, m), (0, 1));
+        assert_eq!(c.expired(), 1, "stale entry counts as an expired lease");
+        // A cold miss is not an expired lease.
+        assert!(c.get("/never-cached", 1).is_none());
+        assert_eq!(c.expired(), 1);
+        assert_eq!(c.stats().1, 2);
     }
 
     #[test]

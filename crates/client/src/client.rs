@@ -21,14 +21,16 @@ use crate::{LocoCluster, LocoConfig};
 use loco_dms::{DirServer, DmsRequest, DmsResponse};
 use loco_fms::{FileServer, FmsRequest, FmsResponse};
 use loco_net::{CallCtx, Endpoint, JobTrace, ServerId, SimEndpoint};
+use loco_obs::{Counter, LogHistogram, MetricsRegistry};
 use loco_ostore::{ObjectStore, OstoreRequest, OstoreResponse};
 use loco_sim::time::Nanos;
 use loco_types::meta::FileStat;
 use loco_types::{
-    normalize, parent, path, DirInode, DirentKind, FileContent, FsError, FsResult, HashRing,
-    Perm, Uuid,
+    normalize, parent, path, DirInode, DirentKind, FileContent, FsError, FsResult, HashRing, Perm,
+    Uuid,
 };
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 /// An open file: everything needed to reach its metadata and data
 /// without further lookups.
@@ -68,6 +70,15 @@ pub struct LocoClient {
     clock: Nanos,
     contacted: HashSet<ServerId>,
     gc_queue: Vec<GcItem>,
+    /// Cluster-wide metrics registry; per-POSIX-op end-to-end latency
+    /// histograms are recorded here from `finish`.
+    registry: Arc<MetricsRegistry>,
+    /// Per-op histogram cache, avoiding the registry lock on the hot
+    /// path (one lookup per op name, ever).
+    op_hists: HashMap<&'static str, Arc<LogHistogram>>,
+    m_cache_hits: Arc<Counter>,
+    m_cache_misses: Arc<Counter>,
+    m_cache_expired: Arc<Counter>,
     /// Caller user id (permission checks).
     pub uid: u32,
     /// Caller group id (permission checks).
@@ -89,6 +100,13 @@ impl LocoClient {
             clock: 0,
             contacted: HashSet::new(),
             gc_queue: Vec::new(),
+            registry: cluster.registry.clone(),
+            op_hists: HashMap::new(),
+            m_cache_hits: cluster.registry.counter("client_cache_hits_total", &[]),
+            m_cache_misses: cluster.registry.counter("client_cache_misses_total", &[]),
+            m_cache_expired: cluster
+                .registry
+                .counter("client_cache_expired_leases_total", &[]),
             uid,
             gid,
         }
@@ -101,7 +119,7 @@ impl LocoClient {
         self.ctx.charge_client(self.cfg.client_work);
     }
 
-    fn finish(&mut self) {
+    fn finish(&mut self, op: &'static str) {
         let mut trace = self.ctx.take_trace();
         // Per-op client overhead grows with the number of server
         // connections beyond the baseline pair (DMS + one FMS) — the
@@ -112,8 +130,19 @@ impl LocoClient {
             let extra_conns = self.contacted.len().saturating_sub(2) as Nanos;
             trace.client_work += self.cfg.conn_poll * extra_conns;
         }
-        self.clock += trace.unloaded_latency(self.cfg.rtt);
+        let latency = trace.unloaded_latency(self.cfg.rtt);
+        self.clock += latency;
+        let registry = &self.registry;
+        self.op_hists
+            .entry(op)
+            .or_insert_with(|| registry.histogram("client_op_latency_nanos", &[("op", op)]))
+            .record(latency);
         self.last_trace = trace;
+    }
+
+    /// The metrics registry shared with the cluster's servers.
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
     }
 
     /// Trace of the most recently completed operation.
@@ -142,6 +171,12 @@ impl LocoClient {
     /// (hits, misses) of the d-inode cache.
     pub fn cache_stats(&self) -> (u64, u64) {
         self.cache.stats()
+    }
+
+    /// d-inode cache misses caused by an expired lease (subset of the
+    /// miss count).
+    pub fn cache_expired(&self) -> u64 {
+        self.cache.expired()
     }
 
     /// Network round-trip time this client charges per visit.
@@ -217,12 +252,28 @@ impl LocoClient {
         Ok(self.ost[idx].call(&mut self.ctx, req))
     }
 
+    /// Cache lookup that mirrors the outcome into the metrics registry
+    /// (hit/miss/expired-lease counters).
+    fn cache_get(&mut self, path: &str, now: Nanos) -> Option<DirInode> {
+        let expired_before = self.cache.expired();
+        let got = self.cache.get(path, now);
+        if got.is_some() {
+            self.m_cache_hits.inc();
+        } else {
+            self.m_cache_misses.inc();
+            if self.cache.expired() > expired_before {
+                self.m_cache_expired.inc();
+            }
+        }
+        got
+    }
+
     /// Resolve a directory path to its d-inode: client cache when
     /// enabled and fresh, otherwise one DMS RPC (with server-side
     /// ancestor ACL walk), refreshing the cache.
     fn resolve_dir(&mut self, dir_path: &str) -> FsResult<DirInode> {
         if self.cfg.cache_enabled {
-            if let Some(d) = self.cache.get(dir_path, self.clock) {
+            if let Some(d) = self.cache_get(dir_path, self.clock) {
                 self.ctx.charge_client(300);
                 return Ok(d);
             }
@@ -255,7 +306,7 @@ impl LocoClient {
         let mut result = None;
         for p in chain {
             let inode = if self.cfg.cache_enabled {
-                self.cache.get(&p, self.clock)
+                self.cache_get(&p, self.clock)
             } else {
                 None
             };
@@ -311,7 +362,7 @@ impl LocoClient {
         self.begin();
         if self.dms.len() > 1 {
             let res = self.mkdir_sharded(&p, mode);
-            self.finish();
+            self.finish("mkdir");
             return res;
         }
         let ts = self.clock;
@@ -329,7 +380,7 @@ impl LocoClient {
             };
             r.map(|_| ())
         })();
-        self.finish();
+        self.finish("mkdir");
         res
     }
 
@@ -361,7 +412,12 @@ impl LocoClient {
         // implementation; modeled as part of the MkdirLocal response by
         // reading it back locally at zero extra round trip is not
         // possible here, so the dirent carries a lookup).
-        let resp = self.dms_call_at(idx, DmsRequest::GetDir { path: p.to_string() })?;
+        let resp = self.dms_call_at(
+            idx,
+            DmsRequest::GetDir {
+                path: p.to_string(),
+            },
+        )?;
         let DmsResponse::Dir(Ok(inode)) = resp else {
             return Err(FsError::Io("mkdir readback failed".into()));
         };
@@ -388,7 +444,12 @@ impl LocoClient {
         let res = (|| {
             let inode = self.resolve_dir(&p)?;
             for i in 0..self.fms.len() {
-                let resp = self.fms_call(i, FmsRequest::CountFiles { dir_uuid: inode.uuid })?;
+                let resp = self.fms_call(
+                    i,
+                    FmsRequest::CountFiles {
+                        dir_uuid: inode.uuid,
+                    },
+                )?;
                 let FmsResponse::Count(n) = resp else {
                     unreachable!()
                 };
@@ -429,7 +490,7 @@ impl LocoClient {
             r.map(|_| ())
         })();
         self.cache.invalidate(&p);
-        self.finish();
+        self.finish("rmdir");
         res
     }
 
@@ -442,7 +503,12 @@ impl LocoClient {
             let inode = self.resolve_dir(&p)?;
             let mut out = Vec::new();
             let shard = self.dms_of(&p);
-            let resp = self.dms_call_at(shard, DmsRequest::ReaddirSubdirs { dir_uuid: inode.uuid })?;
+            let resp = self.dms_call_at(
+                shard,
+                DmsRequest::ReaddirSubdirs {
+                    dir_uuid: inode.uuid,
+                },
+            )?;
             let DmsResponse::Dirents(subdirs) = resp else {
                 unreachable!()
             };
@@ -450,7 +516,12 @@ impl LocoClient {
                 out.push((name, DirentKind::Dir));
             }
             for i in 0..self.fms.len() {
-                let resp = self.fms_call(i, FmsRequest::ListFiles { dir_uuid: inode.uuid })?;
+                let resp = self.fms_call(
+                    i,
+                    FmsRequest::ListFiles {
+                        dir_uuid: inode.uuid,
+                    },
+                )?;
                 let FmsResponse::Names(names) = resp else {
                     unreachable!()
                 };
@@ -460,7 +531,7 @@ impl LocoClient {
             }
             Ok(out)
         })();
-        self.finish();
+        self.finish("readdir");
         res
     }
 
@@ -479,7 +550,12 @@ impl LocoClient {
             let inode = self.resolve_dir(&p)?;
             let mut out = Vec::new();
             for i in 0..self.fms.len() {
-                let resp = self.fms_call(i, FmsRequest::ListFilesPlus { dir_uuid: inode.uuid })?;
+                let resp = self.fms_call(
+                    i,
+                    FmsRequest::ListFilesPlus {
+                        dir_uuid: inode.uuid,
+                    },
+                )?;
                 let FmsResponse::NamesPlus(rows) = resp else {
                     unreachable!()
                 };
@@ -489,7 +565,7 @@ impl LocoClient {
             }
             Ok(out)
         })();
-        self.finish();
+        self.finish("readdir_plus");
         res
     }
 
@@ -498,7 +574,7 @@ impl LocoClient {
         let p = normalize(raw_path)?;
         self.begin();
         let res = self.resolve_dir(&p);
-        self.finish();
+        self.finish("stat_dir");
         res
     }
 
@@ -540,7 +616,7 @@ impl LocoClient {
             r.map(|_| ())
         })();
         self.cache.invalidate(&p);
-        self.finish();
+        self.finish("setattr_dir");
         res
     }
 
@@ -578,7 +654,7 @@ impl LocoClient {
                 bsize: self.cfg.block_size,
             })
         })();
-        self.finish();
+        self.finish("create");
         res
     }
 
@@ -613,7 +689,7 @@ impl LocoClient {
                 bsize: c.bsize,
             })
         })();
-        self.finish();
+        self.finish("open");
         res
     }
 
@@ -639,7 +715,7 @@ impl LocoClient {
             self.gc_queue.push(GcItem::Remove(uuid));
             Ok(())
         })();
-        self.finish();
+        self.finish("unlink");
         res
     }
 
@@ -663,7 +739,7 @@ impl LocoClient {
             let (access, content) = r?;
             Ok(FileStat { access, content })
         })();
-        self.finish();
+        self.finish("stat");
         res
     }
 
@@ -689,7 +765,7 @@ impl LocoClient {
             };
             Ok(ok)
         })();
-        self.finish();
+        self.finish("access");
         res
     }
 
@@ -716,7 +792,7 @@ impl LocoClient {
             };
             r
         })();
-        self.finish();
+        self.finish("chmod");
         res
     }
 
@@ -744,7 +820,7 @@ impl LocoClient {
             };
             r
         })();
-        self.finish();
+        self.finish("chown");
         res
     }
 
@@ -769,7 +845,7 @@ impl LocoClient {
             };
             r
         })();
-        self.finish();
+        self.finish("utimens");
         res
     }
 
@@ -812,7 +888,7 @@ impl LocoClient {
             self.gc_queue.push(GcItem::Truncate(c.uuid, keep));
             Ok(())
         })();
-        self.finish();
+        self.finish("truncate");
         res
     }
 
@@ -854,7 +930,7 @@ impl LocoClient {
             };
             r
         })();
-        self.finish();
+        self.finish("rename_file");
         res
     }
 
@@ -887,7 +963,7 @@ impl LocoClient {
         })();
         self.cache.invalidate_subtree(&old);
         self.cache.invalidate_subtree(&new);
-        self.finish();
+        self.finish("rename_dir");
         res
     }
 
@@ -917,13 +993,8 @@ impl LocoClient {
                     chunk.to_vec()
                 } else {
                     // Partial block: read-modify-write.
-                    let resp = self.ost_call(
-                        ost,
-                        OstoreRequest::ReadBlock {
-                            uuid: h.uuid,
-                            blk,
-                        },
-                    )?;
+                    let resp =
+                        self.ost_call(ost, OstoreRequest::ReadBlock { uuid: h.uuid, blk })?;
                     let mut base = match resp {
                         OstoreResponse::Block(Ok(b)) => b,
                         OstoreResponse::Block(Err(FsError::NotFound)) => Vec::new(),
@@ -973,7 +1044,7 @@ impl LocoClient {
             h.size = new_size;
             Ok(())
         })();
-        self.finish();
+        self.finish("write");
         res
     }
 
@@ -991,13 +1062,7 @@ impl LocoClient {
             let mut out = Vec::with_capacity((end - offset) as usize);
             for blk in first..=last {
                 let ost = self.ost_of(h.uuid, blk);
-                let resp = self.ost_call(
-                    ost,
-                    OstoreRequest::ReadBlock {
-                        uuid: h.uuid,
-                        blk,
-                    },
-                )?;
+                let resp = self.ost_call(ost, OstoreRequest::ReadBlock { uuid: h.uuid, blk })?;
                 let block = match resp {
                     OstoreResponse::Block(Ok(b)) => b,
                     OstoreResponse::Block(Err(FsError::NotFound)) => Vec::new(),
@@ -1013,7 +1078,7 @@ impl LocoClient {
             }
             Ok(out)
         })();
-        self.finish();
+        self.finish("read");
         res
     }
 
@@ -1341,7 +1406,8 @@ mod tests {
         let mut c = cl.client();
         c.mkdir("/d", 0o755).unwrap();
         for i in 0..50 {
-            c.create(&format!("/d/f{i:02}"), 0o600 + (i % 8) as u32).unwrap();
+            c.create(&format!("/d/f{i:02}"), 0o600 + (i % 8) as u32)
+                .unwrap();
         }
         let _ = c.take_trace();
         let rows = c.readdir_plus("/d").unwrap();
@@ -1464,7 +1530,10 @@ mod tests {
         let cl = cluster(2);
         let mut c = cl.client();
         assert_eq!(c.mkdir("no-slash", 0o755), Err(FsError::InvalidArgument));
-        assert_eq!(c.create("/a/../b", 0o644).err(), Some(FsError::InvalidArgument));
+        assert_eq!(
+            c.create("/a/../b", 0o644).err(),
+            Some(FsError::InvalidArgument)
+        );
         assert_eq!(c.take_trace().visits.len(), 0);
     }
 }

@@ -170,10 +170,11 @@ pub fn fsck_repair(cluster: &LocoCluster) -> usize {
     // DMS: rebuild subdir lists from d-inode paths.
     let dirs: Vec<(String, loco_types::DirInode)> =
         cluster.dms[0].with_service(|s| s.export_dirs());
-    let by_path: HashMap<&str, Uuid> =
-        dirs.iter().map(|(p, i)| (p.as_str(), i.uuid)).collect();
-    let mut rebuilt: HashMap<Uuid, DirentList> =
-        dirs.iter().map(|(_, i)| (i.uuid, DirentList::new())).collect();
+    let by_path: HashMap<&str, Uuid> = dirs.iter().map(|(p, i)| (p.as_str(), i.uuid)).collect();
+    let mut rebuilt: HashMap<Uuid, DirentList> = dirs
+        .iter()
+        .map(|(_, i)| (i.uuid, DirentList::new()))
+        .collect();
     for (path, inode) in &dirs {
         let Some(parent_path) = parent(path) else {
             continue;
@@ -250,7 +251,10 @@ mod tests {
         cluster.dms[0].with_service(|s| s.drop_dirent_list(a.uuid));
         let report = fsck(&cluster);
         assert!(!report.is_clean());
-        assert!(report.unlisted_dirs.contains(&"/a/b".to_string()), "{report:#?}");
+        assert!(
+            report.unlisted_dirs.contains(&"/a/b".to_string()),
+            "{report:#?}"
+        );
 
         fsck_repair(&cluster);
         let report = fsck(&cluster);
@@ -318,9 +322,10 @@ mod tests {
             s.handle(DmsRequest::RmdirLocal { path: "/c".into() });
         });
         let report = fsck(&cluster);
-        assert!(report
-            .dangling_dir_dirents
-            .contains(&"/c".to_string()), "{report:#?}");
+        assert!(
+            report.dangling_dir_dirents.contains(&"/c".to_string()),
+            "{report:#?}"
+        );
         fsck_repair(&cluster);
         assert!(fsck(&cluster).is_clean());
     }

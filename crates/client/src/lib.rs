@@ -31,7 +31,7 @@ pub mod metrics;
 pub use cache::DirCache;
 pub use client::{FileHandle, LocoClient};
 pub use fsck::{fsck, fsck_repair, FsckReport};
-pub use metrics::ClusterReport;
+pub use metrics::{CacheStats, ClusterReport};
 
 pub use loco_dms::DmsBackend;
 pub use loco_fms::FmsMode;
@@ -39,10 +39,12 @@ pub use loco_fms::FmsMode;
 use loco_dms::DirServer;
 use loco_fms::FileServer;
 use loco_kv::KvConfig;
-use loco_net::{class, ServerId, SimEndpoint};
+use loco_net::{class, EndpointMetrics, ServerId, SimEndpoint};
+use loco_obs::MetricsRegistry;
 use loco_ostore::ObjectStore;
 use loco_sim::time::{Nanos, MICROS, SECS};
 use loco_types::HashRing;
+use std::sync::Arc;
 
 /// Cluster and client configuration. Defaults match the paper's
 /// evaluation setup (§4.1): RTT 174 µs, 30 s leases, cache enabled,
@@ -143,33 +145,40 @@ pub struct LocoCluster {
     pub ost: Vec<SimEndpoint<ObjectStore>>,
     /// Consistent-hash ring placing file metadata on FMS.
     pub ring: HashRing,
+    /// Shared metrics registry every server endpoint (and every client
+    /// created from this cluster) records into.
+    pub registry: Arc<MetricsRegistry>,
 }
 
 impl LocoCluster {
     /// Build a cluster per `config`.
     pub fn new(config: LocoConfig) -> Self {
+        let registry = Arc::new(MetricsRegistry::new());
         let dms = (0..config.num_dms.max(1))
             .map(|i| {
+                let id = ServerId::new(class::DMS, i);
                 SimEndpoint::new(
-                    ServerId::new(class::DMS, i),
+                    id,
                     DirServer::with_sid(config.dms_backend, config.kv.clone(), i),
                 )
+                .with_metrics(EndpointMetrics::register(&registry, id))
             })
             .collect();
         let fms = (0..config.num_fms)
             .map(|i| {
+                let id = ServerId::new(class::FMS, i);
                 SimEndpoint::new(
-                    ServerId::new(class::FMS, i),
+                    id,
                     FileServer::new(i + 1, config.fms_mode, config.kv.clone()),
                 )
+                .with_metrics(EndpointMetrics::register(&registry, id))
             })
             .collect();
         let ost = (0..config.num_ost)
             .map(|i| {
-                SimEndpoint::new(
-                    ServerId::new(class::OST, i),
-                    ObjectStore::new(config.kv.clone()),
-                )
+                let id = ServerId::new(class::OST, i);
+                SimEndpoint::new(id, ObjectStore::new(config.kv.clone()))
+                    .with_metrics(EndpointMetrics::register(&registry, id))
             })
             .collect();
         let ring = HashRing::new(config.num_fms);
@@ -179,6 +188,7 @@ impl LocoCluster {
             fms,
             ost,
             ring,
+            registry,
         }
     }
 

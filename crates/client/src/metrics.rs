@@ -2,7 +2,7 @@
 //! printable report (the `loco-admin`-style view an operator would use
 //! to see load balance across the metadata tier).
 
-use crate::LocoCluster;
+use crate::{LocoClient, LocoCluster};
 use loco_kv::AccessStats;
 use std::fmt;
 
@@ -24,11 +24,34 @@ impl ServerStats {
     }
 }
 
+/// Client d-inode cache counters (§3.2.2): hits, misses, and the
+/// subset of misses caused by an expired lease.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CacheStats {
+    /// Lookups served from the cache within the lease.
+    pub hits: u64,
+    /// Lookups that had to go to the DMS.
+    pub misses: u64,
+    /// Misses where the entry was cached but its lease had lapsed.
+    pub expired: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in [0, 1]; `None` when no lookups happened.
+    pub fn hit_rate(&self) -> Option<f64> {
+        let total = self.hits + self.misses;
+        (total > 0).then(|| self.hits as f64 / total as f64)
+    }
+}
+
 /// Snapshot of cluster-wide KV activity.
 #[derive(Clone, Debug)]
 pub struct ClusterReport {
     /// Per-server statistics rows.
     pub servers: Vec<ServerStats>,
+    /// d-inode cache counters of the observed client, when one was
+    /// supplied via [`ClusterReport::collect_with_client`].
+    pub cache: Option<CacheStats>,
 }
 
 impl ClusterReport {
@@ -49,7 +72,24 @@ impl ClusterReport {
                 kv: f.with_service(|s| s.kv_stats()),
             });
         }
-        Self { servers }
+        Self {
+            servers,
+            cache: None,
+        }
+    }
+
+    /// Gather server statistics plus the d-inode cache counters of one
+    /// client (the paper's observability view: server load and the
+    /// client-side cache effectiveness that shapes it).
+    pub fn collect_with_client(cluster: &LocoCluster, client: &LocoClient) -> Self {
+        let mut report = Self::collect(cluster);
+        let (hits, misses) = client.cache_stats();
+        report.cache = Some(CacheStats {
+            hits,
+            misses,
+            expired: client.cache_expired(),
+        });
+        report
     }
 
     /// Reset every server's counters (benchmark phase boundaries).
@@ -92,13 +132,22 @@ impl fmt::Display for ClusterReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "{:<5} {:>3} {:>10} {:>10} {:>9} {:>7} {:>9} {:>9}",
-            "role", "idx", "gets", "puts", "deletes", "scans", "pr-reads", "pr-writes"
+            "{:<5} {:>3} {:>10} {:>10} {:>9} {:>7} {:>9} {:>9} {:>11} {:>11}",
+            "role",
+            "idx",
+            "gets",
+            "puts",
+            "deletes",
+            "scans",
+            "pr-reads",
+            "pr-writes",
+            "bytes-rd",
+            "bytes-wr"
         )?;
         for s in &self.servers {
             writeln!(
                 f,
-                "{:<5} {:>3} {:>10} {:>10} {:>9} {:>7} {:>9} {:>9}",
+                "{:<5} {:>3} {:>10} {:>10} {:>9} {:>7} {:>9} {:>9} {:>11} {:>11}",
                 s.role,
                 s.index,
                 s.kv.gets,
@@ -106,11 +155,24 @@ impl fmt::Display for ClusterReport {
                 s.kv.deletes,
                 s.kv.scans,
                 s.kv.partial_reads,
-                s.kv.partial_writes
+                s.kv.partial_writes,
+                s.kv.bytes_read,
+                s.kv.bytes_written
             )?;
         }
         if let Some(im) = self.fms_imbalance() {
             writeln!(f, "FMS load imbalance (max/mean): {im:.2}")?;
+        }
+        if let Some(c) = &self.cache {
+            write!(
+                f,
+                "d-inode cache: {} hits, {} misses ({} expired leases)",
+                c.hits, c.misses, c.expired
+            )?;
+            match c.hit_rate() {
+                Some(r) => writeln!(f, ", hit rate {:.1}%", 100.0 * r)?,
+                None => writeln!(f)?,
+            }
         }
         Ok(())
     }
@@ -160,6 +222,43 @@ mod tests {
         let text = ClusterReport::collect(&cluster).to_string();
         assert!(text.contains("DMS"));
         assert!(text.contains("FMS"));
+        assert!(text.contains("bytes-rd"));
         assert!(text.lines().count() >= 4);
+    }
+
+    #[test]
+    fn report_with_client_shows_cache_counters() {
+        let cluster = LocoCluster::new(LocoConfig::with_servers(2));
+        let mut fs = cluster.client();
+        fs.mkdir("/d", 0o755).unwrap();
+        fs.create("/d/a", 0o644).unwrap(); // miss (cold)
+        fs.create("/d/b", 0o644).unwrap(); // hit
+        fs.advance_clock(31 * loco_sim::time::SECS);
+        fs.create("/d/c", 0o644).unwrap(); // miss (expired lease)
+        let report = ClusterReport::collect_with_client(&cluster, &fs);
+        let c = report.cache.expect("cache stats attached");
+        assert!(c.hits >= 1, "{c:?}");
+        assert!(c.misses >= 2, "{c:?}");
+        assert!(c.expired >= 1, "{c:?}");
+        assert!(c.expired <= c.misses, "expired is a subset of misses");
+        let text = report.to_string();
+        assert!(text.contains("d-inode cache:"), "{text}");
+        assert!(text.contains("expired leases"), "{text}");
+        // Plain collect() has no cache line.
+        assert!(ClusterReport::collect(&cluster).cache.is_none());
+    }
+
+    #[test]
+    fn byte_volume_counters_reach_the_report() {
+        let cluster = LocoCluster::new(LocoConfig::with_servers(1));
+        let mut fs = cluster.client();
+        fs.mkdir("/d", 0o755).unwrap();
+        fs.create("/d/f", 0o644).unwrap();
+        fs.stat_file("/d/f").unwrap();
+        let report = ClusterReport::collect(&cluster);
+        let written: u64 = report.servers.iter().map(|s| s.kv.bytes_written).sum();
+        let read: u64 = report.servers.iter().map(|s| s.kv.bytes_read).sum();
+        assert!(written > 0, "creates write metadata bytes");
+        assert!(read > 0, "stat reads metadata bytes");
     }
 }

@@ -32,8 +32,7 @@ use loco_kv::{BTreeDb, HashDb, KvConfig, KvStore};
 use loco_net::{Nanos, Service};
 use loco_sim::time::CostAcc;
 use loco_types::{
-    acl, basename, parent, DirInode, DirentKind, DirentList, FsError, FsResult, Perm, Uuid,
-    UuidGen,
+    acl, basename, parent, DirInode, DirentKind, DirentList, FsError, FsResult, Perm, Uuid, UuidGen,
 };
 
 /// Which KV backend the DMS runs on (Fig 14 compares them).
@@ -330,7 +329,10 @@ impl DirServer {
 
     /// Direct read access for tests.
     pub fn lookup(&mut self, path: &str) -> Option<DirInode> {
-        let inode = self.db.get(path.as_bytes()).and_then(|v| DirInode::decode(&v));
+        let inode = self
+            .db
+            .get(path.as_bytes())
+            .and_then(|v| DirInode::decode(&v));
         self.db.take_cost();
         inode
     }
@@ -398,7 +400,14 @@ impl DirServer {
         let parent_path = parent(path).ok_or(FsError::AlreadyExists)?; // mkdir /
         self.check_ancestors(path, uid, gid)?;
         let parent_inode = self.get_dir(parent_path)?;
-        if !acl::may_access(parent_inode.mode, parent_inode.uid, parent_inode.gid, uid, gid, Perm::Write) {
+        if !acl::may_access(
+            parent_inode.mode,
+            parent_inode.uid,
+            parent_inode.gid,
+            uid,
+            gid,
+            Perm::Write,
+        ) {
             return Err(FsError::PermissionDenied);
         }
         if self.db.contains(path.as_bytes()) {
@@ -420,7 +429,14 @@ impl DirServer {
         let inode = self.get_dir(path)?;
         let parent_path = parent(path).expect("non-root has parent");
         let parent_inode = self.get_dir(parent_path)?;
-        if !acl::may_access(parent_inode.mode, parent_inode.uid, parent_inode.gid, uid, gid, Perm::Write) {
+        if !acl::may_access(
+            parent_inode.mode,
+            parent_inode.uid,
+            parent_inode.gid,
+            uid,
+            gid,
+            Perm::Write,
+        ) {
             return Err(FsError::PermissionDenied);
         }
         if !self.load_dirents(inode.uuid).is_empty() {
@@ -541,9 +557,7 @@ impl Service for DirServer {
                 gid,
                 ts,
             } => DmsResponse::Done(self.mkdir(&path, mode, uid, gid, ts)),
-            DmsRequest::Rmdir { path, uid, gid } => {
-                DmsResponse::Done(self.rmdir(&path, uid, gid))
-            }
+            DmsRequest::Rmdir { path, uid, gid } => DmsResponse::Done(self.rmdir(&path, uid, gid)),
             DmsRequest::GetDir { path } => DmsResponse::Dir(self.get_dir(&path)),
             DmsRequest::StatDir { path, uid, gid } => DmsResponse::Dir(
                 self.check_ancestors(&path, uid, gid)
@@ -639,6 +653,23 @@ impl Service for DirServer {
 
     fn take_cost(&mut self) -> Nanos {
         self.extra.take() + self.db.take_cost()
+    }
+
+    fn req_label(req: &DmsRequest) -> &'static str {
+        match req {
+            DmsRequest::Mkdir { .. } => "Mkdir",
+            DmsRequest::Rmdir { .. } => "Rmdir",
+            DmsRequest::GetDir { .. } => "GetDir",
+            DmsRequest::StatDir { .. } => "StatDir",
+            DmsRequest::ReaddirSubdirs { .. } => "ReaddirSubdirs",
+            DmsRequest::SetDirAttr { .. } => "SetDirAttr",
+            DmsRequest::RenameDir { .. } => "RenameDir",
+            DmsRequest::CheckAccess { .. } => "CheckAccess",
+            DmsRequest::MkdirLocal { .. } => "MkdirLocal",
+            DmsRequest::RmdirLocal { .. } => "RmdirLocal",
+            DmsRequest::AddDirent { .. } => "AddDirent",
+            DmsRequest::RemoveDirent { .. } => "RemoveDirent",
+        }
     }
 }
 
@@ -847,7 +878,8 @@ mod tests {
             }
             // Plenty of unrelated records that hash rename must scan.
             for i in 0..2_000 {
-                d.mkdir(&format!("/target/t{i:05}"), 0o755, 1, 1, 0).unwrap();
+                d.mkdir(&format!("/target/t{i:05}"), 0o755, 1, 1, 0)
+                    .unwrap();
             }
             let _ = d.take_cost();
         }
@@ -912,7 +944,10 @@ mod tests {
             gid: 1,
             ts: 0,
         });
-        assert!(matches!(resp, DmsResponse::Done(Err(FsError::AlreadyExists))));
+        assert!(matches!(
+            resp,
+            DmsResponse::Done(Err(FsError::AlreadyExists))
+        ));
         // RmdirLocal enforces subdir emptiness via the local dirent log.
         shard.handle(DmsRequest::AddDirent {
             dir_uuid: inode.uuid,

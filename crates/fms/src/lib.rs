@@ -32,8 +32,8 @@ use loco_net::{Nanos, Service};
 use loco_sim::time::CostAcc;
 use loco_types::meta::{decode_coupled, encode_coupled};
 use loco_types::{
-    acl, encode_entry, encode_tombstone, DirentKind, DirentList, FileAccess, FileContent,
-    FsError, FsResult, Perm, Uuid, UuidGen,
+    acl, encode_entry, encode_tombstone, DirentKind, DirentList, FileAccess, FileContent, FsError,
+    FsResult, Perm, Uuid, UuidGen,
 };
 
 /// Whether file metadata is stored decoupled (paper design, LocoFS-DF)
@@ -442,8 +442,10 @@ impl FileServer {
                     .put(&file_key(b'C', dir_uuid, name), &content.encode());
             }
             FmsMode::Coupled => {
-                self.db
-                    .put(&file_key(b'F', dir_uuid, name), &encode_coupled(access, content));
+                self.db.put(
+                    &file_key(b'F', dir_uuid, name),
+                    &encode_coupled(access, content),
+                );
             }
         }
     }
@@ -769,6 +771,26 @@ impl Service for FileServer {
     fn take_cost(&mut self) -> Nanos {
         self.extra.take() + self.db.take_cost()
     }
+
+    fn req_label(req: &FmsRequest) -> &'static str {
+        match req {
+            FmsRequest::Create { .. } => "Create",
+            FmsRequest::Open { .. } => "Open",
+            FmsRequest::Stat { .. } => "Stat",
+            FmsRequest::GetContent { .. } => "GetContent",
+            FmsRequest::Access { .. } => "Access",
+            FmsRequest::Chmod { .. } => "Chmod",
+            FmsRequest::Chown { .. } => "Chown",
+            FmsRequest::Utimens { .. } => "Utimens",
+            FmsRequest::SetSize { .. } => "SetSize",
+            FmsRequest::Remove { .. } => "Remove",
+            FmsRequest::ListFiles { .. } => "ListFiles",
+            FmsRequest::ListFilesPlus { .. } => "ListFilesPlus",
+            FmsRequest::CountFiles { .. } => "CountFiles",
+            FmsRequest::TakeFile { .. } => "TakeFile",
+            FmsRequest::PutFile { .. } => "PutFile",
+        }
+    }
 }
 
 #[cfg(test)]
@@ -802,7 +824,10 @@ mod tests {
     fn duplicate_create_fails() {
         for mut s in both_modes() {
             s.create(D, "f", 0o644, 1, 1, 0).unwrap();
-            assert_eq!(s.create(D, "f", 0o600, 1, 1, 0), Err(FsError::AlreadyExists));
+            assert_eq!(
+                s.create(D, "f", 0o600, 1, 1, 0),
+                Err(FsError::AlreadyExists)
+            );
         }
     }
 

@@ -124,7 +124,8 @@ impl<S: KvStore> DurableStore<S> {
     }
 
     fn log(&mut self, op: u8, key: &[u8], parts: &[&[u8]]) {
-        let mut rec = Vec::with_capacity(9 + key.len() + parts.iter().map(|p| p.len() + 4).sum::<usize>());
+        let mut rec =
+            Vec::with_capacity(9 + key.len() + parts.iter().map(|p| p.len() + 4).sum::<usize>());
         rec.push(op);
         rec.extend_from_slice(&(key.len() as u32).to_le_bytes());
         rec.extend_from_slice(key);
@@ -285,10 +286,8 @@ mod tests {
     impl Scratch {
         fn new() -> Self {
             let n = DIR_SEQ.fetch_add(1, Ordering::SeqCst);
-            let dir = std::env::temp_dir().join(format!(
-                "loco-kv-durable-{}-{n}",
-                std::process::id()
-            ));
+            let dir =
+                std::env::temp_dir().join(format!("loco-kv-durable-{}-{n}", std::process::id()));
             let _ = std::fs::remove_dir_all(&dir);
             Scratch(dir)
         }
@@ -424,8 +423,7 @@ mod tests {
     fn works_over_hash_store_too() {
         let scratch = Scratch::new();
         {
-            let mut db =
-                DurableStore::open(&scratch.0, HashDb::new(KvConfig::default())).unwrap();
+            let mut db = DurableStore::open(&scratch.0, HashDb::new(KvConfig::default())).unwrap();
             db.put(b"h", b"1");
             db.sync().unwrap();
         }

@@ -90,12 +90,14 @@ impl KvStore for HashDb {
         self.meter.stats.gets += 1;
         let found = self.find(key).map(|(_, v)| v.clone());
         let len = found.as_ref().map_or(0, |v| v.len());
+        self.meter.stats.bytes_read += len as u64;
         self.meter.charge(self.cfg.model.get(len, self.cfg.codec));
         found
     }
 
     fn put(&mut self, key: &[u8], value: &[u8]) {
         self.meter.stats.puts += 1;
+        self.meter.stats.bytes_written += (key.len() + value.len()) as u64;
         self.meter.charge(
             self.cfg.model.put(value.len(), self.cfg.codec)
                 + self.cfg.device.write_amortized(key.len() + value.len()),
@@ -116,9 +118,8 @@ impl KvStore for HashDb {
 
     fn delete(&mut self, key: &[u8]) -> bool {
         self.meter.stats.deletes += 1;
-        self.meter.charge(
-            self.cfg.model.delete() + self.cfg.device.write_amortized(key.len()),
-        );
+        self.meter
+            .charge(self.cfg.model.delete() + self.cfg.device.write_amortized(key.len()));
         let b = self.bucket_of(key);
         if let Some(pos) = self.buckets[b].iter().position(|(k, _)| &**k == key) {
             let (k, v) = self.buckets[b].swap_remove(pos);
@@ -146,7 +147,9 @@ impl KvStore for HashDb {
         if off + len > v.len() {
             return None;
         }
-        Some(v[off..off + len].to_vec())
+        let out = v[off..off + len].to_vec();
+        self.meter.stats.bytes_read += len as u64;
+        Some(out)
     }
 
     fn write_at(&mut self, key: &[u8], off: usize, data: &[u8]) -> bool {
@@ -164,15 +167,16 @@ impl KvStore for HashDb {
         }
         let total = v.len();
         v[off..off + data.len()].copy_from_slice(data);
+        self.meter.stats.bytes_written += data.len() as u64;
         self.meter.charge(
-            model.put_partial(data.len(), total, codec)
-                + device.write_amortized(data.len()),
+            model.put_partial(data.len(), total, codec) + device.write_amortized(data.len()),
         );
         true
     }
 
     fn append(&mut self, key: &[u8], data: &[u8]) {
         self.meter.stats.puts += 1;
+        self.meter.stats.bytes_written += data.len() as u64;
         self.meter.charge(
             self.cfg.model.put(data.len(), self.cfg.codec)
                 + self.cfg.device.write_amortized(data.len()),
@@ -199,6 +203,10 @@ impl KvStore for HashDb {
             .filter(|(k, _)| k.starts_with(prefix))
             .map(|(k, v)| (k.to_vec(), v.clone()))
             .collect();
+        self.meter.stats.bytes_read += out
+            .iter()
+            .map(|(k, v)| (k.len() + v.len()) as u64)
+            .sum::<u64>();
         out.sort_unstable_by(|a, b| a.0.cmp(&b.0));
         out
     }
@@ -225,6 +233,10 @@ impl KvStore for HashDb {
             .iter()
             .map(|(k, _)| self.cfg.model.delete() + self.cfg.device.write_amortized(k.len()))
             .sum();
+        self.meter.stats.bytes_read += out
+            .iter()
+            .map(|(k, v)| (k.len() + v.len()) as u64)
+            .sum::<u64>();
         self.meter.charge(del_cost);
         out.sort_unstable_by(|a, b| a.0.cmp(&b.0));
         out

@@ -62,10 +62,16 @@ pub struct AccessStats {
     pub partial_reads: u64,
     /// In-place partial writes (`write_at`).
     pub partial_writes: u64,
+    /// Value bytes returned by reads (gets, partial reads, scans).
+    pub bytes_read: u64,
+    /// Key+value bytes ingested by writes (puts, appends, partial
+    /// writes).
+    pub bytes_written: u64,
 }
 
 impl AccessStats {
-    /// Total number of operations of any kind.
+    /// Total number of operations of any kind (byte volumes are not
+    /// operations and do not contribute).
     pub fn total(&self) -> u64 {
         self.gets + self.puts + self.deletes + self.scans + self.partial_reads + self.partial_writes
     }
@@ -238,6 +244,37 @@ mod trait_tests {
     }
 
     #[test]
+    fn byte_volume_counters_track_reads_and_writes() {
+        for mut s in stores() {
+            s.put(b"key", &[7u8; 100]);
+            let st = s.stats();
+            assert_eq!(st.bytes_written, 103, "put writes key+value");
+            assert_eq!(st.bytes_read, 0);
+            s.get(b"key");
+            assert_eq!(s.stats().bytes_read, 100, "get reads the value");
+            s.get(b"missing");
+            assert_eq!(s.stats().bytes_read, 100, "a miss moves no bytes");
+            assert_eq!(s.read_at(b"key", 10, 20).unwrap().len(), 20);
+            assert_eq!(s.stats().bytes_read, 120);
+            assert!(s.write_at(b"key", 0, &[1u8; 8]));
+            assert!(
+                s.stats().bytes_written >= 111,
+                "write_at adds at least its span: {:?}",
+                s.stats()
+            );
+            assert_eq!(s.scan_prefix(b"key").len(), 1);
+            assert!(
+                s.stats().bytes_read >= 223,
+                "scan reads key+value: {:?}",
+                s.stats()
+            );
+            s.reset_stats();
+            assert_eq!(s.stats().bytes_read, 0);
+            assert_eq!(s.stats().bytes_written, 0);
+        }
+    }
+
+    #[test]
     fn delete_semantics() {
         for mut s in stores() {
             s.put(b"k", b"v");
@@ -364,7 +401,10 @@ mod trait_tests {
         let mut fresh = BTreeDb::new(KvConfig::default());
         fresh.append(b"d", &[0u8; 16]);
         let early = fresh.take_cost();
-        assert!(late <= early * 2, "append must not scale: {late} vs {early}");
+        assert!(
+            late <= early * 2,
+            "append must not scale: {late} vs {early}"
+        );
     }
 
     #[test]

@@ -23,7 +23,10 @@ pub mod sweep;
 pub mod trace;
 
 pub use ops::{gen_phase, gen_setup, Op, PhaseKind, TreeSpec};
-pub use runner::{collect_traces, run_latency, run_setup, run_throughput, LatencyRun};
+pub use runner::{
+    collect_traces, dump_phase_metrics, prom_family_sum, run_latency, run_setup, run_throughput,
+    LatencyRun,
+};
 pub use sweep::{optimal_clients, sweep_clients};
 pub use trace::{OpMix, TraceGen};
 

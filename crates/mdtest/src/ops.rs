@@ -202,7 +202,9 @@ pub fn gen_phase(spec: &TreeSpec, kind: PhaseKind) -> Vec<Vec<Op>> {
                     PhaseKind::Readdir => Op::Readdir(spec.workdir(c)),
                     PhaseKind::ModChmod => Op::ChmodFile(spec.file(c, i), 0o640),
                     PhaseKind::ModChown => Op::ChownFile(spec.file(c, i), 1000, 4 + (i as u32 % 4)),
-                    PhaseKind::ModTruncate => Op::TruncateFile(spec.file(c, i), (i as u64 % 7) * 512),
+                    PhaseKind::ModTruncate => {
+                        Op::TruncateFile(spec.file(c, i), (i as u64 % 7) * 512)
+                    }
                     PhaseKind::ModAccess => Op::AccessFile(spec.file(c, i)),
                 })
                 .collect()

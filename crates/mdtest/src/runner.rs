@@ -81,6 +81,51 @@ pub fn collect_traces(fs: &mut dyn DistFs, per_client_ops: &[Vec<Op>]) -> Vec<Ve
     traces
 }
 
+/// Sum the sample values of one Prometheus family in rendered text
+/// (lines shaped `name{labels} value` or `name value`).
+pub fn prom_family_sum(text: &str, family: &str) -> u64 {
+    text.lines()
+        .filter_map(|l| {
+            let rest = l.strip_prefix(family)?;
+            if !(rest.starts_with('{') || rest.starts_with(' ')) {
+                return None;
+            }
+            let val = l.rsplit(' ').next()?;
+            val.parse::<f64>().ok().map(|v| v as u64)
+        })
+        .sum::<u64>()
+}
+
+/// Print a per-phase metrics snapshot to **stderr**, leaving stdout —
+/// the benchmark tables — untouched.
+///
+/// Default is one compact line per phase. `LOCO_METRICS=full` dumps the
+/// full Prometheus exposition text; `LOCO_METRICS=off` silences the
+/// snapshot. Systems without a registry (the baseline cost models)
+/// report nothing.
+pub fn dump_phase_metrics(label: &str, fs: &mut dyn DistFs) {
+    let mode = std::env::var("LOCO_METRICS").unwrap_or_default();
+    if mode == "off" {
+        return;
+    }
+    let Some(text) = fs.metrics_text() else {
+        return;
+    };
+    if mode == "full" {
+        eprintln!("--- metrics [{label}] ---");
+        eprint!("{text}");
+        eprintln!("--- end metrics [{label}] ---");
+        return;
+    }
+    let ops = prom_family_sum(&text, "client_op_latency_nanos_count");
+    let rpcs = prom_family_sum(&text, "rpc_requests_total");
+    let hits = prom_family_sum(&text, "client_cache_hits_total");
+    let misses = prom_family_sum(&text, "client_cache_misses_total");
+    eprintln!(
+        "[metrics] {label}: client_ops={ops} server_rpcs={rpcs} cache_hits={hits} cache_misses={misses}"
+    );
+}
+
 /// Execute per-client streams and replay them through the closed-loop
 /// simulator, returning aggregate throughput.
 pub fn run_throughput(

@@ -19,8 +19,7 @@ pub fn sweep_clients(
     counts
         .iter()
         .map(|&c| {
-            let subset: Vec<Vec<JobTrace>> =
-                traces.iter().take(c).cloned().collect();
+            let subset: Vec<Vec<JobTrace>> = traces.iter().take(c).cloned().collect();
             (c, sim.run(subset).iops())
         })
         .collect()
@@ -28,11 +27,7 @@ pub fn sweep_clients(
 
 /// The paper's search procedure: step up in increments of `step` until
 /// throughput stops improving; returns `(best_count, best_iops)`.
-pub fn optimal_clients(
-    traces: &[Vec<JobTrace>],
-    step: usize,
-    sim: &ClosedLoopSim,
-) -> (usize, f64) {
+pub fn optimal_clients(traces: &[Vec<JobTrace>], step: usize, sim: &ClosedLoopSim) -> (usize, f64) {
     let max = traces.len();
     let mut best = (0usize, 0.0f64);
     let mut c = step.max(1);

@@ -10,8 +10,7 @@
 //! trace-shaped experiment) can run against every modeled system.
 
 use crate::ops::Op;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use loco_sim::rng::Rng;
 
 /// Operation-mix profile: weights need not sum to 1 (normalized
 /// internally). `d_rename`/`f_rename` are *fractions of all ops*.
@@ -85,7 +84,7 @@ impl OpMix {
 /// stats hit live files, unlinks target live files, and renames use
 /// fresh names.
 pub struct TraceGen {
-    rng: StdRng,
+    rng: Rng,
     mix: OpMix,
     root: String,
     files: Vec<String>,
@@ -97,7 +96,7 @@ impl TraceGen {
     /// Create a new instance with default settings.
     pub fn new(seed: u64, root: &str, mix: OpMix) -> Self {
         Self {
-            rng: StdRng::seed_from_u64(seed),
+            rng: Rng::seed_from_u64(seed),
             mix,
             root: root.to_string(),
             files: Vec::new(),
@@ -124,7 +123,7 @@ impl TraceGen {
     pub fn next_op(&mut self) -> Op {
         let w = self.mix.weights();
         let total: f64 = w.iter().sum();
-        let mut x = self.rng.gen_range(0.0..total);
+        let mut x = self.rng.gen_f64() * total;
         let mut idx = 0;
         for (i, wi) in w.iter().enumerate() {
             if x < *wi {

@@ -1,10 +1,15 @@
 //! Service trait, per-operation call context, and the synchronous
 //! simulated endpoint.
 
+use crate::metrics::EndpointMetrics;
 use loco_sim::des::{JobTrace, ServerId, Visit};
 use loco_sim::time::Nanos;
-use parking_lot::Mutex;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::Instant;
+
+fn lock_ignoring_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// A metadata or storage server: handles typed requests and reports the
 /// virtual cost of each handler invocation.
@@ -21,6 +26,13 @@ pub trait Service: Send {
     /// (typically the sum of the KV stores' cost accumulators plus
     /// fixed per-request software overhead).
     fn take_cost(&mut self) -> Nanos;
+
+    /// Short static label describing the request's RPC type, used to
+    /// bucket per-op service-time histograms (e.g. `"Mkdir"`). The
+    /// default collapses every request into a single bucket.
+    fn req_label(_req: &Self::Req) -> &'static str {
+        "req"
+    }
 }
 
 /// Per-operation context threaded through every RPC a filesystem
@@ -89,6 +101,7 @@ pub struct SimEndpoint<S: Service> {
     svc: Arc<Mutex<S>>,
     id: ServerId,
     down: Arc<std::sync::atomic::AtomicBool>,
+    metrics: Option<Arc<EndpointMetrics>>,
 }
 
 impl<S: Service> Clone for SimEndpoint<S> {
@@ -97,6 +110,7 @@ impl<S: Service> Clone for SimEndpoint<S> {
             svc: Arc::clone(&self.svc),
             id: self.id,
             down: Arc::clone(&self.down),
+            metrics: self.metrics.clone(),
         }
     }
 }
@@ -108,7 +122,20 @@ impl<S: Service> SimEndpoint<S> {
             svc: Arc::new(Mutex::new(svc)),
             id,
             down: Arc::new(std::sync::atomic::AtomicBool::new(false)),
+            metrics: None,
         }
+    }
+
+    /// Attach per-endpoint instrumentation (builder style). Every
+    /// clone made afterwards shares the same metric handles.
+    pub fn with_metrics(mut self, metrics: Arc<EndpointMetrics>) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// The instrumentation attached via [`Self::with_metrics`], if any.
+    pub fn metrics(&self) -> Option<&Arc<EndpointMetrics>> {
+        self.metrics.as_ref()
     }
 
     /// Failure injection: mark the server unreachable (or back up).
@@ -121,18 +148,26 @@ impl<S: Service> SimEndpoint<S> {
     /// Direct access to the underlying service for test setup and
     /// inspection (not part of the RPC surface).
     pub fn with_service<R>(&self, f: impl FnOnce(&mut S) -> R) -> R {
-        f(&mut self.svc.lock())
+        f(&mut lock_ignoring_poison(&self.svc))
     }
 }
 
 impl<S: Service> Endpoint<S::Req, S::Resp> for SimEndpoint<S> {
     fn call(&self, ctx: &mut CallCtx, req: S::Req) -> S::Resp {
         debug_assert!(!self.is_down(), "call to a down endpoint");
-        let mut svc = self.svc.lock();
+        let op = self.metrics.as_ref().map(|m| {
+            m.begin();
+            (S::req_label(&req), Instant::now())
+        });
+        let mut svc = lock_ignoring_poison(&self.svc);
+        let queue_wait = op.as_ref().map(|(_, t0)| t0.elapsed().as_nanos() as Nanos);
         let resp = svc.handle(req);
         let service = svc.take_cost();
         drop(svc);
         ctx.record(self.id, service);
+        if let (Some(m), Some((label, _))) = (&self.metrics, op) {
+            m.observe(label, service, queue_wait.unwrap_or(0));
+        }
         resp
     }
 

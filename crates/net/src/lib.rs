@@ -20,17 +20,25 @@
 //!   recorded [`JobTrace`] is either summed for unloaded latency or fed
 //!   to `loco-sim`'s closed-loop simulator for throughput.
 //! * [`ThreadEndpoint`] — runs the service on its own OS thread behind a
-//!   crossbeam channel, giving real cross-thread request/response
-//!   behaviour for integration tests and the example applications.
+//!   channel, giving real cross-thread request/response behaviour for
+//!   integration tests and the example applications.
 //!
 //! Both flavours produce identical visit traces for identical request
-//! sequences, which the integration tests verify.
+//! sequences, which the integration tests verify. Either flavour can
+//! carry [`EndpointMetrics`] — per-server request counts, service-time
+//! and queue-wait histograms and an in-flight gauge, reported into a
+//! shared [`loco_obs::MetricsRegistry`] — and [`trace_export`] renders
+//! recorded traces as Chrome trace-event timelines.
 
 pub mod endpoint;
+pub mod metrics;
 pub mod threaded;
+pub mod trace_export;
 
 pub use endpoint::{CallCtx, Endpoint, Service, SimEndpoint};
-pub use threaded::{spawn, ThreadEndpoint, ThreadServerGuard};
+pub use metrics::{role_name, EndpointMetrics};
+pub use threaded::{spawn, spawn_with_metrics, ThreadEndpoint, ThreadServerGuard};
+pub use trace_export::{chrome_trace_of_ops, op_spans};
 
 pub use loco_sim::des::{JobTrace, ServerId, Visit};
 pub use loco_sim::time::Nanos;

@@ -1,0 +1,176 @@
+//! Per-endpoint instrumentation.
+//!
+//! An [`EndpointMetrics`] bundles the handles one server endpoint
+//! records into: a request counter, service-time and queue-wait
+//! histograms, an in-flight gauge, and a lazily-built per-RPC-type
+//! histogram family. All handles live in a shared
+//! [`MetricsRegistry`], labelled by server `role` (`dms`/`fms`/`ost`/
+//! `mds`) and `server` index, so one registry snapshot covers the whole
+//! cluster.
+//!
+//! Metric families:
+//!
+//! * `rpc_requests_total{role,server}` — requests handled;
+//! * `rpc_service_nanos{role,server}` — virtual service time per
+//!   request (the same [`Nanos`] cost recorded into the visit trace,
+//!   so histogram sums equal trace sums — the integration tests rely
+//!   on this);
+//! * `rpc_queue_wait_nanos{role,server}` — *real* nanoseconds a request
+//!   waited before its handler ran (lock wait for `SimEndpoint`,
+//!   channel residence for `ThreadEndpoint`);
+//! * `rpc_op_service_nanos{role,server,op}` — service time split by
+//!   RPC type (from [`Service::req_label`]);
+//! * `rpc_inflight{role,server}` — requests currently being handled.
+//!
+//! [`Service::req_label`]: crate::Service::req_label
+
+use loco_obs::{Counter, Gauge, LogHistogram, MetricsRegistry};
+use loco_sim::des::ServerId;
+use loco_sim::time::Nanos;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Human-readable role name for a [`ServerId::class`].
+pub fn role_name(class: u8) -> &'static str {
+    match class {
+        crate::class::DMS => "dms",
+        crate::class::FMS => "fms",
+        crate::class::OST => "ost",
+        crate::class::MDS => "mds",
+        _ => "srv",
+    }
+}
+
+/// Instrumentation handles for one server endpoint. Cheap to share
+/// (`Arc`); all recording is lock-free except the first time a new RPC
+/// type label is seen.
+pub struct EndpointMetrics {
+    registry: Arc<MetricsRegistry>,
+    role: &'static str,
+    server: String,
+    requests: Arc<Counter>,
+    service: Arc<LogHistogram>,
+    queue_wait: Arc<LogHistogram>,
+    inflight: Arc<Gauge>,
+    per_op: Mutex<HashMap<&'static str, Arc<LogHistogram>>>,
+}
+
+impl EndpointMetrics {
+    /// Register the endpoint's metric family in `registry`.
+    pub fn register(registry: &Arc<MetricsRegistry>, id: ServerId) -> Arc<Self> {
+        let role = role_name(id.class);
+        let server = id.index.to_string();
+        let labels: [(&str, &str); 2] = [("role", role), ("server", &server)];
+        Arc::new(Self {
+            requests: registry.counter("rpc_requests_total", &labels),
+            service: registry.histogram("rpc_service_nanos", &labels),
+            queue_wait: registry.histogram("rpc_queue_wait_nanos", &labels),
+            inflight: registry.gauge("rpc_inflight", &labels),
+            registry: registry.clone(),
+            role,
+            server,
+            per_op: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// Mark a request as started (in-flight gauge up).
+    #[inline]
+    pub fn begin(&self) {
+        self.inflight.inc();
+    }
+
+    /// Record a completed request: `op` is the RPC-type label,
+    /// `service` the virtual handler cost, `queue_wait` the real wait
+    /// before the handler ran. Also drops the in-flight gauge.
+    pub fn observe(&self, op: &'static str, service: Nanos, queue_wait: Nanos) {
+        self.requests.inc();
+        self.service.record(service);
+        self.queue_wait.record(queue_wait);
+        self.per_op_hist(op).record(service);
+        self.inflight.dec();
+    }
+
+    fn per_op_hist(&self, op: &'static str) -> Arc<LogHistogram> {
+        let mut map = self.per_op.lock().unwrap_or_else(PoisonError::into_inner);
+        map.entry(op)
+            .or_insert_with(|| {
+                self.registry.histogram(
+                    "rpc_op_service_nanos",
+                    &[("role", self.role), ("server", &self.server), ("op", op)],
+                )
+            })
+            .clone()
+    }
+
+    /// The registry this endpoint reports into.
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
+    /// Requests handled so far.
+    pub fn requests(&self) -> u64 {
+        self.requests.get()
+    }
+
+    /// Requests currently in flight.
+    pub fn inflight(&self) -> i64 {
+        self.inflight.get()
+    }
+
+    /// Sum of all recorded service time, in nanoseconds.
+    pub fn service_total(&self) -> u64 {
+        self.service.sum()
+    }
+}
+
+impl std::fmt::Debug for EndpointMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "EndpointMetrics(role={}, server={}, requests={})",
+            self.role,
+            self.server,
+            self.requests()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observe_updates_all_families() {
+        let reg = MetricsRegistry::shared();
+        let m = EndpointMetrics::register(&reg, ServerId::new(crate::class::DMS, 2));
+        m.begin();
+        assert_eq!(m.inflight(), 1);
+        m.observe("Mkdir", 5_000, 100);
+        m.begin();
+        m.observe("Mkdir", 7_000, 50);
+        m.begin();
+        m.observe("GetDir", 1_000, 10);
+        assert_eq!(m.inflight(), 0);
+        assert_eq!(m.requests(), 3);
+        assert_eq!(m.service_total(), 13_000);
+
+        let text = reg.render_prometheus();
+        assert!(text.contains("rpc_requests_total{role=\"dms\",server=\"2\"} 3"));
+        assert!(
+            text.contains("rpc_op_service_nanos_count{op=\"Mkdir\",role=\"dms\",server=\"2\"} 2")
+        );
+        assert!(
+            text.contains("rpc_op_service_nanos_sum{op=\"GetDir\",role=\"dms\",server=\"2\"} 1000")
+        );
+        assert!(text.contains("rpc_inflight{role=\"dms\",server=\"2\"} 0"));
+    }
+
+    #[test]
+    fn role_names_cover_all_classes() {
+        assert_eq!(role_name(crate::class::DMS), "dms");
+        assert_eq!(role_name(crate::class::FMS), "fms");
+        assert_eq!(role_name(crate::class::OST), "ost");
+        assert_eq!(role_name(crate::class::MDS), "mds");
+        assert_eq!(role_name(250), "srv");
+    }
+}

@@ -1,16 +1,23 @@
-//! Threaded endpoint: each service runs on its own OS thread behind a
-//! crossbeam channel, providing real concurrent request/response
-//! behaviour (the deployment shape of the original system: one server
-//! process per metadata node).
+//! Threaded endpoint: each service runs on its own OS thread behind an
+//! mpsc channel, providing real concurrent request/response behaviour
+//! (the deployment shape of the original system: one server process
+//! per metadata node).
 
 use crate::endpoint::{CallCtx, Endpoint, Service};
-use crossbeam::channel::{unbounded, Sender};
+use crate::metrics::EndpointMetrics;
 use loco_sim::des::ServerId;
 use loco_sim::time::Nanos;
+use std::sync::mpsc::{channel, Sender};
+use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 enum Envelope<Req, Resp> {
-    Call(Req, Sender<(Resp, Nanos)>),
+    Call {
+        req: Req,
+        sent: Instant,
+        reply: Sender<(Resp, Nanos)>,
+    },
     Shutdown,
 }
 
@@ -49,24 +56,48 @@ impl<Req, Resp> Drop for ThreadServerGuard<Req, Resp> {
 
 /// Endpoint handle plus the guard that stops the server thread when
 /// dropped — what [`spawn`] returns.
-pub type Spawned<S> =
-    (ThreadEndpoint<<S as Service>::Req, <S as Service>::Resp>, ThreadServerGuard<<S as Service>::Req, <S as Service>::Resp>);
+pub type Spawned<S> = (
+    ThreadEndpoint<<S as Service>::Req, <S as Service>::Resp>,
+    ThreadServerGuard<<S as Service>::Req, <S as Service>::Resp>,
+);
 
 /// Spawn `svc` on a dedicated thread. Returns the endpoint handle plus a
 /// guard that stops the thread when dropped.
-pub fn spawn<S>(id: ServerId, mut svc: S) -> Spawned<S>
+pub fn spawn<S>(id: ServerId, svc: S) -> Spawned<S>
 where
     S: Service + 'static,
 {
-    let (tx, rx) = unbounded::<Envelope<S::Req, S::Resp>>();
+    spawn_with_metrics(id, svc, None)
+}
+
+/// Like [`spawn`], with instrumentation: the server thread records each
+/// request's count, service time, queue wait (channel residence) and
+/// in-flight status into `metrics`.
+pub fn spawn_with_metrics<S>(
+    id: ServerId,
+    mut svc: S,
+    metrics: Option<Arc<EndpointMetrics>>,
+) -> Spawned<S>
+where
+    S: Service + 'static,
+{
+    let (tx, rx) = channel::<Envelope<S::Req, S::Resp>>();
     let handle = std::thread::Builder::new()
         .name(format!("loco-server-{}-{}", id.class, id.index))
         .spawn(move || {
             while let Ok(env) = rx.recv() {
                 match env {
-                    Envelope::Call(req, reply) => {
+                    Envelope::Call { req, sent, reply } => {
+                        let queue_wait = sent.elapsed().as_nanos() as Nanos;
+                        let op = S::req_label(&req);
+                        if let Some(m) = &metrics {
+                            m.begin();
+                        }
                         let resp = svc.handle(req);
                         let cost = svc.take_cost();
+                        if let Some(m) = &metrics {
+                            m.observe(op, cost, queue_wait);
+                        }
                         // A dropped reply sender just means the client
                         // went away; keep serving.
                         let _ = reply.send((resp, cost));
@@ -91,9 +122,13 @@ where
     Resp: Send + 'static,
 {
     fn call(&self, ctx: &mut CallCtx, req: Req) -> Resp {
-        let (reply_tx, reply_rx) = unbounded();
+        let (reply_tx, reply_rx) = channel();
         self.tx
-            .send(Envelope::Call(req, reply_tx))
+            .send(Envelope::Call {
+                req,
+                sent: Instant::now(),
+                reply: reply_tx,
+            })
             .expect("server thread alive");
         let (resp, cost) = reply_rx.recv().expect("server reply");
         ctx.record(self.id, cost);
@@ -163,5 +198,24 @@ mod tests {
             assert_eq!(sim.call(&mut cs, i), thr.call(&mut ct, i));
         }
         assert_eq!(cs.take_trace().visits, ct.take_trace().visits);
+    }
+
+    #[test]
+    fn threaded_metrics_count_requests_and_service_time() {
+        use loco_obs::MetricsRegistry;
+        let reg = MetricsRegistry::shared();
+        let id = ServerId::new(crate::class::FMS, 0);
+        let m = EndpointMetrics::register(&reg, id);
+        let (ep, guard) = spawn_with_metrics(id, Adder::new(2 * MICROS), Some(m.clone()));
+        let mut ctx = CallCtx::new();
+        for i in 0..5 {
+            ep.call(&mut ctx, i);
+        }
+        // Synchronous calls: by the time the reply arrives, the server
+        // recorded the request.
+        assert_eq!(m.requests(), 5);
+        assert_eq!(m.service_total(), 5 * 2 * MICROS);
+        assert_eq!(m.inflight(), 0);
+        drop(guard);
     }
 }

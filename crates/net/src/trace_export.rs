@@ -1,0 +1,138 @@
+//! Export recorded visit traces as Chrome trace-event timelines.
+//!
+//! Every filesystem operation leaves a [`JobTrace`]: the ordered server
+//! visits (each with its virtual service cost) plus client-side work.
+//! This module lays a sequence of such operations out on a single
+//! virtual timeline — each visit costs one RTT plus its service time,
+//! exactly the unloaded-latency model — and emits one *client* span per
+//! operation with nested *server* spans per visit. The result loads
+//! directly into `about://tracing` / Perfetto via
+//! [`loco_obs::chrome_trace_json`].
+
+use crate::metrics::role_name;
+use loco_obs::trace_event::TraceSpan;
+use loco_sim::des::JobTrace;
+use loco_sim::time::Nanos;
+
+fn us(ns: Nanos) -> f64 {
+    ns as f64 / 1_000.0
+}
+
+/// Convert a sequence of `(op_name, trace)` pairs into trace spans on
+/// one timeline. Operations run back to back; within an operation each
+/// visit takes `rtt + service` (half the RTT out, the server span,
+/// half back), then client work runs, so each client span's duration
+/// equals [`JobTrace::unloaded_latency`].
+pub fn op_spans(ops: &[(String, JobTrace)], rtt: Nanos) -> Vec<TraceSpan> {
+    let mut spans = Vec::new();
+    let mut t: Nanos = 0;
+    for (name, trace) in ops {
+        let start = t;
+        let mut cursor = t;
+        let mut visit_spans = Vec::with_capacity(trace.visits.len());
+        for v in &trace.visits {
+            let server_start = cursor + rtt / 2;
+            visit_spans.push(TraceSpan {
+                name: format!("{}{}", role_name(v.server.class), v.server.index),
+                cat: "server".into(),
+                pid: v.server.class as u32 + 1,
+                tid: v.server.index as u32,
+                ts_us: us(server_start),
+                dur_us: us(v.service),
+                args: vec![
+                    ("op".into(), name.clone()),
+                    ("service_ns".into(), v.service.to_string()),
+                ],
+            });
+            cursor = server_start + v.service + (rtt - rtt / 2);
+        }
+        cursor += trace.client_work;
+        spans.push(TraceSpan {
+            name: name.clone(),
+            cat: "client".into(),
+            pid: 0,
+            tid: 0,
+            ts_us: us(start),
+            dur_us: us(cursor - start),
+            // Keys sorted: JSON objects serialize in key order, so
+            // sorted args make the Chrome-trace round trip lossless.
+            args: vec![
+                ("client_work_ns".into(), trace.client_work.to_string()),
+                ("round_trips".into(), trace.visits.len().to_string()),
+            ],
+        });
+        spans.extend(visit_spans);
+        t = cursor;
+    }
+    spans
+}
+
+/// [`op_spans`] serialized straight to a Chrome trace-event JSON
+/// document.
+pub fn chrome_trace_of_ops(ops: &[(String, JobTrace)], rtt: Nanos) -> String {
+    loco_obs::chrome_trace_json(&op_spans(ops, rtt))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loco_sim::des::{ServerId, Visit};
+    use loco_sim::time::MICROS;
+
+    fn two_visit_trace() -> JobTrace {
+        JobTrace {
+            visits: vec![
+                Visit {
+                    server: ServerId::new(crate::class::DMS, 1),
+                    service: 20 * MICROS,
+                },
+                Visit {
+                    server: ServerId::new(crate::class::FMS, 3),
+                    service: 35 * MICROS,
+                },
+            ],
+            client_work: 4 * MICROS,
+        }
+    }
+
+    #[test]
+    fn client_span_duration_matches_unloaded_latency() {
+        let rtt = 174 * MICROS;
+        let ops = vec![("create".to_string(), two_visit_trace())];
+        let spans = op_spans(&ops, rtt);
+        let client = &spans[0];
+        assert_eq!(client.name, "create");
+        let expect_us = ops[0].1.unloaded_latency(rtt) as f64 / 1_000.0;
+        assert!((client.dur_us - expect_us).abs() < 1e-9);
+    }
+
+    #[test]
+    fn server_spans_nest_inside_client_span_in_visit_order() {
+        let rtt = 174 * MICROS;
+        let ops = vec![("create".to_string(), two_visit_trace())];
+        let spans = op_spans(&ops, rtt);
+        let (client, servers) = (&spans[0], &spans[1..]);
+        assert_eq!(servers.len(), 2);
+        assert_eq!(servers[0].name, "dms1");
+        assert_eq!(servers[1].name, "fms3");
+        for s in servers {
+            assert!(client.encloses(s), "server span inside client span");
+        }
+        // DMS visit completes (plus the return trip) before the FMS
+        // visit starts.
+        assert!(servers[0].end_us() < servers[1].ts_us);
+    }
+
+    #[test]
+    fn sequential_ops_do_not_overlap() {
+        let rtt = 10 * MICROS;
+        let ops = vec![
+            ("mkdir".to_string(), two_visit_trace()),
+            ("create".to_string(), two_visit_trace()),
+        ];
+        let spans = op_spans(&ops, rtt);
+        let clients: Vec<_> = spans.iter().filter(|s| s.cat == "client").collect();
+        assert_eq!(clients.len(), 2);
+        assert!(clients[0].end_us() <= clients[1].ts_us + 1e-9);
+    }
+}

@@ -1,0 +1,27 @@
+//! # loco-obs — the observability substrate
+//!
+//! Everything the LocoFS stack uses to measure itself:
+//!
+//! * [`hist::LogHistogram`] — lock-free, fixed-memory, log-bucketed
+//!   latency histogram (O(1) allocation-free `record`, mergeable,
+//!   ≤ 0.39 % quantile error);
+//! * [`metrics::MetricsRegistry`] — labelled families of counters,
+//!   gauges and histograms, snapshottable while threads record;
+//! * [`metrics::MetricsRegistry::render_prometheus`] — Prometheus text
+//!   exposition export;
+//! * [`trace_event`] — Chrome trace-event (`about://tracing` /
+//!   Perfetto) JSON export of per-op span timelines;
+//! * [`json`] — the minimal in-tree JSON writer/parser backing the
+//!   trace exporter (the workspace builds offline, without serde).
+//!
+//! This crate depends on nothing — not even the rest of the workspace —
+//! so every layer (net, kv, servers, client, bench) can use it freely.
+
+pub mod hist;
+pub mod json;
+pub mod metrics;
+pub mod trace_event;
+
+pub use hist::{HistSnapshot, LogHistogram};
+pub use metrics::{Counter, Gauge, MetricId, MetricValue, MetricsRegistry, Snapshot};
+pub use trace_event::{chrome_trace_json, parse_chrome_trace, TraceSpan};

@@ -1,0 +1,464 @@
+//! Metrics primitives and the labelled registry.
+//!
+//! A [`MetricsRegistry`] owns *families* of metrics keyed by name +
+//! label set (e.g. `rpc_service_nanos{op="mkdir",role="dms",server="0"}`).
+//! Handles ([`Counter`], [`Gauge`], [`crate::LogHistogram`]) are
+//! `Arc`-shared: instrumentation sites resolve their handle once and
+//! record lock-free on the hot path; the registry lock is only taken at
+//! registration and snapshot time, so `snapshot()` /
+//! `render_prometheus()` are safe while server threads keep recording.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+use crate::hist::{HistSnapshot, LogHistogram};
+
+/// Monotonic counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// New counter at zero.
+    pub fn new() -> Self {
+        Self(AtomicU64::new(0))
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Instantaneous signed gauge (e.g. in-flight request count).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// New gauge at zero.
+    pub fn new() -> Self {
+        Self(AtomicI64::new(0))
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Subtract one.
+    #[inline]
+    pub fn dec(&self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Set to an absolute value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Sorted label set; part of a metric's identity within its family.
+pub type Labels = Vec<(String, String)>;
+
+fn labels_of(pairs: &[(&str, &str)]) -> Labels {
+    let mut v: Labels = pairs
+        .iter()
+        .map(|(k, val)| (k.to_string(), val.to_string()))
+        .collect();
+    v.sort();
+    v
+}
+
+/// Fully-qualified metric identity: family name + sorted labels.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MetricId {
+    /// Family name, e.g. `rpc_service_nanos`.
+    pub name: String,
+    /// Sorted `(key, value)` label pairs.
+    pub labels: Labels,
+}
+
+impl std::fmt::Display for MetricId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name)?;
+        if !self.labels.is_empty() {
+            f.write_char('{')?;
+            for (i, (k, v)) in self.labels.iter().enumerate() {
+                if i > 0 {
+                    f.write_char(',')?;
+                }
+                write!(f, "{k}=\"{}\"", escape_label(v))?;
+            }
+            f.write_char('}')?;
+        }
+        Ok(())
+    }
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<LogHistogram>),
+}
+
+/// A point-in-time value of one metric.
+#[derive(Clone, Debug)]
+pub enum MetricValue {
+    /// Counter reading.
+    Counter(u64),
+    /// Gauge reading.
+    Gauge(i64),
+    /// Histogram snapshot.
+    Histogram(HistSnapshot),
+}
+
+/// A consistent-enough point-in-time view of the whole registry
+/// (individual readings are relaxed-atomic; the set of metrics is
+/// captured under the registry lock).
+#[derive(Clone, Debug, Default)]
+pub struct Snapshot {
+    /// `(identity, value)` rows in deterministic (sorted) order.
+    pub entries: Vec<(MetricId, MetricValue)>,
+}
+
+impl Snapshot {
+    /// Look up one metric by family name and exact label set.
+    pub fn get(&self, name: &str, labels: &[(&str, &str)]) -> Option<&MetricValue> {
+        let want = labels_of(labels);
+        self.entries
+            .iter()
+            .find(|(id, _)| id.name == name && id.labels == want)
+            .map(|(_, v)| v)
+    }
+
+    /// Sum all counter readings in a family, across label sets.
+    pub fn counter_family_total(&self, name: &str) -> u64 {
+        self.entries
+            .iter()
+            .filter(|(id, _)| id.name == name)
+            .filter_map(|(_, v)| match v {
+                MetricValue::Counter(c) => Some(*c),
+                _ => None,
+            })
+            .sum()
+    }
+}
+
+/// Registry of labelled metric families. Cheap to clone via `Arc`.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<BTreeMap<MetricId, Metric>>,
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let n = self
+            .inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len();
+        write!(f, "MetricsRegistry({n} metrics)")
+    }
+}
+
+impl MetricsRegistry {
+    /// New empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// New registry behind an `Arc`, the usual ownership shape.
+    pub fn shared() -> Arc<Self> {
+        Arc::new(Self::new())
+    }
+
+    fn id(name: &str, labels: &[(&str, &str)]) -> MetricId {
+        MetricId {
+            name: name.to_string(),
+            labels: labels_of(labels),
+        }
+    }
+
+    /// Get or create a counter. Panics if the id is already registered
+    /// as a different metric kind (an instrumentation bug).
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        let id = Self::id(name, labels);
+        let mut map = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        match map
+            .entry(id.clone())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::new())))
+        {
+            Metric::Counter(c) => c.clone(),
+            _ => panic!("metric {id} already registered with a different kind"),
+        }
+    }
+
+    /// Get or create a gauge. Panics on kind mismatch.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        let id = Self::id(name, labels);
+        let mut map = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        match map
+            .entry(id.clone())
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::new())))
+        {
+            Metric::Gauge(g) => g.clone(),
+            _ => panic!("metric {id} already registered with a different kind"),
+        }
+    }
+
+    /// Get or create a histogram. Panics on kind mismatch.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Arc<LogHistogram> {
+        let id = Self::id(name, labels);
+        let mut map = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        match map
+            .entry(id.clone())
+            .or_insert_with(|| Metric::Histogram(Arc::new(LogHistogram::new())))
+        {
+            Metric::Histogram(h) => h.clone(),
+            _ => panic!("metric {id} already registered with a different kind"),
+        }
+    }
+
+    /// Capture every metric's current value, in sorted order.
+    pub fn snapshot(&self) -> Snapshot {
+        let map = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        let entries = map
+            .iter()
+            .map(|(id, m)| {
+                let v = match m {
+                    Metric::Counter(c) => MetricValue::Counter(c.get()),
+                    Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Metric::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                };
+                (id.clone(), v)
+            })
+            .collect();
+        Snapshot { entries }
+    }
+
+    /// Reset every counter and histogram to zero and gauges to 0
+    /// (benchmark phase boundaries).
+    pub fn reset(&self) {
+        let map = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        for m in map.values() {
+            match m {
+                Metric::Counter(c) => {
+                    c.0.store(0, Ordering::Relaxed);
+                }
+                Metric::Gauge(g) => g.set(0),
+                Metric::Histogram(h) => h.clear(),
+            }
+        }
+    }
+
+    /// Render the registry in the Prometheus text exposition format.
+    ///
+    /// Counters and gauges render as single samples; histograms render
+    /// as `summary` families (`quantile` labels plus `_sum`/`_count`),
+    /// the compact form for pre-aggregated latency distributions.
+    pub fn render_prometheus(&self) -> String {
+        let snap = self.snapshot();
+        let mut out = String::new();
+        let mut last_family = "";
+        for (id, value) in &snap.entries {
+            if id.name != last_family {
+                let kind = match value {
+                    MetricValue::Counter(_) => "counter",
+                    MetricValue::Gauge(_) => "gauge",
+                    MetricValue::Histogram(_) => "summary",
+                };
+                let _ = writeln!(out, "# TYPE {} {kind}", id.name);
+                last_family = &id.name;
+            }
+            match value {
+                MetricValue::Counter(c) => {
+                    let _ = writeln!(out, "{id} {c}");
+                }
+                MetricValue::Gauge(g) => {
+                    let _ = writeln!(out, "{id} {g}");
+                }
+                MetricValue::Histogram(h) => {
+                    for (q, qv) in [
+                        (0.5, h.quantile(0.5)),
+                        (0.9, h.quantile(0.9)),
+                        (0.99, h.quantile(0.99)),
+                        (1.0, h.max),
+                    ] {
+                        let _ =
+                            writeln!(out, "{} {qv}", with_label(id, "quantile", &format!("{q}")));
+                    }
+                    let _ = writeln!(out, "{} {}", suffixed(id, "_sum"), h.sum);
+                    let _ = writeln!(out, "{} {}", suffixed(id, "_count"), h.count);
+                }
+            }
+        }
+        out
+    }
+}
+
+fn with_label(id: &MetricId, key: &str, value: &str) -> String {
+    let mut id = id.clone();
+    id.labels.push((key.to_string(), value.to_string()));
+    id.labels.sort();
+    id.to_string()
+}
+
+fn suffixed(id: &MetricId, suffix: &str) -> String {
+    let mut id = id.clone();
+    id.name.push_str(suffix);
+    id.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn families_are_keyed_by_label_set() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("ops_total", &[("op", "mkdir")]);
+        let b = reg.counter("ops_total", &[("op", "create")]);
+        let a2 = reg.counter("ops_total", &[("op", "mkdir")]);
+        a.inc();
+        a2.add(2);
+        b.inc();
+        let snap = reg.snapshot();
+        assert!(matches!(
+            snap.get("ops_total", &[("op", "mkdir")]),
+            Some(MetricValue::Counter(3))
+        ));
+        assert_eq!(snap.counter_family_total("ops_total"), 4);
+    }
+
+    #[test]
+    fn label_order_does_not_matter() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("x", &[("a", "1"), ("b", "2")]);
+        let b = reg.counter("x", &[("b", "2"), ("a", "1")]);
+        a.inc();
+        assert_eq!(b.get(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_mismatch_panics() {
+        let reg = MetricsRegistry::new();
+        reg.counter("m", &[]);
+        reg.gauge("m", &[]);
+    }
+
+    #[test]
+    fn prometheus_text_format_is_well_formed() {
+        let reg = MetricsRegistry::new();
+        reg.counter("requests_total", &[("role", "dms"), ("server", "0")])
+            .add(7);
+        reg.gauge("inflight", &[("role", "dms")]).set(3);
+        let h = reg.histogram("service_nanos", &[("op", "mkdir")]);
+        for v in [100u64, 200, 300, 400] {
+            h.record(v);
+        }
+        let text = reg.render_prometheus();
+
+        // One TYPE line per family, before its samples.
+        assert!(text.contains("# TYPE requests_total counter"));
+        assert!(text.contains("# TYPE inflight gauge"));
+        assert!(text.contains("# TYPE service_nanos summary"));
+        assert!(text.contains("requests_total{role=\"dms\",server=\"0\"} 7"));
+        assert!(text.contains("inflight{role=\"dms\"} 3"));
+        assert!(text.contains("service_nanos{op=\"mkdir\",quantile=\"0.5\"}"));
+        assert!(text.contains("service_nanos_sum{op=\"mkdir\"} 1000"));
+        assert!(text.contains("service_nanos_count{op=\"mkdir\"} 4"));
+
+        // Every non-comment line is `name{labels} value` with a numeric value.
+        for line in text.lines() {
+            if line.starts_with('#') || line.is_empty() {
+                continue;
+            }
+            let (_, value) = line.rsplit_once(' ').expect("sample line has a value");
+            value.parse::<f64>().expect("value is numeric");
+        }
+        // TYPE comment precedes first sample of its family.
+        let type_pos = text.find("# TYPE service_nanos summary").unwrap();
+        let sample_pos = text.find("service_nanos{").unwrap();
+        assert!(type_pos < sample_pos);
+    }
+
+    #[test]
+    fn snapshot_is_safe_while_recording() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let h = reg.histogram("lat", &[]);
+        let c = reg.counter("ops", &[]);
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let h = h.clone();
+            let c = c.clone();
+            let stop = stop.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut i = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    h.record(i % 10_000);
+                    c.inc();
+                    i += 1;
+                }
+            }));
+        }
+        for _ in 0..50 {
+            let snap = reg.snapshot();
+            let _ = reg.render_prometheus();
+            if let Some(MetricValue::Histogram(hs)) = snap.get("lat", &[]) {
+                // Bucket totals can trail the count counter slightly but
+                // must never exceed recorded events mid-flight by much;
+                // mainly: no panics, no torn reads of structure.
+                let bucket_total: u64 = hs.buckets.iter().map(|b| b.count).sum();
+                assert!(bucket_total <= hs.count + 4 * 2);
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        for j in handles {
+            j.join().unwrap();
+        }
+        assert_eq!(h.count(), c.get());
+    }
+
+    #[test]
+    fn reset_zeroes_all_kinds() {
+        let reg = MetricsRegistry::new();
+        reg.counter("c", &[]).add(5);
+        reg.gauge("g", &[]).set(-2);
+        reg.histogram("h", &[]).record(123);
+        reg.reset();
+        let snap = reg.snapshot();
+        assert!(matches!(snap.get("c", &[]), Some(MetricValue::Counter(0))));
+        assert!(matches!(snap.get("g", &[]), Some(MetricValue::Gauge(0))));
+        match snap.get("h", &[]) {
+            Some(MetricValue::Histogram(h)) => assert_eq!(h.count, 0),
+            _ => panic!(),
+        }
+    }
+}

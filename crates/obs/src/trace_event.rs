@@ -1,0 +1,172 @@
+//! Chrome trace-event exporter.
+//!
+//! Converts a list of [`TraceSpan`]s into the Trace Event Format JSON
+//! consumed by `about://tracing` / Perfetto ("X" complete events with
+//! microsecond timestamps). The higher layers build the spans — e.g.
+//! `loco-net` turns a `JobTrace`'s visit sequence into one client span
+//! with nested per-server spans — and this module only serializes.
+
+use crate::json::{parse, Json};
+
+/// One complete ("X") span on the trace timeline.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceSpan {
+    /// Event name, e.g. the POSIX op (`create`) or RPC (`dms/Mkdir`).
+    pub name: String,
+    /// Category, e.g. `client` or `server`.
+    pub cat: String,
+    /// Process lane: 0 = client, server class + 1 otherwise.
+    pub pid: u32,
+    /// Thread lane within the process: server index, 0 for the client.
+    pub tid: u32,
+    /// Start timestamp in microseconds.
+    pub ts_us: f64,
+    /// Duration in microseconds.
+    pub dur_us: f64,
+    /// Extra `args` shown in the trace viewer's detail pane.
+    pub args: Vec<(String, String)>,
+}
+
+impl TraceSpan {
+    /// End timestamp in microseconds.
+    pub fn end_us(&self) -> f64 {
+        self.ts_us + self.dur_us
+    }
+
+    /// Whether `inner` lies entirely within this span's time range.
+    pub fn encloses(&self, inner: &TraceSpan) -> bool {
+        const EPS: f64 = 1e-6;
+        inner.ts_us + EPS >= self.ts_us && inner.end_us() <= self.end_us() + EPS
+    }
+}
+
+fn span_to_json(s: &TraceSpan) -> Json {
+    let args = Json::Obj(
+        s.args
+            .iter()
+            .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
+            .collect(),
+    );
+    Json::obj(vec![
+        ("name", Json::Str(s.name.clone())),
+        ("cat", Json::Str(s.cat.clone())),
+        ("ph", Json::Str("X".into())),
+        ("pid", Json::Num(s.pid as f64)),
+        ("tid", Json::Num(s.tid as f64)),
+        ("ts", Json::Num(s.ts_us)),
+        ("dur", Json::Num(s.dur_us)),
+        ("args", args),
+    ])
+}
+
+/// Serialize spans to a Chrome trace-event JSON document
+/// (`{"traceEvents": [...], "displayTimeUnit": "ms"}`).
+pub fn chrome_trace_json(spans: &[TraceSpan]) -> String {
+    Json::obj(vec![
+        (
+            "traceEvents",
+            Json::Arr(spans.iter().map(span_to_json).collect()),
+        ),
+        ("displayTimeUnit", Json::Str("ms".into())),
+    ])
+    .to_string()
+}
+
+/// Parse a Chrome trace-event document produced by
+/// [`chrome_trace_json`] back into spans (round-trip tests, tooling).
+pub fn parse_chrome_trace(text: &str) -> Result<Vec<TraceSpan>, String> {
+    let doc = parse(text)?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or("missing traceEvents array")?;
+    let mut out = Vec::with_capacity(events.len());
+    for ev in events {
+        let field = |k: &str| ev.get(k).ok_or_else(|| format!("missing field {k}"));
+        if field("ph")?.as_str() != Some("X") {
+            return Err("only complete (ph=X) events are supported".into());
+        }
+        let args = match ev.get("args").and_then(Json::as_obj) {
+            Some(m) => m
+                .iter()
+                .map(|(k, v)| {
+                    (
+                        k.clone(),
+                        v.as_str()
+                            .map(str::to_string)
+                            .unwrap_or_else(|| v.to_string()),
+                    )
+                })
+                .collect(),
+            None => Vec::new(),
+        };
+        out.push(TraceSpan {
+            name: field("name")?
+                .as_str()
+                .ok_or("name not a string")?
+                .to_string(),
+            cat: field("cat")?.as_str().unwrap_or("").to_string(),
+            pid: field("pid")?.as_f64().ok_or("pid not a number")? as u32,
+            tid: field("tid")?.as_f64().ok_or("tid not a number")? as u32,
+            ts_us: field("ts")?.as_f64().ok_or("ts not a number")?,
+            dur_us: field("dur")?.as_f64().ok_or("dur not a number")?,
+            args,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_spans() -> Vec<TraceSpan> {
+        vec![
+            TraceSpan {
+                name: "create".into(),
+                cat: "client".into(),
+                pid: 0,
+                tid: 0,
+                ts_us: 0.0,
+                dur_us: 500.25,
+                args: vec![("path".into(), "/a/b".into())],
+            },
+            TraceSpan {
+                name: "dms/Mkdir".into(),
+                cat: "server".into(),
+                pid: 1,
+                tid: 3,
+                ts_us: 87.0,
+                dur_us: 12.5,
+                args: vec![],
+            },
+        ]
+    }
+
+    #[test]
+    fn roundtrip_preserves_spans() {
+        let spans = sample_spans();
+        let text = chrome_trace_json(&spans);
+        let back = parse_chrome_trace(&text).unwrap();
+        assert_eq!(back, spans);
+    }
+
+    #[test]
+    fn document_shape_matches_trace_event_format() {
+        let text = chrome_trace_json(&sample_spans());
+        let doc = crate::json::parse(&text).unwrap();
+        let evs = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].get("ph").unwrap().as_str(), Some("X"));
+        assert_eq!(evs[0].get("ts").unwrap().as_f64(), Some(0.0));
+        assert_eq!(evs[1].get("pid").unwrap().as_f64(), Some(1.0));
+        assert_eq!(doc.get("displayTimeUnit").unwrap().as_str(), Some("ms"));
+    }
+
+    #[test]
+    fn encloses_detects_nesting() {
+        let spans = sample_spans();
+        assert!(spans[0].encloses(&spans[1]));
+        assert!(!spans[1].encloses(&spans[0]));
+    }
+}

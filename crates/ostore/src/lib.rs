@@ -101,10 +101,7 @@ impl ObjectStore {
     }
 
     fn read_block(&mut self, uuid: Uuid, blk: u64) -> FsResult<Vec<u8>> {
-        let data = self
-            .db
-            .get(&uuid.block_key(blk))
-            .ok_or(FsError::NotFound)?;
+        let data = self.db.get(&uuid.block_key(blk)).ok_or(FsError::NotFound)?;
         self.extra.charge(data.len() as Nanos * self.net_byte);
         Ok(data)
     }
@@ -144,14 +141,21 @@ impl Service for ObjectStore {
             OstoreRequest::TruncateBlocks { uuid, keep_blocks } => {
                 OstoreResponse::Removed(self.truncate(uuid, keep_blocks))
             }
-            OstoreRequest::RemoveObject { uuid } => {
-                OstoreResponse::Removed(self.truncate(uuid, 0))
-            }
+            OstoreRequest::RemoveObject { uuid } => OstoreResponse::Removed(self.truncate(uuid, 0)),
         }
     }
 
     fn take_cost(&mut self) -> Nanos {
         self.extra.take() + self.db.take_cost()
+    }
+
+    fn req_label(req: &OstoreRequest) -> &'static str {
+        match req {
+            OstoreRequest::WriteBlock { .. } => "WriteBlock",
+            OstoreRequest::ReadBlock { .. } => "ReadBlock",
+            OstoreRequest::TruncateBlocks { .. } => "TruncateBlocks",
+            OstoreRequest::RemoveObject { .. } => "RemoveObject",
+        }
     }
 }
 

@@ -223,9 +223,11 @@ impl PosixFs {
         // Try as a file first, fall back to directory rename.
         match self.client.rename_file(old, new) {
             Ok(()) => Ok(()),
-            Err(FsError::NotFound) => {
-                self.client.rename_dir(old, new).map(|_| ()).map_err(Into::into)
-            }
+            Err(FsError::NotFound) => self
+                .client
+                .rename_dir(old, new)
+                .map(|_| ())
+                .map_err(Into::into),
             Err(e) => Err(e.into()),
         }
     }
@@ -294,7 +296,11 @@ impl PosixFs {
 
     /// open(2). Honours CREAT/EXCL/TRUNC/APPEND and the access mode.
     pub fn open(&mut self, path: &str, flags: OpenFlags, mode: u32) -> Result<i32> {
-        let want = if flags.writable() { Perm::Write } else { Perm::Read };
+        let want = if flags.writable() {
+            Perm::Write
+        } else {
+            Perm::Read
+        };
         let handle = match self.client.open(path, want) {
             Ok(h) => {
                 if flags.contains(OpenFlags::CREAT) && flags.contains(OpenFlags::EXCL) {
@@ -456,7 +462,9 @@ impl PosixFs {
         if !writable {
             return Err(Errno::EACCES);
         }
-        self.client.truncate_file(&path, size).map_err(Errno::from)?;
+        self.client
+            .truncate_file(&path, size)
+            .map_err(Errno::from)?;
         self.file(fd)?.handle.borrow_mut().size = size;
         Ok(())
     }
@@ -481,7 +489,9 @@ mod tests {
     fn open_create_write_read_close() {
         let mut fs = fs();
         fs.mkdir("/d", 0o755).unwrap();
-        let fd = fs.open("/d/f", OpenFlags::RDWR | OpenFlags::CREAT, 0o644).unwrap();
+        let fd = fs
+            .open("/d/f", OpenFlags::RDWR | OpenFlags::CREAT, 0o644)
+            .unwrap();
         assert_eq!(fs.write(fd, b"hello world").unwrap(), 11);
         assert_eq!(fs.lseek(fd, 0, Whence::Set).unwrap(), 0);
         let mut buf = [0u8; 5];
@@ -501,11 +511,19 @@ mod tests {
         fs.mkdir("/d", 0o755).unwrap();
         assert_eq!(fs.open("/d/f", OpenFlags::RDONLY, 0), Err(Errno::ENOENT));
         let fd = fs
-            .open("/d/f", OpenFlags::WRONLY | OpenFlags::CREAT | OpenFlags::EXCL, 0o644)
+            .open(
+                "/d/f",
+                OpenFlags::WRONLY | OpenFlags::CREAT | OpenFlags::EXCL,
+                0o644,
+            )
             .unwrap();
         fs.close(fd).unwrap();
         assert_eq!(
-            fs.open("/d/f", OpenFlags::WRONLY | OpenFlags::CREAT | OpenFlags::EXCL, 0o644),
+            fs.open(
+                "/d/f",
+                OpenFlags::WRONLY | OpenFlags::CREAT | OpenFlags::EXCL,
+                0o644
+            ),
             Err(Errno::EEXIST)
         );
     }
@@ -514,7 +532,9 @@ mod tests {
     fn access_mode_enforcement() {
         let mut fs = fs();
         fs.mkdir("/d", 0o755).unwrap();
-        let fd = fs.open("/d/f", OpenFlags::WRONLY | OpenFlags::CREAT, 0o644).unwrap();
+        let fd = fs
+            .open("/d/f", OpenFlags::WRONLY | OpenFlags::CREAT, 0o644)
+            .unwrap();
         let mut buf = [0u8; 4];
         assert_eq!(fs.read(fd, &mut buf), Err(Errno::EACCES));
         fs.write(fd, b"data").unwrap();
@@ -528,7 +548,9 @@ mod tests {
     fn trunc_and_append() {
         let mut fs = fs();
         fs.mkdir("/d", 0o755).unwrap();
-        let fd = fs.open("/d/f", OpenFlags::RDWR | OpenFlags::CREAT, 0o644).unwrap();
+        let fd = fs
+            .open("/d/f", OpenFlags::RDWR | OpenFlags::CREAT, 0o644)
+            .unwrap();
         fs.write(fd, b"0123456789").unwrap();
         fs.close(fd).unwrap();
 
@@ -556,7 +578,9 @@ mod tests {
     fn pread_pwrite_do_not_move_offset() {
         let mut fs = fs();
         fs.mkdir("/d", 0o755).unwrap();
-        let fd = fs.open("/d/f", OpenFlags::RDWR | OpenFlags::CREAT, 0o644).unwrap();
+        let fd = fs
+            .open("/d/f", OpenFlags::RDWR | OpenFlags::CREAT, 0o644)
+            .unwrap();
         fs.write(fd, b"XXXXXX").unwrap();
         fs.pwrite(fd, b"ab", 1).unwrap();
         assert_eq!(fs.lseek(fd, 0, Whence::Cur).unwrap(), 6, "offset untouched");
@@ -569,7 +593,9 @@ mod tests {
     fn lseek_variants_and_bounds() {
         let mut fs = fs();
         fs.mkdir("/d", 0o755).unwrap();
-        let fd = fs.open("/d/f", OpenFlags::RDWR | OpenFlags::CREAT, 0o644).unwrap();
+        let fd = fs
+            .open("/d/f", OpenFlags::RDWR | OpenFlags::CREAT, 0o644)
+            .unwrap();
         fs.write(fd, b"123456").unwrap();
         assert_eq!(fs.lseek(fd, -2, Whence::End).unwrap(), 4);
         assert_eq!(fs.lseek(fd, 1, Whence::Cur).unwrap(), 5);
@@ -587,7 +613,9 @@ mod tests {
         let st = fs.stat("/d").unwrap();
         assert!(st.is_dir);
         assert_eq!(st.mode, 0o750);
-        let fd = fs.open("/d/f", OpenFlags::WRONLY | OpenFlags::CREAT, 0o644).unwrap();
+        let fd = fs
+            .open("/d/f", OpenFlags::WRONLY | OpenFlags::CREAT, 0o644)
+            .unwrap();
         fs.write(fd, b"abc").unwrap();
         assert_eq!(fs.fstat(fd).unwrap().size, 3);
         fs.chmod("/d/f", 0o600).unwrap();
@@ -600,7 +628,9 @@ mod tests {
         let mut fs = fs();
         fs.mkdir("/a", 0o755).unwrap();
         fs.mkdir("/b", 0o755).unwrap();
-        let fd = fs.open("/a/f", OpenFlags::WRONLY | OpenFlags::CREAT, 0o644).unwrap();
+        let fd = fs
+            .open("/a/f", OpenFlags::WRONLY | OpenFlags::CREAT, 0o644)
+            .unwrap();
         fs.close(fd).unwrap();
         fs.rename("/a/f", "/b/g").unwrap();
         assert!(fs.stat("/b/g").is_ok());
@@ -612,7 +642,9 @@ mod tests {
     fn ftruncate_updates_size() {
         let mut fs = fs();
         fs.mkdir("/d", 0o755).unwrap();
-        let fd = fs.open("/d/f", OpenFlags::RDWR | OpenFlags::CREAT, 0o644).unwrap();
+        let fd = fs
+            .open("/d/f", OpenFlags::RDWR | OpenFlags::CREAT, 0o644)
+            .unwrap();
         fs.write(fd, &[7u8; 100]).unwrap();
         fs.ftruncate(fd, 10).unwrap();
         assert_eq!(fs.fstat(fd).unwrap().size, 10);
@@ -624,7 +656,9 @@ mod tests {
         let mut fs = fs();
         fs.mkdir("/d", 0o755).unwrap();
         fs.mkdir("/d/sub", 0o755).unwrap();
-        let fd = fs.open("/d/f", OpenFlags::WRONLY | OpenFlags::CREAT, 0o644).unwrap();
+        let fd = fs
+            .open("/d/f", OpenFlags::WRONLY | OpenFlags::CREAT, 0o644)
+            .unwrap();
         fs.close(fd).unwrap();
         let mut names = fs.readdir("/d").unwrap();
         names.sort();

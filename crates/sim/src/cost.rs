@@ -130,9 +130,7 @@ impl CostModel {
     /// Cost of an ordered scan touching `records` records totalling
     /// `bytes` value bytes.
     pub fn scan(&self, records: usize, bytes: usize) -> Nanos {
-        self.kv_get_base
-            + records as Nanos * self.kv_scan_record
-            + bytes as Nanos * self.kv_byte
+        self.kv_get_base + records as Nanos * self.kv_scan_record + bytes as Nanos * self.kv_byte
     }
 
     /// Cost of an unordered full-table scan over `records` records (the
@@ -151,7 +149,7 @@ mod tests {
         let m = CostModel::default();
         // A small fixed-layout value: dominated by the 4 µs base.
         let c = m.get(64, CodecKind::Fixed);
-        assert!(c >= 4 * MICROS && c < 5 * MICROS, "got {c}");
+        assert!((4 * MICROS..5 * MICROS).contains(&c), "got {c}");
     }
 
     #[test]

@@ -260,8 +260,7 @@ impl ClosedLoopSim {
                         st.visit_idx = 0;
                         if st.job_idx < st.jobs.len() {
                             st.issue_time = now;
-                            let think =
-                                st.jobs[st.job_idx].client_work + self.client_overhead;
+                            let think = st.jobs[st.job_idx].client_work + self.client_overhead;
                             if st.jobs[st.job_idx].visits.is_empty() {
                                 push(
                                     &mut heap,
@@ -321,13 +320,19 @@ mod tests {
         let s = ServerId::new(1, 3);
         let t = JobTrace {
             visits: vec![
-                Visit { server: s, service: 4 * MICROS },
-                Visit { server: ServerId::new(0, 0), service: 6 * MICROS },
+                Visit {
+                    server: s,
+                    service: 4 * MICROS,
+                },
+                Visit {
+                    server: ServerId::new(0, 0),
+                    service: 6 * MICROS,
+                },
             ],
-            client_work: 1 * MICROS,
+            client_work: MICROS,
         };
         let rtt = 174 * MICROS;
-        assert_eq!(t.unloaded_latency(rtt), 2 * rtt + 10 * MICROS + 1 * MICROS);
+        assert_eq!(t.unloaded_latency(rtt), 2 * rtt + 10 * MICROS + MICROS);
         let out = sim(rtt).run(vec![vec![t.clone()]]);
         assert_eq!(out.max_latency as u128, t.unloaded_latency(rtt) as u128);
     }
@@ -380,7 +385,9 @@ mod tests {
             client_overhead: 0,
         };
         let run = |clients: usize| {
-            let jobs: Vec<_> = (0..clients).map(|_| vec![job(srv, 8 * MICROS); 100]).collect();
+            let jobs: Vec<_> = (0..clients)
+                .map(|_| vec![job(srv, 8 * MICROS); 100])
+                .collect();
             sim.run(jobs).iops()
         };
         let x10 = run(10);
@@ -445,7 +452,7 @@ mod tests {
         let s = ServerId::new(0, 0);
         let jobs = vec![
             vec![job(s, 10 * MICROS)],
-            vec![job(s, 1 * MICROS)],
+            vec![job(s, MICROS)],
             vec![job(s, 5 * MICROS)],
         ];
         let out = sim(0).run(jobs);

@@ -86,8 +86,8 @@ impl Device {
         if self.writeback_batch == 0 {
             return self.write_lat + len as Nanos * self.byte;
         }
-        let share = (self.write_lat as u128 * len as u128
-            / self.writeback_batch.max(1) as u128) as Nanos;
+        let share =
+            (self.write_lat as u128 * len as u128 / self.writeback_batch.max(1) as u128) as Nanos;
         share + len as Nanos * self.byte
     }
 
@@ -137,7 +137,10 @@ mod tests {
         let a = s.write_amortized(batch);
         let sync = s.write_sync(batch);
         // Writing a full batch amortizes to (almost exactly) one sync.
-        assert!(a >= sync - MICROS && a <= sync + MICROS, "a={a} sync={sync}");
+        assert!(
+            a >= sync - MICROS && a <= sync + MICROS,
+            "a={a} sync={sync}"
+        );
     }
 
     #[test]

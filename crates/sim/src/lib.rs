@@ -24,11 +24,13 @@
 pub mod cost;
 pub mod des;
 pub mod device;
+pub mod rng;
 pub mod stats;
 pub mod time;
 
 pub use cost::CostModel;
 pub use des::{ClosedLoopSim, JobTrace, ServerId, SimOutcome, Visit};
 pub use device::{Device, DeviceKind};
+pub use rng::Rng;
 pub use stats::LatencyStats;
 pub use time::{Clock, Nanos, MICROS, MILLIS, SECS};

@@ -1,66 +1,117 @@
 //! Latency statistics helpers used by the benchmark harness.
+//!
+//! [`LatencyStats`] used to keep every sample in a `Vec`, which costs
+//! O(n) memory and an O(n log n) sort per quantile query. It is now
+//! backed by `loco-obs`'s fixed-memory log-bucketed
+//! [`LogHistogram`] (O(1) record, ≤ 0.39 % quantile error, mergeable);
+//! an optional *exact* side-channel of raw samples can be switched on
+//! for tests or small runs that need nearest-rank-perfect quantiles at
+//! any magnitude.
 
 use crate::time::Nanos;
+use loco_obs::LogHistogram;
 
-/// Accumulates a set of latency samples and reports summary statistics.
-#[derive(Clone, Debug, Default)]
+/// Accumulates latency samples and reports summary statistics.
+///
+/// `mean`, `min` and `max` are always exact. Quantiles are exact for
+/// values below 128 ns and within 0.39 % above that; construct with
+/// [`LatencyStats::exact`] to keep raw samples and get exact
+/// nearest-rank quantiles everywhere.
+#[derive(Debug)]
 pub struct LatencyStats {
-    samples: Vec<Nanos>,
+    hist: LogHistogram,
+    /// Raw samples, kept only in exact mode.
+    samples: Option<Vec<Nanos>>,
     sorted: bool,
 }
 
+impl Default for LatencyStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clone for LatencyStats {
+    fn clone(&self) -> Self {
+        let hist = LogHistogram::new();
+        hist.merge(&self.hist);
+        Self {
+            hist,
+            samples: self.samples.clone(),
+            sorted: self.sorted,
+        }
+    }
+}
+
 impl LatencyStats {
-    /// Create a new instance with default settings.
+    /// Create a histogram-backed instance (fixed memory, approximate
+    /// quantiles).
     pub fn new() -> Self {
-        Self::default()
+        Self {
+            hist: LogHistogram::new(),
+            samples: None,
+            sorted: false,
+        }
+    }
+
+    /// Create an exact-mode instance that additionally retains every
+    /// sample, so quantiles are nearest-rank exact (at O(n) memory).
+    pub fn exact() -> Self {
+        Self {
+            samples: Some(Vec::new()),
+            ..Self::new()
+        }
     }
 
     /// Record one latency sample.
     pub fn record(&mut self, ns: Nanos) {
-        self.samples.push(ns);
-        self.sorted = false;
+        self.hist.record(ns);
+        if let Some(samples) = &mut self.samples {
+            samples.push(ns);
+            self.sorted = false;
+        }
     }
 
     /// Number of recorded samples.
     pub fn len(&self) -> usize {
-        self.samples.len()
+        self.hist.count() as usize
     }
 
     /// Whether there are no entries.
     pub fn is_empty(&self) -> bool {
-        self.samples.is_empty()
+        self.hist.is_empty()
     }
 
-    /// Arithmetic mean in nanoseconds.
+    /// Arithmetic mean in nanoseconds (exact).
     pub fn mean(&self) -> f64 {
-        if self.samples.is_empty() {
-            return 0.0;
-        }
-        self.samples.iter().map(|&s| s as f64).sum::<f64>() / self.samples.len() as f64
+        self.hist.mean()
     }
 
-    /// Minimum sample.
+    /// Minimum sample (exact).
     pub fn min(&self) -> Nanos {
-        self.samples.iter().copied().min().unwrap_or(0)
+        self.hist.min()
     }
 
-    /// Maximum sample.
+    /// Maximum sample (exact).
     pub fn max(&self) -> Nanos {
-        self.samples.iter().copied().max().unwrap_or(0)
+        self.hist.max()
     }
 
-    /// `q`-quantile (0.0 ..= 1.0) via nearest-rank on sorted samples.
+    /// `q`-quantile (0.0 ..= 1.0) via nearest rank — on the raw samples
+    /// in exact mode, on the histogram buckets otherwise.
     pub fn quantile(&mut self, q: f64) -> Nanos {
-        if self.samples.is_empty() {
-            return 0;
+        match &mut self.samples {
+            Some(samples) if !samples.is_empty() => {
+                if !self.sorted {
+                    samples.sort_unstable();
+                    self.sorted = true;
+                }
+                let q = q.clamp(0.0, 1.0);
+                let rank = ((samples.len() as f64 - 1.0) * q).round() as usize;
+                samples[rank]
+            }
+            _ => self.hist.quantile(q),
         }
-        if !self.sorted {
-            self.samples.sort_unstable();
-            self.sorted = true;
-        }
-        let q = q.clamp(0.0, 1.0);
-        let rank = ((self.samples.len() as f64 - 1.0) * q).round() as usize;
-        self.samples[rank]
     }
 
     /// Median.
@@ -71,6 +122,22 @@ impl LatencyStats {
     /// 99th percentile.
     pub fn p99(&mut self) -> Nanos {
         self.quantile(0.99)
+    }
+
+    /// Fold another instance's samples into this one. Histogram state
+    /// merges bucket-wise; raw samples concatenate when both sides are
+    /// in exact mode (merging a histogram-only instance into an exact
+    /// one drops back to histogram quantiles, since the raw samples
+    /// are not available).
+    pub fn merge(&mut self, other: &LatencyStats) {
+        self.hist.merge(&other.hist);
+        match (&mut self.samples, &other.samples) {
+            (Some(mine), Some(theirs)) => {
+                mine.extend_from_slice(theirs);
+                self.sorted = false;
+            }
+            _ => self.samples = None,
+        }
     }
 
     /// Mean expressed as a multiple of a reference duration (the paper
@@ -140,5 +207,73 @@ mod tests {
         s.record(174_000 * 3);
         assert!((s.mean_normalized(174_000) - 2.0).abs() < 1e-9);
         assert_eq!(s.mean_normalized(0), 0.0);
+    }
+
+    #[test]
+    fn histogram_quantiles_stay_within_error_bound() {
+        let mut approx = LatencyStats::new();
+        let mut exact = LatencyStats::exact();
+        let mut x: u64 = 0x1234_5678;
+        for _ in 0..50_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let v = 10_000 + x % 50_000_000;
+            approx.record(v);
+            exact.record(v);
+        }
+        for q in [0.5, 0.9, 0.99] {
+            let e = exact.quantile(q) as f64;
+            let a = approx.quantile(q) as f64;
+            assert!((a - e).abs() / e <= 0.01, "q={q}: exact={e} approx={a}");
+        }
+        assert_eq!(approx.min(), exact.min());
+        assert_eq!(approx.max(), exact.max());
+        assert!((approx.mean() - exact.mean()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn exact_mode_is_nearest_rank_exact_at_any_magnitude() {
+        let mut s = LatencyStats::exact();
+        for v in [1_000_001u64, 2_000_003, 3_000_007, 4_000_013] {
+            s.record(v);
+        }
+        assert_eq!(s.quantile(0.0), 1_000_001);
+        assert_eq!(s.quantile(1.0), 4_000_013);
+        // nearest-rank on 4 samples: rank round(1.5) = 2 → third sample
+        assert_eq!(s.p50(), 3_000_007);
+    }
+
+    #[test]
+    fn merge_combines_distributions() {
+        let mut a = LatencyStats::new();
+        let mut b = LatencyStats::new();
+        let mut all = LatencyStats::new();
+        for v in 0..500u64 {
+            let x = v * 997;
+            if v % 2 == 0 {
+                a.record(x);
+            } else {
+                b.record(x);
+            }
+            all.record(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.len(), all.len());
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+        assert_eq!(a.p50(), all.p50());
+        assert!((a.mean() - all.mean()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_of_exact_instances_stays_exact() {
+        let mut a = LatencyStats::exact();
+        let mut b = LatencyStats::exact();
+        a.record(1_000_001);
+        b.record(9_000_011);
+        a.merge(&b);
+        assert_eq!(a.quantile(1.0), 9_000_011);
+        assert_eq!(a.quantile(0.0), 1_000_001);
     }
 }

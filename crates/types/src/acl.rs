@@ -28,7 +28,14 @@ impl Perm {
 }
 
 /// Classic owner/group/other mode check. `uid == 0` (root) bypasses.
-pub fn may_access(mode: u32, owner_uid: u32, owner_gid: u32, uid: u32, gid: u32, want: Perm) -> bool {
+pub fn may_access(
+    mode: u32,
+    owner_uid: u32,
+    owner_gid: u32,
+    uid: u32,
+    gid: u32,
+    want: Perm,
+) -> bool {
     if uid == 0 {
         return true;
     }

@@ -274,11 +274,19 @@ mod tests {
         let d = DirInode::new(Uuid::new(1, 2), 0o40700, 10, 20, 30);
         let buf = d.encode();
         assert_eq!(
-            u32::from_le_bytes(buf[DirInode::OFF_MODE..DirInode::OFF_MODE + 4].try_into().unwrap()),
+            u32::from_le_bytes(
+                buf[DirInode::OFF_MODE..DirInode::OFF_MODE + 4]
+                    .try_into()
+                    .unwrap()
+            ),
             0o40700
         );
         assert_eq!(
-            u64::from_le_bytes(buf[DirInode::OFF_UUID..DirInode::OFF_UUID + 8].try_into().unwrap()),
+            u64::from_le_bytes(
+                buf[DirInode::OFF_UUID..DirInode::OFF_UUID + 8]
+                    .try_into()
+                    .unwrap()
+            ),
             Uuid::new(1, 2).raw()
         );
     }
@@ -316,6 +324,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn decoupled_values_are_much_smaller_than_baseline() {
         // The size reduction is the mechanism behind Fig 11.
         assert!(FileAccess::SIZE < BASELINE_INODE_SIZE / 4);

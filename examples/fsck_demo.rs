@@ -20,7 +20,8 @@ fn main() {
         fs.mkdir(&format!("/{proj}/results"), 0o755).unwrap();
         for i in 0..8 {
             fs.create(&format!("/{proj}/run{i}.log"), 0o644).unwrap();
-            fs.create(&format!("/{proj}/results/out{i}.dat"), 0o644).unwrap();
+            fs.create(&format!("/{proj}/results/out{i}.dat"), 0o644)
+                .unwrap();
         }
     }
     let report = fsck(&cluster);
@@ -40,7 +41,10 @@ fn main() {
         }
     }
     println!("\n-- corruption: every dirent list destroyed --");
-    println!("ls /atlas now sees {} entries (should be 9)", fs.readdir("/atlas").unwrap().len());
+    println!(
+        "ls /atlas now sees {} entries (should be 9)",
+        fs.readdir("/atlas").unwrap().len()
+    );
     let report = fsck(&cluster);
     println!(
         "fsck findings: {} (unlisted dirs: {}, unlisted files: {})",
@@ -54,7 +58,10 @@ fn main() {
     println!("\n-- repair: {rewritten} dirent lists rebuilt from inodes --");
     let report = fsck(&cluster);
     println!("fsck clean: {}", report.is_clean());
-    println!("ls /atlas sees {} entries again", fs.readdir("/atlas").unwrap().len());
+    println!(
+        "ls /atlas sees {} entries again",
+        fs.readdir("/atlas").unwrap().len()
+    );
     assert!(report.is_clean());
     assert_eq!(fs.readdir("/atlas").unwrap().len(), 9);
     // Files still stat with their original uuids (nothing relocated).

@@ -69,8 +69,14 @@ fn main() {
     );
     let (ns_c, rpc_c) = run(true);
     let (ns_nc, rpc_nc) = run(false);
-    println!("with d-inode cache   : {rpc_c:6} metadata/data RPCs, checkpoint path {:.1} ms virtual", ns_c as f64 / 1e6);
-    println!("without cache        : {rpc_nc:6} metadata/data RPCs, checkpoint path {:.1} ms virtual", ns_nc as f64 / 1e6);
+    println!(
+        "with d-inode cache   : {rpc_c:6} metadata/data RPCs, checkpoint path {:.1} ms virtual",
+        ns_c as f64 / 1e6
+    );
+    println!(
+        "without cache        : {rpc_nc:6} metadata/data RPCs, checkpoint path {:.1} ms virtual",
+        ns_nc as f64 / 1e6
+    );
     println!(
         "\ncache removed {} DMS lookups — checkpoint apps have exactly the\n\
          directory locality §3.2.2 argues the client cache exploits.",

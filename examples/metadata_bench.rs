@@ -12,8 +12,8 @@
 //!           readdir | chmod | chown | truncate | access (default touch)
 
 use locofs::baselines::{
-    CephFsModel, DistFs, GlusterFsModel, IndexFsModel, LocoAdapter, LustreFsModel,
-    LustreVariant, RawKvFs,
+    CephFsModel, DistFs, GlusterFsModel, IndexFsModel, LocoAdapter, LustreFsModel, LustreVariant,
+    RawKvFs,
 };
 use locofs::client::LocoConfig;
 use locofs::mdtest::{
@@ -24,8 +24,12 @@ use locofs::sim::des::ClosedLoopSim;
 fn make(system: &str, servers: u16) -> Box<dyn DistFs> {
     match system {
         "loco-c" => Box::new(LocoAdapter::new(LocoConfig::with_servers(servers))),
-        "loco-nc" => Box::new(LocoAdapter::new(LocoConfig::with_servers(servers).no_cache())),
-        "loco-cf" => Box::new(LocoAdapter::new(LocoConfig::with_servers(servers).coupled())),
+        "loco-nc" => Box::new(LocoAdapter::new(
+            LocoConfig::with_servers(servers).no_cache(),
+        )),
+        "loco-cf" => Box::new(LocoAdapter::new(
+            LocoConfig::with_servers(servers).coupled(),
+        )),
         "ceph" => Box::new(CephFsModel::new(servers)),
         "gluster" => Box::new(GlusterFsModel::new(servers)),
         "lustre-d1" => Box::new(LustreFsModel::new(LustreVariant::Dne1, servers)),
@@ -55,13 +59,20 @@ fn phase(name: &str) -> PhaseKind {
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let system = args.get(1).map(String::as_str).unwrap_or("loco-c").to_string();
+    let system = args
+        .get(1)
+        .map(String::as_str)
+        .unwrap_or("loco-c")
+        .to_string();
     let servers: u16 = args.get(2).and_then(|a| a.parse().ok()).unwrap_or(8);
     let clients: usize = args.get(3).and_then(|a| a.parse().ok()).unwrap_or(64);
     let items: usize = args.get(4).and_then(|a| a.parse().ok()).unwrap_or(100);
     let kind = phase(args.get(5).map(String::as_str).unwrap_or("touch"));
 
-    println!("system={system} servers={servers} clients={clients} items/client={items} phase={}", kind.label());
+    println!(
+        "system={system} servers={servers} clients={clients} items/client={items} phase={}",
+        kind.label()
+    );
 
     // Single-client latency.
     let mut fs = make(&system, servers);

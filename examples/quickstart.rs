@@ -36,7 +36,11 @@ fn main() {
         .unwrap();
     let fh2 = fs.open("/projects/demo/report.txt", Perm::Read).unwrap();
     let body = fs.read(&fh2, 0, fh2.size).unwrap();
-    println!("read back {} bytes: {:?}", body.len(), String::from_utf8_lossy(&body));
+    println!(
+        "read back {} bytes: {:?}",
+        body.len(),
+        String::from_utf8_lossy(&body)
+    );
 
     println!("\n== attributes (decoupled file metadata) ==");
     fs.chmod_file("/projects/demo/report.txt", 0o600).unwrap();
@@ -49,7 +53,9 @@ fn main() {
     println!("\n== rename: only directory inodes move ==");
     fs.mkdir("/projects/demo/results", 0o755).unwrap();
     fs.create("/projects/demo/results/r0.dat", 0o644).unwrap();
-    let moved = fs.rename_dir("/projects/demo", "/projects/demo-v2").unwrap();
+    let moved = fs
+        .rename_dir("/projects/demo", "/projects/demo-v2")
+        .unwrap();
     println!("renamed subtree: {moved} directory inode(s) relocated (files: 0)");
     let st = fs.stat_file("/projects/demo-v2/report.txt").unwrap();
     println!(
@@ -64,5 +70,8 @@ fn main() {
 
     let (hits, misses) = fs.cache_stats();
     println!("\nd-inode cache: {hits} hits / {misses} misses");
-    println!("client virtual time elapsed: {:.2} ms", fs.now() as f64 / 1e6);
+    println!(
+        "client virtual time elapsed: {:.2} ms",
+        fs.now() as f64 / 1e6
+    );
 }

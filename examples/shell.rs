@@ -42,7 +42,11 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let from_stdin = args.get(1).map(String::as_str) == Some("-");
     let script: Vec<String> = if from_stdin {
-        std::io::stdin().lock().lines().map_while(Result::ok).collect()
+        std::io::stdin()
+            .lock()
+            .lines()
+            .map_while(Result::ok)
+            .collect()
     } else {
         DEMO.lines().map(str::to_string).collect()
     };
@@ -82,9 +86,9 @@ fn main() {
                     .map(|d| format!("dir mode={:o} uid={} uuid={}", d.mode, d.uid, d.uuid)),
                 Err(e) => Err(e),
             },
-            "write" => fs.open(a1, Perm::Write).and_then(|mut h| {
-                fs.write(&mut h, 0, a2.as_bytes()).map(|_| String::new())
-            }),
+            "write" => fs
+                .open(a1, Perm::Write)
+                .and_then(|mut h| fs.write(&mut h, 0, a2.as_bytes()).map(|_| String::new())),
             "cat" => fs.open(a1, Perm::Read).and_then(|h| {
                 fs.read(&h, 0, h.size)
                     .map(|b| String::from_utf8_lossy(&b).to_string())
@@ -130,7 +134,11 @@ fn main() {
                         locofs::net::class::OST => "OST",
                         _ => "MDS",
                     };
-                    format!("{class}{} ({:.1}µs)", v.server.index, v.service as f64 / 1e3)
+                    format!(
+                        "{class}{} ({:.1}µs)",
+                        v.server.index,
+                        v.service as f64 / 1e3
+                    )
                 })
                 .collect();
             println!(

@@ -14,6 +14,8 @@
 //! * [`kv`] — the key-value substrates (hash DB, B+ tree, LSM);
 //! * [`dms`] / [`fms`] / [`ostore`] — the three server roles;
 //! * [`net`] — the RPC layer (simulated + threaded endpoints);
+//! * [`obs`] — the observability substrate: metrics registry,
+//!   log-bucketed latency histograms, Prometheus + Chrome-trace export;
 //! * [`sim`] — virtual time, cost models, the closed-loop simulator;
 //! * [`baselines`] — behavioural models of IndexFS, CephFS, Gluster and
 //!   Lustre used by the benchmark harness;
@@ -47,6 +49,7 @@ pub use loco_fms as fms;
 pub use loco_kv as kv;
 pub use loco_mdtest as mdtest;
 pub use loco_net as net;
+pub use loco_obs as obs;
 pub use loco_ostore as ostore;
 pub use loco_posix as posix;
 pub use loco_sim as sim;

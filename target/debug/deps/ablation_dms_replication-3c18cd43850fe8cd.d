@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_dms_replication-3c18cd43850fe8cd.d: crates/bench/src/bin/ablation_dms_replication.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_dms_replication-3c18cd43850fe8cd.rmeta: crates/bench/src/bin/ablation_dms_replication.rs Cargo.toml
+
+crates/bench/src/bin/ablation_dms_replication.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_dms_replication-81e7102bad0fb08a.d: crates/bench/src/bin/ablation_dms_replication.rs
+
+/root/repo/target/debug/deps/ablation_dms_replication-81e7102bad0fb08a: crates/bench/src/bin/ablation_dms_replication.rs
+
+crates/bench/src/bin/ablation_dms_replication.rs:

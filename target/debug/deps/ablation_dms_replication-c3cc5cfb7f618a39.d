@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_dms_replication-c3cc5cfb7f618a39.d: crates/bench/src/bin/ablation_dms_replication.rs
+
+/root/repo/target/debug/deps/ablation_dms_replication-c3cc5cfb7f618a39: crates/bench/src/bin/ablation_dms_replication.rs
+
+crates/bench/src/bin/ablation_dms_replication.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_dms_shards-5f8f84d505e4fc28.d: crates/bench/src/bin/ablation_dms_shards.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_dms_shards-5f8f84d505e4fc28.rmeta: crates/bench/src/bin/ablation_dms_shards.rs Cargo.toml
+
+crates/bench/src/bin/ablation_dms_shards.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_dms_shards-7cfc1cff4fe52825.d: crates/bench/src/bin/ablation_dms_shards.rs
+
+/root/repo/target/debug/deps/ablation_dms_shards-7cfc1cff4fe52825: crates/bench/src/bin/ablation_dms_shards.rs
+
+crates/bench/src/bin/ablation_dms_shards.rs:

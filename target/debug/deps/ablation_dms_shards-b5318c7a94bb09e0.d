@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_dms_shards-b5318c7a94bb09e0.d: crates/bench/src/bin/ablation_dms_shards.rs
+
+/root/repo/target/debug/deps/ablation_dms_shards-b5318c7a94bb09e0: crates/bench/src/bin/ablation_dms_shards.rs
+
+crates/bench/src/bin/ablation_dms_shards.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_dms_shards-fa247e2da10b418d.d: crates/bench/src/bin/ablation_dms_shards.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_dms_shards-fa247e2da10b418d.rmeta: crates/bench/src/bin/ablation_dms_shards.rs Cargo.toml
+
+crates/bench/src/bin/ablation_dms_shards.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_readdirplus-05f327fef3e2c27b.d: crates/bench/src/bin/ablation_readdirplus.rs
+
+/root/repo/target/debug/deps/ablation_readdirplus-05f327fef3e2c27b: crates/bench/src/bin/ablation_readdirplus.rs
+
+crates/bench/src/bin/ablation_readdirplus.rs:

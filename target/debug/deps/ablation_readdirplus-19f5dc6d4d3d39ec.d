@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_readdirplus-19f5dc6d4d3d39ec.d: crates/bench/src/bin/ablation_readdirplus.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_readdirplus-19f5dc6d4d3d39ec.rmeta: crates/bench/src/bin/ablation_readdirplus.rs Cargo.toml
+
+crates/bench/src/bin/ablation_readdirplus.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

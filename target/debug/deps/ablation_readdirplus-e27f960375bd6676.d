@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_readdirplus-e27f960375bd6676.d: crates/bench/src/bin/ablation_readdirplus.rs
+
+/root/repo/target/debug/deps/ablation_readdirplus-e27f960375bd6676: crates/bench/src/bin/ablation_readdirplus.rs
+
+crates/bench/src/bin/ablation_readdirplus.rs:

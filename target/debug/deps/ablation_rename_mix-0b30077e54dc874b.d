@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_rename_mix-0b30077e54dc874b.d: crates/bench/src/bin/ablation_rename_mix.rs
+
+/root/repo/target/debug/deps/ablation_rename_mix-0b30077e54dc874b: crates/bench/src/bin/ablation_rename_mix.rs
+
+crates/bench/src/bin/ablation_rename_mix.rs:

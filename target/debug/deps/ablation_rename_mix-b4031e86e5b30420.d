@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_rename_mix-b4031e86e5b30420.d: crates/bench/src/bin/ablation_rename_mix.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_rename_mix-b4031e86e5b30420.rmeta: crates/bench/src/bin/ablation_rename_mix.rs Cargo.toml
+
+crates/bench/src/bin/ablation_rename_mix.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_rename_mix-c34537a5f8607f2b.d: crates/bench/src/bin/ablation_rename_mix.rs
+
+/root/repo/target/debug/deps/ablation_rename_mix-c34537a5f8607f2b: crates/bench/src/bin/ablation_rename_mix.rs
+
+crates/bench/src/bin/ablation_rename_mix.rs:

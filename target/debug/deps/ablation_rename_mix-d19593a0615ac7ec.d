@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_rename_mix-d19593a0615ac7ec.d: crates/bench/src/bin/ablation_rename_mix.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_rename_mix-d19593a0615ac7ec.rmeta: crates/bench/src/bin/ablation_rename_mix.rs Cargo.toml
+
+crates/bench/src/bin/ablation_rename_mix.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/codec-3c9bd8c37ce2ed0c.d: crates/bench/benches/codec.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcodec-3c9bd8c37ce2ed0c.rmeta: crates/bench/benches/codec.rs Cargo.toml
+
+crates/bench/benches/codec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

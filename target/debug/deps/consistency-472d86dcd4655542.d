@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/consistency-472d86dcd4655542.d: tests/consistency.rs
+
+/root/repo/target/debug/deps/consistency-472d86dcd4655542: tests/consistency.rs
+
+tests/consistency.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/durable_dms-819c34fec2d9ca0c.d: tests/durable_dms.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdurable_dms-819c34fec2d9ca0c.rmeta: tests/durable_dms.rs Cargo.toml
+
+tests/durable_dms.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

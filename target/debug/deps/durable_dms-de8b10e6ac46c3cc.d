@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/durable_dms-de8b10e6ac46c3cc.d: tests/durable_dms.rs
+
+/root/repo/target/debug/deps/durable_dms-de8b10e6ac46c3cc: tests/durable_dms.rs
+
+tests/durable_dms.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-28d64bda0b2660da.d: tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-28d64bda0b2660da: tests/failure_injection.rs
+
+tests/failure_injection.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig01_gap-9a52e95c9d68bc18.d: crates/bench/src/bin/fig01_gap.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig01_gap-9a52e95c9d68bc18.rmeta: crates/bench/src/bin/fig01_gap.rs Cargo.toml
+
+crates/bench/src/bin/fig01_gap.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig01_gap-b9dd3e66a2c7b07f.d: crates/bench/src/bin/fig01_gap.rs
+
+/root/repo/target/debug/deps/fig01_gap-b9dd3e66a2c7b07f: crates/bench/src/bin/fig01_gap.rs
+
+crates/bench/src/bin/fig01_gap.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig01_gap-dfb33d3bbd2acf95.d: crates/bench/src/bin/fig01_gap.rs
+
+/root/repo/target/debug/deps/fig01_gap-dfb33d3bbd2acf95: crates/bench/src/bin/fig01_gap.rs
+
+crates/bench/src/bin/fig01_gap.rs:

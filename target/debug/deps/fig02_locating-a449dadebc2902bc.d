@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig02_locating-a449dadebc2902bc.d: crates/bench/src/bin/fig02_locating.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig02_locating-a449dadebc2902bc.rmeta: crates/bench/src/bin/fig02_locating.rs Cargo.toml
+
+crates/bench/src/bin/fig02_locating.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

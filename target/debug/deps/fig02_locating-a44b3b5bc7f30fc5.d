@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig02_locating-a44b3b5bc7f30fc5.d: crates/bench/src/bin/fig02_locating.rs
+
+/root/repo/target/debug/deps/fig02_locating-a44b3b5bc7f30fc5: crates/bench/src/bin/fig02_locating.rs
+
+crates/bench/src/bin/fig02_locating.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig02_locating-d4c472984a387b52.d: crates/bench/src/bin/fig02_locating.rs
+
+/root/repo/target/debug/deps/fig02_locating-d4c472984a387b52: crates/bench/src/bin/fig02_locating.rs
+
+crates/bench/src/bin/fig02_locating.rs:

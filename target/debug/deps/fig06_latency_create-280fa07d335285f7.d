@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig06_latency_create-280fa07d335285f7.d: crates/bench/src/bin/fig06_latency_create.rs
+
+/root/repo/target/debug/deps/fig06_latency_create-280fa07d335285f7: crates/bench/src/bin/fig06_latency_create.rs
+
+crates/bench/src/bin/fig06_latency_create.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig06_latency_create-7ce157b2a77e69b3.d: crates/bench/src/bin/fig06_latency_create.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig06_latency_create-7ce157b2a77e69b3.rmeta: crates/bench/src/bin/fig06_latency_create.rs Cargo.toml
+
+crates/bench/src/bin/fig06_latency_create.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig06_latency_create-ceeab66df3c48f8d.d: crates/bench/src/bin/fig06_latency_create.rs
+
+/root/repo/target/debug/deps/fig06_latency_create-ceeab66df3c48f8d: crates/bench/src/bin/fig06_latency_create.rs
+
+crates/bench/src/bin/fig06_latency_create.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig07_latency_ops-2d6ef4dbf309ad94.d: crates/bench/src/bin/fig07_latency_ops.rs
+
+/root/repo/target/debug/deps/fig07_latency_ops-2d6ef4dbf309ad94: crates/bench/src/bin/fig07_latency_ops.rs
+
+crates/bench/src/bin/fig07_latency_ops.rs:

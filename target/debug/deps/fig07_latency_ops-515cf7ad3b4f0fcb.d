@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig07_latency_ops-515cf7ad3b4f0fcb.d: crates/bench/src/bin/fig07_latency_ops.rs
+
+/root/repo/target/debug/deps/fig07_latency_ops-515cf7ad3b4f0fcb: crates/bench/src/bin/fig07_latency_ops.rs
+
+crates/bench/src/bin/fig07_latency_ops.rs:

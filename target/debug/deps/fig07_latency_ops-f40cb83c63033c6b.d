@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig07_latency_ops-f40cb83c63033c6b.d: crates/bench/src/bin/fig07_latency_ops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig07_latency_ops-f40cb83c63033c6b.rmeta: crates/bench/src/bin/fig07_latency_ops.rs Cargo.toml
+
+crates/bench/src/bin/fig07_latency_ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08_throughput-4906d967d71c4983.d: crates/bench/src/bin/fig08_throughput.rs
+
+/root/repo/target/debug/deps/fig08_throughput-4906d967d71c4983: crates/bench/src/bin/fig08_throughput.rs
+
+crates/bench/src/bin/fig08_throughput.rs:

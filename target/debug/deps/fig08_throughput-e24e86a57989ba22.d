@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08_throughput-e24e86a57989ba22.d: crates/bench/src/bin/fig08_throughput.rs
+
+/root/repo/target/debug/deps/fig08_throughput-e24e86a57989ba22: crates/bench/src/bin/fig08_throughput.rs
+
+crates/bench/src/bin/fig08_throughput.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig08_throughput-e76e498dc6f9ee18.d: crates/bench/src/bin/fig08_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig08_throughput-e76e498dc6f9ee18.rmeta: crates/bench/src/bin/fig08_throughput.rs Cargo.toml
+
+crates/bench/src/bin/fig08_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_gap_bridge-30037943d2e3b650.d: crates/bench/src/bin/fig09_gap_bridge.rs
+
+/root/repo/target/debug/deps/fig09_gap_bridge-30037943d2e3b650: crates/bench/src/bin/fig09_gap_bridge.rs
+
+crates/bench/src/bin/fig09_gap_bridge.rs:

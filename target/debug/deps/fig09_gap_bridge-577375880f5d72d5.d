@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig09_gap_bridge-577375880f5d72d5.d: crates/bench/src/bin/fig09_gap_bridge.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig09_gap_bridge-577375880f5d72d5.rmeta: crates/bench/src/bin/fig09_gap_bridge.rs Cargo.toml
+
+crates/bench/src/bin/fig09_gap_bridge.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

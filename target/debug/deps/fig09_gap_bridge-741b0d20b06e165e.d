@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_gap_bridge-741b0d20b06e165e.d: crates/bench/src/bin/fig09_gap_bridge.rs
+
+/root/repo/target/debug/deps/fig09_gap_bridge-741b0d20b06e165e: crates/bench/src/bin/fig09_gap_bridge.rs
+
+crates/bench/src/bin/fig09_gap_bridge.rs:

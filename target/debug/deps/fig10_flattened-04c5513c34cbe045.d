@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_flattened-04c5513c34cbe045.d: crates/bench/src/bin/fig10_flattened.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_flattened-04c5513c34cbe045.rmeta: crates/bench/src/bin/fig10_flattened.rs Cargo.toml
+
+crates/bench/src/bin/fig10_flattened.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_flattened-23555b095d322bf4.d: crates/bench/src/bin/fig10_flattened.rs
+
+/root/repo/target/debug/deps/fig10_flattened-23555b095d322bf4: crates/bench/src/bin/fig10_flattened.rs
+
+crates/bench/src/bin/fig10_flattened.rs:

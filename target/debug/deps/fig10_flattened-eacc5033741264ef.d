@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_flattened-eacc5033741264ef.d: crates/bench/src/bin/fig10_flattened.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_flattened-eacc5033741264ef.rmeta: crates/bench/src/bin/fig10_flattened.rs Cargo.toml
+
+crates/bench/src/bin/fig10_flattened.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

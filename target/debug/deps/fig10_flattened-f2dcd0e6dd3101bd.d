@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_flattened-f2dcd0e6dd3101bd.d: crates/bench/src/bin/fig10_flattened.rs
+
+/root/repo/target/debug/deps/fig10_flattened-f2dcd0e6dd3101bd: crates/bench/src/bin/fig10_flattened.rs
+
+crates/bench/src/bin/fig10_flattened.rs:

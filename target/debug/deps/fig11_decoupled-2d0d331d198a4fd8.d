@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_decoupled-2d0d331d198a4fd8.d: crates/bench/src/bin/fig11_decoupled.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_decoupled-2d0d331d198a4fd8.rmeta: crates/bench/src/bin/fig11_decoupled.rs Cargo.toml
+
+crates/bench/src/bin/fig11_decoupled.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

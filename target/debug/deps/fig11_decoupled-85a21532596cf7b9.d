@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_decoupled-85a21532596cf7b9.d: crates/bench/src/bin/fig11_decoupled.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_decoupled-85a21532596cf7b9.rmeta: crates/bench/src/bin/fig11_decoupled.rs Cargo.toml
+
+crates/bench/src/bin/fig11_decoupled.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

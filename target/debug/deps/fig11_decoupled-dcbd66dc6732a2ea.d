@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_decoupled-dcbd66dc6732a2ea.d: crates/bench/src/bin/fig11_decoupled.rs
+
+/root/repo/target/debug/deps/fig11_decoupled-dcbd66dc6732a2ea: crates/bench/src/bin/fig11_decoupled.rs
+
+crates/bench/src/bin/fig11_decoupled.rs:

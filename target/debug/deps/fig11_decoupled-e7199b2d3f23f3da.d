@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_decoupled-e7199b2d3f23f3da.d: crates/bench/src/bin/fig11_decoupled.rs
+
+/root/repo/target/debug/deps/fig11_decoupled-e7199b2d3f23f3da: crates/bench/src/bin/fig11_decoupled.rs
+
+crates/bench/src/bin/fig11_decoupled.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12_fullsystem-087b7f1f904aef0b.d: crates/bench/src/bin/fig12_fullsystem.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12_fullsystem-087b7f1f904aef0b.rmeta: crates/bench/src/bin/fig12_fullsystem.rs Cargo.toml
+
+crates/bench/src/bin/fig12_fullsystem.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

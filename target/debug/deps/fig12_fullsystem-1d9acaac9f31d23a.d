@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_fullsystem-1d9acaac9f31d23a.d: crates/bench/src/bin/fig12_fullsystem.rs
+
+/root/repo/target/debug/deps/fig12_fullsystem-1d9acaac9f31d23a: crates/bench/src/bin/fig12_fullsystem.rs
+
+crates/bench/src/bin/fig12_fullsystem.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_fullsystem-de4853c1ed8717ac.d: crates/bench/src/bin/fig12_fullsystem.rs
+
+/root/repo/target/debug/deps/fig12_fullsystem-de4853c1ed8717ac: crates/bench/src/bin/fig12_fullsystem.rs
+
+crates/bench/src/bin/fig12_fullsystem.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_depth-97fb3bb3e961e39f.d: crates/bench/src/bin/fig13_depth.rs
+
+/root/repo/target/debug/deps/fig13_depth-97fb3bb3e961e39f: crates/bench/src/bin/fig13_depth.rs
+
+crates/bench/src/bin/fig13_depth.rs:

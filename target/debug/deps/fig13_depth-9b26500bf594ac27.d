@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_depth-9b26500bf594ac27.d: crates/bench/src/bin/fig13_depth.rs
+
+/root/repo/target/debug/deps/fig13_depth-9b26500bf594ac27: crates/bench/src/bin/fig13_depth.rs
+
+crates/bench/src/bin/fig13_depth.rs:

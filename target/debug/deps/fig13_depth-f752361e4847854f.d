@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig13_depth-f752361e4847854f.d: crates/bench/src/bin/fig13_depth.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig13_depth-f752361e4847854f.rmeta: crates/bench/src/bin/fig13_depth.rs Cargo.toml
+
+crates/bench/src/bin/fig13_depth.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_rename-0210917a9b99dd3e.d: crates/bench/src/bin/fig14_rename.rs
+
+/root/repo/target/debug/deps/fig14_rename-0210917a9b99dd3e: crates/bench/src/bin/fig14_rename.rs
+
+crates/bench/src/bin/fig14_rename.rs:

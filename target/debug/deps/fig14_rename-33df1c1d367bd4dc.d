@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig14_rename-33df1c1d367bd4dc.d: crates/bench/src/bin/fig14_rename.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig14_rename-33df1c1d367bd4dc.rmeta: crates/bench/src/bin/fig14_rename.rs Cargo.toml
+
+crates/bench/src/bin/fig14_rename.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig14_rename-3c0e202e44e83130.d: crates/bench/src/bin/fig14_rename.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig14_rename-3c0e202e44e83130.rmeta: crates/bench/src/bin/fig14_rename.rs Cargo.toml
+
+crates/bench/src/bin/fig14_rename.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_rename-4fda92c713d87631.d: crates/bench/src/bin/fig14_rename.rs
+
+/root/repo/target/debug/deps/fig14_rename-4fda92c713d87631: crates/bench/src/bin/fig14_rename.rs
+
+crates/bench/src/bin/fig14_rename.rs:

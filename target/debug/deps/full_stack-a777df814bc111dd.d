@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/full_stack-a777df814bc111dd.d: tests/full_stack.rs
+
+/root/repo/target/debug/deps/full_stack-a777df814bc111dd: tests/full_stack.rs
+
+tests/full_stack.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hist_record-261337d43175c8dc.d: crates/bench/benches/hist_record.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhist_record-261337d43175c8dc.rmeta: crates/bench/benches/hist_record.rs Cargo.toml
+
+crates/bench/benches/hist_record.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

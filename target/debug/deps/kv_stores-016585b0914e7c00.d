@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kv_stores-016585b0914e7c00.d: crates/bench/benches/kv_stores.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkv_stores-016585b0914e7c00.rmeta: crates/bench/benches/kv_stores.rs Cargo.toml
+
+crates/bench/benches/kv_stores.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

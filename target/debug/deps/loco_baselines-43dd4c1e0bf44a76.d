@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/loco_baselines-43dd4c1e0bf44a76.d: crates/baselines/src/lib.rs crates/baselines/src/calib.rs crates/baselines/src/cephfs.rs crates/baselines/src/fs_trait.rs crates/baselines/src/gluster.rs crates/baselines/src/indexfs.rs crates/baselines/src/lease.rs crates/baselines/src/loco_adapter.rs crates/baselines/src/lustre.rs crates/baselines/src/mds.rs crates/baselines/src/model_util.rs crates/baselines/src/rawkv.rs Cargo.toml
+
+/root/repo/target/debug/deps/libloco_baselines-43dd4c1e0bf44a76.rmeta: crates/baselines/src/lib.rs crates/baselines/src/calib.rs crates/baselines/src/cephfs.rs crates/baselines/src/fs_trait.rs crates/baselines/src/gluster.rs crates/baselines/src/indexfs.rs crates/baselines/src/lease.rs crates/baselines/src/loco_adapter.rs crates/baselines/src/lustre.rs crates/baselines/src/mds.rs crates/baselines/src/model_util.rs crates/baselines/src/rawkv.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/calib.rs:
+crates/baselines/src/cephfs.rs:
+crates/baselines/src/fs_trait.rs:
+crates/baselines/src/gluster.rs:
+crates/baselines/src/indexfs.rs:
+crates/baselines/src/lease.rs:
+crates/baselines/src/loco_adapter.rs:
+crates/baselines/src/lustre.rs:
+crates/baselines/src/mds.rs:
+crates/baselines/src/model_util.rs:
+crates/baselines/src/rawkv.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

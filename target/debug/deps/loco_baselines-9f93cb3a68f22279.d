@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/loco_baselines-9f93cb3a68f22279.d: crates/baselines/src/lib.rs crates/baselines/src/calib.rs crates/baselines/src/cephfs.rs crates/baselines/src/fs_trait.rs crates/baselines/src/gluster.rs crates/baselines/src/indexfs.rs crates/baselines/src/lease.rs crates/baselines/src/loco_adapter.rs crates/baselines/src/lustre.rs crates/baselines/src/mds.rs crates/baselines/src/model_util.rs crates/baselines/src/rawkv.rs
+
+/root/repo/target/debug/deps/loco_baselines-9f93cb3a68f22279: crates/baselines/src/lib.rs crates/baselines/src/calib.rs crates/baselines/src/cephfs.rs crates/baselines/src/fs_trait.rs crates/baselines/src/gluster.rs crates/baselines/src/indexfs.rs crates/baselines/src/lease.rs crates/baselines/src/loco_adapter.rs crates/baselines/src/lustre.rs crates/baselines/src/mds.rs crates/baselines/src/model_util.rs crates/baselines/src/rawkv.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/calib.rs:
+crates/baselines/src/cephfs.rs:
+crates/baselines/src/fs_trait.rs:
+crates/baselines/src/gluster.rs:
+crates/baselines/src/indexfs.rs:
+crates/baselines/src/lease.rs:
+crates/baselines/src/loco_adapter.rs:
+crates/baselines/src/lustre.rs:
+crates/baselines/src/mds.rs:
+crates/baselines/src/model_util.rs:
+crates/baselines/src/rawkv.rs:

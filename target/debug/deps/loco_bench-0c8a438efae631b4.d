@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/loco_bench-0c8a438efae631b4.d: crates/bench/src/lib.rs crates/bench/src/micro.rs Cargo.toml
+
+/root/repo/target/debug/deps/libloco_bench-0c8a438efae631b4.rmeta: crates/bench/src/lib.rs crates/bench/src/micro.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/micro.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

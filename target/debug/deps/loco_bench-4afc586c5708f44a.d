@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/loco_bench-4afc586c5708f44a.d: crates/bench/src/lib.rs crates/bench/src/micro.rs
+
+/root/repo/target/debug/deps/libloco_bench-4afc586c5708f44a.rlib: crates/bench/src/lib.rs crates/bench/src/micro.rs
+
+/root/repo/target/debug/deps/libloco_bench-4afc586c5708f44a.rmeta: crates/bench/src/lib.rs crates/bench/src/micro.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/micro.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/loco_bench-7a93e0626d1f7c6f.d: crates/bench/src/lib.rs crates/bench/src/micro.rs Cargo.toml
+
+/root/repo/target/debug/deps/libloco_bench-7a93e0626d1f7c6f.rmeta: crates/bench/src/lib.rs crates/bench/src/micro.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/micro.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

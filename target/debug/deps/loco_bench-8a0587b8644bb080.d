@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/loco_bench-8a0587b8644bb080.d: crates/bench/src/lib.rs crates/bench/src/micro.rs
+
+/root/repo/target/debug/deps/loco_bench-8a0587b8644bb080: crates/bench/src/lib.rs crates/bench/src/micro.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/micro.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/loco_client-3cc872a51d1c155b.d: crates/client/src/lib.rs crates/client/src/cache.rs crates/client/src/client.rs crates/client/src/fsck.rs crates/client/src/metrics.rs
+
+/root/repo/target/debug/deps/libloco_client-3cc872a51d1c155b.rlib: crates/client/src/lib.rs crates/client/src/cache.rs crates/client/src/client.rs crates/client/src/fsck.rs crates/client/src/metrics.rs
+
+/root/repo/target/debug/deps/libloco_client-3cc872a51d1c155b.rmeta: crates/client/src/lib.rs crates/client/src/cache.rs crates/client/src/client.rs crates/client/src/fsck.rs crates/client/src/metrics.rs
+
+crates/client/src/lib.rs:
+crates/client/src/cache.rs:
+crates/client/src/client.rs:
+crates/client/src/fsck.rs:
+crates/client/src/metrics.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/loco_client-6882808f1f44fe0a.d: crates/client/src/lib.rs crates/client/src/cache.rs crates/client/src/client.rs crates/client/src/fsck.rs crates/client/src/metrics.rs
+
+/root/repo/target/debug/deps/loco_client-6882808f1f44fe0a: crates/client/src/lib.rs crates/client/src/cache.rs crates/client/src/client.rs crates/client/src/fsck.rs crates/client/src/metrics.rs
+
+crates/client/src/lib.rs:
+crates/client/src/cache.rs:
+crates/client/src/client.rs:
+crates/client/src/fsck.rs:
+crates/client/src/metrics.rs:

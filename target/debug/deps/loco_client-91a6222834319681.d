@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/loco_client-91a6222834319681.d: crates/client/src/lib.rs crates/client/src/cache.rs crates/client/src/client.rs crates/client/src/fsck.rs crates/client/src/metrics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libloco_client-91a6222834319681.rmeta: crates/client/src/lib.rs crates/client/src/cache.rs crates/client/src/client.rs crates/client/src/fsck.rs crates/client/src/metrics.rs Cargo.toml
+
+crates/client/src/lib.rs:
+crates/client/src/cache.rs:
+crates/client/src/client.rs:
+crates/client/src/fsck.rs:
+crates/client/src/metrics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/loco_dms-3f77874948b21af1.d: crates/dms/src/lib.rs crates/dms/src/replica.rs Cargo.toml
+
+/root/repo/target/debug/deps/libloco_dms-3f77874948b21af1.rmeta: crates/dms/src/lib.rs crates/dms/src/replica.rs Cargo.toml
+
+crates/dms/src/lib.rs:
+crates/dms/src/replica.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/loco_dms-5349811a7d02e4cb.d: crates/dms/src/lib.rs crates/dms/src/replica.rs
+
+/root/repo/target/debug/deps/libloco_dms-5349811a7d02e4cb.rlib: crates/dms/src/lib.rs crates/dms/src/replica.rs
+
+/root/repo/target/debug/deps/libloco_dms-5349811a7d02e4cb.rmeta: crates/dms/src/lib.rs crates/dms/src/replica.rs
+
+crates/dms/src/lib.rs:
+crates/dms/src/replica.rs:

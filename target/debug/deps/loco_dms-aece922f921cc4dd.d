@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/loco_dms-aece922f921cc4dd.d: crates/dms/src/lib.rs crates/dms/src/replica.rs Cargo.toml
+
+/root/repo/target/debug/deps/libloco_dms-aece922f921cc4dd.rmeta: crates/dms/src/lib.rs crates/dms/src/replica.rs Cargo.toml
+
+crates/dms/src/lib.rs:
+crates/dms/src/replica.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

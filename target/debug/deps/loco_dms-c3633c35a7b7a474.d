@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/loco_dms-c3633c35a7b7a474.d: crates/dms/src/lib.rs crates/dms/src/replica.rs
+
+/root/repo/target/debug/deps/loco_dms-c3633c35a7b7a474: crates/dms/src/lib.rs crates/dms/src/replica.rs
+
+crates/dms/src/lib.rs:
+crates/dms/src/replica.rs:

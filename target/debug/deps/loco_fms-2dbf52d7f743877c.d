@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/loco_fms-2dbf52d7f743877c.d: crates/fms/src/lib.rs
+
+/root/repo/target/debug/deps/loco_fms-2dbf52d7f743877c: crates/fms/src/lib.rs
+
+crates/fms/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/loco_fms-ad825c1fb62df001.d: crates/fms/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libloco_fms-ad825c1fb62df001.rmeta: crates/fms/src/lib.rs Cargo.toml
+
+crates/fms/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/loco_fms-e559e525951895eb.d: crates/fms/src/lib.rs
+
+/root/repo/target/debug/deps/libloco_fms-e559e525951895eb.rlib: crates/fms/src/lib.rs
+
+/root/repo/target/debug/deps/libloco_fms-e559e525951895eb.rmeta: crates/fms/src/lib.rs
+
+crates/fms/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/loco_kv-53ac04e19689b59c.d: crates/kv/src/lib.rs crates/kv/src/bloom.rs crates/kv/src/btree.rs crates/kv/src/durable.rs crates/kv/src/hashdb.rs crates/kv/src/lsm.rs crates/kv/src/snapshot.rs
+
+/root/repo/target/debug/deps/loco_kv-53ac04e19689b59c: crates/kv/src/lib.rs crates/kv/src/bloom.rs crates/kv/src/btree.rs crates/kv/src/durable.rs crates/kv/src/hashdb.rs crates/kv/src/lsm.rs crates/kv/src/snapshot.rs
+
+crates/kv/src/lib.rs:
+crates/kv/src/bloom.rs:
+crates/kv/src/btree.rs:
+crates/kv/src/durable.rs:
+crates/kv/src/hashdb.rs:
+crates/kv/src/lsm.rs:
+crates/kv/src/snapshot.rs:

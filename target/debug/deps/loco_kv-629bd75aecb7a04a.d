@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/loco_kv-629bd75aecb7a04a.d: crates/kv/src/lib.rs crates/kv/src/bloom.rs crates/kv/src/btree.rs crates/kv/src/durable.rs crates/kv/src/hashdb.rs crates/kv/src/lsm.rs crates/kv/src/snapshot.rs Cargo.toml
+
+/root/repo/target/debug/deps/libloco_kv-629bd75aecb7a04a.rmeta: crates/kv/src/lib.rs crates/kv/src/bloom.rs crates/kv/src/btree.rs crates/kv/src/durable.rs crates/kv/src/hashdb.rs crates/kv/src/lsm.rs crates/kv/src/snapshot.rs Cargo.toml
+
+crates/kv/src/lib.rs:
+crates/kv/src/bloom.rs:
+crates/kv/src/btree.rs:
+crates/kv/src/durable.rs:
+crates/kv/src/hashdb.rs:
+crates/kv/src/lsm.rs:
+crates/kv/src/snapshot.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/loco_kv-f257556b979e5ac7.d: crates/kv/src/lib.rs crates/kv/src/bloom.rs crates/kv/src/btree.rs crates/kv/src/durable.rs crates/kv/src/hashdb.rs crates/kv/src/lsm.rs crates/kv/src/snapshot.rs
+
+/root/repo/target/debug/deps/libloco_kv-f257556b979e5ac7.rlib: crates/kv/src/lib.rs crates/kv/src/bloom.rs crates/kv/src/btree.rs crates/kv/src/durable.rs crates/kv/src/hashdb.rs crates/kv/src/lsm.rs crates/kv/src/snapshot.rs
+
+/root/repo/target/debug/deps/libloco_kv-f257556b979e5ac7.rmeta: crates/kv/src/lib.rs crates/kv/src/bloom.rs crates/kv/src/btree.rs crates/kv/src/durable.rs crates/kv/src/hashdb.rs crates/kv/src/lsm.rs crates/kv/src/snapshot.rs
+
+crates/kv/src/lib.rs:
+crates/kv/src/bloom.rs:
+crates/kv/src/btree.rs:
+crates/kv/src/durable.rs:
+crates/kv/src/hashdb.rs:
+crates/kv/src/lsm.rs:
+crates/kv/src/snapshot.rs:

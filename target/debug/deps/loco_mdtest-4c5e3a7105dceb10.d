@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/loco_mdtest-4c5e3a7105dceb10.d: crates/mdtest/src/lib.rs crates/mdtest/src/ops.rs crates/mdtest/src/runner.rs crates/mdtest/src/sweep.rs crates/mdtest/src/trace.rs
+
+/root/repo/target/debug/deps/loco_mdtest-4c5e3a7105dceb10: crates/mdtest/src/lib.rs crates/mdtest/src/ops.rs crates/mdtest/src/runner.rs crates/mdtest/src/sweep.rs crates/mdtest/src/trace.rs
+
+crates/mdtest/src/lib.rs:
+crates/mdtest/src/ops.rs:
+crates/mdtest/src/runner.rs:
+crates/mdtest/src/sweep.rs:
+crates/mdtest/src/trace.rs:

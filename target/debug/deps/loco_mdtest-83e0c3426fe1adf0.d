@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/loco_mdtest-83e0c3426fe1adf0.d: crates/mdtest/src/lib.rs crates/mdtest/src/ops.rs crates/mdtest/src/runner.rs crates/mdtest/src/sweep.rs crates/mdtest/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libloco_mdtest-83e0c3426fe1adf0.rmeta: crates/mdtest/src/lib.rs crates/mdtest/src/ops.rs crates/mdtest/src/runner.rs crates/mdtest/src/sweep.rs crates/mdtest/src/trace.rs Cargo.toml
+
+crates/mdtest/src/lib.rs:
+crates/mdtest/src/ops.rs:
+crates/mdtest/src/runner.rs:
+crates/mdtest/src/sweep.rs:
+crates/mdtest/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/loco_mdtest-aebfea7db9082616.d: crates/mdtest/src/lib.rs crates/mdtest/src/ops.rs crates/mdtest/src/runner.rs crates/mdtest/src/sweep.rs crates/mdtest/src/trace.rs
+
+/root/repo/target/debug/deps/libloco_mdtest-aebfea7db9082616.rlib: crates/mdtest/src/lib.rs crates/mdtest/src/ops.rs crates/mdtest/src/runner.rs crates/mdtest/src/sweep.rs crates/mdtest/src/trace.rs
+
+/root/repo/target/debug/deps/libloco_mdtest-aebfea7db9082616.rmeta: crates/mdtest/src/lib.rs crates/mdtest/src/ops.rs crates/mdtest/src/runner.rs crates/mdtest/src/sweep.rs crates/mdtest/src/trace.rs
+
+crates/mdtest/src/lib.rs:
+crates/mdtest/src/ops.rs:
+crates/mdtest/src/runner.rs:
+crates/mdtest/src/sweep.rs:
+crates/mdtest/src/trace.rs:

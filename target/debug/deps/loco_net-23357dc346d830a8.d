@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/loco_net-23357dc346d830a8.d: crates/net/src/lib.rs crates/net/src/endpoint.rs crates/net/src/metrics.rs crates/net/src/threaded.rs crates/net/src/trace_export.rs Cargo.toml
+
+/root/repo/target/debug/deps/libloco_net-23357dc346d830a8.rmeta: crates/net/src/lib.rs crates/net/src/endpoint.rs crates/net/src/metrics.rs crates/net/src/threaded.rs crates/net/src/trace_export.rs Cargo.toml
+
+crates/net/src/lib.rs:
+crates/net/src/endpoint.rs:
+crates/net/src/metrics.rs:
+crates/net/src/threaded.rs:
+crates/net/src/trace_export.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/loco_net-391e232e31892e74.d: crates/net/src/lib.rs crates/net/src/endpoint.rs crates/net/src/metrics.rs crates/net/src/threaded.rs crates/net/src/trace_export.rs
+
+/root/repo/target/debug/deps/libloco_net-391e232e31892e74.rlib: crates/net/src/lib.rs crates/net/src/endpoint.rs crates/net/src/metrics.rs crates/net/src/threaded.rs crates/net/src/trace_export.rs
+
+/root/repo/target/debug/deps/libloco_net-391e232e31892e74.rmeta: crates/net/src/lib.rs crates/net/src/endpoint.rs crates/net/src/metrics.rs crates/net/src/threaded.rs crates/net/src/trace_export.rs
+
+crates/net/src/lib.rs:
+crates/net/src/endpoint.rs:
+crates/net/src/metrics.rs:
+crates/net/src/threaded.rs:
+crates/net/src/trace_export.rs:

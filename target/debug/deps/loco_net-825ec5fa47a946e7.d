@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/loco_net-825ec5fa47a946e7.d: crates/net/src/lib.rs crates/net/src/endpoint.rs crates/net/src/metrics.rs crates/net/src/threaded.rs crates/net/src/trace_export.rs
+
+/root/repo/target/debug/deps/loco_net-825ec5fa47a946e7: crates/net/src/lib.rs crates/net/src/endpoint.rs crates/net/src/metrics.rs crates/net/src/threaded.rs crates/net/src/trace_export.rs
+
+crates/net/src/lib.rs:
+crates/net/src/endpoint.rs:
+crates/net/src/metrics.rs:
+crates/net/src/threaded.rs:
+crates/net/src/trace_export.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/loco_obs-11da09de6d43a2c7.d: crates/obs/src/lib.rs crates/obs/src/hist.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/trace_event.rs
+
+/root/repo/target/debug/deps/libloco_obs-11da09de6d43a2c7.rlib: crates/obs/src/lib.rs crates/obs/src/hist.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/trace_event.rs
+
+/root/repo/target/debug/deps/libloco_obs-11da09de6d43a2c7.rmeta: crates/obs/src/lib.rs crates/obs/src/hist.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/trace_event.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/hist.rs:
+crates/obs/src/json.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/trace_event.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/loco_obs-9741909dbe3d83d4.d: crates/obs/src/lib.rs crates/obs/src/hist.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/trace_event.rs
+
+/root/repo/target/debug/deps/loco_obs-9741909dbe3d83d4: crates/obs/src/lib.rs crates/obs/src/hist.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/trace_event.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/hist.rs:
+crates/obs/src/json.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/trace_event.rs:

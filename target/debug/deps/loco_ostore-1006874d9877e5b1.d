@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/loco_ostore-1006874d9877e5b1.d: crates/ostore/src/lib.rs
+
+/root/repo/target/debug/deps/loco_ostore-1006874d9877e5b1: crates/ostore/src/lib.rs
+
+crates/ostore/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/loco_ostore-55915d6a392e4663.d: crates/ostore/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libloco_ostore-55915d6a392e4663.rmeta: crates/ostore/src/lib.rs Cargo.toml
+
+crates/ostore/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/loco_ostore-74758a9d03b5a531.d: crates/ostore/src/lib.rs
+
+/root/repo/target/debug/deps/libloco_ostore-74758a9d03b5a531.rlib: crates/ostore/src/lib.rs
+
+/root/repo/target/debug/deps/libloco_ostore-74758a9d03b5a531.rmeta: crates/ostore/src/lib.rs
+
+crates/ostore/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/loco_posix-51ff7b79bb9accfa.d: crates/posix/src/lib.rs
+
+/root/repo/target/debug/deps/loco_posix-51ff7b79bb9accfa: crates/posix/src/lib.rs
+
+crates/posix/src/lib.rs:

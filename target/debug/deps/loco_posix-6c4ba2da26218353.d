@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/loco_posix-6c4ba2da26218353.d: crates/posix/src/lib.rs
+
+/root/repo/target/debug/deps/libloco_posix-6c4ba2da26218353.rlib: crates/posix/src/lib.rs
+
+/root/repo/target/debug/deps/libloco_posix-6c4ba2da26218353.rmeta: crates/posix/src/lib.rs
+
+crates/posix/src/lib.rs:

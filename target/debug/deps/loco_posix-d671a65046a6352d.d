@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/loco_posix-d671a65046a6352d.d: crates/posix/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libloco_posix-d671a65046a6352d.rmeta: crates/posix/src/lib.rs Cargo.toml
+
+crates/posix/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/loco_posix-e4ad2d389d82b0c4.d: crates/posix/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libloco_posix-e4ad2d389d82b0c4.rmeta: crates/posix/src/lib.rs Cargo.toml
+
+crates/posix/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/loco_sim-5a6f9898a76731c9.d: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/des.rs crates/sim/src/device.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+/root/repo/target/debug/deps/loco_sim-5a6f9898a76731c9: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/des.rs crates/sim/src/device.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/cost.rs:
+crates/sim/src/des.rs:
+crates/sim/src/device.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/time.rs:

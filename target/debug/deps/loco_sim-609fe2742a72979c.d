@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/loco_sim-609fe2742a72979c.d: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/des.rs crates/sim/src/device.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+/root/repo/target/debug/deps/libloco_sim-609fe2742a72979c.rlib: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/des.rs crates/sim/src/device.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+/root/repo/target/debug/deps/libloco_sim-609fe2742a72979c.rmeta: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/des.rs crates/sim/src/device.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/cost.rs:
+crates/sim/src/des.rs:
+crates/sim/src/device.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/time.rs:

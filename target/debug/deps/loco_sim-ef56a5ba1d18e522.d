@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/loco_sim-ef56a5ba1d18e522.d: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/des.rs crates/sim/src/device.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libloco_sim-ef56a5ba1d18e522.rmeta: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/des.rs crates/sim/src/device.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/cost.rs:
+crates/sim/src/des.rs:
+crates/sim/src/device.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/loco_types-43cbf9e8a02cf802.d: crates/types/src/lib.rs crates/types/src/acl.rs crates/types/src/dirent.rs crates/types/src/error.rs crates/types/src/id.rs crates/types/src/meta.rs crates/types/src/op_matrix.rs crates/types/src/path.rs crates/types/src/ring.rs
+
+/root/repo/target/debug/deps/libloco_types-43cbf9e8a02cf802.rlib: crates/types/src/lib.rs crates/types/src/acl.rs crates/types/src/dirent.rs crates/types/src/error.rs crates/types/src/id.rs crates/types/src/meta.rs crates/types/src/op_matrix.rs crates/types/src/path.rs crates/types/src/ring.rs
+
+/root/repo/target/debug/deps/libloco_types-43cbf9e8a02cf802.rmeta: crates/types/src/lib.rs crates/types/src/acl.rs crates/types/src/dirent.rs crates/types/src/error.rs crates/types/src/id.rs crates/types/src/meta.rs crates/types/src/op_matrix.rs crates/types/src/path.rs crates/types/src/ring.rs
+
+crates/types/src/lib.rs:
+crates/types/src/acl.rs:
+crates/types/src/dirent.rs:
+crates/types/src/error.rs:
+crates/types/src/id.rs:
+crates/types/src/meta.rs:
+crates/types/src/op_matrix.rs:
+crates/types/src/path.rs:
+crates/types/src/ring.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/loco_types-8b2aed61f8024283.d: crates/types/src/lib.rs crates/types/src/acl.rs crates/types/src/dirent.rs crates/types/src/error.rs crates/types/src/id.rs crates/types/src/meta.rs crates/types/src/op_matrix.rs crates/types/src/path.rs crates/types/src/ring.rs
+
+/root/repo/target/debug/deps/loco_types-8b2aed61f8024283: crates/types/src/lib.rs crates/types/src/acl.rs crates/types/src/dirent.rs crates/types/src/error.rs crates/types/src/id.rs crates/types/src/meta.rs crates/types/src/op_matrix.rs crates/types/src/path.rs crates/types/src/ring.rs
+
+crates/types/src/lib.rs:
+crates/types/src/acl.rs:
+crates/types/src/dirent.rs:
+crates/types/src/error.rs:
+crates/types/src/id.rs:
+crates/types/src/meta.rs:
+crates/types/src/op_matrix.rs:
+crates/types/src/path.rs:
+crates/types/src/ring.rs:

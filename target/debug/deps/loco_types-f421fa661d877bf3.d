@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/loco_types-f421fa661d877bf3.d: crates/types/src/lib.rs crates/types/src/acl.rs crates/types/src/dirent.rs crates/types/src/error.rs crates/types/src/id.rs crates/types/src/meta.rs crates/types/src/op_matrix.rs crates/types/src/path.rs crates/types/src/ring.rs Cargo.toml
+
+/root/repo/target/debug/deps/libloco_types-f421fa661d877bf3.rmeta: crates/types/src/lib.rs crates/types/src/acl.rs crates/types/src/dirent.rs crates/types/src/error.rs crates/types/src/id.rs crates/types/src/meta.rs crates/types/src/op_matrix.rs crates/types/src/path.rs crates/types/src/ring.rs Cargo.toml
+
+crates/types/src/lib.rs:
+crates/types/src/acl.rs:
+crates/types/src/dirent.rs:
+crates/types/src/error.rs:
+crates/types/src/id.rs:
+crates/types/src/meta.rs:
+crates/types/src/op_matrix.rs:
+crates/types/src/path.rs:
+crates/types/src/ring.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/locofs-3b0ba1e7be77122a.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblocofs-3b0ba1e7be77122a.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/locofs-7bde13794115e75e.d: src/lib.rs
+
+/root/repo/target/debug/deps/liblocofs-7bde13794115e75e.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/liblocofs-7bde13794115e75e.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/locofs-990c57a342ed9a04.d: src/lib.rs
+
+/root/repo/target/debug/deps/locofs-990c57a342ed9a04: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/observability-87a9fa7723d89929.d: tests/observability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libobservability-87a9fa7723d89929.rmeta: tests/observability.rs Cargo.toml
+
+tests/observability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

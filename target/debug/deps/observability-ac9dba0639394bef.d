@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/observability-ac9dba0639394bef.d: tests/observability.rs
+
+/root/repo/target/debug/deps/observability-ac9dba0639394bef: tests/observability.rs
+
+tests/observability.rs:

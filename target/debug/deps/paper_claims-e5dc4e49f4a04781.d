@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-e5dc4e49f4a04781.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-e5dc4e49f4a04781: tests/paper_claims.rs
+
+tests/paper_claims.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/posix_fd_model-28c81c2e3be4781a.d: tests/posix_fd_model.rs
+
+/root/repo/target/debug/deps/posix_fd_model-28c81c2e3be4781a: tests/posix_fd_model.rs
+
+tests/posix_fd_model.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/posix_fd_model-f0a51555601b4098.d: tests/posix_fd_model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libposix_fd_model-f0a51555601b4098.rmeta: tests/posix_fd_model.rs Cargo.toml
+
+tests/posix_fd_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

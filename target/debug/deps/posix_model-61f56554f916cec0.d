@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/posix_model-61f56554f916cec0.d: tests/posix_model.rs
+
+/root/repo/target/debug/deps/posix_model-61f56554f916cec0: tests/posix_model.rs
+
+tests/posix_model.rs:

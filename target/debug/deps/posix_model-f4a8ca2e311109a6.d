@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/posix_model-f4a8ca2e311109a6.d: tests/posix_model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libposix_model-f4a8ca2e311109a6.rmeta: tests/posix_model.rs Cargo.toml
+
+tests/posix_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rename_range-0c5f79d142a47e4d.d: crates/bench/benches/rename_range.rs Cargo.toml
+
+/root/repo/target/debug/deps/librename_range-0c5f79d142a47e4d.rmeta: crates/bench/benches/rename_range.rs Cargo.toml
+
+crates/bench/benches/rename_range.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

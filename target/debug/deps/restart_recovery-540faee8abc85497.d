@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/restart_recovery-540faee8abc85497.d: tests/restart_recovery.rs
+
+/root/repo/target/debug/deps/restart_recovery-540faee8abc85497: tests/restart_recovery.rs
+
+tests/restart_recovery.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/restart_recovery-5764ea74e147f1f2.d: tests/restart_recovery.rs Cargo.toml
+
+/root/repo/target/debug/deps/librestart_recovery-5764ea74e147f1f2.rmeta: tests/restart_recovery.rs Cargo.toml
+
+tests/restart_recovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

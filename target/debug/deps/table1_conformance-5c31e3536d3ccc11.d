@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_conformance-5c31e3536d3ccc11.d: tests/table1_conformance.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_conformance-5c31e3536d3ccc11.rmeta: tests/table1_conformance.rs Cargo.toml
+
+tests/table1_conformance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_conformance-9defb69a2d50c72a.d: tests/table1_conformance.rs
+
+/root/repo/target/debug/deps/table1_conformance-9defb69a2d50c72a: tests/table1_conformance.rs
+
+tests/table1_conformance.rs:

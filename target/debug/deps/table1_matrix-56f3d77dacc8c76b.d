@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_matrix-56f3d77dacc8c76b.d: crates/bench/src/bin/table1_matrix.rs
+
+/root/repo/target/debug/deps/table1_matrix-56f3d77dacc8c76b: crates/bench/src/bin/table1_matrix.rs
+
+crates/bench/src/bin/table1_matrix.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_matrix-7b20816959469a25.d: crates/bench/src/bin/table1_matrix.rs
+
+/root/repo/target/debug/deps/table1_matrix-7b20816959469a25: crates/bench/src/bin/table1_matrix.rs
+
+crates/bench/src/bin/table1_matrix.rs:

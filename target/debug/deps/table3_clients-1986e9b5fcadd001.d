@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_clients-1986e9b5fcadd001.d: crates/bench/src/bin/table3_clients.rs
+
+/root/repo/target/debug/deps/table3_clients-1986e9b5fcadd001: crates/bench/src/bin/table3_clients.rs
+
+crates/bench/src/bin/table3_clients.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_clients-329c8525bf6c033c.d: crates/bench/src/bin/table3_clients.rs
+
+/root/repo/target/debug/deps/table3_clients-329c8525bf6c033c: crates/bench/src/bin/table3_clients.rs
+
+crates/bench/src/bin/table3_clients.rs:

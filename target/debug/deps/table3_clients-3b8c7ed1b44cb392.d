@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3_clients-3b8c7ed1b44cb392.d: crates/bench/src/bin/table3_clients.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3_clients-3b8c7ed1b44cb392.rmeta: crates/bench/src/bin/table3_clients.rs Cargo.toml
+
+crates/bench/src/bin/table3_clients.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

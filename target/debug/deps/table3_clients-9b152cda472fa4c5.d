@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3_clients-9b152cda472fa4c5.d: crates/bench/src/bin/table3_clients.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3_clients-9b152cda472fa4c5.rmeta: crates/bench/src/bin/table3_clients.rs Cargo.toml
+
+crates/bench/src/bin/table3_clients.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/threaded_cluster-1b0e542b24dc1bb3.d: tests/threaded_cluster.rs Cargo.toml
+
+/root/repo/target/debug/deps/libthreaded_cluster-1b0e542b24dc1bb3.rmeta: tests/threaded_cluster.rs Cargo.toml
+
+tests/threaded_cluster.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

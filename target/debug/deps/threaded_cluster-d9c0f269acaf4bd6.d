@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/threaded_cluster-d9c0f269acaf4bd6.d: tests/threaded_cluster.rs
+
+/root/repo/target/debug/deps/threaded_cluster-d9c0f269acaf4bd6: tests/threaded_cluster.rs
+
+tests/threaded_cluster.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fsck_demo-0d3e3d5f61b3f0e0.d: examples/fsck_demo.rs
+
+/root/repo/target/debug/examples/fsck_demo-0d3e3d5f61b3f0e0: examples/fsck_demo.rs
+
+examples/fsck_demo.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/fsck_demo-dbd21d62541f6b85.d: examples/fsck_demo.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfsck_demo-dbd21d62541f6b85.rmeta: examples/fsck_demo.rs Cargo.toml
+
+examples/fsck_demo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

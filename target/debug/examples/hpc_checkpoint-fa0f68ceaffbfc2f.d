@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/hpc_checkpoint-fa0f68ceaffbfc2f.d: examples/hpc_checkpoint.rs Cargo.toml
+
+/root/repo/target/debug/examples/libhpc_checkpoint-fa0f68ceaffbfc2f.rmeta: examples/hpc_checkpoint.rs Cargo.toml
+
+examples/hpc_checkpoint.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

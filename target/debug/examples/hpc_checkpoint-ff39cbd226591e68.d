@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hpc_checkpoint-ff39cbd226591e68.d: examples/hpc_checkpoint.rs
+
+/root/repo/target/debug/examples/hpc_checkpoint-ff39cbd226591e68: examples/hpc_checkpoint.rs
+
+examples/hpc_checkpoint.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/metadata_bench-c2f6bd4847c45617.d: examples/metadata_bench.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmetadata_bench-c2f6bd4847c45617.rmeta: examples/metadata_bench.rs Cargo.toml
+
+examples/metadata_bench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/metadata_bench-f7a6ee1f877a7982.d: examples/metadata_bench.rs
+
+/root/repo/target/debug/examples/metadata_bench-f7a6ee1f877a7982: examples/metadata_bench.rs
+
+examples/metadata_bench.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/posix_app-2019d7112cb5137c.d: examples/posix_app.rs Cargo.toml
+
+/root/repo/target/debug/examples/libposix_app-2019d7112cb5137c.rmeta: examples/posix_app.rs Cargo.toml
+
+examples/posix_app.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/posix_app-83464dceff07aa1c.d: examples/posix_app.rs
+
+/root/repo/target/debug/examples/posix_app-83464dceff07aa1c: examples/posix_app.rs
+
+examples/posix_app.rs:

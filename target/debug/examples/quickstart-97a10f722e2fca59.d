@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-97a10f722e2fca59.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-97a10f722e2fca59: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/shell-aaae7fe38e7dfe84.d: examples/shell.rs
+
+/root/repo/target/debug/examples/shell-aaae7fe38e7dfe84: examples/shell.rs
+
+examples/shell.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/threaded_cluster-c91608689226acfb.d: examples/threaded_cluster.rs Cargo.toml
+
+/root/repo/target/debug/examples/libthreaded_cluster-c91608689226acfb.rmeta: examples/threaded_cluster.rs Cargo.toml
+
+examples/threaded_cluster.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/threaded_cluster-df1f33e6be484838.d: examples/threaded_cluster.rs
+
+/root/repo/target/debug/examples/threaded_cluster-df1f33e6be484838: examples/threaded_cluster.rs
+
+examples/threaded_cluster.rs:

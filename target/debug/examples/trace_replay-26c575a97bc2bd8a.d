@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/trace_replay-26c575a97bc2bd8a.d: examples/trace_replay.rs
+
+/root/repo/target/debug/examples/trace_replay-26c575a97bc2bd8a: examples/trace_replay.rs
+
+examples/trace_replay.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/trace_replay-44be38ad30521e4a.d: examples/trace_replay.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtrace_replay-44be38ad30521e4a.rmeta: examples/trace_replay.rs Cargo.toml
+
+examples/trace_replay.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_dms_replication-e0633b9b67f07851.d: crates/bench/src/bin/ablation_dms_replication.rs
+
+/root/repo/target/release/deps/ablation_dms_replication-e0633b9b67f07851: crates/bench/src/bin/ablation_dms_replication.rs
+
+crates/bench/src/bin/ablation_dms_replication.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_dms_shards-c6e486d84c131559.d: crates/bench/src/bin/ablation_dms_shards.rs
+
+/root/repo/target/release/deps/ablation_dms_shards-c6e486d84c131559: crates/bench/src/bin/ablation_dms_shards.rs
+
+crates/bench/src/bin/ablation_dms_shards.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_readdirplus-0e55b95e0b0bacd0.d: crates/bench/src/bin/ablation_readdirplus.rs
+
+/root/repo/target/release/deps/ablation_readdirplus-0e55b95e0b0bacd0: crates/bench/src/bin/ablation_readdirplus.rs
+
+crates/bench/src/bin/ablation_readdirplus.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_rename_mix-aea152c6917b0613.d: crates/bench/src/bin/ablation_rename_mix.rs
+
+/root/repo/target/release/deps/ablation_rename_mix-aea152c6917b0613: crates/bench/src/bin/ablation_rename_mix.rs
+
+crates/bench/src/bin/ablation_rename_mix.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig01_gap-448be39366fb7894.d: crates/bench/src/bin/fig01_gap.rs
+
+/root/repo/target/release/deps/fig01_gap-448be39366fb7894: crates/bench/src/bin/fig01_gap.rs
+
+crates/bench/src/bin/fig01_gap.rs:

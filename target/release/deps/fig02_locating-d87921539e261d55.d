@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig02_locating-d87921539e261d55.d: crates/bench/src/bin/fig02_locating.rs
+
+/root/repo/target/release/deps/fig02_locating-d87921539e261d55: crates/bench/src/bin/fig02_locating.rs
+
+crates/bench/src/bin/fig02_locating.rs:

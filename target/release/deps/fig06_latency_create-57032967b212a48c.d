@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig06_latency_create-57032967b212a48c.d: crates/bench/src/bin/fig06_latency_create.rs
+
+/root/repo/target/release/deps/fig06_latency_create-57032967b212a48c: crates/bench/src/bin/fig06_latency_create.rs
+
+crates/bench/src/bin/fig06_latency_create.rs:

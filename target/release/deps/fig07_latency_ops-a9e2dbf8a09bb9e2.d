@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig07_latency_ops-a9e2dbf8a09bb9e2.d: crates/bench/src/bin/fig07_latency_ops.rs
+
+/root/repo/target/release/deps/fig07_latency_ops-a9e2dbf8a09bb9e2: crates/bench/src/bin/fig07_latency_ops.rs
+
+crates/bench/src/bin/fig07_latency_ops.rs:

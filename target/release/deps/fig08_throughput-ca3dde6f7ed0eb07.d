@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig08_throughput-ca3dde6f7ed0eb07.d: crates/bench/src/bin/fig08_throughput.rs
+
+/root/repo/target/release/deps/fig08_throughput-ca3dde6f7ed0eb07: crates/bench/src/bin/fig08_throughput.rs
+
+crates/bench/src/bin/fig08_throughput.rs:

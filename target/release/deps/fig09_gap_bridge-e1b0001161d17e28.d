@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig09_gap_bridge-e1b0001161d17e28.d: crates/bench/src/bin/fig09_gap_bridge.rs
+
+/root/repo/target/release/deps/fig09_gap_bridge-e1b0001161d17e28: crates/bench/src/bin/fig09_gap_bridge.rs
+
+crates/bench/src/bin/fig09_gap_bridge.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_flattened-f12a13b1b09e5973.d: crates/bench/src/bin/fig10_flattened.rs
+
+/root/repo/target/release/deps/fig10_flattened-f12a13b1b09e5973: crates/bench/src/bin/fig10_flattened.rs
+
+crates/bench/src/bin/fig10_flattened.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_decoupled-278f64e110d184d7.d: crates/bench/src/bin/fig11_decoupled.rs
+
+/root/repo/target/release/deps/fig11_decoupled-278f64e110d184d7: crates/bench/src/bin/fig11_decoupled.rs
+
+crates/bench/src/bin/fig11_decoupled.rs:

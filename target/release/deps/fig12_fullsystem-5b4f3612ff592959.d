@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12_fullsystem-5b4f3612ff592959.d: crates/bench/src/bin/fig12_fullsystem.rs
+
+/root/repo/target/release/deps/fig12_fullsystem-5b4f3612ff592959: crates/bench/src/bin/fig12_fullsystem.rs
+
+crates/bench/src/bin/fig12_fullsystem.rs:

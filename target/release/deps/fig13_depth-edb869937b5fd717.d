@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13_depth-edb869937b5fd717.d: crates/bench/src/bin/fig13_depth.rs
+
+/root/repo/target/release/deps/fig13_depth-edb869937b5fd717: crates/bench/src/bin/fig13_depth.rs
+
+crates/bench/src/bin/fig13_depth.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14_rename-85b1ba21e0a0b7cd.d: crates/bench/src/bin/fig14_rename.rs
+
+/root/repo/target/release/deps/fig14_rename-85b1ba21e0a0b7cd: crates/bench/src/bin/fig14_rename.rs
+
+crates/bench/src/bin/fig14_rename.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hist_record-e32ef45e0e008a04.d: crates/bench/benches/hist_record.rs
+
+/root/repo/target/release/deps/hist_record-e32ef45e0e008a04: crates/bench/benches/hist_record.rs
+
+crates/bench/benches/hist_record.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/loco_bench-79b72ee265259a81.d: crates/bench/src/lib.rs crates/bench/src/micro.rs
+
+/root/repo/target/release/deps/libloco_bench-79b72ee265259a81.rlib: crates/bench/src/lib.rs crates/bench/src/micro.rs
+
+/root/repo/target/release/deps/libloco_bench-79b72ee265259a81.rmeta: crates/bench/src/lib.rs crates/bench/src/micro.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/micro.rs:

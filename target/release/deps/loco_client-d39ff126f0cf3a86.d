@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/loco_client-d39ff126f0cf3a86.d: crates/client/src/lib.rs crates/client/src/cache.rs crates/client/src/client.rs crates/client/src/fsck.rs crates/client/src/metrics.rs
+
+/root/repo/target/release/deps/libloco_client-d39ff126f0cf3a86.rlib: crates/client/src/lib.rs crates/client/src/cache.rs crates/client/src/client.rs crates/client/src/fsck.rs crates/client/src/metrics.rs
+
+/root/repo/target/release/deps/libloco_client-d39ff126f0cf3a86.rmeta: crates/client/src/lib.rs crates/client/src/cache.rs crates/client/src/client.rs crates/client/src/fsck.rs crates/client/src/metrics.rs
+
+crates/client/src/lib.rs:
+crates/client/src/cache.rs:
+crates/client/src/client.rs:
+crates/client/src/fsck.rs:
+crates/client/src/metrics.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/loco_dms-d0411e0e5d667cc5.d: crates/dms/src/lib.rs crates/dms/src/replica.rs
+
+/root/repo/target/release/deps/libloco_dms-d0411e0e5d667cc5.rlib: crates/dms/src/lib.rs crates/dms/src/replica.rs
+
+/root/repo/target/release/deps/libloco_dms-d0411e0e5d667cc5.rmeta: crates/dms/src/lib.rs crates/dms/src/replica.rs
+
+crates/dms/src/lib.rs:
+crates/dms/src/replica.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/loco_fms-1579c5c895366d8a.d: crates/fms/src/lib.rs
+
+/root/repo/target/release/deps/libloco_fms-1579c5c895366d8a.rlib: crates/fms/src/lib.rs
+
+/root/repo/target/release/deps/libloco_fms-1579c5c895366d8a.rmeta: crates/fms/src/lib.rs
+
+crates/fms/src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/loco_kv-b3fafac0e67cf820.d: crates/kv/src/lib.rs crates/kv/src/bloom.rs crates/kv/src/btree.rs crates/kv/src/durable.rs crates/kv/src/hashdb.rs crates/kv/src/lsm.rs crates/kv/src/snapshot.rs
+
+/root/repo/target/release/deps/libloco_kv-b3fafac0e67cf820.rlib: crates/kv/src/lib.rs crates/kv/src/bloom.rs crates/kv/src/btree.rs crates/kv/src/durable.rs crates/kv/src/hashdb.rs crates/kv/src/lsm.rs crates/kv/src/snapshot.rs
+
+/root/repo/target/release/deps/libloco_kv-b3fafac0e67cf820.rmeta: crates/kv/src/lib.rs crates/kv/src/bloom.rs crates/kv/src/btree.rs crates/kv/src/durable.rs crates/kv/src/hashdb.rs crates/kv/src/lsm.rs crates/kv/src/snapshot.rs
+
+crates/kv/src/lib.rs:
+crates/kv/src/bloom.rs:
+crates/kv/src/btree.rs:
+crates/kv/src/durable.rs:
+crates/kv/src/hashdb.rs:
+crates/kv/src/lsm.rs:
+crates/kv/src/snapshot.rs:

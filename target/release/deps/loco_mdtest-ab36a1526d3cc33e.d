@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/loco_mdtest-ab36a1526d3cc33e.d: crates/mdtest/src/lib.rs crates/mdtest/src/ops.rs crates/mdtest/src/runner.rs crates/mdtest/src/sweep.rs crates/mdtest/src/trace.rs
+
+/root/repo/target/release/deps/libloco_mdtest-ab36a1526d3cc33e.rlib: crates/mdtest/src/lib.rs crates/mdtest/src/ops.rs crates/mdtest/src/runner.rs crates/mdtest/src/sweep.rs crates/mdtest/src/trace.rs
+
+/root/repo/target/release/deps/libloco_mdtest-ab36a1526d3cc33e.rmeta: crates/mdtest/src/lib.rs crates/mdtest/src/ops.rs crates/mdtest/src/runner.rs crates/mdtest/src/sweep.rs crates/mdtest/src/trace.rs
+
+crates/mdtest/src/lib.rs:
+crates/mdtest/src/ops.rs:
+crates/mdtest/src/runner.rs:
+crates/mdtest/src/sweep.rs:
+crates/mdtest/src/trace.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/loco_net-d679b1422a927500.d: crates/net/src/lib.rs crates/net/src/endpoint.rs crates/net/src/metrics.rs crates/net/src/threaded.rs crates/net/src/trace_export.rs
+
+/root/repo/target/release/deps/libloco_net-d679b1422a927500.rlib: crates/net/src/lib.rs crates/net/src/endpoint.rs crates/net/src/metrics.rs crates/net/src/threaded.rs crates/net/src/trace_export.rs
+
+/root/repo/target/release/deps/libloco_net-d679b1422a927500.rmeta: crates/net/src/lib.rs crates/net/src/endpoint.rs crates/net/src/metrics.rs crates/net/src/threaded.rs crates/net/src/trace_export.rs
+
+crates/net/src/lib.rs:
+crates/net/src/endpoint.rs:
+crates/net/src/metrics.rs:
+crates/net/src/threaded.rs:
+crates/net/src/trace_export.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/loco_obs-8428a2a251cdc627.d: crates/obs/src/lib.rs crates/obs/src/hist.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/trace_event.rs
+
+/root/repo/target/release/deps/libloco_obs-8428a2a251cdc627.rlib: crates/obs/src/lib.rs crates/obs/src/hist.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/trace_event.rs
+
+/root/repo/target/release/deps/libloco_obs-8428a2a251cdc627.rmeta: crates/obs/src/lib.rs crates/obs/src/hist.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/trace_event.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/hist.rs:
+crates/obs/src/json.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/trace_event.rs:

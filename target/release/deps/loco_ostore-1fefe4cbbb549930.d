@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/loco_ostore-1fefe4cbbb549930.d: crates/ostore/src/lib.rs
+
+/root/repo/target/release/deps/libloco_ostore-1fefe4cbbb549930.rlib: crates/ostore/src/lib.rs
+
+/root/repo/target/release/deps/libloco_ostore-1fefe4cbbb549930.rmeta: crates/ostore/src/lib.rs
+
+crates/ostore/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/loco_posix-a820b1f8b0cc2b38.d: crates/posix/src/lib.rs
+
+/root/repo/target/release/deps/libloco_posix-a820b1f8b0cc2b38.rlib: crates/posix/src/lib.rs
+
+/root/repo/target/release/deps/libloco_posix-a820b1f8b0cc2b38.rmeta: crates/posix/src/lib.rs
+
+crates/posix/src/lib.rs:

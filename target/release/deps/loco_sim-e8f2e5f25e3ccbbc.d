@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/loco_sim-e8f2e5f25e3ccbbc.d: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/des.rs crates/sim/src/device.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+/root/repo/target/release/deps/libloco_sim-e8f2e5f25e3ccbbc.rlib: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/des.rs crates/sim/src/device.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+/root/repo/target/release/deps/libloco_sim-e8f2e5f25e3ccbbc.rmeta: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/des.rs crates/sim/src/device.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/cost.rs:
+crates/sim/src/des.rs:
+crates/sim/src/device.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/time.rs:

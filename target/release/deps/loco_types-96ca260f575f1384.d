@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/loco_types-96ca260f575f1384.d: crates/types/src/lib.rs crates/types/src/acl.rs crates/types/src/dirent.rs crates/types/src/error.rs crates/types/src/id.rs crates/types/src/meta.rs crates/types/src/op_matrix.rs crates/types/src/path.rs crates/types/src/ring.rs
+
+/root/repo/target/release/deps/libloco_types-96ca260f575f1384.rlib: crates/types/src/lib.rs crates/types/src/acl.rs crates/types/src/dirent.rs crates/types/src/error.rs crates/types/src/id.rs crates/types/src/meta.rs crates/types/src/op_matrix.rs crates/types/src/path.rs crates/types/src/ring.rs
+
+/root/repo/target/release/deps/libloco_types-96ca260f575f1384.rmeta: crates/types/src/lib.rs crates/types/src/acl.rs crates/types/src/dirent.rs crates/types/src/error.rs crates/types/src/id.rs crates/types/src/meta.rs crates/types/src/op_matrix.rs crates/types/src/path.rs crates/types/src/ring.rs
+
+crates/types/src/lib.rs:
+crates/types/src/acl.rs:
+crates/types/src/dirent.rs:
+crates/types/src/error.rs:
+crates/types/src/id.rs:
+crates/types/src/meta.rs:
+crates/types/src/op_matrix.rs:
+crates/types/src/path.rs:
+crates/types/src/ring.rs:

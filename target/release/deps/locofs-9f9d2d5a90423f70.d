@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/locofs-9f9d2d5a90423f70.d: src/lib.rs
+
+/root/repo/target/release/deps/liblocofs-9f9d2d5a90423f70.rlib: src/lib.rs
+
+/root/repo/target/release/deps/liblocofs-9f9d2d5a90423f70.rmeta: src/lib.rs
+
+src/lib.rs:

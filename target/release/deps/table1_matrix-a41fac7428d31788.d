@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_matrix-a41fac7428d31788.d: crates/bench/src/bin/table1_matrix.rs
+
+/root/repo/target/release/deps/table1_matrix-a41fac7428d31788: crates/bench/src/bin/table1_matrix.rs
+
+crates/bench/src/bin/table1_matrix.rs:

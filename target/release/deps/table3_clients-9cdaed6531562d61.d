@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3_clients-9cdaed6531562d61.d: crates/bench/src/bin/table3_clients.rs
+
+/root/repo/target/release/deps/table3_clients-9cdaed6531562d61: crates/bench/src/bin/table3_clients.rs
+
+crates/bench/src/bin/table3_clients.rs:

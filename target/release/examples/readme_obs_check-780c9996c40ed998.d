@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/readme_obs_check-780c9996c40ed998.d: examples/readme_obs_check.rs
+
+/root/repo/target/release/examples/readme_obs_check-780c9996c40ed998: examples/readme_obs_check.rs
+
+examples/readme_obs_check.rs:

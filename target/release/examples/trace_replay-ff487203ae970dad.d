@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/trace_replay-ff487203ae970dad.d: examples/trace_replay.rs
+
+/root/repo/target/release/examples/trace_replay-ff487203ae970dad: examples/trace_replay.rs
+
+examples/trace_replay.rs:

@@ -32,7 +32,10 @@ fn stale_lease_creates_land_in_renamed_directory() {
 
     // Once a's lease expires, the old path is gone for a as well.
     a.advance_clock(31 * SECS);
-    assert_eq!(a.create("/proj/after-lease", 0o644).err(), Some(FsError::NotFound));
+    assert_eq!(
+        a.create("/proj/after-lease", 0o644).err(),
+        Some(FsError::NotFound)
+    );
     assert!(a.stat_file("/proj-v2/during-lease").is_ok());
 }
 

@@ -11,7 +11,8 @@ struct Scratch(PathBuf);
 
 impl Scratch {
     fn new(tag: &str) -> Self {
-        let dir = std::env::temp_dir().join(format!("loco-durable-dms-{}-{tag}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("loco-durable-dms-{}-{tag}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         Scratch(dir)
     }
@@ -83,12 +84,8 @@ fn uuid_continuity_across_restarts_via_namespace() {
         mkdir(&mut dms, "/a");
         dms.snapshot()
     };
-    let mut restored = DirServer::restore(
-        locofs::dms::DmsBackend::BTree,
-        KvConfig::default(),
-        &image,
-    )
-    .unwrap();
+    let mut restored =
+        DirServer::restore(locofs::dms::DmsBackend::BTree, KvConfig::default(), &image).unwrap();
     let before = restored.lookup("/a").unwrap().uuid;
     mkdir(&mut restored, "/b");
     let after = restored.lookup("/b").unwrap().uuid;

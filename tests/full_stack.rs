@@ -138,7 +138,10 @@ fn errors_surface_correctly() {
     fs.mkdir("/a", 0o755).unwrap();
     assert_eq!(fs.mkdir("/a", 0o755), Err(FsError::AlreadyExists));
     assert_eq!(fs.unlink("/a/missing"), Err(FsError::NotFound));
-    assert_eq!(fs.open("/a/missing", Perm::Read).err(), Some(FsError::NotFound));
+    assert_eq!(
+        fs.open("/a/missing", Perm::Read).err(),
+        Some(FsError::NotFound)
+    );
     assert_eq!(fs.rmdir("/"), Err(FsError::Busy));
     assert_eq!(
         fs.rename_dir("/a", "/a/inside").err(),

@@ -1,0 +1,286 @@
+//! Observability integration: the metrics registry, endpoint
+//! instrumentation, and trace export working together across the
+//! stack. These are the acceptance tests of the `loco-obs` subsystem:
+//!
+//! * both transports (simulated lock-served, threaded channel-served)
+//!   feed identical virtual-cost histograms for identical workloads,
+//!   and both agree with the visit traces the client records;
+//! * `MetricsRegistry::snapshot()` / `render_prometheus()` are safe
+//!   while server threads are concurrently recording;
+//! * a multi-visit operation (create: DMS then FMS) exports to Chrome
+//!   trace-event JSON and parses back with correctly nested spans;
+//! * the log-bucketed histogram holds p50/p99 within 1% of exact on
+//!   one million samples.
+
+use locofs::client::{ClusterReport, LocoCluster, LocoConfig};
+use locofs::dms::{DirServer, DmsBackend, DmsRequest, DmsResponse};
+use locofs::kv::KvConfig;
+use locofs::net::{
+    chrome_trace_of_ops, class, spawn_with_metrics, CallCtx, Endpoint, EndpointMetrics, ServerId,
+    SimEndpoint,
+};
+use locofs::obs::{parse_chrome_trace, LogHistogram, MetricsRegistry};
+
+/// Drive the same mkdir/stat mix through any endpoint, returning the
+/// accumulated visit trace.
+fn dms_script(ep: &dyn Endpoint<DmsRequest, DmsResponse>) -> locofs::sim::des::JobTrace {
+    let mut ctx = CallCtx::new();
+    for i in 0..50 {
+        ep.call(
+            &mut ctx,
+            DmsRequest::Mkdir {
+                path: format!("/d{i}"),
+                mode: 0o755,
+                uid: 1,
+                gid: 1,
+                ts: 0,
+            },
+        );
+    }
+    for i in 0..10 {
+        ep.call(
+            &mut ctx,
+            DmsRequest::GetDir {
+                path: format!("/d{i}"),
+            },
+        );
+    }
+    ctx.take_trace()
+}
+
+#[test]
+fn thread_and_sim_endpoints_record_identical_metrics() {
+    let id = ServerId::new(class::DMS, 0);
+    let mk = || DirServer::new(DmsBackend::BTree, KvConfig::default());
+
+    let sim_reg = MetricsRegistry::shared();
+    let sim_ep = SimEndpoint::new(id, mk()).with_metrics(EndpointMetrics::register(&sim_reg, id));
+    let sim_trace = dms_script(&sim_ep);
+
+    let thr_reg = MetricsRegistry::shared();
+    let thr_metrics = EndpointMetrics::register(&thr_reg, id);
+    let (thr_ep, _guard) = spawn_with_metrics(id, mk(), Some(thr_metrics.clone()));
+    let thr_trace = dms_script(&thr_ep);
+
+    // Both transports executed the same service code over the same
+    // requests, so the virtual costs in the traces are identical...
+    assert_eq!(sim_trace.visits, thr_trace.visits);
+
+    // ...and the metrics each endpoint recorded agree with each other
+    // and with the trace: 60 requests, service-time sum equal to the
+    // summed visit costs.
+    let trace_service: u64 = sim_trace.visits.iter().map(|v| v.service).sum();
+    let sim_metrics = sim_ep.metrics().expect("sim endpoint has metrics");
+    for m in [&**sim_metrics, &*thr_metrics] {
+        assert_eq!(m.requests(), 60);
+        assert_eq!(m.service_total(), trace_service);
+        assert_eq!(m.inflight(), 0, "in-flight gauge returns to zero");
+    }
+
+    // The per-RPC-type family splits the same total: Mkdir + GetDir
+    // service histograms sum back to the aggregate.
+    for reg in [&sim_reg, &thr_reg] {
+        let snap = reg.snapshot();
+        let per_op: u64 = ["Mkdir", "GetDir"]
+            .iter()
+            .filter_map(|op| {
+                snap.get(
+                    "rpc_op_service_nanos",
+                    &[("op", op), ("role", "dms"), ("server", "0")],
+                )
+            })
+            .filter_map(|v| match v {
+                locofs::obs::MetricValue::Histogram(h) => Some(h.sum),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(per_op, trace_service);
+    }
+}
+
+#[test]
+fn snapshot_is_safe_while_server_threads_record() {
+    let id = ServerId::new(class::DMS, 0);
+    let reg = MetricsRegistry::shared();
+    let metrics = EndpointMetrics::register(&reg, id);
+    let (ep, _guard) = spawn_with_metrics(
+        id,
+        DirServer::new(DmsBackend::Hash, KvConfig::default()),
+        Some(metrics.clone()),
+    );
+
+    const CLIENTS: usize = 4;
+    const OPS: usize = 200;
+    let mut handles = Vec::new();
+    for t in 0..CLIENTS {
+        let ep = ep.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut ctx = CallCtx::new();
+            for i in 0..OPS {
+                ep.call(
+                    &mut ctx,
+                    DmsRequest::Mkdir {
+                        path: format!("/t{t}-{i}"),
+                        mode: 0o755,
+                        uid: 1,
+                        gid: 1,
+                        ts: 0,
+                    },
+                );
+            }
+        }));
+    }
+    // Snapshot concurrently with the recording threads: must not
+    // panic, deadlock, or return torn families.
+    while handles.iter().any(|h| !h.is_finished()) {
+        let snap = reg.snapshot();
+        let _ = reg.render_prometheus();
+        assert!(snap.counter_family_total("rpc_requests_total") <= (CLIENTS * OPS) as u64);
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(metrics.requests(), (CLIENTS * OPS) as u64);
+    assert_eq!(metrics.inflight(), 0);
+    let text = reg.render_prometheus();
+    assert!(text.contains("# TYPE rpc_requests_total counter"));
+    assert!(text.contains("rpc_service_nanos_count"));
+}
+
+#[test]
+fn create_exports_a_chrome_trace_with_nested_dms_and_fms_spans() {
+    let cluster = LocoCluster::new(LocoConfig::with_servers(4));
+    let mut fs = cluster.client();
+    fs.mkdir("/proj", 0o755).unwrap();
+    let mkdir_trace = fs.take_trace();
+    fs.create("/proj/a.dat", 0o644).unwrap();
+    let create_trace = fs.take_trace();
+    assert!(
+        create_trace.visits.len() >= 2,
+        "create touches DMS (resolve) then FMS"
+    );
+
+    let rtt = fs.rtt();
+    let ops = vec![
+        ("mkdir".to_string(), mkdir_trace),
+        ("create".to_string(), create_trace),
+    ];
+    let text = chrome_trace_of_ops(&ops, rtt);
+    let spans = parse_chrome_trace(&text).expect("export parses back");
+
+    // Round trip is lossless.
+    assert_eq!(spans, locofs::net::op_spans(&ops, rtt));
+
+    // Two client spans, in order, not overlapping.
+    let clients: Vec<_> = spans.iter().filter(|s| s.cat == "client").collect();
+    assert_eq!(clients.len(), 2);
+    assert_eq!(clients[0].name, "mkdir");
+    assert_eq!(clients[1].name, "create");
+    assert!(clients[0].end_us() <= clients[1].ts_us + 1e-9);
+
+    // Every server span nests inside exactly its operation's client
+    // span; the create op shows both a DMS and an FMS visit.
+    let servers: Vec<_> = spans.iter().filter(|s| s.cat == "server").collect();
+    assert!(!servers.is_empty());
+    for s in &servers {
+        assert_eq!(
+            clients.iter().filter(|c| c.encloses(s)).count(),
+            1,
+            "span {} must nest in exactly one client op",
+            s.name
+        );
+    }
+    let create_servers: Vec<_> = servers.iter().filter(|s| clients[1].encloses(s)).collect();
+    assert!(create_servers.iter().any(|s| s.name.starts_with("dms")));
+    assert!(create_servers.iter().any(|s| s.name.starts_with("fms")));
+}
+
+#[test]
+fn cluster_metrics_cover_a_full_client_workload() {
+    let cluster = LocoCluster::new(LocoConfig::with_servers(2));
+    let mut fs = cluster.client();
+    fs.mkdir("/w", 0o755).unwrap();
+    for i in 0..20 {
+        let mut fh = fs.create(&format!("/w/f{i}"), 0o644).unwrap();
+        fs.write(&mut fh, 0, b"payload").unwrap();
+        fs.stat_file(&format!("/w/f{i}")).unwrap();
+    }
+    let report = ClusterReport::collect_with_client(&cluster, &fs);
+    let cache = report.cache.expect("client report carries cache stats");
+    assert!(
+        cache.hits > 0,
+        "warm path resolutions hit the d-inode cache"
+    );
+
+    let text = fs.registry().render_prometheus();
+    // One registry snapshot covers client ops, cache counters, and
+    // every server's RPC families.
+    for needle in [
+        "client_op_latency_nanos{op=\"create\",quantile=\"0.5\"}",
+        "client_op_latency_nanos{op=\"write\"",
+        "client_cache_hits_total",
+        "rpc_requests_total{role=\"dms\"",
+        "rpc_requests_total{role=\"fms\"",
+        "rpc_requests_total{role=\"ost\"",
+        "rpc_inflight",
+    ] {
+        assert!(text.contains(needle), "missing {needle} in:\n{text}");
+    }
+    // Client op count in the registry equals the ops we issued
+    // (1 mkdir + 20 * (create + write + stat)).
+    let snap = fs.registry().snapshot();
+    let op_count: u64 = snap
+        .entries
+        .iter()
+        .filter(|(id, _)| id.name == "client_op_latency_nanos")
+        .filter_map(|(_, v)| match v {
+            locofs::obs::MetricValue::Histogram(h) => Some(h.count),
+            _ => None,
+        })
+        .sum();
+    assert_eq!(op_count, 61);
+}
+
+/// Deterministic xorshift so the test needs no RNG dependency.
+struct XorShift(u64);
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+}
+
+#[test]
+fn histogram_quantiles_within_one_percent_on_a_million_samples() {
+    let hist = LogHistogram::new();
+    let mut rng = XorShift(0x9E3779B97F4A7C15);
+    let mut exact = Vec::with_capacity(1_000_000);
+    for _ in 0..1_000_000 {
+        // Log-uniform over ~6 decades, like a latency distribution
+        // with a long tail.
+        let exp = rng.next() % 20;
+        let v = (1u64 << exp) + rng.next() % (1u64 << exp);
+        hist.record(v);
+        exact.push(v);
+    }
+    exact.sort_unstable();
+    for q in [0.50, 0.90, 0.99] {
+        let rank = ((q * exact.len() as f64).ceil() as usize).max(1) - 1;
+        let truth = exact[rank] as f64;
+        let est = hist.quantile(q) as f64;
+        let rel = (est - truth).abs() / truth;
+        assert!(
+            rel <= 0.01,
+            "p{} off by {:.3}%: exact {truth}, histogram {est}",
+            q * 100.0,
+            rel * 100.0
+        );
+    }
+    assert_eq!(hist.count(), 1_000_000);
+    assert_eq!(hist.min(), *exact.first().unwrap());
+    assert_eq!(hist.max(), *exact.last().unwrap());
+}

@@ -87,7 +87,10 @@ fn single_server_bridges_the_kv_gap() {
         "LocoFS = {:.0}% of KV (paper ≈38%)",
         loco_pct * 100.0
     );
-    assert!(loco_iops > 8.0 * idx_iops, "paper: ≈16× IndexFS at 1 server");
+    assert!(
+        loco_iops > 8.0 * idx_iops,
+        "paper: ≈16× IndexFS at 1 server"
+    );
     assert!(loco_iops > 30.0 * ceph_iops, "paper: 67× CephFS");
 }
 
@@ -100,7 +103,10 @@ fn single_server_create_ratios() {
     let mut gluster = GlusterFsModel::new(1);
     let gl = create_throughput(&mut gluster, 30, 100);
     let ratio = loco_iops / gl;
-    assert!((8.0..40.0).contains(&ratio), "LocoFS/Gluster = {ratio:.1}× (paper 23×)");
+    assert!(
+        (8.0..40.0).contains(&ratio),
+        "LocoFS/Gluster = {ratio:.1}× (paper 23×)"
+    );
 }
 
 /// §4.2.2 obs. 2 / Fig 8: the client cache matters at scale — LocoFS-C
@@ -251,5 +257,8 @@ fn stat_ordering_matches_fig7() {
     let c = latency_rtts(&mut ceph, PhaseKind::FileStat, 300);
     let g = latency_rtts(&mut gluster, PhaseKind::FileStat, 300);
     assert!(c < l, "CephFS caps cache wins stats: ceph={c} loco={l}");
-    assert!(l < g, "LocoFS beats Gluster's two-fop stat: loco={l} gluster={g}");
+    assert!(
+        l < g,
+        "LocoFS beats Gluster's two-fop stat: loco={l} gluster={g}"
+    );
 }

@@ -1,10 +1,10 @@
-//! Property test for the file-descriptor layer: random sequences of
-//! fd-level operations against a reference model of byte-accurate file
-//! contents and offsets.
+//! Randomized model test for the file-descriptor layer: random
+//! sequences of fd-level operations (seeded, deterministic) against a
+//! reference model of byte-accurate file contents and offsets.
 
 use locofs::client::{LocoCluster, LocoConfig};
 use locofs::posix::{OpenFlags, PosixFs, Whence};
-use proptest::prelude::*;
+use locofs::sim::rng::Rng;
 use std::collections::HashMap;
 
 #[derive(Clone, Debug)]
@@ -27,22 +27,27 @@ struct ModelFd {
     offset: u64,
 }
 
-fn op_strategy() -> impl Strategy<Value = FdOp> {
-    prop_oneof![
-        (0u8..4, any::<bool>()).prop_map(|(f, t)| FdOp::Open(f, t)),
-        (0u8..6).prop_map(FdOp::Close),
-        (0u8..6, prop::collection::vec(any::<u8>(), 0..40)).prop_map(|(f, d)| FdOp::Write(f, d)),
-        (0u8..6, 0u8..64).prop_map(|(f, n)| FdOp::Read(f, n)),
-        (0u8..6, 0u16..200).prop_map(|(f, o)| FdOp::SeekSet(f, o)),
-        (0u8..6, -20i8..1).prop_map(|(f, o)| FdOp::SeekEnd(f, o)),
-    ]
+fn random_op(rng: &mut Rng) -> FdOp {
+    match rng.gen_below(6) {
+        0 => FdOp::Open(rng.gen_below(4) as u8, rng.gen_bool(0.5)),
+        1 => FdOp::Close(rng.gen_below(6) as u8),
+        2 => {
+            let len = rng.gen_range(0..40);
+            let data = (0..len).map(|_| rng.gen_u64() as u8).collect();
+            FdOp::Write(rng.gen_below(6) as u8, data)
+        }
+        3 => FdOp::Read(rng.gen_below(6) as u8, rng.gen_below(64) as u8),
+        4 => FdOp::SeekSet(rng.gen_below(6) as u8, rng.gen_below(200) as u16),
+        _ => FdOp::SeekEnd(rng.gen_below(6) as u8, rng.gen_below(21) as i8 - 20),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn fd_layer_matches_byte_model(ops in prop::collection::vec(op_strategy(), 1..60)) {
+#[test]
+fn fd_layer_matches_byte_model() {
+    let mut rng = Rng::seed_from_u64(0xFD_0001);
+    for _case in 0..24 {
+        let n_ops = rng.gen_range(1..60);
+        let ops: Vec<FdOp> = (0..n_ops).map(|_| random_op(&mut rng)).collect();
         let cluster = LocoCluster::new(LocoConfig::with_servers(2));
         let mut fs = PosixFs::new(cluster.client());
         fs.mkdir("/w", 0o755).unwrap();
@@ -57,9 +62,7 @@ proptest! {
                     if trunc {
                         flags = flags | OpenFlags::TRUNC;
                     }
-                    let fd = fs
-                        .open(&format!("/w/file{file}"), flags, 0o644)
-                        .unwrap();
+                    let fd = fs.open(&format!("/w/file{file}"), flags, 0o644).unwrap();
                     let entry = files.entry(file).or_insert(ModelFile { data: Vec::new() });
                     if trunc {
                         entry.data.clear();
@@ -80,7 +83,7 @@ proptest! {
                     }
                     let i = n as usize % fds.len();
                     let (fd, m) = &mut fds[i];
-                    prop_assert_eq!(fs.write(*fd, &data).unwrap(), data.len());
+                    assert_eq!(fs.write(*fd, &data).unwrap(), data.len());
                     let f = files.get_mut(&m.file).unwrap();
                     let end = m.offset as usize + data.len();
                     if f.data.len() < end {
@@ -100,8 +103,8 @@ proptest! {
                     let f = &files[&m.file];
                     let start = (m.offset as usize).min(f.data.len());
                     let end = (start + len as usize).min(f.data.len());
-                    prop_assert_eq!(got, end - start, "short-read length");
-                    prop_assert_eq!(&buf[..got], &f.data[start..end]);
+                    assert_eq!(got, end - start, "short-read length");
+                    assert_eq!(&buf[..got], &f.data[start..end]);
                     m.offset += got as u64;
                 }
                 FdOp::SeekSet(n, off) => {
@@ -110,10 +113,7 @@ proptest! {
                     }
                     let i = n as usize % fds.len();
                     let (fd, m) = &mut fds[i];
-                    prop_assert_eq!(
-                        fs.lseek(*fd, off as i64, Whence::Set).unwrap(),
-                        off as u64
-                    );
+                    assert_eq!(fs.lseek(*fd, off as i64, Whence::Set).unwrap(), off as u64);
                     m.offset = off as u64;
                 }
                 FdOp::SeekEnd(n, off) => {
@@ -125,12 +125,9 @@ proptest! {
                     let size = files[&m.file].data.len() as i64;
                     let want = size + off as i64;
                     if want < 0 {
-                        prop_assert!(fs.lseek(*fd, off as i64, Whence::End).is_err());
+                        assert!(fs.lseek(*fd, off as i64, Whence::End).is_err());
                     } else {
-                        prop_assert_eq!(
-                            fs.lseek(*fd, off as i64, Whence::End).unwrap(),
-                            want as u64
-                        );
+                        assert_eq!(fs.lseek(*fd, off as i64, Whence::End).unwrap(), want as u64);
                         m.offset = want as u64;
                     }
                 }
@@ -142,10 +139,10 @@ proptest! {
             let fd = fs
                 .open(&format!("/w/file{id}"), OpenFlags::RDONLY, 0)
                 .unwrap();
-            prop_assert_eq!(fs.fstat(fd).unwrap().size, model.data.len() as u64);
+            assert_eq!(fs.fstat(fd).unwrap().size, model.data.len() as u64);
             let mut buf = vec![0u8; model.data.len()];
-            prop_assert_eq!(fs.read(fd, &mut buf).unwrap(), model.data.len());
-            prop_assert_eq!(&buf, &model.data);
+            assert_eq!(fs.read(fd, &mut buf).unwrap(), model.data.len());
+            assert_eq!(&buf, &model.data);
             fs.close(fd).unwrap();
         }
     }

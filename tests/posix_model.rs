@@ -1,6 +1,6 @@
-//! Property-based differential testing: every modeled filesystem
-//! (LocoFS and the four baselines) must agree with a simple in-memory
-//! reference model under random operation sequences.
+//! Randomized differential testing: every modeled filesystem (LocoFS
+//! and the four baselines) must agree with a simple in-memory reference
+//! model under random operation sequences (seeded, deterministic).
 //!
 //! The reference model is a plain map of paths; agreement is checked on
 //! each operation's success/failure and on namespace contents at the
@@ -11,7 +11,7 @@ use locofs::baselines::{
     CephFsModel, DistFs, GlusterFsModel, IndexFsModel, LocoAdapter, LustreFsModel, LustreVariant,
 };
 use locofs::client::LocoConfig;
-use proptest::prelude::*;
+use locofs::sim::rng::Rng;
 use std::collections::BTreeMap;
 
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -150,133 +150,167 @@ enum ModelOp {
 }
 
 /// Small path universe so operations collide meaningfully.
-fn path_strategy() -> impl Strategy<Value = String> {
-    let comp = prop::sample::select(vec!["a", "b", "c", "d"]);
-    prop::collection::vec(comp, 1..4).prop_map(|comps| format!("/{}", comps.join("/")))
+fn random_path(rng: &mut Rng) -> String {
+    const COMPS: [&str; 4] = ["a", "b", "c", "d"];
+    let depth = rng.gen_range(1..4);
+    let comps: Vec<&str> = (0..depth).map(|_| COMPS[rng.gen_range(0..4)]).collect();
+    format!("/{}", comps.join("/"))
 }
 
-fn op_strategy() -> impl Strategy<Value = ModelOp> {
-    path_strategy().prop_flat_map(|p| {
-        prop_oneof![
-            Just(ModelOp::Mkdir(p.clone())),
-            Just(ModelOp::Create(p.clone())),
-            Just(ModelOp::Unlink(p.clone())),
-            Just(ModelOp::Rmdir(p.clone())),
-            Just(ModelOp::StatFile(p.clone())),
-            Just(ModelOp::StatDir(p.clone())),
-            Just(ModelOp::Readdir(p)),
-        ]
-    })
+fn random_op(rng: &mut Rng) -> ModelOp {
+    let p = random_path(rng);
+    match rng.gen_below(7) {
+        0 => ModelOp::Mkdir(p),
+        1 => ModelOp::Create(p),
+        2 => ModelOp::Unlink(p),
+        3 => ModelOp::Rmdir(p),
+        4 => ModelOp::StatFile(p),
+        5 => ModelOp::StatDir(p),
+        _ => ModelOp::Readdir(p),
+    }
 }
 
-fn check_fs_against_model(mut fs: Box<dyn DistFs>, ops: &[ModelOp]) -> Result<(), TestCaseError> {
+fn random_ops(rng: &mut Rng, max_len: usize) -> Vec<ModelOp> {
+    let n = rng.gen_range(1..max_len);
+    (0..n).map(|_| random_op(rng)).collect()
+}
+
+fn check_fs_against_model(mut fs: Box<dyn DistFs>, ops: &[ModelOp]) {
     check_fs_against(fs.as_mut(), RefFs::new(), ops)
 }
 
-fn check_fs_split_namespace(mut fs: Box<dyn DistFs>, ops: &[ModelOp]) -> Result<(), TestCaseError> {
+fn check_fs_split_namespace(mut fs: Box<dyn DistFs>, ops: &[ModelOp]) {
     check_fs_against(fs.as_mut(), RefFs::split(), ops)
 }
 
-fn check_fs_against(
-    fs: &mut dyn DistFs,
-    mut model: RefFs,
-    ops: &[ModelOp],
-) -> Result<(), TestCaseError> {
+fn check_fs_against(fs: &mut dyn DistFs, mut model: RefFs, ops: &[ModelOp]) {
     for (i, op) in ops.iter().enumerate() {
         let label = format!("{} op#{i} {op:?}", fs.name());
         match op {
             ModelOp::Mkdir(p) => {
-                prop_assert_eq!(fs.mkdir(p).is_ok(), model.mkdir(p), "{}", label)
+                assert_eq!(fs.mkdir(p).is_ok(), model.mkdir(p), "{label}")
             }
             ModelOp::Create(p) => {
-                prop_assert_eq!(fs.create(p).is_ok(), model.create(p), "{}", label)
+                assert_eq!(fs.create(p).is_ok(), model.create(p), "{label}")
             }
             ModelOp::Unlink(p) => {
-                prop_assert_eq!(fs.unlink(p).is_ok(), model.unlink(p), "{}", label)
+                assert_eq!(fs.unlink(p).is_ok(), model.unlink(p), "{label}")
             }
             ModelOp::Rmdir(p) => {
-                prop_assert_eq!(fs.rmdir(p).is_ok(), model.rmdir(p), "{}", label)
+                assert_eq!(fs.rmdir(p).is_ok(), model.rmdir(p), "{label}")
             }
             ModelOp::StatFile(p) => {
-                prop_assert_eq!(fs.stat_file(p).is_ok(), model.stat_file(p), "{}", label)
+                assert_eq!(fs.stat_file(p).is_ok(), model.stat_file(p), "{label}")
             }
             ModelOp::StatDir(p) => {
-                prop_assert_eq!(fs.stat_dir(p).is_ok(), model.stat_dir(p), "{}", label)
+                assert_eq!(fs.stat_dir(p).is_ok(), model.stat_dir(p), "{label}")
             }
             ModelOp::Readdir(p) => {
                 let got = fs.readdir(p);
                 if model.stat_dir(p) {
-                    prop_assert_eq!(
+                    assert_eq!(
                         got.unwrap_or(usize::MAX),
                         model.children(p).len(),
-                        "{}",
-                        label
+                        "{label}"
                     );
                 } else {
-                    prop_assert!(got.is_err(), "{} should fail", label);
+                    assert!(got.is_err(), "{label} should fail");
                 }
             }
         }
     }
-    Ok(())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+const CASES: u64 = 24;
 
-    #[test]
-    fn locofs_matches_reference(ops in prop::collection::vec(op_strategy(), 1..80)) {
+#[test]
+fn locofs_matches_reference() {
+    let mut rng = Rng::seed_from_u64(0x10C0_0001);
+    for _ in 0..CASES {
+        let ops = random_ops(&mut rng, 80);
         check_fs_split_namespace(
             Box::new(LocoAdapter::new(LocoConfig::with_servers(4))),
             &ops,
-        )?;
+        );
     }
+}
 
-    #[test]
-    fn locofs_nocache_matches_reference(ops in prop::collection::vec(op_strategy(), 1..80)) {
+#[test]
+fn locofs_nocache_matches_reference() {
+    let mut rng = Rng::seed_from_u64(0x10C0_0002);
+    for _ in 0..CASES {
+        let ops = random_ops(&mut rng, 80);
         check_fs_split_namespace(
             Box::new(LocoAdapter::new(LocoConfig::with_servers(3).no_cache())),
             &ops,
-        )?;
+        );
     }
+}
 
-    #[test]
-    fn locofs_coupled_matches_reference(ops in prop::collection::vec(op_strategy(), 1..80)) {
+#[test]
+fn locofs_coupled_matches_reference() {
+    let mut rng = Rng::seed_from_u64(0x10C0_0003);
+    for _ in 0..CASES {
+        let ops = random_ops(&mut rng, 80);
         check_fs_split_namespace(
             Box::new(LocoAdapter::new(LocoConfig::with_servers(4).coupled())),
             &ops,
-        )?;
+        );
     }
+}
 
-    #[test]
-    fn locofs_sharded_dms_matches_reference(ops in prop::collection::vec(op_strategy(), 1..80)) {
-        // The sharded-DMS ablation must keep namespace semantics
-        // (minus rename/chmod-dir, which the generator doesn't emit).
+#[test]
+fn locofs_sharded_dms_matches_reference() {
+    // The sharded-DMS ablation must keep namespace semantics
+    // (minus rename/chmod-dir, which the generator doesn't emit).
+    let mut rng = Rng::seed_from_u64(0x10C0_0004);
+    for _ in 0..CASES {
+        let ops = random_ops(&mut rng, 80);
         check_fs_split_namespace(
             Box::new(LocoAdapter::new(LocoConfig::with_servers(3).sharded_dms(4))),
             &ops,
-        )?;
+        );
     }
+}
 
-    #[test]
-    fn indexfs_matches_reference(ops in prop::collection::vec(op_strategy(), 1..60)) {
-        check_fs_against_model(Box::new(IndexFsModel::new(4)), &ops)?;
+#[test]
+fn indexfs_matches_reference() {
+    let mut rng = Rng::seed_from_u64(0x1DE_0001);
+    for _ in 0..CASES {
+        let ops = random_ops(&mut rng, 60);
+        check_fs_against_model(Box::new(IndexFsModel::new(4)), &ops);
     }
+}
 
-    #[test]
-    fn cephfs_matches_reference(ops in prop::collection::vec(op_strategy(), 1..60)) {
-        check_fs_against_model(Box::new(CephFsModel::new(4)), &ops)?;
+#[test]
+fn cephfs_matches_reference() {
+    let mut rng = Rng::seed_from_u64(0xCE_0001);
+    for _ in 0..CASES {
+        let ops = random_ops(&mut rng, 60);
+        check_fs_against_model(Box::new(CephFsModel::new(4)), &ops);
     }
+}
 
-    #[test]
-    fn gluster_matches_reference(ops in prop::collection::vec(op_strategy(), 1..60)) {
-        check_fs_against_model(Box::new(GlusterFsModel::new(4)), &ops)?;
+#[test]
+fn gluster_matches_reference() {
+    let mut rng = Rng::seed_from_u64(0x61_0001);
+    for _ in 0..CASES {
+        let ops = random_ops(&mut rng, 60);
+        check_fs_against_model(Box::new(GlusterFsModel::new(4)), &ops);
     }
+}
 
-    #[test]
-    fn lustre_variants_match_reference(ops in prop::collection::vec(op_strategy(), 1..60)) {
-        for variant in [LustreVariant::Single, LustreVariant::Dne1, LustreVariant::Dne2] {
-            check_fs_against_model(Box::new(LustreFsModel::new(variant, 4)), &ops)?;
+#[test]
+fn lustre_variants_match_reference() {
+    let mut rng = Rng::seed_from_u64(0x105_0001);
+    for _ in 0..CASES {
+        let ops = random_ops(&mut rng, 60);
+        for variant in [
+            LustreVariant::Single,
+            LustreVariant::Dne1,
+            LustreVariant::Dne2,
+        ] {
+            check_fs_against_model(Box::new(LustreFsModel::new(variant, 4)), &ops);
         }
     }
 }

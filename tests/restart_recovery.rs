@@ -7,6 +7,7 @@ use locofs::dms::{DirServer, DmsBackend};
 use locofs::fms::{FileServer, FmsMode};
 use locofs::kv::KvConfig;
 use locofs::net::{class, ServerId, SimEndpoint};
+use locofs::obs::MetricsRegistry;
 use locofs::types::{FsError, HashRing};
 
 /// Snapshot a whole cluster's metadata tier and rebuild it.
@@ -38,6 +39,7 @@ fn restart(cluster: &LocoCluster) -> LocoCluster {
         fms,
         ost: cluster.ost.clone(), // data tier kept (metadata restart only)
         ring: HashRing::new(cluster.config.num_fms),
+        registry: MetricsRegistry::shared(),
     }
 }
 
@@ -61,7 +63,9 @@ fn namespace_survives_metadata_restart() {
     assert_eq!(fs2.stat_dir("/proj/sub").unwrap().mode, 0o750);
     assert_eq!(fs2.readdir("/proj").unwrap().len(), 21);
     assert_eq!(fs2.stat_file("/proj/f3").unwrap().access.mode, 0o400);
-    let h2 = fs2.open("/proj/sub/data", locofs::types::Perm::Read).unwrap();
+    let h2 = fs2
+        .open("/proj/sub/data", locofs::types::Perm::Read)
+        .unwrap();
     assert_eq!(fs2.read(&h2, 0, h2.size).unwrap(), b"durable payload");
 }
 
@@ -111,6 +115,7 @@ fn restore_can_migrate_dms_backend() {
         fms: cluster.fms.clone(),
         ost: cluster.ost.clone(),
         ring: HashRing::new(cluster.config.num_fms),
+        registry: MetricsRegistry::shared(),
     };
     let mut fs2 = restarted.client();
     assert!(fs2.stat_dir("/a/b").is_ok());

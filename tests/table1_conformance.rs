@@ -162,7 +162,10 @@ fn open_reads_access_content_optional() {
     // that is the "optional" content access of Table 1.
     fs.open("/d/f", Perm::Read).unwrap();
     let fms = h.fms_stats();
-    assert_eq!(fms.gets, 2, "access (required) + content (optional): {fms:?}");
+    assert_eq!(
+        fms.gets, 2,
+        "access (required) + content (optional): {fms:?}"
+    );
     assert_eq!(fms.puts + fms.partial_writes, 0, "{fms:?}");
 }
 

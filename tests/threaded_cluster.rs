@@ -92,9 +92,12 @@ fn concurrent_clients_build_a_consistent_namespace() {
             };
             let mut total = 0;
             for ep in &fms {
-                let FmsResponse::Count(n) =
-                    ep.call(&mut ctx, FmsRequest::CountFiles { dir_uuid: inode.uuid })
-                else {
+                let FmsResponse::Count(n) = ep.call(
+                    &mut ctx,
+                    FmsRequest::CountFiles {
+                        dir_uuid: inode.uuid,
+                    },
+                ) else {
                     panic!()
                 };
                 total += n;
