@@ -68,4 +68,11 @@ pub trait DistFs {
     fn metrics_text(&mut self) -> Option<String> {
         None
     }
+
+    /// JSON dump of the flight recorder's slowest sampled op span
+    /// trees, for systems that carry a tracer (LocoFS with `LOCO_TRACE`
+    /// enabled). Baselines and untraced runs return `None`.
+    fn slow_ops_json(&mut self) -> Option<String> {
+        None
+    }
 }

@@ -163,6 +163,13 @@ impl DistFs for LocoAdapter {
     fn metrics_text(&mut self) -> Option<String> {
         Some(self.client.registry().render_prometheus())
     }
+
+    fn slow_ops_json(&mut self) -> Option<String> {
+        if self.client.tracer().mode() == loco_client::TraceMode::Off {
+            return None;
+        }
+        Some(self.client.flight_recorder().dump_json())
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,54 @@
+//! Microbenchmark: loco-trace overhead with sampling disabled.
+//!
+//! The acceptance bar for the tracing subsystem is that `LOCO_TRACE=off`
+//! keeps the per-op cost within noise of the PR 1 observability
+//! baseline (`LogHistogram::record` ≈ 28 ns). The untraced path is a
+//! single branch in `Tracer::begin_op` plus `Option` checks in
+//! `CallCtx::annotate`, so it should land well under that bar. Run:
+//!
+//! ```text
+//! cargo bench -p loco-bench --bench trace_overhead
+//! ```
+
+use loco_bench::micro::{bb, bench};
+use loco_net::CallCtx;
+use loco_obs::{LogHistogram, SampleMode, Tracer};
+
+fn main() {
+    // Baseline: the PR 1 hot-path primitive every op already pays.
+    let h = LogHistogram::new();
+    bench("baseline: LogHistogram::record", 4_000_000, |i| {
+        h.record(bb(5_000 + (i & 0xff)));
+    });
+
+    // Untraced begin_op: one branch, no allocation, no atomics.
+    let off = Tracer::new(SampleMode::Off);
+    bench("Tracer::begin_op (off)", 4_000_000, |_| {
+        bb(off.begin_op().is_none());
+    });
+
+    // Sampling 1-in-1024: one atomic increment per op, a trace
+    // allocation every 1024th.
+    let sampled = Tracer::new(SampleMode::Sample(1024));
+    bench("Tracer::begin_op (sample:1024)", 4_000_000, |_| {
+        bb(sampled.begin_op().is_some());
+    });
+
+    // Annotation on an untraced context: the per-callsite cost paid by
+    // every op even when nothing is sampled.
+    let mut ctx = CallCtx::new();
+    bench("CallCtx::annotate (untraced)", 4_000_000, |_| {
+        ctx.annotate(bb("path"), "/a/b/c");
+    });
+
+    // The full sampled-op bookkeeping, for contrast: start a trace,
+    // annotate, drop the buffer.
+    let all = Tracer::new(SampleMode::All);
+    bench("trace lifecycle (all)", 400_000, |_| {
+        let tc = all.begin_op().expect("all samples");
+        let mut c = CallCtx::new();
+        c.start_trace(tc.trace_id);
+        c.annotate("path", "/a/b/c");
+        bb(c.take_op_trace());
+    });
+}

@@ -7,7 +7,7 @@
 //! LocoFS (checks every FMS); CephFS wins the stat phases via client
 //! caching.
 
-use loco_bench::{env_scale, measure_throughput, paper_clients, FsKind, Table};
+use loco_bench::{env_scale, measure_throughput, paper_clients, BenchReport, FsKind, Table};
 use loco_mdtest::PhaseKind;
 
 fn main() {
@@ -22,6 +22,7 @@ fn main() {
         PhaseKind::DirStat,
     ];
 
+    let mut report = BenchReport::new("fig08");
     for phase in phases {
         let mut t = Table::new(
             std::iter::once("system".to_string())
@@ -34,6 +35,15 @@ fn main() {
                 let clients = paper_clients(n);
                 let iops = measure_throughput(kind, n, phase, clients, items);
                 cells.push(format!("{:.0}", iops));
+                report.push(
+                    "iops",
+                    &[
+                        ("system", kind.label()),
+                        ("phase", phase.label()),
+                        ("servers", &n.to_string()),
+                    ],
+                    iops,
+                );
             }
             t.row(cells);
         }
@@ -42,4 +52,5 @@ fn main() {
             phase.label()
         ));
     }
+    report.write();
 }

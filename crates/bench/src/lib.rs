@@ -154,7 +154,7 @@ pub fn prepare_phase(
     }
 }
 
-pub use loco_mdtest::{dump_phase_metrics, prom_family_sum};
+pub use loco_mdtest::{dump_phase_metrics, dump_phase_slow_ops, prom_family_sum, BenchReport};
 
 /// Closed-loop throughput of one (system, servers, phase) cell.
 pub fn measure_throughput(
@@ -176,13 +176,12 @@ pub fn measure_throughput(
     }
     let ops = loco_mdtest::gen_phase(&spec, phase);
     let iops = loco_mdtest::run_throughput(&mut *fs, &ops, &default_sim()).iops();
-    dump_phase_metrics(
-        &format!(
-            "{} {phase:?} servers={servers} clients={clients}",
-            kind.label()
-        ),
-        &mut *fs,
+    let label = format!(
+        "{} {phase:?} servers={servers} clients={clients}",
+        kind.label()
     );
+    dump_phase_metrics(&label, &mut *fs);
+    dump_phase_slow_ops(&label, &mut *fs);
     iops
 }
 
@@ -207,10 +206,9 @@ pub fn measure_latency(
     }
     let ops = &loco_mdtest::gen_phase(&spec, phase)[0];
     let run = loco_mdtest::run_latency(&mut *fs, ops);
-    dump_phase_metrics(
-        &format!("{} {phase:?} servers={servers} latency", kind.label()),
-        &mut *fs,
-    );
+    let label = format!("{} {phase:?} servers={servers} latency", kind.label());
+    dump_phase_metrics(&label, &mut *fs);
+    dump_phase_slow_ops(&label, &mut *fs);
     run
 }
 

@@ -21,7 +21,9 @@ use crate::{LocoCluster, LocoConfig};
 use loco_dms::{DirServer, DmsRequest, DmsResponse};
 use loco_fms::{FileServer, FmsRequest, FmsResponse};
 use loco_net::{CallCtx, Endpoint, JobTrace, ServerId, SimEndpoint};
-use loco_obs::{Counter, LogHistogram, MetricsRegistry};
+use loco_obs::{
+    Counter, FlightRecorder, LogHistogram, MetricsRegistry, OpRecord, Tracer, Watchdog,
+};
 use loco_ostore::{ObjectStore, OstoreRequest, OstoreResponse};
 use loco_sim::time::Nanos;
 use loco_types::meta::FileStat;
@@ -79,6 +81,15 @@ pub struct LocoClient {
     m_cache_hits: Arc<Counter>,
     m_cache_misses: Arc<Counter>,
     m_cache_expired: Arc<Counter>,
+    /// Head-based sampler deciding at `begin` whether this op collects
+    /// a span tree (complete-or-absent; no partial traces).
+    tracer: Arc<Tracer>,
+    /// Where sampled completed ops go (K slowest per op class).
+    flight: Arc<FlightRecorder>,
+    /// Tail-anomaly detector fed from `finish`.
+    watchdog: Arc<Watchdog>,
+    /// Virtual-clock timestamp of the op in flight (trace timeline).
+    op_start: Nanos,
     /// Caller user id (permission checks).
     pub uid: u32,
     /// Caller group id (permission checks).
@@ -107,6 +118,10 @@ impl LocoClient {
             m_cache_expired: cluster
                 .registry
                 .counter("client_cache_expired_leases_total", &[]),
+            tracer: cluster.tracer.clone(),
+            flight: cluster.flight.clone(),
+            watchdog: cluster.watchdog.clone(),
+            op_start: 0,
             uid,
             gid,
         }
@@ -116,6 +131,14 @@ impl LocoClient {
 
     fn begin(&mut self) {
         debug_assert_eq!(self.ctx.round_trips(), 0, "nested op");
+        self.op_start = self.clock;
+        // Head-based sampling: the decision is made once here, so a
+        // sampled op carries a complete span tree and an unsampled op
+        // costs a single branch.
+        if let Some(tc) = self.tracer.begin_op() {
+            self.ctx.start_trace(tc.trace_id);
+            self.watchdog.begin_inflight(tc.trace_id, self.clock);
+        }
         self.ctx.charge_client(self.cfg.client_work);
     }
 
@@ -131,13 +154,45 @@ impl LocoClient {
             trace.client_work += self.cfg.conn_poll * extra_conns;
         }
         let latency = trace.unloaded_latency(self.cfg.rtt);
-        self.clock += latency;
         let registry = &self.registry;
-        self.op_hists
+        let hist = self
+            .op_hists
             .entry(op)
             .or_insert_with(|| registry.histogram("client_op_latency_nanos", &[("op", op)]))
-            .record(latency);
+            .clone();
+        if let Some(t) = self.ctx.take_op_trace() {
+            let rec = OpRecord::from_trace(
+                *t,
+                op,
+                self.op_start,
+                latency,
+                trace.client_work,
+                self.cfg.rtt,
+            );
+            self.watchdog.end_inflight(rec.trace_id);
+            // Judge against the histogram *before* this sample lands in
+            // it — an outlier must not raise its own bar.
+            self.watchdog.complete(&hist, &rec);
+            self.flight.offer(rec);
+        }
+        hist.record(latency);
+        self.clock += latency;
         self.last_trace = trace;
+    }
+
+    /// The sampler deciding which ops collect span traces.
+    pub fn tracer(&self) -> &Arc<Tracer> {
+        &self.tracer
+    }
+
+    /// The flight recorder holding the slowest sampled op span trees.
+    pub fn flight_recorder(&self) -> &Arc<FlightRecorder> {
+        &self.flight
+    }
+
+    /// The tail-anomaly watchdog fed by this client's completed ops.
+    pub fn watchdog(&self) -> &Arc<Watchdog> {
+        &self.watchdog
     }
 
     /// The metrics registry shared with the cluster's servers.
@@ -259,10 +314,14 @@ impl LocoClient {
         let got = self.cache.get(path, now);
         if got.is_some() {
             self.m_cache_hits.inc();
+            self.ctx.annotate("cache", "hit");
         } else {
             self.m_cache_misses.inc();
             if self.cache.expired() > expired_before {
                 self.m_cache_expired.inc();
+                self.ctx.annotate("cache", "expired");
+            } else {
+                self.ctx.annotate("cache", "miss");
             }
         }
         got
@@ -360,6 +419,7 @@ impl LocoClient {
     pub fn mkdir(&mut self, raw_path: &str, mode: u32) -> FsResult<()> {
         let p = normalize(raw_path)?;
         self.begin();
+        self.ctx.annotate("path", p.as_str());
         if self.dms.len() > 1 {
             let res = self.mkdir_sharded(&p, mode);
             self.finish("mkdir");
@@ -441,6 +501,7 @@ impl LocoClient {
     pub fn rmdir(&mut self, raw_path: &str) -> FsResult<()> {
         let p = normalize(raw_path)?;
         self.begin();
+        self.ctx.annotate("path", p.as_str());
         let res = (|| {
             let inode = self.resolve_dir(&p)?;
             for i in 0..self.fms.len() {
@@ -499,6 +560,7 @@ impl LocoClient {
     pub fn readdir(&mut self, raw_path: &str) -> FsResult<Vec<(String, DirentKind)>> {
         let p = normalize(raw_path)?;
         self.begin();
+        self.ctx.annotate("path", p.as_str());
         let res = (|| {
             let inode = self.resolve_dir(&p)?;
             let mut out = Vec::new();
@@ -546,6 +608,7 @@ impl LocoClient {
     ) -> FsResult<Vec<(String, loco_types::meta::FileStat)>> {
         let p = normalize(raw_path)?;
         self.begin();
+        self.ctx.annotate("path", p.as_str());
         let res = (|| {
             let inode = self.resolve_dir(&p)?;
             let mut out = Vec::new();
@@ -573,6 +636,7 @@ impl LocoClient {
     pub fn stat_dir(&mut self, raw_path: &str) -> FsResult<DirInode> {
         let p = normalize(raw_path)?;
         self.begin();
+        self.ctx.annotate("path", p.as_str());
         let res = self.resolve_dir(&p);
         self.finish("stat_dir");
         res
@@ -599,6 +663,7 @@ impl LocoClient {
             return Err(FsError::Busy); // not supported in the ablation
         }
         self.begin();
+        self.ctx.annotate("path", p.as_str());
         let ts = self.clock;
         let (uid, gid) = (self.uid, self.gid);
         let res = (|| {
@@ -626,6 +691,7 @@ impl LocoClient {
     pub fn create(&mut self, raw_path: &str, mode: u32) -> FsResult<FileHandle> {
         let p = normalize(raw_path)?;
         self.begin();
+        self.ctx.annotate("path", p.as_str());
         let res = (|| {
             let (dir, name) = self.resolve_parent(&p)?;
             self.require(&dir, Perm::Write)?;
@@ -662,6 +728,7 @@ impl LocoClient {
     pub fn open(&mut self, raw_path: &str, perm: Perm) -> FsResult<FileHandle> {
         let p = normalize(raw_path)?;
         self.begin();
+        self.ctx.annotate("path", p.as_str());
         let res = (|| {
             let (dir, name) = self.resolve_parent(&p)?;
             let idx = self.fms_idx(dir.uuid, name);
@@ -697,6 +764,7 @@ impl LocoClient {
     pub fn unlink(&mut self, raw_path: &str) -> FsResult<()> {
         let p = normalize(raw_path)?;
         self.begin();
+        self.ctx.annotate("path", p.as_str());
         let res = (|| {
             let (dir, name) = self.resolve_parent(&p)?;
             self.require(&dir, Perm::Write)?;
@@ -723,6 +791,7 @@ impl LocoClient {
     pub fn stat_file(&mut self, raw_path: &str) -> FsResult<FileStat> {
         let p = normalize(raw_path)?;
         self.begin();
+        self.ctx.annotate("path", p.as_str());
         let res = (|| {
             let (dir, name) = self.resolve_parent(&p)?;
             let idx = self.fms_idx(dir.uuid, name);
@@ -747,6 +816,7 @@ impl LocoClient {
     pub fn access_file(&mut self, raw_path: &str, perm: Perm) -> FsResult<bool> {
         let p = normalize(raw_path)?;
         self.begin();
+        self.ctx.annotate("path", p.as_str());
         let res = (|| {
             let (dir, name) = self.resolve_parent(&p)?;
             let idx = self.fms_idx(dir.uuid, name);
@@ -773,6 +843,7 @@ impl LocoClient {
     pub fn chmod_file(&mut self, raw_path: &str, mode: u32) -> FsResult<()> {
         let p = normalize(raw_path)?;
         self.begin();
+        self.ctx.annotate("path", p.as_str());
         let res = (|| {
             let (dir, name) = self.resolve_parent(&p)?;
             let idx = self.fms_idx(dir.uuid, name);
@@ -800,6 +871,7 @@ impl LocoClient {
     pub fn chown_file(&mut self, raw_path: &str, uid: u32, gid: u32) -> FsResult<()> {
         let p = normalize(raw_path)?;
         self.begin();
+        self.ctx.annotate("path", p.as_str());
         let res = (|| {
             let (dir, name) = self.resolve_parent(&p)?;
             let idx = self.fms_idx(dir.uuid, name);
@@ -828,6 +900,7 @@ impl LocoClient {
     pub fn utimens_file(&mut self, raw_path: &str, atime: u64, mtime: u64) -> FsResult<()> {
         let p = normalize(raw_path)?;
         self.begin();
+        self.ctx.annotate("path", p.as_str());
         let res = (|| {
             let (dir, name) = self.resolve_parent(&p)?;
             let idx = self.fms_idx(dir.uuid, name);
@@ -854,6 +927,7 @@ impl LocoClient {
     pub fn truncate_file(&mut self, raw_path: &str, size: u64) -> FsResult<()> {
         let p = normalize(raw_path)?;
         self.begin();
+        self.ctx.annotate("path", p.as_str());
         let res = (|| {
             let (dir, name) = self.resolve_parent(&p)?;
             let idx = self.fms_idx(dir.uuid, name);
@@ -898,6 +972,8 @@ impl LocoClient {
         let old = normalize(raw_old)?;
         let new = normalize(raw_new)?;
         self.begin();
+        self.ctx.annotate("src", old.as_str());
+        self.ctx.annotate("dst", new.as_str());
         let res = (|| {
             let (src_dir, src_name) = self.resolve_parent(&old)?;
             let (dst_dir, dst_name) = self.resolve_parent(&new)?;
@@ -946,6 +1022,8 @@ impl LocoClient {
             return Err(FsError::Busy);
         }
         self.begin();
+        self.ctx.annotate("src", old.as_str());
+        self.ctx.annotate("dst", new.as_str());
         let ts = self.clock;
         let (uid, gid) = (self.uid, self.gid);
         let res = (|| {
@@ -976,6 +1054,7 @@ impl LocoClient {
             return Ok(());
         }
         self.begin();
+        self.ctx.annotate("path", h.name.as_str());
         let res = (|| {
             let bs = h.bsize as u64;
             let first = offset / bs;
@@ -1051,6 +1130,7 @@ impl LocoClient {
     /// Read `len` bytes at `offset` (short reads at EOF).
     pub fn read(&mut self, h: &FileHandle, offset: u64, len: u64) -> FsResult<Vec<u8>> {
         self.begin();
+        self.ctx.annotate("path", h.name.as_str());
         let res = (|| {
             let end = (offset + len).min(h.size);
             if offset >= end {

@@ -35,12 +35,17 @@ pub use metrics::{CacheStats, ClusterReport};
 
 pub use loco_dms::DmsBackend;
 pub use loco_fms::FmsMode;
+pub use loco_obs::{
+    FlightRecorder as OpFlightRecorder, OpRecord, SampleMode as TraceMode, Watchdog as OpWatchdog,
+    WatchdogEvent, WatchdogKind,
+};
 
 use loco_dms::DirServer;
 use loco_fms::FileServer;
 use loco_kv::KvConfig;
 use loco_net::{class, EndpointMetrics, ServerId, SimEndpoint};
-use loco_obs::MetricsRegistry;
+use loco_obs::recorder::DEFAULT_K;
+use loco_obs::{FlightRecorder, MetricsRegistry, SampleMode, Tracer, Watchdog, WatchdogConfig};
 use loco_ostore::ObjectStore;
 use loco_sim::time::{Nanos, MICROS, SECS};
 use loco_types::HashRing;
@@ -81,6 +86,10 @@ pub struct LocoConfig {
     pub conn_poll: Nanos,
     /// Fixed client CPU per operation.
     pub client_work: Nanos,
+    /// Span-trace sampling policy. `None` reads the `LOCO_TRACE`
+    /// environment variable (`off|slow|sample:N|all`, default `off`);
+    /// `Some(mode)` pins it programmatically (tests, shell).
+    pub trace: Option<SampleMode>,
 }
 
 impl Default for LocoConfig {
@@ -98,6 +107,7 @@ impl Default for LocoConfig {
             kv: KvConfig::default(),
             conn_poll: 20 * MICROS,
             client_work: 2 * MICROS,
+            trace: None,
         }
     }
 }
@@ -128,6 +138,12 @@ impl LocoConfig {
         self.num_dms = n.max(1);
         self
     }
+
+    /// Pin the span-trace sampling policy (overrides `LOCO_TRACE`).
+    pub fn traced(mut self, mode: SampleMode) -> Self {
+        self.trace = Some(mode);
+        self
+    }
 }
 
 /// A simulated LocoFS cluster: one DMS, `num_fms` FMS, `num_ost` object
@@ -148,6 +164,13 @@ pub struct LocoCluster {
     /// Shared metrics registry every server endpoint (and every client
     /// created from this cluster) records into.
     pub registry: Arc<MetricsRegistry>,
+    /// Head-based sampling decisions for loco-trace span collection.
+    pub tracer: Arc<Tracer>,
+    /// Flight recorder holding the K slowest sampled op span trees per
+    /// op class (plus a recent-ops ring when sampling everything).
+    pub flight: Arc<FlightRecorder>,
+    /// Online tail-anomaly watchdog fed by every sampled completed op.
+    pub watchdog: Arc<Watchdog>,
 }
 
 impl LocoCluster {
@@ -182,6 +205,14 @@ impl LocoCluster {
             })
             .collect();
         let ring = HashRing::new(config.num_fms);
+        let mode = config.trace.unwrap_or_else(SampleMode::from_env);
+        let flight = if mode == SampleMode::All {
+            // Sampling everything: also keep a recent-ops ring so a
+            // full timeline (not just tail outliers) can be dumped.
+            FlightRecorder::new(DEFAULT_K).with_recent(1024)
+        } else {
+            FlightRecorder::new(DEFAULT_K)
+        };
         Self {
             config,
             dms,
@@ -189,6 +220,9 @@ impl LocoCluster {
             ost,
             ring,
             registry,
+            tracer: Arc::new(Tracer::new(mode)),
+            flight: Arc::new(flight),
+            watchdog: Arc::new(Watchdog::new(WatchdogConfig::default())),
         }
     }
 

@@ -197,6 +197,8 @@ pub struct DirServer {
     extra: CostAcc,
     /// Fixed software overhead charged per handled request.
     rpc_overhead: Nanos,
+    /// Software-vs-KV split of the last request (span attribution).
+    split: loco_kv::SpanSplit,
 }
 
 const DIRENT_NS: u8 = b'E';
@@ -244,6 +246,7 @@ impl DirServer {
             uuids: UuidGen::new(sid),
             extra: CostAcc::new(),
             rpc_overhead: loco_sim::CostModel::default().rpc_handler,
+            split: loco_kv::SpanSplit::default(),
         }
     }
 
@@ -346,6 +349,7 @@ impl DirServer {
     /// Reset the KV access counters.
     pub fn reset_kv_stats(&mut self) {
         self.db.reset_stats();
+        self.split.reset();
     }
 
     /// Walk every ancestor of `path` (excluding `path` itself), checking
@@ -652,7 +656,14 @@ impl Service for DirServer {
     }
 
     fn take_cost(&mut self) -> Nanos {
-        self.extra.take() + self.db.take_cost()
+        let sw = self.extra.take();
+        let kv = self.db.take_cost();
+        self.split.update(sw, kv, &self.db.stats());
+        sw + kv
+    }
+
+    fn span_attrs(&self) -> Vec<(&'static str, u64)> {
+        self.split.attrs()
     }
 
     fn req_label(req: &DmsRequest) -> &'static str {

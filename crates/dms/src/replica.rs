@@ -116,6 +116,10 @@ impl Service for ReplicatedDms {
     fn take_cost(&mut self) -> Nanos {
         self.extra.take() + self.primary.take_cost()
     }
+
+    fn span_attrs(&self) -> Vec<(&'static str, u64)> {
+        self.primary.span_attrs()
+    }
 }
 
 #[cfg(test)]

@@ -237,6 +237,8 @@ pub enum FmsResponse {
 /// A File Metadata Server.
 pub struct FileServer {
     db: Box<dyn KvStore>,
+    /// Software-vs-KV split of the last request (span attribution).
+    split: loco_kv::SpanSplit,
     mode: FmsMode,
     uuids: UuidGen,
     extra: CostAcc,
@@ -286,6 +288,7 @@ impl FileServer {
         };
         Self {
             db: Box::new(HashDb::new(cfg)),
+            split: loco_kv::SpanSplit::default(),
             mode,
             uuids: UuidGen::new(sid),
             extra: CostAcc::new(),
@@ -384,6 +387,7 @@ impl FileServer {
     /// Reset the KV access counters.
     pub fn reset_kv_stats(&mut self) {
         self.db.reset_stats();
+        self.split.reset();
     }
 
     fn exists(&mut self, dir_uuid: Uuid, name: &str) -> bool {
@@ -769,7 +773,14 @@ impl Service for FileServer {
     }
 
     fn take_cost(&mut self) -> Nanos {
-        self.extra.take() + self.db.take_cost()
+        let sw = self.extra.take();
+        let kv = self.db.take_cost();
+        self.split.update(sw, kv, &self.db.stats());
+        sw + kv
+    }
+
+    fn span_attrs(&self) -> Vec<(&'static str, u64)> {
+        self.split.attrs()
     }
 
     fn req_label(req: &FmsRequest) -> &'static str {

@@ -77,6 +77,64 @@ impl AccessStats {
     }
 }
 
+/// Per-request cost attribution for span tracing: the software-vs-KV
+/// split of a server's `take_cost` plus the KV traffic delta since the
+/// previous request. Servers update this on every `take_cost` (a few
+/// subtractions — the cumulative [`AccessStats`] are maintained anyway)
+/// so attribution is correct even when traced and untraced requests
+/// interleave.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SpanSplit {
+    /// Handler software cost of the last request (everything that is
+    /// not KV work).
+    pub sw_ns: u64,
+    /// KV store cost of the last request.
+    pub kv_ns: u64,
+    /// Value bytes read from the KV store by the last request.
+    pub kv_bytes_read: u64,
+    /// Key+value bytes written to the KV store by the last request.
+    pub kv_bytes_written: u64,
+    /// KV operations issued by the last request.
+    pub kv_ops: u64,
+    prev_read: u64,
+    prev_written: u64,
+    prev_ops: u64,
+}
+
+impl SpanSplit {
+    /// Record one request's split: its software and KV cost plus the
+    /// store's *cumulative* stats, from which the per-request traffic
+    /// delta is derived.
+    pub fn update(&mut self, sw_ns: u64, kv_ns: u64, stats: &AccessStats) {
+        self.sw_ns = sw_ns;
+        self.kv_ns = kv_ns;
+        let (read, written, ops) = (stats.bytes_read, stats.bytes_written, stats.total());
+        self.kv_bytes_read = read.saturating_sub(self.prev_read);
+        self.kv_bytes_written = written.saturating_sub(self.prev_written);
+        self.kv_ops = ops.saturating_sub(self.prev_ops);
+        self.prev_read = read;
+        self.prev_written = written;
+        self.prev_ops = ops;
+    }
+
+    /// Forget the cumulative baseline (call when the store's stats are
+    /// reset).
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+
+    /// The last request's split as span attributes.
+    pub fn attrs(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("sw_ns", self.sw_ns),
+            ("kv_ns", self.kv_ns),
+            ("kv_bytes_read", self.kv_bytes_read),
+            ("kv_bytes_written", self.kv_bytes_written),
+            ("kv_ops", self.kv_ops),
+        ]
+    }
+}
+
 /// Common interface over the three stores.
 ///
 /// Keys and values are raw byte strings; the metadata layer (loco-types)
@@ -423,5 +481,40 @@ mod trait_tests {
         assert!(!HashDb::new(KvConfig::default()).ordered());
         assert!(BTreeDb::new(KvConfig::default()).ordered());
         assert!(LsmDb::new(KvConfig::default()).ordered());
+    }
+}
+
+#[cfg(test)]
+mod span_split_tests {
+    use super::*;
+
+    #[test]
+    fn span_split_tracks_per_request_deltas() {
+        let mut db = HashDb::new(KvConfig::default());
+        let mut split = SpanSplit::default();
+
+        db.put(b"a", &[1u8; 64]);
+        let kv = db.take_cost();
+        split.update(500, kv, &db.stats());
+        assert_eq!((split.sw_ns, split.kv_ns), (500, kv));
+        assert_eq!(split.kv_ops, 1);
+        assert!(split.kv_bytes_written >= 64);
+        assert_eq!(split.kv_bytes_read, 0);
+
+        // Next request sees only its own delta, not the cumulative sum.
+        db.get(b"a");
+        let kv2 = db.take_cost();
+        split.update(200, kv2, &db.stats());
+        assert_eq!(split.kv_ops, 1);
+        assert_eq!(split.kv_bytes_written, 0);
+        assert!(split.kv_bytes_read >= 64);
+        assert_eq!(split.attrs().len(), 5);
+
+        db.reset_stats();
+        split.reset();
+        db.put(b"b", &[0u8; 8]);
+        let kv3 = db.take_cost();
+        split.update(0, kv3, &db.stats());
+        assert_eq!(split.kv_ops, 1, "reset rebases the cumulative baseline");
     }
 }

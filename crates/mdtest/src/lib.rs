@@ -18,14 +18,16 @@
 //! [mdtest]: https://github.com/MDTEST-LANL/mdtest
 
 pub mod ops;
+pub mod report;
 pub mod runner;
 pub mod sweep;
 pub mod trace;
 
 pub use ops::{gen_phase, gen_setup, Op, PhaseKind, TreeSpec};
+pub use report::BenchReport;
 pub use runner::{
-    collect_traces, dump_phase_metrics, prom_family_sum, run_latency, run_setup, run_throughput,
-    LatencyRun,
+    collect_traces, dump_phase_metrics, dump_phase_slow_ops, prom_family_sum, run_latency,
+    run_setup, run_throughput, LatencyRun,
 };
 pub use sweep::{optimal_clients, sweep_clients};
 pub use trace::{OpMix, TraceGen};

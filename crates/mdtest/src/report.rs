@@ -1,0 +1,162 @@
+//! Machine-readable benchmark results.
+//!
+//! Every figure-reproduction binary prints a human table to stdout;
+//! this module adds the `BENCH_<name>.json` artifact next to it so CI
+//! and regression tooling can diff numbers without scraping tables.
+//!
+//! Format — one object per file, rows keyed by metric name + labels:
+//!
+//! ```json
+//! {"bench":"fig08","rows":[
+//!   {"metric":"iops","labels":{"phase":"file_create","servers":"4"},
+//!    "value":180321.5}
+//! ]}
+//! ```
+
+use loco_obs::json::Json;
+use std::path::PathBuf;
+
+/// One data point: metric name, string-valued labels, value.
+type Row = (String, Vec<(String, String)>, f64);
+
+/// Accumulates benchmark data points and writes them as one JSON file.
+#[derive(Clone, Debug)]
+pub struct BenchReport {
+    name: String,
+    rows: Vec<Row>,
+}
+
+impl BenchReport {
+    /// Start an empty report for benchmark `name` (e.g. `"fig08"`).
+    pub fn new(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Record one data point: `metric` (e.g. `"iops"`) with
+    /// string-valued labels (e.g. `[("servers", "4")]`).
+    pub fn push(&mut self, metric: &str, labels: &[(&str, &str)], value: f64) {
+        self.rows.push((
+            metric.to_string(),
+            labels
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            value,
+        ));
+    }
+
+    /// Number of data points recorded so far.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether no data points have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Serialize the report.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("bench", Json::Str(self.name.clone())),
+            (
+                "rows",
+                Json::Arr(
+                    self.rows
+                        .iter()
+                        .map(|(metric, labels, value)| {
+                            Json::obj(vec![
+                                ("metric", Json::Str(metric.clone())),
+                                (
+                                    "labels",
+                                    Json::Obj(
+                                        labels
+                                            .iter()
+                                            .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
+                                            .collect(),
+                                    ),
+                                ),
+                                ("value", Json::Num(*value)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Where [`BenchReport::write`] puts the file:
+    /// `$LOCO_BENCH_DIR/BENCH_<name>.json`, default dir `results/`.
+    pub fn path(&self) -> PathBuf {
+        let dir = std::env::var("LOCO_BENCH_DIR").unwrap_or_else(|_| "results".to_string());
+        PathBuf::from(dir).join(format!("BENCH_{}.json", self.name))
+    }
+
+    /// Write the report to [`BenchReport::path`], creating the
+    /// directory if needed. Returns the path written. IO failures are
+    /// reported as a stderr warning, not a panic — a benchmark run in a
+    /// read-only sandbox still prints its tables.
+    pub fn write(&self) -> Option<PathBuf> {
+        let path = self.path();
+        if let Some(dir) = path.parent() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("[bench-report] cannot create {}: {e}", dir.display());
+                return None;
+            }
+        }
+        match std::fs::write(&path, self.to_json().to_string()) {
+            Ok(()) => {
+                eprintln!("[bench-report] wrote {}", path.display());
+                Some(path)
+            }
+            Err(e) => {
+                eprintln!("[bench-report] cannot write {}: {e}", path.display());
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_serializes_rows_with_labels() {
+        let mut r = BenchReport::new("fig08");
+        r.push(
+            "iops",
+            &[("phase", "file_create"), ("servers", "4")],
+            1800.5,
+        );
+        r.push("iops", &[("phase", "file_stat"), ("servers", "4")], 9000.0);
+        assert_eq!(r.len(), 2);
+        let j = r.to_json();
+        assert_eq!(j.get("bench").and_then(Json::as_str), Some("fig08"));
+        let rows = j.get("rows").and_then(Json::as_arr).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(
+            rows[0]
+                .get("labels")
+                .and_then(|l| l.get("phase"))
+                .and_then(Json::as_str),
+            Some("file_create")
+        );
+        assert_eq!(rows[1].get("value").and_then(Json::as_f64), Some(9000.0));
+        // Round-trips through the in-tree parser.
+        let back = loco_obs::json::parse(&j.to_string()).unwrap();
+        assert_eq!(back, j);
+    }
+
+    #[test]
+    fn report_path_honors_env_dir() {
+        let r = BenchReport::new("unit");
+        // Do not mutate the environment (tests run in parallel); just
+        // check the default shape.
+        let p = r.path();
+        assert!(p.ends_with("BENCH_unit.json"), "{}", p.display());
+    }
+}

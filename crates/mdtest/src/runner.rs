@@ -126,6 +126,22 @@ pub fn dump_phase_metrics(label: &str, fs: &mut dyn DistFs) {
     );
 }
 
+/// Print the flight recorder's slowest sampled op span trees to
+/// **stderr** after a phase, when the filesystem carries a tracer and
+/// tracing is enabled (`LOCO_TRACE`). `LOCO_METRICS=off` silences it
+/// together with the metrics snapshot.
+pub fn dump_phase_slow_ops(label: &str, fs: &mut dyn DistFs) {
+    if std::env::var("LOCO_METRICS").unwrap_or_default() == "off" {
+        return;
+    }
+    let Some(json) = fs.slow_ops_json() else {
+        return;
+    };
+    eprintln!("--- slow ops [{label}] ---");
+    eprintln!("{json}");
+    eprintln!("--- end slow ops [{label}] ---");
+}
+
 /// Execute per-client streams and replay them through the closed-loop
 /// simulator, returning aggregate throughput.
 pub fn run_throughput(

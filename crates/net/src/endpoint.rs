@@ -2,6 +2,7 @@
 //! simulated endpoint.
 
 use crate::metrics::EndpointMetrics;
+use loco_obs::trace::{OpTrace, TraceCtx, VisitSpan};
 use loco_sim::des::{JobTrace, ServerId, Visit};
 use loco_sim::time::Nanos;
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
@@ -33,15 +34,27 @@ pub trait Service: Send {
     fn req_label(_req: &Self::Req) -> &'static str {
         "req"
     }
+
+    /// Numeric span attributes describing the *last* handled request —
+    /// typically the software-vs-KV split of `take_cost` plus KV byte
+    /// volumes. Read only for traced calls, after `take_cost`. The
+    /// default reports nothing.
+    fn span_attrs(&self) -> Vec<(&'static str, u64)> {
+        Vec::new()
+    }
 }
 
 /// Per-operation context threaded through every RPC a filesystem
 /// operation makes. Collects the visit trace that drives both latency
-/// and throughput figures.
+/// and throughput figures, and — when the op was head-sampled — the
+/// causal span tree ([`OpTrace`]) that attributes where the time went.
 #[derive(Clone, Debug, Default)]
 pub struct CallCtx {
     visits: Vec<Visit>,
     client_work: Nanos,
+    /// Present only for sampled ops; boxed so the untraced hot path
+    /// stays one pointer wide.
+    trace: Option<Box<OpTrace>>,
 }
 
 impl CallCtx {
@@ -53,6 +66,70 @@ impl CallCtx {
     /// Record one server visit.
     pub fn record(&mut self, server: ServerId, service: Nanos) {
         self.visits.push(Visit { server, service });
+    }
+
+    // ----- span tracing ---------------------------------------------
+
+    /// Begin tracing this operation (the caller's head-based sampling
+    /// decision). Every subsequent RPC records an attributed span until
+    /// [`Self::take_op_trace`].
+    pub fn start_trace(&mut self, trace_id: u64) {
+        self.trace = Some(Box::new(OpTrace::new(trace_id)));
+    }
+
+    /// Whether the current op is being traced.
+    pub fn is_traced(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// The propagation context the *next* RPC would carry (the root
+    /// span of the in-flight op), if tracing.
+    pub fn trace_ctx(&self) -> Option<TraceCtx> {
+        self.trace.as_ref().map(|t| t.root)
+    }
+
+    /// Attach a string attribute to the op's root span (path, cache
+    /// outcome, …). No-op when untraced.
+    pub fn annotate(&mut self, key: &str, value: impl Into<String>) {
+        if let Some(t) = &mut self.trace {
+            t.attrs.push((key.to_string(), value.into()));
+        }
+    }
+
+    /// Record one attributed visit span (called by endpoints alongside
+    /// [`Self::record`]). No-op when untraced.
+    pub fn record_span(
+        &mut self,
+        server: ServerId,
+        op: &'static str,
+        service: Nanos,
+        queue: Nanos,
+        attrs: Vec<(&'static str, u64)>,
+    ) {
+        if let Some(t) = &mut self.trace {
+            let ctx = t.child_ctx();
+            t.spans.push(VisitSpan {
+                span_id: ctx.span_id,
+                parent: ctx.parent,
+                class: server.class,
+                index: server.index,
+                server: format!(
+                    "{}{}",
+                    crate::metrics::role_name(server.class),
+                    server.index
+                ),
+                op: op.to_string(),
+                queue_ns: queue,
+                service_ns: service,
+                attrs,
+            });
+        }
+    }
+
+    /// Finish the traced op: drain the span buffer (None if the op was
+    /// not sampled). Call before [`Self::take_trace`].
+    pub fn take_op_trace(&mut self) -> Option<Box<OpTrace>> {
+        self.trace.take()
     }
 
     /// Charge client-side CPU work (path parsing, cache management).
@@ -155,18 +232,30 @@ impl<S: Service> SimEndpoint<S> {
 impl<S: Service> Endpoint<S::Req, S::Resp> for SimEndpoint<S> {
     fn call(&self, ctx: &mut CallCtx, req: S::Req) -> S::Resp {
         debug_assert!(!self.is_down(), "call to a down endpoint");
-        let op = self.metrics.as_ref().map(|m| {
-            m.begin();
+        let traced = ctx.is_traced();
+        let op = (self.metrics.is_some() || traced).then(|| {
+            if let Some(m) = &self.metrics {
+                m.begin();
+            }
             (S::req_label(&req), Instant::now())
         });
         let mut svc = lock_ignoring_poison(&self.svc);
-        let queue_wait = op.as_ref().map(|(_, t0)| t0.elapsed().as_nanos() as Nanos);
+        let queue_wait = op
+            .as_ref()
+            .map(|(_, t0)| t0.elapsed().as_nanos() as Nanos)
+            .unwrap_or(0);
         let resp = svc.handle(req);
         let service = svc.take_cost();
+        let attrs = traced.then(|| svc.span_attrs());
         drop(svc);
         ctx.record(self.id, service);
-        if let (Some(m), Some((label, _))) = (&self.metrics, op) {
-            m.observe(label, service, queue_wait.unwrap_or(0));
+        if let Some((label, _)) = op {
+            if let Some(attrs) = attrs {
+                ctx.record_span(self.id, label, service, queue_wait, attrs);
+            }
+            if let Some(m) = &self.metrics {
+                m.observe(label, service, queue_wait);
+            }
         }
         resp
     }
@@ -278,6 +367,39 @@ mod tests {
         assert!(ep.is_down(), "clones share the outage flag");
         ep.set_down(false);
         assert!(!clone.is_down());
+    }
+
+    #[test]
+    fn untraced_ctx_records_no_spans() {
+        let ep = SimEndpoint::new(ServerId::new(0, 0), Adder::new(MICROS));
+        let mut ctx = CallCtx::new();
+        ep.call(&mut ctx, 1);
+        ctx.annotate("path", "/ignored");
+        assert!(!ctx.is_traced());
+        assert!(ctx.trace_ctx().is_none());
+        assert!(ctx.take_op_trace().is_none());
+    }
+
+    #[test]
+    fn traced_ctx_collects_attributed_spans() {
+        let ep = SimEndpoint::new(ServerId::new(crate::class::FMS, 3), Adder::new(2 * MICROS));
+        let mut ctx = CallCtx::new();
+        ctx.start_trace(42);
+        assert_eq!(ctx.trace_ctx().unwrap().trace_id, 42);
+        ctx.annotate("path", "/a/b");
+        ep.call(&mut ctx, 1);
+        ep.call(&mut ctx, 2);
+        let t = ctx.take_op_trace().expect("sampled op has a trace");
+        assert_eq!(t.root.trace_id, 42);
+        assert_eq!(t.attrs, vec![("path".to_string(), "/a/b".to_string())]);
+        assert_eq!(t.spans.len(), 2);
+        assert_eq!(t.spans[0].server, "fms3");
+        assert_eq!(t.spans[0].service_ns, 2 * MICROS);
+        assert_eq!((t.spans[0].span_id, t.spans[0].parent), (2, 1));
+        assert_eq!((t.spans[1].span_id, t.spans[1].parent), (3, 1));
+        // The visit trace is unaffected by tracing.
+        assert_eq!(ctx.take_trace().visits.len(), 2);
+        assert!(ctx.take_op_trace().is_none(), "buffer drains once");
     }
 
     #[test]

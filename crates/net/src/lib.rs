@@ -40,6 +40,7 @@ pub use metrics::{role_name, EndpointMetrics};
 pub use threaded::{spawn, spawn_with_metrics, ThreadEndpoint, ThreadServerGuard};
 pub use trace_export::{chrome_trace_of_ops, op_spans};
 
+pub use loco_obs::trace::{OpTrace, TraceCtx, VisitSpan};
 pub use loco_sim::des::{JobTrace, ServerId, Visit};
 pub use loco_sim::time::Nanos;
 

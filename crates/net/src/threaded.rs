@@ -12,11 +12,24 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
+/// Span attribution computed server-side for a traced call: only the
+/// server thread is generic over the service, so it alone can resolve
+/// the request label and read [`Service::span_attrs`]. Travels back
+/// across the reply channel — the wire format of trace propagation.
+struct SpanReply {
+    op: &'static str,
+    queue_ns: Nanos,
+    attrs: Vec<(&'static str, u64)>,
+}
+
 enum Envelope<Req, Resp> {
     Call {
         req: Req,
         sent: Instant,
-        reply: Sender<(Resp, Nanos)>,
+        /// Whether the caller's op is sampled; asks the server to
+        /// attach a [`SpanReply`].
+        traced: bool,
+        reply: Sender<(Resp, Nanos, Option<SpanReply>)>,
     },
     Shutdown,
 }
@@ -87,7 +100,12 @@ where
         .spawn(move || {
             while let Ok(env) = rx.recv() {
                 match env {
-                    Envelope::Call { req, sent, reply } => {
+                    Envelope::Call {
+                        req,
+                        sent,
+                        traced,
+                        reply,
+                    } => {
                         let queue_wait = sent.elapsed().as_nanos() as Nanos;
                         let op = S::req_label(&req);
                         if let Some(m) = &metrics {
@@ -95,12 +113,17 @@ where
                         }
                         let resp = svc.handle(req);
                         let cost = svc.take_cost();
+                        let span = traced.then(|| SpanReply {
+                            op,
+                            queue_ns: queue_wait,
+                            attrs: svc.span_attrs(),
+                        });
                         if let Some(m) = &metrics {
                             m.observe(op, cost, queue_wait);
                         }
                         // A dropped reply sender just means the client
                         // went away; keep serving.
-                        let _ = reply.send((resp, cost));
+                        let _ = reply.send((resp, cost, span));
                     }
                     Envelope::Shutdown => break,
                 }
@@ -127,11 +150,15 @@ where
             .send(Envelope::Call {
                 req,
                 sent: Instant::now(),
+                traced: ctx.is_traced(),
                 reply: reply_tx,
             })
             .expect("server thread alive");
-        let (resp, cost) = reply_rx.recv().expect("server reply");
+        let (resp, cost, span) = reply_rx.recv().expect("server reply");
         ctx.record(self.id, cost);
+        if let Some(s) = span {
+            ctx.record_span(self.id, s.op, cost, s.queue_ns, s.attrs);
+        }
         resp
     }
 

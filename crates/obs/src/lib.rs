@@ -11,6 +11,14 @@
 //!   exposition export;
 //! * [`trace_event`] — Chrome trace-event (`about://tracing` /
 //!   Perfetto) JSON export of per-op span timelines;
+//! * [`trace`] — loco-trace: head-sampled causal span tracing
+//!   ([`trace::TraceCtx`], [`trace::OpRecord`]) attributing each op's
+//!   latency to client / network / per-server software / KV layers;
+//! * [`recorder`] — flight recorder retaining the K slowest op span
+//!   trees per op class, dumpable as JSON or Chrome trace;
+//! * [`watchdog`] — online tail-anomaly detection (`p99 × α`, stuck
+//!   in-flight deadlines) emitting structured warn events with the
+//!   span tree attached;
 //! * [`json`] — the minimal in-tree JSON writer/parser backing the
 //!   trace exporter (the workspace builds offline, without serde).
 //!
@@ -20,8 +28,14 @@
 pub mod hist;
 pub mod json;
 pub mod metrics;
+pub mod recorder;
+pub mod trace;
 pub mod trace_event;
+pub mod watchdog;
 
 pub use hist::{HistSnapshot, LogHistogram};
 pub use metrics::{Counter, Gauge, MetricId, MetricValue, MetricsRegistry, Snapshot};
+pub use recorder::FlightRecorder;
+pub use trace::{records_json, OpRecord, OpTrace, SampleMode, TraceCtx, Tracer, VisitSpan};
 pub use trace_event::{chrome_trace_json, parse_chrome_trace, TraceSpan};
+pub use watchdog::{Watchdog, WatchdogConfig, WatchdogEvent, WatchdogKind};

@@ -1,0 +1,239 @@
+//! Flight recorder: the K slowest completed op span-trees per op class,
+//! plus (in `all` mode) a bounded ring of recent completions — the
+//! shape of Ceph's `dump_historic_ops`.
+//!
+//! Lock discipline: one short uncontended mutex acquisition per
+//! *sampled, completed* operation; unsampled ops never reach the
+//! recorder at all (head-based sampling happens upstream), and a
+//! rejected offer does no allocation beyond the record the caller
+//! already built.
+
+use crate::json::Json;
+use crate::trace::OpRecord;
+use crate::trace_event::{chrome_trace_json, TraceSpan};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Default slowest-retention per op class.
+pub const DEFAULT_K: usize = 8;
+
+#[derive(Debug, Default)]
+struct Inner {
+    /// Per-op-class rings, each kept sorted ascending by latency and
+    /// capped at `k`.
+    classes: BTreeMap<String, Vec<OpRecord>>,
+    /// Most recent completions (enabled by `with_recent`).
+    recent: VecDeque<OpRecord>,
+}
+
+/// Fixed-size retention of the slowest operations, per op class.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    k: usize,
+    keep_recent: usize,
+    inner: Mutex<Inner>,
+    offered: AtomicU64,
+    admitted: AtomicU64,
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        Self::new(DEFAULT_K)
+    }
+}
+
+impl FlightRecorder {
+    /// Keep the `k` slowest records per op class.
+    pub fn new(k: usize) -> Self {
+        Self {
+            k: k.max(1),
+            keep_recent: 0,
+            inner: Mutex::new(Inner::default()),
+            offered: AtomicU64::new(0),
+            admitted: AtomicU64::new(0),
+        }
+    }
+
+    /// Additionally keep the `n` most recent completions regardless of
+    /// latency (`LOCO_TRACE=all`).
+    pub fn with_recent(mut self, n: usize) -> Self {
+        self.keep_recent = n;
+        self
+    }
+
+    /// Offer a completed record; returns whether any ring retained it.
+    pub fn offer(&self, rec: OpRecord) -> bool {
+        self.offered.fetch_add(1, Ordering::Relaxed);
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let mut kept = false;
+        if self.keep_recent > 0 {
+            if inner.recent.len() == self.keep_recent {
+                inner.recent.pop_front();
+            }
+            inner.recent.push_back(rec.clone());
+            kept = true;
+        }
+        let ring = inner.classes.entry(rec.op.clone()).or_default();
+        if ring.len() < self.k || rec.latency_ns > ring[0].latency_ns {
+            let at = ring.partition_point(|r| r.latency_ns <= rec.latency_ns);
+            ring.insert(at, rec);
+            if ring.len() > self.k {
+                ring.remove(0);
+            }
+            kept = true;
+        }
+        if kept {
+            self.admitted.fetch_add(1, Ordering::Relaxed);
+        }
+        kept
+    }
+
+    /// All retained slowest records, across classes, slowest first.
+    pub fn slowest(&self) -> Vec<OpRecord> {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let mut all: Vec<OpRecord> = inner.classes.values().flatten().cloned().collect();
+        all.sort_by_key(|r| std::cmp::Reverse(r.latency_ns));
+        all
+    }
+
+    /// Retained slowest records of one op class, slowest first.
+    pub fn slowest_of(&self, op: &str) -> Vec<OpRecord> {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let mut ring = inner.classes.get(op).cloned().unwrap_or_default();
+        ring.reverse();
+        ring
+    }
+
+    /// Recent completions (oldest first); empty unless `with_recent`.
+    pub fn recent(&self) -> Vec<OpRecord> {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.recent.iter().cloned().collect()
+    }
+
+    /// Number of retained slowest records across all classes.
+    pub fn len(&self) -> usize {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.classes.values().map(Vec::len).sum()
+    }
+
+    /// Whether nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `(offered, admitted)` counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.offered.load(Ordering::Relaxed),
+            self.admitted.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Drop every retained record (counters survive).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.classes.clear();
+        inner.recent.clear();
+    }
+
+    /// JSON document: `{"k":…,"slowest":[…],"recent":[…]}`.
+    pub fn dump_json(&self) -> String {
+        Json::obj(vec![
+            ("k", Json::Num(self.k as f64)),
+            (
+                "slowest",
+                Json::Arr(self.slowest().iter().map(OpRecord::to_json).collect()),
+            ),
+            (
+                "recent",
+                Json::Arr(self.recent().iter().map(OpRecord::to_json).collect()),
+            ),
+        ])
+        .to_string()
+    }
+
+    /// Chrome trace-event document of every retained span tree, laid
+    /// out on the clients' virtual timeline.
+    pub fn chrome_trace(&self) -> String {
+        let mut records = self.slowest();
+        records.extend(self.recent());
+        records.sort_by_key(|r| r.start_ns);
+        records.dedup_by_key(|r| r.trace_id);
+        let spans: Vec<TraceSpan> = records.iter().flat_map(OpRecord::trace_spans).collect();
+        chrome_trace_json(&spans)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(op: &str, trace_id: u64, latency_ns: u64) -> OpRecord {
+        OpRecord {
+            trace_id,
+            op: op.into(),
+            detail: String::new(),
+            start_ns: trace_id * 1_000_000,
+            latency_ns,
+            client_work_ns: 0,
+            rtt_ns: 174_000,
+            attrs: Vec::new(),
+            visits: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn keeps_k_slowest_per_class() {
+        let fr = FlightRecorder::new(3);
+        for i in 0..10 {
+            fr.offer(rec("mkdir", i, 100 + i));
+        }
+        let kept = fr.slowest_of("mkdir");
+        assert_eq!(kept.len(), 3);
+        assert_eq!(
+            kept.iter().map(|r| r.latency_ns).collect::<Vec<_>>(),
+            vec![109, 108, 107]
+        );
+        // A fast op no longer displaces anything…
+        assert!(!fr.offer(rec("mkdir", 99, 10)));
+        // …but another class starts its own ring.
+        assert!(fr.offer(rec("stat", 100, 10)));
+        assert_eq!(fr.len(), 4);
+        let (offered, admitted) = fr.stats();
+        assert_eq!(offered, 12);
+        assert_eq!(admitted, 11);
+    }
+
+    #[test]
+    fn slowest_is_globally_sorted_and_clear_empties() {
+        let fr = FlightRecorder::new(2);
+        fr.offer(rec("a", 1, 50));
+        fr.offer(rec("b", 2, 500));
+        fr.offer(rec("a", 3, 200));
+        let all = fr.slowest();
+        assert_eq!(
+            all.iter().map(|r| r.latency_ns).collect::<Vec<_>>(),
+            vec![500, 200, 50]
+        );
+        fr.clear();
+        assert!(fr.is_empty());
+    }
+
+    #[test]
+    fn recent_ring_is_bounded_and_dump_parses() {
+        let fr = FlightRecorder::new(2).with_recent(3);
+        for i in 0..5 {
+            fr.offer(rec("op", i, 100));
+        }
+        let recent = fr.recent();
+        assert_eq!(recent.len(), 3);
+        assert_eq!(recent[0].trace_id, 2);
+
+        let doc = crate::json::parse(&fr.dump_json()).unwrap();
+        assert_eq!(doc.get("k").unwrap().as_f64(), Some(2.0));
+        assert_eq!(doc.get("recent").unwrap().as_arr().unwrap().len(), 3);
+        let trace = crate::trace_event::parse_chrome_trace(&fr.chrome_trace()).unwrap();
+        assert_eq!(trace.len(), 5, "one client span per distinct trace id");
+    }
+}

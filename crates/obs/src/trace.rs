@@ -1,0 +1,537 @@
+//! loco-trace — causal span tracing for the metadata stack.
+//!
+//! The paper's latency model is `latency(op) = Σ_visits (RTT +
+//! queueing + service)` (§2.2.1); this module makes each term
+//! attributable. A
+//! client operation that the head-based sampler admits carries an
+//! [`OpTrace`] through its `CallCtx`; every server visit (DMS, FMS,
+//! object store — over either transport) appends a [`VisitSpan`] with
+//! the RPC type, the queue-wait vs service split, and the service's
+//! KV-vs-software cost attribution. On completion the client folds the
+//! buffer into an [`OpRecord`] — the span tree that the flight recorder
+//! retains, the watchdog attaches to warn events, and the Chrome-trace
+//! exporter renders.
+//!
+//! Like the rest of `loco-obs`, this module depends on nothing: server
+//! identity travels as `(class, index, label)` rather than the sim
+//! crate's `ServerId`.
+
+use crate::json::Json;
+use crate::trace_event::TraceSpan;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Environment variable controlling the sampler: `off`, `slow`,
+/// `sample:N`, or `all`.
+pub const TRACE_ENV: &str = "LOCO_TRACE";
+
+/// Head-based sampling policy: decided once per operation, before any
+/// RPC is issued, so a span tree is always complete or absent.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SampleMode {
+    /// Trace nothing (the default; the hot path stays allocation-free).
+    Off,
+    /// Trace every op, retain only the flight recorder's K slowest per
+    /// op class.
+    Slow,
+    /// Trace every Nth op (plus the slowest-retention of `Slow`).
+    Sample(u64),
+    /// Trace every op and additionally keep a bounded ring of *all*
+    /// recent completions, not just the slowest.
+    All,
+}
+
+impl SampleMode {
+    /// Parse the `LOCO_TRACE` syntax.
+    pub fn parse(s: &str) -> Result<SampleMode, String> {
+        match s {
+            "off" | "" | "0" => Ok(SampleMode::Off),
+            "slow" => Ok(SampleMode::Slow),
+            "all" => Ok(SampleMode::All),
+            other => match other.strip_prefix("sample:").map(str::parse) {
+                Some(Ok(n)) if n > 0 => Ok(SampleMode::Sample(n)),
+                _ => Err(format!(
+                    "bad {TRACE_ENV} value {other:?} (want off|slow|sample:N|all)"
+                )),
+            },
+        }
+    }
+
+    /// Read `LOCO_TRACE`, defaulting to [`SampleMode::Off`].
+    pub fn from_env() -> SampleMode {
+        Self::from_env_or(SampleMode::Off)
+    }
+
+    /// Read `LOCO_TRACE`, falling back to `default` when the variable
+    /// is unset or unparsable.
+    pub fn from_env_or(default: SampleMode) -> SampleMode {
+        std::env::var(TRACE_ENV)
+            .ok()
+            .and_then(|v| SampleMode::parse(&v).ok())
+            .unwrap_or(default)
+    }
+}
+
+/// The propagated trace identity: which trace an RPC belongs to, which
+/// span it is, who its parent is, and whether it is sampled at all.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceCtx {
+    /// Trace (operation) identity, unique per sampled op.
+    pub trace_id: u64,
+    /// This span's id within the trace (root = 1).
+    pub span_id: u32,
+    /// Parent span id (0 = no parent, i.e. the root).
+    pub parent: u32,
+    /// Head-based sampling decision; unsampled contexts never allocate.
+    pub sampled: bool,
+}
+
+/// Decides, once per operation, whether to trace it, and allocates
+/// trace ids. Shared by every client of a cluster.
+#[derive(Debug)]
+pub struct Tracer {
+    mode: SampleMode,
+    next_trace_id: AtomicU64,
+    ops_seen: AtomicU64,
+}
+
+impl Tracer {
+    /// Create a new instance with the given policy.
+    pub fn new(mode: SampleMode) -> Self {
+        Self {
+            mode,
+            next_trace_id: AtomicU64::new(1),
+            ops_seen: AtomicU64::new(0),
+        }
+    }
+
+    /// Build from the `LOCO_TRACE` environment variable.
+    pub fn from_env() -> Self {
+        Self::new(SampleMode::from_env())
+    }
+
+    /// The sampling policy this tracer applies.
+    pub fn mode(&self) -> SampleMode {
+        self.mode
+    }
+
+    /// Head-based decision for one operation: `Some(root TraceCtx)` to
+    /// trace it, `None` to skip. With `Off` this is a single branch —
+    /// the per-op overhead the microbench keeps within noise.
+    pub fn begin_op(&self) -> Option<TraceCtx> {
+        let sample = match self.mode {
+            SampleMode::Off => false,
+            SampleMode::Slow | SampleMode::All => true,
+            SampleMode::Sample(n) => self
+                .ops_seen
+                .fetch_add(1, Ordering::Relaxed)
+                .is_multiple_of(n),
+        };
+        sample.then(|| TraceCtx {
+            trace_id: self.next_trace_id.fetch_add(1, Ordering::Relaxed),
+            span_id: 1,
+            parent: 0,
+            sampled: true,
+        })
+    }
+}
+
+/// One attributed server visit inside an operation's span tree.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VisitSpan {
+    /// Span id within the trace.
+    pub span_id: u32,
+    /// Parent span id (the op's root span).
+    pub parent: u32,
+    /// Server class (`loco_net::class`): 0 DMS, 1 FMS, 2 OST, 3 MDS.
+    pub class: u8,
+    /// Server index within its class.
+    pub index: u16,
+    /// Human label, e.g. `dms0`.
+    pub server: String,
+    /// RPC type (the service's `req_label`), e.g. `RenameDir`.
+    pub op: String,
+    /// Real (wall-clock) queue wait before the handler ran.
+    pub queue_ns: u64,
+    /// Virtual service cost of the handler.
+    pub service_ns: u64,
+    /// Numeric attribution from the service, e.g. `kv_ns`, `sw_ns`,
+    /// `kv_bytes_read`, `kv_bytes_written`, `kv_ops`.
+    pub attrs: Vec<(&'static str, u64)>,
+}
+
+impl VisitSpan {
+    /// Value of a numeric attribute, 0 when absent.
+    pub fn attr(&self, key: &str) -> u64 {
+        self.attrs
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+
+    /// Server role with the index stripped (`dms0` → `dms`).
+    pub fn role(&self) -> &str {
+        self.server.trim_end_matches(|c: char| c.is_ascii_digit())
+    }
+}
+
+/// The in-flight trace buffer carried by a sampled operation's call
+/// context. Folded into an [`OpRecord`] when the op completes.
+#[derive(Clone, Debug)]
+pub struct OpTrace {
+    /// Root context (span 1, parent 0).
+    pub root: TraceCtx,
+    next_span: u32,
+    /// Root-span string attributes (path, cache outcome, …).
+    pub attrs: Vec<(String, String)>,
+    /// One span per server visit, in causal order.
+    pub spans: Vec<VisitSpan>,
+}
+
+impl OpTrace {
+    /// Start a trace buffer for `trace_id`'s root span.
+    pub fn new(trace_id: u64) -> Self {
+        Self {
+            root: TraceCtx {
+                trace_id,
+                span_id: 1,
+                parent: 0,
+                sampled: true,
+            },
+            next_span: 2,
+            attrs: Vec::new(),
+            spans: Vec::new(),
+        }
+    }
+
+    /// Allocate a child context of the root span (one per RPC).
+    pub fn child_ctx(&mut self) -> TraceCtx {
+        let id = self.next_span;
+        self.next_span += 1;
+        TraceCtx {
+            trace_id: self.root.trace_id,
+            span_id: id,
+            parent: self.root.span_id,
+            sampled: true,
+        }
+    }
+}
+
+/// A completed operation's span tree plus its latency accounting — what
+/// the flight recorder retains and the watchdog attaches to events.
+#[derive(Clone, Debug)]
+pub struct OpRecord {
+    /// Trace identity.
+    pub trace_id: u64,
+    /// Client operation class (`mkdir`, `rename_dir`, …).
+    pub op: String,
+    /// Path-ish detail extracted from the root attrs.
+    pub detail: String,
+    /// Op start on the client's virtual clock.
+    pub start_ns: u64,
+    /// End-to-end unloaded latency.
+    pub latency_ns: u64,
+    /// Client-side CPU charged to the op.
+    pub client_work_ns: u64,
+    /// Per-visit network round-trip time.
+    pub rtt_ns: u64,
+    /// Root-span string attributes.
+    pub attrs: Vec<(String, String)>,
+    /// The visit spans.
+    pub visits: Vec<VisitSpan>,
+}
+
+impl OpRecord {
+    /// Fold a finished trace buffer into a record.
+    pub fn from_trace(
+        t: OpTrace,
+        op: &str,
+        start_ns: u64,
+        latency_ns: u64,
+        client_work_ns: u64,
+        rtt_ns: u64,
+    ) -> Self {
+        let detail = t
+            .attrs
+            .iter()
+            .find(|(k, _)| k == "path" || k == "src")
+            .map(|(_, v)| v.clone())
+            .unwrap_or_default();
+        Self {
+            trace_id: t.root.trace_id,
+            op: op.to_string(),
+            detail,
+            start_ns,
+            latency_ns,
+            client_work_ns,
+            rtt_ns,
+            attrs: t.attrs,
+            visits: t.spans,
+        }
+    }
+
+    /// Where the time went: `(layer, nanos)` buckets — `client`, `net`
+    /// (Σ RTT), per-role software (`dms`, `fms`, …) and per-role KV
+    /// work (`dms/kv`, …).
+    pub fn layer_breakdown(&self) -> Vec<(String, u64)> {
+        let mut layers: Vec<(String, u64)> = vec![
+            ("client".into(), self.client_work_ns),
+            ("net".into(), self.visits.len() as u64 * self.rtt_ns),
+        ];
+        let mut add = |name: String, ns: u64| match layers.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, v)) => *v += ns,
+            None => layers.push((name, ns)),
+        };
+        for v in &self.visits {
+            let kv = v.attr("kv_ns").min(v.service_ns);
+            add(v.role().to_string(), v.service_ns - kv);
+            if kv > 0 {
+                add(format!("{}/kv", v.role()), kv);
+            }
+        }
+        layers
+    }
+
+    /// The single layer that consumed the most time — the flight
+    /// recorder's one-line answer to "where did this op go slow?".
+    pub fn dominant_layer(&self) -> String {
+        self.layer_breakdown()
+            .into_iter()
+            .max_by_key(|(_, ns)| *ns)
+            .map(|(name, _)| name)
+            .unwrap_or_default()
+    }
+
+    /// Total KV bytes moved across all visits.
+    pub fn kv_bytes(&self) -> u64 {
+        self.visits
+            .iter()
+            .map(|v| v.attr("kv_bytes_read") + v.attr("kv_bytes_written"))
+            .sum()
+    }
+
+    /// JSON form (one object per record; see [`records_json`]).
+    pub fn to_json(&self) -> Json {
+        let str_attrs = |attrs: &[(String, String)]| {
+            Json::Obj(
+                attrs
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
+                    .collect(),
+            )
+        };
+        let visits = self
+            .visits
+            .iter()
+            .map(|v| {
+                Json::obj(vec![
+                    ("span_id", Json::Num(v.span_id as f64)),
+                    ("parent", Json::Num(v.parent as f64)),
+                    ("server", Json::Str(v.server.clone())),
+                    ("op", Json::Str(v.op.clone())),
+                    ("queue_ns", Json::Num(v.queue_ns as f64)),
+                    ("service_ns", Json::Num(v.service_ns as f64)),
+                    (
+                        "attrs",
+                        Json::Obj(
+                            v.attrs
+                                .iter()
+                                .map(|(k, n)| (k.to_string(), Json::Num(*n as f64)))
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        let layers = Json::Obj(
+            self.layer_breakdown()
+                .into_iter()
+                .filter(|(_, ns)| *ns > 0)
+                .map(|(k, ns)| (k, Json::Num(ns as f64)))
+                .collect(),
+        );
+        Json::obj(vec![
+            ("trace_id", Json::Num(self.trace_id as f64)),
+            ("op", Json::Str(self.op.clone())),
+            ("detail", Json::Str(self.detail.clone())),
+            ("start_ns", Json::Num(self.start_ns as f64)),
+            ("latency_ns", Json::Num(self.latency_ns as f64)),
+            ("client_work_ns", Json::Num(self.client_work_ns as f64)),
+            ("dominant_layer", Json::Str(self.dominant_layer())),
+            ("layers", layers),
+            ("attrs", str_attrs(&self.attrs)),
+            ("visits", Json::Arr(visits)),
+        ])
+    }
+
+    /// Render the span tree as Chrome trace-event spans on the virtual
+    /// timeline: the client span covers the whole op, each visit starts
+    /// half an RTT after dispatch, and a visit's KV share renders as a
+    /// nested `kv` span. Lanes follow `loco-net`'s export convention
+    /// (pid 0 = client, pid = class + 1 for servers).
+    pub fn trace_spans(&self) -> Vec<TraceSpan> {
+        let us = |ns: u64| ns as f64 / 1_000.0;
+        let mut spans = vec![TraceSpan {
+            name: self.op.clone(),
+            cat: "client".into(),
+            pid: 0,
+            tid: 0,
+            ts_us: us(self.start_ns),
+            dur_us: us(self.latency_ns),
+            args: self
+                .attrs
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .chain([("trace_id".to_string(), self.trace_id.to_string())])
+                .collect(),
+        }];
+        let mut cursor = self.start_ns;
+        for v in &self.visits {
+            let ts = cursor + self.rtt_ns / 2;
+            let kv = v.attr("kv_ns").min(v.service_ns);
+            spans.push(TraceSpan {
+                name: format!("{}/{}", v.server, v.op),
+                cat: "server".into(),
+                pid: v.class as u32 + 1,
+                tid: v.index as u32,
+                ts_us: us(ts),
+                dur_us: us(v.service_ns),
+                args: v
+                    .attrs
+                    .iter()
+                    .map(|(k, n)| (k.to_string(), n.to_string()))
+                    .chain([("trace_id".to_string(), self.trace_id.to_string())])
+                    .collect(),
+            });
+            if kv > 0 {
+                spans.push(TraceSpan {
+                    name: "kv".into(),
+                    cat: "kv".into(),
+                    pid: v.class as u32 + 1,
+                    tid: v.index as u32,
+                    ts_us: us(ts + (v.service_ns - kv)),
+                    dur_us: us(kv),
+                    args: vec![(
+                        "kv_bytes".to_string(),
+                        (v.attr("kv_bytes_read") + v.attr("kv_bytes_written")).to_string(),
+                    )],
+                });
+            }
+            cursor = ts + v.service_ns + self.rtt_ns / 2;
+        }
+        spans
+    }
+}
+
+/// Serialize records to a JSON array document.
+pub fn records_json(records: &[OpRecord]) -> String {
+    Json::Arr(records.iter().map(OpRecord::to_json).collect()).to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn visit(span_id: u32, server: &str, service: u64, kv: u64) -> VisitSpan {
+        VisitSpan {
+            span_id,
+            parent: 1,
+            class: if server.starts_with("dms") { 0 } else { 1 },
+            index: 0,
+            server: server.into(),
+            op: "Req".into(),
+            queue_ns: 0,
+            service_ns: service,
+            attrs: vec![("kv_ns", kv), ("sw_ns", service - kv)],
+        }
+    }
+
+    fn record() -> OpRecord {
+        OpRecord {
+            trace_id: 9,
+            op: "create".into(),
+            detail: "/a/f".into(),
+            start_ns: 1_000,
+            latency_ns: 400_000,
+            client_work_ns: 2_000,
+            rtt_ns: 174_000,
+            attrs: vec![("path".into(), "/a/f".into())],
+            visits: vec![
+                visit(2, "dms0", 10_000, 8_000),
+                visit(3, "fms1", 5_000, 1_000),
+            ],
+        }
+    }
+
+    #[test]
+    fn sample_mode_parses_the_env_syntax() {
+        assert_eq!(SampleMode::parse("off").unwrap(), SampleMode::Off);
+        assert_eq!(SampleMode::parse("slow").unwrap(), SampleMode::Slow);
+        assert_eq!(SampleMode::parse("all").unwrap(), SampleMode::All);
+        assert_eq!(
+            SampleMode::parse("sample:16").unwrap(),
+            SampleMode::Sample(16)
+        );
+        assert!(SampleMode::parse("sample:0").is_err());
+        assert!(SampleMode::parse("verbose").is_err());
+    }
+
+    #[test]
+    fn tracer_off_never_samples_and_sample_n_hits_every_nth() {
+        let off = Tracer::new(SampleMode::Off);
+        assert!((0..1000).all(|_| off.begin_op().is_none()));
+
+        let nth = Tracer::new(SampleMode::Sample(4));
+        let sampled = (0..40).filter(|_| nth.begin_op().is_some()).count();
+        assert_eq!(sampled, 10);
+
+        let all = Tracer::new(SampleMode::All);
+        let a = all.begin_op().unwrap();
+        let b = all.begin_op().unwrap();
+        assert_eq!((a.span_id, a.parent, a.sampled), (1, 0, true));
+        assert_ne!(a.trace_id, b.trace_id);
+    }
+
+    #[test]
+    fn op_trace_allocates_child_spans_under_the_root() {
+        let mut t = OpTrace::new(5);
+        let c1 = t.child_ctx();
+        let c2 = t.child_ctx();
+        assert_eq!((c1.trace_id, c1.span_id, c1.parent), (5, 2, 1));
+        assert_eq!((c2.span_id, c2.parent), (3, 1));
+    }
+
+    #[test]
+    fn layer_breakdown_splits_kv_from_software() {
+        let rec = record();
+        let layers = rec.layer_breakdown();
+        let get = |n: &str| layers.iter().find(|(k, _)| k == n).map(|(_, v)| *v);
+        assert_eq!(get("net"), Some(2 * 174_000));
+        assert_eq!(get("dms"), Some(2_000));
+        assert_eq!(get("dms/kv"), Some(8_000));
+        assert_eq!(get("fms/kv"), Some(1_000));
+        assert_eq!(rec.dominant_layer(), "net");
+        assert_eq!(rec.kv_bytes(), 0);
+    }
+
+    #[test]
+    fn record_json_shape_and_chrome_spans_nest() {
+        let rec = record();
+        let doc = crate::json::parse(&records_json(std::slice::from_ref(&rec))).unwrap();
+        let arr = doc.as_arr().unwrap();
+        assert_eq!(arr[0].get("op").unwrap().as_str(), Some("create"));
+        assert_eq!(arr[0].get("trace_id").unwrap().as_f64(), Some(9.0));
+        assert_eq!(arr[0].get("visits").unwrap().as_arr().unwrap().len(), 2);
+
+        let spans = rec.trace_spans();
+        let client = &spans[0];
+        assert_eq!(client.cat, "client");
+        for s in &spans[1..] {
+            assert!(client.encloses(s), "span {} outside client op", s.name);
+        }
+        // The kv sub-span nests inside its server span.
+        let server = spans.iter().find(|s| s.name == "dms0/Req").unwrap();
+        let kv = spans.iter().find(|s| s.cat == "kv").unwrap();
+        assert!(server.encloses(kv));
+    }
+}

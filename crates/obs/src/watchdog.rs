@@ -1,0 +1,343 @@
+//! Online tail-anomaly watchdog.
+//!
+//! Two detectors, both driven by the existing log-bucketed histograms
+//! rather than fixed thresholds:
+//!
+//! * **tail latency** — a completed op slower than `p99 × α` of its own
+//!   op-class histogram (falling back to a watchdog-global histogram
+//!   until the class has enough samples) fires one structured warn
+//!   event carrying the full span tree;
+//! * **stuck in flight** — a sampled op that began more than
+//!   `stuck_deadline_ns` of virtual time ago and has not completed
+//!   fires once when polled.
+//!
+//! The threshold is computed *before* the offending sample is recorded,
+//! so an outlier cannot raise the bar that judges it.
+
+use crate::hist::LogHistogram;
+use crate::json::Json;
+use crate::trace::OpRecord;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Tuning for [`Watchdog`].
+#[derive(Clone, Copy, Debug)]
+pub struct WatchdogConfig {
+    /// Fire when `latency > p99 × alpha`.
+    pub alpha: f64,
+    /// Minimum samples before a histogram is trusted as a baseline.
+    pub min_samples: u64,
+    /// Virtual-time deadline for the stuck-in-flight detector.
+    pub stuck_deadline_ns: u64,
+    /// Suppress the stderr warn line (events are still collected).
+    pub quiet: bool,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        Self {
+            alpha: 4.0,
+            min_samples: 32,
+            stuck_deadline_ns: 30_000_000_000,
+            quiet: false,
+        }
+    }
+}
+
+/// What a watchdog event detected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WatchdogKind {
+    /// Completed, but far beyond the op class's tail.
+    TailLatency,
+    /// Still in flight past the deadline.
+    Stuck,
+}
+
+/// One structured warn event.
+#[derive(Clone, Debug)]
+pub struct WatchdogEvent {
+    /// Detector that fired.
+    pub kind: WatchdogKind,
+    /// Client op class (`rename_dir`, …); `"?"` for stuck ops whose
+    /// class is unknown until completion.
+    pub op: String,
+    /// Observed latency (elapsed-so-far for stuck ops).
+    pub latency_ns: u64,
+    /// Threshold that was exceeded.
+    pub threshold_ns: u64,
+    /// Baseline p99 the threshold was derived from (0 for stuck).
+    pub baseline_p99_ns: u64,
+    /// Trace identity of the offending op.
+    pub trace_id: u64,
+    /// Full span tree (absent for stuck ops — they have not returned).
+    pub record: Option<OpRecord>,
+}
+
+impl WatchdogEvent {
+    /// Compact JSON line, as printed to stderr.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            (
+                "kind",
+                Json::Str(
+                    match self.kind {
+                        WatchdogKind::TailLatency => "tail_latency",
+                        WatchdogKind::Stuck => "stuck",
+                    }
+                    .into(),
+                ),
+            ),
+            ("op", Json::Str(self.op.clone())),
+            ("trace_id", Json::Num(self.trace_id as f64)),
+            ("latency_us", Json::Num(self.latency_ns as f64 / 1e3)),
+            ("threshold_us", Json::Num(self.threshold_ns as f64 / 1e3)),
+            (
+                "dominant_layer",
+                Json::Str(
+                    self.record
+                        .as_ref()
+                        .map(OpRecord::dominant_layer)
+                        .unwrap_or_default(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// The watchdog. Shared by every client of a cluster; only sampled
+/// (traced) operations reach it.
+#[derive(Debug)]
+pub struct Watchdog {
+    cfg: WatchdogConfig,
+    /// Cross-op baseline used while an op class's own histogram is
+    /// still cold.
+    global: LogHistogram,
+    /// trace_id → start_ns of sampled ops currently executing.
+    inflight: Mutex<BTreeMap<u64, u64>>,
+    events: Mutex<Vec<WatchdogEvent>>,
+    fired: AtomicU64,
+}
+
+impl Default for Watchdog {
+    fn default() -> Self {
+        Self::new(WatchdogConfig::default())
+    }
+}
+
+impl Watchdog {
+    /// Create a new instance with the given tuning.
+    pub fn new(cfg: WatchdogConfig) -> Self {
+        Self {
+            cfg,
+            global: LogHistogram::new(),
+            inflight: Mutex::new(BTreeMap::new()),
+            events: Mutex::new(Vec::new()),
+            fired: AtomicU64::new(0),
+        }
+    }
+
+    /// The active tuning.
+    pub fn config(&self) -> WatchdogConfig {
+        self.cfg
+    }
+
+    /// Register a sampled op entering flight.
+    pub fn begin_inflight(&self, trace_id: u64, start_ns: u64) {
+        self.inflight
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(trace_id, start_ns);
+    }
+
+    /// Deregister on completion (before [`Watchdog::complete`]).
+    pub fn end_inflight(&self, trace_id: u64) {
+        self.inflight
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&trace_id);
+    }
+
+    /// Judge a completed op against its class baseline. `op_hist` is
+    /// the op class's latency histogram *before* this sample is
+    /// recorded into it. Returns whether a tail event fired.
+    pub fn complete(&self, op_hist: &LogHistogram, rec: &OpRecord) -> bool {
+        let baseline = if op_hist.count() >= self.cfg.min_samples {
+            op_hist
+        } else {
+            &self.global
+        };
+        let armed = baseline.count() >= self.cfg.min_samples;
+        let p99 = baseline.p99();
+        let threshold = (p99 as f64 * self.cfg.alpha) as u64;
+        self.global.record(rec.latency_ns);
+        if !(armed && rec.latency_ns > threshold) {
+            return false;
+        }
+        self.fire(WatchdogEvent {
+            kind: WatchdogKind::TailLatency,
+            op: rec.op.clone(),
+            latency_ns: rec.latency_ns,
+            threshold_ns: threshold,
+            baseline_p99_ns: p99,
+            trace_id: rec.trace_id,
+            record: Some(rec.clone()),
+        });
+        true
+    }
+
+    /// Fire (once each) for in-flight ops older than the deadline.
+    /// Returns how many fired.
+    pub fn poll_stuck(&self, now_ns: u64) -> usize {
+        let stuck: Vec<(u64, u64)> = {
+            let mut inflight = self.inflight.lock().unwrap_or_else(|e| e.into_inner());
+            let ids: Vec<u64> = inflight
+                .iter()
+                .filter(|(_, &start)| now_ns.saturating_sub(start) > self.cfg.stuck_deadline_ns)
+                .map(|(&id, _)| id)
+                .collect();
+            ids.iter()
+                .map(|id| (*id, inflight.remove(id).unwrap()))
+                .collect()
+        };
+        let n = stuck.len();
+        for (trace_id, start_ns) in stuck {
+            self.fire(WatchdogEvent {
+                kind: WatchdogKind::Stuck,
+                op: "?".into(),
+                latency_ns: now_ns.saturating_sub(start_ns),
+                threshold_ns: self.cfg.stuck_deadline_ns,
+                baseline_p99_ns: 0,
+                trace_id,
+                record: None,
+            });
+        }
+        n
+    }
+
+    fn fire(&self, ev: WatchdogEvent) {
+        self.fired.fetch_add(1, Ordering::Relaxed);
+        if !self.cfg.quiet {
+            eprintln!("[loco-watchdog] WARN {}", ev.to_json());
+        }
+        self.events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(ev);
+    }
+
+    /// Events fired so far (clone).
+    pub fn events(&self) -> Vec<WatchdogEvent> {
+        self.events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// Drain the collected events.
+    pub fn take_events(&self) -> Vec<WatchdogEvent> {
+        std::mem::take(&mut self.events.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Total events fired.
+    pub fn fired_count(&self) -> u64 {
+        self.fired.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(op: &str, trace_id: u64, latency_ns: u64) -> OpRecord {
+        OpRecord {
+            trace_id,
+            op: op.into(),
+            detail: String::new(),
+            start_ns: 0,
+            latency_ns,
+            client_work_ns: 0,
+            rtt_ns: 0,
+            attrs: Vec::new(),
+            visits: Vec::new(),
+        }
+    }
+
+    fn quiet() -> Watchdog {
+        Watchdog::new(WatchdogConfig {
+            quiet: true,
+            ..WatchdogConfig::default()
+        })
+    }
+
+    #[test]
+    fn fires_only_once_armed_and_only_beyond_alpha_p99() {
+        let wd = quiet();
+        let hist = LogHistogram::new();
+        // Cold: even a huge outlier cannot fire before min_samples.
+        assert!(!wd.complete(&hist, &rec("op", 1, 1_000_000_000)));
+        for i in 0..40 {
+            let r = rec("op", 10 + i, 100_000);
+            assert!(!wd.complete(&hist, &r), "homogeneous ops never fire");
+            hist.record(r.latency_ns);
+        }
+        // 4×p99 of ~100µs ⇒ ~400µs threshold; 2ms fires.
+        assert!(wd.complete(&hist, &rec("op", 99, 2_000_000)));
+        let evs = wd.events();
+        let tail: Vec<_> = evs
+            .iter()
+            .filter(|e| e.kind == WatchdogKind::TailLatency)
+            .collect();
+        assert_eq!(tail.len(), 1);
+        assert_eq!(tail[0].trace_id, 99);
+        assert!(tail[0].record.is_some());
+        assert!(tail[0].threshold_ns >= 400_000 / 2);
+    }
+
+    #[test]
+    fn cold_op_class_falls_back_to_global_baseline() {
+        let wd = quiet();
+        let warm = LogHistogram::new();
+        for i in 0..40 {
+            wd.complete(&warm, &rec("mkdir", i, 150_000));
+        }
+        // A brand-new op class (empty histogram) is judged against the
+        // watchdog's global baseline and can fire on its first sample.
+        let cold = LogHistogram::new();
+        assert!(wd.complete(&cold, &rec("rename_dir", 77, 5_000_000)));
+        assert_eq!(wd.fired_count(), 1);
+    }
+
+    #[test]
+    fn stuck_ops_fire_exactly_once_when_polled() {
+        let wd = quiet();
+        wd.begin_inflight(5, 1_000);
+        wd.begin_inflight(6, 2_000);
+        assert_eq!(wd.poll_stuck(10_000), 0, "within deadline");
+        let past = 31_000_000_000 + 2_000;
+        assert_eq!(wd.poll_stuck(past), 2);
+        assert_eq!(wd.poll_stuck(past + 1), 0, "each fires once");
+        let evs = wd.events();
+        assert!(evs.iter().all(|e| e.kind == WatchdogKind::Stuck));
+        // A completed op leaves the table before the deadline check.
+        wd.begin_inflight(7, 0);
+        wd.end_inflight(7);
+        assert_eq!(wd.poll_stuck(u64::MAX / 2), 0);
+    }
+
+    #[test]
+    fn event_json_line_is_parseable() {
+        let wd = quiet();
+        let hist = LogHistogram::new();
+        for i in 0..40 {
+            let r = rec("op", i, 10_000);
+            wd.complete(&hist, &r);
+            hist.record(r.latency_ns);
+        }
+        wd.complete(&hist, &rec("op", 999, 10_000_000));
+        let ev = &wd.events()[0];
+        let doc = crate::json::parse(&ev.to_json().to_string()).unwrap();
+        assert_eq!(doc.get("kind").unwrap().as_str(), Some("tail_latency"));
+        assert_eq!(doc.get("trace_id").unwrap().as_f64(), Some(999.0));
+    }
+}

@@ -66,6 +66,8 @@ pub enum OstoreResponse {
 /// An object-store server: blocks keyed `uuid (8B BE) ‖ blk (8B BE)`.
 pub struct ObjectStore {
     db: HashDb,
+    /// Software-vs-KV split of the last request (span attribution).
+    split: loco_kv::SpanSplit,
     extra: CostAcc,
     /// Per-byte network transfer cost for payload bytes (≈1 GbE:
     /// 1 ns/byte ≈ 125 MB/s each way).
@@ -80,6 +82,7 @@ impl ObjectStore {
     pub fn new(cfg: KvConfig) -> Self {
         Self {
             db: HashDb::new(cfg),
+            split: loco_kv::SpanSplit::default(),
             extra: CostAcc::new(),
             net_byte: 8,
             rpc_overhead: loco_sim::CostModel::default().rpc_handler,
@@ -146,7 +149,14 @@ impl Service for ObjectStore {
     }
 
     fn take_cost(&mut self) -> Nanos {
-        self.extra.take() + self.db.take_cost()
+        let sw = self.extra.take();
+        let kv = self.db.take_cost();
+        self.split.update(sw, kv, &self.db.stats());
+        sw + kv
+    }
+
+    fn span_attrs(&self) -> Vec<(&'static str, u64)> {
+        self.split.attrs()
     }
 
     fn req_label(req: &OstoreRequest) -> &'static str {

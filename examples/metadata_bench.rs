@@ -17,7 +17,8 @@ use locofs::baselines::{
 };
 use locofs::client::LocoConfig;
 use locofs::mdtest::{
-    collect_traces, gen_phase, gen_setup, run_latency, run_setup, PhaseKind, TreeSpec,
+    collect_traces, dump_phase_slow_ops, gen_phase, gen_setup, run_latency, run_setup, BenchReport,
+    PhaseKind, TreeSpec,
 };
 use locofs::sim::des::ClosedLoopSim;
 
@@ -95,6 +96,18 @@ fn main() {
         run.mean_rtts(fs.rtt().max(1)),
         run.errors
     );
+    dump_phase_slow_ops(&format!("{system} {} latency", kind.label()), &mut *fs);
+    let mut report = BenchReport::new("mdtest");
+    let labels = (system.clone(), servers.to_string(), kind.label());
+    report.push(
+        "latency_mean_us",
+        &[
+            ("system", &labels.0),
+            ("servers", &labels.1),
+            ("phase", labels.2),
+        ],
+        run.mean_us(),
+    );
 
     // Closed-loop throughput.
     let mut fs = make(&system, servers);
@@ -124,4 +137,15 @@ fn main() {
         out.ops_completed,
         out.mean_latency() / 1000.0
     );
+    dump_phase_slow_ops(&format!("{system} {} throughput", kind.label()), &mut *fs);
+    report.push(
+        "iops",
+        &[
+            ("system", &labels.0),
+            ("servers", &labels.1),
+            ("phase", labels.2),
+        ],
+        out.iops(),
+    );
+    report.write();
 }

@@ -8,9 +8,14 @@
 //!
 //! Commands: mkdir P | rmdir P | touch P | rm P | ls P | stat P |
 //!           write P TEXT | cat P | mv OLD NEW | chmod MODE P |
-//!           trace on|off | help
+//!           trace on|off | slow | dump-ops [PATH] | help
+//!
+//! `slow` prints the flight recorder's slowest sampled ops with their
+//! layer breakdown; `dump-ops` exports them as a Chrome trace (load in
+//! `about://tracing` or Perfetto). Sampling defaults to `slow`; set
+//! `LOCO_TRACE=all|sample:N|off` to override.
 
-use locofs::client::{LocoCluster, LocoConfig};
+use locofs::client::{LocoCluster, LocoConfig, TraceMode};
 use locofs::types::{DirentKind, Perm};
 use std::io::BufRead;
 
@@ -32,10 +37,13 @@ ls /home/alice-archived
 trace off
 rm /home/alice-archived/notes.txt
 ls /home/alice-archived
+slow
 ";
 
 fn main() {
-    let cluster = LocoCluster::new(LocoConfig::with_servers(4));
+    let cluster = LocoCluster::new(
+        LocoConfig::with_servers(4).traced(TraceMode::from_env_or(TraceMode::All)),
+    );
     let mut fs = cluster.client();
     let mut show_trace = false;
 
@@ -114,7 +122,47 @@ fn main() {
                 show_trace = a1 == "on";
                 Ok(String::new())
             }
-            "help" => Ok("mkdir rmdir touch rm ls stat write cat mv chmod trace".into()),
+            "slow" => {
+                let recs = fs.flight_recorder().slowest();
+                if recs.is_empty() {
+                    Ok("flight recorder empty (is LOCO_TRACE off?)".into())
+                } else {
+                    let mut out = String::from("slowest sampled ops:");
+                    for r in recs.iter().take(10) {
+                        out.push_str(&format!(
+                            "\n  {:>8.1}µs  {:<12} {:<24} dominant={}",
+                            r.latency_ns as f64 / 1e3,
+                            r.op,
+                            r.detail,
+                            r.dominant_layer()
+                        ));
+                        for v in &r.visits {
+                            out.push_str(&format!(
+                                "\n             └ {} {} service={:.1}µs kv={:.1}µs",
+                                v.server,
+                                v.op,
+                                v.service_ns as f64 / 1e3,
+                                v.attr("kv_ns") as f64 / 1e3
+                            ));
+                        }
+                    }
+                    Ok(out)
+                }
+            }
+            "dump-ops" => {
+                let json = fs.flight_recorder().chrome_trace();
+                if a1.is_empty() {
+                    Ok(json)
+                } else {
+                    match std::fs::write(a1, &json) {
+                        Ok(()) => Ok(format!("wrote {a1} (open in about://tracing)")),
+                        Err(e) => Ok(format!("cannot write {a1}: {e}")),
+                    }
+                }
+            }
+            "help" => {
+                Ok("mkdir rmdir touch rm ls stat write cat mv chmod trace slow dump-ops".into())
+            }
             other => Ok(format!("unknown command {other:?} (try help)")),
         };
         match result {

@@ -284,3 +284,215 @@ fn histogram_quantiles_within_one_percent_on_a_million_samples() {
     assert_eq!(hist.min(), *exact.first().unwrap());
     assert_eq!(hist.max(), *exact.last().unwrap());
 }
+
+// ===== loco-trace: span collection, flight recorder, watchdog =======
+
+/// Drive a mkdir/stat mix through any endpoint with tracing on,
+/// returning the collected span tree.
+fn traced_dms_script(ep: &dyn Endpoint<DmsRequest, DmsResponse>) -> Vec<locofs::obs::VisitSpan> {
+    let mut ctx = CallCtx::new();
+    ctx.start_trace(42);
+    for i in 0..20 {
+        ep.call(
+            &mut ctx,
+            DmsRequest::Mkdir {
+                path: format!("/d{i}"),
+                mode: 0o755,
+                uid: 1,
+                gid: 1,
+                ts: 0,
+            },
+        );
+    }
+    for i in 0..5 {
+        ep.call(
+            &mut ctx,
+            DmsRequest::GetDir {
+                path: format!("/d{i}"),
+            },
+        );
+    }
+    ctx.take_op_trace().expect("context was traced").spans
+}
+
+#[test]
+fn span_trees_agree_across_transports() {
+    let id = ServerId::new(class::DMS, 0);
+    let mk = || DirServer::new(DmsBackend::BTree, KvConfig::default());
+
+    let sim_spans = traced_dms_script(&SimEndpoint::new(id, mk()));
+    let (thr_ep, _guard) = locofs::net::spawn(id, mk());
+    let thr_spans = traced_dms_script(&thr_ep);
+
+    // Queue wait is real wall-clock time and legitimately differs
+    // between a lock (sim) and a channel (threaded); everything else —
+    // span ids, parents, op labels, virtual service costs, and the
+    // KV/software attribution shipped back across the channel — must
+    // be identical.
+    let normalize = |spans: Vec<locofs::obs::VisitSpan>| {
+        spans
+            .into_iter()
+            .map(|mut s| {
+                s.queue_ns = 0;
+                s
+            })
+            .collect::<Vec<_>>()
+    };
+    let (sim_spans, thr_spans) = (normalize(sim_spans), normalize(thr_spans));
+    assert_eq!(sim_spans.len(), 25);
+    assert_eq!(sim_spans, thr_spans);
+    // The span tree is attributed: each visit splits its service time
+    // into software and KV shares.
+    for s in &sim_spans {
+        assert_eq!(s.parent, 1, "visits hang off the root span");
+        assert!(s.attr("kv_ns") <= s.service_ns);
+        assert!(s.attr("kv_ops") > 0, "DMS ops touch the KV store: {s:?}");
+    }
+}
+
+#[test]
+fn sampling_off_records_zero_spans_and_costs_nothing_in_state() {
+    use locofs::client::TraceMode;
+    let cluster = LocoCluster::new(LocoConfig::with_servers(2).traced(TraceMode::Off));
+    let mut fs = cluster.client();
+    fs.mkdir("/q", 0o755).unwrap();
+    for i in 0..30 {
+        fs.create(&format!("/q/f{i}"), 0o644).unwrap();
+        fs.stat_file(&format!("/q/f{i}")).unwrap();
+    }
+    assert!(fs.flight_recorder().is_empty(), "off ⇒ no records");
+    assert_eq!(fs.flight_recorder().stats(), (0, 0), "off ⇒ never offered");
+    assert_eq!(fs.watchdog().fired_count(), 0);
+    assert!(fs.watchdog().events().is_empty());
+}
+
+#[test]
+fn tracing_does_not_perturb_virtual_latencies() {
+    use locofs::client::TraceMode;
+    // The tracer observes the latency model; it must not change it.
+    let run = |mode: TraceMode| {
+        let cluster = LocoCluster::new(LocoConfig::with_servers(2).traced(mode));
+        let mut fs = cluster.client();
+        fs.mkdir("/p", 0o755).unwrap();
+        for i in 0..25 {
+            fs.create(&format!("/p/f{i}"), 0o644).unwrap();
+            fs.stat_file(&format!("/p/f{i}")).unwrap();
+        }
+        fs.rename_dir("/p", "/p2").unwrap();
+        fs.now()
+    };
+    assert_eq!(run(TraceMode::Off), run(TraceMode::All));
+    assert_eq!(run(TraceMode::Off), run(TraceMode::Sample(7)));
+}
+
+/// The subsystem's acceptance test: a deliberately slow operation shows
+/// up in the flight recorder with a span tree naming the layer that
+/// consumed the time, and the watchdog fires exactly one structured
+/// event for it.
+#[test]
+fn slow_op_is_flight_recorded_attributed_and_watchdogged() {
+    use locofs::client::TraceMode;
+    let cluster = LocoCluster::new(LocoConfig::with_servers(2).traced(TraceMode::Slow));
+    let mut fs = cluster.client();
+
+    // Warm phase: enough cheap ops to arm the watchdog's baseline
+    // (min_samples) with ordinary latencies.
+    fs.mkdir("/big", 0o755).unwrap();
+    for i in 0..64 {
+        fs.stat_dir("/big").unwrap();
+        fs.create(&format!("/big/f{i}"), 0o644).unwrap();
+    }
+    assert_eq!(fs.watchdog().fired_count(), 0, "warm phase is unremarkable");
+
+    // Grow a wide subtree, then range-move it: the DMS rename extracts
+    // and reinserts every d-inode under the prefix in one visit — the
+    // op class the paper's §3.4.3 calls out, and our designated slow op.
+    for i in 0..800 {
+        fs.mkdir(&format!("/big/sub{i}"), 0o755).unwrap();
+    }
+    let fired_before = fs.watchdog().fired_count();
+    let moved = fs.rename_dir("/big", "/big2").unwrap();
+    assert_eq!(moved, 801);
+
+    // 1. The flight recorder holds it, slowest-first.
+    let recs = fs.flight_recorder().slowest_of("rename_dir");
+    assert_eq!(recs.len(), 1, "one rename_dir was sampled");
+    let rec = &recs[0];
+    assert_eq!(rec.detail, "/big", "root span carries the source path");
+    assert_eq!(
+        fs.flight_recorder().slowest().first().map(|r| r.trace_id),
+        Some(rec.trace_id),
+        "globally the slowest op of the run"
+    );
+
+    // 2. The span tree names the exact layer that consumed the time:
+    // one DMS visit whose KV share dominates client, network, and
+    // every other server's software share.
+    assert_eq!(rec.visits.len(), 1, "d-rename is a single DMS visit");
+    assert_eq!(rec.visits[0].role(), "dms");
+    assert_eq!(rec.visits[0].op, "RenameDir");
+    assert!(
+        rec.dominant_layer().starts_with("dms"),
+        "latency attributed to the DMS, got {}",
+        rec.dominant_layer()
+    );
+    assert!(
+        rec.visits[0].attr("kv_ops") >= 801,
+        "range move touches every moved inode: {:?}",
+        rec.visits[0]
+    );
+
+    // 3. The watchdog fired exactly one tail-latency event for it,
+    // with the span tree attached.
+    let events: Vec<_> = fs
+        .watchdog()
+        .events()
+        .into_iter()
+        .filter(|e| e.op == "rename_dir")
+        .collect();
+    assert_eq!(events.len(), 1, "exactly one event for the slow op");
+    let ev = &events[0];
+    assert_eq!(ev.kind, locofs::obs::WatchdogKind::TailLatency);
+    assert_eq!(ev.trace_id, rec.trace_id);
+    assert!(ev.latency_ns > ev.threshold_ns);
+    assert!(ev.record.is_some(), "event carries the full span tree");
+    assert_eq!(
+        fs.watchdog().fired_count(),
+        fired_before + 1,
+        "no other op tripped the watchdog"
+    );
+
+    // 4. The record exports as a Chrome trace that parses back with
+    // the KV share nested inside the DMS visit span.
+    let text = fs.flight_recorder().chrome_trace();
+    let spans = parse_chrome_trace(&text).expect("flight export parses");
+    let client = spans
+        .iter()
+        .find(|s| s.cat == "client" && s.name == "rename_dir")
+        .expect("client span present");
+    let server = spans
+        .iter()
+        .find(|s| s.cat == "server" && s.name.starts_with("dms0/RenameDir"))
+        .expect("DMS visit span present");
+    let kv = spans
+        .iter()
+        .filter(|s| s.cat == "kv")
+        .find(|s| server.encloses(s))
+        .expect("kv share nests in the DMS visit");
+    assert!(client.encloses(server), "visit nests in the op span");
+    assert!(kv.dur_us <= server.dur_us);
+
+    // 5. CI artifact hook: when LOCO_OBS_DUMP_DIR is set, leave the
+    // dumps on disk for the workflow to upload.
+    if let Ok(dir) = std::env::var("LOCO_OBS_DUMP_DIR") {
+        let dir = std::path::Path::new(&dir);
+        std::fs::create_dir_all(dir).expect("create dump dir");
+        std::fs::write(dir.join("flight.json"), fs.flight_recorder().dump_json())
+            .expect("write flight dump");
+        std::fs::write(dir.join("flight.chrome.json"), &text).expect("write chrome dump");
+        std::fs::write(dir.join("metrics.prom"), fs.registry().render_prometheus())
+            .expect("write metrics dump");
+        std::fs::write(dir.join("watchdog.json"), format!("[{}]", ev.to_json()))
+            .expect("write watchdog dump");
+    }
+}

@@ -40,6 +40,9 @@ fn restart(cluster: &LocoCluster) -> LocoCluster {
         ost: cluster.ost.clone(), // data tier kept (metadata restart only)
         ring: HashRing::new(cluster.config.num_fms),
         registry: MetricsRegistry::shared(),
+        tracer: cluster.tracer.clone(),
+        flight: cluster.flight.clone(),
+        watchdog: cluster.watchdog.clone(),
     }
 }
 
@@ -116,6 +119,9 @@ fn restore_can_migrate_dms_backend() {
         ost: cluster.ost.clone(),
         ring: HashRing::new(cluster.config.num_fms),
         registry: MetricsRegistry::shared(),
+        tracer: cluster.tracer.clone(),
+        flight: cluster.flight.clone(),
+        watchdog: cluster.watchdog.clone(),
     };
     let mut fs2 = restarted.client();
     assert!(fs2.stat_dir("/a/b").is_ok());
