@@ -2,7 +2,7 @@
 //! driver can run LocoFS and the baseline models interchangeably.
 
 use crate::fs_trait::DistFs;
-use loco_client::{FileHandle, LocoClient, LocoCluster, LocoConfig};
+use loco_client::{FileHandle, LocoClient, LocoCluster, LocoConfig, Transport, TransportCluster};
 use loco_net::{JobTrace, Nanos};
 use loco_types::{FsResult, Perm};
 
@@ -11,20 +11,42 @@ use loco_types::{FsResult, Perm};
 pub struct LocoAdapter {
     client: LocoClient,
     label: String,
+    // Keeps thread/TCP server halves alive for non-sim transports
+    // (dropping the TransportCluster shuts its servers down).
+    _cluster: Option<TransportCluster>,
+}
+
+fn base_label(config: &LocoConfig) -> &'static str {
+    if config.cache_enabled {
+        "LocoFS-C"
+    } else {
+        "LocoFS-NC"
+    }
 }
 
 impl LocoAdapter {
     /// Build a fresh single-client cluster from `config`.
     pub fn new(config: LocoConfig) -> Self {
-        let label = if config.cache_enabled {
-            "LocoFS-C"
-        } else {
-            "LocoFS-NC"
-        };
+        let label = base_label(&config);
         let cluster = LocoCluster::new(config);
         Self {
             client: cluster.client(),
             label: label.to_string(),
+            _cluster: None,
+        }
+    }
+
+    /// Build a cluster over an explicit [`Transport`]. For
+    /// [`Transport::Sim`] this is identical to [`LocoAdapter::new`];
+    /// the other transports run the same servers behind threads or TCP
+    /// sockets while the benchmark interface stays unchanged.
+    pub fn with_transport(config: LocoConfig, transport: Transport) -> Self {
+        let label = base_label(&config);
+        let cluster = TransportCluster::new(config, transport);
+        Self {
+            client: cluster.client(),
+            label: label.to_string(),
+            _cluster: Some(cluster),
         }
     }
 
@@ -38,6 +60,7 @@ impl LocoAdapter {
         Self {
             client: cluster.client(),
             label: label.to_string(),
+            _cluster: None,
         }
     }
 

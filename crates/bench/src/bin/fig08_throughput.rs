@@ -7,10 +7,21 @@
 //! LocoFS (checks every FMS); CephFS wins the stat phases via client
 //! caching.
 
-use loco_bench::{env_scale, measure_throughput, paper_clients, BenchReport, FsKind, Table};
+//! Pass `--transport {sim,thread,tcp}` to run the LocoFS rows over a
+//! different endpoint flavour (baseline models are unaffected); the
+//! report is then written as `BENCH_fig08_<transport>.json`. Virtual
+//! costs cross the wire, so the numbers are transport-invariant — the
+//! non-sim runs exist to exercise the RPC stack at benchmark scale.
+
+use loco_bench::{
+    env_scale, measure_throughput_on, paper_clients, parse_transport_flag, BenchReport, FsKind,
+    Table, Transport,
+};
 use loco_mdtest::PhaseKind;
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (_, transport) = parse_transport_flag(&args);
     let items = env_scale("LOCO_TP_ITEMS", 60);
     let servers = [1u16, 2, 4, 8, 16];
     let phases = [
@@ -22,7 +33,11 @@ fn main() {
         PhaseKind::DirStat,
     ];
 
-    let mut report = BenchReport::new("fig08");
+    let report_name = match transport {
+        Transport::Sim => "fig08".to_string(),
+        other => format!("fig08_{}", other.name()),
+    };
+    let mut report = BenchReport::new(&report_name);
     for phase in phases {
         let mut t = Table::new(
             std::iter::once("system".to_string())
@@ -33,7 +48,7 @@ fn main() {
             let mut cells = vec![kind.label().to_string()];
             for &n in &servers {
                 let clients = paper_clients(n);
-                let iops = measure_throughput(kind, n, phase, clients, items);
+                let iops = measure_throughput_on(kind, n, phase, clients, items, transport);
                 cells.push(format!("{:.0}", iops));
                 report.push(
                     "iops",
@@ -48,7 +63,7 @@ fn main() {
             t.row(cells);
         }
         t.print(&format!(
-            "Fig 8 ({}): aggregate IOPS  [items/client = {items}, clients = Table 3]",
+            "Fig 8 ({}): aggregate IOPS  [items/client = {items}, clients = Table 3, transport = {transport}]",
             phase.label()
         ));
     }

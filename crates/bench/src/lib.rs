@@ -37,6 +37,8 @@ use loco_baselines::{
 use loco_client::LocoConfig;
 use loco_sim::des::ClosedLoopSim;
 
+pub use loco_client::Transport;
+
 /// Filesystems under test, by paper label.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum FsKind {
@@ -84,13 +86,27 @@ impl FsKind {
 
 /// Instantiate a filesystem with `servers` metadata servers.
 pub fn make_fs(kind: FsKind, servers: u16) -> Box<dyn DistFs> {
+    make_fs_on(kind, servers, Transport::Sim)
+}
+
+/// Like [`make_fs`], but LocoFS variants run over an explicit
+/// [`Transport`]. The baseline *models* have no wire to cross, so the
+/// transport only affects the `FsKind::Loco*` rows — which is exactly
+/// what the transport-equivalence guarantee needs: their virtual-cost
+/// traces (and therefore every figure) are identical across transports.
+pub fn make_fs_on(kind: FsKind, servers: u16, transport: Transport) -> Box<dyn DistFs> {
     match kind {
-        FsKind::LocoC => Box::new(LocoAdapter::new(LocoConfig::with_servers(servers))),
-        FsKind::LocoNC => Box::new(LocoAdapter::new(
-            LocoConfig::with_servers(servers).no_cache(),
+        FsKind::LocoC => Box::new(LocoAdapter::with_transport(
+            LocoConfig::with_servers(servers),
+            transport,
         )),
-        FsKind::LocoCF => Box::new(LocoAdapter::new(
+        FsKind::LocoNC => Box::new(LocoAdapter::with_transport(
+            LocoConfig::with_servers(servers).no_cache(),
+            transport,
+        )),
+        FsKind::LocoCF => Box::new(LocoAdapter::with_transport(
             LocoConfig::with_servers(servers).coupled(),
+            transport,
         )),
         FsKind::Ceph => Box::new(CephFsModel::new(servers)),
         FsKind::Gluster => Box::new(GlusterFsModel::new(servers)),
@@ -156,6 +172,30 @@ pub fn prepare_phase(
 
 pub use loco_mdtest::{dump_phase_metrics, dump_phase_slow_ops, prom_family_sum, BenchReport};
 
+/// Parse a `--transport {sim,thread,tcp}` flag out of a bin's argument
+/// list, returning the remaining positional arguments and the chosen
+/// transport (default [`Transport::Sim`]).
+pub fn parse_transport_flag(args: &[String]) -> (Vec<String>, Transport) {
+    let mut transport = Transport::Sim;
+    let mut rest = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--transport" {
+            let val = it
+                .next()
+                .unwrap_or_else(|| panic!("--transport needs a value (sim/thread/tcp)"));
+            transport = Transport::parse(val)
+                .unwrap_or_else(|| panic!("unknown transport {val:?} (sim/thread/tcp)"));
+        } else if let Some(val) = a.strip_prefix("--transport=") {
+            transport = Transport::parse(val)
+                .unwrap_or_else(|| panic!("unknown transport {val:?} (sim/thread/tcp)"));
+        } else {
+            rest.push(a.clone());
+        }
+    }
+    (rest, transport)
+}
+
 /// Closed-loop throughput of one (system, servers, phase) cell.
 pub fn measure_throughput(
     kind: FsKind,
@@ -164,7 +204,19 @@ pub fn measure_throughput(
     clients: usize,
     items: usize,
 ) -> f64 {
-    let mut fs = make_fs(kind, servers);
+    measure_throughput_on(kind, servers, phase, clients, items, Transport::Sim)
+}
+
+/// [`measure_throughput`] over an explicit transport.
+pub fn measure_throughput_on(
+    kind: FsKind,
+    servers: u16,
+    phase: loco_mdtest::PhaseKind,
+    clients: usize,
+    items: usize,
+    transport: Transport,
+) -> f64 {
+    let mut fs = make_fs_on(kind, servers, transport);
     let spec = loco_mdtest::TreeSpec::new(clients, items);
     loco_mdtest::run_setup(&mut *fs, &loco_mdtest::gen_setup(&spec)).expect("setup");
     prepare_phase(&mut *fs, &spec, phase);

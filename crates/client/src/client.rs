@@ -18,13 +18,13 @@
 
 use crate::cache::DirCache;
 use crate::{LocoCluster, LocoConfig};
-use loco_dms::{DirServer, DmsRequest, DmsResponse};
-use loco_fms::{FileServer, FmsRequest, FmsResponse};
-use loco_net::{CallCtx, Endpoint, JobTrace, ServerId, SimEndpoint};
+use loco_dms::{DmsRequest, DmsResponse};
+use loco_fms::{FmsRequest, FmsResponse};
+use loco_net::{CallCtx, Endpoint, JobTrace, ServerId};
 use loco_obs::{
     Counter, FlightRecorder, LogHistogram, MetricsRegistry, OpRecord, Tracer, Watchdog,
 };
-use loco_ostore::{ObjectStore, OstoreRequest, OstoreResponse};
+use loco_ostore::{OstoreRequest, OstoreResponse};
 use loco_sim::time::Nanos;
 use loco_types::meta::FileStat;
 use loco_types::{
@@ -57,12 +57,34 @@ enum GcItem {
     Truncate(Uuid, u64),
 }
 
+/// The observability stack a client reports into: shared with the
+/// cluster wiring that created it (and, in-process, with the servers).
+pub struct ObsWiring {
+    /// Metrics registry for op-latency histograms and cache counters.
+    pub registry: Arc<MetricsRegistry>,
+    /// Head-based span-trace sampler.
+    pub tracer: Arc<Tracer>,
+    /// Flight recorder keeping the slowest sampled op span trees.
+    pub flight: Arc<FlightRecorder>,
+    /// Tail-anomaly watchdog.
+    pub watchdog: Arc<Watchdog>,
+}
+
+/// A DMS endpoint of any transport (sim, thread, or TCP).
+pub type DmsEndpoint = Arc<dyn Endpoint<DmsRequest, DmsResponse>>;
+/// An FMS endpoint of any transport.
+pub type FmsEndpoint = Arc<dyn Endpoint<FmsRequest, FmsResponse>>;
+/// An object-store endpoint of any transport.
+pub type OstEndpoint = Arc<dyn Endpoint<OstoreRequest, OstoreResponse>>;
+
 /// A LocoFS client (one application process in the paper's terms).
+/// Holds type-erased endpoints, so the same client logic runs over
+/// in-process simulated servers, server threads, or TCP sockets.
 pub struct LocoClient {
     cfg: LocoConfig,
-    dms: Vec<SimEndpoint<DirServer>>,
-    fms: Vec<SimEndpoint<FileServer>>,
-    ost: Vec<SimEndpoint<ObjectStore>>,
+    dms: Vec<DmsEndpoint>,
+    fms: Vec<FmsEndpoint>,
+    ost: Vec<OstEndpoint>,
     ring: HashRing,
     cache: DirCache,
     ctx: CallCtx,
@@ -99,28 +121,69 @@ pub struct LocoClient {
 impl LocoClient {
     /// Create a new instance with default settings.
     pub fn new(cluster: &LocoCluster, uid: u32, gid: u32) -> Self {
+        Self::with_endpoints(
+            cluster.config.clone(),
+            cluster
+                .dms
+                .iter()
+                .map(|e| Arc::new(e.clone()) as DmsEndpoint)
+                .collect(),
+            cluster
+                .fms
+                .iter()
+                .map(|e| Arc::new(e.clone()) as FmsEndpoint)
+                .collect(),
+            cluster
+                .ost
+                .iter()
+                .map(|e| Arc::new(e.clone()) as OstEndpoint)
+                .collect(),
+            ObsWiring {
+                registry: cluster.registry.clone(),
+                tracer: cluster.tracer.clone(),
+                flight: cluster.flight.clone(),
+                watchdog: cluster.watchdog.clone(),
+            },
+            uid,
+            gid,
+        )
+    }
+
+    /// Build a client over arbitrary transport endpoints — how the
+    /// remote/TCP cluster wiring hands out clients. `cfg.num_*` must
+    /// match the endpoint vector lengths.
+    pub fn with_endpoints(
+        cfg: LocoConfig,
+        dms: Vec<DmsEndpoint>,
+        fms: Vec<FmsEndpoint>,
+        ost: Vec<OstEndpoint>,
+        obs: ObsWiring,
+        uid: u32,
+        gid: u32,
+    ) -> Self {
+        let ring = HashRing::new(fms.len() as u16);
         Self {
-            cfg: cluster.config.clone(),
-            dms: cluster.dms.clone(),
-            fms: cluster.fms.clone(),
-            ost: cluster.ost.clone(),
-            ring: cluster.ring.clone(),
-            cache: DirCache::new(cluster.config.lease, 64 * 1024),
+            cache: DirCache::new(cfg.lease, 64 * 1024),
+            cfg,
+            dms,
+            fms,
+            ost,
+            ring,
             ctx: CallCtx::new(),
             last_trace: JobTrace::default(),
             clock: 0,
             contacted: HashSet::new(),
             gc_queue: Vec::new(),
-            registry: cluster.registry.clone(),
             op_hists: HashMap::new(),
-            m_cache_hits: cluster.registry.counter("client_cache_hits_total", &[]),
-            m_cache_misses: cluster.registry.counter("client_cache_misses_total", &[]),
-            m_cache_expired: cluster
+            m_cache_hits: obs.registry.counter("client_cache_hits_total", &[]),
+            m_cache_misses: obs.registry.counter("client_cache_misses_total", &[]),
+            m_cache_expired: obs
                 .registry
                 .counter("client_cache_expired_leases_total", &[]),
-            tracer: cluster.tracer.clone(),
-            flight: cluster.flight.clone(),
-            watchdog: cluster.watchdog.clone(),
+            registry: obs.registry,
+            tracer: obs.tracer,
+            flight: obs.flight,
+            watchdog: obs.watchdog,
             op_start: 0,
             uid,
             gid,
@@ -273,7 +336,9 @@ impl LocoClient {
             return Err(FsError::Io(format!("DMS shard {idx} unreachable")));
         }
         self.contacted.insert(self.dms[idx].id());
-        Ok(self.dms[idx].call(&mut self.ctx, req))
+        self.dms[idx]
+            .try_call(&mut self.ctx, req)
+            .map_err(|e| FsError::Io(format!("DMS shard {idx}: {e}")))
     }
 
     fn dms_call(&mut self, req: DmsRequest) -> FsResult<DmsResponse> {
@@ -289,7 +354,9 @@ impl LocoClient {
             return Err(FsError::Io(format!("FMS {idx} unreachable")));
         }
         self.contacted.insert(self.fms[idx].id());
-        Ok(self.fms[idx].call(&mut self.ctx, req))
+        self.fms[idx]
+            .try_call(&mut self.ctx, req)
+            .map_err(|e| FsError::Io(format!("FMS {idx}: {e}")))
     }
 
     /// Object-store server for block `blk` of object `uuid`: blocks
@@ -304,7 +371,9 @@ impl LocoClient {
             return Err(FsError::Io(format!("object store {idx} unreachable")));
         }
         self.contacted.insert(self.ost[idx].id());
-        Ok(self.ost[idx].call(&mut self.ctx, req))
+        self.ost[idx]
+            .try_call(&mut self.ctx, req)
+            .map_err(|e| FsError::Io(format!("object store {idx}: {e}")))
     }
 
     /// Cache lookup that mirrors the outcome into the metrics registry
@@ -1174,19 +1243,18 @@ impl LocoClient {
                 continue;
             }
             for idx in 0..self.ost.len() {
-                match &item {
-                    GcItem::Remove(uuid) => {
-                        self.ost[idx].call(&mut ctx, OstoreRequest::RemoveObject { uuid: *uuid });
-                    }
-                    GcItem::Truncate(uuid, keep) => {
-                        self.ost[idx].call(
-                            &mut ctx,
-                            OstoreRequest::TruncateBlocks {
-                                uuid: *uuid,
-                                keep_blocks: *keep,
-                            },
-                        );
-                    }
+                let req = match &item {
+                    GcItem::Remove(uuid) => OstoreRequest::RemoveObject { uuid: *uuid },
+                    GcItem::Truncate(uuid, keep) => OstoreRequest::TruncateBlocks {
+                        uuid: *uuid,
+                        keep_blocks: *keep,
+                    },
+                };
+                if self.ost[idx].try_call(&mut ctx, req).is_err() {
+                    // Transport failure: keep the item queued, same as
+                    // an injected outage.
+                    self.gc_queue.push(item);
+                    break;
                 }
             }
         }

@@ -27,11 +27,13 @@ pub mod cache;
 pub mod client;
 pub mod fsck;
 pub mod metrics;
+pub mod remote;
 
 pub use cache::DirCache;
-pub use client::{FileHandle, LocoClient};
+pub use client::{DmsEndpoint, FileHandle, FmsEndpoint, LocoClient, ObsWiring, OstEndpoint};
 pub use fsck::{fsck, fsck_repair, FsckReport};
 pub use metrics::{CacheStats, ClusterReport};
+pub use remote::{ClusterAddrs, Transport, TransportCluster};
 
 pub use loco_dms::DmsBackend;
 pub use loco_fms::FmsMode;

@@ -1,0 +1,502 @@
+//! Transport selection: run the same LocoFS cluster over in-process
+//! simulated endpoints, per-server threads, or real TCP sockets.
+//!
+//! The client logic is transport-blind ([`LocoClient`] holds
+//! `Arc<dyn Endpoint>`s); this module is the wiring that decides what
+//! those endpoints actually are:
+//!
+//! * [`Transport::Sim`] — the execute-then-replay default; identical to
+//!   [`LocoCluster`].
+//! * [`Transport::Thread`] — each server on its own OS thread behind a
+//!   channel.
+//! * [`Transport::Tcp`] — each server behind a real listening socket.
+//!   By default the cluster is booted *in this process* on ephemeral
+//!   localhost ports (every RPC still crosses the loopback wire); when
+//!   `LOCO_CLUSTER` is set, no servers are started and the endpoints
+//!   dial the given `locod` daemons instead:
+//!
+//!   ```text
+//!   LOCO_CLUSTER="dms=127.0.0.1:7100;fms=127.0.0.1:7101,127.0.0.1:7102;ost=127.0.0.1:7103"
+//!   ```
+//!
+//! Because servers return their *virtual* `Service::take_cost` in every
+//! reply, visit traces — and everything replayed from them — are
+//! identical across all three transports; the transport-equivalence
+//! integration test pins that down.
+
+use crate::client::{DmsEndpoint, FmsEndpoint, ObsWiring, OstEndpoint};
+use crate::{LocoClient, LocoCluster, LocoConfig};
+use loco_dms::DirServer;
+use loco_fms::FileServer;
+use loco_net::{class, tcp, EndpointMetrics, ServerId, TcpServerGuard, ThreadServerGuard};
+use loco_obs::recorder::DEFAULT_K;
+use loco_obs::{FlightRecorder, MetricsRegistry, SampleMode, Tracer, Watchdog, WatchdogConfig};
+use loco_ostore::ObjectStore;
+use std::net::TcpListener;
+use std::sync::Arc;
+
+/// Which endpoint flavour a cluster (or benchmark run) uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Transport {
+    /// In-process synchronous endpoints (execute-then-replay default).
+    #[default]
+    Sim,
+    /// One OS thread per server, mpsc channels.
+    Thread,
+    /// Real TCP sockets (in-process localhost servers, or external
+    /// `locod` daemons via `LOCO_CLUSTER`).
+    Tcp,
+}
+
+impl Transport {
+    /// Parse a `--transport` flag value.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "sim" => Some(Transport::Sim),
+            "thread" | "threaded" => Some(Transport::Thread),
+            "tcp" => Some(Transport::Tcp),
+            _ => None,
+        }
+    }
+
+    /// Flag-style name (`sim`/`thread`/`tcp`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Transport::Sim => "sim",
+            Transport::Thread => "thread",
+            Transport::Tcp => "tcp",
+        }
+    }
+}
+
+impl std::fmt::Display for Transport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Addresses of an externally launched cluster, parsed from
+/// `LOCO_CLUSTER` (`dms=a;fms=a,b;ost=a,b` — whitespace ignored).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ClusterAddrs {
+    /// DMS listen addresses (the paper's design has exactly one).
+    pub dms: Vec<String>,
+    /// FMS listen addresses, in ring order.
+    pub fms: Vec<String>,
+    /// Object-store listen addresses.
+    pub ost: Vec<String>,
+}
+
+impl ClusterAddrs {
+    /// Parse the `LOCO_CLUSTER` format. Returns `None` when any role is
+    /// missing or empty.
+    pub fn parse(spec: &str) -> Option<Self> {
+        let mut dms = Vec::new();
+        let mut fms = Vec::new();
+        let mut ost = Vec::new();
+        for part in spec.split(';') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (role, addrs) = part.split_once('=')?;
+            let list: Vec<String> = addrs
+                .split(',')
+                .map(|a| a.trim().to_string())
+                .filter(|a| !a.is_empty())
+                .collect();
+            match role.trim() {
+                "dms" => dms = list,
+                "fms" => fms = list,
+                "ost" => ost = list,
+                _ => return None,
+            }
+        }
+        if dms.is_empty() || fms.is_empty() || ost.is_empty() {
+            return None;
+        }
+        Some(Self { dms, fms, ost })
+    }
+
+    /// Read and parse `LOCO_CLUSTER` from the environment.
+    pub fn from_env() -> Option<Self> {
+        ClusterAddrs::parse(&std::env::var("LOCO_CLUSTER").ok()?)
+    }
+}
+
+/// Keeps transport-specific server halves alive for the cluster's
+/// lifetime; dropping it shuts the servers down (threads joined, TCP
+/// listeners drained).
+enum ServerGuards {
+    /// Sim endpoints own their services; external TCP daemons outlive us.
+    None,
+    Thread {
+        _dms: Vec<ThreadServerGuard<loco_dms::DmsRequest, loco_dms::DmsResponse>>,
+        _fms: Vec<ThreadServerGuard<loco_fms::FmsRequest, loco_fms::FmsResponse>>,
+        _ost: Vec<ThreadServerGuard<loco_ostore::OstoreRequest, loco_ostore::OstoreResponse>>,
+    },
+    Tcp(#[allow(dead_code)] Vec<TcpServerGuard>),
+}
+
+/// A LocoFS cluster over a chosen [`Transport`], handing out
+/// transport-blind [`LocoClient`]s. The equivalent of [`LocoCluster`]
+/// when the endpoints are not (necessarily) simulated.
+pub struct TransportCluster {
+    /// Configuration the cluster was built with (`num_fms`/`num_ost`
+    /// reflect the actual endpoint counts for external clusters).
+    pub config: LocoConfig,
+    /// Which transport the endpoints speak.
+    pub transport: Transport,
+    /// Directory metadata server endpoints.
+    pub dms: Vec<DmsEndpoint>,
+    /// File metadata server endpoints.
+    pub fms: Vec<FmsEndpoint>,
+    /// Object-store endpoints.
+    pub ost: Vec<OstEndpoint>,
+    /// Client-side metrics registry. For in-process transports the
+    /// servers record here too; external daemons keep their own
+    /// registries, scraped via `Control::Metrics`.
+    pub registry: Arc<MetricsRegistry>,
+    /// Head-based span-trace sampler shared by all clients.
+    pub tracer: Arc<Tracer>,
+    /// Flight recorder for the slowest sampled ops.
+    pub flight: Arc<FlightRecorder>,
+    /// Tail-anomaly watchdog.
+    pub watchdog: Arc<Watchdog>,
+    _guards: ServerGuards,
+}
+
+fn obs_stack(
+    config: &LocoConfig,
+) -> (
+    Arc<MetricsRegistry>,
+    Arc<Tracer>,
+    Arc<FlightRecorder>,
+    Arc<Watchdog>,
+) {
+    let mode = config.trace.unwrap_or_else(SampleMode::from_env);
+    let flight = if mode == SampleMode::All {
+        FlightRecorder::new(DEFAULT_K).with_recent(1024)
+    } else {
+        FlightRecorder::new(DEFAULT_K)
+    };
+    (
+        Arc::new(MetricsRegistry::new()),
+        Arc::new(Tracer::new(mode)),
+        Arc::new(flight),
+        Arc::new(Watchdog::new(WatchdogConfig::default())),
+    )
+}
+
+impl TransportCluster {
+    /// Build a cluster per `config` over `transport`. For
+    /// [`Transport::Tcp`] this boots in-process localhost servers on
+    /// ephemeral ports unless `LOCO_CLUSTER` points at external
+    /// daemons.
+    pub fn new(config: LocoConfig, transport: Transport) -> Self {
+        match transport {
+            Transport::Sim => Self::sim(config),
+            Transport::Thread => Self::threaded(config),
+            Transport::Tcp => match ClusterAddrs::from_env() {
+                Some(addrs) => Self::tcp_external(config, &addrs),
+                None => Self::tcp_local(config),
+            },
+        }
+    }
+
+    fn sim(config: LocoConfig) -> Self {
+        let cluster = LocoCluster::new(config);
+        Self {
+            config: cluster.config.clone(),
+            transport: Transport::Sim,
+            dms: cluster
+                .dms
+                .iter()
+                .map(|e| Arc::new(e.clone()) as DmsEndpoint)
+                .collect(),
+            fms: cluster
+                .fms
+                .iter()
+                .map(|e| Arc::new(e.clone()) as FmsEndpoint)
+                .collect(),
+            ost: cluster
+                .ost
+                .iter()
+                .map(|e| Arc::new(e.clone()) as OstEndpoint)
+                .collect(),
+            registry: cluster.registry,
+            tracer: cluster.tracer,
+            flight: cluster.flight,
+            watchdog: cluster.watchdog,
+            _guards: ServerGuards::None,
+        }
+    }
+
+    fn threaded(config: LocoConfig) -> Self {
+        let (registry, tracer, flight, watchdog) = obs_stack(&config);
+        let mut dms = Vec::new();
+        let mut dms_guards = Vec::new();
+        for i in 0..config.num_dms.max(1) {
+            let id = ServerId::new(class::DMS, i);
+            let m = EndpointMetrics::register(&registry, id);
+            let (ep, guard) = loco_net::spawn_with_metrics(
+                id,
+                DirServer::with_sid(config.dms_backend, config.kv.clone(), i),
+                Some(m),
+            );
+            dms.push(Arc::new(ep) as DmsEndpoint);
+            dms_guards.push(guard);
+        }
+        let mut fms = Vec::new();
+        let mut fms_guards = Vec::new();
+        for i in 0..config.num_fms {
+            let id = ServerId::new(class::FMS, i);
+            let m = EndpointMetrics::register(&registry, id);
+            let (ep, guard) = loco_net::spawn_with_metrics(
+                id,
+                FileServer::new(i + 1, config.fms_mode, config.kv.clone()),
+                Some(m),
+            );
+            fms.push(Arc::new(ep) as FmsEndpoint);
+            fms_guards.push(guard);
+        }
+        let mut ost = Vec::new();
+        let mut ost_guards = Vec::new();
+        for i in 0..config.num_ost {
+            let id = ServerId::new(class::OST, i);
+            let m = EndpointMetrics::register(&registry, id);
+            let (ep, guard) =
+                loco_net::spawn_with_metrics(id, ObjectStore::new(config.kv.clone()), Some(m));
+            ost.push(Arc::new(ep) as OstEndpoint);
+            ost_guards.push(guard);
+        }
+        Self {
+            config,
+            transport: Transport::Thread,
+            dms,
+            fms,
+            ost,
+            registry,
+            tracer,
+            flight,
+            watchdog,
+            _guards: ServerGuards::Thread {
+                _dms: dms_guards,
+                _fms: fms_guards,
+                _ost: ost_guards,
+            },
+        }
+    }
+
+    /// Boot every server of the cluster inside this process, each on
+    /// its own ephemeral localhost port, and dial them over TCP — the
+    /// full wire protocol without external process management.
+    fn tcp_local(config: LocoConfig) -> Self {
+        let (registry, tracer, flight, watchdog) = obs_stack(&config);
+        let mut guards = Vec::new();
+        let mut dms = Vec::new();
+        for i in 0..config.num_dms.max(1) {
+            let id = ServerId::new(class::DMS, i);
+            let m = EndpointMetrics::register(&registry, id);
+            let listener = TcpListener::bind("127.0.0.1:0").expect("bind localhost");
+            let guard = tcp::serve_tcp(
+                id,
+                DirServer::with_sid(config.dms_backend, config.kv.clone(), i),
+                listener,
+                tcp::ServeOptions {
+                    metrics: Some(m),
+                    registry: Some(registry.clone()),
+                },
+            )
+            .expect("serve dms");
+            dms.push(Arc::new(tcp::TcpEndpoint::<DirServer>::connect(
+                id,
+                &guard.addr().to_string(),
+            )) as DmsEndpoint);
+            guards.push(guard);
+        }
+        let mut fms = Vec::new();
+        for i in 0..config.num_fms {
+            let id = ServerId::new(class::FMS, i);
+            let m = EndpointMetrics::register(&registry, id);
+            let listener = TcpListener::bind("127.0.0.1:0").expect("bind localhost");
+            let guard = tcp::serve_tcp(
+                id,
+                FileServer::new(i + 1, config.fms_mode, config.kv.clone()),
+                listener,
+                tcp::ServeOptions {
+                    metrics: Some(m),
+                    registry: Some(registry.clone()),
+                },
+            )
+            .expect("serve fms");
+            fms.push(Arc::new(tcp::TcpEndpoint::<FileServer>::connect(
+                id,
+                &guard.addr().to_string(),
+            )) as FmsEndpoint);
+            guards.push(guard);
+        }
+        let mut ost = Vec::new();
+        for i in 0..config.num_ost {
+            let id = ServerId::new(class::OST, i);
+            let m = EndpointMetrics::register(&registry, id);
+            let listener = TcpListener::bind("127.0.0.1:0").expect("bind localhost");
+            let guard = tcp::serve_tcp(
+                id,
+                ObjectStore::new(config.kv.clone()),
+                listener,
+                tcp::ServeOptions {
+                    metrics: Some(m),
+                    registry: Some(registry.clone()),
+                },
+            )
+            .expect("serve ost");
+            ost.push(Arc::new(tcp::TcpEndpoint::<ObjectStore>::connect(
+                id,
+                &guard.addr().to_string(),
+            )) as OstEndpoint);
+            guards.push(guard);
+        }
+        Self {
+            config,
+            transport: Transport::Tcp,
+            dms,
+            fms,
+            ost,
+            registry,
+            tracer,
+            flight,
+            watchdog,
+            _guards: ServerGuards::Tcp(guards),
+        }
+    }
+
+    /// Dial an externally launched cluster (the `scripts/cluster.sh`
+    /// shape): no servers are started here, and `config.num_*` are
+    /// overridden by the address counts.
+    pub fn tcp_external(mut config: LocoConfig, addrs: &ClusterAddrs) -> Self {
+        let (registry, tracer, flight, watchdog) = obs_stack(&config);
+        config.num_dms = addrs.dms.len() as u16;
+        config.num_fms = addrs.fms.len() as u16;
+        config.num_ost = addrs.ost.len() as u16;
+        // The daemons keep their own registries (scraped out of band
+        // via Control::Metrics), so the client-side endpoints record
+        // the *client's* view of each RPC into the local registry —
+        // without this, `rpc_*` families would be empty client-side.
+        let dms = addrs
+            .dms
+            .iter()
+            .enumerate()
+            .map(|(i, a)| {
+                let id = ServerId::new(class::DMS, i as u16);
+                let m = EndpointMetrics::register(&registry, id);
+                Arc::new(tcp::TcpEndpoint::<DirServer>::connect(id, a).with_metrics(m))
+                    as DmsEndpoint
+            })
+            .collect();
+        let fms = addrs
+            .fms
+            .iter()
+            .enumerate()
+            .map(|(i, a)| {
+                let id = ServerId::new(class::FMS, i as u16);
+                let m = EndpointMetrics::register(&registry, id);
+                Arc::new(tcp::TcpEndpoint::<FileServer>::connect(id, a).with_metrics(m))
+                    as FmsEndpoint
+            })
+            .collect();
+        let ost = addrs
+            .ost
+            .iter()
+            .enumerate()
+            .map(|(i, a)| {
+                let id = ServerId::new(class::OST, i as u16);
+                let m = EndpointMetrics::register(&registry, id);
+                Arc::new(tcp::TcpEndpoint::<ObjectStore>::connect(id, a).with_metrics(m))
+                    as OstEndpoint
+            })
+            .collect();
+        Self {
+            config,
+            transport: Transport::Tcp,
+            dms,
+            fms,
+            ost,
+            registry,
+            tracer,
+            flight,
+            watchdog,
+            _guards: ServerGuards::None,
+        }
+    }
+
+    /// Create a client with the given identity.
+    pub fn client_as(&self, uid: u32, gid: u32) -> LocoClient {
+        LocoClient::with_endpoints(
+            self.config.clone(),
+            self.dms.clone(),
+            self.fms.clone(),
+            self.ost.clone(),
+            ObsWiring {
+                registry: self.registry.clone(),
+                tracer: self.tracer.clone(),
+                flight: self.flight.clone(),
+                watchdog: self.watchdog.clone(),
+            },
+            uid,
+            gid,
+        )
+    }
+
+    /// Create a client with the default benchmark identity (uid 1000).
+    pub fn client(&self) -> LocoClient {
+        self.client_as(1000, 1000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transport_parses_flag_values() {
+        assert_eq!(Transport::parse("sim"), Some(Transport::Sim));
+        assert_eq!(Transport::parse("Thread"), Some(Transport::Thread));
+        assert_eq!(Transport::parse("TCP"), Some(Transport::Tcp));
+        assert_eq!(Transport::parse("carrier-pigeon"), None);
+        assert_eq!(Transport::Tcp.name(), "tcp");
+    }
+
+    #[test]
+    fn cluster_addrs_parse() {
+        let a = ClusterAddrs::parse(
+            "dms=127.0.0.1:7100;fms=127.0.0.1:7101, 127.0.0.1:7102;ost=127.0.0.1:7103",
+        )
+        .unwrap();
+        assert_eq!(a.dms.len(), 1);
+        assert_eq!(a.fms, vec!["127.0.0.1:7101", "127.0.0.1:7102"]);
+        assert_eq!(a.ost.len(), 1);
+        assert!(ClusterAddrs::parse("dms=;fms=a;ost=b").is_none());
+        assert!(ClusterAddrs::parse("fms=a;ost=b").is_none());
+        assert!(ClusterAddrs::parse("bogus").is_none());
+    }
+
+    #[test]
+    fn same_ops_agree_across_all_transports() {
+        let run = |transport: Transport| {
+            let cluster = TransportCluster::new(LocoConfig::with_servers(2), transport);
+            let mut c = cluster.client();
+            c.mkdir("/d", 0o755).unwrap();
+            c.create("/d/f", 0o644).unwrap();
+            let st = c.stat_file("/d/f").unwrap();
+            let missing = c.stat_file("/d/nope").unwrap_err();
+            let t = c.take_trace();
+            (st.access.mode, missing, t.visits)
+        };
+        let sim = run(Transport::Sim);
+        let thread = run(Transport::Thread);
+        let tcp = run(Transport::Tcp);
+        assert_eq!(sim, thread);
+        assert_eq!(sim, tcp);
+    }
+}

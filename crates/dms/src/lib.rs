@@ -45,7 +45,7 @@ pub enum DmsBackend {
 }
 
 /// Requests handled by the DMS.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum DmsRequest {
     /// Create a directory. ACL-checks the ancestry, inserts the
     /// d-inode, and appends to the parent's subdir dirent list.
@@ -177,7 +177,7 @@ pub enum DmsRequest {
 }
 
 /// Responses from the DMS.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum DmsResponse {
     /// Directory.
     Dir(FsResult<DirInode>),
@@ -189,6 +189,29 @@ pub enum DmsResponse {
     /// Boolean probe result.
     Bool(bool),
 }
+
+// Wire codec for the RPC transport. Tags are protocol: append-only.
+loco_types::impl_wire_enum!(DmsRequest, "dms-request", {
+    0 => Mkdir { path, mode, uid, gid, ts },
+    1 => Rmdir { path, uid, gid },
+    2 => GetDir { path },
+    3 => StatDir { path, uid, gid },
+    4 => ReaddirSubdirs { dir_uuid },
+    5 => SetDirAttr { path, uid, gid, new_mode, new_owner, ts },
+    6 => RenameDir { old_path, new_path, uid, gid, ts },
+    7 => CheckAccess { path, uid, gid, perm },
+    8 => MkdirLocal { path, mode, uid, gid, ts },
+    9 => RmdirLocal { path },
+    10 => AddDirent { dir_uuid, name, child_uuid },
+    11 => RemoveDirent { dir_uuid, name },
+});
+
+loco_types::impl_wire_enum!(DmsResponse, "dms-response", tuple {
+    0 => Dir(r),
+    1 => Dirents(r),
+    2 => Done(r),
+    3 => Bool(r),
+});
 
 /// The Directory Metadata Server.
 pub struct DirServer {

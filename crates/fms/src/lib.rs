@@ -48,7 +48,7 @@ pub enum FmsMode {
 
 /// Requests handled by an FMS. `dir_uuid` + `name` is always the file's
 /// placement/storage key.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum FmsRequest {
     /// Create a file; allocates its uuid, writes its metadata and
     /// appends its dirent.
@@ -208,7 +208,7 @@ pub enum FmsRequest {
 }
 
 /// FMS responses.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum FmsResponse {
     /// Result of a create: the new uuid.
     Created(FsResult<Uuid>),
@@ -233,6 +233,39 @@ pub enum FmsResponse {
     /// Metadata extracted for an f-rename.
     Taken(FsResult<(FileAccess, FileContent)>),
 }
+
+// Wire codec for the RPC transport. Tags are protocol: append-only.
+loco_types::impl_wire_enum!(FmsRequest, "fms-request", {
+    0 => Create { dir_uuid, name, mode, uid, gid, ts },
+    1 => Open { dir_uuid, name, uid, gid, perm, with_content },
+    2 => Stat { dir_uuid, name },
+    3 => GetContent { dir_uuid, name },
+    4 => Access { dir_uuid, name, uid, gid, perm },
+    5 => Chmod { dir_uuid, name, uid, mode, ts },
+    6 => Chown { dir_uuid, name, uid, new_uid, new_gid, ts },
+    7 => Utimens { dir_uuid, name, atime, mtime },
+    8 => SetSize { dir_uuid, name, size, ts },
+    9 => Remove { dir_uuid, name },
+    10 => ListFiles { dir_uuid },
+    11 => ListFilesPlus { dir_uuid },
+    12 => CountFiles { dir_uuid },
+    13 => TakeFile { dir_uuid, name },
+    14 => PutFile { dir_uuid, name, access, content },
+});
+
+loco_types::impl_wire_enum!(FmsResponse, "fms-response", tuple {
+    0 => Created(r),
+    1 => Opened(r),
+    2 => Statted(r),
+    3 => Content(r),
+    4 => Bool(r),
+    5 => Done(r),
+    6 => Removed(r),
+    7 => Names(r),
+    8 => NamesPlus(r),
+    9 => Count(r),
+    10 => Taken(r),
+});
 
 /// A File Metadata Server.
 pub struct FileServer {

@@ -156,6 +156,50 @@ impl CallCtx {
     }
 }
 
+/// Why an RPC failed at the transport layer. In-process endpoints never
+/// fail (a dead server thread is a harness bug, not a fault to model);
+/// the TCP transport surfaces these, and the client maps exhaustion to
+/// `EIO` exactly like the failure-injection paths.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RpcError {
+    /// Could not establish a connection.
+    Connect(String),
+    /// The connection dropped before the response arrived.
+    ConnectionLost(String),
+    /// The per-call deadline elapsed with no response.
+    Timeout {
+        /// The deadline that fired, in milliseconds.
+        deadline_ms: u64,
+    },
+    /// The peer sent bytes that failed frame or codec validation.
+    Decode(String),
+    /// All retry attempts failed; carries the final attempt's error.
+    Exhausted {
+        /// How many attempts were made.
+        attempts: u32,
+        /// The error of the last attempt.
+        last: Box<RpcError>,
+    },
+}
+
+impl std::fmt::Display for RpcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RpcError::Connect(e) => write!(f, "connect failed: {e}"),
+            RpcError::ConnectionLost(e) => write!(f, "connection lost: {e}"),
+            RpcError::Timeout { deadline_ms } => {
+                write!(f, "rpc deadline ({deadline_ms} ms) elapsed")
+            }
+            RpcError::Decode(e) => write!(f, "undecodable reply: {e}"),
+            RpcError::Exhausted { attempts, last } => {
+                write!(f, "rpc failed after {attempts} attempts: {last}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RpcError {}
+
 /// Anything a client can send requests to.
 pub trait Endpoint<Req, Resp>: Send + Sync {
     /// Issue one request, recording the visit into `ctx`.
@@ -169,6 +213,14 @@ pub trait Endpoint<Req, Resp>: Send + Sync {
     /// endpoint is a caller bug.
     fn is_down(&self) -> bool {
         false
+    }
+
+    /// Issue one request, surfacing transport failures instead of
+    /// panicking. In-process endpoints cannot fail, so the default
+    /// simply delegates to [`Endpoint::call`]; the TCP endpoint
+    /// overrides this with its deadline/retry machinery.
+    fn try_call(&self, ctx: &mut CallCtx, req: Req) -> Result<Resp, RpcError> {
+        Ok(self.call(ctx, req))
     }
 }
 

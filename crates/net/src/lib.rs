@@ -22,8 +22,12 @@
 //! * [`ThreadEndpoint`] — runs the service on its own OS thread behind a
 //!   channel, giving real cross-thread request/response behaviour for
 //!   integration tests and the example applications.
+//! * [`TcpEndpoint`] — speaks the framed wire protocol ([`frame`],
+//!   [`rpc`]) to a server hosted by [`serve_tcp`] in another process
+//!   (the `locod` daemon), with connection pooling, request-ID
+//!   multiplexing, per-call deadlines and retry with backoff.
 //!
-//! Both flavours produce identical visit traces for identical request
+//! All flavours produce identical visit traces for identical request
 //! sequences, which the integration tests verify. Either flavour can
 //! carry [`EndpointMetrics`] — per-server request counts, service-time
 //! and queue-wait histograms and an in-flight gauge, reported into a
@@ -31,12 +35,17 @@
 //! recorded traces as Chrome trace-event timelines.
 
 pub mod endpoint;
+pub mod frame;
 pub mod metrics;
+pub mod rpc;
+pub mod tcp;
 pub mod threaded;
 pub mod trace_export;
 
-pub use endpoint::{CallCtx, Endpoint, Service, SimEndpoint};
+pub use endpoint::{CallCtx, Endpoint, RpcError, Service, SimEndpoint};
 pub use metrics::{role_name, EndpointMetrics};
+pub use rpc::{Control, ControlReply, RpcRequest, RpcResponse, SpanReply};
+pub use tcp::{control, serve_tcp, RetryPolicy, ServeOptions, TcpEndpoint, TcpServerGuard};
 pub use threaded::{spawn, spawn_with_metrics, ThreadEndpoint, ThreadServerGuard};
 pub use trace_export::{chrome_trace_of_ops, op_spans};
 

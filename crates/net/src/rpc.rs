@@ -1,0 +1,355 @@
+//! RPC envelopes: what actually travels inside a frame payload.
+//!
+//! A request frame carries an [`RpcRequest`] — the typed request body
+//! plus the caller's optional trace-propagation context, so a sampled
+//! slow op decomposes into the same client / net / software / KV terms
+//! whether the server is in-process or across a socket. A response
+//! frame carries an [`RpcResponse`] — the typed response body, the
+//! handler's virtual cost (the `Service::take_cost` contract crosses
+//! the wire, keeping visit traces transport-independent), and the
+//! [`SpanReply`] attribution for traced calls.
+//!
+//! `SpanReply` and `TraceCtx` are encoded field-by-field here rather
+//! than via `impl Wire` in their home crates, because `loco-obs` must
+//! not depend on `loco-types` (orphan rule + layering).
+
+use loco_obs::trace::TraceCtx;
+use loco_sim::time::Nanos;
+use loco_types::wire::{Wire, WireError, WireResult};
+use std::collections::HashSet;
+use std::sync::Mutex;
+
+/// Span attribution computed server-side for a traced call: only the
+/// server side is generic over the service, so it alone can resolve
+/// the request label and read `Service::span_attrs`. Travels back in
+/// the reply — over a channel for `ThreadEndpoint`, inside an
+/// [`RpcResponse`] for the TCP transport.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanReply {
+    /// The service's `req_label` for the handled request.
+    pub op: &'static str,
+    /// Real (wall-clock) queue wait before the handler ran.
+    pub queue_ns: Nanos,
+    /// Numeric attribution from `Service::span_attrs` (kv/software
+    /// split, byte volumes).
+    pub attrs: Vec<(&'static str, u64)>,
+}
+
+// ----- string interning -------------------------------------------------
+
+/// Upper bound on distinct interned strings. The real vocabulary is
+/// tiny (op labels + span attr keys, a few dozen); the cap stops a
+/// malicious peer from leaking unbounded memory through fresh labels.
+const INTERN_CAP: usize = 1024;
+
+/// Label returned once the intern table is full.
+const INTERN_OVERFLOW: &str = "?";
+
+/// Intern a decoded label, returning a `&'static str`. Span labels and
+/// attr keys are `&'static str` throughout the tracing stack (they are
+/// string literals in-process); decoding from the wire reconstructs
+/// that via a small leaked, capped table.
+pub fn intern(s: &str) -> &'static str {
+    static TABLE: Mutex<Option<HashSet<&'static str>>> = Mutex::new(None);
+    let mut guard = TABLE
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let table = guard.get_or_insert_with(HashSet::new);
+    if let Some(hit) = table.get(s) {
+        return hit;
+    }
+    if table.len() >= INTERN_CAP {
+        return INTERN_OVERFLOW;
+    }
+    let leaked: &'static str = Box::leak(s.to_string().into_boxed_str());
+    table.insert(leaked);
+    leaked
+}
+
+fn put_static_str(s: &str, out: &mut Vec<u8>) {
+    (s.len() as u32).put(out);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn get_interned_str(buf: &mut &[u8]) -> WireResult<&'static str> {
+    let s = String::get(buf)?;
+    Ok(intern(&s))
+}
+
+impl Wire for SpanReply {
+    fn put(&self, out: &mut Vec<u8>) {
+        put_static_str(self.op, out);
+        self.queue_ns.put(out);
+        (self.attrs.len() as u32).put(out);
+        for (k, v) in &self.attrs {
+            put_static_str(k, out);
+            v.put(out);
+        }
+    }
+    fn get(buf: &mut &[u8]) -> WireResult<Self> {
+        let op = get_interned_str(buf)?;
+        let queue_ns = Nanos::get(buf)?;
+        let count = u32::get(buf)? as usize;
+        if count > buf.len() {
+            return Err(WireError::Oversized {
+                what: "span-attrs",
+                len: count as u64,
+            });
+        }
+        let mut attrs = Vec::with_capacity(count);
+        for _ in 0..count {
+            attrs.push((get_interned_str(buf)?, u64::get(buf)?));
+        }
+        Ok(SpanReply {
+            op,
+            queue_ns,
+            attrs,
+        })
+    }
+}
+
+fn put_trace_ctx(t: &TraceCtx, out: &mut Vec<u8>) {
+    t.trace_id.put(out);
+    t.span_id.put(out);
+    t.parent.put(out);
+    t.sampled.put(out);
+}
+
+fn get_trace_ctx(buf: &mut &[u8]) -> WireResult<TraceCtx> {
+    Ok(TraceCtx {
+        trace_id: u64::get(buf)?,
+        span_id: u32::get(buf)?,
+        parent: u32::get(buf)?,
+        sampled: bool::get(buf)?,
+    })
+}
+
+// ----- request / response envelopes ------------------------------------
+
+/// Client → server payload of a `Request` frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RpcRequest<Req> {
+    /// Trace propagation context of the caller's sampled op, if any —
+    /// asks the server to attach a [`SpanReply`].
+    pub trace: Option<TraceCtx>,
+    /// The typed request.
+    pub body: Req,
+}
+
+impl<Req: Wire> Wire for RpcRequest<Req> {
+    fn put(&self, out: &mut Vec<u8>) {
+        match &self.trace {
+            None => out.push(0),
+            Some(t) => {
+                out.push(1);
+                put_trace_ctx(t, out);
+            }
+        }
+        self.body.put(out);
+    }
+    fn get(buf: &mut &[u8]) -> WireResult<Self> {
+        let trace = match u8::get(buf)? {
+            0 => None,
+            1 => Some(get_trace_ctx(buf)?),
+            tag => return Err(WireError::BadTag { what: "trace", tag }),
+        };
+        Ok(RpcRequest {
+            trace,
+            body: Req::get(buf)?,
+        })
+    }
+}
+
+/// Server → client payload of a `Response` frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RpcResponse<Resp> {
+    /// Virtual cost of the handler run (`Service::take_cost`).
+    pub cost: Nanos,
+    /// Span attribution, present iff the request carried a sampled
+    /// trace context.
+    pub span: Option<SpanReply>,
+    /// The typed response.
+    pub body: Resp,
+}
+
+impl<Resp: Wire> Wire for RpcResponse<Resp> {
+    fn put(&self, out: &mut Vec<u8>) {
+        self.cost.put(out);
+        self.span.put(out);
+        self.body.put(out);
+    }
+    fn get(buf: &mut &[u8]) -> WireResult<Self> {
+        Ok(RpcResponse {
+            cost: Nanos::get(buf)?,
+            span: Option::<SpanReply>::get(buf)?,
+            body: Resp::get(buf)?,
+        })
+    }
+}
+
+// ----- control plane ----------------------------------------------------
+
+/// Out-of-band messages a client (or the launcher) can send on any
+/// connection, framed as `FrameKind::Control`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Control {
+    /// Liveness probe; the launcher polls this until a daemon is up.
+    Ping,
+    /// Ask the server for its Prometheus metrics text.
+    Metrics,
+    /// Ask the server to drain in-flight requests and exit.
+    Shutdown,
+}
+
+/// Server reply to a [`Control`] message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ControlReply {
+    /// Ping answer.
+    Pong,
+    /// Rendered Prometheus exposition text.
+    Metrics(String),
+    /// Shutdown acknowledged; the server closes after draining.
+    ShuttingDown,
+}
+
+impl Wire for Control {
+    fn put(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            Control::Ping => 0,
+            Control::Metrics => 1,
+            Control::Shutdown => 2,
+        });
+    }
+    fn get(buf: &mut &[u8]) -> WireResult<Self> {
+        Ok(match u8::get(buf)? {
+            0 => Control::Ping,
+            1 => Control::Metrics,
+            2 => Control::Shutdown,
+            tag => {
+                return Err(WireError::BadTag {
+                    what: "control",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
+impl Wire for ControlReply {
+    fn put(&self, out: &mut Vec<u8>) {
+        match self {
+            ControlReply::Pong => out.push(0),
+            ControlReply::Metrics(text) => {
+                out.push(1);
+                text.put(out);
+            }
+            ControlReply::ShuttingDown => out.push(2),
+        }
+    }
+    fn get(buf: &mut &[u8]) -> WireResult<Self> {
+        Ok(match u8::get(buf)? {
+            0 => ControlReply::Pong,
+            1 => ControlReply::Metrics(String::get(buf)?),
+            2 => ControlReply::ShuttingDown,
+            tag => {
+                return Err(WireError::BadTag {
+                    what: "control-reply",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_stable_and_capped() {
+        let a = intern("kv_ns");
+        let b = intern("kv_ns");
+        assert!(std::ptr::eq(a, b), "same allocation on re-intern");
+        assert_eq!(intern("sw_ns"), "sw_ns");
+    }
+
+    #[test]
+    fn span_reply_roundtrip() {
+        let span = SpanReply {
+            op: "Mkdir",
+            queue_ns: 1234,
+            attrs: vec![("kv_ns", 900), ("sw_ns", 100)],
+        };
+        let back = SpanReply::from_wire(&span.to_wire()).unwrap();
+        assert_eq!(back, span);
+    }
+
+    #[test]
+    fn rpc_request_roundtrip_with_and_without_trace() {
+        let req = RpcRequest {
+            trace: Some(TraceCtx {
+                trace_id: 99,
+                span_id: 1,
+                parent: 0,
+                sampled: true,
+            }),
+            body: 7u64,
+        };
+        let back = RpcRequest::<u64>::from_wire(&req.to_wire()).unwrap();
+        assert_eq!(back.trace, req.trace);
+        assert_eq!(back.body, 7);
+
+        let req = RpcRequest {
+            trace: None,
+            body: 7u64,
+        };
+        let back = RpcRequest::<u64>::from_wire(&req.to_wire()).unwrap();
+        assert!(back.trace.is_none());
+    }
+
+    #[test]
+    fn rpc_response_roundtrip() {
+        let resp = RpcResponse {
+            cost: 5000,
+            span: Some(SpanReply {
+                op: "Stat",
+                queue_ns: 7,
+                attrs: vec![("kv_bytes_read", 72)],
+            }),
+            body: String::from("ok"),
+        };
+        let back = RpcResponse::<String>::from_wire(&resp.to_wire()).unwrap();
+        assert_eq!(back.cost, 5000);
+        assert_eq!(back.span, resp.span);
+        assert_eq!(back.body, "ok");
+    }
+
+    #[test]
+    fn control_roundtrip() {
+        for c in [Control::Ping, Control::Metrics, Control::Shutdown] {
+            assert_eq!(Control::from_wire(&c.to_wire()), Ok(c));
+        }
+        for r in [
+            ControlReply::Pong,
+            ControlReply::Metrics("# HELP x\n".into()),
+            ControlReply::ShuttingDown,
+        ] {
+            let back = ControlReply::from_wire(&r.to_wire()).unwrap();
+            assert_eq!(back, r);
+        }
+    }
+
+    #[test]
+    fn corrupt_envelopes_rejected() {
+        let resp = RpcResponse {
+            cost: 1,
+            span: None,
+            body: 9u32,
+        };
+        let bytes = resp.to_wire();
+        for cut in 0..bytes.len() {
+            assert!(RpcResponse::<u32>::from_wire(&bytes[..cut]).is_err());
+        }
+        assert!(Control::from_wire(&[9]).is_err());
+    }
+}

@@ -1,0 +1,845 @@
+//! The real-socket transport: [`TcpEndpoint`] and [`serve_tcp`].
+//!
+//! This is the third [`Endpoint`] flavour — after the in-process
+//! [`SimEndpoint`](crate::SimEndpoint) and the in-process-threaded
+//! [`ThreadEndpoint`](crate::ThreadEndpoint) — and the first that can
+//! cross machine boundaries, which is the deployment shape LocoFS's
+//! loosely-coupled DMS/FMS split exists for (§3.1).
+//!
+//! Design:
+//!
+//! * **Connection pool + request-ID multiplexing.** Many client
+//!   threads share a small pool of sockets. Each call takes a fresh
+//!   `req_id`, registers a reply slot, and writes one frame under the
+//!   connection's writer lock; a per-connection reader thread routes
+//!   response frames back to reply slots by `req_id`, so responses may
+//!   return out of order and slow calls never block fast ones.
+//! * **Deadlines.** Every attempt waits at most
+//!   [`RetryPolicy::deadline`] for its response; a fired deadline
+//!   abandons the reply slot (a late response is discarded by the
+//!   reader) and counts as a failed attempt.
+//! * **Retry with exponential backoff + jitter.** Failed attempts are
+//!   retried up to [`RetryPolicy::attempts`] times, sleeping
+//!   `backoff * 2^attempt ± jitter` in between. Exhaustion surfaces
+//!   [`RpcError::Exhausted`], which the LocoFS client maps to `EIO` —
+//!   the same contract as the failure-injected in-process paths.
+//! * **Costs stay virtual.** The server returns `Service::take_cost`
+//!   inside each [`RpcResponse`], so visit traces — and everything
+//!   replayed from them — are identical across transports. Wall-clock
+//!   only enters through the observability side channel (queue waits,
+//!   metrics), exactly as with `ThreadEndpoint`.
+//!
+//! The server half, [`serve_tcp`], hosts one [`Service`] on a
+//! listening socket: a non-blocking accept loop spawns one thread per
+//! connection; handlers run under the service mutex (LocoFS servers
+//! are single-writer by design). Graceful shutdown — via
+//! [`TcpServerGuard::shutdown`] or a [`Control::Shutdown`] frame —
+//! stops accepting, lets every in-flight request finish and its
+//! response flush, then closes. A corrupt frame closes only the
+//! offending connection; the client sees the drop and retries.
+
+use crate::endpoint::{CallCtx, Endpoint, RpcError, Service};
+use crate::frame::crc32;
+use crate::frame::{decode_header, write_frame, Frame, FrameKind, HEADER_LEN, MAX_PAYLOAD};
+use crate::metrics::EndpointMetrics;
+use crate::rpc::{Control, ControlReply, RpcRequest, RpcResponse, SpanReply};
+use loco_obs::MetricsRegistry;
+use loco_sim::des::ServerId;
+use loco_sim::time::Nanos;
+use loco_types::wire::Wire;
+use std::collections::HashMap;
+use std::io::{self, Read};
+use std::marker::PhantomData;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, RecvTimeoutError, SyncSender};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// How often blocked server reads wake up to check the shutdown flag.
+const READ_TICK: Duration = Duration::from_millis(25);
+/// How long a draining server keeps waiting on a half-received frame
+/// before giving the connection up.
+const DRAIN_GRACE: Duration = Duration::from_millis(500);
+
+/// Deadline/retry knobs for a [`TcpEndpoint`].
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts per call (first try + retries).
+    pub attempts: u32,
+    /// Base backoff before the second attempt; doubles per retry.
+    pub backoff: Duration,
+    /// Per-attempt response deadline.
+    pub deadline: Duration,
+    /// Per-attempt connection-establishment timeout.
+    pub connect_timeout: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            attempts: 3,
+            backoff: Duration::from_millis(20),
+            deadline: Duration::from_millis(2000),
+            connect_timeout: Duration::from_millis(1000),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Defaults overridable via `LOCO_RPC_ATTEMPTS`,
+    /// `LOCO_RPC_BACKOFF_MS` and `LOCO_RPC_DEADLINE_MS` — the fault
+    /// tests shrink these to keep retry exhaustion fast.
+    pub fn from_env() -> Self {
+        let mut p = Self::default();
+        if let Some(n) = env_u64("LOCO_RPC_ATTEMPTS") {
+            p.attempts = (n as u32).max(1);
+        }
+        if let Some(ms) = env_u64("LOCO_RPC_BACKOFF_MS") {
+            p.backoff = Duration::from_millis(ms);
+        }
+        if let Some(ms) = env_u64("LOCO_RPC_DEADLINE_MS") {
+            p.deadline = Duration::from_millis(ms.max(1));
+        }
+        p
+    }
+}
+
+fn env_u64(key: &str) -> Option<u64> {
+    std::env::var(key).ok()?.trim().parse().ok()
+}
+
+/// Deterministic backoff jitter: xorshift of the attempt's request id,
+/// scaled to at most half the current backoff. Keeps retry storms from
+/// synchronizing without pulling in a real RNG.
+fn jitter(seed: u64, backoff: Duration) -> Duration {
+    let mut x = seed | 1;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    let half = backoff.as_micros() as u64 / 2;
+    if half == 0 {
+        return Duration::ZERO;
+    }
+    Duration::from_micros(x % half)
+}
+
+// ----- client side ------------------------------------------------------
+
+/// One pooled connection: a locked writer half, a reader thread that
+/// routes response frames to per-request reply slots, and a dead flag
+/// that poisons the connection on any socket or framing error.
+struct Conn {
+    writer: Mutex<TcpStream>,
+    pending: Arc<Mutex<HashMap<u64, SyncSender<Vec<u8>>>>>,
+    dead: Arc<AtomicBool>,
+}
+
+impl Conn {
+    fn open(addr: &str, connect_timeout: Duration) -> Result<Arc<Self>, RpcError> {
+        let sock_addr: SocketAddr = resolve(addr)?;
+        let stream = TcpStream::connect_timeout(&sock_addr, connect_timeout)
+            .map_err(|e| RpcError::Connect(format!("{addr}: {e}")))?;
+        let _ = stream.set_nodelay(true);
+        let reader = stream
+            .try_clone()
+            .map_err(|e| RpcError::Connect(format!("{addr}: clone: {e}")))?;
+        let pending: Arc<Mutex<HashMap<u64, SyncSender<Vec<u8>>>>> =
+            Arc::new(Mutex::new(HashMap::new()));
+        let dead = Arc::new(AtomicBool::new(false));
+        let conn = Arc::new(Conn {
+            writer: Mutex::new(stream),
+            pending: Arc::clone(&pending),
+            dead: Arc::clone(&dead),
+        });
+        std::thread::Builder::new()
+            .name("loco-rpc-reader".into())
+            .spawn(move || reader_loop(reader, pending, dead))
+            .map_err(|e| RpcError::Connect(format!("reader thread: {e}")))?;
+        Ok(conn)
+    }
+}
+
+fn resolve(addr: &str) -> Result<SocketAddr, RpcError> {
+    use std::net::ToSocketAddrs;
+    addr.to_socket_addrs()
+        .map_err(|e| RpcError::Connect(format!("{addr}: {e}")))?
+        .next()
+        .ok_or_else(|| RpcError::Connect(format!("{addr}: no address")))
+}
+
+/// Routes incoming response frames to waiting callers until the socket
+/// errors or closes; then poisons the connection and drops every
+/// pending reply slot so waiting callers fail fast instead of timing
+/// out.
+fn reader_loop(
+    mut stream: TcpStream,
+    pending: Arc<Mutex<HashMap<u64, SyncSender<Vec<u8>>>>>,
+    dead: Arc<AtomicBool>,
+) {
+    loop {
+        match crate::frame::read_frame(&mut stream) {
+            Ok(Some(frame)) if frame.kind == FrameKind::Response => {
+                let slot = lock(&pending).remove(&frame.req_id);
+                if let Some(tx) = slot {
+                    // A deadline may have fired concurrently; a closed
+                    // slot just discards the late response.
+                    let _ = tx.send(frame.payload);
+                }
+            }
+            Ok(Some(_)) => {} // stray control frame: ignore
+            Ok(None) | Err(_) => break,
+        }
+    }
+    dead.store(true, Ordering::SeqCst);
+    lock(&pending).clear();
+}
+
+/// Client endpoint speaking the framed wire protocol to a remote
+/// `locod`. Generic over the hosted [`Service`] type so it can resolve
+/// request labels (`S::req_label`) without the service instance.
+/// Cloning shares the pool.
+pub struct TcpEndpoint<S: Service> {
+    addr: Arc<str>,
+    id: ServerId,
+    policy: RetryPolicy,
+    pool: Arc<Vec<Mutex<Option<Arc<Conn>>>>>,
+    next_req: Arc<AtomicU64>,
+    metrics: Option<Arc<EndpointMetrics>>,
+    _svc: PhantomData<fn(S)>,
+}
+
+impl<S: Service> Clone for TcpEndpoint<S> {
+    fn clone(&self) -> Self {
+        Self {
+            addr: Arc::clone(&self.addr),
+            id: self.id,
+            policy: self.policy,
+            pool: Arc::clone(&self.pool),
+            next_req: Arc::clone(&self.next_req),
+            metrics: self.metrics.clone(),
+            _svc: PhantomData,
+        }
+    }
+}
+
+impl<S: Service> TcpEndpoint<S> {
+    /// Default pool width; override with `LOCO_RPC_CONNS`.
+    const DEFAULT_POOL: usize = 2;
+
+    /// Create an endpoint for the server at `addr` (e.g.
+    /// `"127.0.0.1:7101"`). Connections are opened lazily on first
+    /// use and reopened after failures.
+    pub fn connect(id: ServerId, addr: &str) -> Self {
+        Self::with_policy(id, addr, RetryPolicy::from_env())
+    }
+
+    /// Like [`TcpEndpoint::connect`] with explicit deadline/retry
+    /// settings.
+    pub fn with_policy(id: ServerId, addr: &str, policy: RetryPolicy) -> Self {
+        let width = env_u64("LOCO_RPC_CONNS")
+            .map(|n| (n as usize).clamp(1, 64))
+            .unwrap_or(Self::DEFAULT_POOL);
+        Self {
+            addr: Arc::from(addr),
+            id,
+            policy,
+            pool: Arc::new((0..width).map(|_| Mutex::new(None)).collect()),
+            next_req: Arc::new(AtomicU64::new(1)),
+            metrics: None,
+            _svc: PhantomData,
+        }
+    }
+
+    /// Attach client-side instrumentation (builder style). The server
+    /// process keeps its own authoritative metrics; these count what
+    /// *this* client observed.
+    pub fn with_metrics(mut self, metrics: Arc<EndpointMetrics>) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// The remote address this endpoint dials.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Grab (or lazily open) the pooled connection for `req_id`.
+    fn conn_for(&self, req_id: u64) -> Result<Arc<Conn>, RpcError> {
+        let slot = &self.pool[(req_id % self.pool.len() as u64) as usize];
+        let mut guard = lock(slot);
+        if let Some(conn) = guard.as_ref() {
+            if !conn.dead.load(Ordering::SeqCst) {
+                return Ok(Arc::clone(conn));
+            }
+        }
+        let fresh = Conn::open(&self.addr, self.policy.connect_timeout)?;
+        *guard = Some(Arc::clone(&fresh));
+        Ok(fresh)
+    }
+
+    /// One send/receive attempt: no retries, one deadline.
+    fn attempt(&self, req_bytes: &[u8]) -> Result<RpcResponse<S::Resp>, RpcError>
+    where
+        S::Resp: Wire,
+    {
+        let req_id = self.next_req.fetch_add(1, Ordering::Relaxed);
+        let conn = self.conn_for(req_id)?;
+        let (tx, rx) = sync_channel(1);
+        lock(&conn.pending).insert(req_id, tx);
+        let sent = {
+            let mut w = lock(&conn.writer);
+            write_frame(&mut *w, FrameKind::Request, req_id, req_bytes)
+        };
+        if let Err(e) = sent {
+            conn.dead.store(true, Ordering::SeqCst);
+            lock(&conn.pending).remove(&req_id);
+            return Err(RpcError::ConnectionLost(e.to_string()));
+        }
+        match rx.recv_timeout(self.policy.deadline) {
+            Ok(payload) => RpcResponse::<S::Resp>::from_wire(&payload)
+                .map_err(|e| RpcError::Decode(e.to_string())),
+            Err(RecvTimeoutError::Timeout) => {
+                lock(&conn.pending).remove(&req_id);
+                Err(RpcError::Timeout {
+                    deadline_ms: self.policy.deadline.as_millis() as u64,
+                })
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                Err(RpcError::ConnectionLost("reader closed".into()))
+            }
+        }
+    }
+}
+
+impl<S> Endpoint<S::Req, S::Resp> for TcpEndpoint<S>
+where
+    S: Service,
+    S::Req: Wire,
+    S::Resp: Wire,
+{
+    /// Infallible call surface; a transport failure here is a panic.
+    /// The LocoFS client always goes through [`Endpoint::try_call`]
+    /// and maps failures to `EIO`.
+    fn call(&self, ctx: &mut CallCtx, req: S::Req) -> S::Resp {
+        match self.try_call(ctx, req) {
+            Ok(resp) => resp,
+            Err(e) => panic!("tcp rpc to {} failed: {e}", self.addr),
+        }
+    }
+
+    fn id(&self) -> ServerId {
+        self.id
+    }
+
+    fn try_call(&self, ctx: &mut CallCtx, req: S::Req) -> Result<S::Resp, RpcError> {
+        let label = S::req_label(&req);
+        // Encode once; retries resend the same bytes.
+        let req_bytes = RpcRequest {
+            trace: ctx.trace_ctx(),
+            body: req,
+        }
+        .to_wire();
+        let mut backoff = self.policy.backoff;
+        let mut last: Option<RpcError> = None;
+        for attempt in 0..self.policy.attempts {
+            if attempt > 0 {
+                let seed = (self.next_req.load(Ordering::Relaxed) << 8) | attempt as u64;
+                std::thread::sleep(backoff + jitter(seed, backoff));
+                backoff = backoff.saturating_mul(2);
+            }
+            match self.attempt(&req_bytes) {
+                Ok(resp) => {
+                    ctx.record(self.id, resp.cost);
+                    if let Some(span) = resp.span {
+                        ctx.record_span(self.id, span.op, resp.cost, span.queue_ns, span.attrs);
+                    }
+                    if let Some(m) = &self.metrics {
+                        m.begin();
+                        m.observe(label, resp.cost, 0);
+                    }
+                    return Ok(resp.body);
+                }
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(RpcError::Exhausted {
+            attempts: self.policy.attempts,
+            last: Box::new(last.expect("at least one attempt ran")),
+        })
+    }
+}
+
+// ----- server side ------------------------------------------------------
+
+/// Optional server wiring for [`serve_tcp`].
+#[derive(Default)]
+pub struct ServeOptions {
+    /// Per-endpoint instrumentation recorded for each handled request.
+    pub metrics: Option<Arc<EndpointMetrics>>,
+    /// Registry rendered in reply to [`Control::Metrics`] scrapes.
+    pub registry: Option<Arc<MetricsRegistry>>,
+}
+
+/// Handle to a running TCP server. Dropping it performs a graceful
+/// shutdown: stop accepting, drain in-flight requests, close.
+pub struct TcpServerGuard {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl TcpServerGuard {
+    /// The bound listen address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Request a graceful shutdown and wait for it to complete.
+    pub fn shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Whether a shutdown (local or via a [`Control::Shutdown`] frame)
+    /// has been requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Block until the server exits (e.g. on a remote
+    /// [`Control::Shutdown`]). Used by the `locod` main thread.
+    pub fn wait(&mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for TcpServerGuard {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Host `svc` on `listener`, speaking the framed wire protocol.
+/// Returns once the accept loop is running.
+pub fn serve_tcp<S>(
+    id: ServerId,
+    svc: S,
+    listener: TcpListener,
+    opts: ServeOptions,
+) -> io::Result<TcpServerGuard>
+where
+    S: Service + 'static,
+    S::Req: Wire,
+    S::Resp: Wire,
+{
+    let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let svc = Arc::new(Mutex::new(svc));
+    let accept = {
+        let shutdown = Arc::clone(&shutdown);
+        std::thread::Builder::new()
+            .name(format!(
+                "locod-{}-{}",
+                crate::metrics::role_name(id.class),
+                id.index
+            ))
+            .spawn(move || accept_loop::<S>(listener, svc, shutdown, opts))?
+    };
+    Ok(TcpServerGuard {
+        addr,
+        shutdown,
+        accept: Some(accept),
+    })
+}
+
+fn accept_loop<S>(
+    listener: TcpListener,
+    svc: Arc<Mutex<S>>,
+    shutdown: Arc<AtomicBool>,
+    opts: ServeOptions,
+) where
+    S: Service + 'static,
+    S::Req: Wire,
+    S::Resp: Wire,
+{
+    let opts = Arc::new(opts);
+    let mut conns: Vec<JoinHandle<()>> = Vec::new();
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let svc = Arc::clone(&svc);
+                let shutdown = Arc::clone(&shutdown);
+                let opts = Arc::clone(&opts);
+                if let Ok(h) = std::thread::Builder::new()
+                    .name("locod-conn".into())
+                    .spawn(move || conn_loop::<S>(stream, svc, shutdown, opts))
+                {
+                    conns.push(h);
+                }
+                conns.retain(|h| !h.is_finished());
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => break,
+        }
+    }
+    // Drain: every connection thread notices the flag, finishes its
+    // in-flight request (response flushed), and exits.
+    for h in conns {
+        let _ = h.join();
+    }
+}
+
+/// Read one frame, waking every [`READ_TICK`] to honour the shutdown
+/// flag. Returns `Ok(None)` on clean close, on shutdown while idle, or
+/// when a draining peer stalls longer than [`DRAIN_GRACE`] mid-frame.
+fn read_frame_polling(stream: &mut TcpStream, shutdown: &AtomicBool) -> io::Result<Option<Frame>> {
+    let mut header = [0u8; HEADER_LEN];
+    if read_polling(stream, &mut header, shutdown, true)?.is_none() {
+        return Ok(None);
+    }
+    let (kind, req_id, len, crc) = decode_header(&header)?;
+    let mut payload = vec![0u8; len];
+    if read_polling(stream, &mut payload, shutdown, false)?.is_none() {
+        return Ok(None);
+    }
+    if crc32(&payload) != crc {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame {req_id} payload checksum mismatch"),
+        ));
+    }
+    Ok(Some(Frame {
+        kind,
+        req_id,
+        payload,
+    }))
+}
+
+/// Fill `buf`, polling for shutdown between blocked reads. `idle_exit`
+/// marks the between-frames position where a shutdown or clean close
+/// may interrupt (only legal before the first byte).
+fn read_polling(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    shutdown: &AtomicBool,
+    idle_exit: bool,
+) -> io::Result<Option<()>> {
+    let mut off = 0;
+    let mut stalled = Duration::ZERO;
+    while off < buf.len() {
+        match stream.read(&mut buf[off..]) {
+            Ok(0) => {
+                return if off == 0 && idle_exit {
+                    Ok(None)
+                } else {
+                    Err(io::ErrorKind::UnexpectedEof.into())
+                };
+            }
+            Ok(n) => {
+                off += n;
+                stalled = Duration::ZERO;
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if shutdown.load(Ordering::SeqCst) {
+                    if off == 0 && idle_exit {
+                        return Ok(None);
+                    }
+                    stalled += READ_TICK;
+                    if stalled >= DRAIN_GRACE {
+                        return Ok(None);
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(Some(()))
+}
+
+fn conn_loop<S>(
+    mut stream: TcpStream,
+    svc: Arc<Mutex<S>>,
+    shutdown: Arc<AtomicBool>,
+    opts: Arc<ServeOptions>,
+) where
+    S: Service + 'static,
+    S::Req: Wire,
+    S::Resp: Wire,
+{
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(READ_TICK));
+    loop {
+        let frame = match read_frame_polling(&mut stream, &shutdown) {
+            Ok(Some(f)) => f,
+            // Clean close, shutdown, or corruption: either way this
+            // connection is done. Corruption is contained here — the
+            // client observes the close and retries on a fresh socket.
+            Ok(None) | Err(_) => return,
+        };
+        let done = match frame.kind {
+            FrameKind::Request => handle_request::<S>(&mut stream, &svc, &opts, frame).is_err(),
+            FrameKind::Control => {
+                handle_control(&mut stream, &opts, &shutdown, &frame.payload).unwrap_or(true)
+            }
+            FrameKind::Response => true, // client protocol violation
+        };
+        if done {
+            return;
+        }
+    }
+}
+
+fn handle_request<S>(
+    stream: &mut TcpStream,
+    svc: &Arc<Mutex<S>>,
+    opts: &ServeOptions,
+    frame: Frame,
+) -> io::Result<()>
+where
+    S: Service + 'static,
+    S::Req: Wire,
+    S::Resp: Wire,
+{
+    let rpc = RpcRequest::<S::Req>::from_wire(&frame.payload)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    let traced = rpc.trace.is_some_and(|t| t.sampled);
+    let op = S::req_label(&rpc.body);
+    let received = Instant::now();
+    if let Some(m) = &opts.metrics {
+        m.begin();
+    }
+    let mut guard = lock(svc);
+    // Like the in-process endpoints: queue wait is the real time spent
+    // waiting for the (single-writer) service, here the mutex.
+    let queue_ns = received.elapsed().as_nanos() as Nanos;
+    let body = guard.handle(rpc.body);
+    let cost = guard.take_cost();
+    let span = traced.then(|| SpanReply {
+        op,
+        queue_ns,
+        attrs: guard.span_attrs(),
+    });
+    drop(guard);
+    if let Some(m) = &opts.metrics {
+        m.observe(op, cost, queue_ns);
+    }
+    let payload = RpcResponse { cost, span, body }.to_wire();
+    if payload.len() > MAX_PAYLOAD {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "response exceeds frame limit",
+        ));
+    }
+    write_frame(stream, FrameKind::Response, frame.req_id, &payload)
+}
+
+/// Handle a control frame; `Ok(true)` means the connection (and for
+/// `Shutdown`, the whole server) should stop.
+fn handle_control(
+    stream: &mut TcpStream,
+    opts: &ServeOptions,
+    shutdown: &AtomicBool,
+    payload: &[u8],
+) -> io::Result<bool> {
+    let msg = Control::from_wire(payload)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    let (reply, stop) = match msg {
+        Control::Ping => (ControlReply::Pong, false),
+        Control::Metrics => {
+            let text = opts
+                .registry
+                .as_ref()
+                .map(|r| r.render_prometheus())
+                .unwrap_or_default();
+            (ControlReply::Metrics(text), false)
+        }
+        Control::Shutdown => {
+            shutdown.store(true, Ordering::SeqCst);
+            (ControlReply::ShuttingDown, true)
+        }
+    };
+    write_frame(stream, FrameKind::Response, 0, &reply.to_wire())?;
+    Ok(stop)
+}
+
+/// One-shot control request over a dedicated connection: ping a
+/// daemon, scrape its metrics, or ask it to shut down.
+pub fn control(addr: &str, msg: Control, timeout: Duration) -> Result<ControlReply, RpcError> {
+    let sock_addr = resolve(addr)?;
+    let mut stream = TcpStream::connect_timeout(&sock_addr, timeout)
+        .map_err(|e| RpcError::Connect(format!("{addr}: {e}")))?;
+    let _ = stream.set_read_timeout(Some(timeout));
+    let _ = stream.set_write_timeout(Some(timeout));
+    write_frame(&mut stream, FrameKind::Control, 0, &msg.to_wire())
+        .map_err(|e| RpcError::ConnectionLost(e.to_string()))?;
+    match crate::frame::read_frame(&mut stream) {
+        Ok(Some(frame)) => {
+            ControlReply::from_wire(&frame.payload).map_err(|e| RpcError::Decode(e.to_string()))
+        }
+        Ok(None) => Err(RpcError::ConnectionLost("closed before reply".into())),
+        Err(e) => Err(RpcError::ConnectionLost(e.to_string())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::endpoint::test_service::Adder;
+    use loco_sim::time::MICROS;
+
+    fn quick_policy() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 3,
+            backoff: Duration::from_millis(5),
+            deadline: Duration::from_millis(500),
+            connect_timeout: Duration::from_millis(500),
+        }
+    }
+
+    fn serve_adder(cost: Nanos) -> (TcpServerGuard, TcpEndpoint<Adder>) {
+        let id = ServerId::new(crate::class::FMS, 0);
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let guard = serve_tcp(id, Adder::new(cost), listener, ServeOptions::default()).unwrap();
+        let ep = TcpEndpoint::<Adder>::with_policy(id, &guard.addr().to_string(), quick_policy());
+        (guard, ep)
+    }
+
+    #[test]
+    fn tcp_call_roundtrip_records_virtual_cost() {
+        let (_guard, ep) = serve_adder(3 * MICROS);
+        let mut ctx = CallCtx::new();
+        assert_eq!(ep.call(&mut ctx, 7), 7);
+        assert_eq!(ep.call(&mut ctx, 3), 10);
+        assert_eq!(ctx.round_trips(), 2);
+        assert_eq!(ctx.visits()[1].service, 3 * MICROS);
+    }
+
+    #[test]
+    fn concurrent_clients_multiplex_one_pool() {
+        let (_guard, ep) = serve_adder(0);
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let ep = ep.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut ctx = CallCtx::new();
+                for _ in 0..50 {
+                    ep.call(&mut ctx, 1);
+                }
+                ctx.round_trips()
+            }));
+        }
+        let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, 400);
+        let mut ctx = CallCtx::new();
+        assert_eq!(ep.call(&mut ctx, 0), 400);
+    }
+
+    #[test]
+    fn traced_call_carries_span_reply_across_the_wire() {
+        let (_guard, ep) = serve_adder(2 * MICROS);
+        let mut ctx = CallCtx::new();
+        ctx.start_trace(77);
+        ep.call(&mut ctx, 1);
+        let t = ctx.take_op_trace().expect("sampled op has a trace");
+        assert_eq!(t.spans.len(), 1);
+        assert_eq!(t.spans[0].op, "req"); // Adder's default req_label
+        assert_eq!(t.spans[0].service_ns, 2 * MICROS);
+    }
+
+    #[test]
+    fn dead_server_surfaces_exhausted_not_hang() {
+        let (mut guard, ep) = serve_adder(0);
+        let mut ctx = CallCtx::new();
+        ep.call(&mut ctx, 1); // warm connection
+        guard.shutdown();
+        let policy = quick_policy();
+        let t0 = Instant::now();
+        let err = ep.try_call(&mut ctx, 1).unwrap_err();
+        assert!(
+            matches!(err, RpcError::Exhausted { attempts: 3, .. }),
+            "got {err:?}"
+        );
+        // Bounded: attempts × (deadline + backoff) with slack.
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "retry exhaustion took {:?} (policy {policy:?})",
+            t0.elapsed()
+        );
+    }
+
+    #[test]
+    fn control_ping_metrics_shutdown() {
+        let id = ServerId::new(crate::class::DMS, 0);
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let registry = MetricsRegistry::shared();
+        let metrics = EndpointMetrics::register(&registry, id);
+        let mut guard = serve_tcp(
+            id,
+            Adder::new(MICROS),
+            listener,
+            ServeOptions {
+                metrics: Some(metrics),
+                registry: Some(registry),
+            },
+        )
+        .unwrap();
+        let addr = guard.addr().to_string();
+        let timeout = Duration::from_secs(2);
+        assert_eq!(
+            control(&addr, Control::Ping, timeout).unwrap(),
+            ControlReply::Pong
+        );
+        let ep = TcpEndpoint::<Adder>::with_policy(id, &addr, quick_policy());
+        let mut ctx = CallCtx::new();
+        ep.call(&mut ctx, 5);
+        match control(&addr, Control::Metrics, timeout).unwrap() {
+            ControlReply::Metrics(text) => {
+                assert!(
+                    text.contains("rpc_requests_total{role=\"dms\",server=\"0\"} 1"),
+                    "metrics cross the wire: {text}"
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(
+            control(&addr, Control::Shutdown, timeout).unwrap(),
+            ControlReply::ShuttingDown
+        );
+        guard.wait(); // remote shutdown stops the accept loop
+    }
+
+    #[test]
+    fn tcp_matches_sim_visit_traces() {
+        use crate::endpoint::SimEndpoint;
+        let id = ServerId::new(crate::class::FMS, 1);
+        let sim = SimEndpoint::new(id, Adder::new(9 * MICROS));
+        let (_guard, tcp) = serve_adder(9 * MICROS);
+        let mut cs = CallCtx::new();
+        let mut ct = CallCtx::new();
+        for i in 0..10 {
+            assert_eq!(sim.call(&mut cs, i), tcp.call(&mut ct, i));
+        }
+        // Same virtual visits — wall-clock never leaks into the trace.
+        let (vs, vt) = (cs.take_trace().visits, ct.take_trace().visits);
+        assert_eq!(
+            vs.iter().map(|v| v.service).collect::<Vec<_>>(),
+            vt.iter().map(|v| v.service).collect::<Vec<_>>()
+        );
+    }
+}

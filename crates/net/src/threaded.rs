@@ -5,22 +5,13 @@
 
 use crate::endpoint::{CallCtx, Endpoint, Service};
 use crate::metrics::EndpointMetrics;
+use crate::rpc::SpanReply;
 use loco_sim::des::ServerId;
 use loco_sim::time::Nanos;
 use std::sync::mpsc::{channel, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
-
-/// Span attribution computed server-side for a traced call: only the
-/// server thread is generic over the service, so it alone can resolve
-/// the request label and read [`Service::span_attrs`]. Travels back
-/// across the reply channel — the wire format of trace propagation.
-struct SpanReply {
-    op: &'static str,
-    queue_ns: Nanos,
-    attrs: Vec<(&'static str, u64)>,
-}
 
 enum Envelope<Req, Resp> {
     Call {

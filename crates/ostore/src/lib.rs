@@ -17,7 +17,7 @@ use loco_sim::time::CostAcc;
 use loco_types::{FsError, FsResult, Uuid};
 
 /// Requests handled by an object-store server.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum OstoreRequest {
     /// Write one block (full or partial-from-zero; LocoFS clients chunk
     /// writes on block boundaries).
@@ -53,7 +53,7 @@ pub enum OstoreRequest {
 }
 
 /// Object-store responses.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum OstoreResponse {
     /// Unit result of a mutation.
     Done(FsResult<()>),
@@ -62,6 +62,20 @@ pub enum OstoreResponse {
     /// Number of blocks removed.
     Removed(usize),
 }
+
+// Wire codec for the RPC transport. Tags are protocol: append-only.
+loco_types::impl_wire_enum!(OstoreRequest, "ostore-request", {
+    0 => WriteBlock { uuid, blk, data },
+    1 => ReadBlock { uuid, blk },
+    2 => TruncateBlocks { uuid, keep_blocks },
+    3 => RemoveObject { uuid },
+});
+
+loco_types::impl_wire_enum!(OstoreResponse, "ostore-response", tuple {
+    0 => Done(r),
+    1 => Block(r),
+    2 => Removed(r),
+});
 
 /// An object-store server: blocks keyed `uuid (8B BE) ‖ blk (8B BE)`.
 pub struct ObjectStore {

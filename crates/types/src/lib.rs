@@ -18,7 +18,10 @@
 //!   operation touches, enforced by conformance tests,
 //! * [`acl`] — POSIX mode-bit permission checks used for ancestor ACL
 //!   walks,
-//! * [`error`] — the error type every layer shares.
+//! * [`error`] — the error type every layer shares,
+//! * [`wire`] — the std-only binary codec used by the real RPC
+//!   transport (`loco-net`'s TCP endpoint) to move these types between
+//!   processes.
 
 pub mod acl;
 pub mod dirent;
@@ -28,6 +31,7 @@ pub mod meta;
 pub mod op_matrix;
 pub mod path;
 pub mod ring;
+pub mod wire;
 
 pub use acl::{may_access, Perm};
 pub use dirent::{encode_entry, encode_tombstone, Dirent, DirentKind, DirentList};
@@ -37,3 +41,4 @@ pub use meta::{DirInode, FileAccess, FileContent};
 pub use op_matrix::{parts_touched, MetaPart, OpKind};
 pub use path::{basename, components, depth, join, normalize, parent};
 pub use ring::HashRing;
+pub use wire::{Wire, WireError, WireResult, MAX_WIRE_LEN};

@@ -4,32 +4,40 @@
 //!
 //! Usage:
 //!   cargo run --release --example metadata_bench -- \
-//!       [system] [servers] [clients] [items] [phase]
+//!       [system] [servers] [clients] [items] [phase] [--transport T]
 //!
 //!   system: loco-c | loco-nc | loco-cf | ceph | gluster | lustre-d1 |
 //!           lustre-d2 | indexfs | rawkv        (default loco-c)
 //!   phase:  touch | mkdir | file-stat | dir-stat | rm | rmdir |
 //!           readdir | chmod | chown | truncate | access (default touch)
+//!   --transport sim | thread | tcp  (default sim; LocoFS systems only —
+//!           tcp boots in-process localhost servers, or dials an
+//!           external `locod` cluster when LOCO_CLUSTER is set)
 
 use locofs::baselines::{
     CephFsModel, DistFs, GlusterFsModel, IndexFsModel, LocoAdapter, LustreFsModel, LustreVariant,
     RawKvFs,
 };
-use locofs::client::LocoConfig;
+use locofs::client::{LocoConfig, Transport};
 use locofs::mdtest::{
     collect_traces, dump_phase_slow_ops, gen_phase, gen_setup, run_latency, run_setup, BenchReport,
     PhaseKind, TreeSpec,
 };
 use locofs::sim::des::ClosedLoopSim;
 
-fn make(system: &str, servers: u16) -> Box<dyn DistFs> {
+fn make(system: &str, servers: u16, transport: Transport) -> Box<dyn DistFs> {
     match system {
-        "loco-c" => Box::new(LocoAdapter::new(LocoConfig::with_servers(servers))),
-        "loco-nc" => Box::new(LocoAdapter::new(
-            LocoConfig::with_servers(servers).no_cache(),
+        "loco-c" => Box::new(LocoAdapter::with_transport(
+            LocoConfig::with_servers(servers),
+            transport,
         )),
-        "loco-cf" => Box::new(LocoAdapter::new(
+        "loco-nc" => Box::new(LocoAdapter::with_transport(
+            LocoConfig::with_servers(servers).no_cache(),
+            transport,
+        )),
+        "loco-cf" => Box::new(LocoAdapter::with_transport(
             LocoConfig::with_servers(servers).coupled(),
+            transport,
         )),
         "ceph" => Box::new(CephFsModel::new(servers)),
         "gluster" => Box::new(GlusterFsModel::new(servers)),
@@ -59,24 +67,39 @@ fn phase(name: &str) -> PhaseKind {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut transport = Transport::Sim;
+    let mut args = Vec::new();
+    let mut it = raw.iter();
+    while let Some(a) = it.next() {
+        if a == "--transport" {
+            let val = it.next().expect("--transport needs a value");
+            transport = Transport::parse(val)
+                .unwrap_or_else(|| panic!("unknown transport {val:?} (sim/thread/tcp)"));
+        } else if let Some(val) = a.strip_prefix("--transport=") {
+            transport = Transport::parse(val)
+                .unwrap_or_else(|| panic!("unknown transport {val:?} (sim/thread/tcp)"));
+        } else {
+            args.push(a.clone());
+        }
+    }
     let system = args
-        .get(1)
+        .first()
         .map(String::as_str)
         .unwrap_or("loco-c")
         .to_string();
-    let servers: u16 = args.get(2).and_then(|a| a.parse().ok()).unwrap_or(8);
-    let clients: usize = args.get(3).and_then(|a| a.parse().ok()).unwrap_or(64);
-    let items: usize = args.get(4).and_then(|a| a.parse().ok()).unwrap_or(100);
-    let kind = phase(args.get(5).map(String::as_str).unwrap_or("touch"));
+    let servers: u16 = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(8);
+    let clients: usize = args.get(2).and_then(|a| a.parse().ok()).unwrap_or(64);
+    let items: usize = args.get(3).and_then(|a| a.parse().ok()).unwrap_or(100);
+    let kind = phase(args.get(4).map(String::as_str).unwrap_or("touch"));
 
     println!(
-        "system={system} servers={servers} clients={clients} items/client={items} phase={}",
+        "system={system} servers={servers} clients={clients} items/client={items} phase={} transport={transport}",
         kind.label()
     );
 
     // Single-client latency.
-    let mut fs = make(&system, servers);
+    let mut fs = make(&system, servers, transport);
     let spec1 = TreeSpec::new(1, items);
     run_setup(&mut *fs, &gen_setup(&spec1)).unwrap();
     if kind.needs_files() {
@@ -110,7 +133,7 @@ fn main() {
     );
 
     // Closed-loop throughput.
-    let mut fs = make(&system, servers);
+    let mut fs = make(&system, servers, transport);
     let spec = TreeSpec::new(clients, items);
     run_setup(&mut *fs, &gen_setup(&spec)).unwrap();
     if kind.needs_files() {

@@ -1,0 +1,119 @@
+#!/usr/bin/env bash
+# Boot a localhost LocoFS cluster (locod daemons), run the mdtest smoke
+# workload over TCP, scrape per-daemon metrics, and shut everything
+# down gracefully.
+#
+# Usage:
+#   scripts/cluster.sh [--fms N] [--ost N] [--base-port P] [--keep]
+#
+#   --fms N       number of FMS daemons (default 2)
+#   --ost N       number of OST daemons (default 2)
+#   --base-port P first listen port (default 7100)
+#   --keep        leave the cluster running (prints LOCO_CLUSTER and
+#                 exits; shut it down later with `locod shutdown ADDR`)
+#
+# Artifacts land in results/cluster/ (override with LOCO_SMOKE_OUT):
+#   locod-<role><i>.log / .prom   per-daemon log + final metrics dump
+#   client_metrics.prom           client-side RPC + op metrics
+#   slow_ops.json                 flight-recorder span trees (traced
+#                                 over the wire — LOCO_TRACE parity)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FMS=2
+OST=2
+BASE_PORT=7100
+KEEP=0
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --fms) FMS=$2; shift 2 ;;
+    --ost) OST=$2; shift 2 ;;
+    --base-port) BASE_PORT=$2; shift 2 ;;
+    --keep) KEEP=1; shift ;;
+    *) echo "unknown flag: $1" >&2; exit 2 ;;
+  esac
+done
+
+OUT="${LOCO_SMOKE_OUT:-results/cluster}"
+mkdir -p "$OUT"
+
+cargo build --release -q --bin locod --bin mdtest_smoke
+LOCOD=target/release/locod
+
+ADDRS=()
+PIDS=()
+ROLES=()
+
+start_daemon() { # role index port
+  local role=$1 index=$2 port=$3 addr="127.0.0.1:$3"
+  "$LOCOD" serve --role "$role" --index "$index" --listen "$addr" \
+    --metrics-out "$OUT/locod-$role$index.prom" \
+    >"$OUT/locod-$role$index.log" 2>&1 &
+  PIDS+=($!)
+  ROLES+=("$role$index")
+  ADDRS+=("$addr")
+}
+
+cleanup() {
+  # Graceful drain first; SIGKILL only as a last resort.
+  for addr in "${ADDRS[@]}"; do
+    "$LOCOD" shutdown "$addr" >/dev/null 2>&1 || true
+  done
+  for i in "${!PIDS[@]}"; do
+    for _ in $(seq 1 50); do
+      kill -0 "${PIDS[$i]}" 2>/dev/null || continue 2
+      sleep 0.1
+    done
+    echo "cluster.sh: ${ROLES[$i]} did not drain, killing" >&2
+    kill -9 "${PIDS[$i]}" 2>/dev/null || true
+  done
+}
+
+port=$BASE_PORT
+start_daemon dms 0 "$port"; DMS_ADDR="127.0.0.1:$port"; port=$((port + 1))
+FMS_ADDRS=""
+for i in $(seq 0 $((FMS - 1))); do
+  start_daemon fms "$i" "$port"
+  FMS_ADDRS="${FMS_ADDRS:+$FMS_ADDRS,}127.0.0.1:$port"
+  port=$((port + 1))
+done
+OST_ADDRS=""
+for i in $(seq 0 $((OST - 1))); do
+  start_daemon ost "$i" "$port"
+  OST_ADDRS="${OST_ADDRS:+$OST_ADDRS,}127.0.0.1:$port"
+  port=$((port + 1))
+done
+
+export LOCO_CLUSTER="dms=$DMS_ADDR;fms=$FMS_ADDRS;ost=$OST_ADDRS"
+echo "cluster.sh: LOCO_CLUSTER=$LOCO_CLUSTER"
+
+# Wait until every daemon answers a control ping.
+for addr in "${ADDRS[@]}"; do
+  for _ in $(seq 1 100); do
+    if "$LOCOD" ping "$addr" >/dev/null 2>&1; then continue 2; fi
+    sleep 0.1
+  done
+  echo "cluster.sh: $addr never came up" >&2
+  cleanup
+  exit 1
+done
+echo "cluster.sh: all $((1 + FMS + OST)) daemons up (1 dms, $FMS fms, $OST ost)"
+
+if [[ $KEEP -eq 1 ]]; then
+  echo "cluster.sh: --keep: cluster left running; export LOCO_CLUSTER as above."
+  echo "cluster.sh: shut down with: for a in ${ADDRS[*]}; do $LOCOD shutdown \$a; done"
+  exit 0
+fi
+
+trap cleanup EXIT
+rc=0
+target/release/mdtest_smoke || rc=$?
+
+# Scrape live per-daemon metrics before the graceful drain (the drain
+# also writes each daemon's final dump via --metrics-out).
+for i in "${!ADDRS[@]}"; do
+  "$LOCOD" metrics "${ADDRS[$i]}" >"$OUT/locod-${ROLES[$i]}.live.prom" 2>/dev/null || true
+done
+
+echo "cluster.sh: artifacts in $OUT/"
+exit $rc

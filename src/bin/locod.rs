@@ -1,0 +1,251 @@
+//! `locod` — the LocoFS metadata daemon.
+//!
+//! Hosts one server role (DMS, FMS or OST) behind a listening TCP
+//! socket speaking the `loco-net` framed wire protocol. A localhost
+//! cluster is normally booted by `scripts/cluster.sh`, but each daemon
+//! can also be started by hand:
+//!
+//! ```text
+//! locod serve --role dms --index 0 --listen 127.0.0.1:7100
+//! locod serve --role fms --index 0 --listen 127.0.0.1:7101
+//! locod serve --role ost --index 0 --listen 127.0.0.1:7103
+//! ```
+//!
+//! Control-plane subcommands speak the `Control` frame to a running
+//! daemon:
+//!
+//! ```text
+//! locod ping     127.0.0.1:7100     # liveness probe
+//! locod metrics  127.0.0.1:7100     # scrape Prometheus text
+//! locod shutdown 127.0.0.1:7100     # graceful drain + exit
+//! ```
+//!
+//! Graceful shutdown drains in-flight requests before closing: the
+//! accept loop stops, idle connections close, and connections mid-frame
+//! get a short grace period to finish. On exit the daemon prints (or
+//! writes, with `--metrics-out`) its final metrics dump.
+
+use locofs::client::{DmsBackend, FmsMode};
+use locofs::dms::DirServer;
+use locofs::fms::FileServer;
+use locofs::kv::KvConfig;
+use locofs::net::tcp::{serve_tcp, ServeOptions};
+use locofs::net::{class, control, Control, ControlReply, EndpointMetrics, ServerId};
+use locofs::obs::MetricsRegistry;
+use locofs::ostore::ObjectStore;
+use std::net::TcpListener;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+const USAGE: &str = "\
+locod — LocoFS metadata daemon
+
+USAGE:
+  locod serve --role {dms|fms|ost} --listen ADDR [--index N]
+              [--dms-backend {btree|hash}] [--fms-mode {decoupled|coupled}]
+              [--metrics-out FILE]
+  locod ping ADDR
+  locod metrics ADDR
+  locod shutdown ADDR
+
+The serve role maps to the LocoFS split: one dms (full-path d-inodes),
+N fms (consistent-hash file metadata; --index is the ring slot), and
+object stores. Env knobs: LOCO_RPC_DEADLINE_MS / ATTEMPTS / BACKOFF_MS
+(client side), LOCO_TRACE (span sampling).";
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("locod: {msg}");
+    eprintln!("{USAGE}");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("serve") => serve(&args[1..]),
+        Some("ping") | Some("metrics") | Some("shutdown") => {
+            let Some(addr) = args.get(1) else {
+                return fail("missing daemon address");
+            };
+            let msg = match args[0].as_str() {
+                "ping" => Control::Ping,
+                "metrics" => Control::Metrics,
+                _ => Control::Shutdown,
+            };
+            match control(addr, msg, Duration::from_secs(5)) {
+                Ok(ControlReply::Pong) => {
+                    println!("pong from {addr}");
+                    ExitCode::SUCCESS
+                }
+                Ok(ControlReply::Metrics(text)) => {
+                    print!("{text}");
+                    ExitCode::SUCCESS
+                }
+                Ok(ControlReply::ShuttingDown) => {
+                    println!("{addr} draining");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("locod: {addr}: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("--help") | Some("-h") | Some("help") => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        _ => fail("expected a subcommand (serve/ping/metrics/shutdown)"),
+    }
+}
+
+struct ServeArgs {
+    role: String,
+    listen: String,
+    index: u16,
+    dms_backend: DmsBackend,
+    fms_mode: FmsMode,
+    metrics_out: Option<String>,
+}
+
+fn parse_serve(args: &[String]) -> Result<ServeArgs, String> {
+    let mut out = ServeArgs {
+        role: String::new(),
+        listen: String::new(),
+        index: 0,
+        dms_backend: DmsBackend::BTree,
+        fms_mode: FmsMode::Decoupled,
+        metrics_out: None,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut val = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--role" => out.role = val()?,
+            "--listen" => out.listen = val()?,
+            "--index" => {
+                out.index = val()?
+                    .parse()
+                    .map_err(|_| "--index must be an integer".to_string())?
+            }
+            "--dms-backend" => {
+                out.dms_backend = match val()?.as_str() {
+                    "btree" => DmsBackend::BTree,
+                    "hash" => DmsBackend::Hash,
+                    other => return Err(format!("unknown dms backend {other:?}")),
+                }
+            }
+            "--fms-mode" => {
+                out.fms_mode = match val()?.as_str() {
+                    "decoupled" => FmsMode::Decoupled,
+                    "coupled" => FmsMode::Coupled,
+                    other => return Err(format!("unknown fms mode {other:?}")),
+                }
+            }
+            "--metrics-out" => out.metrics_out = Some(val()?),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    if out.role.is_empty() {
+        return Err("--role is required".into());
+    }
+    if out.listen.is_empty() {
+        return Err("--listen is required".into());
+    }
+    Ok(out)
+}
+
+fn serve(args: &[String]) -> ExitCode {
+    let a = match parse_serve(args) {
+        Ok(a) => a,
+        Err(e) => return fail(&e),
+    };
+    let listener = match TcpListener::bind(&a.listen) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("locod: cannot bind {}: {e}", a.listen);
+            return ExitCode::FAILURE;
+        }
+    };
+    let registry = Arc::new(MetricsRegistry::new());
+    let kv = KvConfig::default();
+    let result = match a.role.as_str() {
+        "dms" => {
+            let id = ServerId::new(class::DMS, a.index);
+            let m = EndpointMetrics::register(&registry, id);
+            serve_tcp(
+                id,
+                DirServer::with_sid(a.dms_backend, kv, a.index),
+                listener,
+                ServeOptions {
+                    metrics: Some(m),
+                    registry: Some(registry.clone()),
+                },
+            )
+        }
+        "fms" => {
+            // Ring slot `index` corresponds to server id `index + 1`,
+            // matching LocoCluster::new so uuid placement agrees with
+            // in-process clusters.
+            let id = ServerId::new(class::FMS, a.index);
+            let m = EndpointMetrics::register(&registry, id);
+            serve_tcp(
+                id,
+                FileServer::new(a.index + 1, a.fms_mode, kv),
+                listener,
+                ServeOptions {
+                    metrics: Some(m),
+                    registry: Some(registry.clone()),
+                },
+            )
+        }
+        "ost" => {
+            let id = ServerId::new(class::OST, a.index);
+            let m = EndpointMetrics::register(&registry, id);
+            serve_tcp(
+                id,
+                ObjectStore::new(kv),
+                listener,
+                ServeOptions {
+                    metrics: Some(m),
+                    registry: Some(registry.clone()),
+                },
+            )
+        }
+        other => return fail(&format!("unknown role {other:?} (dms/fms/ost)")),
+    };
+    let mut guard = match result {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("locod: serve failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "locod: {} #{} listening on {}",
+        a.role,
+        a.index,
+        guard.addr()
+    );
+    // Block until a Control::Shutdown frame flips the flag; the guard
+    // then joins every connection thread (draining in-flight requests).
+    guard.wait();
+    let dump = registry.render_prometheus();
+    match &a.metrics_out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &dump) {
+                eprintln!("locod: cannot write {path}: {e}");
+            } else {
+                println!("locod: {} #{} metrics written to {path}", a.role, a.index);
+            }
+        }
+        None => print!("{dump}"),
+    }
+    println!("locod: {} #{} drained, exiting", a.role, a.index);
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,122 @@
+//! mdtest smoke workload against a running `locod` cluster.
+//!
+//! Reads `LOCO_CLUSTER` (`dms=addr;fms=a,b;ost=a,b`), dials the daemons
+//! over TCP, and runs an mdtest-style phase sequence — mkdir tree,
+//! dir-create, touch, stat, readdir, chmod, write/read, rm, rmdir —
+//! asserting every operation succeeds. Span-trace sampling is forced on
+//! so each op's flight-recorder tree decomposes into the same client /
+//! net / software / KV terms as in-process runs, proving observability
+//! crosses the wire.
+//!
+//! Artifacts (client-side Prometheus metrics and the slow-op span
+//! dump) land in `$LOCO_SMOKE_OUT` (default `results/cluster/`);
+//! `scripts/cluster.sh` scrapes the per-daemon metrics alongside them.
+//! Exits nonzero on any operation error.
+
+use locofs::baselines::{DistFs, LocoAdapter};
+use locofs::client::{ClusterAddrs, LocoConfig, TraceMode, Transport};
+use locofs::mdtest::{gen_phase, gen_setup, run_latency, run_setup, PhaseKind, TreeSpec};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    if ClusterAddrs::from_env().is_none() {
+        eprintln!(
+            "mdtest_smoke: LOCO_CLUSTER is not set (expected \
+             \"dms=addr;fms=a,b;ost=a,b\") — start one with scripts/cluster.sh"
+        );
+        return ExitCode::FAILURE;
+    }
+    let items: usize = std::env::var("LOCO_SMOKE_ITEMS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(50);
+    let clients: usize = std::env::var("LOCO_SMOKE_CLIENTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2);
+    let out_dir = std::env::var("LOCO_SMOKE_OUT").unwrap_or_else(|_| "results/cluster".to_string());
+
+    let config = LocoConfig::default().traced(TraceMode::All);
+    let mut fs = LocoAdapter::with_transport(config, Transport::Tcp);
+    let spec = TreeSpec::new(clients, items);
+
+    println!(
+        "mdtest_smoke: {} clients x {} items over LOCO_CLUSTER={}",
+        clients,
+        items,
+        std::env::var("LOCO_CLUSTER").unwrap_or_default()
+    );
+    if let Err(e) = run_setup(&mut fs, &gen_setup(&spec)) {
+        eprintln!("mdtest_smoke: setup failed: {e:?}");
+        return ExitCode::FAILURE;
+    }
+
+    // Self-cleaning phase order: everything created is later removed,
+    // so the daemons end the run with an empty namespace and the smoke
+    // can be re-run against the same cluster.
+    let phases = [
+        PhaseKind::DirCreate,
+        PhaseKind::FileCreate,
+        PhaseKind::FileStat,
+        PhaseKind::DirStat,
+        PhaseKind::Readdir,
+        PhaseKind::ModChmod,
+        PhaseKind::ModAccess,
+        PhaseKind::FileRemove,
+        PhaseKind::DirRemove,
+    ];
+    let mut failed = false;
+    for kind in phases {
+        let mut ops_total = 0usize;
+        let mut errors = 0usize;
+        let mut mean_acc = 0.0f64;
+        for stream in gen_phase(&spec, kind) {
+            let run = run_latency(&mut fs, &stream);
+            ops_total += stream.len();
+            errors += run.errors;
+            mean_acc += run.mean_us();
+        }
+        let mean = mean_acc / clients.max(1) as f64;
+        println!(
+            "  {:<10} {:>5} ops  mean {:>8.1} µs  errors {}",
+            kind.label(),
+            ops_total,
+            mean,
+            errors
+        );
+        if errors > 0 {
+            failed = true;
+        }
+    }
+
+    // One data round trip through the object store for good measure.
+    let data_ok = fs.write_file("/c0/smoke.dat", b"across the wire").is_ok()
+        && fs.read_file("/c0/smoke.dat").as_deref() == Ok(b"across the wire".as_ref())
+        && fs.unlink("/c0/smoke.dat").is_ok();
+    println!("  data rw    {}", if data_ok { "ok" } else { "FAILED" });
+    failed |= !data_ok;
+
+    let _ = std::fs::create_dir_all(&out_dir);
+    if let Some(text) = fs.metrics_text() {
+        let path = format!("{out_dir}/client_metrics.prom");
+        match std::fs::write(&path, text) {
+            Ok(()) => println!("mdtest_smoke: wrote {path}"),
+            Err(e) => eprintln!("mdtest_smoke: cannot write {path}: {e}"),
+        }
+    }
+    if let Some(json) = fs.slow_ops_json() {
+        let path = format!("{out_dir}/slow_ops.json");
+        match std::fs::write(&path, json) {
+            Ok(()) => println!("mdtest_smoke: wrote {path}"),
+            Err(e) => eprintln!("mdtest_smoke: cannot write {path}: {e}"),
+        }
+    }
+
+    if failed {
+        eprintln!("mdtest_smoke: FAILED (see errors above)");
+        ExitCode::FAILURE
+    } else {
+        println!("mdtest_smoke: all phases clean");
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,224 @@
+//! Fault behavior of the TCP transport: killing a server mid-workload
+//! must surface `EIO` (FsError::Io) through retry exhaustion — no
+//! hangs, deadlines fire, and the cluster stays usable for every
+//! role that is still up.
+
+use locofs::client::{DmsEndpoint, FmsEndpoint, LocoClient, LocoConfig, ObsWiring, OstEndpoint};
+use locofs::dms::DirServer;
+use locofs::fms::FileServer;
+use locofs::kv::KvConfig;
+use locofs::net::tcp::{serve_tcp, RetryPolicy, ServeOptions, TcpEndpoint, TcpServerGuard};
+use locofs::net::{class, Endpoint, ServerId};
+use locofs::obs::{FlightRecorder, MetricsRegistry, SampleMode, Tracer, Watchdog, WatchdogConfig};
+use locofs::ostore::ObjectStore;
+use locofs::types::FsError;
+use std::net::TcpListener;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Aggressive policy so retry exhaustion completes in well under a
+/// second: 2 attempts, 5 ms backoff, 200 ms deadline.
+fn fast_policy() -> RetryPolicy {
+    RetryPolicy {
+        attempts: 2,
+        backoff: Duration::from_millis(5),
+        deadline: Duration::from_millis(200),
+        connect_timeout: Duration::from_millis(200),
+    }
+}
+
+struct TcpTestCluster {
+    client: LocoClient,
+    // Index 0 = DMS, then FMS guards, then OST guards.
+    fms_guards: Vec<TcpServerGuard>,
+    _other_guards: Vec<TcpServerGuard>,
+}
+
+/// 1 DMS + `fms` FMS + 1 OST, all in-process behind real sockets, with
+/// the fast retry policy on every client endpoint.
+fn boot(fms: u16) -> TcpTestCluster {
+    let config = LocoConfig::with_servers(fms);
+    let kv = KvConfig::default();
+    let registry = Arc::new(MetricsRegistry::new());
+    let mut other_guards = Vec::new();
+
+    let dms_id = ServerId::new(class::DMS, 0);
+    let l = TcpListener::bind("127.0.0.1:0").unwrap();
+    let g = serve_tcp(
+        dms_id,
+        DirServer::with_sid(config.dms_backend, kv.clone(), 0),
+        l,
+        ServeOptions::default(),
+    )
+    .unwrap();
+    let dms: Vec<DmsEndpoint> = vec![Arc::new(TcpEndpoint::<DirServer>::with_policy(
+        dms_id,
+        &g.addr().to_string(),
+        fast_policy(),
+    ))];
+    other_guards.push(g);
+
+    let mut fms_eps: Vec<FmsEndpoint> = Vec::new();
+    let mut fms_guards = Vec::new();
+    for i in 0..fms {
+        let id = ServerId::new(class::FMS, i);
+        let l = TcpListener::bind("127.0.0.1:0").unwrap();
+        let g = serve_tcp(
+            id,
+            FileServer::new(i + 1, config.fms_mode, kv.clone()),
+            l,
+            ServeOptions::default(),
+        )
+        .unwrap();
+        fms_eps.push(Arc::new(TcpEndpoint::<FileServer>::with_policy(
+            id,
+            &g.addr().to_string(),
+            fast_policy(),
+        )));
+        fms_guards.push(g);
+    }
+
+    let ost_id = ServerId::new(class::OST, 0);
+    let l = TcpListener::bind("127.0.0.1:0").unwrap();
+    let g = serve_tcp(ost_id, ObjectStore::new(kv), l, ServeOptions::default()).unwrap();
+    let ost: Vec<OstEndpoint> = vec![Arc::new(TcpEndpoint::<ObjectStore>::with_policy(
+        ost_id,
+        &g.addr().to_string(),
+        fast_policy(),
+    ))];
+    other_guards.push(g);
+
+    let obs = ObsWiring {
+        registry,
+        tracer: Arc::new(Tracer::new(SampleMode::Off)),
+        flight: Arc::new(FlightRecorder::new(8)),
+        watchdog: Arc::new(Watchdog::new(WatchdogConfig::default())),
+    };
+    let client = LocoClient::with_endpoints(config, dms, fms_eps, ost, obs, 1000, 1000);
+    TcpTestCluster {
+        client,
+        fms_guards,
+        _other_guards: other_guards,
+    }
+}
+
+#[test]
+fn killing_an_fms_mid_workload_surfaces_eio_without_hanging() {
+    let mut cluster = boot(2);
+    let c = &mut cluster.client;
+    c.mkdir("/w", 0o755).unwrap();
+    // Warm up: files land on both FMS shards.
+    for i in 0..12 {
+        c.create(&format!("/w/f{i}"), 0o644).unwrap();
+    }
+
+    // Kill every FMS (drop closes the listeners and joins the conn
+    // threads), keeping DMS and OST alive.
+    cluster.fms_guards.clear();
+
+    let start = Instant::now();
+    let mut io_errors = 0;
+    for i in 0..12 {
+        match c.stat_file(&format!("/w/f{i}")) {
+            Err(FsError::Io(msg)) => {
+                io_errors += 1;
+                assert!(
+                    msg.contains("FMS"),
+                    "EIO should say which shard died: {msg}"
+                );
+            }
+            other => panic!("expected EIO after FMS death, got {other:?}"),
+        }
+    }
+    let elapsed = start.elapsed();
+    assert_eq!(io_errors, 12);
+    // 12 ops x 2 attempts x (fast connect-refused + 5-10 ms backoff):
+    // generous bound proves deadlines/backoff fire instead of hanging.
+    assert!(
+        elapsed < Duration::from_secs(30),
+        "retry exhaustion took {elapsed:?} — deadlines not firing"
+    );
+
+    // The DMS is still healthy: directory metadata ops keep working.
+    c.mkdir("/w2", 0o755).unwrap();
+    assert!(c.stat_dir("/w").is_ok());
+}
+
+#[test]
+fn failed_rpcs_do_not_poison_the_namespace_and_recovery_is_clean() {
+    let mut cluster = boot(1);
+    let c = &mut cluster.client;
+    c.mkdir("/d", 0o755).unwrap();
+    c.create("/d/before", 0o644).unwrap();
+
+    // Take the FMS down: file creates fail with EIO, dirs still work.
+    let fms_addr = cluster.fms_guards[0].addr();
+    cluster.fms_guards.clear();
+    assert!(matches!(c.create("/d/during", 0o644), Err(FsError::Io(_))));
+    c.mkdir("/d/sub", 0o755).unwrap();
+
+    // Restart an FMS on the same port with the same sid. Its stores are
+    // empty (process state died with it) but the protocol-level
+    // recovery matters: the pooled connections reconnect lazily and the
+    // next call succeeds without rebuilding the client.
+    let l = TcpListener::bind(fms_addr).expect("rebind the freed port");
+    let _g = serve_tcp(
+        ServerId::new(class::FMS, 0),
+        FileServer::new(1, locofs::fms::FmsMode::Decoupled, KvConfig::default()),
+        l,
+        ServeOptions::default(),
+    )
+    .unwrap();
+    c.create("/d/after", 0o644).unwrap();
+    assert!(c.stat_file("/d/after").is_ok());
+}
+
+#[test]
+fn deadline_fires_on_a_black_hole_server() {
+    // A listener that accepts but never replies: the per-call deadline
+    // (not TCP buffering) must bound the latency of every attempt.
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let _hold = std::thread::spawn(move || {
+        let mut held = Vec::new();
+        while let Ok((s, _)) = listener.accept() {
+            held.push(s); // keep sockets open, say nothing
+        }
+    });
+
+    let policy = RetryPolicy {
+        attempts: 2,
+        backoff: Duration::from_millis(1),
+        deadline: Duration::from_millis(100),
+        connect_timeout: Duration::from_millis(200),
+    };
+    let ep = TcpEndpoint::<DirServer>::with_policy(
+        ServerId::new(class::DMS, 0),
+        &addr.to_string(),
+        policy,
+    );
+    let mut ctx = locofs::net::CallCtx::new();
+    let start = Instant::now();
+    let err = ep
+        .try_call(
+            &mut ctx,
+            locofs::dms::DmsRequest::GetDir { path: "/".into() },
+        )
+        .expect_err("black hole must not answer");
+    let elapsed = start.elapsed();
+    let msg = err.to_string();
+    assert!(
+        msg.contains("exhausted") || msg.contains("deadline"),
+        "unexpected error: {msg}"
+    );
+    // 2 attempts x 100 ms deadline + backoff: must finish well under
+    // the 2 s default — proves the configured deadline is honored.
+    assert!(
+        elapsed < Duration::from_secs(2),
+        "deadline did not fire: {elapsed:?}"
+    );
+    assert!(
+        elapsed >= Duration::from_millis(150),
+        "two deadlines expected"
+    );
+}
