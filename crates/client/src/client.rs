@@ -243,6 +243,13 @@ impl LocoClient {
         self.last_trace = trace;
     }
 
+    /// Replace one FMS endpoint in place. Fault-injection and chaos
+    /// tests use this to point an existing client (warm cache, live
+    /// handles) at a replacement server for the same ring slot.
+    pub fn swap_fms_endpoint(&mut self, idx: usize, ep: FmsEndpoint) {
+        self.fms[idx] = ep;
+    }
+
     /// The sampler deciding which ops collect span traces.
     pub fn tracer(&self) -> &Arc<Tracer> {
         &self.tracer

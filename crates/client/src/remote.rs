@@ -306,6 +306,7 @@ impl TransportCluster {
                 tcp::ServeOptions {
                     metrics: Some(m),
                     registry: Some(registry.clone()),
+                    ..Default::default()
                 },
             )
             .expect("serve dms");
@@ -327,6 +328,7 @@ impl TransportCluster {
                 tcp::ServeOptions {
                     metrics: Some(m),
                     registry: Some(registry.clone()),
+                    ..Default::default()
                 },
             )
             .expect("serve fms");
@@ -348,6 +350,7 @@ impl TransportCluster {
                 tcp::ServeOptions {
                     metrics: Some(m),
                     registry: Some(registry.clone()),
+                    ..Default::default()
                 },
             )
             .expect("serve ost");

@@ -222,6 +222,11 @@ pub struct DirServer {
     rpc_overhead: Nanos,
     /// Software-vs-KV split of the last request (span attribution).
     split: loco_kv::SpanSplit,
+    /// Store is durable: uuid allocation goes through the persisted
+    /// watermark so recovery never re-issues a live uuid.
+    durable: bool,
+    /// Exclusive fid bound covered by the persisted watermark.
+    wm_limit: u64,
 }
 
 const DIRENT_NS: u8 = b'E';
@@ -263,14 +268,40 @@ impl DirServer {
             db.put(b"/", &root.encode());
             db.put(&dirent_key(Uuid::ROOT), &DirentList::new().encode());
         }
+        let durable = db.persistence().is_some();
+        let (uuids, wm_limit) = match loco_kv::watermark::load(&mut *db) {
+            // A recovered durable store resumes allocation at the
+            // persisted bound: every fid below it may already name a
+            // live file or directory.
+            Some(bound) if durable => (UuidGen::from_state(sid, bound), bound),
+            _ => (UuidGen::new(sid), 0),
+        };
         db.take_cost(); // setup is free
         Self {
             db,
-            uuids: UuidGen::new(sid),
+            uuids,
             extra: CostAcc::new(),
             rpc_overhead: loco_sim::CostModel::default().rpc_handler,
             split: loco_kv::SpanSplit::default(),
+            durable,
+            wm_limit,
         }
+    }
+
+    /// Allocate a uuid, first pushing the durable watermark past it
+    /// when the store persists (the watermark write rides in the
+    /// current request's WAL commit group, so it is durable before the
+    /// op that used the uuid is acknowledged). Volatile stores skip
+    /// the extra write to keep the Table 1 op/KV-access accounting
+    /// exact.
+    fn alloc_uuid(&mut self) -> Uuid {
+        if self.durable {
+            let (_, next_fid) = self.uuids.state();
+            if next_fid >= self.wm_limit {
+                self.wm_limit = loco_kv::watermark::reserve(&mut *self.db, next_fid);
+            }
+        }
+        self.uuids.alloc()
     }
 
     /// Persist the full server state (all records + uuid allocator) to
@@ -440,7 +471,7 @@ impl DirServer {
         if self.db.contains(path.as_bytes()) {
             return Err(FsError::AlreadyExists);
         }
-        let uuid = self.uuids.alloc();
+        let uuid = self.alloc_uuid();
         let inode = DirInode::new(uuid, mode, uid, gid, ts);
         self.db.put(path.as_bytes(), &inode.encode());
         self.db.put(&dirent_key(uuid), &DirentList::new().encode());
@@ -576,6 +607,64 @@ impl Service for DirServer {
 
     fn handle(&mut self, req: DmsRequest) -> DmsResponse {
         self.extra.charge(self.rpc_overhead);
+        // One request = one WAL commit group: a crash mid-handler (e.g.
+        // between a rename's extracts and reinserts) replays either the
+        // whole mutation or none of it.
+        self.db.txn_begin();
+        let resp = self.dispatch(req);
+        self.db.txn_commit();
+        resp
+    }
+
+    fn take_cost(&mut self) -> Nanos {
+        let sw = self.extra.take();
+        let kv = self.db.take_cost();
+        self.split.update(sw, kv, &self.db.stats());
+        sw + kv
+    }
+
+    fn span_attrs(&self) -> Vec<(&'static str, u64)> {
+        self.split.attrs()
+    }
+
+    fn maintain(&mut self, drain: bool) -> Option<loco_net::MaintainReport> {
+        let _ = self.db.persistence()?;
+        let checkpointed = if drain {
+            self.db.persist_checkpoint().unwrap_or(false)
+        } else {
+            let _ = self.db.persist_sync();
+            false
+        };
+        let stats = self.db.persistence()?;
+        Some(loco_net::MaintainReport {
+            wal_records: stats.wal_records,
+            replayed_records: stats.replayed_records,
+            snapshot_records: stats.snapshot_records,
+            checkpoints: stats.checkpoints,
+            checkpointed,
+        })
+    }
+
+    fn req_label(req: &DmsRequest) -> &'static str {
+        match req {
+            DmsRequest::Mkdir { .. } => "Mkdir",
+            DmsRequest::Rmdir { .. } => "Rmdir",
+            DmsRequest::GetDir { .. } => "GetDir",
+            DmsRequest::StatDir { .. } => "StatDir",
+            DmsRequest::ReaddirSubdirs { .. } => "ReaddirSubdirs",
+            DmsRequest::SetDirAttr { .. } => "SetDirAttr",
+            DmsRequest::RenameDir { .. } => "RenameDir",
+            DmsRequest::CheckAccess { .. } => "CheckAccess",
+            DmsRequest::MkdirLocal { .. } => "MkdirLocal",
+            DmsRequest::RmdirLocal { .. } => "RmdirLocal",
+            DmsRequest::AddDirent { .. } => "AddDirent",
+            DmsRequest::RemoveDirent { .. } => "RemoveDirent",
+        }
+    }
+}
+
+impl DirServer {
+    fn dispatch(&mut self, req: DmsRequest) -> DmsResponse {
         match req {
             DmsRequest::Mkdir {
                 path,
@@ -624,7 +713,7 @@ impl Service for DirServer {
                     if self.db.contains(path.as_bytes()) {
                         return Err(FsError::AlreadyExists);
                     }
-                    let uuid = self.uuids.alloc();
+                    let uuid = self.alloc_uuid();
                     let inode = DirInode::new(uuid, mode, uid, gid, ts);
                     self.db.put(path.as_bytes(), &inode.encode());
                     self.db.put(&dirent_key(uuid), &DirentList::new().encode());
@@ -675,34 +764,6 @@ impl Service for DirServer {
                     .is_ok();
                 DmsResponse::Bool(ok)
             }
-        }
-    }
-
-    fn take_cost(&mut self) -> Nanos {
-        let sw = self.extra.take();
-        let kv = self.db.take_cost();
-        self.split.update(sw, kv, &self.db.stats());
-        sw + kv
-    }
-
-    fn span_attrs(&self) -> Vec<(&'static str, u64)> {
-        self.split.attrs()
-    }
-
-    fn req_label(req: &DmsRequest) -> &'static str {
-        match req {
-            DmsRequest::Mkdir { .. } => "Mkdir",
-            DmsRequest::Rmdir { .. } => "Rmdir",
-            DmsRequest::GetDir { .. } => "GetDir",
-            DmsRequest::StatDir { .. } => "StatDir",
-            DmsRequest::ReaddirSubdirs { .. } => "ReaddirSubdirs",
-            DmsRequest::SetDirAttr { .. } => "SetDirAttr",
-            DmsRequest::RenameDir { .. } => "RenameDir",
-            DmsRequest::CheckAccess { .. } => "CheckAccess",
-            DmsRequest::MkdirLocal { .. } => "MkdirLocal",
-            DmsRequest::RmdirLocal { .. } => "RmdirLocal",
-            DmsRequest::AddDirent { .. } => "AddDirent",
-            DmsRequest::RemoveDirent { .. } => "RemoveDirent",
         }
     }
 }

@@ -1,0 +1,214 @@
+#![warn(missing_docs)]
+//! # loco-faults — deterministic crash-point and I/O fault injection
+//!
+//! Crash-safety claims are only as good as the crashes they were tested
+//! against. This crate provides the *deterministic* half of the chaos
+//! harness: named crash points and I/O fault sites threaded through the
+//! durable store (`loco-kv`) and the daemon shutdown path (`loco-net`),
+//! armed purely via environment variables so production binaries carry
+//! exactly one relaxed atomic load per site when nothing is armed.
+//!
+//! ## Arming
+//!
+//! * `LOCO_CRASHPOINT=site[:N]` — on the `N`th (1-based, default 1)
+//!   execution of [`crashpoint`]`(site)`, print a marker to stderr and
+//!   `abort()` the process. `abort` (not `exit`) models a real crash:
+//!   no destructors, no `BufWriter` flush-on-drop, no atexit hooks —
+//!   only bytes already handed to the OS survive.
+//! * `LOCO_IOFAULT=site=kind[:N]` — on the `N`th execution of the
+//!   matching probe at `site`:
+//!   - `kind = err`: [`io_error`] returns an injected
+//!     `io::Error` (the caller surfaces or dies on it — fsync-failure
+//!     semantics),
+//!   - `kind = short`: [`torn_len`] returns `Some(len/2)` — the caller
+//!     writes only that prefix and then crashes, producing a torn
+//!     record/tail exactly as a mid-write power cut would.
+//!
+//! Sites are plain strings; the catalog lives with the code that calls
+//! them (see `DESIGN.md` §9 for the crash-point table).
+//!
+//! ## Determinism
+//!
+//! Hit counters are process-global atomics: the same binary, workload
+//! and environment always crashes at the same instruction. The
+//! crash-matrix test drives a child process through every site × sync
+//! policy and then proves recovery of everything the child acknowledged.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// One armed fault: a site name, the 1-based hit number to trigger on,
+/// and the live hit counter.
+struct Armed {
+    site: String,
+    kind: IoKind,
+    trigger_hit: u64,
+    hits: AtomicU64,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum IoKind {
+    /// `LOCO_CRASHPOINT`: abort at the site.
+    Crash,
+    /// `LOCO_IOFAULT=site=err`: inject an `io::Error`.
+    Err,
+    /// `LOCO_IOFAULT=site=short`: truncate the write, caller crashes.
+    Short,
+}
+
+impl Armed {
+    /// True exactly once: on the configured hit of the matching site.
+    fn fires(&self, site: &str) -> bool {
+        if self.site != site {
+            return false;
+        }
+        self.hits.fetch_add(1, Ordering::Relaxed) + 1 == self.trigger_hit
+    }
+}
+
+fn parse_hit(spec: &str) -> (String, u64) {
+    match spec.rsplit_once(':') {
+        Some((name, n)) => match n.parse::<u64>() {
+            Ok(n) if n >= 1 => (name.to_string(), n),
+            _ => (spec.to_string(), 1),
+        },
+        None => (spec.to_string(), 1),
+    }
+}
+
+fn crash_plan() -> &'static Option<Armed> {
+    static PLAN: OnceLock<Option<Armed>> = OnceLock::new();
+    PLAN.get_or_init(|| {
+        let spec = std::env::var("LOCO_CRASHPOINT").ok()?;
+        let spec = spec.trim();
+        if spec.is_empty() {
+            return None;
+        }
+        let (site, trigger_hit) = parse_hit(spec);
+        Some(Armed {
+            site,
+            kind: IoKind::Crash,
+            trigger_hit,
+            hits: AtomicU64::new(0),
+        })
+    })
+}
+
+fn io_plan() -> &'static Option<Armed> {
+    static PLAN: OnceLock<Option<Armed>> = OnceLock::new();
+    PLAN.get_or_init(|| {
+        let spec = std::env::var("LOCO_IOFAULT").ok()?;
+        let spec = spec.trim();
+        let (site, kind_spec) = spec.split_once('=')?;
+        let (kind_name, trigger_hit) = parse_hit(kind_spec);
+        let kind = match kind_name.as_str() {
+            "err" => IoKind::Err,
+            "short" => IoKind::Short,
+            _ => return None,
+        };
+        Some(Armed {
+            site: site.to_string(),
+            kind,
+            trigger_hit,
+            hits: AtomicU64::new(0),
+        })
+    })
+}
+
+/// Whether any fault (crash point or I/O fault) is armed in this
+/// process. Cheap; callers may use it to skip probe bookkeeping.
+pub fn armed() -> bool {
+    crash_plan().is_some() || io_plan().is_some()
+}
+
+/// Crash-point probe: if `LOCO_CRASHPOINT` arms `site` and this is the
+/// configured hit, print a marker and abort the process. No-op (one
+/// branch) otherwise.
+pub fn crashpoint(site: &str) {
+    if let Some(armed) = crash_plan() {
+        if armed.fires(site) {
+            die(site, "crashpoint");
+        }
+    }
+}
+
+/// I/O-error probe: returns the injected error if `LOCO_IOFAULT` arms
+/// `site` with `err` and this is the configured hit.
+pub fn io_error(site: &str) -> Option<std::io::Error> {
+    let armed = io_plan().as_ref()?;
+    if armed.kind == IoKind::Err && armed.fires(site) {
+        return Some(std::io::Error::other(format!(
+            "injected I/O fault at {site}"
+        )));
+    }
+    None
+}
+
+/// Torn-write probe: returns the number of bytes to actually write (a
+/// strict prefix of `full`) if `LOCO_IOFAULT` arms `site` with `short`
+/// and this is the configured hit. The caller must write that prefix,
+/// flush it to the OS, and then call [`die`] — modelling a crash
+/// mid-write.
+pub fn torn_len(site: &str, full: usize) -> Option<usize> {
+    let armed = io_plan().as_ref()?;
+    if armed.kind == IoKind::Short && armed.fires(site) {
+        return Some(full / 2);
+    }
+    None
+}
+
+/// Crash the process the way a power cut would: a marker on stderr
+/// (so harnesses can assert the intended site fired), then `abort()` —
+/// no unwinding, no buffered-writer flushes, no atexit hooks.
+pub fn die(site: &str, what: &str) -> ! {
+    eprintln!("loco-faults: {what} {site:?} fired — aborting");
+    std::process::abort();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Env-armed behavior is exercised by subprocess tests in the root
+    // crate (tests/crash_matrix.rs); in-process we can only check the
+    // unarmed fast path and the spec parser.
+
+    #[test]
+    fn unarmed_probes_are_noops() {
+        // The test process has no LOCO_CRASHPOINT/LOCO_IOFAULT set
+        // (and if a nested harness sets one, these sites don't exist).
+        crashpoint("no-such-site-ever");
+        assert!(io_error("no-such-site-ever").is_none());
+        assert!(torn_len("no-such-site-ever", 100).is_none());
+    }
+
+    #[test]
+    fn hit_spec_parsing() {
+        assert_eq!(
+            parse_hit("wal_after_append"),
+            ("wal_after_append".into(), 1)
+        );
+        assert_eq!(
+            parse_hit("wal_after_append:7"),
+            ("wal_after_append".into(), 7)
+        );
+        // Degenerate specs fall back to hit 1 with the raw name.
+        assert_eq!(parse_hit("site:0"), ("site:0".into(), 1));
+        assert_eq!(parse_hit("site:x"), ("site:x".into(), 1));
+    }
+
+    #[test]
+    fn fires_only_on_the_configured_hit() {
+        let armed = Armed {
+            site: "s".into(),
+            kind: IoKind::Crash,
+            trigger_hit: 3,
+            hits: AtomicU64::new(0),
+        };
+        assert!(!armed.fires("other"));
+        assert!(!armed.fires("s")); // hit 1
+        assert!(!armed.fires("s")); // hit 2
+        assert!(armed.fires("s")); // hit 3
+        assert!(!armed.fires("s")); // hit 4: never again
+    }
+}

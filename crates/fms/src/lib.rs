@@ -278,6 +278,11 @@ pub struct FileServer {
     rpc_overhead: Nanos,
     /// Default block size recorded in new content records.
     pub default_bsize: u32,
+    /// Store is durable: uuid allocation goes through the persisted
+    /// watermark so recovery never re-issues a live uuid.
+    durable: bool,
+    /// Exclusive fid bound covered by the persisted watermark.
+    wm_limit: u64,
 }
 
 fn file_key(ns: u8, dir_uuid: Uuid, name: &str) -> Vec<u8> {
@@ -315,19 +320,53 @@ impl FileServer {
     /// Decoupled mode uses a fixed-layout store; coupled mode a varlen
     /// store, reproducing the serialization tax it is meant to show.
     pub fn new(sid: u16, mode: FmsMode, cfg: KvConfig) -> Self {
-        let cfg = match mode {
+        Self::with_store(Box::new(HashDb::new(Self::tune_cfg(mode, cfg))), sid, mode)
+    }
+
+    /// The KV codec each mode implies (callers building their own store
+    /// — e.g. a durable one — should apply this before construction).
+    pub fn tune_cfg(mode: FmsMode, cfg: KvConfig) -> KvConfig {
+        match mode {
             FmsMode::Decoupled => cfg.with_codec(CodecKind::Fixed),
             FmsMode::Coupled => cfg.with_codec(CodecKind::Varlen),
+        }
+    }
+
+    /// Create an FMS over a caller-supplied store — e.g. a
+    /// `loco_kv::DurableStore` for on-disk persistence. A store
+    /// recovered from disk is used as-is, including the persisted
+    /// uuid-allocation watermark.
+    pub fn with_store(mut db: Box<dyn KvStore>, sid: u16, mode: FmsMode) -> Self {
+        let durable = db.persistence().is_some();
+        let (uuids, wm_limit) = match loco_kv::watermark::load(&mut *db) {
+            Some(bound) if durable => (UuidGen::from_state(sid, bound), bound),
+            _ => (UuidGen::new(sid), 0),
         };
+        db.take_cost(); // setup is free
         Self {
-            db: Box::new(HashDb::new(cfg)),
+            db,
             split: loco_kv::SpanSplit::default(),
             mode,
-            uuids: UuidGen::new(sid),
+            uuids,
             extra: CostAcc::new(),
             rpc_overhead: loco_sim::CostModel::default().rpc_handler,
             default_bsize: 1 << 20,
+            durable,
+            wm_limit,
         }
+    }
+
+    /// Allocate a uuid, first pushing the durable watermark past it
+    /// when the store persists (the write rides in the current
+    /// request's WAL commit group, so it is durable before the ack).
+    fn alloc_uuid(&mut self) -> Uuid {
+        if self.durable {
+            let (_, next_fid) = self.uuids.state();
+            if next_fid >= self.wm_limit {
+                self.wm_limit = loco_kv::watermark::reserve(&mut *self.db, next_fid);
+            }
+        }
+        self.uuids.alloc()
     }
 
     /// Storage mode of this server.
@@ -559,7 +598,7 @@ impl FileServer {
         if self.exists(dir_uuid, name) {
             return Err(FsError::AlreadyExists);
         }
-        let uuid = self.uuids.alloc();
+        let uuid = self.alloc_uuid();
         let access = FileAccess {
             ctime: ts,
             mode,
@@ -616,6 +655,65 @@ impl Service for FileServer {
 
     fn handle(&mut self, req: FmsRequest) -> FmsResponse {
         self.extra.charge(self.rpc_overhead);
+        // One request = one WAL commit group (see DirServer::handle).
+        self.db.txn_begin();
+        let resp = self.dispatch(req);
+        self.db.txn_commit();
+        resp
+    }
+
+    fn take_cost(&mut self) -> Nanos {
+        let sw = self.extra.take();
+        let kv = self.db.take_cost();
+        self.split.update(sw, kv, &self.db.stats());
+        sw + kv
+    }
+
+    fn span_attrs(&self) -> Vec<(&'static str, u64)> {
+        self.split.attrs()
+    }
+
+    fn maintain(&mut self, drain: bool) -> Option<loco_net::MaintainReport> {
+        let _ = self.db.persistence()?;
+        let checkpointed = if drain {
+            self.db.persist_checkpoint().unwrap_or(false)
+        } else {
+            let _ = self.db.persist_sync();
+            false
+        };
+        let stats = self.db.persistence()?;
+        Some(loco_net::MaintainReport {
+            wal_records: stats.wal_records,
+            replayed_records: stats.replayed_records,
+            snapshot_records: stats.snapshot_records,
+            checkpoints: stats.checkpoints,
+            checkpointed,
+        })
+    }
+
+    fn req_label(req: &FmsRequest) -> &'static str {
+        match req {
+            FmsRequest::Create { .. } => "Create",
+            FmsRequest::Open { .. } => "Open",
+            FmsRequest::Stat { .. } => "Stat",
+            FmsRequest::GetContent { .. } => "GetContent",
+            FmsRequest::Access { .. } => "Access",
+            FmsRequest::Chmod { .. } => "Chmod",
+            FmsRequest::Chown { .. } => "Chown",
+            FmsRequest::Utimens { .. } => "Utimens",
+            FmsRequest::SetSize { .. } => "SetSize",
+            FmsRequest::Remove { .. } => "Remove",
+            FmsRequest::ListFiles { .. } => "ListFiles",
+            FmsRequest::ListFilesPlus { .. } => "ListFilesPlus",
+            FmsRequest::CountFiles { .. } => "CountFiles",
+            FmsRequest::TakeFile { .. } => "TakeFile",
+            FmsRequest::PutFile { .. } => "PutFile",
+        }
+    }
+}
+
+impl FileServer {
+    fn dispatch(&mut self, req: FmsRequest) -> FmsResponse {
         match req {
             FmsRequest::Create {
                 dir_uuid,
@@ -802,37 +900,6 @@ impl Service for FileServer {
                 };
                 FmsResponse::Done(res)
             }
-        }
-    }
-
-    fn take_cost(&mut self) -> Nanos {
-        let sw = self.extra.take();
-        let kv = self.db.take_cost();
-        self.split.update(sw, kv, &self.db.stats());
-        sw + kv
-    }
-
-    fn span_attrs(&self) -> Vec<(&'static str, u64)> {
-        self.split.attrs()
-    }
-
-    fn req_label(req: &FmsRequest) -> &'static str {
-        match req {
-            FmsRequest::Create { .. } => "Create",
-            FmsRequest::Open { .. } => "Open",
-            FmsRequest::Stat { .. } => "Stat",
-            FmsRequest::GetContent { .. } => "GetContent",
-            FmsRequest::Access { .. } => "Access",
-            FmsRequest::Chmod { .. } => "Chmod",
-            FmsRequest::Chown { .. } => "Chown",
-            FmsRequest::Utimens { .. } => "Utimens",
-            FmsRequest::SetSize { .. } => "SetSize",
-            FmsRequest::Remove { .. } => "Remove",
-            FmsRequest::ListFiles { .. } => "ListFiles",
-            FmsRequest::ListFilesPlus { .. } => "ListFilesPlus",
-            FmsRequest::CountFiles { .. } => "CountFiles",
-            FmsRequest::TakeFile { .. } => "TakeFile",
-            FmsRequest::PutFile { .. } => "PutFile",
         }
     }
 }

@@ -3,23 +3,67 @@
 //!
 //! The in-memory stores model Kyoto Cabinet's *performance*; this
 //! module supplies the missing *durability* half for deployments that
-//! want real persistence (the examples and the restart tests use it):
+//! want real persistence (the daemons and the crash-recovery tests use
+//! it):
 //!
-//! * every mutation is appended to `wal.log` (fsync'd according to
-//!   [`SyncPolicy`]) before being applied to the wrapped store;
+//! * every mutation is appended to `wal.log` before being applied to
+//!   the wrapped store, and the WAL is flushed to the OS per commit
+//!   group (so an acknowledged op survives `kill -9`) and fsync'd
+//!   according to [`SyncPolicy`] (so it can also survive power loss);
+//! * mutations bracketed by [`KvStore::txn_begin`] /
+//!   [`KvStore::txn_commit`] form a *commit group*: the group is
+//!   written as one contiguous run of records whose last record carries
+//!   a commit flag, and recovery applies a group only when its commit
+//!   record is present — a crash mid-group (e.g. half a rename's
+//!   delete+put fan-out) leaves no partial effects;
 //! * [`DurableStore::checkpoint`] writes a full snapshot image
-//!   atomically (`snapshot.tmp` → rename) and truncates the log;
+//!   atomically (`snapshot.tmp` → fsync → rename → dir fsync) and
+//!   rotates the log; the snapshot envelope records the last WAL
+//!   sequence number it covers, so a crash between the rename and the
+//!   log rotation cannot double-apply non-idempotent records (appends)
+//!   on the next boot;
 //! * [`DurableStore::open`] recovers by loading the snapshot and
-//!   replaying the log, tolerating a torn final record (crash during
-//!   append).
+//!   replaying committed groups, then truncates the log to the valid
+//!   prefix so a torn tail can never shadow later appends.
 //!
-//! WAL record: u8 op ‖ u32 key-len ‖ key ‖ (per-op payload), with a
-//! trailing XOR checksum byte per record.
+//! ## On-disk formats
+//!
+//! WAL v2: file header `b"LWAL"` ‖ u8 version(2), then records:
+//! `u64 seq LE ‖ u8 flags (bit0 = commit, last record of its group) ‖
+//! u8 op ‖ u32 key-len ‖ key ‖ per-op payload parts (u32 len ‖ bytes)
+//! ‖ u32 IEEE CRC32 LE` over all preceding bytes of the record (the
+//! same crc the RPC frames and snapshots use, from `loco_types`).
+//!
+//! Snapshot: `b"LSNP"` ‖ u8 version(2) ‖ u64 last-covered-seq LE ‖
+//! u32 CRC32 LE over the preceding 13 header bytes ‖
+//! [`crate::snapshot`] image. The header carries its own crc because
+//! the inner image's checksum does not cover it — an unverified
+//! last-covered-seq would silently skip (or double-apply) WAL records.
+//!
+//! Both the headerless v1 WAL (single XOR checksum byte per record)
+//! and bare v1 snapshot images are still read; a legacy log is rotated
+//! to v2 by an immediate checkpoint on open.
+//!
+//! ## Failure discipline
+//!
+//! A WAL write or fsync failure at runtime is **fatal** (process
+//! abort): once the log can no longer be trusted, acknowledging more
+//! mutations would be lying to clients — the Postgres "fsyncgate"
+//! lesson. Corrupt on-disk state at *open* time is a clean error,
+//! never a panic and never phantom records.
+//!
+//! Crash points (`loco_faults`, env-armed): `wal_pre_commit`,
+//! `wal_after_append`, `wal_after_sync`, `checkpoint_pre_write`,
+//! `checkpoint_pre_rename`, `checkpoint_post_rename`,
+//! `checkpoint_post_truncate`; torn-write sites `wal_commit`,
+//! `checkpoint_write`; I/O error sites `wal_write`, `wal_fsync`,
+//! `checkpoint_write`.
 
 use crate::{AccessStats, KvStore};
 use loco_sim::time::Nanos;
+use loco_types::checksum::crc32;
 use std::fs::{File, OpenOptions};
-use std::io::{BufWriter, Read, Write};
+use std::io::{BufWriter, Write};
 use std::path::{Path, PathBuf};
 
 const OP_PUT: u8 = 1;
@@ -27,13 +71,70 @@ const OP_DELETE: u8 = 2;
 const OP_APPEND: u8 = 3;
 const OP_WRITE_AT: u8 = 4;
 
-/// When the WAL is fsync'd.
+const WAL_MAGIC: &[u8; 4] = b"LWAL";
+const WAL_VERSION: u8 = 2;
+const WAL_HEADER_LEN: usize = 5;
+
+const SNAP_MAGIC: &[u8; 4] = b"LSNP";
+const SNAP_VERSION: u8 = 2;
+/// magic(4) + version(1) + last_seq(8) + header crc32(4).
+const SNAP_HEADER_LEN: usize = 17;
+/// The header crc covers everything before it: magic, version, seq.
+const SNAP_CRC_OFFSET: usize = 13;
+
+/// Record-flags bit: this record commits its group.
+const FLAG_COMMIT: u8 = 0x01;
+/// Byte offset of the flags byte inside an encoded record (after the
+/// u64 seq), patched when the group seals.
+const FLAGS_OFFSET: usize = 8;
+
+/// When the WAL is fsync'd. Independently of the policy, the WAL is
+/// *flushed* (userspace buffer → OS page cache) per commit group, so
+/// acknowledged mutations survive a `kill -9` under either policy; the
+/// policy only decides whether they also survive power loss.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum SyncPolicy {
-    /// fsync every record (safest, slowest).
+    /// fsync every commit group (safest, slowest).
     EveryRecord,
-    /// Let the OS flush (group commit via BufWriter + OS page cache).
+    /// Let the OS flush (group commit via page cache).
     OsManaged,
+}
+
+impl SyncPolicy {
+    /// Parse a CLI/env spelling of the policy.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "every-record" | "every" | "sync" | "fsync" => Some(Self::EveryRecord),
+            "os" | "os-managed" | "async" => Some(Self::OsManaged),
+            _ => None,
+        }
+    }
+
+    /// Canonical CLI spelling.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Self::EveryRecord => "every-record",
+            Self::OsManaged => "os-managed",
+        }
+    }
+}
+
+/// Counters describing a durable store's recovery and steady-state
+/// persistence work; surfaced as daemon gauges and in boot reports.
+#[derive(Clone, Debug, Default)]
+pub struct PersistenceStats {
+    /// Records currently in the log (since the last checkpoint).
+    pub wal_records: u64,
+    /// WAL records applied during the last `open` (acked mutations the
+    /// snapshot did not yet cover).
+    pub replayed_records: u64,
+    /// Records loaded from the snapshot during the last `open`.
+    pub snapshot_records: u64,
+    /// Checkpoints written since `open`.
+    pub checkpoints: u64,
+    /// A legacy (v1, XOR-checksummed) log was found at `open` and
+    /// rotated to the v2 format by an immediate checkpoint.
+    pub wal_upgraded: bool,
 }
 
 /// Durable wrapper over a store.
@@ -41,10 +142,14 @@ pub struct DurableStore<S: KvStore> {
     inner: S,
     dir: PathBuf,
     wal: BufWriter<File>,
-    wal_records: usize,
+    next_seq: u64,
     policy: SyncPolicy,
     /// Checkpoint automatically after this many logged mutations.
     pub checkpoint_every: usize,
+    txn_depth: usize,
+    /// Encoded-but-uncommitted records (crc appended at commit).
+    txn_buf: Vec<Vec<u8>>,
+    stats: PersistenceStats,
 }
 
 fn wal_path(dir: &Path) -> PathBuf {
@@ -55,106 +160,111 @@ fn snap_path(dir: &Path) -> PathBuf {
     dir.join("snapshot.db")
 }
 
-fn checksum(bytes: &[u8]) -> u8 {
+/// v1 per-record checksum (kept for backward-compatible reads only).
+fn v1_checksum(bytes: &[u8]) -> u8 {
     bytes.iter().fold(0xA5u8, |acc, b| acc ^ b)
 }
 
-impl<S: KvStore> DurableStore<S> {
-    /// Open (or create) a durable store at `dir`, recovering any
-    /// existing snapshot + log into `inner` (which must be empty).
-    pub fn open(dir: impl Into<PathBuf>, mut inner: S) -> std::io::Result<Self> {
-        let dir = dir.into();
-        std::fs::create_dir_all(&dir)?;
-        // 1) snapshot
-        if let Ok(image) = std::fs::read(snap_path(&dir)) {
-            crate::snapshot::load(&mut inner, &image)
-                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
-        }
-        // 2) replay WAL (tolerate a torn tail)
-        let mut records = 0usize;
-        if let Ok(mut f) = File::open(wal_path(&dir)) {
-            let mut buf = Vec::new();
-            f.read_to_end(&mut buf)?;
-            let mut pos = 0usize;
-            while let Some(next) = replay_one(&mut inner, &buf[pos..]) {
-                pos += next;
-                records += 1;
-            }
-        }
-        let wal = BufWriter::new(
-            OpenOptions::new()
-                .create(true)
-                .append(true)
-                .open(wal_path(&dir))?,
-        );
-        let mut s = Self {
-            inner,
-            dir,
-            wal,
-            wal_records: records,
-            policy: SyncPolicy::OsManaged,
-            checkpoint_every: 100_000,
-        };
-        let _ = s.inner.take_cost(); // recovery is offline work
-        Ok(s)
-    }
+fn invalid(e: impl Into<String>) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, e.into())
+}
 
-    /// Override the WAL sync policy.
-    pub fn with_sync_policy(mut self, policy: SyncPolicy) -> Self {
-        self.policy = policy;
-        self
-    }
+fn wal_fatal(what: &str, e: std::io::Error) -> ! {
+    eprintln!(
+        "loco-kv: FATAL wal {what} failure: {e} — aborting rather than acknowledge unlogged mutations"
+    );
+    std::process::abort();
+}
 
-    /// Mutations currently in the log (since the last checkpoint).
-    pub fn wal_records(&self) -> usize {
-        self.wal_records
-    }
+/// One decoded WAL record (replay side).
+struct RecView {
+    seq: u64,
+    commit: bool,
+    op: u8,
+    key: Vec<u8>,
+    parts: Vec<Vec<u8>>,
+}
 
-    /// Write a full snapshot atomically and truncate the log.
-    pub fn checkpoint(&mut self) -> std::io::Result<()> {
-        let image = crate::snapshot::dump(&mut self.inner);
-        let _ = self.inner.take_cost();
-        let tmp = self.dir.join("snapshot.tmp");
-        std::fs::write(&tmp, &image)?;
-        std::fs::rename(&tmp, snap_path(&self.dir))?;
-        // Truncate the WAL only after the snapshot is durable.
-        self.wal = BufWriter::new(File::create(wal_path(&self.dir))?);
-        self.wal_records = 0;
-        Ok(())
-    }
-
-    fn log(&mut self, op: u8, key: &[u8], parts: &[&[u8]]) {
-        let mut rec =
-            Vec::with_capacity(9 + key.len() + parts.iter().map(|p| p.len() + 4).sum::<usize>());
-        rec.push(op);
-        rec.extend_from_slice(&(key.len() as u32).to_le_bytes());
-        rec.extend_from_slice(key);
-        for p in parts {
-            rec.extend_from_slice(&(p.len() as u32).to_le_bytes());
-            rec.extend_from_slice(p);
-        }
-        rec.push(checksum(&rec));
-        self.wal.write_all(&rec).expect("wal append");
-        if self.policy == SyncPolicy::EveryRecord {
-            self.wal.flush().expect("wal flush");
-            self.wal.get_ref().sync_data().expect("wal fsync");
-        }
-        self.wal_records += 1;
-        if self.wal_records >= self.checkpoint_every {
-            self.checkpoint().expect("auto checkpoint");
-        }
-    }
-
-    /// Flush buffered WAL records to the OS (and disk).
-    pub fn sync(&mut self) -> std::io::Result<()> {
-        self.wal.flush()?;
-        self.wal.get_ref().sync_data()
+fn op_part_count(op: u8) -> Option<usize> {
+    match op {
+        OP_PUT | OP_APPEND => Some(1),
+        OP_DELETE => Some(0),
+        OP_WRITE_AT => Some(2),
+        _ => None,
     }
 }
 
-/// Replay one WAL record from `buf`; returns its encoded length, or
-/// `None` on a torn/invalid record (recovery stops there).
-fn replay_one<S: KvStore>(store: &mut S, buf: &[u8]) -> Option<usize> {
+/// Parse one v2 record starting at `start`; `None` on a torn,
+/// truncated, oversized-length or checksum-damaged record.
+fn parse_v2_record(buf: &[u8], start: usize) -> Option<(RecView, usize)> {
+    let rem = buf.get(start..)?;
+    if rem.len() < 14 {
+        return None;
+    }
+    let seq = u64::from_le_bytes(rem[0..8].try_into().unwrap());
+    let flags = rem[8];
+    let op = rem[9];
+    let klen = u32::from_le_bytes(rem[10..14].try_into().unwrap()) as usize;
+    let mut pos = 14usize;
+    let end = pos.checked_add(klen)?;
+    if rem.len() < end {
+        return None;
+    }
+    let key = rem[pos..end].to_vec();
+    pos = end;
+    let n_parts = op_part_count(op)?;
+    let mut parts = Vec::with_capacity(n_parts);
+    for _ in 0..n_parts {
+        if rem.len() < pos + 4 {
+            return None;
+        }
+        let plen = u32::from_le_bytes(rem[pos..pos + 4].try_into().unwrap()) as usize;
+        pos += 4;
+        let end = pos.checked_add(plen)?;
+        if rem.len() < end {
+            return None;
+        }
+        parts.push(rem[pos..end].to_vec());
+        pos = end;
+    }
+    if rem.len() < pos + 4 {
+        return None;
+    }
+    let stored = u32::from_le_bytes(rem[pos..pos + 4].try_into().unwrap());
+    if crc32(&rem[..pos]) != stored {
+        return None;
+    }
+    Some((
+        RecView {
+            seq,
+            commit: flags & FLAG_COMMIT != 0,
+            op,
+            key,
+            parts,
+        },
+        start + pos + 4,
+    ))
+}
+
+fn apply<S: KvStore>(store: &mut S, op: u8, key: &[u8], parts: &[Vec<u8>]) -> Option<()> {
+    match op {
+        OP_PUT => store.put(key, &parts[0]),
+        OP_DELETE => {
+            store.delete(key);
+        }
+        OP_APPEND => store.append(key, &parts[0]),
+        OP_WRITE_AT => {
+            let off = u64::from_le_bytes(parts[0].as_slice().try_into().ok()?) as usize;
+            store.write_at(key, off, &parts[1]);
+        }
+        _ => return None,
+    }
+    Some(())
+}
+
+/// Replay one legacy v1 record from `buf`; returns its encoded length,
+/// or `None` on a torn/invalid record (recovery stops there).
+fn replay_one_v1<S: KvStore>(store: &mut S, buf: &[u8]) -> Option<usize> {
     let take_len = |buf: &[u8], pos: usize| -> Option<(usize, usize)> {
         if buf.len() < pos + 4 {
             return None;
@@ -167,42 +277,330 @@ fn replay_one<S: KvStore>(store: &mut S, buf: &[u8]) -> Option<usize> {
     }
     let op = buf[0];
     let (klen, mut pos) = take_len(buf, 1)?;
-    if buf.len() < pos + klen {
+    let end = pos.checked_add(klen)?;
+    if buf.len() < end {
         return None;
     }
-    let key = &buf[pos..pos + klen];
-    pos += klen;
-    let n_parts = match op {
-        OP_PUT | OP_APPEND => 1,
-        OP_DELETE => 0,
-        OP_WRITE_AT => 2,
-        _ => return None,
-    };
-    let mut parts: Vec<&[u8]> = Vec::with_capacity(n_parts);
+    let key = buf[pos..end].to_vec();
+    pos = end;
+    let n_parts = op_part_count(op)?;
+    let mut parts: Vec<Vec<u8>> = Vec::with_capacity(n_parts);
     for _ in 0..n_parts {
         let (plen, p2) = take_len(buf, pos)?;
-        if buf.len() < p2 + plen {
+        let end = p2.checked_add(plen)?;
+        if buf.len() < end {
             return None;
         }
-        parts.push(&buf[p2..p2 + plen]);
-        pos = p2 + plen;
+        parts.push(buf[p2..end].to_vec());
+        pos = end;
     }
-    if buf.len() < pos + 1 || checksum(&buf[..pos]) != buf[pos] {
+    if buf.len() < pos + 1 || v1_checksum(&buf[..pos]) != buf[pos] {
         return None;
     }
-    match op {
-        OP_PUT => store.put(key, parts[0]),
-        OP_DELETE => {
-            store.delete(key);
-        }
-        OP_APPEND => store.append(key, parts[0]),
-        OP_WRITE_AT => {
-            let off = u64::from_le_bytes(parts[0].try_into().ok()?) as usize;
-            store.write_at(key, off, parts[1]);
-        }
-        _ => return None,
-    }
+    apply(store, op, &key, &parts)?;
     Some(pos + 1)
+}
+
+impl<S: KvStore> DurableStore<S> {
+    /// Open (or create) a durable store at `dir`, recovering any
+    /// existing snapshot + log into `inner` (which must be empty).
+    ///
+    /// Recovery applies only *committed* groups whose sequence numbers
+    /// the snapshot does not already cover, then truncates the log to
+    /// that valid prefix. Corrupt state is a clean `Err`, never a
+    /// panic and never a partial load presented as whole.
+    pub fn open(dir: impl Into<PathBuf>, mut inner: S) -> std::io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let mut stats = PersistenceStats::default();
+
+        // 1) snapshot (v2 envelope with last-covered-seq, or bare v1
+        //    image).
+        let mut snap_seq = 0u64;
+        match std::fs::read(snap_path(&dir)) {
+            Ok(image) => {
+                let inner_image: &[u8] = if image.starts_with(SNAP_MAGIC) {
+                    if image.len() < SNAP_HEADER_LEN {
+                        return Err(invalid("truncated snapshot envelope"));
+                    }
+                    if image[4] != SNAP_VERSION {
+                        return Err(invalid(format!(
+                            "unsupported snapshot version {}",
+                            image[4]
+                        )));
+                    }
+                    let want = u32::from_le_bytes(
+                        image[SNAP_CRC_OFFSET..SNAP_HEADER_LEN].try_into().unwrap(),
+                    );
+                    if crc32(&image[..SNAP_CRC_OFFSET]) != want {
+                        return Err(invalid("snapshot envelope header checksum mismatch"));
+                    }
+                    snap_seq = u64::from_le_bytes(image[5..SNAP_CRC_OFFSET].try_into().unwrap());
+                    &image[SNAP_HEADER_LEN..]
+                } else {
+                    &image[..]
+                };
+                stats.snapshot_records =
+                    crate::snapshot::load(&mut inner, inner_image).map_err(invalid)? as u64;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+
+        // 2) replay the WAL and compute the valid prefix.
+        let wal_p = wal_path(&dir);
+        let mut max_seq = 0u64;
+        let mut needs_rotation = false;
+        match std::fs::read(&wal_p) {
+            Ok(buf) if buf.is_empty() => {}
+            Ok(buf) => {
+                let valid_end = if buf.len() < WAL_HEADER_LEN
+                    && WAL_MAGIC.starts_with(&buf[..buf.len().min(4)])
+                {
+                    // A torn header write (the magic and version land in
+                    // separate write calls): an empty log, not an error.
+                    0
+                } else if buf.starts_with(WAL_MAGIC) {
+                    if buf[4] != WAL_VERSION {
+                        return Err(invalid(format!("unsupported wal version {}", buf[4])));
+                    }
+                    let mut pos = WAL_HEADER_LEN;
+                    let mut valid_end = pos;
+                    let mut group: Vec<RecView> = Vec::new();
+                    while let Some((rec, next)) = parse_v2_record(&buf, pos) {
+                        pos = next;
+                        let commit = rec.commit;
+                        group.push(rec);
+                        if commit {
+                            for r in group.drain(..) {
+                                max_seq = max_seq.max(r.seq);
+                                stats.wal_records += 1;
+                                if r.seq > snap_seq {
+                                    apply(&mut inner, r.op, &r.key, &r.parts);
+                                    stats.replayed_records += 1;
+                                }
+                            }
+                            valid_end = pos;
+                        }
+                    }
+                    // A trailing commit-less group is a torn group
+                    // write: discard it (and everything after the last
+                    // sealed group) by truncating below.
+                    valid_end
+                } else {
+                    // Legacy v1 log: headerless XOR-checksummed
+                    // records, one implicit group each.
+                    let mut pos = 0usize;
+                    while let Some(n) = replay_one_v1(&mut inner, &buf[pos..]) {
+                        pos += n;
+                        stats.wal_records += 1;
+                        stats.replayed_records += 1;
+                    }
+                    if pos > 0 {
+                        needs_rotation = true;
+                    }
+                    pos
+                };
+                if valid_end < buf.len() {
+                    let f = OpenOptions::new().write(true).open(&wal_p)?;
+                    f.set_len(valid_end as u64)?;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+
+        let file = OpenOptions::new().create(true).append(true).open(&wal_p)?;
+        let fresh = file.metadata()?.len() == 0;
+        let mut wal = BufWriter::new(file);
+        if fresh {
+            wal.write_all(WAL_MAGIC)?;
+            wal.write_all(&[WAL_VERSION])?;
+            wal.flush()?;
+            needs_rotation = false;
+        }
+
+        let mut s = Self {
+            inner,
+            dir,
+            wal,
+            next_seq: max_seq.max(snap_seq) + 1,
+            policy: SyncPolicy::OsManaged,
+            checkpoint_every: 100_000,
+            txn_depth: 0,
+            txn_buf: Vec::new(),
+            stats,
+        };
+        let _ = s.inner.take_cost(); // recovery is offline work
+        if needs_rotation {
+            // Rotate a legacy log to the v2 format so future appends
+            // are readable.
+            s.checkpoint()?;
+            s.stats.wal_upgraded = true;
+        }
+        Ok(s)
+    }
+
+    /// Override the WAL sync policy.
+    pub fn with_sync_policy(mut self, policy: SyncPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The configured sync policy.
+    pub fn sync_policy(&self) -> SyncPolicy {
+        self.policy
+    }
+
+    /// Mutations currently in the log (since the last checkpoint).
+    pub fn wal_records(&self) -> usize {
+        self.stats.wal_records as usize
+    }
+
+    /// Recovery/persistence counters.
+    pub fn stats(&self) -> &PersistenceStats {
+        &self.stats
+    }
+
+    /// Write a full snapshot atomically and rotate the log.
+    pub fn checkpoint(&mut self) -> std::io::Result<()> {
+        loco_faults::crashpoint("checkpoint_pre_write");
+        let image = crate::snapshot::dump(&mut self.inner);
+        let _ = self.inner.take_cost();
+        let last_seq = self.next_seq - 1;
+        let mut env = Vec::with_capacity(SNAP_HEADER_LEN + image.len());
+        env.extend_from_slice(SNAP_MAGIC);
+        env.push(SNAP_VERSION);
+        env.extend_from_slice(&last_seq.to_le_bytes());
+        let header_crc = crc32(&env);
+        env.extend_from_slice(&header_crc.to_le_bytes());
+        env.extend_from_slice(&image);
+        let tmp = self.dir.join("snapshot.tmp");
+        {
+            let mut f = File::create(&tmp)?;
+            if let Some(e) = loco_faults::io_error("checkpoint_write") {
+                return Err(e);
+            }
+            if let Some(n) = loco_faults::torn_len("checkpoint_write", env.len()) {
+                let _ = f.write_all(&env[..n]);
+                let _ = f.sync_all();
+                loco_faults::die("checkpoint_write", "torn checkpoint write");
+            }
+            f.write_all(&env)?;
+            f.sync_all()?;
+        }
+        loco_faults::crashpoint("checkpoint_pre_rename");
+        std::fs::rename(&tmp, snap_path(&self.dir))?;
+        // Make the rename itself durable before rotating the log.
+        if let Ok(d) = File::open(&self.dir) {
+            let _ = d.sync_all();
+        }
+        loco_faults::crashpoint("checkpoint_post_rename");
+        // Rotate the WAL only after the snapshot is durable. If we
+        // crash before this point the old log replays but its seqs are
+        // ≤ the snapshot's last_seq, so nothing double-applies.
+        let mut wal = BufWriter::new(File::create(wal_path(&self.dir))?);
+        wal.write_all(WAL_MAGIC)?;
+        wal.write_all(&[WAL_VERSION])?;
+        wal.flush()?;
+        self.wal = wal;
+        loco_faults::crashpoint("checkpoint_post_truncate");
+        self.stats.wal_records = 0;
+        self.stats.checkpoints += 1;
+        Ok(())
+    }
+
+    /// Encode a record (sans crc) and queue it on the open group; a
+    /// bare mutation (no surrounding txn) commits its group of one
+    /// immediately.
+    fn log(&mut self, op: u8, key: &[u8], parts: &[&[u8]]) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let mut rec =
+            Vec::with_capacity(18 + key.len() + parts.iter().map(|p| p.len() + 4).sum::<usize>());
+        rec.extend_from_slice(&seq.to_le_bytes());
+        rec.push(0); // flags — commit bit patched when the group seals
+        rec.push(op);
+        rec.extend_from_slice(&(key.len() as u32).to_le_bytes());
+        rec.extend_from_slice(key);
+        for p in parts {
+            rec.extend_from_slice(&(p.len() as u32).to_le_bytes());
+            rec.extend_from_slice(p);
+        }
+        self.txn_buf.push(rec);
+    }
+
+    /// Commit the group of one for a bare (non-txn) mutation. Called
+    /// by the mutators *after* the inner apply, so an auto-checkpoint
+    /// triggered here snapshots state that includes the mutation whose
+    /// sequence number the snapshot claims to cover.
+    fn autocommit(&mut self) {
+        if self.txn_depth == 0 {
+            self.commit_group();
+        }
+    }
+
+    /// Seal the open group (commit flag on its last record, crc per
+    /// record), write it as one contiguous append, flush, and fsync
+    /// per policy. A write/fsync failure here aborts the process: the
+    /// caller is about to acknowledge these mutations.
+    fn commit_group(&mut self) {
+        let mut records = std::mem::take(&mut self.txn_buf);
+        if records.is_empty() {
+            return;
+        }
+        loco_faults::crashpoint("wal_pre_commit");
+        if let Some(last) = records.last_mut() {
+            last[FLAGS_OFFSET] |= FLAG_COMMIT;
+        }
+        let n = records.len() as u64;
+        let mut group = Vec::with_capacity(records.iter().map(|r| r.len() + 4).sum::<usize>());
+        for mut rec in records {
+            let crc = crc32(&rec);
+            rec.extend_from_slice(&crc.to_le_bytes());
+            group.extend_from_slice(&rec);
+        }
+        if let Some(tl) = loco_faults::torn_len("wal_commit", group.len()) {
+            let _ = self.wal.write_all(&group[..tl]);
+            let _ = self.wal.flush();
+            loco_faults::die("wal_commit", "torn wal group write");
+        }
+        if let Some(e) = loco_faults::io_error("wal_write") {
+            wal_fatal("write", e);
+        }
+        // Always push the group through to the OS: a BufWriter-only
+        // record dies with the process on kill -9, and the daemon acks
+        // as soon as this returns.
+        if let Err(e) = self.wal.write_all(&group).and_then(|()| self.wal.flush()) {
+            wal_fatal("write", e);
+        }
+        loco_faults::crashpoint("wal_after_append");
+        if self.policy == SyncPolicy::EveryRecord {
+            if let Some(e) = loco_faults::io_error("wal_fsync") {
+                wal_fatal("fsync", e);
+            }
+            if let Err(e) = self.wal.get_ref().sync_data() {
+                wal_fatal("fsync", e);
+            }
+            loco_faults::crashpoint("wal_after_sync");
+        }
+        self.stats.wal_records += n;
+        if self.stats.wal_records as usize >= self.checkpoint_every && self.txn_depth == 0 {
+            // Abort (not panic) on failure: unwinding would flush the
+            // BufWriter and run destructors, which is not what a crash
+            // does — and a store that cannot checkpoint must not keep
+            // acknowledging writes against an unbounded WAL.
+            if let Err(e) = self.checkpoint() {
+                wal_fatal("checkpoint", e);
+            }
+        }
+    }
+
+    /// Flush buffered WAL records to the OS (and disk).
+    pub fn sync(&mut self) -> std::io::Result<()> {
+        self.wal.flush()?;
+        self.wal.get_ref().sync_data()
+    }
 }
 
 impl<S: KvStore> KvStore for DurableStore<S> {
@@ -213,11 +611,14 @@ impl<S: KvStore> KvStore for DurableStore<S> {
     fn put(&mut self, key: &[u8], value: &[u8]) {
         self.log(OP_PUT, key, &[value]);
         self.inner.put(key, value);
+        self.autocommit();
     }
 
     fn delete(&mut self, key: &[u8]) -> bool {
         self.log(OP_DELETE, key, &[]);
-        self.inner.delete(key)
+        let hit = self.inner.delete(key);
+        self.autocommit();
+        hit
     }
 
     fn contains(&mut self, key: &[u8]) -> bool {
@@ -230,12 +631,15 @@ impl<S: KvStore> KvStore for DurableStore<S> {
 
     fn write_at(&mut self, key: &[u8], off: usize, data: &[u8]) -> bool {
         self.log(OP_WRITE_AT, key, &[&(off as u64).to_le_bytes(), data]);
-        self.inner.write_at(key, off, data)
+        let hit = self.inner.write_at(key, off, data);
+        self.autocommit();
+        hit
     }
 
     fn append(&mut self, key: &[u8], data: &[u8]) {
         self.log(OP_APPEND, key, &[data]);
         self.inner.append(key, data);
+        self.autocommit();
     }
 
     fn scan_prefix(&mut self, prefix: &[u8]) -> Vec<(Vec<u8>, Vec<u8>)> {
@@ -243,11 +647,14 @@ impl<S: KvStore> KvStore for DurableStore<S> {
     }
 
     fn extract_prefix(&mut self, prefix: &[u8]) -> Vec<(Vec<u8>, Vec<u8>)> {
-        // Logged as individual deletes so replay is store-agnostic.
+        // Logged as individual deletes so replay is store-agnostic;
+        // the deletes share one commit group so a crash can't leave
+        // half an extraction applied.
         let out = self.inner.extract_prefix(prefix);
         for (k, _) in &out {
             self.log(OP_DELETE, k, &[]);
         }
+        self.autocommit();
         out
     }
 
@@ -269,6 +676,36 @@ impl<S: KvStore> KvStore for DurableStore<S> {
 
     fn reset_stats(&mut self) {
         self.inner.reset_stats();
+    }
+
+    fn txn_begin(&mut self) {
+        self.txn_depth += 1;
+    }
+
+    fn txn_commit(&mut self) {
+        if self.txn_depth > 0 {
+            self.txn_depth -= 1;
+        }
+        if self.txn_depth == 0 && !self.txn_buf.is_empty() {
+            self.commit_group();
+        }
+    }
+
+    fn persist_checkpoint(&mut self) -> std::io::Result<bool> {
+        if self.txn_depth > 0 {
+            // Never snapshot half a commit group.
+            return Ok(false);
+        }
+        self.checkpoint()?;
+        Ok(true)
+    }
+
+    fn persist_sync(&mut self) -> std::io::Result<()> {
+        self.sync()
+    }
+
+    fn persistence(&self) -> Option<PersistenceStats> {
+        Some(self.stats.clone())
     }
 }
 
@@ -303,6 +740,23 @@ mod tests {
         DurableStore::open(dir, BTreeDb::new(KvConfig::default())).unwrap()
     }
 
+    /// Hand-encode a sealed v2 record (for corruption tests).
+    fn encode_v2(seq: u64, flags: u8, op: u8, key: &[u8], parts: &[&[u8]]) -> Vec<u8> {
+        let mut rec = Vec::new();
+        rec.extend_from_slice(&seq.to_le_bytes());
+        rec.push(flags);
+        rec.push(op);
+        rec.extend_from_slice(&(key.len() as u32).to_le_bytes());
+        rec.extend_from_slice(key);
+        for p in parts {
+            rec.extend_from_slice(&(p.len() as u32).to_le_bytes());
+            rec.extend_from_slice(p);
+        }
+        let crc = crc32(&rec);
+        rec.extend_from_slice(&crc.to_le_bytes());
+        rec
+    }
+
     #[test]
     fn mutations_survive_reopen_via_wal() {
         let scratch = Scratch::new();
@@ -321,6 +775,7 @@ mod tests {
         assert_eq!(db.get(b"b").as_deref(), Some(&b"2"[..]));
         assert_eq!(db.get(b"log").as_deref(), Some(&b"xyz"[..]));
         assert_eq!(db.len(), 2);
+        assert_eq!(db.stats().replayed_records, 5);
     }
 
     #[test]
@@ -339,10 +794,12 @@ mod tests {
         let mut db = fresh(&scratch.0);
         assert_eq!(db.len(), 201);
         assert_eq!(db.get(b"after").as_deref(), Some(&b"ckpt"[..]));
+        assert_eq!(db.stats().snapshot_records, 200);
+        assert_eq!(db.stats().replayed_records, 1);
     }
 
     #[test]
-    fn torn_wal_tail_is_ignored() {
+    fn torn_wal_tail_is_ignored_and_truncated() {
         let scratch = Scratch::new();
         {
             let mut db = fresh(&scratch.0);
@@ -354,14 +811,20 @@ mod tests {
             .append(true)
             .open(wal_path(&scratch.0))
             .unwrap();
-        f.write_all(&[OP_PUT, 200, 0, 0, 0, b'x']).unwrap(); // claims 200-byte key
+        f.write_all(&[0xDE, 0xAD, 0xBE, 0xEF, 0x00, 0x01]).unwrap();
         drop(f);
+        {
+            let mut db = fresh(&scratch.0);
+            assert_eq!(db.get(b"good").as_deref(), Some(&b"record"[..]));
+            assert_eq!(db.len(), 1);
+            // And the store keeps appending after recovery — the torn
+            // tail was truncated, so new records are reachable.
+            db.put(b"more", b"data");
+            db.sync().unwrap();
+        }
         let mut db = fresh(&scratch.0);
-        assert_eq!(db.get(b"good").as_deref(), Some(&b"record"[..]));
-        assert_eq!(db.len(), 1);
-        // And the store keeps working after recovery.
-        db.put(b"more", b"data");
         assert_eq!(db.len(), 2);
+        assert_eq!(db.get(b"more").as_deref(), Some(&b"data"[..]));
     }
 
     #[test]
@@ -374,15 +837,132 @@ mod tests {
             db.sync().unwrap();
         }
         // Flip a bit in the middle of the log: replay stops at the
-        // damaged record (k2's value byte).
+        // damaged record (k2's).
         let p = wal_path(&scratch.0);
         let mut bytes = std::fs::read(&p).unwrap();
         let n = bytes.len();
-        bytes[n - 2] ^= 0xFF;
+        bytes[n - 6] ^= 0xFF;
         std::fs::write(&p, &bytes).unwrap();
         let mut db = fresh(&scratch.0);
         assert_eq!(db.get(b"k1").as_deref(), Some(&b"v1"[..]));
         assert_eq!(db.get(b"k2"), None, "damaged record must not apply");
+    }
+
+    #[test]
+    fn uncommitted_group_tail_is_discarded() {
+        let scratch = Scratch::new();
+        {
+            let mut db = fresh(&scratch.0);
+            db.txn_begin();
+            db.put(b"pair/a", b"1");
+            db.put(b"pair/b", b"2");
+            db.txn_commit();
+            db.sync().unwrap();
+        }
+        // Append a valid-looking record that never got its commit
+        // record (torn group write): it must not apply on recovery.
+        let mut f = OpenOptions::new()
+            .append(true)
+            .open(wal_path(&scratch.0))
+            .unwrap();
+        f.write_all(&encode_v2(99, 0, OP_PUT, b"orphan", &[b"x"]))
+            .unwrap();
+        drop(f);
+        let mut db = fresh(&scratch.0);
+        assert_eq!(db.get(b"pair/a").as_deref(), Some(&b"1"[..]));
+        assert_eq!(db.get(b"pair/b").as_deref(), Some(&b"2"[..]));
+        assert_eq!(db.get(b"orphan"), None, "uncommitted group must not apply");
+        assert_eq!(db.len(), 2);
+    }
+
+    #[test]
+    fn snapshot_seq_prevents_double_replay_of_appends() {
+        let scratch = Scratch::new();
+        {
+            let mut db = fresh(&scratch.0);
+            db.append(b"log", b"x");
+            db.sync().unwrap();
+            let old_wal = std::fs::read(wal_path(&scratch.0)).unwrap();
+            db.checkpoint().unwrap();
+            drop(db);
+            // Simulate a crash between the snapshot rename and the WAL
+            // rotation: the old log (seqs the snapshot covers) is
+            // still on disk.
+            std::fs::write(wal_path(&scratch.0), &old_wal).unwrap();
+        }
+        let mut db = fresh(&scratch.0);
+        assert_eq!(
+            db.get(b"log").as_deref(),
+            Some(&b"x"[..]),
+            "append must not double-apply"
+        );
+        assert_eq!(db.stats().replayed_records, 0);
+        // Sequence numbers keep climbing past the recovered state.
+        db.append(b"log", b"y");
+        db.sync().unwrap();
+        drop(db);
+        let mut db = fresh(&scratch.0);
+        assert_eq!(db.get(b"log").as_deref(), Some(&b"xy"[..]));
+    }
+
+    #[test]
+    fn legacy_v1_log_replays_and_rotates_to_v2() {
+        let scratch = Scratch::new();
+        std::fs::create_dir_all(&scratch.0).unwrap();
+        // Hand-write a v1 (headerless, XOR-checksummed) log.
+        let mut v1 = Vec::new();
+        for (op, key, parts) in [
+            (OP_PUT, &b"a"[..], vec![&b"1"[..]]),
+            (OP_APPEND, &b"l"[..], vec![&b"xy"[..]]),
+            (OP_DELETE, &b"ghost"[..], vec![]),
+        ] {
+            let mut rec = vec![op];
+            rec.extend_from_slice(&(key.len() as u32).to_le_bytes());
+            rec.extend_from_slice(key);
+            for p in parts {
+                rec.extend_from_slice(&(p.len() as u32).to_le_bytes());
+                rec.extend_from_slice(p);
+            }
+            rec.push(v1_checksum(&rec));
+            v1.extend_from_slice(&rec);
+        }
+        std::fs::write(wal_path(&scratch.0), &v1).unwrap();
+        {
+            let mut db = fresh(&scratch.0);
+            assert_eq!(db.get(b"a").as_deref(), Some(&b"1"[..]));
+            assert_eq!(db.get(b"l").as_deref(), Some(&b"xy"[..]));
+            assert!(db.stats().wal_upgraded);
+            assert!(snap_path(&scratch.0).exists());
+        }
+        // The rotated log is v2 now and keeps working.
+        let head = std::fs::read(wal_path(&scratch.0)).unwrap();
+        assert!(head.starts_with(WAL_MAGIC));
+        {
+            let mut db = fresh(&scratch.0);
+            assert!(!db.stats().wal_upgraded);
+            db.put(b"new", b"rec");
+            db.sync().unwrap();
+        }
+        let mut db = fresh(&scratch.0);
+        assert_eq!(db.get(b"new").as_deref(), Some(&b"rec"[..]));
+        assert_eq!(db.get(b"a").as_deref(), Some(&b"1"[..]));
+    }
+
+    #[test]
+    fn corrupted_snapshot_fails_cleanly() {
+        let scratch = Scratch::new();
+        {
+            let mut db = fresh(&scratch.0);
+            db.put(b"k", b"v");
+            db.checkpoint().unwrap();
+        }
+        let p = snap_path(&scratch.0);
+        let mut bytes = std::fs::read(&p).unwrap();
+        let n = bytes.len();
+        bytes[n / 2] ^= 0x40;
+        std::fs::write(&p, &bytes).unwrap();
+        let err = DurableStore::open(&scratch.0, BTreeDb::new(KvConfig::default()));
+        assert!(err.is_err(), "bit-flipped snapshot must not load");
     }
 
     #[test]
@@ -420,6 +1000,24 @@ mod tests {
     }
 
     #[test]
+    fn auto_checkpoint_defers_until_txn_commit() {
+        let scratch = Scratch::new();
+        let mut db = fresh(&scratch.0);
+        db.checkpoint_every = 10;
+        db.txn_begin();
+        for i in 0..25u32 {
+            db.put(&i.to_be_bytes(), b"v");
+        }
+        // Mid-txn: nothing written yet, so no checkpoint either.
+        assert_eq!(db.stats().checkpoints, 0);
+        db.txn_commit();
+        assert_eq!(db.stats().checkpoints, 1, "group commit then checkpoint");
+        drop(db);
+        let db2 = fresh(&scratch.0);
+        assert_eq!(db2.len(), 25);
+    }
+
+    #[test]
     fn works_over_hash_store_too() {
         let scratch = Scratch::new();
         {
@@ -441,5 +1039,31 @@ mod tests {
         }
         let mut db = fresh(&scratch.0);
         assert_eq!(db.get(b"synced").as_deref(), Some(&b"yes"[..]));
+    }
+
+    #[test]
+    fn sync_policy_parses_cli_spellings() {
+        assert_eq!(
+            SyncPolicy::parse("every-record"),
+            Some(SyncPolicy::EveryRecord)
+        );
+        assert_eq!(SyncPolicy::parse("os-managed"), Some(SyncPolicy::OsManaged));
+        assert_eq!(SyncPolicy::parse("nope"), None);
+        assert_eq!(SyncPolicy::EveryRecord.as_str(), "every-record");
+    }
+
+    #[test]
+    fn persistence_hooks_route_through_the_trait() {
+        let scratch = Scratch::new();
+        let mut db: Box<dyn KvStore> = Box::new(fresh(&scratch.0));
+        db.put(b"k", b"v");
+        assert!(db.persistence().is_some());
+        assert!(db.persist_checkpoint().unwrap());
+        db.persist_sync().unwrap();
+        assert_eq!(db.persistence().unwrap().checkpoints, 1);
+        // And a volatile store reports no persistence.
+        let mut plain: Box<dyn KvStore> = Box::new(BTreeDb::new(KvConfig::default()));
+        assert!(plain.persistence().is_none());
+        assert!(!plain.persist_checkpoint().unwrap());
     }
 }

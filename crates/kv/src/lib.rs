@@ -34,10 +34,11 @@ pub mod durable;
 pub mod hashdb;
 pub mod lsm;
 pub mod snapshot;
+pub mod watermark;
 
 pub use bloom::BloomFilter;
 pub use btree::BTreeDb;
-pub use durable::{DurableStore, SyncPolicy};
+pub use durable::{DurableStore, PersistenceStats, SyncPolicy};
 pub use hashdb::HashDb;
 pub use lsm::LsmDb;
 
@@ -202,6 +203,106 @@ pub trait KvStore: Send {
 
     /// Reset access counters (between benchmark phases).
     fn reset_stats(&mut self);
+
+    // ----- durability hooks (no-ops for the volatile stores) -----------
+
+    /// Begin a commit group: mutations issued until the matching
+    /// [`KvStore::txn_commit`] become durable *atomically* — a crash
+    /// mid-group recovers to the state before the group. Servers
+    /// bracket every request handler with begin/commit so multi-record
+    /// operations (rename's extract + reinserts, create's inode +
+    /// dirent append) never survive half-applied. Groups nest; only the
+    /// outermost commit writes. Volatile stores ignore both calls.
+    fn txn_begin(&mut self) {}
+
+    /// End a commit group, making its mutations durable before any ack
+    /// is sent. A WAL failure here is fatal by design (see
+    /// `DurableStore`): the process dies rather than acknowledge an
+    /// operation it cannot recover.
+    fn txn_commit(&mut self) {}
+
+    /// Write a durable checkpoint (snapshot + WAL truncation), if this
+    /// store persists at all. Returns `Ok(true)` when a checkpoint was
+    /// written, `Ok(false)` for volatile stores.
+    fn persist_checkpoint(&mut self) -> std::io::Result<bool> {
+        Ok(false)
+    }
+
+    /// Push buffered WAL bytes to stable storage (fsync), if this store
+    /// persists at all. Volatile stores return `Ok(())`.
+    fn persist_sync(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+
+    /// Recovery/durability counters, or `None` for volatile stores.
+    /// Servers use `Some` here to detect that they are running durably
+    /// (e.g. to persist the uuid-allocation watermark).
+    fn persistence(&self) -> Option<PersistenceStats> {
+        None
+    }
+}
+
+/// A boxed store is itself a store, so layers that are generic over
+/// `S: KvStore` (notably [`DurableStore`]) can wrap a backend chosen
+/// at runtime.
+impl KvStore for Box<dyn KvStore> {
+    fn get(&mut self, key: &[u8]) -> Option<Vec<u8>> {
+        (**self).get(key)
+    }
+    fn put(&mut self, key: &[u8], value: &[u8]) {
+        (**self).put(key, value)
+    }
+    fn delete(&mut self, key: &[u8]) -> bool {
+        (**self).delete(key)
+    }
+    fn contains(&mut self, key: &[u8]) -> bool {
+        (**self).contains(key)
+    }
+    fn read_at(&mut self, key: &[u8], off: usize, len: usize) -> Option<Vec<u8>> {
+        (**self).read_at(key, off, len)
+    }
+    fn write_at(&mut self, key: &[u8], off: usize, data: &[u8]) -> bool {
+        (**self).write_at(key, off, data)
+    }
+    fn append(&mut self, key: &[u8], data: &[u8]) {
+        (**self).append(key, data)
+    }
+    fn scan_prefix(&mut self, prefix: &[u8]) -> Vec<(Vec<u8>, Vec<u8>)> {
+        (**self).scan_prefix(prefix)
+    }
+    fn extract_prefix(&mut self, prefix: &[u8]) -> Vec<(Vec<u8>, Vec<u8>)> {
+        (**self).extract_prefix(prefix)
+    }
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+    fn ordered(&self) -> bool {
+        (**self).ordered()
+    }
+    fn take_cost(&mut self) -> Nanos {
+        (**self).take_cost()
+    }
+    fn stats(&self) -> AccessStats {
+        (**self).stats()
+    }
+    fn reset_stats(&mut self) {
+        (**self).reset_stats()
+    }
+    fn txn_begin(&mut self) {
+        (**self).txn_begin()
+    }
+    fn txn_commit(&mut self) {
+        (**self).txn_commit()
+    }
+    fn persist_checkpoint(&mut self) -> std::io::Result<bool> {
+        (**self).persist_checkpoint()
+    }
+    fn persist_sync(&mut self) -> std::io::Result<()> {
+        (**self).persist_sync()
+    }
+    fn persistence(&self) -> Option<PersistenceStats> {
+        (**self).persistence()
+    }
 }
 
 /// Shared configuration for constructing any of the stores.

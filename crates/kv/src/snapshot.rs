@@ -3,24 +3,31 @@
 //! store. This is the persistence/restart substrate the servers build
 //! on — the moral equivalent of copying a Kyoto Cabinet database file.
 //!
-//! Format: `b"LKV1"` magic ‖ u64 record count ‖ per record
-//! (u32 key-len ‖ key ‖ u32 value-len ‖ value).
+//! Current format (v2): `b"LKV2"` magic ‖ u64 record count ‖ per record
+//! (u32 key-len ‖ key ‖ u32 value-len ‖ value) ‖ trailing IEEE CRC32
+//! (LE) over everything before it. The crc turns any bit flip anywhere
+//! in the image into a clean load error instead of silently corrupted
+//! metadata. v1 images (`b"LKV1"`, no crc) still load — durable stores
+//! written before the WAL v2 upgrade recover transparently.
 
 use crate::KvStore;
+use loco_types::checksum::crc32;
 
-const MAGIC: &[u8; 4] = b"LKV1";
+const MAGIC_V1: &[u8; 4] = b"LKV1";
+const MAGIC_V2: &[u8; 4] = b"LKV2";
 
-/// Serialize all records (full scan, key order for ordered stores).
+/// Serialize all records (full scan, key order for ordered stores)
+/// into a crc-sealed v2 image.
 pub fn dump(store: &mut dyn KvStore) -> Vec<u8> {
     let records = store.scan_prefix(b"");
     let mut out = Vec::with_capacity(
-        8 + 12 * records.len()
+        16 + 12 * records.len()
             + records
                 .iter()
                 .map(|(k, v)| k.len() + v.len())
                 .sum::<usize>(),
     );
-    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(MAGIC_V2);
     out.extend_from_slice(&(records.len() as u64).to_le_bytes());
     for (k, v) in records {
         out.extend_from_slice(&(k.len() as u32).to_le_bytes());
@@ -28,12 +35,38 @@ pub fn dump(store: &mut dyn KvStore) -> Vec<u8> {
         out.extend_from_slice(&(v.len() as u32).to_le_bytes());
         out.extend_from_slice(&v);
     }
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
     out
 }
 
-/// Load an image produced by [`dump`] into `store` (which should be
-/// empty). Returns the number of records loaded.
+/// Load an image produced by [`dump`] (v2, crc-checked) or by its v1
+/// predecessor (no crc) into `store` (which should be empty). Returns
+/// the number of records loaded. Corruption — truncation, bit flips,
+/// oversized lengths, trailing bytes — is an error, never a panic and
+/// never a partial load the caller can't detect.
 pub fn load(store: &mut dyn KvStore, mut bytes: &[u8]) -> Result<usize, String> {
+    if bytes.len() < 4 {
+        return Err("truncated snapshot".into());
+    }
+    let v2 = match &bytes[..4] {
+        m if m == MAGIC_V2 => true,
+        m if m == MAGIC_V1 => false,
+        _ => return Err("bad snapshot magic".into()),
+    };
+    if v2 {
+        // Peel and verify the trailing crc before trusting any length
+        // field inside.
+        if bytes.len() < 16 {
+            return Err("truncated snapshot".into());
+        }
+        let (body, trailer) = bytes.split_at(bytes.len() - 4);
+        let stored = u32::from_le_bytes(trailer.try_into().unwrap());
+        if crc32(body) != stored {
+            return Err("snapshot checksum mismatch".into());
+        }
+        bytes = body;
+    }
     let take = |bytes: &mut &[u8], n: usize| -> Result<Vec<u8>, String> {
         if bytes.len() < n {
             return Err("truncated snapshot".into());
@@ -42,10 +75,7 @@ pub fn load(store: &mut dyn KvStore, mut bytes: &[u8]) -> Result<usize, String> 
         *bytes = rest;
         Ok(head.to_vec())
     };
-    let magic = take(&mut bytes, 4)?;
-    if magic != MAGIC {
-        return Err("bad snapshot magic".into());
-    }
+    take(&mut bytes, 4)?; // magic, already validated
     let count = u64::from_le_bytes(take(&mut bytes, 8)?.try_into().unwrap()) as usize;
     for _ in 0..count {
         let klen = u32::from_le_bytes(take(&mut bytes, 4)?.try_into().unwrap()) as usize;

@@ -1,0 +1,59 @@
+//! Durable uuid-allocation watermark.
+//!
+//! WAL replay recovers *records*, not the server's in-memory uuid
+//! allocator — so a recovered server that re-seeded its allocator from
+//! zero would hand out uuids that already name live files (and their
+//! object-store blocks). The fix is the classic chunked watermark: the
+//! server persists, through the normal KV write path (and therefore
+//! through the WAL), a fid bound `W` meaning "every fid below `W` may
+//! have been handed out". Allocation never crosses the durable bound:
+//! before handing out fid `f >= W`, the server first persists
+//! `W' = f + CHUNK`. Recovery resumes allocation at the stored bound,
+//! wasting at most `CHUNK` fids per crash and never reusing one.
+//!
+//! The key lives in its own `\x00` namespace byte so it can never
+//! collide with path keys (`/`), dirent lists (`E`) or file records
+//! (`A`/`C`/`F`), and stays invisible to every prefix scan the servers
+//! do.
+
+use crate::KvStore;
+
+/// Store key of the watermark record (the `\x00` meta namespace).
+pub const KEY: &[u8] = b"\x00uuid_watermark";
+
+/// Fids reserved per watermark bump. One durable write per `CHUNK`
+/// allocations; at most `CHUNK` fids wasted per crash.
+pub const CHUNK: u64 = 1024;
+
+/// Read the persisted watermark, if any.
+pub fn load(db: &mut dyn KvStore) -> Option<u64> {
+    let v = db.get(KEY)?;
+    Some(u64::from_le_bytes(v.try_into().ok()?))
+}
+
+/// Persist a new watermark covering at least `next_fid`; returns the
+/// stored bound (`next_fid + CHUNK`).
+pub fn reserve(db: &mut dyn KvStore, next_fid: u64) -> u64 {
+    let bound = next_fid.saturating_add(CHUNK);
+    db.put(KEY, &bound.to_le_bytes());
+    bound
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BTreeDb, KvConfig};
+
+    #[test]
+    fn roundtrip_and_namespace_isolation() {
+        let mut db = BTreeDb::new(KvConfig::default());
+        assert_eq!(load(&mut db), None);
+        let bound = reserve(&mut db, 41);
+        assert_eq!(bound, 41 + CHUNK);
+        assert_eq!(load(&mut db), Some(bound));
+        // Invisible to the namespaces servers actually scan.
+        db.put(b"/a", b"dir");
+        assert_eq!(db.scan_prefix(b"/").len(), 1);
+        assert_eq!(db.scan_prefix(b"E").len(), 0);
+    }
+}

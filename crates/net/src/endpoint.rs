@@ -42,6 +42,32 @@ pub trait Service: Send {
     fn span_attrs(&self) -> Vec<(&'static str, u64)> {
         Vec::new()
     }
+
+    /// Background persistence maintenance, invoked by the hosting
+    /// endpoint between requests (never mid-handler): periodically with
+    /// `drain == false` (flush buffered durability state) and once at
+    /// shutdown with `drain == true` (write a final checkpoint so the
+    /// next boot recovers from a short log). Returns `None` for purely
+    /// in-memory services — the default.
+    fn maintain(&mut self, _drain: bool) -> Option<MaintainReport> {
+        None
+    }
+}
+
+/// What a [`Service::maintain`] pass observed/did; mirrored into the
+/// daemon's persistence gauges.
+#[derive(Clone, Debug, Default)]
+pub struct MaintainReport {
+    /// Records currently in the write-ahead log.
+    pub wal_records: u64,
+    /// WAL records replayed at the last recovery.
+    pub replayed_records: u64,
+    /// Records loaded from the snapshot at the last recovery.
+    pub snapshot_records: u64,
+    /// Checkpoints written since the store was opened.
+    pub checkpoints: u64,
+    /// This maintain pass wrote a checkpoint.
+    pub checkpointed: bool,
 }
 
 /// Per-operation context threaded through every RPC a filesystem

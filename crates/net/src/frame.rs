@@ -74,37 +74,9 @@ pub struct Frame {
     pub payload: Vec<u8>,
 }
 
-// ----- CRC32 (IEEE 802.3), table-driven --------------------------------
-
-fn crc32_table() -> &'static [u32; 256] {
-    use std::sync::OnceLock;
-    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
-    TABLE.get_or_init(|| {
-        let mut table = [0u32; 256];
-        for (i, slot) in table.iter_mut().enumerate() {
-            let mut c = i as u32;
-            for _ in 0..8 {
-                c = if c & 1 != 0 {
-                    0xEDB8_8320 ^ (c >> 1)
-                } else {
-                    c >> 1
-                };
-            }
-            *slot = c;
-        }
-        table
-    })
-}
-
-/// IEEE CRC32 of `data` (the checksum `cksum`/zlib agree on).
-pub fn crc32(data: &[u8]) -> u32 {
-    let table = crc32_table();
-    let mut c = 0xFFFF_FFFFu32;
-    for &b in data {
-        c = table[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
-    }
-    c ^ 0xFFFF_FFFF
-}
+// CRC32 lives in loco-types so the WAL and snapshot formats (loco-kv)
+// share the exact same checksum; re-exported here for compatibility.
+pub use loco_types::checksum::crc32;
 
 // ----- encode / decode --------------------------------------------------
 

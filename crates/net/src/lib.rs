@@ -42,7 +42,7 @@ pub mod tcp;
 pub mod threaded;
 pub mod trace_export;
 
-pub use endpoint::{CallCtx, Endpoint, RpcError, Service, SimEndpoint};
+pub use endpoint::{CallCtx, Endpoint, MaintainReport, RpcError, Service, SimEndpoint};
 pub use metrics::{role_name, EndpointMetrics};
 pub use rpc::{Control, ControlReply, RpcRequest, RpcResponse, SpanReply};
 pub use tcp::{control, serve_tcp, RetryPolicy, ServeOptions, TcpEndpoint, TcpServerGuard};

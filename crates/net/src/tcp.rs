@@ -38,7 +38,7 @@
 //! response flush, then closes. A corrupt frame closes only the
 //! offending connection; the client sees the drop and retries.
 
-use crate::endpoint::{CallCtx, Endpoint, RpcError, Service};
+use crate::endpoint::{CallCtx, Endpoint, MaintainReport, RpcError, Service};
 use crate::frame::crc32;
 use crate::frame::{decode_header, write_frame, Frame, FrameKind, HEADER_LEN, MAX_PAYLOAD};
 use crate::metrics::EndpointMetrics;
@@ -78,6 +78,12 @@ pub struct RetryPolicy {
     pub deadline: Duration,
     /// Per-attempt connection-establishment timeout.
     pub connect_timeout: Duration,
+    /// After the normal attempts are exhausted on a *connection-class*
+    /// failure (refused, lost, timed out — the signature of a daemon
+    /// restart), keep redialing for up to this long before surfacing
+    /// [`RpcError::Exhausted`]. `ZERO` (the default) disables the
+    /// window, preserving fast-fail semantics for fault tests.
+    pub reconnect_window: Duration,
 }
 
 impl Default for RetryPolicy {
@@ -87,14 +93,17 @@ impl Default for RetryPolicy {
             backoff: Duration::from_millis(20),
             deadline: Duration::from_millis(2000),
             connect_timeout: Duration::from_millis(1000),
+            reconnect_window: Duration::ZERO,
         }
     }
 }
 
 impl RetryPolicy {
     /// Defaults overridable via `LOCO_RPC_ATTEMPTS`,
-    /// `LOCO_RPC_BACKOFF_MS` and `LOCO_RPC_DEADLINE_MS` — the fault
-    /// tests shrink these to keep retry exhaustion fast.
+    /// `LOCO_RPC_BACKOFF_MS`, `LOCO_RPC_DEADLINE_MS` and
+    /// `LOCO_RPC_RECONNECT_MS` — the fault tests shrink these to keep
+    /// retry exhaustion fast; the chaos harness widens the reconnect
+    /// window to ride out a daemon restart.
     pub fn from_env() -> Self {
         let mut p = Self::default();
         if let Some(n) = env_u64("LOCO_RPC_ATTEMPTS") {
@@ -105,6 +114,9 @@ impl RetryPolicy {
         }
         if let Some(ms) = env_u64("LOCO_RPC_DEADLINE_MS") {
             p.deadline = Duration::from_millis(ms.max(1));
+        }
+        if let Some(ms) = env_u64("LOCO_RPC_RECONNECT_MS") {
+            p.reconnect_window = Duration::from_millis(ms);
         }
         p
     }
@@ -345,33 +357,49 @@ where
             body: req,
         }
         .to_wire();
-        let mut backoff = self.policy.backoff;
-        let mut last: Option<RpcError> = None;
-        for attempt in 0..self.policy.attempts {
-            if attempt > 0 {
-                let seed = (self.next_req.load(Ordering::Relaxed) << 8) | attempt as u64;
-                std::thread::sleep(backoff + jitter(seed, backoff));
-                backoff = backoff.saturating_mul(2);
-            }
-            match self.attempt(&req_bytes) {
-                Ok(resp) => {
-                    ctx.record(self.id, resp.cost);
-                    if let Some(span) = resp.span {
-                        ctx.record_span(self.id, span.op, resp.cost, span.queue_ns, span.attrs);
-                    }
-                    if let Some(m) = &self.metrics {
-                        m.begin();
-                        m.observe(label, resp.cost, 0);
-                    }
-                    return Ok(resp.body);
+        let window_start = Instant::now();
+        let mut total_attempts = 0u32;
+        loop {
+            let mut backoff = self.policy.backoff;
+            let mut last: Option<RpcError> = None;
+            for attempt in 0..self.policy.attempts {
+                if attempt > 0 {
+                    let seed = (self.next_req.load(Ordering::Relaxed) << 8) | attempt as u64;
+                    std::thread::sleep(backoff + jitter(seed, backoff));
+                    backoff = backoff.saturating_mul(2);
                 }
-                Err(e) => last = Some(e),
+                total_attempts += 1;
+                match self.attempt(&req_bytes) {
+                    Ok(resp) => {
+                        ctx.record(self.id, resp.cost);
+                        if let Some(span) = resp.span {
+                            ctx.record_span(self.id, span.op, resp.cost, span.queue_ns, span.attrs);
+                        }
+                        if let Some(m) = &self.metrics {
+                            m.begin();
+                            m.observe(label, resp.cost, 0);
+                        }
+                        return Ok(resp.body);
+                    }
+                    Err(e) => last = Some(e),
+                }
             }
+            let last = last.expect("at least one attempt ran");
+            // Connection-class failures look like a daemon restart;
+            // within the reconnect window, keep redialing rather than
+            // surfacing an error the caller would map to EIO.
+            let reconnectable = matches!(
+                last,
+                RpcError::Connect(_) | RpcError::ConnectionLost(_) | RpcError::Timeout { .. }
+            );
+            if !(reconnectable && window_start.elapsed() < self.policy.reconnect_window) {
+                return Err(RpcError::Exhausted {
+                    attempts: total_attempts,
+                    last: Box::new(last),
+                });
+            }
+            std::thread::sleep(self.policy.backoff.max(Duration::from_millis(20)));
         }
-        Err(RpcError::Exhausted {
-            attempts: self.policy.attempts,
-            last: Box::new(last.expect("at least one attempt ran")),
-        })
     }
 }
 
@@ -384,6 +412,11 @@ pub struct ServeOptions {
     pub metrics: Option<Arc<EndpointMetrics>>,
     /// Registry rendered in reply to [`Control::Metrics`] scrapes.
     pub registry: Option<Arc<MetricsRegistry>>,
+    /// How often the accept loop runs [`Service::maintain`] between
+    /// requests (periodic WAL flush + persistence gauges). `None`
+    /// disables periodic maintenance; the drain-time pass at shutdown
+    /// always runs.
+    pub maintain_every: Option<Duration>,
 }
 
 /// Handle to a running TCP server. Dropping it performs a graceful
@@ -454,7 +487,7 @@ where
                 crate::metrics::role_name(id.class),
                 id.index
             ))
-            .spawn(move || accept_loop::<S>(listener, svc, shutdown, opts))?
+            .spawn(move || accept_loop::<S>(listener, svc, shutdown, opts, id))?
     };
     Ok(TcpServerGuard {
         addr,
@@ -463,11 +496,38 @@ where
     })
 }
 
+/// Run one [`Service::maintain`] pass and publish its persistence
+/// counters as gauges (labelled by role/server) when a registry is
+/// wired. Volatile services return `None` and publish nothing.
+fn run_maintain<S: Service>(
+    svc: &Arc<Mutex<S>>,
+    opts: &ServeOptions,
+    id: ServerId,
+    drain: bool,
+) -> Option<MaintainReport> {
+    let report = svc.lock().unwrap().maintain(drain)?;
+    if let Some(reg) = &opts.registry {
+        let role = crate::metrics::role_name(id.class);
+        let server = id.index.to_string();
+        let labels: &[(&str, &str)] = &[("role", role), ("server", &server)];
+        reg.gauge("loco_wal_records", labels)
+            .set(report.wal_records as i64);
+        reg.gauge("loco_wal_replayed_records", labels)
+            .set(report.replayed_records as i64);
+        reg.gauge("loco_snapshot_records", labels)
+            .set(report.snapshot_records as i64);
+        reg.gauge("loco_checkpoints_total", labels)
+            .set(report.checkpoints as i64);
+    }
+    Some(report)
+}
+
 fn accept_loop<S>(
     listener: TcpListener,
     svc: Arc<Mutex<S>>,
     shutdown: Arc<AtomicBool>,
     opts: ServeOptions,
+    id: ServerId,
 ) where
     S: Service + 'static,
     S::Req: Wire,
@@ -475,6 +535,10 @@ fn accept_loop<S>(
 {
     let opts = Arc::new(opts);
     let mut conns: Vec<JoinHandle<()>> = Vec::new();
+    // Publish recovery counters immediately so a scrape right after
+    // boot sees how much state was replayed.
+    run_maintain(&svc, &opts, id, false);
+    let mut last_maintain = Instant::now();
     while !shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _peer)) => {
@@ -490,6 +554,12 @@ fn accept_loop<S>(
                 conns.retain(|h| !h.is_finished());
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                if let Some(every) = opts.maintain_every {
+                    if last_maintain.elapsed() >= every {
+                        run_maintain(&svc, &opts, id, false);
+                        last_maintain = Instant::now();
+                    }
+                }
                 std::thread::sleep(Duration::from_millis(2));
             }
             Err(_) => break,
@@ -500,6 +570,10 @@ fn accept_loop<S>(
     for h in conns {
         let _ = h.join();
     }
+    // A crash here models dying after the last ack but before the
+    // shutdown checkpoint — recovery must replay the WAL.
+    loco_faults::crashpoint("daemon_drain");
+    run_maintain(&svc, &opts, id, true);
 }
 
 /// Read one frame, waking every [`READ_TICK`] to honour the shutdown
@@ -709,6 +783,7 @@ mod tests {
             backoff: Duration::from_millis(5),
             deadline: Duration::from_millis(500),
             connect_timeout: Duration::from_millis(500),
+            reconnect_window: Duration::ZERO,
         }
     }
 
@@ -796,6 +871,7 @@ mod tests {
             ServeOptions {
                 metrics: Some(metrics),
                 registry: Some(registry),
+                ..Default::default()
             },
         )
         .unwrap();

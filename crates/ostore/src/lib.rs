@@ -79,7 +79,7 @@ loco_types::impl_wire_enum!(OstoreResponse, "ostore-response", tuple {
 
 /// An object-store server: blocks keyed `uuid (8B BE) ‖ blk (8B BE)`.
 pub struct ObjectStore {
-    db: HashDb,
+    db: Box<dyn KvStore>,
     /// Software-vs-KV split of the last request (span attribution).
     split: loco_kv::SpanSplit,
     extra: CostAcc,
@@ -94,13 +94,34 @@ pub struct ObjectStore {
 impl ObjectStore {
     /// Create a new instance with default settings.
     pub fn new(cfg: KvConfig) -> Self {
+        Self::with_store(Box::new(HashDb::new(cfg)))
+    }
+
+    /// Create an object store over a caller-supplied store — e.g. a
+    /// `loco_kv::DurableStore` for on-disk persistence. The per-object
+    /// block-count index is rebuilt from the recovered keys (it is
+    /// derived state, never logged).
+    pub fn with_store(mut db: Box<dyn KvStore>) -> Self {
+        let mut max_blk = std::collections::HashMap::new();
+        if !db.is_empty() {
+            for (k, _) in db.scan_prefix(b"") {
+                if k.len() != 16 {
+                    continue;
+                }
+                let raw = u64::from_be_bytes(k[0..8].try_into().unwrap());
+                let blk = u64::from_be_bytes(k[8..16].try_into().unwrap());
+                let e = max_blk.entry(raw).or_insert(0u64);
+                *e = (*e).max(blk + 1);
+            }
+        }
+        db.take_cost(); // setup/recovery is free
         Self {
-            db: HashDb::new(cfg),
+            db,
             split: loco_kv::SpanSplit::default(),
             extra: CostAcc::new(),
             net_byte: 8,
             rpc_overhead: loco_sim::CostModel::default().rpc_handler,
-            max_blk: std::collections::HashMap::new(),
+            max_blk,
         }
     }
 
@@ -148,7 +169,10 @@ impl Service for ObjectStore {
 
     fn handle(&mut self, req: OstoreRequest) -> OstoreResponse {
         self.extra.charge(self.rpc_overhead);
-        match req {
+        // One request = one WAL commit group (truncate/remove delete
+        // many blocks; a crash must not leave half of them).
+        self.db.txn_begin();
+        let resp = match req {
             OstoreRequest::WriteBlock { uuid, blk, data } => {
                 OstoreResponse::Done(self.write_block(uuid, blk, data))
             }
@@ -159,7 +183,9 @@ impl Service for ObjectStore {
                 OstoreResponse::Removed(self.truncate(uuid, keep_blocks))
             }
             OstoreRequest::RemoveObject { uuid } => OstoreResponse::Removed(self.truncate(uuid, 0)),
-        }
+        };
+        self.db.txn_commit();
+        resp
     }
 
     fn take_cost(&mut self) -> Nanos {
@@ -171,6 +197,24 @@ impl Service for ObjectStore {
 
     fn span_attrs(&self) -> Vec<(&'static str, u64)> {
         self.split.attrs()
+    }
+
+    fn maintain(&mut self, drain: bool) -> Option<loco_net::MaintainReport> {
+        let _ = self.db.persistence()?;
+        let checkpointed = if drain {
+            self.db.persist_checkpoint().unwrap_or(false)
+        } else {
+            let _ = self.db.persist_sync();
+            false
+        };
+        let stats = self.db.persistence()?;
+        Some(loco_net::MaintainReport {
+            wal_records: stats.wal_records,
+            replayed_records: stats.replayed_records,
+            snapshot_records: stats.snapshot_records,
+            checkpoints: stats.checkpoints,
+            checkpointed,
+        })
     }
 
     fn req_label(req: &OstoreRequest) -> &'static str {

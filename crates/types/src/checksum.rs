@@ -1,0 +1,62 @@
+//! Shared checksums.
+//!
+//! One table-driven IEEE CRC32 implementation serves every integrity
+//! check in the system: the TCP frame header (`loco-net`), the WAL
+//! record trailer and the snapshot image trailer (`loco-kv`). Sharing
+//! the helper keeps the polynomial and bit order consistent so a tool
+//! that can verify one artifact can verify them all.
+
+fn crc32_table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, slot) in table.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *slot = c;
+        }
+        table
+    })
+}
+
+/// IEEE CRC32 of `data` (the checksum `cksum`/zlib agree on).
+pub fn crc32(data: &[u8]) -> u32 {
+    let table = crc32_table();
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = table[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard IEEE test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn crc32_detects_single_bit_flips() {
+        let data = b"write-ahead log record".to_vec();
+        let clean = crc32(&data);
+        for i in 0..data.len() {
+            for bit in 0..8 {
+                let mut evil = data.clone();
+                evil[i] ^= 1 << bit;
+                assert_ne!(crc32(&evil), clean, "flip at byte {i} bit {bit}");
+            }
+        }
+    }
+}

@@ -21,9 +21,12 @@
 //! * [`error`] — the error type every layer shares,
 //! * [`wire`] — the std-only binary codec used by the real RPC
 //!   transport (`loco-net`'s TCP endpoint) to move these types between
-//!   processes.
+//!   processes,
+//! * [`checksum`] — the shared IEEE CRC32 guarding both TCP frames and
+//!   the durable store's WAL/snapshot files.
 
 pub mod acl;
+pub mod checksum;
 pub mod dirent;
 pub mod error;
 pub mod id;
@@ -34,6 +37,7 @@ pub mod ring;
 pub mod wire;
 
 pub use acl::{may_access, Perm};
+pub use checksum::crc32;
 pub use dirent::{encode_entry, encode_tombstone, Dirent, DirentKind, DirentList};
 pub use error::{FsError, FsResult};
 pub use id::{Uuid, UuidGen};

@@ -1,16 +1,27 @@
 #!/usr/bin/env bash
 # Boot a localhost LocoFS cluster (locod daemons), run the mdtest smoke
 # workload over TCP, scrape per-daemon metrics, and shut everything
-# down gracefully.
+# down gracefully. With --data-dir the daemons run durably (WAL +
+# checkpoints) and the cluster survives kill -9: the crash/restart
+# subcommands drive exactly that.
 #
 # Usage:
 #   scripts/cluster.sh [--fms N] [--ost N] [--base-port P] [--keep]
+#                      [--data-dir DIR] [--sync-policy POLICY]
+#   scripts/cluster.sh crash ROLE      # kill -9 one daemon (e.g. fms0)
+#   scripts/cluster.sh restart ROLE    # restart it (same port + data dir)
+#   scripts/cluster.sh stop            # graceful drain of the whole cluster
 #
-#   --fms N       number of FMS daemons (default 2)
-#   --ost N       number of OST daemons (default 2)
-#   --base-port P first listen port (default 7100)
-#   --keep        leave the cluster running (prints LOCO_CLUSTER and
-#                 exits; shut it down later with `locod shutdown ADDR`)
+#   --fms N        number of FMS daemons (default 2)
+#   --ost N        number of OST daemons (default 2)
+#   --base-port P  first listen port (default 7100)
+#   --data-dir DIR run durably: each role persists under DIR/<role><i>/
+#   --sync-policy  os-managed (default) or every-record
+#   --keep         leave the cluster running (prints LOCO_CLUSTER and
+#                  exits; use the stop subcommand to drain it later)
+#
+# A --keep cluster records its topology in $OUT/cluster.state so the
+# crash/restart/stop subcommands can find it again.
 #
 # Artifacts land in results/cluster/ (override with LOCO_SMOKE_OUT):
 #   locod-<role><i>.log / .prom   per-daemon log + final metrics dump
@@ -20,38 +31,120 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+OUT="${LOCO_SMOKE_OUT:-results/cluster}"
+STATE="$OUT/cluster.state"
+LOCOD=target/release/locod
+
+# --- subcommands against a recorded cluster ---------------------------
+
+state_lines() { grep -v '^#' "$STATE"; }
+
+find_role() { # name -> "role index port pid data_dir sync_policy"
+  state_lines | awk -v n="$1" '$1 $2 == n { print; exit }'
+}
+
+start_one() { # role index port data_dir sync_policy
+  local role=$1 index=$2 port=$3 data_dir=$4 sync_policy=$5
+  local addr="127.0.0.1:$port"
+  local extra=()
+  if [[ "$data_dir" != "-" ]]; then
+    extra+=(--data-dir "$data_dir" --sync-policy "$sync_policy")
+  fi
+  "$LOCOD" serve --role "$role" --index "$index" --listen "$addr" \
+    --metrics-out "$OUT/locod-$role$index.prom" "${extra[@]}" \
+    >>"$OUT/locod-$role$index.log" 2>&1 &
+  echo $!
+}
+
+wait_ping() { # addr
+  for _ in $(seq 1 100); do
+    if "$LOCOD" ping "$1" >/dev/null 2>&1; then return 0; fi
+    sleep 0.1
+  done
+  return 1
+}
+
+case "${1:-}" in
+  crash)
+    [[ -n "${2:-}" ]] || { echo "usage: cluster.sh crash ROLE" >&2; exit 2; }
+    line=$(find_role "$2")
+    [[ -n "$line" ]] || { echo "cluster.sh: no daemon $2 in $STATE" >&2; exit 1; }
+    pid=$(awk '{print $4}' <<<"$line")
+    kill -9 "$pid" 2>/dev/null || true
+    echo "cluster.sh: crashed $2 (pid $pid, SIGKILL)"
+    exit 0
+    ;;
+  restart)
+    [[ -n "${2:-}" ]] || { echo "usage: cluster.sh restart ROLE" >&2; exit 2; }
+    line=$(find_role "$2")
+    [[ -n "$line" ]] || { echo "cluster.sh: no daemon $2 in $STATE" >&2; exit 1; }
+    read -r role index port _pid data_dir sync_policy <<<"$line"
+    newpid=$(start_one "$role" "$index" "$port" "$data_dir" "$sync_policy")
+    if ! wait_ping "127.0.0.1:$port"; then
+      echo "cluster.sh: $2 did not come back on 127.0.0.1:$port" >&2
+      exit 1
+    fi
+    # Rewrite the state line with the new pid.
+    awk -v n="$2" -v p="$newpid" '$1 $2 == n { $4 = p } { print }' "$STATE" \
+      >"$STATE.tmp" && mv "$STATE.tmp" "$STATE"
+    echo "cluster.sh: restarted $2 (pid $newpid) on 127.0.0.1:$port"
+    exit 0
+    ;;
+  stop)
+    [[ -f "$STATE" ]] || { echo "cluster.sh: no $STATE" >&2; exit 1; }
+    while read -r role index port pid _rest; do
+      addr="127.0.0.1:$port"
+      "$LOCOD" shutdown "$addr" >/dev/null 2>&1 || true
+      for _ in $(seq 1 50); do
+        kill -0 "$pid" 2>/dev/null || break
+        sleep 0.1
+      done
+      kill -9 "$pid" 2>/dev/null || true
+    done < <(state_lines)
+    rm -f "$STATE"
+    echo "cluster.sh: cluster stopped"
+    exit 0
+    ;;
+esac
+
+# --- boot path --------------------------------------------------------
+
 FMS=2
 OST=2
 BASE_PORT=7100
 KEEP=0
+DATA_DIR="-"
+SYNC_POLICY=os-managed
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --fms) FMS=$2; shift 2 ;;
     --ost) OST=$2; shift 2 ;;
     --base-port) BASE_PORT=$2; shift 2 ;;
+    --data-dir) DATA_DIR=$2; shift 2 ;;
+    --sync-policy) SYNC_POLICY=$2; shift 2 ;;
     --keep) KEEP=1; shift ;;
     *) echo "unknown flag: $1" >&2; exit 2 ;;
   esac
 done
 
-OUT="${LOCO_SMOKE_OUT:-results/cluster}"
 mkdir -p "$OUT"
 
-cargo build --release -q --bin locod --bin mdtest_smoke
-LOCOD=target/release/locod
+cargo build --release -q --bin locod --bin mdtest_smoke --bin chaos_client
+[[ "$DATA_DIR" == "-" ]] || mkdir -p "$DATA_DIR"
 
 ADDRS=()
 PIDS=()
 ROLES=()
+echo "# role index port pid data_dir sync_policy" >"$STATE"
 
 start_daemon() { # role index port
   local role=$1 index=$2 port=$3 addr="127.0.0.1:$3"
-  "$LOCOD" serve --role "$role" --index "$index" --listen "$addr" \
-    --metrics-out "$OUT/locod-$role$index.prom" \
-    >"$OUT/locod-$role$index.log" 2>&1 &
-  PIDS+=($!)
+  local pid
+  pid=$(start_one "$role" "$index" "$port" "$DATA_DIR" "$SYNC_POLICY")
+  PIDS+=("$pid")
   ROLES+=("$role$index")
   ADDRS+=("$addr")
+  echo "$role $index $port $pid $DATA_DIR $SYNC_POLICY" >>"$STATE"
 }
 
 cleanup() {
@@ -67,6 +160,7 @@ cleanup() {
     echo "cluster.sh: ${ROLES[$i]} did not drain, killing" >&2
     kill -9 "${PIDS[$i]}" 2>/dev/null || true
   done
+  rm -f "$STATE"
 }
 
 port=$BASE_PORT
@@ -89,19 +183,17 @@ echo "cluster.sh: LOCO_CLUSTER=$LOCO_CLUSTER"
 
 # Wait until every daemon answers a control ping.
 for addr in "${ADDRS[@]}"; do
-  for _ in $(seq 1 100); do
-    if "$LOCOD" ping "$addr" >/dev/null 2>&1; then continue 2; fi
-    sleep 0.1
-  done
-  echo "cluster.sh: $addr never came up" >&2
-  cleanup
-  exit 1
+  if ! wait_ping "$addr"; then
+    echo "cluster.sh: $addr never came up" >&2
+    cleanup
+    exit 1
+  fi
 done
 echo "cluster.sh: all $((1 + FMS + OST)) daemons up (1 dms, $FMS fms, $OST ost)"
 
 if [[ $KEEP -eq 1 ]]; then
   echo "cluster.sh: --keep: cluster left running; export LOCO_CLUSTER as above."
-  echo "cluster.sh: shut down with: for a in ${ADDRS[*]}; do $LOCOD shutdown \$a; done"
+  echo "cluster.sh: drain with: scripts/cluster.sh stop"
   exit 0
 fi
 

@@ -1,0 +1,151 @@
+//! Kill-and-recover chaos workload against a running `locod` cluster.
+//!
+//! `chaos_client apply` creates files over the wire and records every
+//! *acknowledged* create in a manifest (flushed line by line). The
+//! harness is expected to `kill -9` a daemon mid-run and restart it;
+//! the client rides out the outage by retrying — `RpcError::Exhausted`
+//! surfaces as `EIO`, and a retried create that answers
+//! `AlreadyExists` after a restart is reconciled as success (the first
+//! attempt's commit group survived the crash; only its response frame
+//! was lost).
+//!
+//! `chaos_client verify` re-reads the manifest and stats every file:
+//! an acknowledged create that cannot be found after recovery is a
+//! durability bug, and the run exits nonzero.
+//!
+//! Env knobs:
+//!   LOCO_CLUSTER          daemon addresses (required, see cluster.sh)
+//!   LOCO_CHAOS_FILES      files to create (default 200)
+//!   LOCO_CHAOS_MANIFEST   manifest path (default results/cluster/chaos_manifest.txt)
+//!   LOCO_RPC_RECONNECT_MS client-side redial window — set it longer
+//!                         than the daemon's restart gap
+//!   LOCO_CHAOS_OP_MS      per-op outer retry budget (default 30000)
+//!   LOCO_CHAOS_DELAY_US   throttle between creates (default 0) — use
+//!                         it to stretch the run so a mid-flight crash
+//!                         actually lands mid-flight
+
+use locofs::client::{ClusterAddrs, LocoConfig, TransportCluster};
+use locofs::types::FsError;
+use std::io::Write as _;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Retry `op` through transient `EIO` until it succeeds, reconciles,
+/// or the per-op budget runs out.
+fn with_retry<T>(
+    budget: Duration,
+    mut op: impl FnMut() -> Result<T, FsError>,
+) -> Result<T, FsError> {
+    let start = Instant::now();
+    loop {
+        match op() {
+            Err(FsError::Io(e)) if start.elapsed() < budget => {
+                eprintln!("chaos_client: transient EIO ({e}), retrying");
+                std::thread::sleep(Duration::from_millis(200));
+            }
+            other => return other,
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mode = std::env::args().nth(1).unwrap_or_default();
+    if mode != "apply" && mode != "verify" {
+        eprintln!("usage: chaos_client {{apply|verify}}");
+        return ExitCode::FAILURE;
+    }
+    let Some(addrs) = ClusterAddrs::from_env() else {
+        eprintln!("chaos_client: LOCO_CLUSTER is not set — start one with scripts/cluster.sh");
+        return ExitCode::FAILURE;
+    };
+    let files = env_u64("LOCO_CHAOS_FILES", 200);
+    let manifest = std::env::var("LOCO_CHAOS_MANIFEST")
+        .unwrap_or_else(|_| "results/cluster/chaos_manifest.txt".to_string());
+    let budget = Duration::from_millis(env_u64("LOCO_CHAOS_OP_MS", 30_000));
+    let delay = Duration::from_micros(env_u64("LOCO_CHAOS_DELAY_US", 0));
+
+    let cluster = TransportCluster::tcp_external(LocoConfig::default(), &addrs);
+    let mut client = cluster.client();
+
+    if mode == "apply" {
+        if let Some(dir) = std::path::Path::new(&manifest).parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        let mut out = match std::fs::File::create(&manifest) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("chaos_client: cannot write {manifest}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match with_retry(budget, || client.mkdir("/chaos", 0o755)) {
+            Ok(()) | Err(FsError::AlreadyExists) => {}
+            Err(e) => {
+                eprintln!("chaos_client: mkdir /chaos failed: {e:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+        for i in 0..files {
+            let path = format!("/chaos/f{i:05}");
+            // AlreadyExists after a retry means the pre-crash attempt
+            // was durably applied — count it as acked.
+            let r = with_retry(budget, || match client.create(&path, 0o644) {
+                Ok(_) | Err(FsError::AlreadyExists) => Ok(()),
+                Err(e) => Err(e),
+            });
+            if let Err(e) = r {
+                eprintln!("chaos_client: create {path} failed for good: {e:?}");
+                return ExitCode::FAILURE;
+            }
+            // Ack the create only once it has been acknowledged by the
+            // cluster: everything in the manifest must survive crashes.
+            if writeln!(out, "{path}").and_then(|_| out.flush()).is_err() {
+                eprintln!("chaos_client: manifest write failed");
+                return ExitCode::FAILURE;
+            }
+            if !delay.is_zero() {
+                std::thread::sleep(delay);
+            }
+        }
+        println!("chaos_client: apply: {files} creates acked -> {manifest}");
+        return ExitCode::SUCCESS;
+    }
+
+    // verify
+    let listing = match std::fs::read_to_string(&manifest) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("chaos_client: cannot read {manifest}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut checked = 0u64;
+    let mut lost = Vec::new();
+    for path in listing.lines().filter(|l| !l.trim().is_empty()) {
+        checked += 1;
+        match with_retry(budget, || client.stat_file(path)) {
+            Ok(_) => {}
+            Err(e) => lost.push(format!("{path}: {e:?}")),
+        }
+    }
+    if lost.is_empty() {
+        println!("chaos_client: verify: all {checked} acked files recovered");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "chaos_client: verify: {} of {checked} ACKED FILES LOST:",
+            lost.len()
+        );
+        for l in &lost {
+            eprintln!("  {l}");
+        }
+        ExitCode::FAILURE
+    }
+}

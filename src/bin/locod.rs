@@ -6,10 +6,18 @@
 //! can also be started by hand:
 //!
 //! ```text
-//! locod serve --role dms --index 0 --listen 127.0.0.1:7100
-//! locod serve --role fms --index 0 --listen 127.0.0.1:7101
-//! locod serve --role ost --index 0 --listen 127.0.0.1:7103
+//! locod serve --role dms --index 0 --listen 127.0.0.1:7100 --data-dir /tmp/loco
+//! locod serve --role fms --index 0 --listen 127.0.0.1:7101 --data-dir /tmp/loco
+//! locod serve --role ost --index 0 --listen 127.0.0.1:7103 --data-dir /tmp/loco
 //! ```
+//!
+//! With `--data-dir ROOT` the role's key-value store is wrapped in a
+//! `loco_kv::DurableStore` rooted at `ROOT/<role><index>/`: every
+//! mutating RPC appends to a write-ahead log *before* the response
+//! frame is written, so an acknowledged operation survives `kill -9`.
+//! On boot the daemon replays snapshot + WAL and reports how much
+//! state it recovered. Without `--data-dir` the daemon is volatile
+//! (the pre-existing behaviour).
 //!
 //! Control-plane subcommands speak the `Control` frame to a running
 //! daemon:
@@ -20,20 +28,33 @@
 //! locod shutdown 127.0.0.1:7100     # graceful drain + exit
 //! ```
 //!
-//! Graceful shutdown drains in-flight requests before closing: the
-//! accept loop stops, idle connections close, and connections mid-frame
-//! get a short grace period to finish. On exit the daemon prints (or
-//! writes, with `--metrics-out`) its final metrics dump.
+//! Offline subcommands operate on a data directory with no daemon
+//! running:
+//!
+//! ```text
+//! locod fsck --data-dir ROOT        # recover all roles, check invariants
+//! locod chaos-apply  --data-dir D --ops N   # deterministic workload (crashable)
+//! locod chaos-verify --data-dir D --ops N   # recovered state == some acked prefix
+//! ```
+//!
+//! `chaos-apply` + `chaos-verify` are the crash-point harness: the
+//! test runner arms `LOCO_CRASHPOINT` / `LOCO_IOFAULT`, lets the apply
+//! phase die mid-flight, then verifies that the recovered store equals
+//! the state after some prefix of the op stream at least as long as
+//! the acknowledged prefix — i.e. no acked op was lost and no phantom
+//! half-group was replayed.
 
-use locofs::client::{DmsBackend, FmsMode};
+use locofs::client::{fsck, DmsBackend, FmsMode, LocoCluster, LocoConfig};
 use locofs::dms::DirServer;
 use locofs::fms::FileServer;
-use locofs::kv::KvConfig;
+use locofs::kv::{BTreeDb, DurableStore, HashDb, KvConfig, KvStore, PersistenceStats, SyncPolicy};
 use locofs::net::tcp::{serve_tcp, ServeOptions};
-use locofs::net::{class, control, Control, ControlReply, EndpointMetrics, ServerId};
+use locofs::net::{class, control, Control, ControlReply, EndpointMetrics, ServerId, SimEndpoint};
 use locofs::obs::MetricsRegistry;
 use locofs::ostore::ObjectStore;
+use std::io::Write as _;
 use std::net::TcpListener;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
@@ -44,15 +65,24 @@ locod — LocoFS metadata daemon
 USAGE:
   locod serve --role {dms|fms|ost} --listen ADDR [--index N]
               [--dms-backend {btree|hash}] [--fms-mode {decoupled|coupled}]
+              [--data-dir ROOT] [--sync-policy {os-managed|every-record}]
+              [--checkpoint-every N] [--maintain-ms MS]
               [--metrics-out FILE]
   locod ping ADDR
   locod metrics ADDR
   locod shutdown ADDR
+  locod fsck --data-dir ROOT [--dms-backend B] [--fms-mode M]
+  locod chaos-apply  --data-dir DIR --ops N [--sync-policy P]
+              [--checkpoint-every N] [--ack-file FILE]
+  locod chaos-verify --data-dir DIR --ops N [--ack-file FILE]
 
 The serve role maps to the LocoFS split: one dms (full-path d-inodes),
 N fms (consistent-hash file metadata; --index is the ring slot), and
-object stores. Env knobs: LOCO_RPC_DEADLINE_MS / ATTEMPTS / BACKOFF_MS
-(client side), LOCO_TRACE (span sampling).";
+object stores. --data-dir ROOT makes the role durable under
+ROOT/<role><index>/ (WAL-before-ack + periodic checkpoints). Env
+knobs: LOCO_RPC_DEADLINE_MS / ATTEMPTS / BACKOFF_MS / RECONNECT_MS
+(client side), LOCO_TRACE (span sampling), LOCO_CRASHPOINT /
+LOCO_IOFAULT (fault injection, see loco-faults).";
 
 fn fail(msg: &str) -> ExitCode {
     eprintln!("locod: {msg}");
@@ -64,6 +94,9 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("serve") => serve(&args[1..]),
+        Some("fsck") => fsck_cmd(&args[1..]),
+        Some("chaos-apply") => chaos_cmd(&args[1..], true),
+        Some("chaos-verify") => chaos_cmd(&args[1..], false),
         Some("ping") | Some("metrics") | Some("shutdown") => {
             let Some(addr) = args.get(1) else {
                 return fail("missing daemon address");
@@ -96,7 +129,7 @@ fn main() -> ExitCode {
             println!("{USAGE}");
             ExitCode::SUCCESS
         }
-        _ => fail("expected a subcommand (serve/ping/metrics/shutdown)"),
+        _ => fail("expected a subcommand (serve/ping/metrics/shutdown/fsck/chaos-*)"),
     }
 }
 
@@ -107,6 +140,10 @@ struct ServeArgs {
     dms_backend: DmsBackend,
     fms_mode: FmsMode,
     metrics_out: Option<String>,
+    data_dir: Option<PathBuf>,
+    sync_policy: SyncPolicy,
+    checkpoint_every: Option<usize>,
+    maintain_ms: u64,
 }
 
 fn parse_serve(args: &[String]) -> Result<ServeArgs, String> {
@@ -117,6 +154,10 @@ fn parse_serve(args: &[String]) -> Result<ServeArgs, String> {
         dms_backend: DmsBackend::BTree,
         fms_mode: FmsMode::Decoupled,
         metrics_out: None,
+        data_dir: None,
+        sync_policy: SyncPolicy::OsManaged,
+        checkpoint_every: None,
+        maintain_ms: 1000,
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -133,21 +174,23 @@ fn parse_serve(args: &[String]) -> Result<ServeArgs, String> {
                     .parse()
                     .map_err(|_| "--index must be an integer".to_string())?
             }
-            "--dms-backend" => {
-                out.dms_backend = match val()?.as_str() {
-                    "btree" => DmsBackend::BTree,
-                    "hash" => DmsBackend::Hash,
-                    other => return Err(format!("unknown dms backend {other:?}")),
-                }
-            }
-            "--fms-mode" => {
-                out.fms_mode = match val()?.as_str() {
-                    "decoupled" => FmsMode::Decoupled,
-                    "coupled" => FmsMode::Coupled,
-                    other => return Err(format!("unknown fms mode {other:?}")),
-                }
-            }
+            "--dms-backend" => out.dms_backend = parse_backend(&val()?)?,
+            "--fms-mode" => out.fms_mode = parse_mode(&val()?)?,
             "--metrics-out" => out.metrics_out = Some(val()?),
+            "--data-dir" => out.data_dir = Some(PathBuf::from(val()?)),
+            "--sync-policy" => out.sync_policy = parse_policy(&val()?)?,
+            "--checkpoint-every" => {
+                out.checkpoint_every = Some(
+                    val()?
+                        .parse()
+                        .map_err(|_| "--checkpoint-every must be an integer".to_string())?,
+                )
+            }
+            "--maintain-ms" => {
+                out.maintain_ms = val()?
+                    .parse()
+                    .map_err(|_| "--maintain-ms must be an integer".to_string())?
+            }
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -158,6 +201,73 @@ fn parse_serve(args: &[String]) -> Result<ServeArgs, String> {
         return Err("--listen is required".into());
     }
     Ok(out)
+}
+
+fn parse_backend(s: &str) -> Result<DmsBackend, String> {
+    match s {
+        "btree" => Ok(DmsBackend::BTree),
+        "hash" => Ok(DmsBackend::Hash),
+        other => Err(format!("unknown dms backend {other:?}")),
+    }
+}
+
+fn parse_mode(s: &str) -> Result<FmsMode, String> {
+    match s {
+        "decoupled" => Ok(FmsMode::Decoupled),
+        "coupled" => Ok(FmsMode::Coupled),
+        other => Err(format!("unknown fms mode {other:?}")),
+    }
+}
+
+fn parse_policy(s: &str) -> Result<SyncPolicy, String> {
+    SyncPolicy::parse(s).ok_or_else(|| format!("unknown sync policy {s:?}"))
+}
+
+/// Wrap `inner` in a [`DurableStore`] rooted at `dir`, applying the
+/// CLI durability knobs, and return it with its recovery counters.
+fn open_durable<S: KvStore + 'static>(
+    dir: PathBuf,
+    inner: S,
+    policy: SyncPolicy,
+    checkpoint_every: Option<usize>,
+) -> std::io::Result<(Box<dyn KvStore>, PersistenceStats)> {
+    let mut store = DurableStore::open(dir, inner)?.with_sync_policy(policy);
+    if let Some(n) = checkpoint_every {
+        store.checkpoint_every = n;
+    }
+    let stats = store.stats().clone();
+    Ok((Box::new(store), stats))
+}
+
+/// Build the role's store: durable under `ROOT/<role><index>/` when a
+/// data dir was given, volatile otherwise. Reports recovery counters.
+fn role_store(
+    a: &ServeArgs,
+    inner_of: impl FnOnce() -> Box<dyn KvStore>,
+) -> std::io::Result<Box<dyn KvStore>> {
+    let Some(root) = &a.data_dir else {
+        return Ok(inner_of());
+    };
+    let dir = root.join(format!("{}{}", a.role, a.index));
+    std::fs::create_dir_all(&dir)?;
+    // `Box<dyn KvStore>` is itself a KvStore, so the durable layer can
+    // wrap whichever inner backend the role picked.
+    let (store, stats) = open_durable(dir, inner_of(), a.sync_policy, a.checkpoint_every)?;
+    println!(
+        "locod: {} #{} recovered {} records from snapshot + {} replayed from wal \
+         (sync-policy {}{})",
+        a.role,
+        a.index,
+        stats.snapshot_records,
+        stats.replayed_records,
+        a.sync_policy.as_str(),
+        if stats.wal_upgraded {
+            ", legacy wal upgraded to v2"
+        } else {
+            ""
+        },
+    );
+    Ok(store)
 }
 
 fn serve(args: &[String]) -> ExitCode {
@@ -174,19 +284,35 @@ fn serve(args: &[String]) -> ExitCode {
     };
     let registry = Arc::new(MetricsRegistry::new());
     let kv = KvConfig::default();
+    let opts = |m: Arc<EndpointMetrics>, registry: &Arc<MetricsRegistry>| ServeOptions {
+        metrics: Some(m),
+        registry: Some(registry.clone()),
+        maintain_every: a
+            .data_dir
+            .is_some()
+            .then(|| Duration::from_millis(a.maintain_ms.max(1))),
+    };
     let result = match a.role.as_str() {
         "dms" => {
             let id = ServerId::new(class::DMS, a.index);
             let m = EndpointMetrics::register(&registry, id);
-            serve_tcp(
-                id,
-                DirServer::with_sid(a.dms_backend, kv, a.index),
-                listener,
-                ServeOptions {
-                    metrics: Some(m),
-                    registry: Some(registry.clone()),
-                },
-            )
+            let backend = a.dms_backend;
+            let store = role_store(&a, || match backend {
+                DmsBackend::BTree => Box::new(BTreeDb::new(kv.clone())),
+                DmsBackend::Hash => Box::new(HashDb::new(kv.clone())),
+            });
+            match store {
+                Ok(db) => serve_tcp(
+                    id,
+                    DirServer::with_store(db, a.index),
+                    listener,
+                    opts(m, &registry),
+                ),
+                Err(e) => {
+                    eprintln!("locod: dms #{}: cannot open data dir: {e}", a.index);
+                    return ExitCode::FAILURE;
+                }
+            }
         }
         "fms" => {
             // Ring slot `index` corresponds to server id `index + 1`,
@@ -194,28 +320,37 @@ fn serve(args: &[String]) -> ExitCode {
             // in-process clusters.
             let id = ServerId::new(class::FMS, a.index);
             let m = EndpointMetrics::register(&registry, id);
-            serve_tcp(
-                id,
-                FileServer::new(a.index + 1, a.fms_mode, kv),
-                listener,
-                ServeOptions {
-                    metrics: Some(m),
-                    registry: Some(registry.clone()),
-                },
-            )
+            let cfg = FileServer::tune_cfg(a.fms_mode, kv.clone());
+            let store = role_store(&a, || Box::new(HashDb::new(cfg.clone())));
+            match store {
+                Ok(db) => serve_tcp(
+                    id,
+                    FileServer::with_store(db, a.index + 1, a.fms_mode),
+                    listener,
+                    opts(m, &registry),
+                ),
+                Err(e) => {
+                    eprintln!("locod: fms #{}: cannot open data dir: {e}", a.index);
+                    return ExitCode::FAILURE;
+                }
+            }
         }
         "ost" => {
             let id = ServerId::new(class::OST, a.index);
             let m = EndpointMetrics::register(&registry, id);
-            serve_tcp(
-                id,
-                ObjectStore::new(kv),
-                listener,
-                ServeOptions {
-                    metrics: Some(m),
-                    registry: Some(registry.clone()),
-                },
-            )
+            let store = role_store(&a, || Box::new(HashDb::new(kv.clone())));
+            match store {
+                Ok(db) => serve_tcp(
+                    id,
+                    ObjectStore::with_store(db),
+                    listener,
+                    opts(m, &registry),
+                ),
+                Err(e) => {
+                    eprintln!("locod: ost #{}: cannot open data dir: {e}", a.index);
+                    return ExitCode::FAILURE;
+                }
+            }
         }
         other => return fail(&format!("unknown role {other:?} (dms/fms/ost)")),
     };
@@ -233,7 +368,8 @@ fn serve(args: &[String]) -> ExitCode {
         guard.addr()
     );
     // Block until a Control::Shutdown frame flips the flag; the guard
-    // then joins every connection thread (draining in-flight requests).
+    // then joins every connection thread (draining in-flight requests)
+    // and runs the drain-time maintain pass (final checkpoint).
     guard.wait();
     let dump = registry.render_prometheus();
     match &a.metrics_out {
@@ -248,4 +384,318 @@ fn serve(args: &[String]) -> ExitCode {
     }
     println!("locod: {} #{} drained, exiting", a.role, a.index);
     ExitCode::SUCCESS
+}
+
+// --- offline fsck over a data-dir tree --------------------------------
+
+/// Count `ROOT/<role>0 ..` subdirectories for one role.
+fn role_count(root: &Path, role: &str) -> usize {
+    let mut n = 0;
+    while root.join(format!("{role}{n}")).is_dir() {
+        n += 1;
+    }
+    n
+}
+
+fn fsck_cmd(args: &[String]) -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut backend = DmsBackend::BTree;
+    let mut mode = FmsMode::Decoupled;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut val = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        let r = match flag.as_str() {
+            "--data-dir" => val().map(|v| root = Some(PathBuf::from(v))),
+            "--dms-backend" => val().and_then(|v| parse_backend(&v).map(|b| backend = b)),
+            "--fms-mode" => val().and_then(|v| parse_mode(&v).map(|m| mode = m)),
+            other => Err(format!("unknown flag {other:?}")),
+        };
+        if let Err(e) = r {
+            return fail(&e);
+        }
+    }
+    let Some(root) = root else {
+        return fail("fsck needs --data-dir");
+    };
+    let num_fms = role_count(&root, "fms").max(1);
+    let num_ost = role_count(&root, "ost").max(1);
+    if !root.join("dms0").is_dir() {
+        eprintln!("locod: fsck: no dms0/ under {}", root.display());
+        return ExitCode::FAILURE;
+    }
+    let kv = KvConfig::default();
+    let recover = |dir: PathBuf, cfg: KvConfig, hash: bool| -> std::io::Result<Box<dyn KvStore>> {
+        let inner: Box<dyn KvStore> = if hash {
+            Box::new(HashDb::new(cfg))
+        } else {
+            Box::new(BTreeDb::new(cfg))
+        };
+        Ok(Box::new(DurableStore::open(dir, inner)?))
+    };
+    // Rebuild each role's in-memory server from its recovered store,
+    // then graft them into a standard cluster shell so the shared
+    // `fsck` pass (used by the in-process tests) can run unchanged.
+    let config = LocoConfig {
+        num_fms: num_fms as u16,
+        num_ost: num_ost as u16,
+        dms_backend: backend,
+        fms_mode: mode,
+        ..Default::default()
+    };
+    let mut cluster = LocoCluster::new(config);
+    let dms_db = match recover(
+        root.join("dms0"),
+        kv.clone(),
+        matches!(backend, DmsBackend::Hash),
+    ) {
+        Ok(db) => db,
+        Err(e) => {
+            eprintln!("locod: fsck: dms0: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    cluster.dms = vec![SimEndpoint::new(
+        ServerId::new(class::DMS, 0),
+        DirServer::with_store(dms_db, 0),
+    )];
+    let mut fms = Vec::new();
+    for i in 0..num_fms {
+        let cfg = FileServer::tune_cfg(mode, kv.clone());
+        match recover(root.join(format!("fms{i}")), cfg, true) {
+            Ok(db) => fms.push(SimEndpoint::new(
+                ServerId::new(class::FMS, i as u16),
+                FileServer::with_store(db, i as u16 + 1, mode),
+            )),
+            Err(e) => {
+                eprintln!("locod: fsck: fms{i}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    cluster.fms = fms;
+    let mut ost = Vec::new();
+    for i in 0..num_ost {
+        let dir = root.join(format!("ost{i}"));
+        if !dir.is_dir() {
+            continue;
+        }
+        match recover(dir, kv.clone(), true) {
+            Ok(db) => ost.push(SimEndpoint::new(
+                ServerId::new(class::OST, i as u16),
+                ObjectStore::with_store(db),
+            )),
+            Err(e) => {
+                eprintln!("locod: fsck: ost{i}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if !ost.is_empty() {
+        cluster.ost = ost;
+    }
+    let report = fsck(&cluster);
+    println!(
+        "locod: fsck: {} directories, {} files, {} findings",
+        report.directories,
+        report.files,
+        report.findings()
+    );
+    if report.is_clean() {
+        println!("locod: fsck: clean");
+        ExitCode::SUCCESS
+    } else {
+        println!("locod: fsck: INCONSISTENT: {report:?}");
+        ExitCode::FAILURE
+    }
+}
+
+// --- deterministic crash-point workload -------------------------------
+
+/// Apply op `i` of the deterministic chaos stream. Every op kind the
+/// WAL can log appears in the rotation, so crash points exercise each
+/// record shape.
+fn chaos_op(db: &mut dyn KvStore, i: u64) {
+    let key = format!("k{:03}", i % 41).into_bytes();
+    match i % 7 {
+        0..=2 => db.put(&key, format!("v{i}").as_bytes()),
+        3 => db.append(&key, format!("+{i}").as_bytes()),
+        4 => {
+            db.write_at(&key, (i % 8) as usize, b"WX");
+        }
+        5 => {
+            db.delete(&key);
+        }
+        _ => db.put(&key, &[(i % 251) as u8; 64]),
+    }
+}
+
+/// Sorted full dump of a store (order-independent comparison).
+fn dump(db: &mut dyn KvStore) -> Vec<(Vec<u8>, Vec<u8>)> {
+    let mut d = db.scan_prefix(b"");
+    d.sort();
+    d
+}
+
+struct ChaosArgs {
+    dir: PathBuf,
+    ops: u64,
+    policy: SyncPolicy,
+    checkpoint_every: Option<usize>,
+    ack_file: Option<PathBuf>,
+}
+
+fn parse_chaos(args: &[String]) -> Result<ChaosArgs, String> {
+    let mut out = ChaosArgs {
+        dir: PathBuf::new(),
+        ops: 0,
+        policy: SyncPolicy::OsManaged,
+        checkpoint_every: None,
+        ack_file: None,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut val = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--data-dir" => out.dir = PathBuf::from(val()?),
+            "--ops" => {
+                out.ops = val()?
+                    .parse()
+                    .map_err(|_| "--ops must be an integer".to_string())?
+            }
+            "--sync-policy" => out.policy = parse_policy(&val()?)?,
+            "--checkpoint-every" => {
+                out.checkpoint_every = Some(
+                    val()?
+                        .parse()
+                        .map_err(|_| "--checkpoint-every must be an integer".to_string())?,
+                )
+            }
+            "--ack-file" => out.ack_file = Some(PathBuf::from(val()?)),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    if out.dir.as_os_str().is_empty() {
+        return Err("--data-dir is required".into());
+    }
+    if out.ops == 0 {
+        return Err("--ops is required".into());
+    }
+    Ok(out)
+}
+
+fn chaos_cmd(args: &[String], apply: bool) -> ExitCode {
+    let a = match parse_chaos(args) {
+        Ok(a) => a,
+        Err(e) => return fail(&e),
+    };
+    if apply {
+        chaos_apply(&a)
+    } else {
+        chaos_verify(&a)
+    }
+}
+
+fn chaos_apply(a: &ChaosArgs) -> ExitCode {
+    if let Err(e) = std::fs::create_dir_all(&a.dir) {
+        eprintln!("locod: chaos-apply: {e}");
+        return ExitCode::FAILURE;
+    }
+    let mut store = match DurableStore::open(&a.dir, BTreeDb::new(KvConfig::default())) {
+        Ok(s) => s.with_sync_policy(a.policy),
+        Err(e) => {
+            eprintln!("locod: chaos-apply: open: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(n) = a.checkpoint_every {
+        store.checkpoint_every = n;
+    }
+    let mut ack = a.ack_file.as_ref().map(|p| {
+        std::fs::File::create(p).unwrap_or_else(|e| {
+            eprintln!("locod: chaos-apply: ack file: {e}");
+            std::process::exit(1);
+        })
+    });
+    for i in 0..a.ops {
+        // The commit group (WAL append + flush) completes inside the
+        // mutation; only then is the op acknowledged below.
+        chaos_op(&mut store, i);
+        if let Some(f) = ack.as_mut() {
+            // Record "ops 0..=i are acked". Rewritten in place so a
+            // crash leaves at worst the previous (smaller) count —
+            // never an over-claim.
+            if writeln!(f, "{}", i + 1).and_then(|_| f.flush()).is_err() {
+                eprintln!("locod: chaos-apply: ack write failed");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    println!(
+        "locod: chaos-apply: {} ops acked, wal_records={} checkpoints={}",
+        a.ops,
+        store.stats().wal_records,
+        store.stats().checkpoints,
+    );
+    ExitCode::SUCCESS
+}
+
+fn chaos_verify(a: &ChaosArgs) -> ExitCode {
+    // Lowest acked-op floor: the last line the apply phase flushed.
+    let acked: u64 = match &a.ack_file {
+        Some(p) => std::fs::read_to_string(p)
+            .ok()
+            .and_then(|s| {
+                s.lines()
+                    .rev()
+                    .find(|l| !l.trim().is_empty())
+                    .map(String::from)
+            })
+            .and_then(|l| l.trim().parse().ok())
+            .unwrap_or(0),
+        None => 0,
+    };
+    let mut store = match DurableStore::open(&a.dir, BTreeDb::new(KvConfig::default())) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("locod: chaos-verify: recovery failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let recovered = dump(&mut store);
+    // The recovered image must equal the model state after applying
+    // some prefix of the op stream no shorter than the acked prefix
+    // (commit groups are whole ops here, so any group boundary is a
+    // prefix boundary). Anything else means a lost acked op or a
+    // phantom replay.
+    let mut model = BTreeDb::new(KvConfig::default());
+    for i in 0..acked {
+        chaos_op(&mut model, i);
+    }
+    for k in acked..=a.ops {
+        if dump(&mut model) == recovered {
+            println!(
+                "locod: chaos-verify: recovered state matches prefix {k} (acked {acked}, \
+                 replayed {} wal records)",
+                store.stats().replayed_records
+            );
+            return ExitCode::SUCCESS;
+        }
+        if k < a.ops {
+            chaos_op(&mut model, k);
+        }
+    }
+    eprintln!(
+        "locod: chaos-verify: recovered state matches NO prefix in {acked}..={} — \
+         lost acked op or phantom record",
+        a.ops
+    );
+    ExitCode::FAILURE
 }

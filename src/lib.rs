@@ -11,7 +11,10 @@
 //!   point: build a cluster, get a client, run filesystem operations;
 //! * [`types`] — metadata types (inodes, dirents, uuids, paths, the
 //!   Table 1 op matrix);
-//! * [`kv`] — the key-value substrates (hash DB, B+ tree, LSM);
+//! * [`kv`] — the key-value substrates (hash DB, B+ tree, LSM) plus
+//!   the WAL + checkpoint [`kv::DurableStore`] the daemons persist to;
+//! * [`faults`] — deterministic crash-point / I/O fault injection
+//!   (env-armed, zero-cost when off) used by the crash-recovery tests;
 //! * [`dms`] / [`fms`] / [`ostore`] — the three server roles;
 //! * [`net`] — the RPC layer (simulated + threaded endpoints);
 //! * [`obs`] — the observability substrate: metrics registry,
@@ -45,6 +48,7 @@
 pub use loco_baselines as baselines;
 pub use loco_client as client;
 pub use loco_dms as dms;
+pub use loco_faults as faults;
 pub use loco_fms as fms;
 pub use loco_kv as kv;
 pub use loco_mdtest as mdtest;

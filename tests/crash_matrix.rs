@@ -1,0 +1,210 @@
+//! Crash-point matrix: for every named fault site, under both sync
+//! policies, kill a `locod chaos-apply` child mid-flight and prove the
+//! recovery invariant with `locod chaos-verify`:
+//!
+//! * the recovered store equals the state after *some* prefix of the
+//!   deterministic op stream (commit groups are atomic — no torn or
+//!   phantom records survive), and
+//! * that prefix is at least as long as the acknowledged prefix (no
+//!   acknowledged op is ever lost).
+//!
+//! Faults are armed purely via `LOCO_CRASHPOINT` / `LOCO_IOFAULT`
+//! (see `loco-faults`), so each case is a plain subprocess run of the
+//! release binary under test — the same code path a production daemon
+//! executes. A site that never fires under a given policy (e.g.
+//! `wal_after_sync` with os-managed flushing) simply lets the child
+//! complete; the verify invariant must hold either way.
+
+use std::path::PathBuf;
+use std::process::Command;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+fn locod() -> &'static str {
+    env!("CARGO_BIN_EXE_locod")
+}
+
+static CASE_SEQ: AtomicU32 = AtomicU32::new(0);
+
+struct Scratch {
+    dir: PathBuf,
+    ack: PathBuf,
+}
+
+impl Scratch {
+    fn new(tag: &str) -> Self {
+        let n = CASE_SEQ.fetch_add(1, Ordering::Relaxed);
+        let base = std::env::temp_dir().join(format!(
+            "loco-crash-matrix-{}-{n}-{tag}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&base);
+        std::fs::create_dir_all(&base).unwrap();
+        Self {
+            dir: base.join("store"),
+            ack: base.join("acked"),
+        }
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        if let Some(base) = self.dir.parent() {
+            let _ = std::fs::remove_dir_all(base);
+        }
+    }
+}
+
+const OPS: &str = "200";
+const CHECKPOINT_EVERY: &str = "25";
+
+/// Run one apply-crash-verify cycle with the given fault env var.
+fn run_case(policy: &str, env_key: &str, env_val: &str) {
+    let tag = format!("{policy}-{}", env_val.replace(['=', ':'], "_"));
+    let s = Scratch::new(&tag);
+    let apply = Command::new(locod())
+        .args([
+            "chaos-apply",
+            "--data-dir",
+            s.dir.to_str().unwrap(),
+            "--ops",
+            OPS,
+            "--sync-policy",
+            policy,
+            "--checkpoint-every",
+            CHECKPOINT_EVERY,
+            "--ack-file",
+            s.ack.to_str().unwrap(),
+        ])
+        .env_remove("LOCO_CRASHPOINT")
+        .env_remove("LOCO_IOFAULT")
+        .env(env_key, env_val)
+        .output()
+        .expect("spawn chaos-apply");
+    let stderr = String::from_utf8_lossy(&apply.stderr);
+    assert!(
+        !stderr.contains("panicked"),
+        "[{tag}] chaos-apply panicked (must abort or fail cleanly):\n{stderr}"
+    );
+    if !apply.status.success() {
+        // The child died — it must have been our armed fault, loudly.
+        assert!(
+            stderr.contains("loco-faults") || stderr.contains("FATAL wal"),
+            "[{tag}] child failed for an unexpected reason:\n{stderr}"
+        );
+    }
+
+    // Recovery runs with nothing armed: replay must be clean and the
+    // recovered state must match an acked-or-longer prefix.
+    let verify = Command::new(locod())
+        .args([
+            "chaos-verify",
+            "--data-dir",
+            s.dir.to_str().unwrap(),
+            "--ops",
+            OPS,
+            "--ack-file",
+            s.ack.to_str().unwrap(),
+        ])
+        .env_remove("LOCO_CRASHPOINT")
+        .env_remove("LOCO_IOFAULT")
+        .output()
+        .expect("spawn chaos-verify");
+    assert!(
+        verify.status.success(),
+        "[{tag}] RECOVERY INVARIANT VIOLATED\napply stderr:\n{stderr}\nverify stdout:\n{}\nverify stderr:\n{}",
+        String::from_utf8_lossy(&verify.stdout),
+        String::from_utf8_lossy(&verify.stderr),
+    );
+}
+
+const POLICIES: [&str; 2] = ["os-managed", "every-record"];
+
+/// Crash points on the WAL commit path. Hit counts land mid-stream so
+/// some ops are already acked and checkpoints have happened.
+#[test]
+fn crash_matrix_wal_sites() {
+    for policy in POLICIES {
+        // Before the group is written: the op was never acked.
+        run_case(policy, "LOCO_CRASHPOINT", "wal_pre_commit:57");
+        // After write+flush, before fsync/ack: op durable but unacked.
+        run_case(policy, "LOCO_CRASHPOINT", "wal_after_append:101");
+        // After fsync (fires only under every-record).
+        run_case(policy, "LOCO_CRASHPOINT", "wal_after_sync:33");
+    }
+}
+
+/// Crash points bracketing every step of the checkpoint protocol:
+/// snapshot tmp write, rename, WAL truncation.
+#[test]
+fn crash_matrix_checkpoint_sites() {
+    for policy in POLICIES {
+        run_case(policy, "LOCO_CRASHPOINT", "checkpoint_pre_write:2");
+        run_case(policy, "LOCO_CRASHPOINT", "checkpoint_pre_rename:3");
+        run_case(policy, "LOCO_CRASHPOINT", "checkpoint_post_rename:3");
+        run_case(policy, "LOCO_CRASHPOINT", "checkpoint_post_truncate:4");
+    }
+}
+
+/// Injected I/O failures: write errors abort before the ack
+/// (fsyncgate discipline — never ack what the log did not take), and
+/// torn writes crash mid-write leaving a prefix on disk.
+#[test]
+fn crash_matrix_io_faults() {
+    for policy in POLICIES {
+        run_case(policy, "LOCO_IOFAULT", "wal_write=err:44");
+        run_case(policy, "LOCO_IOFAULT", "wal_fsync=err:78");
+        run_case(policy, "LOCO_IOFAULT", "wal_commit=short:90");
+        run_case(policy, "LOCO_IOFAULT", "checkpoint_write=err:2");
+        run_case(policy, "LOCO_IOFAULT", "checkpoint_write=short:3");
+    }
+}
+
+/// Recovery must be idempotent: after a torn-tail crash, the first
+/// open truncates the torn bytes and replays; a second open over the
+/// result must see exactly the same state. (This is the double-crash
+/// scenario — dying again right after recovery must lose nothing.)
+#[test]
+fn crash_matrix_recovery_is_idempotent() {
+    let s = Scratch::new("idempotent");
+    let apply = Command::new(locod())
+        .args([
+            "chaos-apply",
+            "--data-dir",
+            s.dir.to_str().unwrap(),
+            "--ops",
+            OPS,
+            "--sync-policy",
+            "os-managed",
+            "--checkpoint-every",
+            CHECKPOINT_EVERY,
+            "--ack-file",
+            s.ack.to_str().unwrap(),
+        ])
+        .env_remove("LOCO_CRASHPOINT")
+        .env("LOCO_IOFAULT", "wal_commit=short:90")
+        .output()
+        .expect("spawn chaos-apply");
+    assert!(!apply.status.success(), "torn write must crash the child");
+    for round in 1..=2 {
+        let verify = Command::new(locod())
+            .args([
+                "chaos-verify",
+                "--data-dir",
+                s.dir.to_str().unwrap(),
+                "--ops",
+                OPS,
+                "--ack-file",
+                s.ack.to_str().unwrap(),
+            ])
+            .env_remove("LOCO_CRASHPOINT")
+            .env_remove("LOCO_IOFAULT")
+            .output()
+            .expect("spawn chaos-verify");
+        assert!(
+            verify.status.success(),
+            "recovery round {round} violated the invariant:\n{}\n{}",
+            String::from_utf8_lossy(&verify.stdout),
+            String::from_utf8_lossy(&verify.stderr),
+        );
+    }
+}

@@ -72,22 +72,36 @@ fn namespace_survives_crash_and_reopen() {
 }
 
 #[test]
-fn uuid_continuity_across_restarts_via_namespace() {
-    // The durable store persists records, not the allocator; the server
-    // seeds allocation from scratch on reopen — so uuids of *new* dirs
-    // could collide with old ones unless callers also persist allocator
-    // state (DirServer::snapshot does). This test documents the safe
-    // path: snapshot-based restart preserves uuids AND the allocator.
+fn uuid_continuity_across_restarts_via_watermark() {
+    // A durable DirServer persists a uuid watermark alongside the
+    // namespace (the watermark write rides in the same WAL commit
+    // group as the allocation), so a crash-and-reopen resumes
+    // allocation past every uuid it ever handed out — no snapshot
+    // image required.
     let scratch = Scratch::new("uuid");
-    let image = {
+    let before = {
         let mut dms = open_dms(&scratch.0);
         mkdir(&mut dms, "/a");
-        dms.snapshot()
+        dms.lookup("/a").unwrap().uuid
+        // crash: drop without checkpoint
     };
+    let mut dms = open_dms(&scratch.0);
+    mkdir(&mut dms, "/b");
+    let after = dms.lookup("/b").unwrap().uuid;
+    assert_ne!(
+        before, after,
+        "reopened allocator must not reissue a uuid that may name live state"
+    );
+
+    // The snapshot path preserves the allocator too.
+    let image = dms.snapshot();
     let mut restored =
         DirServer::restore(locofs::dms::DmsBackend::BTree, KvConfig::default(), &image).unwrap();
-    let before = restored.lookup("/a").unwrap().uuid;
-    mkdir(&mut restored, "/b");
-    let after = restored.lookup("/b").unwrap().uuid;
-    assert_ne!(before, after, "allocator resumed past persisted uuids");
+    mkdir(&mut restored, "/c");
+    let newest = restored.lookup("/c").unwrap().uuid;
+    assert_ne!(newest, before);
+    assert_ne!(
+        newest, after,
+        "snapshot restore resumed past persisted uuids"
+    );
 }

@@ -24,6 +24,7 @@ fn fast_policy() -> RetryPolicy {
         backoff: Duration::from_millis(5),
         deadline: Duration::from_millis(200),
         connect_timeout: Duration::from_millis(200),
+        reconnect_window: Duration::ZERO,
     }
 }
 
@@ -144,33 +145,60 @@ fn killing_an_fms_mid_workload_surfaces_eio_without_hanging() {
     assert!(c.stat_dir("/w").is_ok());
 }
 
+/// Open a durable FMS store under `dir` (HashDb inner, FMS codec).
+fn durable_fms(dir: &std::path::Path) -> FileServer {
+    let cfg = FileServer::tune_cfg(locofs::fms::FmsMode::Decoupled, KvConfig::default());
+    let db = locofs::kv::DurableStore::open(dir, locofs::kv::HashDb::new(cfg)).unwrap();
+    FileServer::with_store(Box::new(db), 1, locofs::fms::FmsMode::Decoupled)
+}
+
 #[test]
-fn failed_rpcs_do_not_poison_the_namespace_and_recovery_is_clean() {
+fn fms_restart_recovers_acked_namespace_from_durable_store() {
+    // A restarted FMS used to come back empty (process state died with
+    // it). With a DurableStore every acknowledged mutation is WAL-logged
+    // before the response frame, so the restart recovers the namespace
+    // and the protocol level reconnects lazily — same client, same
+    // pooled endpoints, no rebuild.
+    let scratch = std::env::temp_dir().join(format!("loco-tcp-fault-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    std::fs::create_dir_all(&scratch).unwrap();
+
     let mut cluster = boot(1);
     let c = &mut cluster.client;
+
+    // Swap the volatile FMS for a durable one on its own port.
+    let fms_id = ServerId::new(class::FMS, 0);
+    let l = TcpListener::bind("127.0.0.1:0").unwrap();
+    let g = serve_tcp(fms_id, durable_fms(&scratch), l, ServeOptions::default()).unwrap();
+    let fms_addr = g.addr();
+    let fms_ep: FmsEndpoint = Arc::new(TcpEndpoint::<FileServer>::with_policy(
+        fms_id,
+        &fms_addr.to_string(),
+        fast_policy(),
+    ));
+    c.swap_fms_endpoint(0, fms_ep);
+    cluster.fms_guards = vec![g];
+
     c.mkdir("/d", 0o755).unwrap();
     c.create("/d/before", 0o644).unwrap();
 
     // Take the FMS down: file creates fail with EIO, dirs still work.
-    let fms_addr = cluster.fms_guards[0].addr();
     cluster.fms_guards.clear();
     assert!(matches!(c.create("/d/during", 0o644), Err(FsError::Io(_))));
     c.mkdir("/d/sub", 0o755).unwrap();
 
-    // Restart an FMS on the same port with the same sid. Its stores are
-    // empty (process state died with it) but the protocol-level
-    // recovery matters: the pooled connections reconnect lazily and the
-    // next call succeeds without rebuilding the client.
+    // Restart on the same port over the same data dir: the WAL replay
+    // brings back every acknowledged file record.
     let l = TcpListener::bind(fms_addr).expect("rebind the freed port");
-    let _g = serve_tcp(
-        ServerId::new(class::FMS, 0),
-        FileServer::new(1, locofs::fms::FmsMode::Decoupled, KvConfig::default()),
-        l,
-        ServeOptions::default(),
-    )
-    .unwrap();
+    let _g = serve_tcp(fms_id, durable_fms(&scratch), l, ServeOptions::default()).unwrap();
+    assert!(
+        c.stat_file("/d/before").is_ok(),
+        "acked create must survive the FMS restart"
+    );
     c.create("/d/after", 0o644).unwrap();
     assert!(c.stat_file("/d/after").is_ok());
+
+    let _ = std::fs::remove_dir_all(&scratch);
 }
 
 #[test]
@@ -191,6 +219,7 @@ fn deadline_fires_on_a_black_hole_server() {
         backoff: Duration::from_millis(1),
         deadline: Duration::from_millis(100),
         connect_timeout: Duration::from_millis(200),
+        reconnect_window: Duration::ZERO,
     };
     let ep = TcpEndpoint::<DirServer>::with_policy(
         ServerId::new(class::DMS, 0),
