@@ -12,6 +12,12 @@
 //! report is then written as `BENCH_fig08_<transport>.json`. Virtual
 //! costs cross the wire, so the numbers are transport-invariant — the
 //! non-sim runs exist to exercise the RPC stack at benchmark scale.
+//!
+//! `--clients N` overrides the paper's Table 3 client counts;
+//! `--pipeline D` models D outstanding requests per client (closed-loop
+//! equivalent: N x D concurrent streams). For wall-clock wire numbers
+//! with the same flags, see `examples/metadata_bench.rs`, which writes
+//! `BENCH_fig08_tcp_pipelined.json`.
 
 use loco_bench::{
     env_scale, measure_throughput_on, paper_clients, parse_transport_flag, BenchReport, FsKind,
@@ -21,7 +27,24 @@ use loco_mdtest::PhaseKind;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (_, transport) = parse_transport_flag(&args);
+    let (rest, transport) = parse_transport_flag(&args);
+    let mut clients_override: Option<usize> = None;
+    let mut pipeline: usize = 1;
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--clients" => {
+                let v = it.next().expect("--clients needs a value");
+                clients_override = Some(v.parse().expect("--clients takes a number"));
+            }
+            "--pipeline" => {
+                let v = it.next().expect("--pipeline needs a value");
+                pipeline = v.parse().expect("--pipeline takes a number");
+                assert!(pipeline >= 1, "--pipeline must be at least 1");
+            }
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
     let items = env_scale("LOCO_TP_ITEMS", 60);
     let servers = [1u16, 2, 4, 8, 16];
     let phases = [
@@ -47,7 +70,7 @@ fn main() {
         for kind in FsKind::COMPARED {
             let mut cells = vec![kind.label().to_string()];
             for &n in &servers {
-                let clients = paper_clients(n);
+                let clients = clients_override.unwrap_or_else(|| paper_clients(n)) * pipeline;
                 let iops = measure_throughput_on(kind, n, phase, clients, items, transport);
                 cells.push(format!("{:.0}", iops));
                 report.push(

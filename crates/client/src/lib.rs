@@ -88,6 +88,17 @@ pub struct LocoConfig {
     pub conn_poll: Nanos,
     /// Fixed client CPU per operation.
     pub client_work: Nanos,
+    /// When set, in-process TCP clusters ([`Transport::Tcp`] without
+    /// `LOCO_CLUSTER`) persist every role under
+    /// `<root>/<role><index>/` behind a `loco_kv::DurableStore` —
+    /// the same WAL + checkpoint composition `locod --data-dir` uses.
+    /// Benchmarks use this to measure wire throughput at real
+    /// durability. Ignored by the Sim/Thread transports.
+    pub durable_root: Option<std::path::PathBuf>,
+    /// WAL fsync policy for `durable_root` clusters
+    /// (`EveryRecord` = the paper-honest durable configuration;
+    /// group commit amortizes the fsyncs across connections).
+    pub wal_sync: loco_kv::SyncPolicy,
     /// Span-trace sampling policy. `None` reads the `LOCO_TRACE`
     /// environment variable (`off|slow|sample:N|all`, default `off`);
     /// `Some(mode)` pins it programmatically (tests, shell).
@@ -109,6 +120,8 @@ impl Default for LocoConfig {
             kv: KvConfig::default(),
             conn_poll: 20 * MICROS,
             client_work: 2 * MICROS,
+            durable_root: None,
+            wal_sync: loco_kv::SyncPolicy::OsManaged,
             trace: None,
         }
     }
@@ -126,6 +139,18 @@ impl LocoConfig {
     /// Disable the client d-inode cache (LocoFS-NC).
     pub fn no_cache(mut self) -> Self {
         self.cache_enabled = false;
+        self
+    }
+
+    /// Persist in-process TCP clusters under `root` with the given WAL
+    /// fsync policy (see [`LocoConfig::durable_root`]).
+    pub fn durable(
+        mut self,
+        root: impl Into<std::path::PathBuf>,
+        policy: loco_kv::SyncPolicy,
+    ) -> Self {
+        self.durable_root = Some(root.into());
+        self.wal_sync = policy;
         self
     }
 

@@ -34,6 +34,25 @@ use loco_obs::{FlightRecorder, MetricsRegistry, SampleMode, Tracer, Watchdog, Wa
 use loco_ostore::ObjectStore;
 use std::net::TcpListener;
 use std::sync::Arc;
+use std::time::Duration;
+
+/// Wrap `inner` in a [`loco_kv::DurableStore`] under `root/<role><i>/`
+/// with the cluster's WAL sync policy — the same composition `locod
+/// --data-dir` uses, so in-process benchmark clusters measure the wire
+/// at real durability.
+fn durable_store(
+    root: &std::path::Path,
+    policy: loco_kv::SyncPolicy,
+    role: &str,
+    i: u16,
+    inner: Box<dyn loco_kv::KvStore>,
+) -> Box<dyn loco_kv::KvStore> {
+    Box::new(
+        loco_kv::DurableStore::open(root.join(format!("{role}{i}")), inner)
+            .unwrap_or_else(|e| panic!("open durable {role}{i} store: {e}"))
+            .with_sync_policy(policy),
+    )
+}
 
 /// Which endpoint flavour a cluster (or benchmark run) uses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -293,23 +312,40 @@ impl TransportCluster {
     /// full wire protocol without external process management.
     fn tcp_local(config: LocoConfig) -> Self {
         let (registry, tracer, flight, watchdog) = obs_stack(&config);
+        // Durable clusters publish their WAL counters (fsyncs, batch
+        // sizes) into the shared registry on a short maintenance beat
+        // so benchmarks can read them without a drain.
+        let maintain = config
+            .durable_root
+            .as_deref()
+            .map(|_| Duration::from_millis(200));
+        let opts = |m: Arc<EndpointMetrics>| tcp::ServeOptions {
+            metrics: Some(m),
+            registry: Some(registry.clone()),
+            maintain_every: maintain,
+            ..Default::default()
+        };
         let mut guards = Vec::new();
         let mut dms = Vec::new();
         for i in 0..config.num_dms.max(1) {
             let id = ServerId::new(class::DMS, i);
             let m = EndpointMetrics::register(&registry, id);
             let listener = TcpListener::bind("127.0.0.1:0").expect("bind localhost");
-            let guard = tcp::serve_tcp(
-                id,
-                DirServer::with_sid(config.dms_backend, config.kv.clone(), i),
-                listener,
-                tcp::ServeOptions {
-                    metrics: Some(m),
-                    registry: Some(registry.clone()),
-                    ..Default::default()
-                },
-            )
-            .expect("serve dms");
+            let server = match config.durable_root.as_deref() {
+                Some(root) => {
+                    let inner: Box<dyn loco_kv::KvStore> = match config.dms_backend {
+                        loco_dms::DmsBackend::BTree => {
+                            Box::new(loco_kv::BTreeDb::new(config.kv.clone()))
+                        }
+                        loco_dms::DmsBackend::Hash => {
+                            Box::new(loco_kv::HashDb::new(config.kv.clone()))
+                        }
+                    };
+                    DirServer::with_store(durable_store(root, config.wal_sync, "dms", i, inner), i)
+                }
+                None => DirServer::with_sid(config.dms_backend, config.kv.clone(), i),
+            };
+            let guard = tcp::serve_tcp(id, server, listener, opts(m)).expect("serve dms");
             dms.push(Arc::new(tcp::TcpEndpoint::<DirServer>::connect(
                 id,
                 &guard.addr().to_string(),
@@ -321,17 +357,19 @@ impl TransportCluster {
             let id = ServerId::new(class::FMS, i);
             let m = EndpointMetrics::register(&registry, id);
             let listener = TcpListener::bind("127.0.0.1:0").expect("bind localhost");
-            let guard = tcp::serve_tcp(
-                id,
-                FileServer::new(i + 1, config.fms_mode, config.kv.clone()),
-                listener,
-                tcp::ServeOptions {
-                    metrics: Some(m),
-                    registry: Some(registry.clone()),
-                    ..Default::default()
-                },
-            )
-            .expect("serve fms");
+            let server = match config.durable_root.as_deref() {
+                Some(root) => {
+                    let cfg = FileServer::tune_cfg(config.fms_mode, config.kv.clone());
+                    let inner: Box<dyn loco_kv::KvStore> = Box::new(loco_kv::HashDb::new(cfg));
+                    FileServer::with_store(
+                        durable_store(root, config.wal_sync, "fms", i, inner),
+                        i + 1,
+                        config.fms_mode,
+                    )
+                }
+                None => FileServer::new(i + 1, config.fms_mode, config.kv.clone()),
+            };
+            let guard = tcp::serve_tcp(id, server, listener, opts(m)).expect("serve fms");
             fms.push(Arc::new(tcp::TcpEndpoint::<FileServer>::connect(
                 id,
                 &guard.addr().to_string(),
@@ -343,17 +381,15 @@ impl TransportCluster {
             let id = ServerId::new(class::OST, i);
             let m = EndpointMetrics::register(&registry, id);
             let listener = TcpListener::bind("127.0.0.1:0").expect("bind localhost");
-            let guard = tcp::serve_tcp(
-                id,
-                ObjectStore::new(config.kv.clone()),
-                listener,
-                tcp::ServeOptions {
-                    metrics: Some(m),
-                    registry: Some(registry.clone()),
-                    ..Default::default()
-                },
-            )
-            .expect("serve ost");
+            let server = match config.durable_root.as_deref() {
+                Some(root) => {
+                    let inner: Box<dyn loco_kv::KvStore> =
+                        Box::new(loco_kv::HashDb::new(config.kv.clone()));
+                    ObjectStore::with_store(durable_store(root, config.wal_sync, "ost", i, inner))
+                }
+                None => ObjectStore::new(config.kv.clone()),
+            };
+            let guard = tcp::serve_tcp(id, server, listener, opts(m)).expect("serve ost");
             ost.push(Arc::new(tcp::TcpEndpoint::<ObjectStore>::connect(
                 id,
                 &guard.addr().to_string(),

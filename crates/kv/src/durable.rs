@@ -104,7 +104,7 @@ impl SyncPolicy {
     /// Parse a CLI/env spelling of the policy.
     pub fn parse(s: &str) -> Option<Self> {
         match s {
-            "every-record" | "every" | "sync" | "fsync" => Some(Self::EveryRecord),
+            "every-record" | "every" | "sync" | "fsync" | "always" => Some(Self::EveryRecord),
             "os" | "os-managed" | "async" => Some(Self::OsManaged),
             _ => None,
         }
@@ -132,6 +132,11 @@ pub struct PersistenceStats {
     pub snapshot_records: u64,
     /// Checkpoints written since `open`.
     pub checkpoints: u64,
+    /// WAL fsyncs issued since `open` (inline per-group syncs,
+    /// deferred group-commit flushes, and maintenance syncs). The
+    /// group-commit win is this counter staying far below the op
+    /// count.
+    pub wal_fsyncs: u64,
     /// A legacy (v1, XOR-checksummed) log was found at `open` and
     /// rotated to the v2 format by an immediate checkpoint.
     pub wal_upgraded: bool,
@@ -149,6 +154,18 @@ pub struct DurableStore<S: KvStore> {
     txn_depth: usize,
     /// Encoded-but-uncommitted records (crc appended at commit).
     txn_buf: Vec<Vec<u8>>,
+    /// Group-commit mode: under [`SyncPolicy::EveryRecord`], commit
+    /// groups are appended + flushed but their fsync is deferred to an
+    /// explicit [`DurableStore::commit_flush`] — the hosting server
+    /// promises not to acknowledge the group before calling it.
+    defer_sync: bool,
+    /// Records appended since the last WAL fsync (batch size of the
+    /// next `commit_flush`).
+    unsynced_records: u64,
+    /// Per-request marker: highest sequence number of a group this
+    /// request appended without an inline fsync. Taken (and cleared)
+    /// by [`DurableStore::take_sync_ticket`].
+    sync_ticket: Option<u64>,
     stats: PersistenceStats,
 }
 
@@ -429,6 +446,9 @@ impl<S: KvStore> DurableStore<S> {
             checkpoint_every: 100_000,
             txn_depth: 0,
             txn_buf: Vec::new(),
+            defer_sync: false,
+            unsynced_records: 0,
+            sync_ticket: None,
             stats,
         };
         let _ = s.inner.take_cost(); // recovery is offline work
@@ -506,6 +526,10 @@ impl<S: KvStore> DurableStore<S> {
         self.wal = wal;
         loco_faults::crashpoint("checkpoint_post_truncate");
         self.stats.wal_records = 0;
+        // The fsync'd snapshot covers every appended record, so any
+        // deferred groups are durable now; the rotated (empty) log has
+        // nothing left to flush.
+        self.unsynced_records = 0;
         self.stats.checkpoints += 1;
         Ok(())
     }
@@ -576,13 +600,22 @@ impl<S: KvStore> DurableStore<S> {
         }
         loco_faults::crashpoint("wal_after_append");
         if self.policy == SyncPolicy::EveryRecord {
-            if let Some(e) = loco_faults::io_error("wal_fsync") {
-                wal_fatal("fsync", e);
+            if self.defer_sync {
+                // Group commit: the records are in the OS page cache;
+                // the fsync that makes them power-loss-durable happens
+                // in `commit_flush`, before any ack for this group.
+                self.unsynced_records += n;
+                self.sync_ticket = Some(self.next_seq - 1);
+            } else {
+                if let Some(e) = loco_faults::io_error("wal_fsync") {
+                    wal_fatal("fsync", e);
+                }
+                if let Err(e) = self.wal.get_ref().sync_data() {
+                    wal_fatal("fsync", e);
+                }
+                self.stats.wal_fsyncs += 1;
+                loco_faults::crashpoint("wal_after_sync");
             }
-            if let Err(e) = self.wal.get_ref().sync_data() {
-                wal_fatal("fsync", e);
-            }
-            loco_faults::crashpoint("wal_after_sync");
         }
         self.stats.wal_records += n;
         if self.stats.wal_records as usize >= self.checkpoint_every && self.txn_depth == 0 {
@@ -599,7 +632,97 @@ impl<S: KvStore> DurableStore<S> {
     /// Flush buffered WAL records to the OS (and disk).
     pub fn sync(&mut self) -> std::io::Result<()> {
         self.wal.flush()?;
-        self.wal.get_ref().sync_data()
+        self.wal.get_ref().sync_data()?;
+        self.unsynced_records = 0;
+        self.stats.wal_fsyncs += 1;
+        Ok(())
+    }
+
+    /// Switch deferred group fsync on or off. Returns whether deferral
+    /// is active afterwards — only [`SyncPolicy::EveryRecord`] stores
+    /// defer (under [`SyncPolicy::OsManaged`] there is no per-group
+    /// fsync to amortize and the WAL-before-ack contract is already met
+    /// by the per-group flush). Turning deferral off flushes anything
+    /// pending so no acknowledged group is left unsynced.
+    pub fn set_defer_sync(&mut self, on: bool) -> bool {
+        if on && self.policy == SyncPolicy::EveryRecord {
+            self.defer_sync = true;
+        } else {
+            if self.defer_sync && self.unsynced_records > 0 {
+                self.commit_flush();
+            }
+            self.defer_sync = false;
+        }
+        self.defer_sync
+    }
+
+    /// Take the pending commit ticket: `Some(seq)` when the current
+    /// request appended a group whose fsync was deferred (the caller
+    /// must not ack before [`DurableStore::commit_flush`] runs),
+    /// `None` for read-only requests or non-deferring stores.
+    pub fn take_sync_ticket(&mut self) -> Option<u64> {
+        self.sync_ticket.take()
+    }
+
+    /// Fsync every deferred record in one batch; returns how many
+    /// records the fsync covered (0 when everything was already
+    /// durable — e.g. a checkpoint rotated the log meanwhile). A
+    /// failure is fatal, exactly like the inline per-group fsync: the
+    /// caller is about to acknowledge these groups.
+    pub fn commit_flush(&mut self) -> u64 {
+        let n = self.unsynced_records;
+        if n == 0 {
+            return 0;
+        }
+        if let Some(e) = loco_faults::io_error("wal_fsync") {
+            wal_fatal("fsync", e);
+        }
+        if let Err(e) = self
+            .wal
+            .flush()
+            .and_then(|()| self.wal.get_ref().sync_data())
+        {
+            wal_fatal("fsync", e);
+        }
+        self.unsynced_records = 0;
+        self.stats.wal_fsyncs += 1;
+        n
+    }
+
+    /// Stage [`DurableStore::commit_flush`] so the fsync itself can run
+    /// without the store lock: flush the buffered WAL bytes to the OS
+    /// now (so the returned handle sees every covered byte), zero the
+    /// deferred counter, and hand back the fsync as a closure over a
+    /// cloned file handle. Concurrent appends during the out-of-lock
+    /// fsync are safe — they only *add* bytes past the ones this batch
+    /// covers, and their own tickets hold their acks for the next
+    /// batch. Falls back to the inline flush (returning `None`) if the
+    /// handle cannot be cloned.
+    pub fn commit_flush_begin(&mut self) -> Option<(u64, Box<dyn FnOnce() + Send>)> {
+        let n = self.unsynced_records;
+        if n == 0 {
+            return None;
+        }
+        if let Err(e) = self.wal.flush() {
+            wal_fatal("fsync", e);
+        }
+        let Ok(wal) = self.wal.get_ref().try_clone() else {
+            self.commit_flush();
+            return None;
+        };
+        self.unsynced_records = 0;
+        self.stats.wal_fsyncs += 1;
+        Some((
+            n,
+            Box::new(move || {
+                if let Some(e) = loco_faults::io_error("wal_fsync") {
+                    wal_fatal("fsync", e);
+                }
+                if let Err(e) = wal.sync_data() {
+                    wal_fatal("fsync", e);
+                }
+            }),
+        ))
     }
 }
 
@@ -702,6 +825,22 @@ impl<S: KvStore> KvStore for DurableStore<S> {
 
     fn persist_sync(&mut self) -> std::io::Result<()> {
         self.sync()
+    }
+
+    fn persist_defer_sync(&mut self, on: bool) -> bool {
+        self.set_defer_sync(on)
+    }
+
+    fn persist_take_ticket(&mut self) -> Option<u64> {
+        self.take_sync_ticket()
+    }
+
+    fn persist_commit_flush(&mut self) -> u64 {
+        self.commit_flush()
+    }
+
+    fn persist_commit_flush_begin(&mut self) -> Option<(u64, Box<dyn FnOnce() + Send>)> {
+        self.commit_flush_begin()
     }
 
     fn persistence(&self) -> Option<PersistenceStats> {
@@ -1050,6 +1189,63 @@ mod tests {
         assert_eq!(SyncPolicy::parse("os-managed"), Some(SyncPolicy::OsManaged));
         assert_eq!(SyncPolicy::parse("nope"), None);
         assert_eq!(SyncPolicy::EveryRecord.as_str(), "every-record");
+    }
+
+    #[test]
+    fn deferred_sync_batches_fsyncs_and_survives_reopen() {
+        let scratch = Scratch::new();
+        {
+            let mut db = fresh(&scratch.0).with_sync_policy(SyncPolicy::EveryRecord);
+            assert!(db.set_defer_sync(true), "every-record store defers");
+            assert!(db.take_sync_ticket().is_none(), "no mutation yet");
+            let before = db.stats().wal_fsyncs;
+            for i in 0..10u32 {
+                db.put(&i.to_be_bytes(), b"v");
+                assert!(db.take_sync_ticket().is_some(), "mutation takes a ticket");
+            }
+            assert!(db.take_sync_ticket().is_none(), "tickets drain once");
+            assert_eq!(db.stats().wal_fsyncs, before, "no inline fsync deferred");
+            assert_eq!(db.commit_flush(), 10, "one fsync covers the batch");
+            assert_eq!(db.stats().wal_fsyncs, before + 1);
+            assert_eq!(db.commit_flush(), 0, "nothing pending after the flush");
+        }
+        let db = fresh(&scratch.0);
+        assert_eq!(db.len(), 10, "deferred groups recover");
+    }
+
+    #[test]
+    fn os_managed_store_refuses_deferral() {
+        let scratch = Scratch::new();
+        let mut db = fresh(&scratch.0); // OsManaged by default
+        assert!(!db.set_defer_sync(true));
+        db.put(b"k", b"v");
+        assert!(db.take_sync_ticket().is_none());
+    }
+
+    #[test]
+    fn disabling_deferral_flushes_pending_groups() {
+        let scratch = Scratch::new();
+        let mut db = fresh(&scratch.0).with_sync_policy(SyncPolicy::EveryRecord);
+        db.set_defer_sync(true);
+        db.put(b"k", b"v");
+        let before = db.stats().wal_fsyncs;
+        assert!(!db.set_defer_sync(false));
+        assert_eq!(db.stats().wal_fsyncs, before + 1, "pending group flushed");
+        assert_eq!(db.commit_flush(), 0);
+        // Back to inline fsyncs.
+        db.put(b"k2", b"v");
+        assert_eq!(db.stats().wal_fsyncs, before + 2);
+    }
+
+    #[test]
+    fn checkpoint_clears_deferred_batch() {
+        let scratch = Scratch::new();
+        let mut db = fresh(&scratch.0).with_sync_policy(SyncPolicy::EveryRecord);
+        db.set_defer_sync(true);
+        db.put(b"k", b"v");
+        db.checkpoint().unwrap();
+        // The fsync'd snapshot covers the group: nothing left to flush.
+        assert_eq!(db.commit_flush(), 0);
     }
 
     #[test]

@@ -234,6 +234,42 @@ pub trait KvStore: Send {
         Ok(())
     }
 
+    /// Switch deferred group fsync (cross-request WAL group commit) on
+    /// or off; returns whether deferral is active afterwards. While
+    /// active, commit groups are appended + flushed but *not* fsync'd
+    /// inline — the caller must invoke [`KvStore::persist_commit_flush`]
+    /// before acknowledging any group that took a ticket. Volatile
+    /// stores (and stores whose sync policy never fsyncs per group)
+    /// return `false`.
+    fn persist_defer_sync(&mut self, _on: bool) -> bool {
+        false
+    }
+
+    /// Take the pending commit ticket: `Some(seq)` when the current
+    /// request appended a deferred (not yet fsync'd) commit group,
+    /// `None` otherwise. Read-only requests and volatile stores never
+    /// ticket.
+    fn persist_take_ticket(&mut self) -> Option<u64> {
+        None
+    }
+
+    /// Fsync every deferred commit group in one batch; returns how many
+    /// WAL records the fsync covered (0 when nothing was pending).
+    fn persist_commit_flush(&mut self) -> u64 {
+        0
+    }
+
+    /// Stage the deferred batch fsync: flush buffered WAL bytes to the
+    /// OS now and return `(records covered, fsync closure)`. The
+    /// closure performs the actual fsync and may run *without* the
+    /// store lock — but must run before any covered group is
+    /// acknowledged. `None` when nothing was pending (or the store
+    /// cannot stage; callers fall back to
+    /// [`KvStore::persist_commit_flush`]).
+    fn persist_commit_flush_begin(&mut self) -> Option<(u64, Box<dyn FnOnce() + Send>)> {
+        None
+    }
+
     /// Recovery/durability counters, or `None` for volatile stores.
     /// Servers use `Some` here to detect that they are running durably
     /// (e.g. to persist the uuid-allocation watermark).
@@ -299,6 +335,18 @@ impl KvStore for Box<dyn KvStore> {
     }
     fn persist_sync(&mut self) -> std::io::Result<()> {
         (**self).persist_sync()
+    }
+    fn persist_defer_sync(&mut self, on: bool) -> bool {
+        (**self).persist_defer_sync(on)
+    }
+    fn persist_take_ticket(&mut self) -> Option<u64> {
+        (**self).persist_take_ticket()
+    }
+    fn persist_commit_flush(&mut self) -> u64 {
+        (**self).persist_commit_flush()
+    }
+    fn persist_commit_flush_begin(&mut self) -> Option<(u64, Box<dyn FnOnce() + Send>)> {
+        (**self).persist_commit_flush_begin()
     }
     fn persistence(&self) -> Option<PersistenceStats> {
         (**self).persistence()

@@ -52,7 +52,52 @@ pub trait Service: Send {
     fn maintain(&mut self, _drain: bool) -> Option<MaintainReport> {
         None
     }
+
+    // ----- group commit (cross-connection WAL fsync batching) --------
+
+    /// Switch deferred group fsync on or off; returns whether deferral
+    /// is active afterwards. While active, mutation handlers append +
+    /// flush their WAL groups but leave the fsync to an explicit
+    /// [`Service::commit_flush`], and every mutating request takes a
+    /// commit ticket that the hosting server must hold the reply on
+    /// until the flush runs. Volatile services — the default — return
+    /// `false`.
+    fn defer_sync(&mut self, _on: bool) -> bool {
+        false
+    }
+
+    /// Take the commit ticket of the request just handled: `Some(seq)`
+    /// when its durability is still pending (reply must wait for
+    /// [`Service::commit_flush`]), `None` when the reply may leave
+    /// immediately.
+    fn take_commit_ticket(&mut self) -> Option<u64> {
+        None
+    }
+
+    /// Fsync every deferred commit group in one batch; returns how
+    /// many WAL records the fsync covered (0 when nothing was
+    /// pending).
+    fn commit_flush(&mut self) -> u64 {
+        0
+    }
+
+    /// Stage the deferred batch fsync: push buffered WAL bytes to the
+    /// OS *under the service lock* and return `(records, fsync)` where
+    /// `fsync` must run — possibly without the lock — before any
+    /// covered reply leaves. Releasing the lock during the fsync lets
+    /// request handling continue, so the next batch grows while this
+    /// one syncs (the classic group-commit overlap). `None` when
+    /// nothing was pending.
+    fn commit_flush_begin(&mut self) -> Option<(u64, CommitFsync)> {
+        None
+    }
 }
+
+/// The out-of-lock half of a staged [`Service::commit_flush_begin`]:
+/// fsyncs the WAL bytes the stage covered. Must be run before any
+/// covered reply is sent; a failure aborts the process (never ack what
+/// might not be durable).
+pub type CommitFsync = Box<dyn FnOnce() + Send>;
 
 /// What a [`Service::maintain`] pass observed/did; mirrored into the
 /// daemon's persistence gauges.
@@ -66,6 +111,8 @@ pub struct MaintainReport {
     pub snapshot_records: u64,
     /// Checkpoints written since the store was opened.
     pub checkpoints: u64,
+    /// WAL fsyncs issued since the store was opened.
+    pub wal_fsyncs: u64,
     /// This maintain pass wrote a checkpoint.
     pub checkpointed: bool,
 }

@@ -1,0 +1,895 @@
+//! Event-driven server core: one acceptor + N worker readiness loops
+//! + an optional WAL group-commit thread.
+//!
+//! This replaces the thread-per-connection server with a fixed set of
+//! threads, each running a level-triggered [`Poller`] loop:
+//!
+//! * The **acceptor** owns the listening socket. It accepts
+//!   connections (shedding above `--max-conns`), hands each to a
+//!   worker round-robin, and runs periodic [`Service::maintain`]
+//!   passes.
+//! * Each **worker** owns a slab of connections. Reads are
+//!   non-blocking and assemble frames incrementally, so a frame split
+//!   across readiness events decodes once complete; many requests may
+//!   be parsed from one readable pass (client pipelining). Writes go
+//!   through a per-connection buffer with backpressure: when a
+//!   connection exceeds its pipeline or write-buffer budget the worker
+//!   stops *reading* it (bytes stay in the kernel socket buffer, which
+//!   is real TCP backpressure) until replies drain.
+//! * The **committer** amortizes WAL fsyncs across connections. A
+//!   handler that produced durable records does not write its reply
+//!   directly; the worker parks the pre-encoded reply frame as a
+//!   commit waiter. The committer swaps out all parked waiters, takes
+//!   the service lock, issues **one** fsync covering every record they
+//!   appended, and only then hands the reply frames back to the
+//!   workers. No ack leaves the process before its records are
+//!   durable — WAL-before-ack is preserved, with fsyncs/op → 1/batch.
+//!
+//! The ordering argument for group commit: a worker appends a
+//! request's WAL records while holding the service lock, releases the
+//! lock, and only then publishes the commit waiter. The committer
+//! observes the waiter, re-takes the service lock and fsyncs — so the
+//! fsync happens-after every record append of every waiter it covers.
+//! Holding the service lock during the fsync also *creates* batching
+//! under load: handlers queue behind the fsync and their waiters are
+//! swapped out as one group on the next round.
+
+use crate::endpoint::Service;
+use crate::frame::{crc32, decode_header, encode_frame, FrameKind, HEADER_LEN, MAX_PAYLOAD};
+use crate::metrics::ServerMetrics;
+use crate::poller::{Interest, Poller};
+use crate::rpc::{Control, ControlReply, RpcRequest, RpcResponse, SpanReply};
+use crate::tcp::{lock, run_maintain, ServeOptions};
+use loco_sim::des::ServerId;
+use loco_sim::time::Nanos;
+use loco_types::wire::Wire;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Poll-loop tick: the longest a worker or the acceptor goes without
+/// rechecking the shutdown flag.
+const TICK: Duration = Duration::from_millis(25);
+/// How long a draining worker keeps waiting for half-received frames,
+/// parked commit waiters, and unflushed replies before giving up.
+const DRAIN_GRACE: Duration = Duration::from_millis(500);
+/// Read chunk size per `read(2)` call.
+const READ_CHUNK: usize = 64 * 1024;
+/// Group-commit aggregation window: after the first waiter of a batch
+/// arrives the committer lingers this long (while the batch still
+/// grows) before fsyncing, trading microseconds of latency for fewer,
+/// larger batches.
+const GATHER_WINDOW: Duration = Duration::from_micros(150);
+/// Poller token reserved for the worker wake pipe.
+const WAKE_TOKEN: u64 = u64::MAX;
+
+/// `LOCO_GROUP_COMMIT=off|0|false|no` disables the cross-connection
+/// group committer (each durable request then fsyncs inline, as the
+/// thread-per-connection server did).
+fn group_commit_enabled() -> bool {
+    match std::env::var("LOCO_GROUP_COMMIT") {
+        Ok(v) => !matches!(
+            v.trim().to_ascii_lowercase().as_str(),
+            "off" | "0" | "false" | "no"
+        ),
+        Err(_) => true,
+    }
+}
+
+// ----- cross-thread plumbing -------------------------------------------
+
+/// Message into a worker's inbox.
+enum InboxMsg {
+    /// A freshly accepted connection to adopt.
+    Conn(TcpStream),
+    /// Reply frames released by the group committer — one message per
+    /// worker per fsync batch. Each reply is delivered only if its slot
+    /// still holds generation `gen` (the connection may have died and
+    /// the slot been recycled meanwhile).
+    Replies(Vec<ReplyMsg>),
+}
+
+/// One committed reply addressed to a worker's connection slot.
+struct ReplyMsg {
+    slot: usize,
+    gen: u64,
+    frame: Vec<u8>,
+}
+
+/// Sending half of a worker: inbox + wake pipe writer.
+struct WorkerHandle {
+    inbox: Mutex<Vec<InboxMsg>>,
+    wake: UnixStream,
+}
+
+impl WorkerHandle {
+    fn send(&self, msg: InboxMsg) {
+        lock(&self.inbox).push(msg);
+        // A full pipe means a wake is already pending.
+        let _ = (&self.wake).write(&[1u8]);
+    }
+
+    fn kick(&self) {
+        let _ = (&self.wake).write(&[1u8]);
+    }
+}
+
+/// A reply parked until its WAL records are durable.
+struct CommitWaiter {
+    worker: usize,
+    slot: usize,
+    gen: u64,
+    frame: Vec<u8>,
+}
+
+#[derive(Default)]
+struct CommitState {
+    waiters: Vec<CommitWaiter>,
+    /// Live (non-draining) workers. The committer exits once this hits
+    /// zero and the waiter queue is empty.
+    producing: usize,
+}
+
+struct CommitShared {
+    state: Mutex<CommitState>,
+    cv: Condvar,
+}
+
+/// One fsync per swapped batch; replies released only afterwards.
+fn committer_loop<S: Service>(
+    svc: Arc<Mutex<S>>,
+    shared: Arc<CommitShared>,
+    workers: Arc<Vec<WorkerHandle>>,
+    metrics: Option<Arc<ServerMetrics>>,
+) {
+    loop {
+        let batch = {
+            let mut st = lock(&shared.state);
+            loop {
+                if !st.waiters.is_empty() {
+                    break;
+                }
+                if st.producing == 0 {
+                    return;
+                }
+                st = shared
+                    .cv
+                    .wait_timeout(st, TICK)
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .0;
+            }
+            // Aggregation window: once a waiter arrives, linger briefly
+            // while the batch keeps growing so stragglers share this
+            // fsync instead of forcing the next one. The added delay is
+            // microseconds against a loaded round trip of milliseconds;
+            // the loop stops the moment a window passes with no growth.
+            let mut seen = st.waiters.len();
+            for _ in 0..4 {
+                st = shared
+                    .cv
+                    .wait_timeout(st, GATHER_WINDOW)
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .0;
+                if st.waiters.len() == seen {
+                    break;
+                }
+                seen = st.waiters.len();
+            }
+            std::mem::take(&mut st.waiters)
+        };
+        let staged = {
+            let mut svc = lock(&svc);
+            // Crash here: records of the batch hit the WAL but were
+            // never fsynced, and no ack left — recovery may lose them
+            // all, which is correct (nothing was promised).
+            loco_faults::crashpoint("group_commit_pre_sync");
+            svc.commit_flush_begin()
+        };
+        // The fsync runs with the service lock *released*: workers keep
+        // appending the next batch while this one reaches the platter.
+        let records = match staged {
+            Some((n, fsync)) => {
+                fsync();
+                n
+            }
+            None => 0,
+        };
+        // Crash here: the batch is durable but no ack left — recovery
+        // replays it, a superset of what clients saw. Also correct.
+        loco_faults::crashpoint("group_commit_post_sync");
+        if records > 0 {
+            if let Some(m) = &metrics {
+                m.wal_batch(records);
+            }
+        }
+        // One inbox message (and one wake byte) per worker per fsync
+        // batch, not per reply — under load a batch carries replies for
+        // many connections on the same worker.
+        let mut by_worker: Vec<Vec<ReplyMsg>> = (0..workers.len()).map(|_| Vec::new()).collect();
+        for w in batch {
+            by_worker[w.worker].push(ReplyMsg {
+                slot: w.slot,
+                gen: w.gen,
+                frame: w.frame,
+            });
+        }
+        for (worker, replies) in by_worker.into_iter().enumerate() {
+            if !replies.is_empty() {
+                workers[worker].send(InboxMsg::Replies(replies));
+            }
+        }
+    }
+}
+
+// ----- worker -----------------------------------------------------------
+
+struct ConnState {
+    stream: TcpStream,
+    /// Slot generation at adoption; stale committer replies are dropped.
+    gen: u64,
+    /// Incrementally assembled inbound bytes; `read_pos` is the parse
+    /// cursor (consumed prefix, compacted periodically).
+    read_buf: Vec<u8>,
+    read_pos: usize,
+    /// Outbound reply bytes not yet accepted by the socket.
+    out: Vec<u8>,
+    out_pos: usize,
+    /// Replies parked in the group committer for this connection.
+    inflight: usize,
+    interest: Interest,
+    peer_closed: bool,
+    close_after_flush: bool,
+}
+
+impl ConnState {
+    fn pending_out(&self) -> usize {
+        self.out.len() - self.out_pos
+    }
+
+    fn buffered(&self) -> bool {
+        self.read_buf.len() > self.read_pos
+    }
+
+    fn idle(&self) -> bool {
+        self.inflight == 0 && self.pending_out() == 0 && !self.buffered()
+    }
+}
+
+struct Worker<S: Service> {
+    idx: usize,
+    svc: Arc<Mutex<S>>,
+    shutdown: Arc<AtomicBool>,
+    opts: Arc<ServeOptions>,
+    srv_metrics: Option<Arc<ServerMetrics>>,
+    /// `Some` while the group committer accepts waiters.
+    commit: Option<Arc<CommitShared>>,
+    handles: Arc<Vec<WorkerHandle>>,
+    open: Arc<AtomicUsize>,
+    poller: Poller,
+    conns: Vec<Option<ConnState>>,
+    slot_gen: Vec<u64>,
+    free: Vec<usize>,
+    draining: bool,
+}
+
+impl<S> Worker<S>
+where
+    S: Service + 'static,
+    S::Req: Wire,
+    S::Resp: Wire,
+{
+    fn run(mut self, wake_rx: UnixStream) {
+        let _ = wake_rx.set_nonblocking(true);
+        if self
+            .poller
+            .register(wake_rx.as_raw_fd(), WAKE_TOKEN, Interest::READ)
+            .is_err()
+        {
+            return; // cannot be woken: unusable worker
+        }
+        let mut events = Vec::new();
+        let mut drain_deadline = Instant::now();
+        loop {
+            let timeout = if self.draining {
+                Duration::from_millis(5)
+            } else {
+                TICK
+            };
+            let _ = self.poller.wait(&mut events, Some(timeout));
+            if let Some(m) = &self.srv_metrics {
+                m.wakeup();
+            }
+            drain_wake(&wake_rx);
+            self.process_inbox();
+            let evs = std::mem::take(&mut events);
+            for ev in &evs {
+                if ev.token == WAKE_TOKEN {
+                    continue;
+                }
+                let slot = ev.token as usize;
+                if ev.readable || ev.error {
+                    self.pump_read(slot);
+                }
+                if ev.writable {
+                    self.flush_out(slot);
+                    // Flushing may drop `pending_out` back under the
+                    // admission limit. Any requests parked in the
+                    // user-space read buffer will never produce another
+                    // readiness event (the kernel buffer is empty), so
+                    // resume parsing explicitly.
+                    self.pump_read(slot);
+                }
+                self.finish_touch(slot);
+            }
+            events = evs;
+            if !self.draining && self.shutdown.load(Ordering::SeqCst) {
+                self.draining = true;
+                drain_deadline = Instant::now() + DRAIN_GRACE;
+                if let Some(c) = &self.commit {
+                    // From here durable requests flush inline; the
+                    // committer must not wait on this worker.
+                    lock(&c.state).producing -= 1;
+                    c.cv.notify_all();
+                }
+            }
+            if self.draining {
+                let busy = self.drain_sweep();
+                if !busy || Instant::now() >= drain_deadline {
+                    break;
+                }
+            }
+        }
+        for slot in 0..self.conns.len() {
+            self.close_conn(slot);
+        }
+    }
+
+    fn process_inbox(&mut self) {
+        let msgs = std::mem::take(&mut *lock(&self.handles[self.idx].inbox));
+        for msg in msgs {
+            match msg {
+                InboxMsg::Conn(stream) => self.add_conn(stream),
+                InboxMsg::Replies(replies) => {
+                    for ReplyMsg { slot, gen, frame } in replies {
+                        let live = self.conns.get(slot).and_then(|c| c.as_ref());
+                        if live.is_some_and(|c| c.gen == gen) {
+                            let conn = self.conns[slot].as_mut().unwrap();
+                            conn.inflight -= 1;
+                            self.push_out(slot, &frame);
+                            // A drained reply may unblock admission;
+                            // resume parsing bytes already buffered in
+                            // user space (they will not generate a
+                            // poller event).
+                            self.pump_read(slot);
+                            self.finish_touch(slot);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn add_conn(&mut self, stream: TcpStream) {
+        let slot = self.free.pop().unwrap_or_else(|| {
+            self.conns.push(None);
+            self.slot_gen.push(0);
+            self.conns.len() - 1
+        });
+        self.slot_gen[slot] += 1;
+        let fd = stream.as_raw_fd();
+        if self
+            .poller
+            .register(fd, slot as u64, Interest::READ)
+            .is_err()
+        {
+            self.free.push(slot);
+            self.open.fetch_sub(1, Ordering::SeqCst);
+            if let Some(m) = &self.srv_metrics {
+                m.conn_closed();
+            }
+            return;
+        }
+        self.conns[slot] = Some(ConnState {
+            stream,
+            gen: self.slot_gen[slot],
+            read_buf: Vec::new(),
+            read_pos: 0,
+            out: Vec::new(),
+            out_pos: 0,
+            inflight: 0,
+            interest: Interest::READ,
+            peer_closed: false,
+            close_after_flush: false,
+        });
+        // Bytes may already be queued on the socket.
+        self.pump_read(slot);
+        self.finish_touch(slot);
+    }
+
+    fn admission_blocked(&self, slot: usize) -> bool {
+        self.conns[slot].as_ref().is_some_and(|c| {
+            c.inflight >= self.opts.pipeline_limit.max(1)
+                || c.pending_out() >= self.opts.write_buf_limit.max(1)
+        })
+    }
+
+    /// Interleave parsing buffered frames with non-blocking reads until
+    /// the socket runs dry, the peer closes, or admission control says
+    /// stop (then the socket is deliberately left unread).
+    fn pump_read(&mut self, slot: usize) {
+        let mut parsed = 0u64;
+        let mut chunk = [0u8; READ_CHUNK];
+        'outer: loop {
+            loop {
+                if self.conns[slot].is_none() || self.admission_blocked(slot) {
+                    break 'outer;
+                }
+                match self.try_parse(slot) {
+                    Ok(Some((kind, req_id, payload))) => {
+                        if kind == FrameKind::Request {
+                            parsed += 1;
+                        }
+                        let ok = match kind {
+                            FrameKind::Request => self.dispatch_request(slot, req_id, payload),
+                            FrameKind::Control => self.dispatch_control(slot, &payload),
+                            // A client must never send Response frames.
+                            FrameKind::Response => Err(()),
+                        };
+                        if ok.is_err() {
+                            self.close_conn(slot);
+                            break 'outer;
+                        }
+                    }
+                    Ok(None) => break,
+                    Err(()) => {
+                        // Corrupt frame: close only this connection;
+                        // the client observes the drop and retries.
+                        self.close_conn(slot);
+                        break 'outer;
+                    }
+                }
+            }
+            let Some(conn) = self.conns[slot].as_mut() else {
+                break;
+            };
+            if conn.peer_closed {
+                break;
+            }
+            match conn.stream.read(&mut chunk) {
+                Ok(0) => {
+                    conn.peer_closed = true;
+                    break;
+                }
+                Ok(n) => conn.read_buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::Interrupted =>
+                {
+                    break;
+                }
+                Err(_) => {
+                    self.close_conn(slot);
+                    break;
+                }
+            }
+        }
+        if parsed > 0 {
+            if let Some(m) = &self.srv_metrics {
+                m.pipeline_depth(parsed);
+            }
+        }
+    }
+
+    /// Try to cut one complete frame out of the read buffer.
+    /// `Ok(None)` = need more bytes; `Err` = corrupt.
+    #[allow(clippy::type_complexity)]
+    fn try_parse(&mut self, slot: usize) -> Result<Option<(FrameKind, u64, Vec<u8>)>, ()> {
+        let conn = self.conns[slot].as_mut().ok_or(())?;
+        let avail = conn.read_buf.len() - conn.read_pos;
+        if avail < HEADER_LEN {
+            return Ok(None);
+        }
+        let header: [u8; HEADER_LEN] = conn.read_buf[conn.read_pos..conn.read_pos + HEADER_LEN]
+            .try_into()
+            .unwrap();
+        let (kind, req_id, len, crc) = decode_header(&header).map_err(|_| ())?;
+        if avail < HEADER_LEN + len {
+            return Ok(None);
+        }
+        let start = conn.read_pos + HEADER_LEN;
+        let payload = conn.read_buf[start..start + len].to_vec();
+        if crc32(&payload) != crc {
+            return Err(());
+        }
+        conn.read_pos += HEADER_LEN + len;
+        if conn.read_pos == conn.read_buf.len() {
+            conn.read_buf.clear();
+            conn.read_pos = 0;
+        } else if conn.read_pos > READ_CHUNK {
+            conn.read_buf.drain(..conn.read_pos);
+            conn.read_pos = 0;
+        }
+        Ok(Some((kind, req_id, payload)))
+    }
+
+    /// Decode + run one request under the service lock, then either
+    /// park the reply with the committer (durable mutation, group
+    /// commit active) or queue it for writing directly.
+    fn dispatch_request(&mut self, slot: usize, req_id: u64, payload: Vec<u8>) -> Result<(), ()> {
+        let rpc = RpcRequest::<S::Req>::from_wire(&payload).map_err(|_| ())?;
+        let traced = rpc.trace.is_some_and(|t| t.sampled);
+        let op = S::req_label(&rpc.body);
+        if let Some(m) = &self.opts.metrics {
+            m.begin();
+        }
+        let received = Instant::now();
+        let mut guard = lock(&self.svc);
+        // As with the in-process endpoints: queue wait is the real time
+        // spent waiting for the single-writer service, here the mutex.
+        let queue_ns = received.elapsed().as_nanos() as Nanos;
+        let body = guard.handle(rpc.body);
+        let cost = guard.take_cost();
+        let span = traced.then(|| SpanReply {
+            op,
+            queue_ns,
+            attrs: guard.span_attrs(),
+        });
+        let group = self.commit.is_some() && !self.draining;
+        let ticket = if self.commit.is_some() {
+            guard.take_commit_ticket()
+        } else {
+            None
+        };
+        if ticket.is_some() && !group {
+            // Draining: the committer no longer waits on this worker,
+            // so make the records durable inline before replying.
+            guard.commit_flush();
+        }
+        drop(guard);
+        if let Some(m) = &self.opts.metrics {
+            m.observe(op, cost, queue_ns);
+        }
+        let resp = RpcResponse { cost, span, body }.to_wire();
+        if resp.len() > MAX_PAYLOAD {
+            return Err(());
+        }
+        let frame = encode_frame(FrameKind::Response, req_id, &resp);
+        if let (Some(c), true) = (&self.commit, ticket.is_some() && group) {
+            let conn = self.conns[slot].as_mut().ok_or(())?;
+            conn.inflight += 1;
+            let gen = conn.gen;
+            let mut st = lock(&c.state);
+            let was_empty = st.waiters.is_empty();
+            st.waiters.push(CommitWaiter {
+                worker: self.idx,
+                slot,
+                gen,
+                frame,
+            });
+            // Only the batch-opening waiter needs to wake the committer
+            // — it drains the whole queue, and its aggregation window
+            // picks up later arrivals on its own timer. Skipping the
+            // per-request futex wake saves a syscall and, on small
+            // boxes, a context switch per operation.
+            if was_empty {
+                c.cv.notify_all();
+            }
+        } else {
+            self.push_out(slot, &frame);
+        }
+        Ok(())
+    }
+
+    fn dispatch_control(&mut self, slot: usize, payload: &[u8]) -> Result<(), ()> {
+        let msg = Control::from_wire(payload).map_err(|_| ())?;
+        let (reply, stop) = match msg {
+            Control::Ping => (ControlReply::Pong, false),
+            Control::Metrics => {
+                let text = self
+                    .opts
+                    .registry
+                    .as_ref()
+                    .map(|r| r.render_prometheus())
+                    .unwrap_or_default();
+                (ControlReply::Metrics(text), false)
+            }
+            Control::Shutdown => {
+                self.shutdown.store(true, Ordering::SeqCst);
+                (ControlReply::ShuttingDown, true)
+            }
+        };
+        let frame = encode_frame(FrameKind::Response, 0, &reply.to_wire());
+        self.push_out(slot, &frame);
+        if stop {
+            if let Some(conn) = self.conns[slot].as_mut() {
+                conn.close_after_flush = true;
+            }
+        }
+        Ok(())
+    }
+
+    fn push_out(&mut self, slot: usize, frame: &[u8]) {
+        if let Some(conn) = self.conns[slot].as_mut() {
+            conn.out.extend_from_slice(frame);
+        }
+        // Opportunistic flush: most replies fit the socket buffer and
+        // never need a writable event.
+        self.flush_out(slot);
+    }
+
+    fn flush_out(&mut self, slot: usize) {
+        let mut failed = false;
+        {
+            let Some(conn) = self.conns[slot].as_mut() else {
+                return;
+            };
+            while conn.out_pos < conn.out.len() {
+                match conn.stream.write(&conn.out[conn.out_pos..]) {
+                    Ok(0) => {
+                        failed = true;
+                        break;
+                    }
+                    Ok(n) => conn.out_pos += n,
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        failed = true;
+                        break;
+                    }
+                }
+            }
+            if conn.out_pos == conn.out.len() {
+                conn.out.clear();
+                conn.out_pos = 0;
+            }
+        }
+        if failed {
+            self.close_conn(slot);
+        }
+    }
+
+    /// Re-derive the poller interest set after touching a connection,
+    /// and close it once every owed byte has been delivered.
+    fn finish_touch(&mut self, slot: usize) {
+        let blocked = self.admission_blocked(slot);
+        let (fd, want, cur, done) = {
+            let Some(conn) = self.conns[slot].as_ref() else {
+                return;
+            };
+            let done = conn.pending_out() == 0
+                && conn.inflight == 0
+                && (conn.close_after_flush || (conn.peer_closed && !conn.buffered()));
+            let want = Interest {
+                read: !conn.peer_closed && !blocked,
+                write: conn.pending_out() > 0,
+            };
+            (conn.stream.as_raw_fd(), want, conn.interest, done)
+        };
+        if done {
+            self.close_conn(slot);
+            return;
+        }
+        if want != cur && self.poller.modify(fd, slot as u64, want).is_ok() {
+            if let Some(conn) = self.conns[slot].as_mut() {
+                conn.interest = want;
+            }
+        }
+    }
+
+    /// One drain iteration: pump every live connection, close the idle
+    /// ones. Returns whether any connection still has work in flight.
+    fn drain_sweep(&mut self) -> bool {
+        let mut busy = false;
+        for slot in 0..self.conns.len() {
+            if self.conns[slot].is_none() {
+                continue;
+            }
+            self.pump_read(slot);
+            self.flush_out(slot);
+            match self.conns[slot].as_ref() {
+                None => continue,
+                Some(c) if c.idle() => self.close_conn(slot),
+                Some(_) => busy = true,
+            }
+        }
+        busy
+    }
+
+    fn close_conn(&mut self, slot: usize) {
+        if let Some(conn) = self.conns[slot].take() {
+            let _ = self.poller.deregister(conn.stream.as_raw_fd());
+            self.free.push(slot);
+            self.open.fetch_sub(1, Ordering::SeqCst);
+            if let Some(m) = &self.srv_metrics {
+                m.conn_closed();
+            }
+        }
+    }
+}
+
+fn drain_wake(rx: &UnixStream) {
+    let mut buf = [0u8; 256];
+    loop {
+        match (&*rx).read(&mut buf) {
+            Ok(n) if n == buf.len() => {}
+            _ => break,
+        }
+    }
+}
+
+// ----- acceptor ---------------------------------------------------------
+
+/// Body of the accept thread spawned by [`crate::serve_tcp`]: brings up
+/// workers and (for durable services) the group committer, accepts and
+/// distributes connections, runs periodic maintenance, and coordinates
+/// the graceful drain.
+pub(crate) fn run<S>(
+    listener: TcpListener,
+    svc: Arc<Mutex<S>>,
+    shutdown: Arc<AtomicBool>,
+    opts: ServeOptions,
+    id: ServerId,
+) where
+    S: Service + 'static,
+    S::Req: Wire,
+    S::Resp: Wire,
+{
+    let opts = Arc::new(opts);
+    let srv_metrics = opts
+        .registry
+        .as_ref()
+        .map(|r| ServerMetrics::register(r, id));
+    let n_workers = if opts.workers == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(4)
+    } else {
+        opts.workers.min(64)
+    };
+    let deferred = group_commit_enabled() && lock(&svc).defer_sync(true);
+    let commit = deferred.then(|| {
+        Arc::new(CommitShared {
+            state: Mutex::new(CommitState {
+                waiters: Vec::new(),
+                producing: n_workers,
+            }),
+            cv: Condvar::new(),
+        })
+    });
+    let open = Arc::new(AtomicUsize::new(0));
+
+    let mut wake_readers = Vec::with_capacity(n_workers);
+    let mut handle_vec = Vec::with_capacity(n_workers);
+    for _ in 0..n_workers {
+        let Ok((tx, rx)) = UnixStream::pair() else {
+            return; // no wake pipes: cannot run at all
+        };
+        let _ = tx.set_nonblocking(true);
+        wake_readers.push(rx);
+        handle_vec.push(WorkerHandle {
+            inbox: Mutex::new(Vec::new()),
+            wake: tx,
+        });
+    }
+    let handles = Arc::new(handle_vec);
+
+    let mut threads: Vec<JoinHandle<()>> = Vec::new();
+    for (i, wake_rx) in wake_readers.into_iter().enumerate() {
+        let Ok(poller) = Poller::new() else { return };
+        let worker = Worker {
+            idx: i,
+            svc: Arc::clone(&svc),
+            shutdown: Arc::clone(&shutdown),
+            opts: Arc::clone(&opts),
+            srv_metrics: srv_metrics.clone(),
+            commit: commit.clone(),
+            handles: Arc::clone(&handles),
+            open: Arc::clone(&open),
+            poller,
+            conns: Vec::new(),
+            slot_gen: Vec::new(),
+            free: Vec::new(),
+            draining: false,
+        };
+        if let Ok(h) = std::thread::Builder::new()
+            .name(format!("locod-worker-{i}"))
+            .spawn(move || worker.run(wake_rx))
+        {
+            threads.push(h);
+        }
+    }
+
+    let committer = commit.as_ref().and_then(|c| {
+        let svc = Arc::clone(&svc);
+        let c = Arc::clone(c);
+        let workers = Arc::clone(&handles);
+        let m = srv_metrics.clone();
+        std::thread::Builder::new()
+            .name("locod-commit".into())
+            .spawn(move || committer_loop(svc, c, workers, m))
+            .ok()
+    });
+
+    // Publish recovery counters immediately so a scrape right after
+    // boot sees how much state was replayed.
+    run_maintain(&svc, &opts, id, false);
+    let mut last_maintain = Instant::now();
+
+    let apoller = Poller::new().ok().and_then(|mut p| {
+        p.register(listener.as_raw_fd(), 0, Interest::READ)
+            .ok()
+            .map(|()| p)
+    });
+    let mut apoller = apoller;
+    let mut events = Vec::new();
+    let mut next_worker = 0usize;
+    while !shutdown.load(Ordering::SeqCst) {
+        match &mut apoller {
+            Some(p) => {
+                let _ = p.wait(&mut events, Some(TICK));
+                if let Some(m) = &srv_metrics {
+                    m.wakeup();
+                }
+            }
+            None => std::thread::sleep(Duration::from_millis(2)),
+        }
+        loop {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    if opts.max_conns > 0 && open.load(Ordering::SeqCst) >= opts.max_conns {
+                        if let Some(m) = &srv_metrics {
+                            m.conn_shed();
+                        }
+                        drop(stream);
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let _ = stream.set_nonblocking(true);
+                    open.fetch_add(1, Ordering::SeqCst);
+                    if let Some(m) = &srv_metrics {
+                        m.conn_opened();
+                    }
+                    handles[next_worker].send(InboxMsg::Conn(stream));
+                    next_worker = (next_worker + 1) % n_workers;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    shutdown.store(true, Ordering::SeqCst);
+                    break;
+                }
+            }
+        }
+        if let Some(every) = opts.maintain_every {
+            if last_maintain.elapsed() >= every {
+                run_maintain(&svc, &opts, id, false);
+                last_maintain = Instant::now();
+            }
+        }
+    }
+    // Stop accepting before the drain so redialing clients get a fast
+    // "connection refused" rather than a connection nobody will read.
+    drop(listener);
+    for h in handles.iter() {
+        h.kick();
+    }
+    for h in threads {
+        let _ = h.join();
+    }
+    if let Some(h) = committer {
+        let _ = h.join();
+    }
+    // All pending groups were flushed by the committer or inline; turn
+    // deferral off so post-drain maintenance sees a settled store.
+    lock(&svc).defer_sync(false);
+    // A crash here models dying after the last ack but before the
+    // shutdown checkpoint — recovery must replay the WAL.
+    loco_faults::crashpoint("daemon_drain");
+    run_maintain(&svc, &opts, id, true);
+}

@@ -35,15 +35,21 @@
 //! recorded traces as Chrome trace-event timelines.
 
 pub mod endpoint;
+mod event_loop;
 pub mod frame;
 pub mod metrics;
+pub mod poller;
 pub mod rpc;
 pub mod tcp;
 pub mod threaded;
+mod threaded_core;
 pub mod trace_export;
 
-pub use endpoint::{CallCtx, Endpoint, MaintainReport, RpcError, Service, SimEndpoint};
-pub use metrics::{role_name, EndpointMetrics};
+pub use endpoint::{
+    CallCtx, CommitFsync, Endpoint, MaintainReport, RpcError, Service, SimEndpoint,
+};
+pub use metrics::{role_name, EndpointMetrics, ServerMetrics};
+pub use poller::{Interest, Poller, PollerEvent};
 pub use rpc::{Control, ControlReply, RpcRequest, RpcResponse, SpanReply};
 pub use tcp::{control, serve_tcp, RetryPolicy, ServeOptions, TcpEndpoint, TcpServerGuard};
 pub use threaded::{spawn, spawn_with_metrics, ThreadEndpoint, ThreadServerGuard};

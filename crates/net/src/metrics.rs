@@ -123,6 +123,88 @@ impl EndpointMetrics {
     }
 }
 
+/// Instrumentation for the event-driven server core itself (as opposed
+/// to the per-request [`EndpointMetrics`]): connection lifecycle,
+/// readiness-loop activity and WAL group-commit behaviour.
+///
+/// Metric families (all labelled `role`/`server`):
+///
+/// * `loco_srv_open_conns` — currently open connections;
+/// * `loco_srv_conns_shed_total` — connections dropped at accept
+///   because `--max-conns` was reached;
+/// * `loco_epoll_wakeups_total` — readiness-loop wakeups (poll returns)
+///   across the acceptor and all workers;
+/// * `loco_srv_pipeline_depth` — requests parsed per readable pass on
+///   one connection (the observed client pipelining depth);
+/// * `loco_wal_batch_size` — WAL records covered by one group-commit
+///   fsync. `sum > count` proves cross-connection batching happened.
+pub struct ServerMetrics {
+    open_conns: Arc<Gauge>,
+    conns_shed: Arc<Counter>,
+    wakeups: Arc<Counter>,
+    pipeline_depth: Arc<LogHistogram>,
+    wal_batch: Arc<LogHistogram>,
+}
+
+impl ServerMetrics {
+    /// Register the server-core metric family in `registry`.
+    pub fn register(registry: &Arc<MetricsRegistry>, id: ServerId) -> Arc<Self> {
+        let role = role_name(id.class);
+        let server = id.index.to_string();
+        let labels: [(&str, &str); 2] = [("role", role), ("server", &server)];
+        Arc::new(Self {
+            open_conns: registry.gauge("loco_srv_open_conns", &labels),
+            conns_shed: registry.counter("loco_srv_conns_shed_total", &labels),
+            wakeups: registry.counter("loco_epoll_wakeups_total", &labels),
+            pipeline_depth: registry.histogram("loco_srv_pipeline_depth", &labels),
+            wal_batch: registry.histogram("loco_wal_batch_size", &labels),
+        })
+    }
+
+    /// A connection was accepted.
+    #[inline]
+    pub fn conn_opened(&self) {
+        self.open_conns.inc();
+    }
+
+    /// A connection was closed.
+    #[inline]
+    pub fn conn_closed(&self) {
+        self.open_conns.dec();
+    }
+
+    /// A connection was refused because the open-connection cap was
+    /// reached.
+    #[inline]
+    pub fn conn_shed(&self) {
+        self.conns_shed.inc();
+    }
+
+    /// One readiness-loop wakeup (a `poll`/`epoll_wait` return).
+    #[inline]
+    pub fn wakeup(&self) {
+        self.wakeups.inc();
+    }
+
+    /// `n` requests were parsed from one connection in one readable
+    /// pass.
+    #[inline]
+    pub fn pipeline_depth(&self, n: u64) {
+        self.pipeline_depth.record(n);
+    }
+
+    /// One group-commit fsync covered `records` WAL records.
+    #[inline]
+    pub fn wal_batch(&self, records: u64) {
+        self.wal_batch.record(records);
+    }
+
+    /// Currently open connections (test hook).
+    pub fn open_conns(&self) -> i64 {
+        self.open_conns.get()
+    }
+}
+
 impl std::fmt::Debug for EndpointMetrics {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(

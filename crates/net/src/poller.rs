@@ -1,0 +1,439 @@
+//! Minimal readiness poller for the event-driven server core: raw
+//! `epoll` on Linux, portable `poll(2)` on other Unixes — both via
+//! hand-declared `extern "C"` bindings so the workspace stays free of
+//! external crates.
+//!
+//! The poller is deliberately tiny: level-triggered readiness only
+//! (no edge-triggered mode, no oneshot), `u64` tokens chosen by the
+//! caller, and an explicit interest set per fd. Level-triggered
+//! semantics are what the event loop's backpressure logic relies on:
+//! deregistering *read* interest while a connection is over its
+//! pipeline or write-buffer budget parks it without losing buffered
+//! bytes, and re-registering resumes exactly where it stopped.
+
+use std::io;
+use std::os::fd::RawFd;
+use std::time::Duration;
+
+/// One readiness event delivered by [`Poller::wait`].
+#[derive(Clone, Copy, Debug)]
+pub struct PollerEvent {
+    /// The token the fd was registered with.
+    pub token: u64,
+    /// Readable (or a peer hangup, which reads as EOF).
+    pub readable: bool,
+    /// Writable.
+    pub writable: bool,
+    /// Error/hangup condition — the owner should read until EOF/error
+    /// and close.
+    pub error: bool,
+}
+
+/// Interest set for a registered fd.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake when readable.
+    pub read: bool,
+    /// Wake when writable.
+    pub write: bool,
+}
+
+impl Interest {
+    /// Read-only interest.
+    pub const READ: Interest = Interest {
+        read: true,
+        write: false,
+    };
+    /// Read + write interest.
+    pub const BOTH: Interest = Interest {
+        read: true,
+        write: true,
+    };
+}
+
+#[cfg(target_os = "linux")]
+mod sys {
+    //! Raw epoll. The `packed` layout on x86-64 mirrors the kernel ABI
+    //! (`__attribute__((packed))` in `<sys/epoll.h>` on that arch).
+    use super::{Interest, PollerEvent};
+    use std::io;
+    use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
+    use std::time::Duration;
+
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+    }
+
+    const EPOLL_CLOEXEC: i32 = 0o2000000;
+    const EPOLL_CTL_ADD: i32 = 1;
+    const EPOLL_CTL_DEL: i32 = 2;
+    const EPOLL_CTL_MOD: i32 = 3;
+    const EPOLLIN: u32 = 0x1;
+    const EPOLLOUT: u32 = 0x4;
+    const EPOLLERR: u32 = 0x8;
+    const EPOLLHUP: u32 = 0x10;
+    const EPOLLRDHUP: u32 = 0x2000;
+
+    pub struct Poller {
+        epfd: OwnedFd,
+        buf: Vec<EpollEvent>,
+    }
+
+    fn events_of(interest: Interest) -> u32 {
+        let mut ev = EPOLLRDHUP;
+        if interest.read {
+            ev |= EPOLLIN;
+        }
+        if interest.write {
+            ev |= EPOLLOUT;
+        }
+        ev
+    }
+
+    impl Poller {
+        pub fn new() -> io::Result<Self> {
+            let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if fd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Self {
+                epfd: unsafe { OwnedFd::from_raw_fd(fd) },
+                buf: vec![EpollEvent { events: 0, data: 0 }; 256],
+            })
+        }
+
+        fn ctl(&mut self, op: i32, fd: RawFd, ev: Option<EpollEvent>) -> io::Result<()> {
+            let mut ev = ev;
+            let ptr = ev
+                .as_mut()
+                .map(|e| e as *mut EpollEvent)
+                .unwrap_or(std::ptr::null_mut());
+            if unsafe { epoll_ctl(self.epfd.as_raw_fd(), op, fd, ptr) } < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        pub fn register(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            let ev = EpollEvent {
+                events: events_of(interest),
+                data: token,
+            };
+            self.ctl(EPOLL_CTL_ADD, fd, Some(ev))
+        }
+
+        pub fn modify(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            let ev = EpollEvent {
+                events: events_of(interest),
+                data: token,
+            };
+            self.ctl(EPOLL_CTL_MOD, fd, Some(ev))
+        }
+
+        pub fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_DEL, fd, None)
+        }
+
+        pub fn wait(
+            &mut self,
+            out: &mut Vec<PollerEvent>,
+            timeout: Option<Duration>,
+        ) -> io::Result<usize> {
+            let timeout_ms: i32 = match timeout {
+                None => -1,
+                Some(d) => d.as_millis().min(i32::MAX as u128) as i32,
+            };
+            let n = loop {
+                let n = unsafe {
+                    epoll_wait(
+                        self.epfd.as_raw_fd(),
+                        self.buf.as_mut_ptr(),
+                        self.buf.len() as i32,
+                        timeout_ms,
+                    )
+                };
+                if n >= 0 {
+                    break n as usize;
+                }
+                let e = io::Error::last_os_error();
+                if e.kind() != io::ErrorKind::Interrupted {
+                    return Err(e);
+                }
+            };
+            out.clear();
+            for ev in &self.buf[..n] {
+                let bits = ev.events;
+                out.push(PollerEvent {
+                    token: ev.data,
+                    readable: bits & (EPOLLIN | EPOLLRDHUP | EPOLLHUP) != 0,
+                    writable: bits & EPOLLOUT != 0,
+                    error: bits & (EPOLLERR | EPOLLHUP) != 0,
+                });
+            }
+            if n == self.buf.len() {
+                // Event storm: grow so one wait can drain more next time.
+                self.buf
+                    .resize(self.buf.len() * 2, EpollEvent { events: 0, data: 0 });
+            }
+            Ok(out.len())
+        }
+    }
+}
+
+#[cfg(all(unix, not(target_os = "linux")))]
+mod sys {
+    //! Portable `poll(2)` fallback: the interest set is kept in a
+    //! Vec<pollfd> rebuilt on register/modify/deregister. O(fds) per
+    //! wait, which is fine for the connection counts the tests and
+    //! small deployments use on non-Linux hosts.
+    use super::{Interest, PollerEvent};
+    use std::io;
+    use std::os::fd::RawFd;
+    use std::time::Duration;
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct PollFd {
+        fd: i32,
+        events: i16,
+        revents: i16,
+    }
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: u32, timeout: i32) -> i32;
+    }
+
+    const POLLIN: i16 = 0x1;
+    const POLLOUT: i16 = 0x4;
+    const POLLERR: i16 = 0x8;
+    const POLLHUP: i16 = 0x10;
+    const POLLNVAL: i16 = 0x20;
+
+    pub struct Poller {
+        fds: Vec<PollFd>,
+        tokens: Vec<u64>,
+    }
+
+    fn events_of(interest: Interest) -> i16 {
+        let mut ev = 0;
+        if interest.read {
+            ev |= POLLIN;
+        }
+        if interest.write {
+            ev |= POLLOUT;
+        }
+        ev
+    }
+
+    impl Poller {
+        pub fn new() -> io::Result<Self> {
+            Ok(Self {
+                fds: Vec::new(),
+                tokens: Vec::new(),
+            })
+        }
+
+        fn position(&self, fd: RawFd) -> Option<usize> {
+            self.fds.iter().position(|p| p.fd == fd)
+        }
+
+        pub fn register(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            if self.position(fd).is_some() {
+                return Err(io::Error::new(
+                    io::ErrorKind::AlreadyExists,
+                    "fd already registered",
+                ));
+            }
+            self.fds.push(PollFd {
+                fd,
+                events: events_of(interest),
+                revents: 0,
+            });
+            self.tokens.push(token);
+            Ok(())
+        }
+
+        pub fn modify(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            let i = self
+                .position(fd)
+                .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "fd not registered"))?;
+            self.fds[i].events = events_of(interest);
+            self.tokens[i] = token;
+            Ok(())
+        }
+
+        pub fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
+            let i = self
+                .position(fd)
+                .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "fd not registered"))?;
+            self.fds.swap_remove(i);
+            self.tokens.swap_remove(i);
+            Ok(())
+        }
+
+        pub fn wait(
+            &mut self,
+            out: &mut Vec<PollerEvent>,
+            timeout: Option<Duration>,
+        ) -> io::Result<usize> {
+            let timeout_ms: i32 = match timeout {
+                None => -1,
+                Some(d) => d.as_millis().min(i32::MAX as u128) as i32,
+            };
+            let n = loop {
+                let n = unsafe { poll(self.fds.as_mut_ptr(), self.fds.len() as u32, timeout_ms) };
+                if n >= 0 {
+                    break n as usize;
+                }
+                let e = io::Error::last_os_error();
+                if e.kind() != io::ErrorKind::Interrupted {
+                    return Err(e);
+                }
+            };
+            out.clear();
+            if n > 0 {
+                for (p, &token) in self.fds.iter().zip(&self.tokens) {
+                    let bits = p.revents;
+                    if bits == 0 {
+                        continue;
+                    }
+                    out.push(PollerEvent {
+                        token,
+                        readable: bits & (POLLIN | POLLHUP) != 0,
+                        writable: bits & POLLOUT != 0,
+                        error: bits & (POLLERR | POLLHUP | POLLNVAL) != 0,
+                    });
+                }
+            }
+            Ok(out.len())
+        }
+    }
+}
+
+/// Readiness poller over a set of registered fds.
+///
+/// Register an fd with a caller-chosen `token`; [`Poller::wait`] fills
+/// a buffer of [`PollerEvent`]s naming the tokens that became ready.
+/// All readiness is level-triggered.
+pub struct Poller {
+    inner: sys::Poller,
+}
+
+impl Poller {
+    /// Create an empty poller.
+    pub fn new() -> io::Result<Self> {
+        Ok(Self {
+            inner: sys::Poller::new()?,
+        })
+    }
+
+    /// Start watching `fd` with `interest`; events carry `token`.
+    pub fn register(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.inner.register(fd, token, interest)
+    }
+
+    /// Change the interest set (and token) of a watched fd.
+    pub fn modify(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.inner.modify(fd, token, interest)
+    }
+
+    /// Stop watching `fd`.
+    pub fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
+        self.inner.deregister(fd)
+    }
+
+    /// Block until at least one fd is ready or `timeout` elapses
+    /// (`None` blocks indefinitely). Returns the number of events
+    /// written into `out`.
+    pub fn wait(
+        &mut self,
+        out: &mut Vec<PollerEvent>,
+        timeout: Option<Duration>,
+    ) -> io::Result<usize> {
+        self.inner.wait(out, timeout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::os::fd::AsRawFd;
+    use std::os::unix::net::UnixStream;
+    use std::time::Duration;
+
+    #[test]
+    fn readable_event_fires_and_clears() {
+        let (mut a, b) = UnixStream::pair().unwrap();
+        b.set_nonblocking(true).unwrap();
+        let mut p = Poller::new().unwrap();
+        p.register(b.as_raw_fd(), 7, Interest::READ).unwrap();
+        let mut evs = Vec::new();
+
+        // Nothing to read yet: timeout path.
+        let n = p.wait(&mut evs, Some(Duration::from_millis(10))).unwrap();
+        assert_eq!(n, 0, "no events while idle");
+
+        a.write_all(b"x").unwrap();
+        let n = p.wait(&mut evs, Some(Duration::from_millis(1000))).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(evs[0].token, 7);
+        assert!(evs[0].readable);
+
+        // Level-triggered: still readable until drained.
+        let n = p.wait(&mut evs, Some(Duration::from_millis(100))).unwrap();
+        assert_eq!(n, 1, "level-triggered readiness persists");
+        let mut buf = [0u8; 8];
+        let mut bref = &b;
+        assert_eq!(bref.read(&mut buf).unwrap(), 1);
+        let n = p.wait(&mut evs, Some(Duration::from_millis(10))).unwrap();
+        assert_eq!(n, 0, "drained fd is quiet");
+    }
+
+    #[test]
+    fn interest_modification_and_deregister() {
+        let (mut a, b) = UnixStream::pair().unwrap();
+        b.set_nonblocking(true).unwrap();
+        let mut p = Poller::new().unwrap();
+        p.register(b.as_raw_fd(), 1, Interest::BOTH).unwrap();
+        let mut evs = Vec::new();
+        let n = p.wait(&mut evs, Some(Duration::from_millis(100))).unwrap();
+        assert!(n >= 1 && evs[0].writable, "socket starts writable");
+
+        // Drop write interest: an idle socket goes quiet.
+        p.modify(b.as_raw_fd(), 1, Interest::READ).unwrap();
+        let n = p.wait(&mut evs, Some(Duration::from_millis(10))).unwrap();
+        assert_eq!(n, 0);
+
+        a.write_all(b"y").unwrap();
+        let n = p.wait(&mut evs, Some(Duration::from_millis(1000))).unwrap();
+        assert_eq!(n, 1);
+
+        p.deregister(b.as_raw_fd()).unwrap();
+        let n = p.wait(&mut evs, Some(Duration::from_millis(10))).unwrap();
+        assert_eq!(n, 0, "deregistered fd reports nothing");
+    }
+
+    #[test]
+    fn hangup_reports_readable() {
+        let (a, b) = UnixStream::pair().unwrap();
+        b.set_nonblocking(true).unwrap();
+        let mut p = Poller::new().unwrap();
+        p.register(b.as_raw_fd(), 3, Interest::READ).unwrap();
+        drop(a);
+        let mut evs = Vec::new();
+        let n = p.wait(&mut evs, Some(Duration::from_millis(1000))).unwrap();
+        assert_eq!(n, 1);
+        assert!(evs[0].readable, "hangup surfaces as readable (EOF)");
+    }
+}

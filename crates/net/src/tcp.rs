@@ -30,25 +30,28 @@
 //!   metrics), exactly as with `ThreadEndpoint`.
 //!
 //! The server half, [`serve_tcp`], hosts one [`Service`] on a
-//! listening socket: a non-blocking accept loop spawns one thread per
-//! connection; handlers run under the service mutex (LocoFS servers
-//! are single-writer by design). Graceful shutdown — via
+//! listening socket via the event-driven core in
+//! [`event_loop`](crate::event_loop): one acceptor plus a fixed set of
+//! worker readiness loops (non-blocking reads, incremental frame
+//! assembly, buffered writes with backpressure, pipelined requests per
+//! connection), and — for durable services — a group-commit thread
+//! that batches WAL fsyncs across connections while preserving
+//! WAL-before-ack. Handlers run under the service mutex (LocoFS
+//! servers are single-writer by design). Graceful shutdown — via
 //! [`TcpServerGuard::shutdown`] or a [`Control::Shutdown`] frame —
 //! stops accepting, lets every in-flight request finish and its
 //! response flush, then closes. A corrupt frame closes only the
 //! offending connection; the client sees the drop and retries.
 
 use crate::endpoint::{CallCtx, Endpoint, MaintainReport, RpcError, Service};
-use crate::frame::crc32;
-use crate::frame::{decode_header, write_frame, Frame, FrameKind, HEADER_LEN, MAX_PAYLOAD};
+use crate::frame::{write_frame, FrameKind};
 use crate::metrics::EndpointMetrics;
-use crate::rpc::{Control, ControlReply, RpcRequest, RpcResponse, SpanReply};
+use crate::rpc::{Control, ControlReply, RpcRequest, RpcResponse};
 use loco_obs::MetricsRegistry;
 use loco_sim::des::ServerId;
-use loco_sim::time::Nanos;
 use loco_types::wire::Wire;
 use std::collections::HashMap;
-use std::io::{self, Read};
+use std::io;
 use std::marker::PhantomData;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -57,15 +60,9 @@ use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+pub(crate) fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
-
-/// How often blocked server reads wake up to check the shutdown flag.
-const READ_TICK: Duration = Duration::from_millis(25);
-/// How long a draining server keeps waiting on a half-received frame
-/// before giving the connection up.
-const DRAIN_GRACE: Duration = Duration::from_millis(500);
 
 /// Deadline/retry knobs for a [`TcpEndpoint`].
 #[derive(Clone, Copy, Debug)]
@@ -281,27 +278,56 @@ impl<S: Service> TcpEndpoint<S> {
         &self.addr
     }
 
-    /// Grab (or lazily open) the pooled connection for `req_id`.
-    fn conn_for(&self, req_id: u64) -> Result<Arc<Conn>, RpcError> {
+    /// Grab (or lazily open) the pooled connection for `req_id`. The
+    /// second value reports whether the connection was freshly dialed
+    /// (`true`) or reused from the pool.
+    fn conn_for(&self, req_id: u64) -> Result<(Arc<Conn>, bool), RpcError> {
         let slot = &self.pool[(req_id % self.pool.len() as u64) as usize];
         let mut guard = lock(slot);
         if let Some(conn) = guard.as_ref() {
             if !conn.dead.load(Ordering::SeqCst) {
-                return Ok(Arc::clone(conn));
+                return Ok((Arc::clone(conn), false));
             }
         }
         let fresh = Conn::open(&self.addr, self.policy.connect_timeout)?;
         *guard = Some(Arc::clone(&fresh));
-        Ok(fresh)
+        Ok((fresh, true))
     }
 
     /// One send/receive attempt: no retries, one deadline.
+    ///
+    /// An idle pooled connection the server has since closed (daemon
+    /// restart, idle timeout) surfaces as `ConnectionLost` even though
+    /// nothing is wrong with the server — so a lost connection that was
+    /// *reused* from the pool earns one free redial of the same slot
+    /// before the failure counts against the retry budget. The redial
+    /// is guaranteed to dial fresh: every `ConnectionLost` path marks
+    /// the connection dead before returning.
     fn attempt(&self, req_bytes: &[u8]) -> Result<RpcResponse<S::Resp>, RpcError>
     where
         S::Resp: Wire,
     {
         let req_id = self.next_req.fetch_add(1, Ordering::Relaxed);
-        let conn = self.conn_for(req_id)?;
+        let (conn, fresh) = self.conn_for(req_id)?;
+        match self.attempt_on(&conn, req_id, req_bytes) {
+            Err(RpcError::ConnectionLost(_)) if !fresh => {
+                let (conn, _fresh) = self.conn_for(req_id)?;
+                self.attempt_on(&conn, req_id, req_bytes)
+            }
+            other => other,
+        }
+    }
+
+    /// Send `req_bytes` as `req_id` on `conn` and await the response.
+    fn attempt_on(
+        &self,
+        conn: &Arc<Conn>,
+        req_id: u64,
+        req_bytes: &[u8],
+    ) -> Result<RpcResponse<S::Resp>, RpcError>
+    where
+        S::Resp: Wire,
+    {
         let (tx, rx) = sync_channel(1);
         lock(&conn.pending).insert(req_id, tx);
         let sent = {
@@ -406,7 +432,6 @@ where
 // ----- server side ------------------------------------------------------
 
 /// Optional server wiring for [`serve_tcp`].
-#[derive(Default)]
 pub struct ServeOptions {
     /// Per-endpoint instrumentation recorded for each handled request.
     pub metrics: Option<Arc<EndpointMetrics>>,
@@ -417,6 +442,37 @@ pub struct ServeOptions {
     /// disables periodic maintenance; the drain-time pass at shutdown
     /// always runs.
     pub maintain_every: Option<Duration>,
+    /// Worker event loops. `0` (the default) sizes automatically from
+    /// the machine's available parallelism, capped at 4 — the service
+    /// is single-writer, so workers buy socket I/O overlap, not
+    /// handler parallelism.
+    pub workers: usize,
+    /// Open-connection cap; connections accepted beyond it are dropped
+    /// immediately (and counted in `loco_srv_conns_shed_total`). `0`
+    /// means unlimited.
+    pub max_conns: usize,
+    /// Per-connection cap on replies parked in the group committer.
+    /// Past it the worker stops reading that connection until replies
+    /// drain (pipelining backpressure).
+    pub pipeline_limit: usize,
+    /// Per-connection cap in bytes on buffered unsent replies. Past it
+    /// the worker stops reading that connection until the socket
+    /// accepts the backlog (slow-reader backpressure).
+    pub write_buf_limit: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            metrics: None,
+            registry: None,
+            maintain_every: None,
+            workers: 0,
+            max_conns: 0,
+            pipeline_limit: 128,
+            write_buf_limit: 1 << 20,
+        }
+    }
 }
 
 /// Handle to a running TCP server. Dropping it performs a graceful
@@ -479,6 +535,15 @@ where
     listener.set_nonblocking(true)?;
     let shutdown = Arc::new(AtomicBool::new(false));
     let svc = Arc::new(Mutex::new(svc));
+    // `LOCO_SERVER_CORE=threaded` (read once at boot) selects the
+    // legacy thread-per-connection core — the pre-event-loop seed
+    // behaviour, kept as the bench baseline and a debugging fallback.
+    let threaded_core = matches!(
+        std::env::var("LOCO_SERVER_CORE")
+            .map(|v| v.trim().to_ascii_lowercase())
+            .as_deref(),
+        Ok("threaded" | "thread" | "legacy")
+    );
     let accept = {
         let shutdown = Arc::clone(&shutdown);
         std::thread::Builder::new()
@@ -487,7 +552,13 @@ where
                 crate::metrics::role_name(id.class),
                 id.index
             ))
-            .spawn(move || accept_loop::<S>(listener, svc, shutdown, opts, id))?
+            .spawn(move || {
+                if threaded_core {
+                    crate::threaded_core::run::<S>(listener, svc, shutdown, opts, id)
+                } else {
+                    crate::event_loop::run::<S>(listener, svc, shutdown, opts, id)
+                }
+            })?
     };
     Ok(TcpServerGuard {
         addr,
@@ -499,13 +570,13 @@ where
 /// Run one [`Service::maintain`] pass and publish its persistence
 /// counters as gauges (labelled by role/server) when a registry is
 /// wired. Volatile services return `None` and publish nothing.
-fn run_maintain<S: Service>(
+pub(crate) fn run_maintain<S: Service>(
     svc: &Arc<Mutex<S>>,
     opts: &ServeOptions,
     id: ServerId,
     drain: bool,
 ) -> Option<MaintainReport> {
-    let report = svc.lock().unwrap().maintain(drain)?;
+    let report = lock(svc).maintain(drain)?;
     if let Some(reg) = &opts.registry {
         let role = crate::metrics::role_name(id.class);
         let server = id.index.to_string();
@@ -518,238 +589,17 @@ fn run_maintain<S: Service>(
             .set(report.snapshot_records as i64);
         reg.gauge("loco_checkpoints_total", labels)
             .set(report.checkpoints as i64);
+        reg.gauge("loco_wal_fsyncs", labels)
+            .set(report.wal_fsyncs as i64);
+        if let Some(m) = &opts.metrics {
+            // Durability amortization at a glance: <1000 means the
+            // group committer is batching more than one op per fsync.
+            let per_1k = report.wal_fsyncs.saturating_mul(1000) / m.requests().max(1);
+            reg.gauge("loco_wal_fsyncs_per_1k_ops", labels)
+                .set(per_1k as i64);
+        }
     }
     Some(report)
-}
-
-fn accept_loop<S>(
-    listener: TcpListener,
-    svc: Arc<Mutex<S>>,
-    shutdown: Arc<AtomicBool>,
-    opts: ServeOptions,
-    id: ServerId,
-) where
-    S: Service + 'static,
-    S::Req: Wire,
-    S::Resp: Wire,
-{
-    let opts = Arc::new(opts);
-    let mut conns: Vec<JoinHandle<()>> = Vec::new();
-    // Publish recovery counters immediately so a scrape right after
-    // boot sees how much state was replayed.
-    run_maintain(&svc, &opts, id, false);
-    let mut last_maintain = Instant::now();
-    while !shutdown.load(Ordering::SeqCst) {
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                let svc = Arc::clone(&svc);
-                let shutdown = Arc::clone(&shutdown);
-                let opts = Arc::clone(&opts);
-                if let Ok(h) = std::thread::Builder::new()
-                    .name("locod-conn".into())
-                    .spawn(move || conn_loop::<S>(stream, svc, shutdown, opts))
-                {
-                    conns.push(h);
-                }
-                conns.retain(|h| !h.is_finished());
-            }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                if let Some(every) = opts.maintain_every {
-                    if last_maintain.elapsed() >= every {
-                        run_maintain(&svc, &opts, id, false);
-                        last_maintain = Instant::now();
-                    }
-                }
-                std::thread::sleep(Duration::from_millis(2));
-            }
-            Err(_) => break,
-        }
-    }
-    // Drain: every connection thread notices the flag, finishes its
-    // in-flight request (response flushed), and exits.
-    for h in conns {
-        let _ = h.join();
-    }
-    // A crash here models dying after the last ack but before the
-    // shutdown checkpoint — recovery must replay the WAL.
-    loco_faults::crashpoint("daemon_drain");
-    run_maintain(&svc, &opts, id, true);
-}
-
-/// Read one frame, waking every [`READ_TICK`] to honour the shutdown
-/// flag. Returns `Ok(None)` on clean close, on shutdown while idle, or
-/// when a draining peer stalls longer than [`DRAIN_GRACE`] mid-frame.
-fn read_frame_polling(stream: &mut TcpStream, shutdown: &AtomicBool) -> io::Result<Option<Frame>> {
-    let mut header = [0u8; HEADER_LEN];
-    if read_polling(stream, &mut header, shutdown, true)?.is_none() {
-        return Ok(None);
-    }
-    let (kind, req_id, len, crc) = decode_header(&header)?;
-    let mut payload = vec![0u8; len];
-    if read_polling(stream, &mut payload, shutdown, false)?.is_none() {
-        return Ok(None);
-    }
-    if crc32(&payload) != crc {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("frame {req_id} payload checksum mismatch"),
-        ));
-    }
-    Ok(Some(Frame {
-        kind,
-        req_id,
-        payload,
-    }))
-}
-
-/// Fill `buf`, polling for shutdown between blocked reads. `idle_exit`
-/// marks the between-frames position where a shutdown or clean close
-/// may interrupt (only legal before the first byte).
-fn read_polling(
-    stream: &mut TcpStream,
-    buf: &mut [u8],
-    shutdown: &AtomicBool,
-    idle_exit: bool,
-) -> io::Result<Option<()>> {
-    let mut off = 0;
-    let mut stalled = Duration::ZERO;
-    while off < buf.len() {
-        match stream.read(&mut buf[off..]) {
-            Ok(0) => {
-                return if off == 0 && idle_exit {
-                    Ok(None)
-                } else {
-                    Err(io::ErrorKind::UnexpectedEof.into())
-                };
-            }
-            Ok(n) => {
-                off += n;
-                stalled = Duration::ZERO;
-            }
-            Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
-            {
-                if shutdown.load(Ordering::SeqCst) {
-                    if off == 0 && idle_exit {
-                        return Ok(None);
-                    }
-                    stalled += READ_TICK;
-                    if stalled >= DRAIN_GRACE {
-                        return Ok(None);
-                    }
-                }
-            }
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-            Err(e) => return Err(e),
-        }
-    }
-    Ok(Some(()))
-}
-
-fn conn_loop<S>(
-    mut stream: TcpStream,
-    svc: Arc<Mutex<S>>,
-    shutdown: Arc<AtomicBool>,
-    opts: Arc<ServeOptions>,
-) where
-    S: Service + 'static,
-    S::Req: Wire,
-    S::Resp: Wire,
-{
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(READ_TICK));
-    loop {
-        let frame = match read_frame_polling(&mut stream, &shutdown) {
-            Ok(Some(f)) => f,
-            // Clean close, shutdown, or corruption: either way this
-            // connection is done. Corruption is contained here — the
-            // client observes the close and retries on a fresh socket.
-            Ok(None) | Err(_) => return,
-        };
-        let done = match frame.kind {
-            FrameKind::Request => handle_request::<S>(&mut stream, &svc, &opts, frame).is_err(),
-            FrameKind::Control => {
-                handle_control(&mut stream, &opts, &shutdown, &frame.payload).unwrap_or(true)
-            }
-            FrameKind::Response => true, // client protocol violation
-        };
-        if done {
-            return;
-        }
-    }
-}
-
-fn handle_request<S>(
-    stream: &mut TcpStream,
-    svc: &Arc<Mutex<S>>,
-    opts: &ServeOptions,
-    frame: Frame,
-) -> io::Result<()>
-where
-    S: Service + 'static,
-    S::Req: Wire,
-    S::Resp: Wire,
-{
-    let rpc = RpcRequest::<S::Req>::from_wire(&frame.payload)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-    let traced = rpc.trace.is_some_and(|t| t.sampled);
-    let op = S::req_label(&rpc.body);
-    let received = Instant::now();
-    if let Some(m) = &opts.metrics {
-        m.begin();
-    }
-    let mut guard = lock(svc);
-    // Like the in-process endpoints: queue wait is the real time spent
-    // waiting for the (single-writer) service, here the mutex.
-    let queue_ns = received.elapsed().as_nanos() as Nanos;
-    let body = guard.handle(rpc.body);
-    let cost = guard.take_cost();
-    let span = traced.then(|| SpanReply {
-        op,
-        queue_ns,
-        attrs: guard.span_attrs(),
-    });
-    drop(guard);
-    if let Some(m) = &opts.metrics {
-        m.observe(op, cost, queue_ns);
-    }
-    let payload = RpcResponse { cost, span, body }.to_wire();
-    if payload.len() > MAX_PAYLOAD {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "response exceeds frame limit",
-        ));
-    }
-    write_frame(stream, FrameKind::Response, frame.req_id, &payload)
-}
-
-/// Handle a control frame; `Ok(true)` means the connection (and for
-/// `Shutdown`, the whole server) should stop.
-fn handle_control(
-    stream: &mut TcpStream,
-    opts: &ServeOptions,
-    shutdown: &AtomicBool,
-    payload: &[u8],
-) -> io::Result<bool> {
-    let msg = Control::from_wire(payload)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-    let (reply, stop) = match msg {
-        Control::Ping => (ControlReply::Pong, false),
-        Control::Metrics => {
-            let text = opts
-                .registry
-                .as_ref()
-                .map(|r| r.render_prometheus())
-                .unwrap_or_default();
-            (ControlReply::Metrics(text), false)
-        }
-        Control::Shutdown => {
-            shutdown.store(true, Ordering::SeqCst);
-            (ControlReply::ShuttingDown, true)
-        }
-    };
-    write_frame(stream, FrameKind::Response, 0, &reply.to_wire())?;
-    Ok(stop)
 }
 
 /// One-shot control request over a dedicated connection: ping a
@@ -775,7 +625,7 @@ pub fn control(addr: &str, msg: Control, timeout: Duration) -> Result<ControlRep
 mod tests {
     use super::*;
     use crate::endpoint::test_service::Adder;
-    use loco_sim::time::MICROS;
+    use loco_sim::time::{Nanos, MICROS};
 
     fn quick_policy() -> RetryPolicy {
         RetryPolicy {

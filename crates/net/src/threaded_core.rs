@@ -1,0 +1,355 @@
+//! Legacy thread-per-connection server core.
+//!
+//! This is the seed server model the event loop replaced: one blocking
+//! OS thread per accepted connection, each request handled and its
+//! reply written before the next frame is read, and durability enforced
+//! inline by the store's own sync policy (one fsync per acked RPC under
+//! `--sync-policy every-record`). It is kept behind
+//! `LOCO_SERVER_CORE=threaded` for two reasons:
+//!
+//! * it is the *baseline* the fig. 8 wire bench compares group commit
+//!   against — "≥2× over the thread-per-connection seed" is only an
+//!   honest number if the seed discipline is still runnable; and
+//! * it is a debugging fallback with radically simpler control flow
+//!   when event-loop behaviour itself is in question.
+//!
+//! Wire behaviour (framing, request/control dispatch, metrics, WAL
+//! gauges) is identical to the event core; only scheduling differs.
+
+use crate::endpoint::Service;
+use crate::frame::{crc32, decode_header, encode_frame, Frame, FrameKind, HEADER_LEN, MAX_PAYLOAD};
+use crate::metrics::ServerMetrics;
+use crate::rpc::{Control, ControlReply, RpcRequest, RpcResponse, SpanReply};
+use crate::tcp::{lock, run_maintain, ServeOptions};
+use loco_sim::des::ServerId;
+use loco_sim::time::Nanos;
+use loco_types::wire::Wire;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// How long a blocking read waits before rechecking the shutdown flag.
+const READ_TICK: Duration = Duration::from_millis(25);
+
+/// Read one frame, waiting for its *first* byte in `READ_TICK` slices
+/// so the thread notices shutdown between frames. Returns `Ok(None)` on
+/// clean close or shutdown-while-idle; once a frame has started, it is
+/// read to completion regardless of the flag (the client already
+/// committed to it).
+fn read_frame_interruptible(
+    stream: &mut TcpStream,
+    shutdown: &AtomicBool,
+) -> std::io::Result<Option<Frame>> {
+    let mut header = [0u8; HEADER_LEN];
+    loop {
+        match stream.read(&mut header[..1]) {
+            Ok(0) => return Ok(None),
+            Ok(_) => break,
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    return Ok(None);
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    read_exact_patient(stream, &mut header[1..])?;
+    let (kind, req_id, len, crc) = decode_header(&header)?;
+    let mut payload = vec![0u8; len];
+    read_exact_patient(stream, &mut payload)?;
+    if crc32(&payload) != crc {
+        return Err(std::io::Error::new(
+            ErrorKind::InvalidData,
+            "frame payload checksum mismatch",
+        ));
+    }
+    Ok(Some(Frame {
+        kind,
+        req_id,
+        payload,
+    }))
+}
+
+/// `read_exact` that rides out the socket's read timeout (set for
+/// shutdown polling) and EINTR.
+fn read_exact_patient(stream: &mut TcpStream, mut buf: &mut [u8]) -> std::io::Result<()> {
+    while !buf.is_empty() {
+        match stream.read(buf) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    ErrorKind::UnexpectedEof,
+                    "peer closed mid-frame",
+                ))
+            }
+            Ok(n) => buf = &mut buf[n..],
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    ErrorKind::WouldBlock | ErrorKind::TimedOut | ErrorKind::Interrupted
+                ) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// One connection's blocking serve loop: read a frame, handle it, write
+/// the reply, repeat. Returns when the peer closes, a frame is corrupt,
+/// a shutdown is noticed between frames, or a `Control::Shutdown`
+/// arrives on this connection.
+fn conn_loop<S>(
+    mut stream: TcpStream,
+    svc: Arc<Mutex<S>>,
+    shutdown: Arc<AtomicBool>,
+    opts: Arc<ServeOptions>,
+) where
+    S: Service,
+    S::Req: Wire,
+    S::Resp: Wire,
+{
+    let _ = stream.set_read_timeout(Some(READ_TICK));
+    while let Ok(Some(frame)) = read_frame_interruptible(&mut stream, &shutdown) {
+        let stop = match frame.kind {
+            FrameKind::Request => {
+                if handle_request::<S>(&mut stream, &svc, &opts, frame.req_id, &frame.payload)
+                    .is_err()
+                {
+                    break;
+                }
+                false
+            }
+            FrameKind::Control => match handle_control(&mut stream, &shutdown, &opts, &frame) {
+                Ok(stop) => stop,
+                Err(_) => break,
+            },
+            FrameKind::Response => break, // nonsense from a client
+        };
+        if stop {
+            break;
+        }
+    }
+}
+
+fn handle_request<S>(
+    stream: &mut TcpStream,
+    svc: &Arc<Mutex<S>>,
+    opts: &ServeOptions,
+    req_id: u64,
+    payload: &[u8],
+) -> Result<(), ()>
+where
+    S: Service,
+    S::Req: Wire,
+    S::Resp: Wire,
+{
+    let rpc = RpcRequest::<S::Req>::from_wire(payload).map_err(|_| ())?;
+    let traced = rpc.trace.is_some_and(|t| t.sampled);
+    let op = S::req_label(&rpc.body);
+    if let Some(m) = &opts.metrics {
+        m.begin();
+    }
+    let received = Instant::now();
+    let mut guard = lock(svc);
+    let queue_ns = received.elapsed().as_nanos() as Nanos;
+    // `handle` runs with the store's sync policy unmodified: under
+    // every-record durability this fsyncs before returning — the
+    // one-fsync-per-acked-RPC discipline this core exists to preserve.
+    let body = guard.handle(rpc.body);
+    let cost = guard.take_cost();
+    let span = traced.then(|| SpanReply {
+        op,
+        queue_ns,
+        attrs: guard.span_attrs(),
+    });
+    drop(guard);
+    if let Some(m) = &opts.metrics {
+        m.observe(op, cost, queue_ns);
+    }
+    let resp = RpcResponse { cost, span, body }.to_wire();
+    if resp.len() > MAX_PAYLOAD {
+        return Err(());
+    }
+    stream
+        .write_all(&encode_frame(FrameKind::Response, req_id, &resp))
+        .map_err(|_| ())
+}
+
+fn handle_control(
+    stream: &mut TcpStream,
+    shutdown: &AtomicBool,
+    opts: &ServeOptions,
+    frame: &Frame,
+) -> Result<bool, ()> {
+    let msg = Control::from_wire(&frame.payload).map_err(|_| ())?;
+    let (reply, stop) = match msg {
+        Control::Ping => (ControlReply::Pong, false),
+        Control::Metrics => {
+            let text = opts
+                .registry
+                .as_ref()
+                .map(|r| r.render_prometheus())
+                .unwrap_or_default();
+            (ControlReply::Metrics(text), false)
+        }
+        Control::Shutdown => {
+            shutdown.store(true, Ordering::SeqCst);
+            (ControlReply::ShuttingDown, true)
+        }
+    };
+    stream
+        .write_all(&encode_frame(FrameKind::Response, 0, &reply.to_wire()))
+        .map_err(|_| ())?;
+    Ok(stop)
+}
+
+/// Body of the accept thread when `LOCO_SERVER_CORE=threaded`: accepts
+/// connections, spawns one blocking serve thread each, runs periodic
+/// maintenance, and joins every connection thread on shutdown.
+pub(crate) fn run<S>(
+    listener: TcpListener,
+    svc: Arc<Mutex<S>>,
+    shutdown: Arc<AtomicBool>,
+    opts: ServeOptions,
+    id: ServerId,
+) where
+    S: Service + 'static,
+    S::Req: Wire,
+    S::Resp: Wire,
+{
+    let opts = Arc::new(opts);
+    let srv_metrics = opts
+        .registry
+        .as_ref()
+        .map(|r| ServerMetrics::register(r, id));
+    let open = Arc::new(AtomicUsize::new(0));
+    let mut threads = Vec::new();
+
+    run_maintain(&svc, &opts, id, false);
+    let mut last_maintain = Instant::now();
+
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if opts.max_conns > 0 && open.load(Ordering::SeqCst) >= opts.max_conns {
+                    if let Some(m) = &srv_metrics {
+                        m.conn_shed();
+                    }
+                    drop(stream);
+                    continue;
+                }
+                let _ = stream.set_nodelay(true);
+                let _ = stream.set_nonblocking(false);
+                open.fetch_add(1, Ordering::SeqCst);
+                if let Some(m) = &srv_metrics {
+                    m.conn_opened();
+                }
+                let svc = Arc::clone(&svc);
+                let shutdown = Arc::clone(&shutdown);
+                let opts = Arc::clone(&opts);
+                let open = Arc::clone(&open);
+                let m = srv_metrics.clone();
+                if let Ok(h) = std::thread::Builder::new()
+                    .name(format!("locod-conn-{}", open.load(Ordering::SeqCst)))
+                    .spawn(move || {
+                        conn_loop::<S>(stream, svc, shutdown, opts);
+                        open.fetch_sub(1, Ordering::SeqCst);
+                        if let Some(m) = &m {
+                            m.conn_closed();
+                        }
+                    })
+                {
+                    threads.push(h);
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => {
+                shutdown.store(true, Ordering::SeqCst);
+                break;
+            }
+        }
+        if let Some(every) = opts.maintain_every {
+            if last_maintain.elapsed() >= every {
+                run_maintain(&svc, &opts, id, false);
+                last_maintain = Instant::now();
+            }
+        }
+    }
+    drop(listener);
+    for h in threads {
+        let _ = h.join();
+    }
+    loco_faults::crashpoint("daemon_drain");
+    run_maintain(&svc, &opts, id, true);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::endpoint::test_service::Adder;
+    use crate::endpoint::{CallCtx, Endpoint};
+    use crate::rpc::{Control, ControlReply};
+    use crate::tcp::{control, RetryPolicy, TcpEndpoint};
+    use loco_sim::time::MICROS;
+
+    /// Boot the legacy core directly (no `LOCO_SERVER_CORE` env, which
+    /// would leak into concurrently booting test servers).
+    fn serve_threaded(cost: loco_sim::time::Nanos) -> (String, Arc<AtomicBool>) {
+        let id = ServerId::new(crate::class::FMS, 0);
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        listener.set_nonblocking(true).unwrap();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let svc = Arc::new(Mutex::new(Adder::new(cost)));
+        {
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::spawn(move || {
+                run::<Adder>(listener, svc, shutdown, ServeOptions::default(), id)
+            });
+        }
+        (addr, shutdown)
+    }
+
+    #[test]
+    fn threaded_core_serves_requests_and_control() {
+        let id = ServerId::new(crate::class::FMS, 0);
+        let (addr, shutdown) = serve_threaded(2 * MICROS);
+        let policy = RetryPolicy {
+            attempts: 3,
+            backoff: Duration::from_millis(5),
+            deadline: Duration::from_secs(2),
+            connect_timeout: Duration::from_secs(2),
+            reconnect_window: Duration::ZERO,
+        };
+        let ep = TcpEndpoint::<Adder>::with_policy(id, &addr, policy);
+        let mut ctx = CallCtx::new();
+        assert_eq!(ep.call(&mut ctx, 7), 7);
+        assert_eq!(ep.call(&mut ctx, 3), 10);
+        assert_eq!(ctx.visits()[1].service, 2 * MICROS);
+        // Concurrent connections each get their own serve thread.
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let ep = ep.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut ctx = CallCtx::new();
+                for _ in 0..25 {
+                    ep.call(&mut ctx, 1);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(ep.call(&mut ctx, 0), 110);
+        assert_eq!(
+            control(&addr, Control::Ping, Duration::from_secs(2)).unwrap(),
+            ControlReply::Pong
+        );
+        shutdown.store(true, Ordering::SeqCst);
+    }
+}

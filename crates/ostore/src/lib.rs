@@ -213,8 +213,25 @@ impl Service for ObjectStore {
             replayed_records: stats.replayed_records,
             snapshot_records: stats.snapshot_records,
             checkpoints: stats.checkpoints,
+            wal_fsyncs: stats.wal_fsyncs,
             checkpointed,
         })
+    }
+
+    fn defer_sync(&mut self, on: bool) -> bool {
+        self.db.persist_defer_sync(on)
+    }
+
+    fn take_commit_ticket(&mut self) -> Option<u64> {
+        self.db.persist_take_ticket()
+    }
+
+    fn commit_flush(&mut self) -> u64 {
+        self.db.persist_commit_flush()
+    }
+
+    fn commit_flush_begin(&mut self) -> Option<(u64, loco_net::CommitFsync)> {
+        self.db.persist_commit_flush_begin()
     }
 
     fn req_label(req: &OstoreRequest) -> &'static str {

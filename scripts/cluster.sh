@@ -8,6 +8,7 @@
 # Usage:
 #   scripts/cluster.sh [--fms N] [--ost N] [--base-port P] [--keep]
 #                      [--data-dir DIR] [--sync-policy POLICY]
+#                      [--workers N]
 #   scripts/cluster.sh crash ROLE      # kill -9 one daemon (e.g. fms0)
 #   scripts/cluster.sh restart ROLE    # restart it (same port + data dir)
 #   scripts/cluster.sh stop            # graceful drain of the whole cluster
@@ -17,6 +18,7 @@
 #   --base-port P  first listen port (default 7100)
 #   --data-dir DIR run durably: each role persists under DIR/<role><i>/
 #   --sync-policy  os-managed (default) or every-record
+#   --workers N    event-loop workers per daemon (default: locod auto)
 #   --keep         leave the cluster running (prints LOCO_CLUSTER and
 #                  exits; use the stop subcommand to drain it later)
 #
@@ -49,6 +51,9 @@ start_one() { # role index port data_dir sync_policy
   local extra=()
   if [[ "$data_dir" != "-" ]]; then
     extra+=(--data-dir "$data_dir" --sync-policy "$sync_policy")
+  fi
+  if [[ -n "${WORKERS:-}" ]]; then
+    extra+=(--workers "$WORKERS")
   fi
   "$LOCOD" serve --role "$role" --index "$index" --listen "$addr" \
     --metrics-out "$OUT/locod-$role$index.prom" "${extra[@]}" \
@@ -115,6 +120,7 @@ BASE_PORT=7100
 KEEP=0
 DATA_DIR="-"
 SYNC_POLICY=os-managed
+WORKERS="${WORKERS:-}"
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --fms) FMS=$2; shift 2 ;;
@@ -122,6 +128,7 @@ while [[ $# -gt 0 ]]; do
     --base-port) BASE_PORT=$2; shift 2 ;;
     --data-dir) DATA_DIR=$2; shift 2 ;;
     --sync-policy) SYNC_POLICY=$2; shift 2 ;;
+    --workers) WORKERS=$2; shift 2 ;;
     --keep) KEEP=1; shift ;;
     *) echo "unknown flag: $1" >&2; exit 2 ;;
   esac

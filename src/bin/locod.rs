@@ -67,6 +67,7 @@ USAGE:
               [--dms-backend {btree|hash}] [--fms-mode {decoupled|coupled}]
               [--data-dir ROOT] [--sync-policy {os-managed|every-record}]
               [--checkpoint-every N] [--maintain-ms MS]
+              [--workers N] [--max-conns N]
               [--metrics-out FILE]
   locod ping ADDR
   locod metrics ADDR
@@ -79,10 +80,14 @@ USAGE:
 The serve role maps to the LocoFS split: one dms (full-path d-inodes),
 N fms (consistent-hash file metadata; --index is the ring slot), and
 object stores. --data-dir ROOT makes the role durable under
-ROOT/<role><index>/ (WAL-before-ack + periodic checkpoints). Env
-knobs: LOCO_RPC_DEADLINE_MS / ATTEMPTS / BACKOFF_MS / RECONNECT_MS
-(client side), LOCO_TRACE (span sampling), LOCO_CRASHPOINT /
-LOCO_IOFAULT (fault injection, see loco-faults).";
+ROOT/<role><index>/ (WAL-before-ack + periodic checkpoints). The
+server runs an event-driven core: --workers sizes the readiness loops
+(0 = auto) and --max-conns caps open connections (0 = unlimited);
+durable roles batch WAL fsyncs across connections (disable with
+LOCO_GROUP_COMMIT=off). Env knobs: LOCO_RPC_DEADLINE_MS / ATTEMPTS /
+BACKOFF_MS / RECONNECT_MS / CONNS (client side), LOCO_TRACE (span
+sampling), LOCO_CRASHPOINT / LOCO_IOFAULT (fault injection, see
+loco-faults).";
 
 fn fail(msg: &str) -> ExitCode {
     eprintln!("locod: {msg}");
@@ -144,6 +149,8 @@ struct ServeArgs {
     sync_policy: SyncPolicy,
     checkpoint_every: Option<usize>,
     maintain_ms: u64,
+    workers: usize,
+    max_conns: usize,
 }
 
 fn parse_serve(args: &[String]) -> Result<ServeArgs, String> {
@@ -158,6 +165,8 @@ fn parse_serve(args: &[String]) -> Result<ServeArgs, String> {
         sync_policy: SyncPolicy::OsManaged,
         checkpoint_every: None,
         maintain_ms: 1000,
+        workers: 0,
+        max_conns: 0,
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -190,6 +199,16 @@ fn parse_serve(args: &[String]) -> Result<ServeArgs, String> {
                 out.maintain_ms = val()?
                     .parse()
                     .map_err(|_| "--maintain-ms must be an integer".to_string())?
+            }
+            "--workers" => {
+                out.workers = val()?
+                    .parse()
+                    .map_err(|_| "--workers must be an integer".to_string())?
+            }
+            "--max-conns" => {
+                out.max_conns = val()?
+                    .parse()
+                    .map_err(|_| "--max-conns must be an integer".to_string())?
             }
             other => return Err(format!("unknown flag {other:?}")),
         }
@@ -291,6 +310,9 @@ fn serve(args: &[String]) -> ExitCode {
             .data_dir
             .is_some()
             .then(|| Duration::from_millis(a.maintain_ms.max(1))),
+        workers: a.workers,
+        max_conns: a.max_conns,
+        ..Default::default()
     };
     let result = match a.role.as_str() {
         "dms" => {

@@ -34,6 +34,10 @@ fn main() -> ExitCode {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(2);
+    let threads: usize = std::env::var("LOCO_SMOKE_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
     let out_dir = std::env::var("LOCO_SMOKE_OUT").unwrap_or_else(|_| "results/cluster".to_string());
 
     let config = LocoConfig::default().traced(TraceMode::All);
@@ -87,6 +91,61 @@ fn main() -> ExitCode {
         if errors > 0 {
             failed = true;
         }
+    }
+
+    // Parallel slam (LOCO_SMOKE_THREADS > 1): each thread dials its own
+    // connections and drives a create/stat/remove stream concurrently,
+    // exercising the event loop's many-connection path and giving the
+    // group committer cross-connection batches to merge. Self-cleaning,
+    // like the sequential phases.
+    if threads > 1 {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::{Arc, Barrier};
+        let par_items: usize = items.clamp(1, 16);
+        let barrier = Arc::new(Barrier::new(threads));
+        let errors = Arc::new(AtomicUsize::new(0));
+        let t0 = std::time::Instant::now();
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let barrier = Arc::clone(&barrier);
+            let errors = Arc::clone(&errors);
+            handles.push(std::thread::spawn(move || {
+                let mut fs = LocoAdapter::with_transport(LocoConfig::default(), Transport::Tcp);
+                let dir = format!("/par{t}");
+                barrier.wait();
+                let check = |ok: bool| {
+                    if !ok {
+                        errors.fetch_add(1, Ordering::SeqCst);
+                    }
+                };
+                check(fs.mkdir(&dir).is_ok());
+                for i in 0..par_items {
+                    check(fs.create(&format!("{dir}/f{i}")).is_ok());
+                }
+                for i in 0..par_items {
+                    check(fs.stat_file(&format!("{dir}/f{i}")).is_ok());
+                }
+                for i in 0..par_items {
+                    check(fs.unlink(&format!("{dir}/f{i}")).is_ok());
+                }
+                check(fs.rmdir(&dir).is_ok());
+            }));
+        }
+        for h in handles {
+            if h.join().is_err() {
+                errors.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let errs = errors.load(Ordering::SeqCst);
+        let ops = threads * (3 * par_items + 2);
+        println!(
+            "  parallel   {:>5} ops  {} threads  {:.2}s  errors {}",
+            ops,
+            threads,
+            t0.elapsed().as_secs_f64(),
+            errs
+        );
+        failed |= errs > 0;
     }
 
     // One data round trip through the object store for good measure.

@@ -202,6 +202,75 @@ fn fms_restart_recovers_acked_namespace_from_durable_store() {
 }
 
 #[test]
+fn idle_pooled_conn_closed_by_server_redials_lazily_without_spurious_eio() {
+    // A daemon restart closes every pooled client connection. The next
+    // call on such a connection must not burn the retry budget (or
+    // surface a spurious EIO with attempts=1): the pool detects the
+    // dead connection — eagerly via the reader's dead flag, or lazily
+    // via one free same-slot redial when the failure only shows up
+    // after the write — and the call succeeds on a fresh socket.
+    use locofs::ostore::{OstoreRequest, OstoreResponse};
+    use locofs::types::Uuid;
+
+    let one_shot = RetryPolicy {
+        attempts: 1,
+        backoff: Duration::from_millis(1),
+        deadline: Duration::from_millis(2000),
+        connect_timeout: Duration::from_millis(2000),
+        reconnect_window: Duration::ZERO,
+    };
+    let id = ServerId::new(class::OST, 0);
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let mut guard = serve_tcp(
+        id,
+        ObjectStore::new(KvConfig::default()),
+        listener,
+        ServeOptions::default(),
+    )
+    .unwrap();
+    let addr = guard.addr();
+    let ep = TcpEndpoint::<ObjectStore>::with_policy(id, &addr.to_string(), one_shot);
+    let mut ctx = locofs::net::CallCtx::new();
+    let write = |ctx: &mut locofs::net::CallCtx, blk: u64| {
+        ep.try_call(
+            ctx,
+            OstoreRequest::WriteBlock {
+                uuid: Uuid::new(0, 1),
+                blk,
+                data: vec![7u8; 64],
+            },
+        )
+    };
+    // Warm every pool slot.
+    for blk in 0..4 {
+        assert!(matches!(
+            write(&mut ctx, blk),
+            Ok(OstoreResponse::Done(Ok(())))
+        ));
+    }
+    // Several restart rounds: each one leaves the whole pool pointing
+    // at sockets the old server closed.
+    for round in 0..5 {
+        guard.shutdown();
+        let listener = TcpListener::bind(addr).expect("rebind the freed port");
+        guard = serve_tcp(
+            id,
+            ObjectStore::new(KvConfig::default()),
+            listener,
+            ServeOptions::default(),
+        )
+        .unwrap();
+        for blk in 0..10 {
+            let r = write(&mut ctx, blk);
+            assert!(
+                matches!(r, Ok(OstoreResponse::Done(Ok(())))),
+                "round {round} blk {blk}: stale pooled conn must redial, got {r:?}"
+            );
+        }
+    }
+}
+
+#[test]
 fn deadline_fires_on_a_black_hole_server() {
     // A listener that accepts but never replies: the per-call deadline
     // (not TCP buffering) must bound the latency of every attempt.
