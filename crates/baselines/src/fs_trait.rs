@@ -75,4 +75,13 @@ pub trait DistFs {
     fn slow_ops_json(&mut self) -> Option<String> {
         None
     }
+
+    /// Flamegraph-ready folded stacks (`frame;frame value` lines).
+    /// With tracing on this folds the recorded span trees (client
+    /// work, network, per-RPC service and kv time); without tracing it
+    /// falls back to the always-on server-side attribution counters.
+    /// Baseline cost models return `None`.
+    fn folded_stacks(&mut self) -> Option<String> {
+        None
+    }
 }

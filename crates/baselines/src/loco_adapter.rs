@@ -193,6 +193,26 @@ impl DistFs for LocoAdapter {
         }
         Some(self.client.flight_recorder().dump_json())
     }
+
+    fn folded_stacks(&mut self) -> Option<String> {
+        if self.client.tracer().mode() != loco_client::TraceMode::Off {
+            // Fold the recorded span trees: the recent ring (complete
+            // under LOCO_TRACE=all) when present, the slowest rings
+            // otherwise.
+            let flight = self.client.flight_recorder();
+            let mut records = flight.recent();
+            if records.is_empty() {
+                records = flight.slowest();
+            }
+            if !records.is_empty() {
+                return Some(loco_obs::render_folded(&loco_obs::fold_records(&records)));
+            }
+        }
+        // Tracing off (or nothing sampled): the always-on server-side
+        // service/kv counters still yield per-role stacks.
+        let snap = self.client.registry().snapshot();
+        Some(loco_obs::render_folded(&loco_obs::fold_snapshot(&snap)))
+    }
 }
 
 #[cfg(test)]
@@ -237,10 +257,10 @@ mod tests {
         fs.create("/d/f").unwrap();
         let text = fs.metrics_text().expect("LocoFS carries a registry");
         assert!(
-            text.contains(r#"client_op_latency_nanos{op="mkdir",quantile="0.5"}"#),
+            text.contains(r#"loco_client_op_latency_nanos{op="mkdir",quantile="0.5"}"#),
             "{text}"
         );
-        assert!(text.contains("rpc_requests_total"), "{text}");
+        assert!(text.contains("loco_rpc_requests_total"), "{text}");
         assert!(text.contains(r#"role="dms""#), "{text}");
         assert!(text.contains(r#"role="fms""#), "{text}");
         // Baselines have none.

@@ -170,7 +170,9 @@ pub fn prepare_phase(
     }
 }
 
-pub use loco_mdtest::{dump_phase_metrics, dump_phase_slow_ops, prom_family_sum, BenchReport};
+pub use loco_mdtest::{
+    dump_phase_folded, dump_phase_metrics, dump_phase_slow_ops, prom_family_sum, BenchReport,
+};
 
 /// Parse a `--transport {sim,thread,tcp}` flag out of a bin's argument
 /// list, returning the remaining positional arguments and the chosen
@@ -234,6 +236,14 @@ pub fn measure_throughput_on(
     );
     dump_phase_metrics(&label, &mut *fs);
     dump_phase_slow_ops(&label, &mut *fs);
+    dump_phase_folded(&label, &mut *fs);
+    // Cells attached to an external cluster (`LOCO_CLUSTER`) share one
+    // namespace across the whole sweep — dropping `fs` doesn't clear
+    // it, so remove this cell's tree or the next setup hits
+    // AlreadyExists. In-process clusters die with `fs`; skip the ops.
+    if transport == Transport::Tcp && std::env::var("LOCO_CLUSTER").is_ok() {
+        loco_mdtest::cleanup_tree(&mut *fs, &spec);
+    }
     iops
 }
 
@@ -261,6 +271,7 @@ pub fn measure_latency(
     let label = format!("{} {phase:?} servers={servers} latency", kind.label());
     dump_phase_metrics(&label, &mut *fs);
     dump_phase_slow_ops(&label, &mut *fs);
+    dump_phase_folded(&label, &mut *fs);
     run
 }
 

@@ -112,6 +112,9 @@ pub struct LocoClient {
     watchdog: Arc<Watchdog>,
     /// Virtual-clock timestamp of the op in flight (trace timeline).
     op_start: Nanos,
+    /// Allocation counters at `begin`, taken only for sampled ops so
+    /// the unsampled path stays two branches with no TLS reads.
+    op_alloc0: Option<loco_obs::AllocSnapshot>,
     /// Caller user id (permission checks).
     pub uid: u32,
     /// Caller group id (permission checks).
@@ -175,16 +178,17 @@ impl LocoClient {
             contacted: HashSet::new(),
             gc_queue: Vec::new(),
             op_hists: HashMap::new(),
-            m_cache_hits: obs.registry.counter("client_cache_hits_total", &[]),
-            m_cache_misses: obs.registry.counter("client_cache_misses_total", &[]),
+            m_cache_hits: obs.registry.counter("loco_client_cache_hits_total", &[]),
+            m_cache_misses: obs.registry.counter("loco_client_cache_misses_total", &[]),
             m_cache_expired: obs
                 .registry
-                .counter("client_cache_expired_leases_total", &[]),
+                .counter("loco_client_cache_expired_leases_total", &[]),
             registry: obs.registry,
             tracer: obs.tracer,
             flight: obs.flight,
             watchdog: obs.watchdog,
             op_start: 0,
+            op_alloc0: None,
             uid,
             gid,
         }
@@ -201,11 +205,15 @@ impl LocoClient {
         if let Some(tc) = self.tracer.begin_op() {
             self.ctx.start_trace(tc.trace_id);
             self.watchdog.begin_inflight(tc.trace_id, self.clock);
+            self.op_alloc0 = Some(loco_obs::alloc::snapshot());
         }
         self.ctx.charge_client(self.cfg.client_work);
     }
 
     fn finish(&mut self, op: &'static str) {
+        // Delta first, before trace post-processing allocates, so a
+        // sampled op is charged only the heap traffic of its own work.
+        let client_alloc = self.op_alloc0.take().map(|s| s.delta());
         let mut trace = self.ctx.take_trace();
         // Per-op client overhead grows with the number of server
         // connections beyond the baseline pair (DMS + one FMS) — the
@@ -221,10 +229,10 @@ impl LocoClient {
         let hist = self
             .op_hists
             .entry(op)
-            .or_insert_with(|| registry.histogram("client_op_latency_nanos", &[("op", op)]))
+            .or_insert_with(|| registry.histogram("loco_client_op_latency_nanos", &[("op", op)]))
             .clone();
         if let Some(t) = self.ctx.take_op_trace() {
-            let rec = OpRecord::from_trace(
+            let mut rec = OpRecord::from_trace(
                 *t,
                 op,
                 self.op_start,
@@ -232,6 +240,16 @@ impl LocoClient {
                 trace.client_work,
                 self.cfg.rtt,
             );
+            if let Some((allocs, bytes)) = client_alloc {
+                rec.allocs = allocs;
+                rec.alloc_bytes = bytes;
+                self.registry
+                    .histogram("loco_client_alloc_per_op", &[("op", op)])
+                    .record(allocs);
+                self.registry
+                    .histogram("loco_client_alloc_bytes_per_op", &[("op", op)])
+                    .record(bytes);
+            }
             self.watchdog.end_inflight(rec.trace_id);
             // Judge against the histogram *before* this sample lands in
             // it — an outlier must not raise its own bar.

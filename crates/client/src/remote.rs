@@ -421,7 +421,8 @@ impl TransportCluster {
         // The daemons keep their own registries (scraped out of band
         // via Control::Metrics), so the client-side endpoints record
         // the *client's* view of each RPC into the local registry —
-        // without this, `rpc_*` families would be empty client-side.
+        // without this, `loco_rpc_*` families would be empty
+        // client-side.
         let dms = addrs
             .dms
             .iter()

@@ -26,8 +26,8 @@ pub mod trace;
 pub use ops::{gen_phase, gen_setup, Op, PhaseKind, TreeSpec};
 pub use report::BenchReport;
 pub use runner::{
-    collect_traces, dump_phase_metrics, dump_phase_slow_ops, prom_family_sum, run_latency,
-    run_setup, run_throughput, LatencyRun,
+    cleanup_tree, collect_traces, dump_phase_folded, dump_phase_metrics, dump_phase_slow_ops,
+    prom_family_sum, run_latency, run_setup, run_throughput, LatencyRun,
 };
 pub use sweep::{optimal_clients, sweep_clients};
 pub use trace::{OpMix, TraceGen};

@@ -12,7 +12,7 @@
 //! per-client cache for the directory-scoped caches all modeled systems
 //! use).
 
-use crate::ops::Op;
+use crate::ops::{Op, TreeSpec};
 use loco_baselines::DistFs;
 use loco_sim::des::{ClosedLoopSim, JobTrace, SimOutcome};
 use loco_sim::stats::LatencyStats;
@@ -62,6 +62,32 @@ pub fn run_setup(fs: &mut dyn DistFs, ops: &[Op]) -> FsResult<()> {
         let _ = fs.take_trace();
     }
     Ok(())
+}
+
+/// Best-effort removal of everything a bench cell may have left in the
+/// tree: per-client files and subdirectories, then the workdir chains
+/// deepest-first. Needed when cells share one long-lived cluster (TCP
+/// with `LOCO_CLUSTER`) where state survives the `DistFs` drop; every
+/// error is ignored because most phases already removed part of this.
+pub fn cleanup_tree(fs: &mut dyn DistFs, spec: &TreeSpec) {
+    for c in 0..spec.clients {
+        for i in 0..spec.items {
+            let _ = fs.unlink(&spec.file(c, i));
+            let _ = fs.rmdir(&spec.dir(c, i));
+            let _ = fs.take_trace();
+        }
+        let mut chain: Vec<String> = Vec::new();
+        let mut p = format!("/c{c}");
+        chain.push(p.clone());
+        for level in 1..spec.depth {
+            p.push_str(&format!("/d{level}"));
+            chain.push(p.clone());
+        }
+        for dir in chain.iter().rev() {
+            let _ = fs.rmdir(dir);
+            let _ = fs.take_trace();
+        }
+    }
 }
 
 /// Collect per-client trace streams by executing each client's ops.
@@ -117,10 +143,10 @@ pub fn dump_phase_metrics(label: &str, fs: &mut dyn DistFs) {
         eprintln!("--- end metrics [{label}] ---");
         return;
     }
-    let ops = prom_family_sum(&text, "client_op_latency_nanos_count");
-    let rpcs = prom_family_sum(&text, "rpc_requests_total");
-    let hits = prom_family_sum(&text, "client_cache_hits_total");
-    let misses = prom_family_sum(&text, "client_cache_misses_total");
+    let ops = prom_family_sum(&text, "loco_client_op_latency_nanos_count");
+    let rpcs = prom_family_sum(&text, "loco_rpc_requests_total");
+    let hits = prom_family_sum(&text, "loco_client_cache_hits_total");
+    let misses = prom_family_sum(&text, "loco_client_cache_misses_total");
     eprintln!(
         "[metrics] {label}: client_ops={ops} server_rpcs={rpcs} cache_hits={hits} cache_misses={misses}"
     );
@@ -140,6 +166,38 @@ pub fn dump_phase_slow_ops(label: &str, fs: &mut dyn DistFs) {
     eprintln!("--- slow ops [{label}] ---");
     eprintln!("{json}");
     eprintln!("--- end slow ops [{label}] ---");
+}
+
+/// Dump flamegraph-ready folded stacks after a phase when `LOCO_PROF`
+/// is set. `LOCO_PROF=stderr` (or `1`) prints a delimited block to
+/// stderr; any other value is treated as a directory and the stacks
+/// land in `<dir>/<label>.folded` (label sanitized), one file per
+/// phase — ready for `inferno-flamegraph` or `flamegraph.pl`.
+/// Unset/`off`, or a system without a registry, dumps nothing.
+pub fn dump_phase_folded(label: &str, fs: &mut dyn DistFs) {
+    let dest = std::env::var("LOCO_PROF").unwrap_or_default();
+    if dest.is_empty() || dest == "off" {
+        return;
+    }
+    let Some(folded) = fs.folded_stacks() else {
+        return;
+    };
+    if dest == "stderr" || dest == "1" {
+        eprintln!("--- folded stacks [{label}] ---");
+        eprint!("{folded}");
+        eprintln!("--- end folded stacks [{label}] ---");
+        return;
+    }
+    let name: String = label
+        .chars()
+        .map(|c| if c.is_alphanumeric() { c } else { '_' })
+        .collect();
+    let path = std::path::Path::new(&dest).join(format!("{name}.folded"));
+    if let Err(e) = std::fs::create_dir_all(&dest).and_then(|_| std::fs::write(&path, &folded)) {
+        eprintln!("[prof] {label}: cannot write {}: {e}", path.display());
+    } else {
+        eprintln!("[prof] {label}: folded stacks in {}", path.display());
+    }
 }
 
 /// Execute per-client streams and replay them through the closed-loop

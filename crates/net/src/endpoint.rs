@@ -37,8 +37,10 @@ pub trait Service: Send {
 
     /// Numeric span attributes describing the *last* handled request —
     /// typically the software-vs-KV split of `take_cost` plus KV byte
-    /// volumes. Read only for traced calls, after `take_cost`. The
-    /// default reports nothing.
+    /// volumes. Read after `take_cost`, for traced calls and for
+    /// metered endpoints (the `kv_ns` attr feeds the always-on
+    /// `loco_op_kv_nanos` counter behind the daemon-side folded
+    /// profile). The default reports nothing.
     fn span_attrs(&self) -> Vec<(&'static str, u64)> {
         Vec::new()
     }
@@ -369,17 +371,27 @@ impl<S: Service> Endpoint<S::Req, S::Resp> for SimEndpoint<S> {
             .as_ref()
             .map(|(_, t0)| t0.elapsed().as_nanos() as Nanos)
             .unwrap_or(0);
+        let alloc0 = op.as_ref().map(|_| loco_obs::alloc::snapshot());
         let resp = svc.handle(req);
+        let (allocs, alloc_bytes) = alloc0.map(|s| s.delta()).unwrap_or((0, 0));
         let service = svc.take_cost();
-        let attrs = traced.then(|| svc.span_attrs());
+        let attrs = op.as_ref().map(|_| svc.span_attrs());
         drop(svc);
         ctx.record(self.id, service);
         if let Some((label, _)) = op {
-            if let Some(attrs) = attrs {
-                ctx.record_span(self.id, label, service, queue_wait, attrs);
-            }
+            let mut attrs = attrs.unwrap_or_default();
             if let Some(m) = &self.metrics {
-                m.observe(label, service, queue_wait);
+                let kv_ns = attrs
+                    .iter()
+                    .find(|(k, _)| *k == "kv_ns")
+                    .map(|(_, v)| *v)
+                    .unwrap_or(0);
+                m.observe_profiled(label, service, queue_wait, kv_ns, allocs, alloc_bytes);
+            }
+            if traced {
+                attrs.push(("allocs", allocs));
+                attrs.push(("alloc_bytes", alloc_bytes));
+                ctx.record_span(self.id, label, service, queue_wait, attrs);
             }
         }
         resp

@@ -532,12 +532,24 @@ where
         // As with the in-process endpoints: queue wait is the real time
         // spent waiting for the single-writer service, here the mutex.
         let queue_ns = received.elapsed().as_nanos() as Nanos;
+        let alloc0 = loco_obs::alloc::snapshot();
         let body = guard.handle(rpc.body);
+        let (allocs, alloc_bytes) = alloc0.delta();
         let cost = guard.take_cost();
-        let span = traced.then(|| SpanReply {
-            op,
-            queue_ns,
-            attrs: guard.span_attrs(),
+        let attrs = if traced || self.opts.metrics.is_some() {
+            guard.span_attrs()
+        } else {
+            Vec::new()
+        };
+        let span = traced.then(|| {
+            let mut attrs = attrs.clone();
+            attrs.push(("allocs", allocs));
+            attrs.push(("alloc_bytes", alloc_bytes));
+            SpanReply {
+                op,
+                queue_ns,
+                attrs,
+            }
         });
         let group = self.commit.is_some() && !self.draining;
         let ticket = if self.commit.is_some() {
@@ -552,7 +564,12 @@ where
         }
         drop(guard);
         if let Some(m) = &self.opts.metrics {
-            m.observe(op, cost, queue_ns);
+            let kv_ns = attrs
+                .iter()
+                .find(|(k, _)| *k == "kv_ns")
+                .map(|(_, v)| *v)
+                .unwrap_or(0);
+            m.observe_profiled(op, cost, queue_ns, kv_ns, allocs, alloc_bytes);
         }
         let resp = RpcResponse { cost, span, body }.to_wire();
         if resp.len() > MAX_PAYLOAD {
@@ -601,6 +618,24 @@ where
             Control::Shutdown => {
                 self.shutdown.store(true, Ordering::SeqCst);
                 (ControlReply::ShuttingDown, true)
+            }
+            Control::Profile => {
+                let text = self
+                    .opts
+                    .registry
+                    .as_ref()
+                    .map(|r| loco_obs::render_folded(&loco_obs::fold_snapshot(&r.snapshot())))
+                    .unwrap_or_default();
+                (ControlReply::Profile(text), false)
+            }
+            Control::Series => {
+                let text = self
+                    .opts
+                    .series
+                    .as_ref()
+                    .map(|s| s.to_json())
+                    .unwrap_or_else(|| "{}".to_string());
+                (ControlReply::Series(text), false)
             }
         };
         let frame = encode_frame(FrameKind::Response, 0, &reply.to_wire());

@@ -8,19 +8,28 @@
 //! `mds`) and `server` index, so one registry snapshot covers the whole
 //! cluster.
 //!
-//! Metric families:
+//! Metric families (all `loco_`-prefixed — the whole export namespace
+//! is uniform so one scrape filter catches everything):
 //!
-//! * `rpc_requests_total{role,server}` — requests handled;
-//! * `rpc_service_nanos{role,server}` — virtual service time per
+//! * `loco_rpc_requests_total{role,server}` — requests handled;
+//! * `loco_rpc_service_nanos{role,server}` — virtual service time per
 //!   request (the same [`Nanos`] cost recorded into the visit trace,
 //!   so histogram sums equal trace sums — the integration tests rely
 //!   on this);
-//! * `rpc_queue_wait_nanos{role,server}` — *real* nanoseconds a request
-//!   waited before its handler ran (lock wait for `SimEndpoint`,
-//!   channel residence for `ThreadEndpoint`);
-//! * `rpc_op_service_nanos{role,server,op}` — service time split by
-//!   RPC type (from [`Service::req_label`]);
-//! * `rpc_inflight{role,server}` — requests currently being handled.
+//! * `loco_rpc_queue_wait_nanos{role,server}` — *real* nanoseconds a
+//!   request waited before its handler ran (lock wait for
+//!   `SimEndpoint`, channel residence for `ThreadEndpoint`);
+//! * `loco_rpc_op_service_nanos{role,server,op}` — service time split
+//!   by RPC type (from [`Service::req_label`]);
+//! * `loco_rpc_inflight{role,server}` — requests currently being
+//!   handled;
+//! * `loco_op_kv_nanos{role,server,op}` — KV-store share of the
+//!   service time, per RPC type (feeds the daemon-side folded-stack
+//!   profile, `loco_obs::fold_snapshot`);
+//! * `loco_alloc_per_op{role,server,op}` /
+//!   `loco_alloc_bytes_per_op{role,server,op}` — heap allocations and
+//!   bytes the handler performed per request (loco-prof counting
+//!   allocator; recorded by the server dispatch paths, always on).
 //!
 //! [`Service::req_label`]: crate::Service::req_label
 
@@ -52,7 +61,17 @@ pub struct EndpointMetrics {
     service: Arc<LogHistogram>,
     queue_wait: Arc<LogHistogram>,
     inflight: Arc<Gauge>,
-    per_op: Mutex<HashMap<&'static str, Arc<LogHistogram>>>,
+    per_op: Mutex<HashMap<&'static str, OpHandles>>,
+}
+
+/// Lazily-built per-RPC-type handles (one entry per distinct
+/// `req_label` an endpoint serves).
+#[derive(Clone)]
+struct OpHandles {
+    service: Arc<LogHistogram>,
+    allocs: Arc<LogHistogram>,
+    alloc_bytes: Arc<LogHistogram>,
+    kv_nanos: Arc<Counter>,
 }
 
 impl EndpointMetrics {
@@ -62,10 +81,10 @@ impl EndpointMetrics {
         let server = id.index.to_string();
         let labels: [(&str, &str); 2] = [("role", role), ("server", &server)];
         Arc::new(Self {
-            requests: registry.counter("rpc_requests_total", &labels),
-            service: registry.histogram("rpc_service_nanos", &labels),
-            queue_wait: registry.histogram("rpc_queue_wait_nanos", &labels),
-            inflight: registry.gauge("rpc_inflight", &labels),
+            requests: registry.counter("loco_rpc_requests_total", &labels),
+            service: registry.histogram("loco_rpc_service_nanos", &labels),
+            queue_wait: registry.histogram("loco_rpc_queue_wait_nanos", &labels),
+            inflight: registry.gauge("loco_rpc_inflight", &labels),
             registry: registry.clone(),
             role,
             server,
@@ -86,18 +105,54 @@ impl EndpointMetrics {
         self.requests.inc();
         self.service.record(service);
         self.queue_wait.record(queue_wait);
-        self.per_op_hist(op).record(service);
+        self.op_handles(op).service.record(service);
         self.inflight.dec();
     }
 
-    fn per_op_hist(&self, op: &'static str) -> Arc<LogHistogram> {
+    /// [`observe`](Self::observe) plus loco-prof resource attribution:
+    /// the handler's KV-time share (from its span attrs) and the heap
+    /// traffic the counting allocator charged to it. Server dispatch
+    /// paths use this; client-side mirrors use plain `observe` (a
+    /// client thread's allocations are charged per *op*, not per RPC).
+    pub fn observe_profiled(
+        &self,
+        op: &'static str,
+        service: Nanos,
+        queue_wait: Nanos,
+        kv_ns: u64,
+        allocs: u64,
+        alloc_bytes: u64,
+    ) {
+        self.requests.inc();
+        self.service.record(service);
+        self.queue_wait.record(queue_wait);
+        let h = self.op_handles(op);
+        h.service.record(service);
+        h.allocs.record(allocs);
+        h.alloc_bytes.record(alloc_bytes);
+        if kv_ns > 0 {
+            h.kv_nanos.add(kv_ns);
+        }
+        self.inflight.dec();
+    }
+
+    fn op_handles(&self, op: &'static str) -> OpHandles {
         let mut map = self.per_op.lock().unwrap_or_else(PoisonError::into_inner);
         map.entry(op)
             .or_insert_with(|| {
-                self.registry.histogram(
-                    "rpc_op_service_nanos",
-                    &[("role", self.role), ("server", &self.server), ("op", op)],
-                )
+                let labels = [
+                    ("role", self.role),
+                    ("server", self.server.as_str()),
+                    ("op", op),
+                ];
+                OpHandles {
+                    service: self
+                        .registry
+                        .histogram("loco_rpc_op_service_nanos", &labels),
+                    allocs: self.registry.histogram("loco_alloc_per_op", &labels),
+                    alloc_bytes: self.registry.histogram("loco_alloc_bytes_per_op", &labels),
+                    kv_nanos: self.registry.counter("loco_op_kv_nanos", &labels),
+                }
             })
             .clone()
     }
@@ -237,14 +292,38 @@ mod tests {
         assert_eq!(m.service_total(), 13_000);
 
         let text = reg.render_prometheus();
-        assert!(text.contains("rpc_requests_total{role=\"dms\",server=\"2\"} 3"));
-        assert!(
-            text.contains("rpc_op_service_nanos_count{op=\"Mkdir\",role=\"dms\",server=\"2\"} 2")
-        );
-        assert!(
-            text.contains("rpc_op_service_nanos_sum{op=\"GetDir\",role=\"dms\",server=\"2\"} 1000")
-        );
-        assert!(text.contains("rpc_inflight{role=\"dms\",server=\"2\"} 0"));
+        assert!(text.contains("loco_rpc_requests_total{role=\"dms\",server=\"2\"} 3"));
+        assert!(text
+            .contains("loco_rpc_op_service_nanos_count{op=\"Mkdir\",role=\"dms\",server=\"2\"} 2"));
+        assert!(text.contains(
+            "loco_rpc_op_service_nanos_sum{op=\"GetDir\",role=\"dms\",server=\"2\"} 1000"
+        ));
+        assert!(text.contains("loco_rpc_inflight{role=\"dms\",server=\"2\"} 0"));
+    }
+
+    #[test]
+    fn observe_profiled_attributes_kv_and_heap_traffic() {
+        let reg = MetricsRegistry::shared();
+        let m = EndpointMetrics::register(&reg, ServerId::new(crate::class::FMS, 1));
+        m.begin();
+        m.observe_profiled("Create", 9_000, 100, 6_000, 12, 4_096);
+        m.begin();
+        m.observe_profiled("Create", 11_000, 0, 7_000, 8, 1_024);
+        assert_eq!(m.requests(), 2);
+
+        let text = reg.render_prometheus();
+        assert!(text.contains("loco_op_kv_nanos{op=\"Create\",role=\"fms\",server=\"1\"} 13000"));
+        assert!(text.contains("loco_alloc_per_op_count{op=\"Create\",role=\"fms\",server=\"1\"} 2"));
+        assert!(text.contains("loco_alloc_per_op_sum{op=\"Create\",role=\"fms\",server=\"1\"} 20"));
+        assert!(text
+            .contains("loco_alloc_bytes_per_op_sum{op=\"Create\",role=\"fms\",server=\"1\"} 5120"));
+
+        // The daemon-side folded profile derives from exactly these
+        // families.
+        let stacks = loco_obs::fold_snapshot(&reg.snapshot());
+        let get = |s: &str| stacks.iter().find(|(k, _)| k == s).map(|(_, v)| *v);
+        assert_eq!(get("fms1;Create"), Some(20_000 - 13_000));
+        assert_eq!(get("fms1;Create;kv"), Some(13_000));
     }
 
     #[test]

@@ -199,6 +199,13 @@ pub enum Control {
     Metrics,
     /// Ask the server to drain in-flight requests and exit.
     Shutdown,
+    /// Ask the server for its folded-stack profile (loco-prof): per-RPC
+    /// service time split into software and KV frames, in inferno text.
+    Profile,
+    /// Ask the server for its metrics time-series window as JSON
+    /// (periodic counter deltas + gauge levels; see
+    /// `loco_obs::TimeSeriesRing`).
+    Series,
 }
 
 /// Server reply to a [`Control`] message.
@@ -210,6 +217,11 @@ pub enum ControlReply {
     Metrics(String),
     /// Shutdown acknowledged; the server closes after draining.
     ShuttingDown,
+    /// Folded-stack profile text (`stack value` lines).
+    Profile(String),
+    /// Time-series window JSON; empty object when the daemon was not
+    /// started with a series ring.
+    Series(String),
 }
 
 impl Wire for Control {
@@ -218,6 +230,8 @@ impl Wire for Control {
             Control::Ping => 0,
             Control::Metrics => 1,
             Control::Shutdown => 2,
+            Control::Profile => 3,
+            Control::Series => 4,
         });
     }
     fn get(buf: &mut &[u8]) -> WireResult<Self> {
@@ -225,6 +239,8 @@ impl Wire for Control {
             0 => Control::Ping,
             1 => Control::Metrics,
             2 => Control::Shutdown,
+            3 => Control::Profile,
+            4 => Control::Series,
             tag => {
                 return Err(WireError::BadTag {
                     what: "control",
@@ -244,6 +260,14 @@ impl Wire for ControlReply {
                 text.put(out);
             }
             ControlReply::ShuttingDown => out.push(2),
+            ControlReply::Profile(text) => {
+                out.push(3);
+                text.put(out);
+            }
+            ControlReply::Series(text) => {
+                out.push(4);
+                text.put(out);
+            }
         }
     }
     fn get(buf: &mut &[u8]) -> WireResult<Self> {
@@ -251,6 +275,8 @@ impl Wire for ControlReply {
             0 => ControlReply::Pong,
             1 => ControlReply::Metrics(String::get(buf)?),
             2 => ControlReply::ShuttingDown,
+            3 => ControlReply::Profile(String::get(buf)?),
+            4 => ControlReply::Series(String::get(buf)?),
             tag => {
                 return Err(WireError::BadTag {
                     what: "control-reply",
@@ -326,13 +352,21 @@ mod tests {
 
     #[test]
     fn control_roundtrip() {
-        for c in [Control::Ping, Control::Metrics, Control::Shutdown] {
+        for c in [
+            Control::Ping,
+            Control::Metrics,
+            Control::Shutdown,
+            Control::Profile,
+            Control::Series,
+        ] {
             assert_eq!(Control::from_wire(&c.to_wire()), Ok(c));
         }
         for r in [
             ControlReply::Pong,
             ControlReply::Metrics("# HELP x\n".into()),
             ControlReply::ShuttingDown,
+            ControlReply::Profile("dms0;Mknod;kv 9\n".into()),
+            ControlReply::Series("{\"points\":[]}".into()),
         ] {
             let back = ControlReply::from_wire(&r.to_wire()).unwrap();
             assert_eq!(back, r);

@@ -459,6 +459,11 @@ pub struct ServeOptions {
     /// the worker stops reading that connection until the socket
     /// accepts the backlog (slow-reader backpressure).
     pub write_buf_limit: usize,
+    /// Metrics time-series ring answered to [`Control::Series`]
+    /// scrapes. Ticked with a registry snapshot on the maintenance
+    /// timer (so it needs both `registry` and `maintain_every` to
+    /// accumulate points).
+    pub series: Option<Arc<loco_obs::TimeSeriesRing>>,
 }
 
 impl Default for ServeOptions {
@@ -471,6 +476,7 @@ impl Default for ServeOptions {
             max_conns: 0,
             pipeline_limit: 128,
             write_buf_limit: 1 << 20,
+            series: None,
         }
     }
 }
@@ -576,6 +582,9 @@ pub(crate) fn run_maintain<S: Service>(
     id: ServerId,
     drain: bool,
 ) -> Option<MaintainReport> {
+    // The series ring ticks on the same cadence, volatile or durable —
+    // it must advance even when `maintain` has nothing to report.
+    tick_series(opts);
     let report = lock(svc).maintain(drain)?;
     if let Some(reg) = &opts.registry {
         let role = crate::metrics::role_name(id.class);
@@ -600,6 +609,19 @@ pub(crate) fn run_maintain<S: Service>(
         }
     }
     Some(report)
+}
+
+/// Advance the daemon's metrics time series with a fresh registry
+/// snapshot (no-op unless both a series ring and a registry are
+/// wired).
+pub(crate) fn tick_series(opts: &ServeOptions) {
+    if let (Some(series), Some(reg)) = (&opts.series, &opts.registry) {
+        let at_ms = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        series.tick(at_ms, &reg.snapshot());
+    }
 }
 
 /// One-shot control request over a dedicated connection: ping a
@@ -737,7 +759,7 @@ mod tests {
         match control(&addr, Control::Metrics, timeout).unwrap() {
             ControlReply::Metrics(text) => {
                 assert!(
-                    text.contains("rpc_requests_total{role=\"dms\",server=\"0\"} 1"),
+                    text.contains("loco_rpc_requests_total{role=\"dms\",server=\"0\"} 1"),
                     "metrics cross the wire: {text}"
                 );
             }

@@ -102,15 +102,32 @@ where
                         if let Some(m) = &metrics {
                             m.begin();
                         }
+                        let alloc0 = loco_obs::alloc::snapshot();
                         let resp = svc.handle(req);
+                        let (allocs, alloc_bytes) = alloc0.delta();
                         let cost = svc.take_cost();
-                        let span = traced.then(|| SpanReply {
-                            op,
-                            queue_ns: queue_wait,
-                            attrs: svc.span_attrs(),
+                        let attrs = if traced || metrics.is_some() {
+                            svc.span_attrs()
+                        } else {
+                            Vec::new()
+                        };
+                        let span = traced.then(|| {
+                            let mut attrs = attrs.clone();
+                            attrs.push(("allocs", allocs));
+                            attrs.push(("alloc_bytes", alloc_bytes));
+                            SpanReply {
+                                op,
+                                queue_ns: queue_wait,
+                                attrs,
+                            }
                         });
                         if let Some(m) = &metrics {
-                            m.observe(op, cost, queue_wait);
+                            let kv_ns = attrs
+                                .iter()
+                                .find(|(k, _)| *k == "kv_ns")
+                                .map(|(_, v)| *v)
+                                .unwrap_or(0);
+                            m.observe_profiled(op, cost, queue_wait, kv_ns, allocs, alloc_bytes);
                         }
                         // A dropped reply sender just means the client
                         // went away; keep serving.

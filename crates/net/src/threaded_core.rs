@@ -157,16 +157,33 @@ where
     // `handle` runs with the store's sync policy unmodified: under
     // every-record durability this fsyncs before returning — the
     // one-fsync-per-acked-RPC discipline this core exists to preserve.
+    let alloc0 = loco_obs::alloc::snapshot();
     let body = guard.handle(rpc.body);
+    let (allocs, alloc_bytes) = alloc0.delta();
     let cost = guard.take_cost();
-    let span = traced.then(|| SpanReply {
-        op,
-        queue_ns,
-        attrs: guard.span_attrs(),
+    let attrs = if traced || opts.metrics.is_some() {
+        guard.span_attrs()
+    } else {
+        Vec::new()
+    };
+    let span = traced.then(|| {
+        let mut attrs = attrs.clone();
+        attrs.push(("allocs", allocs));
+        attrs.push(("alloc_bytes", alloc_bytes));
+        SpanReply {
+            op,
+            queue_ns,
+            attrs,
+        }
     });
     drop(guard);
     if let Some(m) = &opts.metrics {
-        m.observe(op, cost, queue_ns);
+        let kv_ns = attrs
+            .iter()
+            .find(|(k, _)| *k == "kv_ns")
+            .map(|(_, v)| *v)
+            .unwrap_or(0);
+        m.observe_profiled(op, cost, queue_ns, kv_ns, allocs, alloc_bytes);
     }
     let resp = RpcResponse { cost, span, body }.to_wire();
     if resp.len() > MAX_PAYLOAD {
@@ -197,6 +214,22 @@ fn handle_control(
         Control::Shutdown => {
             shutdown.store(true, Ordering::SeqCst);
             (ControlReply::ShuttingDown, true)
+        }
+        Control::Profile => {
+            let text = opts
+                .registry
+                .as_ref()
+                .map(|r| loco_obs::render_folded(&loco_obs::fold_snapshot(&r.snapshot())))
+                .unwrap_or_default();
+            (ControlReply::Profile(text), false)
+        }
+        Control::Series => {
+            let text = opts
+                .series
+                .as_ref()
+                .map(|s| s.to_json())
+                .unwrap_or_else(|| "{}".to_string());
+            (ControlReply::Series(text), false)
         }
     };
     stream

@@ -1,0 +1,167 @@
+//! loco-prof allocation accounting: a counting `#[global_allocator]`
+//! wrapper.
+//!
+//! LocoFS's central performance claim (§3.3: key-value metadata needs
+//! *no serialization*) is ultimately an allocation/copy argument, so
+//! the profiling layer must be able to say how many heap allocations —
+//! and how many bytes — one operation cost. [`CountingAlloc`] wraps
+//! the system allocator and bumps two *thread-local* counters on every
+//! `alloc`/`alloc_zeroed`/`realloc`. Attribution is by differencing:
+//! take an [`AllocSnapshot`] before a region of interest (a span enter,
+//! a request handler) and read [`AllocSnapshot::delta`] after it.
+//!
+//! Design constraints:
+//!
+//! * **Thread-local, relaxed, no branches on the hot path.** Two
+//!   `Cell` bumps per allocation (single-digit nanoseconds, dwarfed by
+//!   the allocation itself). Nothing is shared, so there is no cache
+//!   contention and no ordering to pay for.
+//! * **Deallocation is not counted.** The question the profile answers
+//!   is "how much allocator traffic does this op *cause*", and frees
+//!   of that memory follow from the allocs; counting both would merely
+//!   double the numbers.
+//! * **Snapshotting is the only cost when profiling is off**: the
+//!   per-op paths snapshot only for sampled ops, so `LOCO_TRACE=off`
+//!   keeps the client op path at its PR 2 cost (a single branch).
+//! * **Safe during thread teardown.** TLS may already be destroyed
+//!   when late allocations happen (thread-local destructors); the
+//!   counters use `try_with` and silently skip those.
+//!
+//! The workspace installs this allocator once, in `loco-obs` itself
+//! (see `lib.rs`), so every binary that links any part of the stack —
+//! daemons, benches, integration tests — gets identical accounting.
+//! Code that must behave sensibly under a non-counting allocator (unit
+//! tests of a crate that happens not to link `loco-obs` would be the
+//! only case) can check [`counting_installed`].
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+thread_local! {
+    /// `(allocation count, allocated bytes)` since thread start.
+    static ALLOC_TL: Cell<(u64, u64)> = const { Cell::new((0, 0)) };
+}
+
+/// A [`GlobalAlloc`] that delegates to [`System`] and counts
+/// allocations per thread. Install with `#[global_allocator]`.
+pub struct CountingAlloc;
+
+#[inline]
+fn count(bytes: usize) {
+    // `try_with`: allocations during TLS destruction must not abort.
+    let _ = ALLOC_TL.try_with(|c| {
+        let (n, b) = c.get();
+        c.set((n + 1, b + bytes as u64));
+    });
+}
+
+// SAFETY: pure delegation to `System`; the TLS bump has no effect on
+// the returned memory.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        count(layout.size());
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        count(layout.size());
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // A realloc is one more allocator round-trip; charge only the
+        // growth so `alloc_bytes` approximates total bytes requested.
+        count(new_size.saturating_sub(layout.size()));
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+/// Point-in-time reading of the calling thread's allocation counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AllocSnapshot {
+    /// Allocations observed on this thread so far.
+    pub allocs: u64,
+    /// Bytes requested from the allocator on this thread so far.
+    pub bytes: u64,
+}
+
+impl AllocSnapshot {
+    /// `(allocations, bytes)` on this thread since `self` was taken.
+    #[inline]
+    pub fn delta(&self) -> (u64, u64) {
+        let now = snapshot();
+        (
+            now.allocs.wrapping_sub(self.allocs),
+            now.bytes.wrapping_sub(self.bytes),
+        )
+    }
+}
+
+/// Read the calling thread's allocation counters.
+#[inline]
+pub fn snapshot() -> AllocSnapshot {
+    ALLOC_TL
+        .try_with(|c| {
+            let (allocs, bytes) = c.get();
+            AllocSnapshot { allocs, bytes }
+        })
+        .unwrap_or_default()
+}
+
+/// Whether the process's global allocator is actually the counting one.
+/// (It is for every workspace binary — `loco-obs` installs it — but
+/// attribution tests guard on this so they degrade gracefully instead
+/// of asserting `allocs > 0` under a foreign allocator.)
+pub fn counting_installed() -> bool {
+    let before = snapshot();
+    let probe = std::hint::black_box(Box::new(0xA110Cu64));
+    drop(std::hint::black_box(probe));
+    before.delta().0 > 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_allocator_is_installed_in_this_workspace() {
+        assert!(counting_installed());
+    }
+
+    #[test]
+    fn delta_sees_allocation_count_and_bytes() {
+        let s = snapshot();
+        let v = std::hint::black_box(vec![0u8; 4096]);
+        let (allocs, bytes) = s.delta();
+        drop(v);
+        assert!(allocs >= 1, "one Vec allocation observed");
+        assert!(bytes >= 4096, "at least the Vec's bytes: {bytes}");
+    }
+
+    #[test]
+    fn counters_are_per_thread() {
+        let s = snapshot();
+        std::thread::spawn(|| {
+            let _big = std::hint::black_box(vec![0u8; 1 << 20]);
+        })
+        .join()
+        .unwrap();
+        let (_, bytes) = s.delta();
+        assert!(
+            bytes < 1 << 20,
+            "another thread's MiB must not land here: {bytes}"
+        );
+    }
+
+    #[test]
+    fn dealloc_is_not_counted() {
+        let v = std::hint::black_box(vec![0u8; 512]);
+        let s = snapshot();
+        drop(std::hint::black_box(v));
+        assert_eq!(s.delta().0, 0, "frees do not bump the counter");
+    }
+}

@@ -1,0 +1,270 @@
+//! Flamegraph-style span folding (loco-prof).
+//!
+//! A flight-recorder span tree answers "where did *this* op go slow?";
+//! a folded-stack profile answers "where do *all* the cycles go?". This
+//! module aggregates [`OpRecord`] span trees into the classic
+//! semicolon-separated folded format that `inferno` / `flamegraph.pl`
+//! consume directly:
+//!
+//! ```text
+//! create;dms0.Mknod 41000
+//! create;dms0.Mknod;kv 8000
+//! create;net 348000
+//! create 2000
+//! ```
+//!
+//! Each line is `frame;frame;…frame <self-value>` — the value is the
+//! *self* time of the leaf frame (nanoseconds here), so a flamegraph
+//! renderer recovers total time by summation. The frame vocabulary
+//! mirrors [`OpRecord::layer_breakdown`]: the bare op frame carries
+//! client-side work, `net` carries Σ RTT, a `server.RpcOp` frame
+//! carries the handler's software time, its `queue` child the queue
+//! wait, and its `kv` child the key-value store share — making the
+//! paper's "where does metadata time go" question (§2.2.1) one
+//! flamegraph wide.
+//!
+//! Daemons can't see client records, so [`fold_snapshot`] derives the
+//! same format from a server's own metrics registry
+//! (`loco_rpc_op_service_nanos` totals split by the
+//! `loco_op_kv_nanos` counter) — this is what the `Profile` control
+//! frame and `locod profile ADDR` return.
+
+use crate::metrics::{MetricValue, Snapshot};
+use crate::trace::OpRecord;
+use std::collections::BTreeMap;
+
+/// Aggregated folded stacks: `(stack, value)` sorted by stack. One
+/// entry per distinct frame path; values are nanoseconds of self time.
+pub type FoldedStacks = Vec<(String, u64)>;
+
+fn bump(agg: &mut BTreeMap<String, u64>, stack: String, v: u64) {
+    if v > 0 {
+        *agg.entry(stack).or_insert(0) += v;
+    }
+}
+
+/// Fold client-side op records into stacks rooted at the op class.
+///
+/// Frames: `op` (client work), `op;net` (Σ RTT), `op;server.RpcOp`
+/// (handler software time), with `;queue` and `;kv` children for the
+/// queue-wait and KV shares of each visit.
+pub fn fold_records(records: &[OpRecord]) -> FoldedStacks {
+    let mut agg = BTreeMap::new();
+    for rec in records {
+        bump(&mut agg, rec.op.clone(), rec.client_work_ns);
+        bump(
+            &mut agg,
+            format!("{};net", rec.op),
+            rec.visits.len() as u64 * rec.rtt_ns,
+        );
+        for v in &rec.visits {
+            let frame = format!("{};{}.{}", rec.op, v.server, v.op);
+            let kv = v.attr("kv_ns").min(v.service_ns);
+            bump(&mut agg, format!("{frame};kv"), kv);
+            bump(&mut agg, format!("{frame};queue"), v.queue_ns);
+            bump(&mut agg, frame, v.service_ns - kv);
+        }
+    }
+    agg.into_iter().collect()
+}
+
+/// Fold a daemon's registry snapshot into per-RPC stacks rooted at the
+/// serving daemon: `dms0;Mknod 41000` / `dms0;Mknod;kv 8000`.
+///
+/// Uses the always-on `loco_rpc_op_service_nanos{op,role,server}`
+/// histograms (total service time per RPC type) and the
+/// `loco_op_kv_nanos` counters (KV share of that time), so a profile
+/// is available from any live daemon with tracing entirely off.
+pub fn fold_snapshot(snap: &Snapshot) -> FoldedStacks {
+    let mut agg = BTreeMap::new();
+    let label = |labels: &[(String, String)], key: &str| {
+        labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.clone())
+            .unwrap_or_default()
+    };
+    // KV share per (role, server, op), to subtract from service totals.
+    let mut kv: BTreeMap<(String, String, String), u64> = BTreeMap::new();
+    for (id, value) in &snap.entries {
+        if id.name != "loco_op_kv_nanos" {
+            continue;
+        }
+        if let MetricValue::Counter(ns) = value {
+            let key = (
+                label(&id.labels, "role"),
+                label(&id.labels, "server"),
+                label(&id.labels, "op"),
+            );
+            *kv.entry(key).or_insert(0) += ns;
+        }
+    }
+    for (id, value) in &snap.entries {
+        if id.name != "loco_rpc_op_service_nanos" {
+            continue;
+        }
+        if let MetricValue::Histogram(h) = value {
+            let (role, server, op) = (
+                label(&id.labels, "role"),
+                label(&id.labels, "server"),
+                label(&id.labels, "op"),
+            );
+            let kv_ns = kv
+                .get(&(role.clone(), server.clone(), op.clone()))
+                .copied()
+                .unwrap_or(0)
+                .min(h.sum);
+            let frame = format!("{role}{server};{op}");
+            bump(&mut agg, format!("{frame};kv"), kv_ns);
+            bump(&mut agg, frame, h.sum - kv_ns);
+        }
+    }
+    agg.into_iter().collect()
+}
+
+/// Render folded stacks as inferno-compatible text: one
+/// `stack value\n` line per entry.
+pub fn render_folded(stacks: &FoldedStacks) -> String {
+    let mut out = String::new();
+    for (stack, v) in stacks {
+        out.push_str(stack);
+        out.push(' ');
+        out.push_str(&v.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse folded-stack text back into `(stack, value)` pairs; the
+/// inverse of [`render_folded`]. Lines that are blank or lack a
+/// trailing integer are rejected (the format has no comments).
+pub fn parse_folded(text: &str) -> Result<FoldedStacks, String> {
+    let mut stacks = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let (stack, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {}: no value: {line:?}", i + 1))?;
+        let v: u64 = value
+            .parse()
+            .map_err(|_| format!("line {}: bad value {value:?}", i + 1))?;
+        if stack.is_empty() {
+            return Err(format!("line {}: empty stack", i + 1));
+        }
+        stacks.push((stack.to_string(), v));
+    }
+    Ok(stacks)
+}
+
+/// Total self time attributed to stacks whose leaf frame is `leaf`
+/// (e.g. `"kv"` → all KV time, across every op and server).
+pub fn leaf_total(stacks: &FoldedStacks, leaf: &str) -> u64 {
+    stacks
+        .iter()
+        .filter(|(s, _)| s.rsplit(';').next() == Some(leaf))
+        .map(|(_, v)| *v)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::VisitSpan;
+
+    fn rec(op: &str, visits: Vec<VisitSpan>) -> OpRecord {
+        OpRecord {
+            trace_id: 1,
+            op: op.into(),
+            detail: String::new(),
+            start_ns: 0,
+            latency_ns: 500_000,
+            client_work_ns: 2_000,
+            rtt_ns: 174_000,
+            allocs: 0,
+            alloc_bytes: 0,
+            attrs: Vec::new(),
+            visits,
+        }
+    }
+
+    fn visit(server: &str, op: &str, service: u64, kv: u64, queue: u64) -> VisitSpan {
+        VisitSpan {
+            span_id: 2,
+            parent: 1,
+            class: 0,
+            index: 0,
+            server: server.into(),
+            op: op.into(),
+            queue_ns: queue,
+            service_ns: service,
+            attrs: vec![("kv_ns", kv)],
+        }
+    }
+
+    #[test]
+    fn folds_client_records_into_layer_stacks() {
+        let records = vec![
+            rec("create", vec![visit("dms0", "Mknod", 10_000, 8_000, 500)]),
+            rec("create", vec![visit("dms0", "Mknod", 12_000, 9_000, 0)]),
+            rec("stat", vec![visit("fms1", "GetAttr", 4_000, 1_000, 0)]),
+        ];
+        let stacks = fold_records(&records);
+        let get = |s: &str| stacks.iter().find(|(k, _)| k == s).map(|(_, v)| *v);
+        assert_eq!(get("create"), Some(4_000), "client work aggregates");
+        assert_eq!(get("create;net"), Some(2 * 174_000));
+        assert_eq!(
+            get("create;dms0.Mknod"),
+            Some(10_000 - 8_000 + 12_000 - 9_000)
+        );
+        assert_eq!(get("create;dms0.Mknod;kv"), Some(17_000));
+        assert_eq!(get("create;dms0.Mknod;queue"), Some(500));
+        assert_eq!(get("stat;fms1.GetAttr;kv"), Some(1_000));
+        // Total of the profile equals total attributed time.
+        let total: u64 = stacks.iter().map(|(_, v)| v).sum();
+        let expected: u64 = records
+            .iter()
+            .map(|r| {
+                r.client_work_ns
+                    + r.visits.len() as u64 * r.rtt_ns
+                    + r.visits
+                        .iter()
+                        .map(|v| v.service_ns + v.queue_ns)
+                        .sum::<u64>()
+            })
+            .sum();
+        assert_eq!(total, expected);
+    }
+
+    #[test]
+    fn folds_a_registry_snapshot_with_kv_split() {
+        let reg = crate::MetricsRegistry::new();
+        let labels = &[("role", "dms"), ("server", "0"), ("op", "Mknod")];
+        let h = reg.histogram("loco_rpc_op_service_nanos", labels);
+        h.record(10_000);
+        h.record(12_000);
+        reg.counter("loco_op_kv_nanos", labels).add(17_000);
+        let stacks = fold_snapshot(&reg.snapshot());
+        let get = |s: &str| stacks.iter().find(|(k, _)| k == s).map(|(_, v)| *v);
+        assert_eq!(get("dms0;Mknod"), Some(5_000));
+        assert_eq!(get("dms0;Mknod;kv"), Some(17_000));
+    }
+
+    #[test]
+    fn render_parse_round_trips_and_rejects_garbage() {
+        let stacks: FoldedStacks = vec![
+            ("create;dms0.Mknod;kv".into(), 8_000),
+            ("create;net".into(), 348_000),
+        ];
+        let text = render_folded(&stacks);
+        assert_eq!(text, "create;dms0.Mknod;kv 8000\ncreate;net 348000\n");
+        assert_eq!(parse_folded(&text).unwrap(), stacks);
+        assert_eq!(leaf_total(&stacks, "kv"), 8_000);
+        assert_eq!(leaf_total(&stacks, "net"), 348_000);
+
+        assert!(parse_folded("no-value-here").is_err());
+        assert!(parse_folded("stack notanumber").is_err());
+        assert!(parse_folded(" 5").is_err());
+    }
+}

@@ -20,22 +20,42 @@
 //!   in-flight deadlines) emitting structured warn events with the
 //!   span tree attached;
 //! * [`json`] — the minimal in-tree JSON writer/parser backing the
-//!   trace exporter (the workspace builds offline, without serde).
+//!   trace exporter (the workspace builds offline, without serde);
+//! * loco-prof ([`alloc`], [`fold`], [`series`], [`promtext`]) — the
+//!   resource-attribution layer: a counting global allocator charging
+//!   heap traffic to ops and spans, flamegraph-style folded-stack
+//!   aggregation of span trees, per-daemon metrics time series, and a
+//!   Prometheus text parser for scrapers like `locotop`.
 //!
 //! This crate depends on nothing — not even the rest of the workspace —
 //! so every layer (net, kv, servers, client, bench) can use it freely.
 
+pub mod alloc;
+pub mod fold;
 pub mod hist;
 pub mod json;
 pub mod metrics;
+pub mod promtext;
 pub mod recorder;
+pub mod series;
 pub mod trace;
 pub mod trace_event;
 pub mod watchdog;
 
+/// The workspace-wide counting allocator (loco-prof). Installed here,
+/// at the bottom of the dependency graph, so every binary linking any
+/// part of the stack gets identical per-thread allocation accounting.
+#[global_allocator]
+static GLOBAL_ALLOC: alloc::CountingAlloc = alloc::CountingAlloc;
+
+pub use alloc::{counting_installed, AllocSnapshot, CountingAlloc};
+pub use fold::{
+    fold_records, fold_snapshot, leaf_total, parse_folded, render_folded, FoldedStacks,
+};
 pub use hist::{HistSnapshot, LogHistogram};
 pub use metrics::{Counter, Gauge, MetricId, MetricValue, MetricsRegistry, Snapshot};
 pub use recorder::FlightRecorder;
+pub use series::{SeriesPoint, TimeSeriesRing};
 pub use trace::{records_json, OpRecord, OpTrace, SampleMode, TraceCtx, Tracer, VisitSpan};
 pub use trace_event::{chrome_trace_json, parse_chrome_trace, TraceSpan};
 pub use watchdog::{Watchdog, WatchdogConfig, WatchdogEvent, WatchdogKind};

@@ -1,7 +1,7 @@
 //! Metrics primitives and the labelled registry.
 //!
 //! A [`MetricsRegistry`] owns *families* of metrics keyed by name +
-//! label set (e.g. `rpc_service_nanos{op="mkdir",role="dms",server="0"}`).
+//! label set (e.g. `loco_rpc_service_nanos{op="mkdir",role="dms",server="0"}`).
 //! Handles ([`Counter`], [`Gauge`], [`crate::LogHistogram`]) are
 //! `Arc`-shared: instrumentation sites resolve their handle once and
 //! record lock-free on the hot path; the registry lock is only taken at
@@ -91,7 +91,7 @@ fn labels_of(pairs: &[(&str, &str)]) -> Labels {
 /// Fully-qualified metric identity: family name + sorted labels.
 #[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub struct MetricId {
-    /// Family name, e.g. `rpc_service_nanos`.
+    /// Family name, e.g. `loco_rpc_service_nanos`.
     pub name: String,
     /// Sorted `(key, value)` label pairs.
     pub labels: Labels,

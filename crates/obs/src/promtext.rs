@@ -1,0 +1,250 @@
+//! Parser for the Prometheus text exposition format (loco-prof).
+//!
+//! `locotop` scrapes daemons through the `Metrics` control frame,
+//! which returns [`crate::MetricsRegistry::render_prometheus`] text;
+//! this module parses that text back into structured samples so the
+//! dashboard (and tests asserting on scrape output) don't do fragile
+//! substring matching. It handles exactly the subset the registry
+//! emits — `# TYPE` comments, `name{k="v",…} value` samples with
+//! escaped label values — which is also the subset any conforming
+//! exporter produces for counters/gauges/summaries.
+
+use std::collections::BTreeMap;
+
+/// One parsed sample line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PromSample {
+    /// Metric name (family plus any `_sum`/`_count` suffix).
+    pub name: String,
+    /// Label pairs in file order.
+    pub labels: Vec<(String, String)>,
+    /// Sample value.
+    pub value: f64,
+}
+
+impl PromSample {
+    /// Label value, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether this sample carries every `(key, value)` pair in `want`.
+    pub fn has_labels(&self, want: &[(&str, &str)]) -> bool {
+        want.iter().all(|(k, v)| self.label(k) == Some(*v))
+    }
+}
+
+/// A parsed exposition document.
+#[derive(Clone, Debug, Default)]
+pub struct PromText {
+    /// Every sample line, in file order.
+    pub samples: Vec<PromSample>,
+    /// `# TYPE` declarations: family name → kind.
+    pub types: BTreeMap<String, String>,
+}
+
+impl PromText {
+    /// Samples of one metric name.
+    pub fn of<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a PromSample> {
+        self.samples.iter().filter(move |s| s.name == name)
+    }
+
+    /// First sample matching name + label subset.
+    pub fn get(&self, name: &str, labels: &[(&str, &str)]) -> Option<&PromSample> {
+        self.samples
+            .iter()
+            .find(|s| s.name == name && s.has_labels(labels))
+    }
+
+    /// Value of the first sample matching name + label subset.
+    pub fn value(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        self.get(name, labels).map(|s| s.value)
+    }
+
+    /// Sum of every sample of `name` matching the label subset.
+    pub fn sum(&self, name: &str, labels: &[(&str, &str)]) -> f64 {
+        self.of(name)
+            .filter(|s| s.has_labels(labels))
+            .map(|s| s.value)
+            .sum()
+    }
+
+    /// A summary family's quantile reading: the sample of `name` whose
+    /// `quantile` label is `q` and whose other labels match.
+    pub fn quantile(&self, name: &str, labels: &[(&str, &str)], q: &str) -> Option<f64> {
+        self.of(name)
+            .filter(|s| s.label("quantile") == Some(q))
+            .find(|s| s.has_labels(labels))
+            .map(|s| s.value)
+    }
+
+    /// Every distinct metric name, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.samples.iter().map(|s| s.name.as_str()).collect();
+        names.sort();
+        names.dedup();
+        names
+    }
+}
+
+fn unescape(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    let mut chars = v.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some(other) => out.push(other), // \\ and \" and anything else
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Parse `{k="v",…}`, returning the labels and the byte offset just
+/// past the closing brace.
+fn parse_labels(s: &str) -> Result<(Vec<(String, String)>, usize), String> {
+    let mut labels = Vec::new();
+    let bytes = s.as_bytes();
+    let mut i = 1; // past '{'
+    loop {
+        if i >= bytes.len() {
+            return Err("unterminated label set".into());
+        }
+        if bytes[i] == b'}' {
+            return Ok((labels, i + 1));
+        }
+        let eq = s[i..].find('=').map(|p| i + p).ok_or("label without '='")?;
+        let key = s[i..eq].trim().to_string();
+        if bytes.get(eq + 1) != Some(&b'"') {
+            return Err(format!("label {key}: value not quoted"));
+        }
+        let mut j = eq + 2;
+        while j < bytes.len() {
+            match bytes[j] {
+                b'\\' => j += 2,
+                b'"' => break,
+                _ => j += 1,
+            }
+        }
+        if j >= bytes.len() {
+            return Err(format!("label {key}: unterminated value"));
+        }
+        labels.push((key, unescape(&s[eq + 2..j])));
+        i = j + 1;
+        if bytes.get(i) == Some(&b',') {
+            i += 1;
+        }
+    }
+}
+
+/// Parse an exposition document. Unknown comment lines are skipped;
+/// malformed sample lines are errors (scrapes are machine-generated,
+/// so garbage means a real bug, not operator input).
+pub fn parse(text: &str) -> Result<PromText, String> {
+    let mut doc = PromText::default();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            let mut parts = rest.split_whitespace();
+            if parts.next() == Some("TYPE") {
+                if let (Some(name), Some(kind)) = (parts.next(), parts.next()) {
+                    doc.types.insert(name.to_string(), kind.to_string());
+                }
+            }
+            continue;
+        }
+        let err = |msg: &str| format!("line {}: {msg}: {line:?}", lineno + 1);
+        let brace = line.find('{');
+        let (name, labels, rest) = match brace {
+            Some(b) => {
+                let (labels, consumed) = parse_labels(&line[b..]).map_err(|e| err(&e))?;
+                (line[..b].to_string(), labels, &line[b + consumed..])
+            }
+            None => {
+                let sp = line.find(' ').ok_or_else(|| err("no value"))?;
+                (line[..sp].to_string(), Vec::new(), &line[sp..])
+            }
+        };
+        let value: f64 = rest
+            .split_whitespace()
+            .next()
+            .ok_or_else(|| err("no value"))?
+            .parse()
+            .map_err(|_| err("bad value"))?;
+        if name.is_empty() {
+            return Err(err("empty metric name"));
+        }
+        doc.samples.push(PromSample {
+            name,
+            labels,
+            value,
+        });
+    }
+    Ok(doc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_the_registry_rendering() {
+        let reg = crate::MetricsRegistry::new();
+        reg.counter("reqs_total", &[("role", "dms"), ("server", "0")])
+            .add(7);
+        reg.gauge("inflight", &[]).set(-2);
+        let h = reg.histogram("lat", &[("op", "mkdir")]);
+        for v in [100u64, 200, 300, 400] {
+            h.record(v);
+        }
+        let doc = parse(&reg.render_prometheus()).unwrap();
+
+        assert_eq!(
+            doc.types.get("reqs_total").map(String::as_str),
+            Some("counter")
+        );
+        assert_eq!(doc.types.get("lat").map(String::as_str), Some("summary"));
+        assert_eq!(
+            doc.value("reqs_total", &[("role", "dms"), ("server", "0")]),
+            Some(7.0)
+        );
+        assert_eq!(doc.value("inflight", &[]), Some(-2.0));
+        assert_eq!(doc.value("lat_count", &[("op", "mkdir")]), Some(4.0));
+        assert_eq!(doc.value("lat_sum", &[("op", "mkdir")]), Some(1000.0));
+        assert!(doc.quantile("lat", &[("op", "mkdir")], "0.5").is_some());
+        assert_eq!(doc.quantile("lat", &[("op", "mkdir")], "1"), Some(400.0));
+    }
+
+    #[test]
+    fn handles_escaped_label_values() {
+        let doc = parse("m{path=\"/a\\\"b\\\\c\\nd\"} 1\n").unwrap();
+        assert_eq!(doc.samples[0].label("path"), Some("/a\"b\\c\nd"));
+    }
+
+    #[test]
+    fn sum_aggregates_matching_label_subsets() {
+        let text = "ops{role=\"fms\",server=\"0\"} 3\nops{role=\"fms\",server=\"1\"} 4\nops{role=\"dms\",server=\"0\"} 9\n";
+        let doc = parse(text).unwrap();
+        assert_eq!(doc.sum("ops", &[("role", "fms")]), 7.0);
+        assert_eq!(doc.sum("ops", &[]), 16.0);
+        assert_eq!(doc.names(), vec!["ops"]);
+    }
+
+    #[test]
+    fn rejects_malformed_samples() {
+        assert!(parse("novalue\n").is_err());
+        assert!(parse("m{unterminated=\"x} 1\n").is_err());
+        assert!(parse("m NaNopes\n").is_err());
+        assert!(parse("# arbitrary comment survives\n").is_ok());
+    }
+}

@@ -178,6 +178,8 @@ mod tests {
             latency_ns,
             client_work_ns: 0,
             rtt_ns: 174_000,
+            allocs: 0,
+            alloc_bytes: 0,
             attrs: Vec::new(),
             visits: Vec::new(),
         }

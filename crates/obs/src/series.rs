@@ -1,0 +1,259 @@
+//! Per-daemon metrics time series (loco-prof).
+//!
+//! A Prometheus text dump is a point-in-time integral: `locotop` (and
+//! any operator) wants *rates* — op/s, fsyncs/s, WAL records/s — which
+//! need at least two samples. Rather than make every scraper stateful,
+//! each daemon keeps a small [`TimeSeriesRing`]: the maintenance timer
+//! calls [`TimeSeriesRing::tick`] with a registry snapshot every
+//! `interval_ms`, and the ring stores *deltas* for counters (and
+//! histogram count/sum) plus absolute values for gauges, in a bounded
+//! window (default 120 points ≅ 2 minutes at 1 s). The `Series`
+//! control frame returns the whole window as JSON, so one scrape
+//! yields ready-made rates and short sparkline history.
+//!
+//! Keys are the metric's fully-qualified identity string
+//! (`loco_rpc_requests_total{role="dms",server="0"}`); histograms
+//! expand to `…_count` and `…_sum` rows, mirroring the Prometheus
+//! rendering so scrapers use one vocabulary for both endpoints.
+
+use crate::json::Json;
+use crate::metrics::{MetricValue, Snapshot};
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Default ring capacity (samples kept).
+pub const DEFAULT_CAPACITY: usize = 120;
+
+/// One sampling instant: the wall-clock stamp plus every metric's
+/// delta (counters, histogram count/sum) or level (gauges).
+#[derive(Clone, Debug)]
+pub struct SeriesPoint {
+    /// Milliseconds since the Unix epoch when the tick was taken.
+    pub at_ms: u64,
+    /// Milliseconds covered by this point's deltas (0 for the first).
+    pub span_ms: u64,
+    /// `(metric identity, value)` rows, sorted by identity.
+    pub values: Vec<(String, f64)>,
+}
+
+#[derive(Default)]
+struct Inner {
+    last: Option<(u64, BTreeMap<String, u64>)>,
+    points: VecDeque<SeriesPoint>,
+}
+
+/// Bounded ring of periodic registry-snapshot deltas.
+pub struct TimeSeriesRing {
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+impl Default for TimeSeriesRing {
+    fn default() -> Self {
+        Self::new(DEFAULT_CAPACITY)
+    }
+}
+
+/// Flatten a snapshot into monotonic `(key, value)` rows (counters and
+/// histogram `_count`/`_sum`) plus gauge rows, which are not monotonic
+/// and are marked by returning them separately.
+fn flatten(snap: &Snapshot) -> (BTreeMap<String, u64>, Vec<(String, f64)>) {
+    let mut monotonic = BTreeMap::new();
+    let mut gauges = Vec::new();
+    for (id, value) in &snap.entries {
+        match value {
+            MetricValue::Counter(c) => {
+                monotonic.insert(id.to_string(), *c);
+            }
+            MetricValue::Gauge(g) => gauges.push((id.to_string(), *g as f64)),
+            MetricValue::Histogram(h) => {
+                let mut id_count = id.clone();
+                id_count.name.push_str("_count");
+                let mut id_sum = id.clone();
+                id_sum.name.push_str("_sum");
+                monotonic.insert(id_count.to_string(), h.count);
+                monotonic.insert(id_sum.to_string(), h.sum);
+            }
+        }
+    }
+    (monotonic, gauges)
+}
+
+impl TimeSeriesRing {
+    /// Ring keeping the `capacity` most recent points.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(2),
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// Record one sampling instant. Counter-like metrics are stored as
+    /// the delta since the previous tick (negative deltas — a registry
+    /// `reset()` between ticks — clamp to 0); gauges as their level.
+    /// The first tick establishes the baseline and stores no deltas.
+    pub fn tick(&self, at_ms: u64, snap: &Snapshot) {
+        let (monotonic, gauges) = flatten(snap);
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some((last_ms, last)) = inner.last.take() {
+            let mut values: Vec<(String, f64)> = monotonic
+                .iter()
+                .map(|(k, v)| {
+                    let prev = last.get(k).copied().unwrap_or(0);
+                    (k.clone(), v.saturating_sub(prev) as f64)
+                })
+                .collect();
+            values.extend(gauges);
+            values.sort_by(|a, b| a.0.cmp(&b.0));
+            inner.points.push_back(SeriesPoint {
+                at_ms,
+                span_ms: at_ms.saturating_sub(last_ms),
+                values,
+            });
+            if inner.points.len() > self.capacity {
+                inner.points.pop_front();
+            }
+        }
+        inner.last = Some((at_ms, monotonic));
+    }
+
+    /// The retained points, oldest first.
+    pub fn points(&self) -> Vec<SeriesPoint> {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.points.iter().cloned().collect()
+    }
+
+    /// Number of retained points.
+    pub fn len(&self) -> usize {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.points.len()
+    }
+
+    /// Whether no complete point has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Rate (per second) of `key` over the most recent point, if any.
+    pub fn latest_rate(&self, key: &str) -> Option<f64> {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let p = inner.points.back()?;
+        if p.span_ms == 0 {
+            return None;
+        }
+        let v = p.values.iter().find(|(k, _)| k == key).map(|(_, v)| *v)?;
+        Some(v * 1_000.0 / p.span_ms as f64)
+    }
+
+    /// JSON document:
+    /// `{"capacity":…,"points":[{"at_ms":…,"span_ms":…,"values":{…}}]}`.
+    pub fn to_json(&self) -> String {
+        let points = self
+            .points()
+            .into_iter()
+            .map(|p| {
+                Json::obj(vec![
+                    ("at_ms", Json::Num(p.at_ms as f64)),
+                    ("span_ms", Json::Num(p.span_ms as f64)),
+                    (
+                        "values",
+                        Json::Obj(
+                            p.values
+                                .into_iter()
+                                .map(|(k, v)| (k, Json::Num(v)))
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        Json::obj(vec![
+            ("capacity", Json::Num(self.capacity as f64)),
+            ("points", Json::Arr(points)),
+        ])
+        .to_string()
+    }
+}
+
+impl std::fmt::Debug for TimeSeriesRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "TimeSeriesRing({}/{} points)", self.len(), self.capacity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MetricsRegistry;
+
+    #[test]
+    fn ticks_store_deltas_and_gauge_levels() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("ops_total", &[("role", "dms")]);
+        let g = reg.gauge("inflight", &[]);
+        let h = reg.histogram("lat", &[]);
+        let ring = TimeSeriesRing::new(8);
+
+        c.add(10);
+        g.set(3);
+        h.record(100);
+        ring.tick(1_000, &reg.snapshot());
+        assert!(ring.is_empty(), "first tick is baseline only");
+
+        c.add(5);
+        g.set(1);
+        h.record(200);
+        ring.tick(2_000, &reg.snapshot());
+        let pts = ring.points();
+        assert_eq!(pts.len(), 1);
+        let p = &pts[0];
+        assert_eq!((p.at_ms, p.span_ms), (2_000, 1_000));
+        let get = |k: &str| p.values.iter().find(|(n, _)| n == k).map(|(_, v)| *v);
+        assert_eq!(get("ops_total{role=\"dms\"}"), Some(5.0));
+        assert_eq!(get("inflight"), Some(1.0));
+        assert_eq!(get("lat_count"), Some(1.0));
+        assert_eq!(get("lat_sum"), Some(200.0));
+        assert_eq!(ring.latest_rate("ops_total{role=\"dms\"}"), Some(5.0));
+    }
+
+    #[test]
+    fn ring_is_bounded_and_reset_clamps_to_zero() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("ops_total", &[]);
+        let ring = TimeSeriesRing::new(3);
+        for i in 0..10u64 {
+            c.add(2);
+            if i == 6 {
+                reg.reset(); // counter goes backwards
+            }
+            ring.tick(i * 1_000, &reg.snapshot());
+        }
+        let pts = ring.points();
+        assert_eq!(pts.len(), 3);
+        assert!(pts.iter().all(|p| p.span_ms == 1_000));
+        // The post-reset delta clamps rather than wrapping.
+        assert!(pts
+            .iter()
+            .flat_map(|p| p.values.iter())
+            .all(|(_, v)| *v <= 4.0));
+    }
+
+    #[test]
+    fn json_dump_parses_and_matches_points() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("x", &[]);
+        let ring = TimeSeriesRing::new(4);
+        ring.tick(0, &reg.snapshot());
+        c.add(7);
+        ring.tick(500, &reg.snapshot());
+        let doc = crate::json::parse(&ring.to_json()).unwrap();
+        let points = doc.get("points").unwrap().as_arr().unwrap();
+        assert_eq!(points.len(), 1);
+        assert_eq!(points[0].get("span_ms").unwrap().as_f64(), Some(500.0));
+        assert_eq!(
+            points[0].get("values").unwrap().get("x").unwrap().as_f64(),
+            Some(7.0)
+        );
+    }
+}

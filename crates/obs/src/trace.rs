@@ -235,6 +235,11 @@ pub struct OpRecord {
     pub client_work_ns: u64,
     /// Per-visit network round-trip time.
     pub rtt_ns: u64,
+    /// Client-side heap allocations charged to the op (loco-prof;
+    /// counted only for sampled ops, 0 when profiling was off).
+    pub allocs: u64,
+    /// Client-side heap bytes charged to the op.
+    pub alloc_bytes: u64,
     /// Root-span string attributes.
     pub attrs: Vec<(String, String)>,
     /// The visit spans.
@@ -265,9 +270,27 @@ impl OpRecord {
             latency_ns,
             client_work_ns,
             rtt_ns,
+            allocs: 0,
+            alloc_bytes: 0,
             attrs: t.attrs,
             visits: t.spans,
         }
+    }
+
+    /// Total heap allocations attributed to the op: the client-side
+    /// count plus every visit's server-side `allocs` span attribute.
+    pub fn total_allocs(&self) -> u64 {
+        self.allocs + self.visits.iter().map(|v| v.attr("allocs")).sum::<u64>()
+    }
+
+    /// Total heap bytes attributed to the op (client + all visits).
+    pub fn total_alloc_bytes(&self) -> u64 {
+        self.alloc_bytes
+            + self
+                .visits
+                .iter()
+                .map(|v| v.attr("alloc_bytes"))
+                .sum::<u64>()
     }
 
     /// Where the time went: `(layer, nanos)` buckets — `client`, `net`
@@ -357,6 +380,8 @@ impl OpRecord {
             ("start_ns", Json::Num(self.start_ns as f64)),
             ("latency_ns", Json::Num(self.latency_ns as f64)),
             ("client_work_ns", Json::Num(self.client_work_ns as f64)),
+            ("allocs", Json::Num(self.total_allocs() as f64)),
+            ("alloc_bytes", Json::Num(self.total_alloc_bytes() as f64)),
             ("dominant_layer", Json::Str(self.dominant_layer())),
             ("layers", layers),
             ("attrs", str_attrs(&self.attrs)),
@@ -455,6 +480,8 @@ mod tests {
             latency_ns: 400_000,
             client_work_ns: 2_000,
             rtt_ns: 174_000,
+            allocs: 0,
+            alloc_bytes: 0,
             attrs: vec![("path".into(), "/a/f".into())],
             visits: vec![
                 visit(2, "dms0", 10_000, 8_000),

@@ -258,6 +258,8 @@ mod tests {
             latency_ns,
             client_work_ns: 0,
             rtt_ns: 0,
+            allocs: 0,
+            alloc_bytes: 0,
             attrs: Vec::new(),
             visits: Vec::new(),
         }

@@ -11,6 +11,7 @@
 #                      [--workers N]
 #   scripts/cluster.sh crash ROLE      # kill -9 one daemon (e.g. fms0)
 #   scripts/cluster.sh restart ROLE    # restart it (same port + data dir)
+#   scripts/cluster.sh status          # one-shot locotop JSON snapshot
 #   scripts/cluster.sh stop            # graceful drain of the whole cluster
 #
 #   --fms N        number of FMS daemons (default 2)
@@ -94,6 +95,17 @@ case "${1:-}" in
       >"$STATE.tmp" && mv "$STATE.tmp" "$STATE"
     echo "cluster.sh: restarted $2 (pid $newpid) on 127.0.0.1:$port"
     exit 0
+    ;;
+  status)
+    # One-shot dashboard snapshot of the recorded cluster: exits
+    # non-zero if any daemon is unreachable. Extra args pass through
+    # (e.g. `status --timeout-ms 5000`; drop --json with a table-mode
+    # locotop invocation instead if you want the human view).
+    [[ -f "$STATE" ]] || { echo "cluster.sh: no $STATE (boot with --keep first)" >&2; exit 1; }
+    LOCOTOP=target/release/locotop
+    [[ -x "$LOCOTOP" ]] || cargo build --release -q --bin locotop
+    shift
+    exec "$LOCOTOP" --state "$STATE" --once --json "$@"
     ;;
   stop)
     [[ -f "$STATE" ]] || { echo "cluster.sh: no $STATE" >&2; exit 1; }

@@ -50,7 +50,7 @@ use locofs::fms::FileServer;
 use locofs::kv::{BTreeDb, DurableStore, HashDb, KvConfig, KvStore, PersistenceStats, SyncPolicy};
 use locofs::net::tcp::{serve_tcp, ServeOptions};
 use locofs::net::{class, control, Control, ControlReply, EndpointMetrics, ServerId, SimEndpoint};
-use locofs::obs::MetricsRegistry;
+use locofs::obs::{MetricsRegistry, TimeSeriesRing};
 use locofs::ostore::ObjectStore;
 use std::io::Write as _;
 use std::net::TcpListener;
@@ -71,6 +71,8 @@ USAGE:
               [--metrics-out FILE]
   locod ping ADDR
   locod metrics ADDR
+  locod profile ADDR
+  locod series ADDR
   locod shutdown ADDR
   locod fsck --data-dir ROOT [--dms-backend B] [--fms-mode M]
   locod chaos-apply  --data-dir DIR --ops N [--sync-policy P]
@@ -102,13 +104,15 @@ fn main() -> ExitCode {
         Some("fsck") => fsck_cmd(&args[1..]),
         Some("chaos-apply") => chaos_cmd(&args[1..], true),
         Some("chaos-verify") => chaos_cmd(&args[1..], false),
-        Some("ping") | Some("metrics") | Some("shutdown") => {
+        Some("ping") | Some("metrics") | Some("profile") | Some("series") | Some("shutdown") => {
             let Some(addr) = args.get(1) else {
                 return fail("missing daemon address");
             };
             let msg = match args[0].as_str() {
                 "ping" => Control::Ping,
                 "metrics" => Control::Metrics,
+                "profile" => Control::Profile,
+                "series" => Control::Series,
                 _ => Control::Shutdown,
             };
             match control(addr, msg, Duration::from_secs(5)) {
@@ -118,6 +122,14 @@ fn main() -> ExitCode {
                 }
                 Ok(ControlReply::Metrics(text)) => {
                     print!("{text}");
+                    ExitCode::SUCCESS
+                }
+                Ok(ControlReply::Profile(folded)) => {
+                    print!("{folded}");
+                    ExitCode::SUCCESS
+                }
+                Ok(ControlReply::Series(json)) => {
+                    println!("{json}");
                     ExitCode::SUCCESS
                 }
                 Ok(ControlReply::ShuttingDown) => {
@@ -303,13 +315,15 @@ fn serve(args: &[String]) -> ExitCode {
     };
     let registry = Arc::new(MetricsRegistry::new());
     let kv = KvConfig::default();
+    // One time-series ring per daemon, ticked by the maintain timer —
+    // which therefore always runs, even for volatile roles (their
+    // maintain pass itself is a no-op).
+    let series = Arc::new(TimeSeriesRing::default());
     let opts = |m: Arc<EndpointMetrics>, registry: &Arc<MetricsRegistry>| ServeOptions {
         metrics: Some(m),
         registry: Some(registry.clone()),
-        maintain_every: a
-            .data_dir
-            .is_some()
-            .then(|| Duration::from_millis(a.maintain_ms.max(1))),
+        series: Some(series.clone()),
+        maintain_every: Some(Duration::from_millis(a.maintain_ms.max(1))),
         workers: a.workers,
         max_conns: a.max_conns,
         ..Default::default()

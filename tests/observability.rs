@@ -85,7 +85,7 @@ fn thread_and_sim_endpoints_record_identical_metrics() {
             .iter()
             .filter_map(|op| {
                 snap.get(
-                    "rpc_op_service_nanos",
+                    "loco_rpc_op_service_nanos",
                     &[("op", op), ("role", "dms"), ("server", "0")],
                 )
             })
@@ -135,7 +135,7 @@ fn snapshot_is_safe_while_server_threads_record() {
     while handles.iter().any(|h| !h.is_finished()) {
         let snap = reg.snapshot();
         let _ = reg.render_prometheus();
-        assert!(snap.counter_family_total("rpc_requests_total") <= (CLIENTS * OPS) as u64);
+        assert!(snap.counter_family_total("loco_rpc_requests_total") <= (CLIENTS * OPS) as u64);
     }
     for h in handles {
         h.join().unwrap();
@@ -143,8 +143,8 @@ fn snapshot_is_safe_while_server_threads_record() {
     assert_eq!(metrics.requests(), (CLIENTS * OPS) as u64);
     assert_eq!(metrics.inflight(), 0);
     let text = reg.render_prometheus();
-    assert!(text.contains("# TYPE rpc_requests_total counter"));
-    assert!(text.contains("rpc_service_nanos_count"));
+    assert!(text.contains("# TYPE loco_rpc_requests_total counter"));
+    assert!(text.contains("loco_rpc_service_nanos_count"));
 }
 
 #[test]
@@ -216,13 +216,13 @@ fn cluster_metrics_cover_a_full_client_workload() {
     // One registry snapshot covers client ops, cache counters, and
     // every server's RPC families.
     for needle in [
-        "client_op_latency_nanos{op=\"create\",quantile=\"0.5\"}",
-        "client_op_latency_nanos{op=\"write\"",
-        "client_cache_hits_total",
-        "rpc_requests_total{role=\"dms\"",
-        "rpc_requests_total{role=\"fms\"",
-        "rpc_requests_total{role=\"ost\"",
-        "rpc_inflight",
+        "loco_client_op_latency_nanos{op=\"create\",quantile=\"0.5\"}",
+        "loco_client_op_latency_nanos{op=\"write\"",
+        "loco_client_cache_hits_total",
+        "loco_rpc_requests_total{role=\"dms\"",
+        "loco_rpc_requests_total{role=\"fms\"",
+        "loco_rpc_requests_total{role=\"ost\"",
+        "loco_rpc_inflight",
     ] {
         assert!(text.contains(needle), "missing {needle} in:\n{text}");
     }
@@ -232,7 +232,7 @@ fn cluster_metrics_cover_a_full_client_workload() {
     let op_count: u64 = snap
         .entries
         .iter()
-        .filter(|(id, _)| id.name == "client_op_latency_nanos")
+        .filter(|(id, _)| id.name == "loco_client_op_latency_nanos")
         .filter_map(|(_, v)| match v {
             locofs::obs::MetricValue::Histogram(h) => Some(h.count),
             _ => None,
