@@ -94,4 +94,39 @@ fn main() {
         "counting-allocator overhead on Box::new: {:.1} ns/iter (snapshot pair {:.1} ns)",
         boxed.ns_per_iter, snap.ns_per_iter
     );
+
+    // --- loco-log: the structured logger -----------------------------
+    //
+    // Same contract as tracing and profiling: a disabled logger must
+    // cost one relaxed load per callsite and allocate nothing — the
+    // macro's field expressions never evaluate. Bound the off path
+    // against the same ~28 ns histogram noise bar, and record the
+    // enabled ring-write cost for contrast.
+    loco_log::set_level(None);
+    let log_off = bench("loco_log::debug! (LOCO_LOG=off)", 4_000_000, |i| {
+        loco_log::debug!("bench", "off-path probe"; iter = bb(i));
+    });
+    let before = loco_obs::alloc::snapshot();
+    for i in 0..1_000u64 {
+        loco_log::debug!("bench", "off-path probe"; iter = black_box(i));
+    }
+    assert_eq!(
+        before.delta(),
+        (0, 0),
+        "disabled loco_log callsites must allocate nothing"
+    );
+    assert!(
+        log_off.ns_per_iter < 28.0,
+        "disabled log callsite costs {:.1} ns/iter — no longer within per-op noise",
+        log_off.ns_per_iter
+    );
+    loco_log::set_level(Some(loco_log::Level::Debug));
+    let log_on = bench("loco_log::debug! (ring write)", 400_000, |i| {
+        loco_log::debug!("bench", "on-path probe"; iter = bb(i), site = "trace_overhead");
+    });
+    loco_log::set_level(None);
+    println!(
+        "loco-log callsite: off {:.2} ns/iter, enabled ring write {:.1} ns/iter",
+        log_off.ns_per_iter, log_on.ns_per_iter
+    );
 }

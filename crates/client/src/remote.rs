@@ -199,6 +199,17 @@ fn obs_stack(
     } else {
         FlightRecorder::new(DEFAULT_K)
     };
+    // Route watchdog firings into the structured log ring (tagged with
+    // the slow op's trace id) instead of the default raw stderr line.
+    loco_obs::watchdog::set_fire_hook(|ev| {
+        let _span = loco_log::span_scope(ev.trace_id, 0);
+        loco_log::warn!("watchdog", "tail anomaly";
+            kind = format_args!("{:?}", ev.kind),
+            op = format_args!("{}", ev.op),
+            latency_ns = ev.latency_ns,
+            threshold_ns = ev.threshold_ns,
+            baseline_p99_ns = ev.baseline_p99_ns);
+    });
     (
         Arc::new(MetricsRegistry::new()),
         Arc::new(Tracer::new(mode)),

@@ -607,12 +607,17 @@ impl Service for DirServer {
 
     fn handle(&mut self, req: DmsRequest) -> DmsResponse {
         self.extra.charge(self.rpc_overhead);
+        let op = Self::req_label(&req);
         // One request = one WAL commit group: a crash mid-handler (e.g.
         // between a rename's extracts and reinserts) replays either the
         // whole mutation or none of it.
         self.db.txn_begin();
         let resp = self.dispatch(req);
         self.db.txn_commit();
+        if let Some(e) = resp_error(&resp) {
+            loco_log::debug!("dms", "request failed";
+                op = op, error = format_args!("{e}"));
+        }
         resp
     }
 
@@ -677,6 +682,17 @@ impl Service for DirServer {
             DmsRequest::AddDirent { .. } => "AddDirent",
             DmsRequest::RemoveDirent { .. } => "RemoveDirent",
         }
+    }
+}
+
+/// The error a response carries, if any — the one choke point where
+/// every failed mutation/lookup becomes a structured log event.
+fn resp_error(resp: &DmsResponse) -> Option<&FsError> {
+    match resp {
+        DmsResponse::Dir(Err(e)) => Some(e),
+        DmsResponse::Dirents(Err(e)) => Some(e),
+        DmsResponse::Done(Err(e)) => Some(e),
+        _ => None,
     }
 }
 

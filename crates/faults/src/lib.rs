@@ -137,6 +137,8 @@ pub fn crashpoint(site: &str) {
 pub fn io_error(site: &str) -> Option<std::io::Error> {
     let armed = io_plan().as_ref()?;
     if armed.kind == IoKind::Err && armed.fires(site) {
+        loco_log::warn!("faults", "injected I/O error fired";
+            site = format_args!("{site}"), kind = "err");
         return Some(std::io::Error::other(format!(
             "injected I/O fault at {site}"
         )));
@@ -152,6 +154,8 @@ pub fn io_error(site: &str) -> Option<std::io::Error> {
 pub fn torn_len(site: &str, full: usize) -> Option<usize> {
     let armed = io_plan().as_ref()?;
     if armed.kind == IoKind::Short && armed.fires(site) {
+        loco_log::warn!("faults", "injected torn write fired";
+            site = format_args!("{site}"), kind = "short", full = full as u64);
         return Some(full / 2);
     }
     None
@@ -161,7 +165,11 @@ pub fn torn_len(site: &str, full: usize) -> Option<usize> {
 /// (so harnesses can assert the intended site fired), then `abort()` —
 /// no unwinding, no buffered-writer flushes, no atexit hooks.
 pub fn die(site: &str, what: &str) -> ! {
-    eprintln!("loco-faults: {what} {site:?} fired — aborting");
+    loco_log::last_gasp(
+        "faults",
+        "armed fault fired; aborting",
+        &format!("loco-faults: {what} {site:?} fired — aborting"),
+    );
     std::process::abort();
 }
 

@@ -655,10 +655,15 @@ impl Service for FileServer {
 
     fn handle(&mut self, req: FmsRequest) -> FmsResponse {
         self.extra.charge(self.rpc_overhead);
+        let op = Self::req_label(&req);
         // One request = one WAL commit group (see DirServer::handle).
         self.db.txn_begin();
         let resp = self.dispatch(req);
         self.db.txn_commit();
+        if let Some(e) = resp_error(&resp) {
+            loco_log::debug!("fms", "request failed";
+                op = op, error = format_args!("{e}"));
+        }
         resp
     }
 
@@ -726,6 +731,21 @@ impl Service for FileServer {
             FmsRequest::TakeFile { .. } => "TakeFile",
             FmsRequest::PutFile { .. } => "PutFile",
         }
+    }
+}
+
+/// The error a response carries, if any — the one choke point where
+/// every failed mutation/lookup becomes a structured log event.
+fn resp_error(resp: &FmsResponse) -> Option<&FsError> {
+    match resp {
+        FmsResponse::Created(Err(e)) => Some(e),
+        FmsResponse::Opened(Err(e)) => Some(e),
+        FmsResponse::Statted(Err(e)) => Some(e),
+        FmsResponse::Content(Err(e)) => Some(e),
+        FmsResponse::Done(Err(e)) => Some(e),
+        FmsResponse::Removed(Err(e)) => Some(e),
+        FmsResponse::Taken(Err(e)) => Some(e),
+        _ => None,
     }
 }
 

@@ -187,8 +187,12 @@ fn invalid(e: impl Into<String>) -> std::io::Error {
 }
 
 fn wal_fatal(what: &str, e: std::io::Error) -> ! {
-    eprintln!(
-        "loco-kv: FATAL wal {what} failure: {e} — aborting rather than acknowledge unlogged mutations"
+    loco_log::last_gasp(
+        "wal",
+        "wal failure; aborting",
+        &format!(
+            "loco-kv: FATAL wal {what} failure: {e} — aborting rather than acknowledge unlogged mutations"
+        ),
     );
     std::process::abort();
 }
@@ -458,6 +462,12 @@ impl<S: KvStore> DurableStore<S> {
             s.checkpoint()?;
             s.stats.wal_upgraded = true;
         }
+        loco_log::info!("wal.recovery", "durable store opened";
+            snapshot_records = s.stats.snapshot_records,
+            wal_records = s.stats.wal_records,
+            replayed = s.stats.replayed_records,
+            upgraded = s.stats.wal_upgraded,
+            next_seq = s.next_seq);
         Ok(s)
     }
 
@@ -484,6 +494,8 @@ impl<S: KvStore> DurableStore<S> {
 
     /// Write a full snapshot atomically and rotate the log.
     pub fn checkpoint(&mut self) -> std::io::Result<()> {
+        loco_log::debug!("wal.checkpoint", "checkpoint begin";
+            wal_records = self.stats.wal_records);
         loco_faults::crashpoint("checkpoint_pre_write");
         let image = crate::snapshot::dump(&mut self.inner);
         let _ = self.inner.take_cost();
@@ -531,6 +543,10 @@ impl<S: KvStore> DurableStore<S> {
         // nothing left to flush.
         self.unsynced_records = 0;
         self.stats.checkpoints += 1;
+        loco_log::info!("wal.checkpoint", "checkpoint complete: snapshot rotated";
+            last_seq = last_seq,
+            bytes = env.len() as u64,
+            checkpoints = self.stats.checkpoints);
         Ok(())
     }
 

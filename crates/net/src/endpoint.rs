@@ -366,6 +366,12 @@ impl<S: Service> Endpoint<S::Req, S::Resp> for SimEndpoint<S> {
             }
             (S::req_label(&req), Instant::now())
         });
+        // In-process transports correlate logs the same way the TCP
+        // dispatch sites do: a thread-local span scope over the handler.
+        let _span = ctx
+            .trace_ctx()
+            .filter(|t| t.sampled)
+            .map(|t| loco_log::span_scope(t.trace_id, t.span_id as u64));
         let mut svc = lock_ignoring_poison(&self.svc);
         let queue_wait = op
             .as_ref()

@@ -203,6 +203,8 @@ fn committer_loop<S: Service>(
         // replays it, a superset of what clients saw. Also correct.
         loco_faults::crashpoint("group_commit_post_sync");
         if records > 0 {
+            loco_log::trace!("wal.commit", "group commit batch fsynced";
+                records = records);
             if let Some(m) = &metrics {
                 m.wal_batch(records);
             }
@@ -394,6 +396,8 @@ where
             }
             return;
         }
+        loco_log::debug!("net.conn", "connection adopted";
+            worker = self.idx, slot = slot);
         self.conns[slot] = Some(ConnState {
             stream,
             gen: self.slot_gen[slot],
@@ -449,6 +453,8 @@ where
                     Err(()) => {
                         // Corrupt frame: close only this connection;
                         // the client observes the drop and retries.
+                        loco_log::warn!("net.conn", "corrupt frame; closing connection";
+                            worker = self.idx, slot = slot);
                         self.close_conn(slot);
                         break 'outer;
                     }
@@ -524,6 +530,12 @@ where
         let rpc = RpcRequest::<S::Req>::from_wire(&payload).map_err(|_| ())?;
         let traced = rpc.trace.is_some_and(|t| t.sampled);
         let op = S::req_label(&rpc.body);
+        // Logs emitted anywhere under the handler (WAL, KV, fault
+        // sites) carry the sampled op's trace identity.
+        let _span = rpc
+            .trace
+            .filter(|t| t.sampled)
+            .map(|t| loco_log::span_scope(t.trace_id, t.span_id as u64));
         if let Some(m) = &self.opts.metrics {
             m.begin();
         }
@@ -616,6 +628,7 @@ where
                 (ControlReply::Metrics(text), false)
             }
             Control::Shutdown => {
+                loco_log::info!("net.srv", "shutdown requested over control frame");
                 self.shutdown.store(true, Ordering::SeqCst);
                 (ControlReply::ShuttingDown, true)
             }
@@ -637,6 +650,10 @@ where
                     .unwrap_or_else(|| "{}".to_string());
                 (ControlReply::Series(text), false)
             }
+            Control::Logs { cursor, max } => (
+                ControlReply::Logs(loco_log::tail_json(cursor, max as usize)),
+                false,
+            ),
         };
         let frame = encode_frame(FrameKind::Response, 0, &reply.to_wire());
         self.push_out(slot, &frame);
@@ -710,6 +727,17 @@ where
             return;
         }
         if want != cur && self.poller.modify(fd, slot as u64, want).is_ok() {
+            // Admission-control transitions are the interesting edge:
+            // reads pausing means this connection out-ran its pipeline
+            // or write-buffer budget and real TCP backpressure begins.
+            // Log resumes always, pauses only when backpressure (not
+            // peer close) drove them.
+            if want.read != cur.read && (blocked || !cur.read) {
+                loco_log::debug!("net.conn",
+                    if want.read { "backpressure released: reads resumed" }
+                    else { "backpressure: reads paused" };
+                    worker = self.idx, slot = slot);
+            }
             if let Some(conn) = self.conns[slot].as_mut() {
                 conn.interest = want;
             }
@@ -737,6 +765,9 @@ where
 
     fn close_conn(&mut self, slot: usize) {
         if let Some(conn) = self.conns[slot].take() {
+            loco_log::debug!("net.conn", "connection closed";
+                worker = self.idx, slot = slot,
+                unsent = conn.pending_out(), inflight = conn.inflight);
             let _ = self.poller.deregister(conn.stream.as_raw_fd());
             self.free.push(slot);
             self.open.fetch_sub(1, Ordering::SeqCst);
@@ -878,6 +909,8 @@ pub(crate) fn run<S>(
             match listener.accept() {
                 Ok((stream, _peer)) => {
                     if opts.max_conns > 0 && open.load(Ordering::SeqCst) >= opts.max_conns {
+                        loco_log::warn!("net.srv", "connection shed: at max-conns";
+                            open = open.load(Ordering::SeqCst), max = opts.max_conns);
                         if let Some(m) = &srv_metrics {
                             m.conn_shed();
                         }
@@ -910,6 +943,8 @@ pub(crate) fn run<S>(
     }
     // Stop accepting before the drain so redialing clients get a fast
     // "connection refused" rather than a connection nobody will read.
+    loco_log::info!("net.srv", "draining: listener closed";
+        open = open.load(Ordering::SeqCst));
     drop(listener);
     for h in handles.iter() {
         h.kick();
@@ -927,4 +962,5 @@ pub(crate) fn run<S>(
     // shutdown checkpoint — recovery must replay the WAL.
     loco_faults::crashpoint("daemon_drain");
     run_maintain(&svc, &opts, id, true);
+    loco_log::info!("net.srv", "drain complete");
 }

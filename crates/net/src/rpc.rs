@@ -206,6 +206,17 @@ pub enum Control {
     /// (periodic counter deltas + gauge levels; see
     /// `loco_obs::TimeSeriesRing`).
     Series,
+    /// Tail the server's structured log ring (loco-log) from `cursor`,
+    /// returning at most `max` events as JSON. `cursor = 0` starts at
+    /// the oldest retained event; the reply's `next` field is the
+    /// cursor for the following call, and its `boot_id` lets a scraper
+    /// detect a daemon restart (sequence numbers reset).
+    Logs {
+        /// First sequence number wanted (inclusive).
+        cursor: u64,
+        /// Cap on returned events (bounds the reply frame size).
+        max: u32,
+    },
 }
 
 /// Server reply to a [`Control`] message.
@@ -222,17 +233,25 @@ pub enum ControlReply {
     /// Time-series window JSON; empty object when the daemon was not
     /// started with a series ring.
     Series(String),
+    /// Log-tail JSON: `{"boot_id":…,"first":…,"next":…,"dropped":…,
+    /// "events":[…]}` (see `loco_log::tail_json`).
+    Logs(String),
 }
 
 impl Wire for Control {
     fn put(&self, out: &mut Vec<u8>) {
-        out.push(match self {
-            Control::Ping => 0,
-            Control::Metrics => 1,
-            Control::Shutdown => 2,
-            Control::Profile => 3,
-            Control::Series => 4,
-        });
+        match self {
+            Control::Ping => out.push(0),
+            Control::Metrics => out.push(1),
+            Control::Shutdown => out.push(2),
+            Control::Profile => out.push(3),
+            Control::Series => out.push(4),
+            Control::Logs { cursor, max } => {
+                out.push(5);
+                cursor.put(out);
+                max.put(out);
+            }
+        }
     }
     fn get(buf: &mut &[u8]) -> WireResult<Self> {
         Ok(match u8::get(buf)? {
@@ -241,6 +260,10 @@ impl Wire for Control {
             2 => Control::Shutdown,
             3 => Control::Profile,
             4 => Control::Series,
+            5 => Control::Logs {
+                cursor: u64::get(buf)?,
+                max: u32::get(buf)?,
+            },
             tag => {
                 return Err(WireError::BadTag {
                     what: "control",
@@ -268,6 +291,10 @@ impl Wire for ControlReply {
                 out.push(4);
                 text.put(out);
             }
+            ControlReply::Logs(text) => {
+                out.push(5);
+                text.put(out);
+            }
         }
     }
     fn get(buf: &mut &[u8]) -> WireResult<Self> {
@@ -277,6 +304,7 @@ impl Wire for ControlReply {
             2 => ControlReply::ShuttingDown,
             3 => ControlReply::Profile(String::get(buf)?),
             4 => ControlReply::Series(String::get(buf)?),
+            5 => ControlReply::Logs(String::get(buf)?),
             tag => {
                 return Err(WireError::BadTag {
                     what: "control-reply",
@@ -358,6 +386,10 @@ mod tests {
             Control::Shutdown,
             Control::Profile,
             Control::Series,
+            Control::Logs {
+                cursor: 987,
+                max: 512,
+            },
         ] {
             assert_eq!(Control::from_wire(&c.to_wire()), Ok(c));
         }
@@ -367,6 +399,7 @@ mod tests {
             ControlReply::ShuttingDown,
             ControlReply::Profile("dms0;Mknod;kv 9\n".into()),
             ControlReply::Series("{\"points\":[]}".into()),
+            ControlReply::Logs("{\"events\":[]}".into()),
         ] {
             let back = ControlReply::from_wire(&r.to_wire()).unwrap();
             assert_eq!(back, r);

@@ -377,6 +377,12 @@ where
 
     fn try_call(&self, ctx: &mut CallCtx, req: S::Req) -> Result<S::Resp, RpcError> {
         let label = S::req_label(&req);
+        // Client-side correlation: retry/reconnect events emitted
+        // below carry the sampled op's trace identity.
+        let _span = ctx
+            .trace_ctx()
+            .filter(|t| t.sampled)
+            .map(|t| loco_log::span_scope(t.trace_id, t.span_id as u64));
         // Encode once; retries resend the same bytes.
         let req_bytes = RpcRequest {
             trace: ctx.trace_ctx(),
@@ -419,11 +425,24 @@ where
                 RpcError::Connect(_) | RpcError::ConnectionLost(_) | RpcError::Timeout { .. }
             );
             if !(reconnectable && window_start.elapsed() < self.policy.reconnect_window) {
+                loco_log::error!("net.client", "rpc retries exhausted";
+                    addr = format_args!("{}", self.addr), op = label,
+                    attempts = total_attempts,
+                    error = format_args!("{last}"));
                 return Err(RpcError::Exhausted {
                     attempts: total_attempts,
                     last: Box::new(last),
                 });
             }
+            // Correlated with the op via the ambient span scope when
+            // the caller sampled it; the collector's merged timeline
+            // shows this reconnect between the daemon's crash and its
+            // recovery events.
+            loco_log::warn!("net.client", "daemon unreachable; redialing within reconnect window";
+                addr = format_args!("{}", self.addr), op = label,
+                attempts = total_attempts,
+                waited_ms = window_start.elapsed().as_millis() as u64,
+                error = format_args!("{last}"));
             std::thread::sleep(self.policy.backoff.max(Duration::from_millis(20)));
         }
     }
@@ -550,6 +569,10 @@ where
             .as_deref(),
         Ok("threaded" | "thread" | "legacy")
     );
+    loco_log::info!("net.srv", "listening";
+        role = crate::metrics::role_name(id.class), index = id.index,
+        addr = addr.to_string(),
+        core = if threaded_core { "threaded" } else { "event" });
     let accept = {
         let shutdown = Arc::clone(&shutdown);
         std::thread::Builder::new()

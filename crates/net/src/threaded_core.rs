@@ -148,6 +148,12 @@ where
     let rpc = RpcRequest::<S::Req>::from_wire(payload).map_err(|_| ())?;
     let traced = rpc.trace.is_some_and(|t| t.sampled);
     let op = S::req_label(&rpc.body);
+    // Same correlation discipline as the event core: logs under the
+    // handler carry the sampled op's trace identity.
+    let _span = rpc
+        .trace
+        .filter(|t| t.sampled)
+        .map(|t| loco_log::span_scope(t.trace_id, t.span_id as u64));
     if let Some(m) = &opts.metrics {
         m.begin();
     }
@@ -212,6 +218,7 @@ fn handle_control(
             (ControlReply::Metrics(text), false)
         }
         Control::Shutdown => {
+            loco_log::info!("net.srv", "shutdown requested over control frame");
             shutdown.store(true, Ordering::SeqCst);
             (ControlReply::ShuttingDown, true)
         }
@@ -231,6 +238,10 @@ fn handle_control(
                 .unwrap_or_else(|| "{}".to_string());
             (ControlReply::Series(text), false)
         }
+        Control::Logs { cursor, max } => (
+            ControlReply::Logs(loco_log::tail_json(cursor, max as usize)),
+            false,
+        ),
     };
     stream
         .write_all(&encode_frame(FrameKind::Response, 0, &reply.to_wire()))
@@ -267,6 +278,8 @@ pub(crate) fn run<S>(
         match listener.accept() {
             Ok((stream, _peer)) => {
                 if opts.max_conns > 0 && open.load(Ordering::SeqCst) >= opts.max_conns {
+                    loco_log::warn!("net.srv", "connection shed: at max-conns";
+                        open = open.load(Ordering::SeqCst), max = opts.max_conns);
                     if let Some(m) = &srv_metrics {
                         m.conn_shed();
                     }

@@ -19,7 +19,7 @@ use crate::json::Json;
 use crate::trace::OpRecord;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 
 /// Tuning for [`Watchdog`].
 #[derive(Clone, Copy, Debug)]
@@ -217,7 +217,9 @@ impl Watchdog {
 
     fn fire(&self, ev: WatchdogEvent) {
         self.fired.fetch_add(1, Ordering::Relaxed);
-        if !self.cfg.quiet {
+        if let Some(hook) = fire_hook().get() {
+            hook(&ev);
+        } else if !self.cfg.quiet {
             eprintln!("[loco-watchdog] WARN {}", ev.to_json());
         }
         self.events
@@ -243,6 +245,22 @@ impl Watchdog {
     pub fn fired_count(&self) -> u64 {
         self.fired.load(Ordering::Relaxed)
     }
+}
+
+type FireHook = Box<dyn Fn(&WatchdogEvent) + Send + Sync>;
+
+fn fire_hook() -> &'static OnceLock<FireHook> {
+    static HOOK: OnceLock<FireHook> = OnceLock::new();
+    &HOOK
+}
+
+/// Install a process-wide sink for watchdog firings, replacing the
+/// default stderr line. `loco-obs` deliberately depends on nothing, so
+/// the structured logger plugs in from above (the client's obs stack
+/// routes firings into the `loco-log` ring). First installer wins;
+/// later calls are ignored.
+pub fn set_fire_hook(hook: impl Fn(&WatchdogEvent) + Send + Sync + 'static) {
+    let _ = fire_hook().set(Box::new(hook));
 }
 
 #[cfg(test)]

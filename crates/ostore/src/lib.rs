@@ -185,6 +185,13 @@ impl Service for ObjectStore {
             OstoreRequest::RemoveObject { uuid } => OstoreResponse::Removed(self.truncate(uuid, 0)),
         };
         self.db.txn_commit();
+        match &resp {
+            OstoreResponse::Done(Err(e)) | OstoreResponse::Block(Err(e)) => {
+                loco_log::debug!("ostore", "request failed";
+                    error = format_args!("{e}"));
+            }
+            _ => {}
+        }
         resp
     }
 

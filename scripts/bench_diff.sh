@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# Compare two BENCH_*.json files (the BenchReport shape:
+#   {"bench":NAME,"rows":[{"labels":{..},"metric":M,"value":V},..]})
+# row by row and fail on throughput regressions.
+#
+# Usage:
+#   scripts/bench_diff.sh OLD.json NEW.json [THRESHOLD_PCT]
+#
+# Rows are matched by (labels, metric). Only throughput-like metrics
+# (iops / ops_per_sec / *op_s*) gate the exit code: if any matched
+# throughput row in NEW is more than THRESHOLD_PCT percent below OLD
+# (default 15), the script prints the offending rows and exits 1.
+# Latency and other metrics are reported for context but never gate —
+# they move with machine load and are not what "op/s regression" means.
+# Rows present on only one side are reported but don't fail the run.
+set -euo pipefail
+
+if [[ $# -lt 2 || $# -gt 3 ]]; then
+  echo "usage: bench_diff.sh OLD.json NEW.json [THRESHOLD_PCT]" >&2
+  exit 2
+fi
+
+OLD=$1 NEW=$2 THRESHOLD=${3:-15}
+[[ -f "$OLD" ]] || { echo "bench_diff: no such file: $OLD" >&2; exit 2; }
+[[ -f "$NEW" ]] || { echo "bench_diff: no such file: $NEW" >&2; exit 2; }
+
+python3 - "$OLD" "$NEW" "$THRESHOLD" <<'PY'
+import json, sys
+
+old_path, new_path, threshold = sys.argv[1], sys.argv[2], float(sys.argv[3])
+
+def rows(path):
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for row in doc.get("rows", []):
+        labels = ",".join(f"{k}={v}" for k, v in sorted(row["labels"].items()))
+        out[(labels, row["metric"])] = float(row["value"])
+    return doc.get("bench", "?"), out
+
+def is_throughput(metric):
+    m = metric.lower()
+    return "iops" in m or "ops_per_s" in m or "op_s" in m or m.endswith("_ops")
+
+old_name, old = rows(old_path)
+new_name, new = rows(new_path)
+print(f"bench_diff: {old_name} ({old_path}) vs {new_name} ({new_path}), "
+      f"threshold {threshold:g}%")
+
+failures = []
+keys = sorted(set(old) | set(new))
+width = max((len(f"{k[0]} {k[1]}") for k in keys), default=10)
+for key in keys:
+    label = f"{key[0]} {key[1]}"
+    if key not in old:
+        print(f"  {label:<{width}}  (only in NEW: {new[key]:.1f})")
+        continue
+    if key not in new:
+        print(f"  {label:<{width}}  (only in OLD: {old[key]:.1f})")
+        continue
+    o, n = old[key], new[key]
+    pct = (n - o) / o * 100.0 if o else 0.0
+    gate = is_throughput(key[1])
+    flag = ""
+    if gate and pct < -threshold:
+        flag = "  REGRESSION"
+        failures.append((label, o, n, pct))
+    elif not gate:
+        flag = "  (not gated)"
+    print(f"  {label:<{width}}  {o:>14.1f} -> {n:>14.1f}  {pct:+7.1f}%{flag}")
+
+if failures:
+    print(f"bench_diff: FAIL — {len(failures)} throughput row(s) regressed "
+          f"more than {threshold:g}%:")
+    for label, o, n, pct in failures:
+        print(f"  {label}: {o:.1f} -> {n:.1f} ({pct:+.1f}%)")
+    sys.exit(1)
+print("bench_diff: OK — no throughput regression beyond threshold")
+PY

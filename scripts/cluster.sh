@@ -12,6 +12,14 @@
 #   scripts/cluster.sh crash ROLE      # kill -9 one daemon (e.g. fms0)
 #   scripts/cluster.sh restart ROLE    # restart it (same port + data dir)
 #   scripts/cluster.sh status          # one-shot locotop JSON snapshot
+#   scripts/cluster.sh logs [ROLE]     # tail structured logs (all roles
+#                                      # or one, e.g. logs fms0; extra
+#                                      # args pass through: --follow)
+#   scripts/cluster.sh collect         # run the log collector against
+#                                      # the recorded cluster (into
+#                                      # $OUT/collect/; args pass through)
+#   scripts/cluster.sh report          # merge $OUT/collect/ into the
+#                                      # cluster timeline + report.md
 #   scripts/cluster.sh stop            # graceful drain of the whole cluster
 #
 #   --fms N        number of FMS daemons (default 2)
@@ -106,6 +114,35 @@ case "${1:-}" in
     [[ -x "$LOCOTOP" ]] || cargo build --release -q --bin locotop
     shift
     exec "$LOCOTOP" --state "$STATE" --once --json "$@"
+    ;;
+  logs)
+    # Tail the in-memory log ring of one daemon (or all of them).
+    [[ -f "$STATE" ]] || { echo "cluster.sh: no $STATE (boot with --keep first)" >&2; exit 1; }
+    shift
+    role=""
+    if [[ -n "${1:-}" && "${1:0:2}" != "--" ]]; then role=$1; shift; fi
+    if [[ -n "$role" ]]; then
+      line=$(find_role "$role")
+      [[ -n "$line" ]] || { echo "cluster.sh: no daemon $role in $STATE" >&2; exit 1; }
+      port=$(awk '{print $3}' <<<"$line")
+      exec "$LOCOD" logs "127.0.0.1:$port" "$@"
+    fi
+    while read -r role index port _rest; do
+      echo "=== $role$index (127.0.0.1:$port) ==="
+      "$LOCOD" logs "127.0.0.1:$port" "$@" || true
+    done < <(state_lines)
+    exit 0
+    ;;
+  collect)
+    [[ -f "$STATE" ]] || { echo "cluster.sh: no $STATE (boot with --keep first)" >&2; exit 1; }
+    shift
+    mkdir -p "$OUT/collect"
+    exec "$LOCOD" collect --state "$STATE" --out "$OUT/collect" "$@"
+    ;;
+  report)
+    shift
+    [[ -d "$OUT/collect" ]] || { echo "cluster.sh: no $OUT/collect (run the collect subcommand first)" >&2; exit 1; }
+    exec "$LOCOD" report --out "$OUT/collect" "$@"
     ;;
   stop)
     [[ -f "$STATE" ]] || { echo "cluster.sh: no $STATE" >&2; exit 1; }

@@ -56,6 +56,15 @@ fn with_retry<T>(
 }
 
 fn main() -> ExitCode {
+    let code = run();
+    // Client processes have no control socket for the collector to
+    // scrape; with LOCO_LOG_DUMP=FILE set the ring (reconnect warnings,
+    // watchdog firings) lands next to the daemon streams instead.
+    locofs::log::dump_env();
+    code
+}
+
+fn run() -> ExitCode {
     let mode = std::env::args().nth(1).unwrap_or_default();
     if mode != "apply" && mode != "verify" {
         eprintln!("usage: chaos_client {{apply|verify}}");

@@ -45,6 +45,7 @@
 //! half-group was replayed.
 
 use locofs::client::{fsck, DmsBackend, FmsMode, LocoCluster, LocoConfig};
+use locofs::collect;
 use locofs::dms::DirServer;
 use locofs::fms::FileServer;
 use locofs::kv::{BTreeDb, DurableStore, HashDb, KvConfig, KvStore, PersistenceStats, SyncPolicy};
@@ -74,6 +75,9 @@ USAGE:
   locod profile ADDR
   locod series ADDR
   locod shutdown ADDR
+  locod logs ADDR [--follow] [--json]
+  locod collect --state FILE --out DIR [--interval-ms MS] [--duration-ms MS]
+  locod report --out DIR
   locod fsck --data-dir ROOT [--dms-backend B] [--fms-mode M]
   locod chaos-apply  --data-dir DIR --ops N [--sync-policy P]
               [--checkpoint-every N] [--ack-file FILE]
@@ -136,17 +140,194 @@ fn main() -> ExitCode {
                     println!("{addr} draining");
                     ExitCode::SUCCESS
                 }
+                Ok(ControlReply::Logs(_)) => {
+                    eprintln!("locod: {addr}: unexpected Logs reply");
+                    ExitCode::FAILURE
+                }
                 Err(e) => {
                     eprintln!("locod: {addr}: {e}");
                     ExitCode::FAILURE
                 }
             }
         }
+        Some("logs") => logs_cmd(&args[1..]),
+        Some("collect") => collect_cmd(&args[1..]),
+        Some("report") => report_cmd(&args[1..]),
         Some("--help") | Some("-h") | Some("help") => {
             println!("{USAGE}");
             ExitCode::SUCCESS
         }
-        _ => fail("expected a subcommand (serve/ping/metrics/shutdown/fsck/chaos-*)"),
+        _ => fail(
+            "expected a subcommand (serve/ping/metrics/logs/collect/report/shutdown/fsck/chaos-*)",
+        ),
+    }
+}
+
+// --- log tailing + the collector --------------------------------------
+
+/// Tail a daemon's in-memory log ring over the `Logs` control frame.
+/// `--follow` keeps polling; a daemon restart (new boot id) resets the
+/// cursor so tailing survives crashes.
+fn logs_cmd(args: &[String]) -> ExitCode {
+    let Some(addr) = args.first().filter(|a| !a.starts_with("--")) else {
+        return fail("logs needs a daemon address");
+    };
+    let follow = args.iter().any(|a| a == "--follow");
+    let raw = args.iter().any(|a| a == "--json");
+    let mut cursor = 0u64;
+    let mut boot: Option<String> = None;
+    loop {
+        let reply = match control(
+            addr,
+            Control::Logs { cursor, max: 4096 },
+            Duration::from_secs(5),
+        ) {
+            Ok(ControlReply::Logs(s)) => s,
+            Ok(other) => {
+                eprintln!("locod: {addr}: unexpected reply {other:?}");
+                return ExitCode::FAILURE;
+            }
+            Err(e) if follow => {
+                // Keep trying: the daemon may be restarting.
+                eprintln!("locod: {addr}: {e} (retrying)");
+                std::thread::sleep(Duration::from_millis(500));
+                continue;
+            }
+            Err(e) => {
+                eprintln!("locod: {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let Ok(parsed) = locofs::obs::json::parse(&reply) else {
+            eprintln!("locod: {addr}: malformed logs reply");
+            return ExitCode::FAILURE;
+        };
+        let new_boot = parsed
+            .get("boot_id")
+            .and_then(locofs::obs::json::Json::as_str)
+            .unwrap_or("")
+            .to_string();
+        if boot.as_deref().is_some_and(|b| b != new_boot) {
+            eprintln!("locod: {addr}: daemon restarted, rewinding");
+            cursor = 0;
+            boot = Some(new_boot);
+            continue;
+        }
+        boot = Some(new_boot);
+        if let Some(events) = parsed
+            .get("events")
+            .and_then(locofs::obs::json::Json::as_arr)
+        {
+            for ev in events {
+                let line = ev.to_string();
+                if raw {
+                    println!("{line}");
+                } else {
+                    println!("{}", collect::format_line(&line, addr));
+                }
+            }
+        }
+        if let Some(next) = parsed.get("next").and_then(locofs::obs::json::Json::as_f64) {
+            cursor = next as u64;
+        }
+        if !follow {
+            return ExitCode::SUCCESS;
+        }
+        std::thread::sleep(Duration::from_millis(500));
+    }
+}
+
+fn collect_cmd(args: &[String]) -> ExitCode {
+    let mut state: Option<PathBuf> = None;
+    let mut out: Option<PathBuf> = None;
+    let mut cfg = collect::CollectConfig::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut val = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        let r = match flag.as_str() {
+            "--state" => val().map(|v| state = Some(PathBuf::from(v))),
+            "--out" => val().map(|v| out = Some(PathBuf::from(v))),
+            "--interval-ms" => val().and_then(|v| {
+                v.parse::<u64>()
+                    .map(|ms| cfg.interval = Duration::from_millis(ms.max(1)))
+                    .map_err(|_| "--interval-ms must be an integer".into())
+            }),
+            "--duration-ms" => val().and_then(|v| {
+                v.parse::<u64>()
+                    .map(|ms| cfg.duration = Some(Duration::from_millis(ms)))
+                    .map_err(|_| "--duration-ms must be an integer".into())
+            }),
+            other => Err(format!("unknown flag {other:?}")),
+        };
+        if let Err(e) = r {
+            return fail(&e);
+        }
+    }
+    let (Some(state), Some(out)) = (state, out) else {
+        return fail("collect needs --state and --out");
+    };
+    let daemons = match collect::daemons_from_state(&state) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("locod: collect: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "locod: collect: scraping {} daemons every {}ms into {}",
+        daemons.len(),
+        cfg.interval.as_millis(),
+        out.display()
+    );
+    match collect::collect(&daemons, &out, &cfg) {
+        Ok(stats) => {
+            println!(
+                "locod: collect: {} ticks, {} events, {} restarts, {} unreachable",
+                stats.ticks, stats.events, stats.restarts, stats.unreachable
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("locod: collect: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn report_cmd(args: &[String]) -> ExitCode {
+    let mut out: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--out" => match it.next() {
+                Some(v) => out = Some(PathBuf::from(v)),
+                None => return fail("--out needs a value"),
+            },
+            other => return fail(&format!("unknown flag {other:?}")),
+        }
+    }
+    let Some(out) = out else {
+        return fail("report needs --out");
+    };
+    match collect::report(&out) {
+        Ok(sum) => {
+            println!(
+                "locod: report: {} events from {} sources, {} incident markers → {}",
+                sum.events,
+                sum.sources,
+                sum.incidents,
+                sum.report_md.display()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("locod: report: {e}");
+            ExitCode::FAILURE
+        }
     }
 }
 
@@ -313,6 +494,12 @@ fn serve(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    locofs::log::info!("locod", "daemon booting";
+        role = format_args!("{}", a.role),
+        index = a.index as u64,
+        listen = format_args!("{}", a.listen),
+        durable = a.data_dir.is_some(),
+        pid = std::process::id() as u64);
     let registry = Arc::new(MetricsRegistry::new());
     let kv = KvConfig::default();
     // One time-series ring per daemon, ticked by the maintain timer —

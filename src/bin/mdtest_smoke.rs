@@ -19,6 +19,14 @@ use locofs::mdtest::{gen_phase, gen_setup, run_latency, run_setup, PhaseKind, Tr
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
+    let code = run();
+    // See chaos_client: LOCO_LOG_DUMP=FILE persists this client's log
+    // ring for the collector's merged timeline.
+    locofs::log::dump_env();
+    code
+}
+
+fn run() -> ExitCode {
     if ClusterAddrs::from_env().is_none() {
         eprintln!(
             "mdtest_smoke: LOCO_CLUSTER is not set (expected \

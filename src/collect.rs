@@ -1,0 +1,769 @@
+//! The log collector and post-run cluster timeline reports.
+//!
+//! Every daemon keeps its structured log events in an in-process ring
+//! (`loco-log`) served over the `Control::Logs` frame. That ring is
+//! bounded and dies with the process, so incident reconstruction needs
+//! a second half: a *collector* that polls every daemon in a cluster,
+//! drains each ring incrementally (cursor-based, resumable across both
+//! collector and daemon restarts), and persists the merged stream to
+//! disk. After a run — or a crash — `locod report` folds the per-daemon
+//! JSONL streams into one monotonic cluster timeline keyed by wall
+//! time, renders it as a Chrome-trace file, and writes a markdown
+//! report correlating log events, slow-span watchdog firings and
+//! metric deltas.
+//!
+//! On-disk layout under the collector's `--out` directory:
+//!
+//! ```text
+//! cursors.json        collector resume state (per-daemon boot id + cursor)
+//! <name>.jsonl        append-only event stream (survives daemon restarts)
+//! <name>.prom         latest Prometheus scrape
+//! <name>.first.prom   first Prometheus scrape (baseline for deltas)
+//! <name>.series.json  latest time-series ring scrape
+//! timeline.jsonl      merged cluster timeline   (written by `report`)
+//! timeline.trace.json Chrome trace of the above (written by `report`)
+//! report.md           human summary             (written by `report`)
+//! ```
+//!
+//! Daemon restarts are detected by the `boot_id` in every `Logs` reply:
+//! a changed id means the ring (and its sequence space) was reborn, so
+//! the collector resets its cursor and records a synthetic
+//! `daemon restarted` event. Unreachable daemons likewise get synthetic
+//! down/up transition events, so a SIGKILL shows up in the merged
+//! timeline even though the dying process logged nothing.
+
+use loco_net::{control, Control, ControlReply};
+use loco_obs::json::{self, Json};
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, SystemTime};
+
+/// One scrape target.
+pub struct Daemon {
+    /// Display name, e.g. `fms0`.
+    pub name: String,
+    /// `host:port` of the control socket.
+    pub addr: String,
+}
+
+/// Parse a `cluster.sh` state file (`role index port pid dir policy`
+/// per line) into scrape targets.
+pub fn daemons_from_state(path: &Path) -> Result<Vec<Daemon>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if fields.len() < 3 {
+            return Err(format!("{}: malformed line {line:?}", path.display()));
+        }
+        out.push(Daemon {
+            name: format!("{}{}", fields[0], fields[1]),
+            addr: format!("127.0.0.1:{}", fields[2]),
+        });
+    }
+    if out.is_empty() {
+        return Err(format!("{}: no daemons listed", path.display()));
+    }
+    Ok(out)
+}
+
+/// Collector knobs.
+pub struct CollectConfig {
+    /// Poll period.
+    pub interval: Duration,
+    /// Stop after this long; `None` runs until killed (state is
+    /// persisted every tick, so a kill loses at most one interval).
+    pub duration: Option<Duration>,
+    /// Per-RPC timeout.
+    pub timeout: Duration,
+}
+
+impl Default for CollectConfig {
+    fn default() -> Self {
+        Self {
+            interval: Duration::from_millis(500),
+            duration: None,
+            timeout: Duration::from_secs(2),
+        }
+    }
+}
+
+/// What a collector run saw (for logging / assertions).
+#[derive(Default, Debug)]
+pub struct CollectStats {
+    /// Poll rounds completed.
+    pub ticks: u64,
+    /// Real daemon events persisted.
+    pub events: u64,
+    /// Boot-id changes observed.
+    pub restarts: u64,
+    /// Up→down transitions observed.
+    pub unreachable: u64,
+}
+
+/// Per-daemon scrape state, persisted in `cursors.json`.
+struct Cursor {
+    boot_id: Option<String>,
+    cursor: u64,
+    up: bool,
+}
+
+fn wall_us() -> u64 {
+    SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_micros() as u64)
+        .unwrap_or(0)
+}
+
+/// A synthetic collector event, in the same shape as a daemon's own
+/// `loco-log` events so the merge treats both uniformly.
+fn synthetic(source: &str, level: &str, msg: &str, fields: Vec<(&str, Json)>) -> Json {
+    Json::obj(vec![
+        ("seq", Json::Num(0.0)),
+        ("t_us", Json::Num(wall_us() as f64)),
+        ("mono_ns", Json::Num(0.0)),
+        ("level", Json::Str(level.into())),
+        ("target", Json::Str("collector".into())),
+        ("msg", Json::Str(msg.into())),
+        ("source", Json::Str(source.into())),
+        ("fields", Json::obj(fields)),
+    ])
+}
+
+fn append_line(path: &Path, line: &str) -> std::io::Result<()> {
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    writeln!(f, "{line}")
+}
+
+fn load_cursors(path: &Path, daemons: &[Daemon]) -> BTreeMap<String, Cursor> {
+    let saved = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|s| json::parse(&s).ok());
+    daemons
+        .iter()
+        .map(|d| {
+            let (boot_id, cursor) = saved
+                .as_ref()
+                .and_then(|j| j.get(&d.name))
+                .map(|e| {
+                    (
+                        e.get("boot_id").and_then(Json::as_str).map(String::from),
+                        e.get("cursor").and_then(Json::as_f64).unwrap_or(0.0) as u64,
+                    )
+                })
+                .unwrap_or((None, 0));
+            (
+                d.name.clone(),
+                Cursor {
+                    boot_id,
+                    cursor,
+                    up: true,
+                },
+            )
+        })
+        .collect()
+}
+
+fn save_cursors(path: &Path, cursors: &BTreeMap<String, Cursor>) {
+    let obj = Json::Obj(
+        cursors
+            .iter()
+            .map(|(name, c)| {
+                (
+                    name.clone(),
+                    Json::obj(vec![
+                        (
+                            "boot_id",
+                            c.boot_id
+                                .as_ref()
+                                .map(|b| Json::Str(b.clone()))
+                                .unwrap_or(Json::Null),
+                        ),
+                        ("cursor", Json::Num(c.cursor as f64)),
+                    ]),
+                )
+            })
+            .collect(),
+    );
+    let _ = std::fs::write(path, format!("{obj}\n"));
+}
+
+/// Drain one daemon's ring from `cursor`; returns the parsed reply.
+fn scrape_logs(d: &Daemon, cursor: u64, timeout: Duration) -> Result<Json, String> {
+    match control(&d.addr, Control::Logs { cursor, max: 4096 }, timeout) {
+        Ok(ControlReply::Logs(s)) => json::parse(&s).map_err(|e| format!("bad logs json: {e}")),
+        Ok(other) => Err(format!("unexpected reply {other:?}")),
+        Err(e) => Err(e.to_string()),
+    }
+}
+
+/// One poll round over every daemon. Split out so the final round can
+/// run after the deadline (catching events from the last interval).
+fn tick(
+    daemons: &[Daemon],
+    out: &Path,
+    cfg: &CollectConfig,
+    cursors: &mut BTreeMap<String, Cursor>,
+    stats: &mut CollectStats,
+) {
+    for d in daemons {
+        let st = cursors.get_mut(&d.name).expect("cursor pre-seeded");
+        let stream = out.join(format!("{}.jsonl", d.name));
+        let mut reply = match scrape_logs(d, st.cursor, cfg.timeout) {
+            Ok(j) => j,
+            Err(e) => {
+                if st.up {
+                    st.up = false;
+                    stats.unreachable += 1;
+                    let ev = synthetic(
+                        &d.name,
+                        "warn",
+                        "daemon unreachable",
+                        vec![("error", Json::Str(e))],
+                    );
+                    let _ = append_line(&stream, &ev.to_string());
+                }
+                continue;
+            }
+        };
+        if !st.up {
+            st.up = true;
+            let ev = synthetic(&d.name, "info", "daemon reachable again", vec![]);
+            let _ = append_line(&stream, &ev.to_string());
+        }
+        let boot = reply
+            .get("boot_id")
+            .and_then(Json::as_str)
+            .unwrap_or("")
+            .to_string();
+        match &st.boot_id {
+            Some(old) if *old != boot => {
+                // The ring was reborn: the old cursor addresses a dead
+                // sequence space. Record the restart and re-read from 0.
+                stats.restarts += 1;
+                let ev = synthetic(
+                    &d.name,
+                    "info",
+                    "daemon restarted (boot id changed)",
+                    vec![
+                        ("old_boot", Json::Str(old.clone())),
+                        ("new_boot", Json::Str(boot.clone())),
+                    ],
+                );
+                let _ = append_line(&stream, &ev.to_string());
+                st.cursor = 0;
+                match scrape_logs(d, 0, cfg.timeout) {
+                    Ok(j) => reply = j,
+                    Err(_) => continue,
+                }
+            }
+            _ => {}
+        }
+        st.boot_id = Some(boot);
+        let dropped = reply.get("dropped").and_then(Json::as_f64).unwrap_or(0.0) as u64;
+        if dropped > 0 && st.cursor > 0 {
+            let ev = synthetic(
+                &d.name,
+                "warn",
+                "ring overflow: events dropped before scrape",
+                vec![("dropped", Json::Num(dropped as f64))],
+            );
+            let _ = append_line(&stream, &ev.to_string());
+        }
+        if let Some(events) = reply.get("events").and_then(Json::as_arr) {
+            for ev in events {
+                // Re-serialize with the daemon name injected so the
+                // merged timeline knows who said what.
+                let mut tagged = ev.clone();
+                if let Json::Obj(m) = &mut tagged {
+                    m.insert("source".into(), Json::Str(d.name.clone()));
+                }
+                let _ = append_line(&stream, &tagged.to_string());
+                stats.events += 1;
+            }
+        }
+        if let Some(next) = reply.get("next").and_then(Json::as_f64) {
+            st.cursor = next as u64;
+        }
+
+        // Metrics: keep the latest scrape, and the first one as the
+        // baseline the report diffs against.
+        if let Ok(ControlReply::Metrics(text)) = control(&d.addr, Control::Metrics, cfg.timeout) {
+            let first = out.join(format!("{}.first.prom", d.name));
+            if !first.exists() {
+                let _ = std::fs::write(&first, &text);
+            }
+            let _ = std::fs::write(out.join(format!("{}.prom", d.name)), &text);
+        }
+        if let Ok(ControlReply::Series(s)) = control(&d.addr, Control::Series, cfg.timeout) {
+            let _ = std::fs::write(out.join(format!("{}.series.json", d.name)), &s);
+        }
+    }
+    save_cursors(&out.join("cursors.json"), cursors);
+    stats.ticks += 1;
+}
+
+/// Run the collector loop: poll every daemon each `interval`, persist
+/// streams and cursors under `out`, stop after `duration` (or never).
+pub fn collect(
+    daemons: &[Daemon],
+    out: &Path,
+    cfg: &CollectConfig,
+) -> std::io::Result<CollectStats> {
+    std::fs::create_dir_all(out)?;
+    let mut cursors = load_cursors(&out.join("cursors.json"), daemons);
+    let mut stats = CollectStats::default();
+    let start = std::time::Instant::now();
+    loop {
+        tick(daemons, out, cfg, &mut cursors, &mut stats);
+        match cfg.duration {
+            Some(d) if start.elapsed() >= d => break,
+            _ => std::thread::sleep(cfg.interval),
+        }
+    }
+    Ok(stats)
+}
+
+// ----- report ----------------------------------------------------------
+
+/// One merged-timeline entry (a parsed JSONL line plus its origin).
+struct Entry {
+    t_us: u64,
+    level: String,
+    target: String,
+    msg: String,
+    source: String,
+    trace: Option<String>,
+    fields: Vec<(String, String)>,
+    raw: String,
+}
+
+fn parse_entry(line: &str, fallback_source: &str) -> Option<Entry> {
+    let j = json::parse(line).ok()?;
+    let field_str = |v: &Json| match v {
+        Json::Str(s) => s.clone(),
+        other => other.to_string(),
+    };
+    Some(Entry {
+        t_us: j.get("t_us").and_then(Json::as_f64)? as u64,
+        level: j.get("level").and_then(Json::as_str)?.to_string(),
+        target: j.get("target").and_then(Json::as_str)?.to_string(),
+        msg: j.get("msg").and_then(Json::as_str)?.to_string(),
+        source: j
+            .get("source")
+            .and_then(Json::as_str)
+            .unwrap_or(fallback_source)
+            .to_string(),
+        trace: j.get("trace").and_then(Json::as_str).map(String::from),
+        fields: j
+            .get("fields")
+            .and_then(Json::as_obj)
+            .map(|m| m.iter().map(|(k, v)| (k.clone(), field_str(v))).collect())
+            .unwrap_or_default(),
+        raw: line.to_string(),
+    })
+}
+
+fn fields_inline(e: &Entry) -> String {
+    e.fields
+        .iter()
+        .map(|(k, v)| format!("{k}={v}"))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Human one-liner for an entry (also used by `locod logs`).
+pub fn format_line(line: &str, source: &str) -> String {
+    match parse_entry(line, source) {
+        Some(e) => {
+            let trace = e
+                .trace
+                .as_ref()
+                .map(|t| format!(" trace={t}"))
+                .unwrap_or_default();
+            format!(
+                "{:<6} {:>16}us [{}] {} {}{}",
+                e.level.to_uppercase(),
+                e.t_us,
+                e.target,
+                e.msg,
+                fields_inline(&e),
+                trace
+            )
+        }
+        None => line.to_string(),
+    }
+}
+
+/// Report artifacts + headline counts.
+#[derive(Debug)]
+pub struct ReportSummary {
+    /// Events merged into the timeline.
+    pub events: usize,
+    /// Distinct daemons (sources) seen.
+    pub sources: usize,
+    /// Restart/crash markers found.
+    pub incidents: usize,
+    /// Path of the rendered markdown report.
+    pub report_md: PathBuf,
+}
+
+fn is_incident(e: &Entry) -> bool {
+    (e.target == "collector" && e.msg != "ring overflow: events dropped before scrape")
+        || e.target == "faults"
+        || (e.target == "wal" && e.level == "error")
+        || e.target == "wal.recovery"
+}
+
+fn load_entries(out: &Path) -> std::io::Result<Vec<Entry>> {
+    let mut entries = Vec::new();
+    let mut names: Vec<PathBuf> = std::fs::read_dir(out)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.extension().is_some_and(|x| x == "jsonl")
+                && p.file_name().is_some_and(|n| n != "timeline.jsonl")
+        })
+        .collect();
+    names.sort();
+    for path in names {
+        let stem = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("?")
+            .to_string();
+        for line in std::fs::read_to_string(&path)?.lines() {
+            if let Some(e) = parse_entry(line, &stem) {
+                entries.push(e);
+            }
+        }
+    }
+    // Stable sort: same-microsecond events keep per-daemon order.
+    entries.sort_by_key(|e| e.t_us);
+    Ok(entries)
+}
+
+fn write_chrome_trace(out: &Path, entries: &[Entry], t0: u64) -> std::io::Result<()> {
+    let mut pids: BTreeMap<&str, usize> = BTreeMap::new();
+    for e in entries {
+        let n = pids.len() + 1;
+        pids.entry(&e.source).or_insert(n);
+    }
+    let mut tev: Vec<Json> = pids
+        .iter()
+        .map(|(name, pid)| {
+            Json::obj(vec![
+                ("name", Json::Str("process_name".into())),
+                ("ph", Json::Str("M".into())),
+                ("pid", Json::Num(*pid as f64)),
+                ("args", Json::obj(vec![("name", Json::Str((*name).into()))])),
+            ])
+        })
+        .collect();
+    for e in entries {
+        let pid = pids[e.source.as_str()];
+        let mut args: Vec<(&str, Json)> = e
+            .fields
+            .iter()
+            .map(|(k, v)| (k.as_str(), Json::Str(v.clone())))
+            .collect();
+        args.push(("level", Json::Str(e.level.clone())));
+        if let Some(t) = &e.trace {
+            args.push(("trace", Json::Str(t.clone())));
+        }
+        tev.push(Json::obj(vec![
+            ("name", Json::Str(format!("{}: {}", e.target, e.msg))),
+            ("cat", Json::Str(e.level.clone())),
+            ("ph", Json::Str("i".into())),
+            ("s", Json::Str("p".into())),
+            ("ts", Json::Num(e.t_us.saturating_sub(t0) as f64)),
+            ("pid", Json::Num(pid as f64)),
+            ("tid", Json::Num(0.0)),
+            ("args", Json::obj(args)),
+        ]));
+    }
+    let doc = Json::obj(vec![("traceEvents", Json::Arr(tev))]);
+    std::fs::write(out.join("timeline.trace.json"), format!("{doc}\n"))
+}
+
+/// Parse a Prometheus text dump into `metric{labels} → value`.
+fn parse_prom(text: &str) -> BTreeMap<String, f64> {
+    text.lines()
+        .filter(|l| !l.starts_with('#') && !l.trim().is_empty())
+        .filter_map(|l| {
+            let (name, val) = l.rsplit_once(char::is_whitespace)?;
+            Some((name.trim().to_string(), val.trim().parse::<f64>().ok()?))
+        })
+        .collect()
+}
+
+fn metric_deltas(out: &Path, md: &mut String) -> std::io::Result<()> {
+    let mut wrote_any = false;
+    let mut firsts: Vec<PathBuf> = std::fs::read_dir(out)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.to_string_lossy().ends_with(".first.prom"))
+        .collect();
+    firsts.sort();
+    for first in firsts {
+        let name = first
+            .file_name()
+            .and_then(|s| s.to_str())
+            .and_then(|s| s.strip_suffix(".first.prom"))
+            .unwrap_or("?")
+            .to_string();
+        let last = out.join(format!("{name}.prom"));
+        if !last.is_file() {
+            continue;
+        }
+        let a = parse_prom(&std::fs::read_to_string(&first)?);
+        let b = parse_prom(&std::fs::read_to_string(&last)?);
+        let mut rows: Vec<(String, f64, f64)> = b
+            .iter()
+            .map(|(k, &vb)| {
+                let va = a.get(k).copied().unwrap_or(0.0);
+                (k.clone(), va, vb)
+            })
+            .filter(|(_, va, vb)| va != vb)
+            .collect();
+        rows.sort_by(|x, y| {
+            (y.2 - y.1)
+                .abs()
+                .partial_cmp(&(x.2 - x.1).abs())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        if rows.is_empty() {
+            continue;
+        }
+        if !wrote_any {
+            md.push_str("\n## Metric deltas (first scrape → last scrape)\n\n");
+            wrote_any = true;
+        }
+        md.push_str(&format!("### {name}\n\n"));
+        md.push_str("| metric | first | last | Δ |\n|---|---:|---:|---:|\n");
+        for (k, va, vb) in rows.iter().take(20) {
+            md.push_str(&format!("| `{k}` | {va} | {vb} | {:+} |\n", vb - va));
+        }
+        if rows.len() > 20 {
+            md.push_str(&format!("\n({} more metrics changed)\n", rows.len() - 20));
+        }
+        md.push('\n');
+    }
+    if !wrote_any {
+        md.push_str("\n## Metric deltas\n\nNo metric scrapes found.\n");
+    }
+    Ok(())
+}
+
+/// Merge the per-daemon streams under `out` into `timeline.jsonl`,
+/// render `timeline.trace.json` (Chrome `about://tracing` format) and
+/// `report.md`.
+pub fn report(out: &Path) -> std::io::Result<ReportSummary> {
+    let entries = load_entries(out)?;
+    let t0 = entries.first().map(|e| e.t_us).unwrap_or(0);
+    let t_end = entries.last().map(|e| e.t_us).unwrap_or(0);
+
+    let mut merged = String::with_capacity(entries.len() * 128);
+    for e in &entries {
+        merged.push_str(&e.raw);
+        merged.push('\n');
+    }
+    std::fs::write(out.join("timeline.jsonl"), &merged)?;
+    write_chrome_trace(out, &entries, t0)?;
+
+    let mut sources: BTreeMap<&str, (usize, usize, usize)> = BTreeMap::new();
+    for e in &entries {
+        let s = sources.entry(e.source.as_str()).or_default();
+        s.0 += 1;
+        if e.level == "error" {
+            s.1 += 1;
+        }
+        if e.level == "warn" {
+            s.2 += 1;
+        }
+    }
+
+    let mut md = String::new();
+    md.push_str("# Cluster timeline report\n\n");
+    md.push_str(&format!(
+        "{} events from {} sources over {:.3}s. Merged timeline: \
+         `timeline.jsonl`; open `timeline.trace.json` in `about://tracing` \
+         or [ui.perfetto.dev](https://ui.perfetto.dev) for the visual \
+         timeline.\n\n",
+        entries.len(),
+        sources.len(),
+        t_end.saturating_sub(t0) as f64 / 1e6,
+    ));
+    md.push_str("| source | events | errors | warns |\n|---|---:|---:|---:|\n");
+    for (name, (n, e, w)) in &sources {
+        md.push_str(&format!("| {name} | {n} | {e} | {w} |\n"));
+    }
+
+    let incidents: Vec<&Entry> = entries.iter().filter(|e| is_incident(e)).collect();
+    md.push_str("\n## Restarts, crashes & recoveries\n\n");
+    if incidents.is_empty() {
+        md.push_str("None observed.\n");
+    } else {
+        for e in &incidents {
+            md.push_str(&format!(
+                "- **+{:.3}s** `{}` [{}] {} — {}\n",
+                e.t_us.saturating_sub(t0) as f64 / 1e6,
+                e.source,
+                e.target,
+                e.msg,
+                fields_inline(e),
+            ));
+        }
+    }
+
+    let problems: Vec<&Entry> = entries
+        .iter()
+        .filter(|e| e.level == "error" || e.level == "warn")
+        .collect();
+    md.push_str(&format!(
+        "\n## Errors and warnings ({} total)\n\n",
+        problems.len()
+    ));
+    for e in problems.iter().take(50) {
+        md.push_str(&format!(
+            "- **+{:.3}s** {} `{}` [{}] {} {}\n",
+            e.t_us.saturating_sub(t0) as f64 / 1e6,
+            e.level.to_uppercase(),
+            e.source,
+            e.target,
+            e.msg,
+            fields_inline(e),
+        ));
+    }
+    if problems.len() > 50 {
+        md.push_str(&format!(
+            "\n({} more in the timeline)\n",
+            problems.len() - 50
+        ));
+    }
+
+    // Trace correlation: one request's footprint across daemons. Most
+    // interesting groups first: cross-source, or containing trouble.
+    let mut by_trace: BTreeMap<&str, Vec<&Entry>> = BTreeMap::new();
+    for e in &entries {
+        if let Some(t) = &e.trace {
+            by_trace.entry(t.as_str()).or_default().push(e);
+        }
+    }
+    let mut groups: Vec<(&str, &Vec<&Entry>)> = by_trace
+        .iter()
+        .filter(|(_, evs)| {
+            let multi_source = evs.iter().any(|e| e.source != evs[0].source);
+            let trouble = evs.iter().any(|e| e.level == "error" || e.level == "warn");
+            evs.len() > 1 && (multi_source || trouble)
+        })
+        .map(|(t, evs)| (*t, evs))
+        .collect();
+    groups.sort_by_key(|(_, evs)| std::cmp::Reverse(evs.len()));
+    md.push_str(&format!(
+        "\n## Trace correlation ({} multi-event traces, showing up to 20)\n\n",
+        groups.len()
+    ));
+    if groups.is_empty() {
+        md.push_str(
+            "No correlated traces (run clients with `LOCO_TRACE=all` to tag \
+             daemon-side events with request trace ids).\n",
+        );
+    }
+    for (trace, evs) in groups.iter().take(20) {
+        let g0 = evs.first().map(|e| e.t_us).unwrap_or(0);
+        md.push_str(&format!("### trace `{trace}`\n\n"));
+        for e in evs.iter() {
+            md.push_str(&format!(
+                "- +{:.3}ms `{}` [{}] {} {} ({})\n",
+                e.t_us.saturating_sub(g0) as f64 / 1e3,
+                e.source,
+                e.target,
+                e.msg,
+                fields_inline(e),
+                e.level,
+            ));
+        }
+        md.push('\n');
+    }
+
+    metric_deltas(out, &mut md)?;
+
+    let report_md = out.join("report.md");
+    std::fs::write(&report_md, &md)?;
+    Ok(ReportSummary {
+        events: entries.len(),
+        sources: sources.len(),
+        incidents: incidents.len(),
+        report_md,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_file_parses() {
+        let dir = std::env::temp_dir().join(format!("loco-collect-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("cluster.state");
+        std::fs::write(
+            &p,
+            "# comment\ndms 0 7100 1 /tmp os-managed\nfms 1 7102 2 /tmp x\n",
+        )
+        .unwrap();
+        let d = daemons_from_state(&p).unwrap();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0].name, "dms0");
+        assert_eq!(d[1].addr, "127.0.0.1:7102");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn report_merges_sorts_and_flags_incidents() {
+        let dir = std::env::temp_dir().join(format!("loco-report-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("dms0.jsonl"),
+            r#"{"seq":1,"t_us":3000,"mono_ns":1,"level":"info","target":"wal.recovery","msg":"durable store opened","source":"dms0","fields":{"replayed":4}}
+"#,
+        )
+        .unwrap();
+        std::fs::write(
+            dir.join("fms0.jsonl"),
+            r#"{"seq":0,"t_us":1000,"mono_ns":0,"level":"warn","target":"collector","msg":"daemon unreachable","source":"fms0","fields":{}}
+{"seq":2,"t_us":2000,"mono_ns":2,"level":"error","target":"net.client","msg":"rpc retries exhausted","source":"fms0","trace":"00000000000000aa","fields":{}}
+"#,
+        )
+        .unwrap();
+        let sum = report(&dir).unwrap();
+        assert_eq!(sum.events, 3);
+        assert_eq!(sum.sources, 2);
+        assert_eq!(sum.incidents, 2); // unreachable + wal.recovery
+        let merged = std::fs::read_to_string(dir.join("timeline.jsonl")).unwrap();
+        let lines: Vec<&str> = merged.lines().collect();
+        assert!(lines[0].contains("daemon unreachable"));
+        assert!(lines[2].contains("durable store opened"));
+        let md = std::fs::read_to_string(dir.join("report.md")).unwrap();
+        assert!(md.contains("Restarts, crashes & recoveries"));
+        assert!(md.contains("daemon unreachable"));
+        let trace = std::fs::read_to_string(dir.join("timeline.trace.json")).unwrap();
+        assert!(trace.contains("\"traceEvents\""));
+        assert!(trace.contains("process_name"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn prom_delta_parsing() {
+        let m = parse_prom("# HELP x\n# TYPE x counter\nx{role=\"dms\"} 5\ny 2.5\n");
+        assert_eq!(m["x{role=\"dms\"}"], 5.0);
+        assert_eq!(m["y"], 2.5);
+    }
+}

@@ -19,6 +19,9 @@
 //! * [`net`] — the RPC layer (simulated + threaded endpoints);
 //! * [`obs`] — the observability substrate: metrics registry,
 //!   log-bucketed latency histograms, Prometheus + Chrome-trace export;
+//! * [`log`] — structured trace-correlated logging (per-daemon ring,
+//!   `Logs` control frame); [`collect`] is its cluster-side collector
+//!   and post-run timeline report generator;
 //! * [`sim`] — virtual time, cost models, the closed-loop simulator;
 //! * [`baselines`] — behavioural models of IndexFS, CephFS, Gluster and
 //!   Lustre used by the benchmark harness;
@@ -45,12 +48,15 @@
 //! system inventory, and `EXPERIMENTS.md` for the paper-reproduction
 //! index.
 
+pub mod collect;
+
 pub use loco_baselines as baselines;
 pub use loco_client as client;
 pub use loco_dms as dms;
 pub use loco_faults as faults;
 pub use loco_fms as fms;
 pub use loco_kv as kv;
+pub use loco_log as log;
 pub use loco_mdtest as mdtest;
 pub use loco_net as net;
 pub use loco_obs as obs;

@@ -1,0 +1,387 @@
+//! End-to-end coverage of the structured logging stack: the in-process
+//! `loco-log` ring (overflow, span correlation, zero-cost-when-off),
+//! the `Logs` control frame against a real `locod` daemon (cursor
+//! resume across a SIGKILL restart), a three-daemon collector run
+//! producing a merged timeline + report, and the eprintln audit that
+//! keeps ad-hoc prints out of the daemon-side crates.
+
+use locofs::collect::{self, CollectConfig, Daemon as Target};
+use locofs::log as llog;
+use locofs::net::{control, Control, ControlReply};
+use locofs::obs::json::{self, Json};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+// ----- in-process ring tests -------------------------------------------
+
+/// The ring, its level filter and the span thread-local are process
+/// globals; every in-process test serializes here and re-pins the
+/// levels it needs.
+fn lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    let g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    llog::set_level(Some(llog::Level::Info));
+    llog::set_stderr_level(None);
+    g
+}
+
+#[test]
+fn ring_overflow_keeps_the_newest_events() {
+    let _g = lock();
+    let cap = llog::capacity() as u64;
+    let start = llog::head_seq();
+    // 2× capacity: the first half must be evicted, the second retained.
+    for i in 0..2 * cap {
+        llog::info!("test.overflow", "spin"; i = i);
+    }
+    let t = llog::tail(start, usize::MAX);
+    assert!(t.dropped >= cap, "old events must report as dropped");
+    let last = t.events.last().expect("newest event retained");
+    assert_eq!(last.seq, start + 2 * cap - 1, "newest event is the last");
+    // Everything returned is contiguous and ends at the head.
+    for w in t.events.windows(2) {
+        assert_eq!(w[0].seq + 1, w[1].seq, "retained suffix is contiguous");
+    }
+}
+
+#[test]
+fn events_inside_a_sampled_span_carry_its_trace_id() {
+    let _g = lock();
+    let start = llog::head_seq();
+    {
+        let _span = llog::span_scope(0xfeed_beef, 7);
+        llog::info!("test.span", "inside");
+    }
+    llog::info!("test.span", "outside");
+    let t = llog::tail(start, usize::MAX);
+    let inside = t.events.iter().find(|e| e.msg == "inside").unwrap();
+    assert_eq!(inside.trace_id, 0xfeed_beef);
+    assert_eq!(inside.span_id, 7);
+    let outside = t.events.iter().find(|e| e.msg == "outside").unwrap();
+    assert_eq!(outside.trace_id, 0, "scope must not leak past its drop");
+    // And the wire form renders the trace id as a 16-hex-digit string.
+    let js = inside.to_json(None);
+    assert!(js.contains("\"trace\":\"00000000feedbeef\""), "{js}");
+}
+
+#[test]
+fn disabled_logging_allocates_nothing() {
+    let _g = lock();
+    assert!(
+        locofs::obs::alloc::counting_installed(),
+        "test binary links loco-obs, so the counting allocator is live"
+    );
+    // LOCO_LOG=off equivalent.
+    llog::set_level(None);
+    // Warm up any lazy statics touched by the off path.
+    llog::debug!("test.alloc", "warmup"; x = 1u64);
+    let snap = locofs::obs::alloc::snapshot();
+    for i in 0..10_000u64 {
+        llog::debug!("test.alloc", "dropped on the floor";
+            i = i, label = "field values must not be built");
+    }
+    let (allocs, bytes) = snap.delta();
+    assert_eq!(
+        (allocs, bytes),
+        (0, 0),
+        "a disabled log site must not allocate (one relaxed load only)"
+    );
+}
+
+// ----- subprocess helpers (shared with daemon_crash_recovery) ----------
+
+fn locod() -> &'static str {
+    env!("CARGO_BIN_EXE_locod")
+}
+
+static SEQ: AtomicU32 = AtomicU32::new(0);
+
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Self {
+        let n = SEQ.fetch_add(1, Ordering::Relaxed);
+        let p = std::env::temp_dir().join(format!("loco-logging-{}-{n}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&p);
+        std::fs::create_dir_all(&p).unwrap();
+        Scratch(p)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn free_port() -> u16 {
+    std::net::TcpListener::bind("127.0.0.1:0")
+        .unwrap()
+        .local_addr()
+        .unwrap()
+        .port()
+}
+
+struct DaemonProc(Child);
+
+impl Drop for DaemonProc {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+fn spawn_role(role: &str, addr: &str, data_dir: &Path) -> DaemonProc {
+    let mut cmd = Command::new(locod());
+    cmd.args([
+        "serve",
+        "--role",
+        role,
+        "--index",
+        "0",
+        "--listen",
+        addr,
+        "--data-dir",
+        data_dir.to_str().unwrap(),
+        "--sync-policy",
+        "every-record",
+    ])
+    .env_remove("LOCO_CRASHPOINT")
+    .env_remove("LOCO_IOFAULT")
+    .env("LOCO_LOG", "debug")
+    .stdout(Stdio::null())
+    .stderr(Stdio::null());
+    DaemonProc(cmd.spawn().expect("spawn locod serve"))
+}
+
+fn wait_ping(addr: &str) {
+    let start = Instant::now();
+    loop {
+        if let Ok(ControlReply::Pong) = control(addr, Control::Ping, Duration::from_millis(500)) {
+            return;
+        }
+        assert!(
+            start.elapsed() < Duration::from_secs(15),
+            "daemon at {addr} never answered a ping"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+fn tail_frame(addr: &str, cursor: u64) -> Json {
+    let reply = control(
+        addr,
+        Control::Logs { cursor, max: 4096 },
+        Duration::from_secs(5),
+    )
+    .expect("logs control frame");
+    let ControlReply::Logs(s) = reply else {
+        panic!("unexpected reply {reply:?}");
+    };
+    json::parse(&s).expect("logs reply is valid JSON")
+}
+
+fn boot_of(j: &Json) -> String {
+    j.get("boot_id").and_then(Json::as_str).unwrap().to_string()
+}
+
+fn msgs_of(j: &Json) -> Vec<String> {
+    j.get("events")
+        .and_then(Json::as_arr)
+        .unwrap_or(&[])
+        .iter()
+        .filter_map(|e| e.get("msg").and_then(Json::as_str).map(String::from))
+        .collect()
+}
+
+// ----- Logs frame across a restart -------------------------------------
+
+#[test]
+fn logs_cursor_survives_a_daemon_restart_via_boot_id() {
+    let scratch = Scratch::new("cursor");
+    let addr = format!("127.0.0.1:{}", free_port());
+
+    let mut d = spawn_role("dms", &addr, &scratch.0);
+    wait_ping(&addr);
+
+    let first = tail_frame(&addr, 0);
+    let boot1 = boot_of(&first);
+    let msgs = msgs_of(&first);
+    assert!(
+        msgs.iter().any(|m| m == "daemon booting"),
+        "boot event visible over the Logs frame: {msgs:?}"
+    );
+    assert!(
+        msgs.iter().any(|m| m == "durable store opened"),
+        "recovery event visible over the Logs frame: {msgs:?}"
+    );
+    let cursor = first.get("next").and_then(Json::as_f64).unwrap() as u64;
+    assert!(cursor > 0);
+    // Polling again from the cursor yields only *new* events (the
+    // control connections themselves log at debug), never replays.
+    let again = tail_frame(&addr, cursor);
+    assert_eq!(
+        again.get("dropped").and_then(Json::as_f64).unwrap() as u64,
+        0
+    );
+    for ev in again.get("events").and_then(Json::as_arr).unwrap_or(&[]) {
+        let seq = ev.get("seq").and_then(Json::as_f64).unwrap() as u64;
+        assert!(seq >= cursor, "resumed tail must not replay event {seq}");
+    }
+
+    // SIGKILL + restart over the same data dir and port.
+    d.0.kill().unwrap();
+    d.0.wait().unwrap();
+    let _d2 = spawn_role("dms", &addr, &scratch.0);
+    wait_ping(&addr);
+
+    // The stale cursor addresses the dead incarnation's sequence space;
+    // the boot id says so, and rewinding to 0 yields the new boot's
+    // events (including its WAL recovery).
+    let stale = tail_frame(&addr, cursor);
+    assert_ne!(boot_of(&stale), boot1, "restart must change the boot id");
+    let rewound = tail_frame(&addr, 0);
+    let msgs = msgs_of(&rewound);
+    assert!(
+        msgs.iter().any(|m| m == "durable store opened"),
+        "post-restart recovery logged: {msgs:?}"
+    );
+}
+
+// ----- three-daemon collector e2e --------------------------------------
+
+#[test]
+fn collector_merges_a_crash_into_one_timeline() {
+    let scratch = Scratch::new("collector");
+    let out = scratch.0.join("collect");
+    let data = scratch.0.join("data");
+    std::fs::create_dir_all(&data).unwrap();
+
+    let roles = ["dms", "fms", "ost"];
+    let addrs: Vec<String> = roles
+        .iter()
+        .map(|_| format!("127.0.0.1:{}", free_port()))
+        .collect();
+    let mut daemons: Vec<DaemonProc> = roles
+        .iter()
+        .zip(&addrs)
+        .map(|(role, addr)| spawn_role(role, addr, &data))
+        .collect();
+    for addr in &addrs {
+        wait_ping(addr);
+    }
+
+    let targets: Vec<Target> = roles
+        .iter()
+        .zip(&addrs)
+        .map(|(role, addr)| Target {
+            name: format!("{role}0"),
+            addr: addr.clone(),
+        })
+        .collect();
+    let cfg = CollectConfig {
+        interval: Duration::from_millis(100),
+        duration: Some(Duration::from_millis(400)),
+        timeout: Duration::from_secs(2),
+    };
+
+    // Round 1: all up. Cursors persist under `out`.
+    let s1 = collect::collect(&targets, &out, &cfg).unwrap();
+    assert!(s1.events > 0, "boot + recovery events collected");
+
+    // SIGKILL the FMS, collect (sees it down), restart, collect again
+    // (sees the new boot id + its recovery events).
+    daemons[1].0.kill().unwrap();
+    daemons[1].0.wait().unwrap();
+    let s2 = collect::collect(&targets, &out, &cfg).unwrap();
+    assert!(s2.unreachable >= 1, "down transition recorded: {s2:?}");
+    daemons[1] = spawn_role("fms", &addrs[1], &data);
+    wait_ping(&addrs[1]);
+    let s3 = collect::collect(&targets, &out, &cfg).unwrap();
+    assert!(s3.restarts >= 1, "boot-id change recorded: {s3:?}");
+
+    let sum = collect::report(&out).unwrap();
+    assert_eq!(sum.sources, 3, "all three daemons in the merged timeline");
+    assert!(sum.incidents >= 2, "crash + recovery markers: {sum:?}");
+
+    let timeline = std::fs::read_to_string(out.join("timeline.jsonl")).unwrap();
+    assert!(timeline.contains("daemon unreachable"));
+    assert!(timeline.contains("daemon restarted (boot id changed)"));
+    assert!(timeline.contains("durable store opened"));
+    // Merged stream is monotonic in wall time.
+    let times: Vec<u64> = timeline
+        .lines()
+        .map(|l| {
+            json::parse(l)
+                .unwrap()
+                .get("t_us")
+                .and_then(Json::as_f64)
+                .unwrap() as u64
+        })
+        .collect();
+    assert!(times.windows(2).all(|w| w[0] <= w[1]), "timeline is sorted");
+
+    let md = std::fs::read_to_string(out.join("report.md")).unwrap();
+    assert!(md.contains("daemon unreachable"));
+    assert!(md.contains("durable store opened"));
+    let trace = std::fs::read_to_string(out.join("timeline.trace.json")).unwrap();
+    assert!(trace.contains("\"traceEvents\""));
+}
+
+// ----- eprintln audit ---------------------------------------------------
+
+/// Daemon-side crates must route diagnostics through `loco-log`; raw
+/// `eprintln!` is reserved for CLI binaries and the few allowlisted
+/// last-resort sites below.
+#[test]
+fn no_stray_eprintln_in_daemon_crates() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    // file substring → why a raw stderr write is acceptable there.
+    let allow: &[(&str, &str)] = &[(
+        "crates/obs/src/watchdog.rs",
+        "fallback when no loco-log fire hook is installed (obs depends on nothing)",
+    )];
+    let mut stray = Vec::new();
+    for krate in ["net", "dms", "fms", "kv", "ostore", "faults", "obs", "log"] {
+        let dir = root.join("crates").join(krate).join("src");
+        scan_dir(&dir, &mut |path, text| {
+            for (lineno, line) in text.lines().enumerate() {
+                if line.contains("eprintln!") && !line.trim_start().starts_with("//") {
+                    let rel = path
+                        .strip_prefix(root)
+                        .unwrap()
+                        .to_string_lossy()
+                        .to_string();
+                    if !allow.iter().any(|(a, _)| rel.contains(a)) {
+                        stray.push(format!("{rel}:{}", lineno + 1));
+                    }
+                }
+            }
+        });
+    }
+    assert!(
+        stray.is_empty(),
+        "eprintln! in daemon-side code — use loco_log::{{error!,warn!,…}} \
+         or loco_log::last_gasp for abort paths:\n{}",
+        stray.join("\n")
+    );
+}
+
+fn scan_dir(dir: &Path, f: &mut impl FnMut(&Path, &str)) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for e in entries.flatten() {
+        let p = e.path();
+        if p.is_dir() {
+            scan_dir(&p, f);
+        } else if p.extension().is_some_and(|x| x == "rs") {
+            if let Ok(text) = std::fs::read_to_string(&p) {
+                f(&p, &text);
+            }
+        }
+    }
+}
