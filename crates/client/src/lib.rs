@@ -25,12 +25,14 @@
 
 pub mod cache;
 pub mod client;
+pub mod failover;
 pub mod fsck;
 pub mod metrics;
 pub mod remote;
 
 pub use cache::DirCache;
 pub use client::{DmsEndpoint, FileHandle, FmsEndpoint, LocoClient, ObsWiring, OstEndpoint};
+pub use failover::FailoverDms;
 pub use fsck::{fsck, fsck_repair, FsckReport};
 pub use metrics::{CacheStats, ClusterReport};
 pub use remote::{ClusterAddrs, Transport, TransportCluster};

@@ -100,6 +100,9 @@ impl std::fmt::Display for Transport {
 pub struct ClusterAddrs {
     /// DMS listen addresses (the paper's design has exactly one).
     pub dms: Vec<String>,
+    /// Warm-standby DMS replicas (`dms_standby=a,b`; optional). Not
+    /// dialed for normal traffic — failover candidates only.
+    pub dms_standby: Vec<String>,
     /// FMS listen addresses, in ring order.
     pub fms: Vec<String>,
     /// Object-store listen addresses.
@@ -111,6 +114,7 @@ impl ClusterAddrs {
     /// missing or empty.
     pub fn parse(spec: &str) -> Option<Self> {
         let mut dms = Vec::new();
+        let mut dms_standby = Vec::new();
         let mut fms = Vec::new();
         let mut ost = Vec::new();
         for part in spec.split(';') {
@@ -126,6 +130,7 @@ impl ClusterAddrs {
                 .collect();
             match role.trim() {
                 "dms" => dms = list,
+                "dms_standby" => dms_standby = list,
                 "fms" => fms = list,
                 "ost" => ost = list,
                 _ => return None,
@@ -134,11 +139,27 @@ impl ClusterAddrs {
         if dms.is_empty() || fms.is_empty() || ost.is_empty() {
             return None;
         }
-        Some(Self { dms, fms, ost })
+        Some(Self {
+            dms,
+            dms_standby,
+            fms,
+            ost,
+        })
     }
 
-    /// Read and parse `LOCO_CLUSTER` from the environment.
+    /// Read the cluster view from the environment. `LOCO_CLUSTER_FILE`
+    /// (a path whose contents are one `LOCO_CLUSTER` line) takes
+    /// precedence over `LOCO_CLUSTER`: a file can be rewritten after a
+    /// failover, so clients that re-read the view mid-run pick up the
+    /// promoted primary without restarting.
     pub fn from_env() -> Option<Self> {
+        if let Ok(path) = std::env::var("LOCO_CLUSTER_FILE") {
+            if let Ok(contents) = std::fs::read_to_string(path.trim()) {
+                if let Some(addrs) = ClusterAddrs::parse(contents.trim()) {
+                    return Some(addrs);
+                }
+            }
+        }
         ClusterAddrs::parse(&std::env::var("LOCO_CLUSTER").ok()?)
     }
 }
@@ -434,6 +455,10 @@ impl TransportCluster {
         // the *client's* view of each RPC into the local registry —
         // without this, `loco_rpc_*` families would be empty
         // client-side.
+        //
+        // The DMS dials through [`crate::failover::FailoverDms`] so a
+        // fenced or dead primary triggers a redial to the promoted
+        // standby instead of surfacing a hard error.
         let dms = addrs
             .dms
             .iter()
@@ -441,8 +466,7 @@ impl TransportCluster {
             .map(|(i, a)| {
                 let id = ServerId::new(class::DMS, i as u16);
                 let m = EndpointMetrics::register(&registry, id);
-                Arc::new(tcp::TcpEndpoint::<DirServer>::connect(id, a).with_metrics(m))
-                    as DmsEndpoint
+                Arc::new(crate::failover::FailoverDms::new(id, a, Some(m))) as DmsEndpoint
             })
             .collect();
         let fms = addrs
@@ -527,9 +551,21 @@ mod tests {
         assert_eq!(a.dms.len(), 1);
         assert_eq!(a.fms, vec!["127.0.0.1:7101", "127.0.0.1:7102"]);
         assert_eq!(a.ost.len(), 1);
+        assert!(a.dms_standby.is_empty(), "standbys default to none");
         assert!(ClusterAddrs::parse("dms=;fms=a;ost=b").is_none());
         assert!(ClusterAddrs::parse("fms=a;ost=b").is_none());
         assert!(ClusterAddrs::parse("bogus").is_none());
+    }
+
+    #[test]
+    fn cluster_addrs_parse_standbys() {
+        let a = ClusterAddrs::parse(
+            "dms=127.0.0.1:7100;dms_standby=127.0.0.1:7110,127.0.0.1:7111;\
+             fms=127.0.0.1:7101;ost=127.0.0.1:7103",
+        )
+        .unwrap();
+        assert_eq!(a.dms, vec!["127.0.0.1:7100"]);
+        assert_eq!(a.dms_standby, vec!["127.0.0.1:7110", "127.0.0.1:7111"]);
     }
 
     #[test]

@@ -30,10 +30,12 @@ pub use replica::ReplicatedDms;
 
 use loco_kv::{BTreeDb, HashDb, KvConfig, KvStore};
 use loco_net::{Nanos, Service};
+use loco_repl::{ReplCtl, ReplInfo, Role};
 use loco_sim::time::CostAcc;
 use loco_types::{
     acl, basename, parent, DirInode, DirentKind, DirentList, FsError, FsResult, Perm, Uuid, UuidGen,
 };
+use std::sync::Arc;
 
 /// Which KV backend the DMS runs on (Fig 14 compares them).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -174,6 +176,35 @@ pub enum DmsRequest {
         /// Child entry name to tombstone.
         name: String,
     },
+    /// Replication: one sealed WAL commit group shipped primary →
+    /// standby. An empty `group` is a heartbeat/probe (lease renewal +
+    /// `next_seq` discovery). Answered with [`DmsResponse::Repl`].
+    ReplAppend {
+        /// The sender's fencing epoch.
+        epoch: u64,
+        /// Sequence number of the group's first record (0 for probes).
+        first_seq: u64,
+        /// Verbatim sealed commit-group bytes from the primary's WAL.
+        group: Vec<u8>,
+    },
+    /// Replication: full-state catch-up when the standby is behind the
+    /// primary's in-memory group ring. Installs the image, then the
+    /// WAL tail streams via `ReplAppend`.
+    ReplSnapshot {
+        /// The sender's fencing epoch.
+        epoch: u64,
+        /// Last WAL sequence number the image covers.
+        last_seq: u64,
+        /// Snapshot envelope bytes (`loco-kv` snapshot format).
+        image: Vec<u8>,
+    },
+    /// Replication: read-only role/epoch/seq probe, used by clients
+    /// resolving the current primary and by `cluster.sh status`.
+    ReplStatus {},
+    /// Election: make this replica the primary at a fresh epoch. The
+    /// epoch bump is written through the WAL, so it replicates to the
+    /// surviving standbys like any mutation.
+    Promote {},
 }
 
 /// Responses from the DMS.
@@ -188,6 +219,8 @@ pub enum DmsResponse {
     Done(FsResult<usize>),
     /// Boolean probe result.
     Bool(bool),
+    /// Replication control reply (epoch / next expected seq / role).
+    Repl(ReplInfo),
 }
 
 // Wire codec for the RPC transport. Tags are protocol: append-only.
@@ -204,6 +237,10 @@ loco_types::impl_wire_enum!(DmsRequest, "dms-request", {
     9 => RmdirLocal { path },
     10 => AddDirent { dir_uuid, name, child_uuid },
     11 => RemoveDirent { dir_uuid, name },
+    12 => ReplAppend { epoch, first_seq, group },
+    13 => ReplSnapshot { epoch, last_seq, image },
+    14 => ReplStatus {},
+    15 => Promote {},
 });
 
 loco_types::impl_wire_enum!(DmsResponse, "dms-response", tuple {
@@ -211,6 +248,7 @@ loco_types::impl_wire_enum!(DmsResponse, "dms-response", tuple {
     1 => Dirents(r),
     2 => Done(r),
     3 => Bool(r),
+    4 => Repl(r),
 });
 
 /// The Directory Metadata Server.
@@ -227,9 +265,22 @@ pub struct DirServer {
     durable: bool,
     /// Exclusive fid bound covered by the persisted watermark.
     wm_limit: u64,
+    /// Warm-standby replication control plane, when enabled.
+    repl: Option<Arc<ReplCtl>>,
+    /// The request just handled was rejected for not being primary;
+    /// drained into the reply's [`loco_net::ReplStamp`].
+    fenced_reply: bool,
 }
 
 const DIRENT_NS: u8 = b'E';
+
+/// Reserved KV key holding the replica set's fencing epoch. Writing it
+/// through the store (rather than a side file) makes epoch bumps ride
+/// the WAL — durable before the promote is acknowledged, replayed on
+/// recovery, and replicated to standbys like any other mutation.
+/// The leading NUL keeps it outside the `/` and `E` namespaces,
+/// mirroring the uuid watermark key.
+const EPOCH_KEY: &[u8] = b"\x00repl_epoch";
 
 fn dirent_key(dir_uuid: Uuid) -> [u8; 9] {
     let mut k = [0u8; 9];
@@ -285,7 +336,53 @@ impl DirServer {
             split: loco_kv::SpanSplit::default(),
             durable,
             wm_limit,
+            repl: None,
+            fenced_reply: false,
         }
+    }
+
+    /// Wire up warm-standby replication: every sealed WAL commit group
+    /// is pushed into the control plane's ring (for the shipper to
+    /// replay), and the server starts stamping replies / gating client
+    /// ops by role. Returns `false` when the backing store has no WAL
+    /// (volatile stores cannot replicate).
+    pub fn enable_repl(&mut self, ctl: Arc<ReplCtl>) -> bool {
+        let sink = Arc::clone(&ctl);
+        let ok = self.db.repl_set_tap(Box::new(move |first, last, group| {
+            sink.push_group(first, last, group);
+        }));
+        if ok {
+            self.repl = Some(ctl);
+        }
+        ok
+    }
+
+    /// The fencing epoch persisted in the store (0 when never
+    /// promoted). Read at boot to seed the control plane's epoch.
+    pub fn stored_epoch(&mut self) -> u64 {
+        let e = self
+            .db
+            .get(EPOCH_KEY)
+            .and_then(|v| {
+                v.get(..8)
+                    .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+            })
+            .unwrap_or(0);
+        let _ = self.db.take_cost();
+        e
+    }
+
+    /// Next WAL sequence number of the backing store (0 when volatile).
+    pub fn wal_next_seq(&mut self) -> u64 {
+        self.db.repl_next_seq()
+    }
+
+    /// Snapshot image + last covered seq for standby catch-up
+    /// (maintenance path; virtual cost discarded).
+    pub fn repl_snapshot(&mut self) -> Option<(u64, Vec<u8>)> {
+        let img = self.db.repl_snapshot_image();
+        let _ = self.db.take_cost();
+        img
     }
 
     /// Allocate a uuid, first pushing the durable watermark past it
@@ -607,6 +704,28 @@ impl Service for DirServer {
 
     fn handle(&mut self, req: DmsRequest) -> DmsResponse {
         self.extra.charge(self.rpc_overhead);
+        // Replication traffic bypasses the txn bracket: a ReplAppend
+        // carries an *already sealed* commit group that must land in
+        // the WAL verbatim, not be re-wrapped into a new group.
+        if matches!(
+            req,
+            DmsRequest::ReplAppend { .. }
+                | DmsRequest::ReplSnapshot { .. }
+                | DmsRequest::ReplStatus {}
+        ) {
+            return self.handle_repl(req);
+        }
+        // Role gate: a replicated server that is not the primary
+        // rejects every client operation (reads included — a standby
+        // may lag, and LocoFS's consistency story is primary-only).
+        // The rejection rides the reply's ReplStamp so the transport
+        // surfaces it as FencedEpoch and the client redials.
+        if let Some(ctl) = &self.repl {
+            if !matches!(req, DmsRequest::Promote {}) && ctl.role() != Role::Primary {
+                self.fenced_reply = true;
+                return DmsResponse::Done(Err(FsError::Io("fenced: not primary".into())));
+            }
+        }
         let op = Self::req_label(&req);
         // One request = one WAL commit group: a crash mid-handler (e.g.
         // between a rename's extracts and reinserts) replays either the
@@ -664,7 +783,39 @@ impl Service for DirServer {
     }
 
     fn commit_flush_begin(&mut self) -> Option<(u64, loco_net::CommitFsync)> {
-        self.db.persist_commit_flush_begin()
+        let (n, fsync) = self.db.persist_commit_flush_begin()?;
+        // Replicated primary: after the local fsync, hold the ack until
+        // the configured quorum of standbys has the batch (or the node
+        // fences / times out, which raises the batch-abort flag the
+        // committer reads via `commit_abort`). Runs outside the service
+        // lock, so shipping proceeds while we wait.
+        let Some(ctl) = self.repl.clone() else {
+            return Some((n, fsync));
+        };
+        if ctl.role() != Role::Primary {
+            return Some((n, fsync));
+        }
+        let last_seq = self.db.repl_next_seq().saturating_sub(1);
+        let timeout = ctl.lease() * 2;
+        Some((
+            n,
+            Box::new(move || {
+                fsync();
+                let _ = ctl.wait_quorum(last_seq, timeout);
+            }),
+        ))
+    }
+
+    fn take_repl_stamp(&mut self) -> Option<loco_net::ReplStamp> {
+        let ctl = self.repl.as_ref()?;
+        Some(loco_net::ReplStamp {
+            epoch: ctl.epoch(),
+            fenced: std::mem::take(&mut self.fenced_reply),
+        })
+    }
+
+    fn commit_abort(&mut self) -> bool {
+        self.repl.as_ref().is_some_and(|c| c.take_abort())
     }
 
     fn req_label(req: &DmsRequest) -> &'static str {
@@ -681,6 +832,10 @@ impl Service for DirServer {
             DmsRequest::RmdirLocal { .. } => "RmdirLocal",
             DmsRequest::AddDirent { .. } => "AddDirent",
             DmsRequest::RemoveDirent { .. } => "RemoveDirent",
+            DmsRequest::ReplAppend { .. } => "ReplAppend",
+            DmsRequest::ReplSnapshot { .. } => "ReplSnapshot",
+            DmsRequest::ReplStatus {} => "ReplStatus",
+            DmsRequest::Promote {} => "Promote",
         }
     }
 }
@@ -797,6 +952,155 @@ impl DirServer {
                     .is_ok();
                 DmsResponse::Bool(ok)
             }
+            DmsRequest::Promote {} => DmsResponse::Repl(self.do_promote()),
+            // Intercepted in `handle` before the txn bracket; kept
+            // total so the match stays exhaustive.
+            DmsRequest::ReplAppend { .. }
+            | DmsRequest::ReplSnapshot { .. }
+            | DmsRequest::ReplStatus {} => self.repl_info(false),
+        }
+    }
+
+    /// Snapshot of the replication state for a control reply.
+    fn repl_info(&mut self, ok: bool) -> DmsResponse {
+        let (epoch, role) = match &self.repl {
+            Some(ctl) => (ctl.epoch(), ctl.role().as_u8()),
+            None => (0, 0),
+        };
+        DmsResponse::Repl(ReplInfo {
+            ok,
+            epoch,
+            next_seq: self.db.repl_next_seq(),
+            role,
+        })
+    }
+
+    /// Become the primary at a fresh epoch: `max(max epoch ever seen,
+    /// mine) + 1`, persisted through the WAL so the bump is durable
+    /// before the promote is acknowledged and replicates to surviving
+    /// standbys. Runs inside the normal txn bracket.
+    fn do_promote(&mut self) -> ReplInfo {
+        let Some(ctl) = self.repl.clone() else {
+            // Unreplicated server: promote is meaningless but harmless.
+            return ReplInfo {
+                ok: false,
+                epoch: 0,
+                next_seq: self.db.repl_next_seq(),
+                role: 0,
+            };
+        };
+        let epoch = ctl.max_seen_epoch().max(ctl.epoch()) + 1;
+        self.db.put(EPOCH_KEY, &epoch.to_le_bytes());
+        // The replicated stream carried the old primary's watermark
+        // writes straight into the store, bypassing this instance's
+        // in-memory allocator — re-seed it so the new primary never
+        // re-issues a uuid the old one already handed out.
+        let (sid, cur) = self.uuids.state();
+        let bound = loco_kv::watermark::load(&mut *self.db).unwrap_or(0);
+        if bound > cur {
+            self.uuids = UuidGen::from_state(sid, bound);
+            self.wm_limit = bound;
+        }
+        ctl.transition(Role::Primary, epoch);
+        loco_log::info!("repl.election", "promoted to primary";
+            epoch = epoch, next_seq = self.db.repl_next_seq());
+        ReplInfo {
+            ok: true,
+            epoch,
+            next_seq: self.db.repl_next_seq(),
+            role: Role::Primary.as_u8(),
+        }
+    }
+
+    /// Standby-side replication handler (and the shared status probe).
+    /// Runs outside the txn bracket: shipped groups land in the WAL
+    /// verbatim via `repl_apply_group`, preserving the primary's
+    /// sequence numbers and group boundaries.
+    fn handle_repl(&mut self, req: DmsRequest) -> DmsResponse {
+        let Some(ctl) = self.repl.clone() else {
+            return self.repl_info(false);
+        };
+        match req {
+            DmsRequest::ReplStatus {} => self.repl_info(true),
+            DmsRequest::ReplAppend {
+                epoch,
+                first_seq,
+                group,
+            } => {
+                ctl.observe_epoch(epoch);
+                let mine = ctl.epoch();
+                if epoch < mine {
+                    // Stale primary: reject, and let our higher epoch
+                    // in the reply fence it.
+                    loco_log::warn!("repl.ship", "append from stale epoch rejected";
+                        from_epoch = epoch, epoch = mine, first_seq = first_seq);
+                    return self.repl_info(false);
+                }
+                if epoch > mine || ctl.role() == Role::Primary {
+                    // A higher (or equal-from-elsewhere) epoch is
+                    // authoritative: follow it. A primary hearing a
+                    // higher epoch has been superseded and steps down.
+                    if ctl.role() == Role::Primary && epoch > mine {
+                        loco_log::warn!("repl.election", "superseded by higher epoch; stepping down";
+                            epoch = mine, new_epoch = epoch);
+                    }
+                    if epoch > mine {
+                        ctl.transition(Role::Standby, epoch);
+                    } else if ctl.role() == Role::Primary {
+                        // Same epoch from another node claiming primary
+                        // — split brain; refuse and keep our claim.
+                        return self.repl_info(false);
+                    }
+                }
+                ctl.note_primary_contact(epoch);
+                if group.is_empty() {
+                    return self.repl_info(true); // heartbeat/probe
+                }
+                match self.db.repl_apply_group(&group) {
+                    Ok(_) => self.repl_info(true),
+                    Err(e) => {
+                        loco_log::warn!("repl.ship", "replicated group refused";
+                            first_seq = first_seq,
+                            next_seq = self.db.repl_next_seq(),
+                            error = format_args!("{e}"));
+                        self.repl_info(false)
+                    }
+                }
+            }
+            DmsRequest::ReplSnapshot {
+                epoch,
+                last_seq,
+                image,
+            } => {
+                ctl.observe_epoch(epoch);
+                if epoch < ctl.epoch() {
+                    return self.repl_info(false);
+                }
+                if epoch > ctl.epoch() {
+                    ctl.transition(Role::Standby, epoch);
+                }
+                ctl.note_primary_contact(epoch);
+                match self.db.repl_install_snapshot(&image) {
+                    Ok(records) => {
+                        loco_log::info!("repl.ship", "snapshot installed";
+                            last_seq = last_seq, records = records as u64);
+                        // Snapshot state supersedes the in-memory uuid
+                        // allocator: re-seed from the persisted
+                        // watermark it carried.
+                        let (sid, _) = self.uuids.state();
+                        let bound = loco_kv::watermark::load(&mut *self.db).unwrap_or(0);
+                        self.uuids = UuidGen::from_state(sid, bound);
+                        self.wm_limit = bound;
+                        self.repl_info(true)
+                    }
+                    Err(e) => {
+                        loco_log::warn!("repl.ship", "snapshot install failed";
+                            error = format_args!("{e}"));
+                        self.repl_info(false)
+                    }
+                }
+            }
+            _ => self.repl_info(false),
         }
     }
 }
@@ -1115,6 +1419,105 @@ mod tests {
         assert!(ok(&mut d, 42, Perm::Write));
         assert!(!ok(&mut d, 7, Perm::Read), "others blocked by 0700");
         assert!(ok(&mut d, 0, Perm::Write), "root bypasses");
+    }
+
+    #[test]
+    fn wal_replication_ships_promotes_and_fences() {
+        use loco_repl::AckPolicy;
+        use std::time::Duration;
+        let tmp = std::env::temp_dir().join(format!("dms-repl-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&tmp);
+        let open = |name: &str| {
+            let store =
+                loco_kv::DurableStore::open(tmp.join(name), BTreeDb::new(KvConfig::default()))
+                    .unwrap();
+            DirServer::with_store(Box::new(store), 0)
+        };
+        let ctl_p = Arc::new(ReplCtl::new(
+            1,
+            Role::Primary,
+            AckPolicy::None,
+            Duration::from_millis(100),
+            vec!["peer".into()],
+        ));
+        let ctl_s = Arc::new(ReplCtl::new(
+            0,
+            Role::Standby,
+            AckPolicy::None,
+            Duration::from_millis(100),
+            Vec::new(),
+        ));
+        let mut primary = open("primary");
+        let mut standby = open("standby");
+        assert!(primary.enable_repl(Arc::clone(&ctl_p)));
+        assert!(standby.enable_repl(Arc::clone(&ctl_s)));
+        for p in ["/a", "/a/b", "/c"] {
+            let resp = primary.handle(DmsRequest::Mkdir {
+                path: p.into(),
+                mode: 0o755,
+                uid: 1,
+                gid: 1,
+                ts: 0,
+            });
+            assert!(matches!(resp, DmsResponse::Done(Ok(1))), "{resp:?}");
+        }
+        // Ship every sealed group from the primary's ring, starting at
+        // the standby's next expected sequence number.
+        let from = standby.wal_next_seq();
+        let groups = ctl_p
+            .with_ring(|r| r.collect_from(from, usize::MAX))
+            .unwrap();
+        assert!(!groups.is_empty());
+        for (first, _, bytes) in groups {
+            let resp = standby.handle(DmsRequest::ReplAppend {
+                epoch: 1,
+                first_seq: first,
+                group: bytes,
+            });
+            match resp {
+                DmsResponse::Repl(i) => assert!(i.ok, "{i:?}"),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        // Client ops on the standby are fenced.
+        let resp = standby.handle(DmsRequest::GetDir { path: "/a".into() });
+        assert!(matches!(resp, DmsResponse::Done(Err(FsError::Io(_)))));
+        assert!(standby.take_repl_stamp().unwrap().fenced);
+        // Promote: fresh epoch above anything seen, namespace complete.
+        let resp = standby.handle(DmsRequest::Promote {});
+        let info = match resp {
+            DmsResponse::Repl(i) => i,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert!(info.ok && info.epoch == 2 && info.role == Role::Primary.as_u8());
+        assert!(standby.lookup("/a/b").is_some());
+        // Uuid allocation resumes past everything the old primary used.
+        let resp = standby.handle(DmsRequest::Mkdir {
+            path: "/d".into(),
+            mode: 0o755,
+            uid: 1,
+            gid: 1,
+            ts: 1,
+        });
+        assert!(matches!(resp, DmsResponse::Done(Ok(1))));
+        let fresh = standby.lookup("/d").unwrap().uuid;
+        for p in ["/a", "/a/b", "/c"] {
+            assert_ne!(standby.lookup(p).unwrap().uuid, fresh);
+        }
+        // The stale primary's appends are now rejected by epoch.
+        let resp = standby.handle(DmsRequest::ReplAppend {
+            epoch: 1,
+            first_seq: 99,
+            group: vec![1, 2, 3],
+        });
+        match resp {
+            DmsResponse::Repl(i) => {
+                assert!(!i.ok);
+                assert_eq!(i.epoch, 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&tmp);
     }
 
     #[test]

@@ -43,6 +43,7 @@ fn succeeded(resp: &DmsResponse) -> bool {
         DmsResponse::Dir(r) => r.is_ok(),
         DmsResponse::Dirents(r) => r.is_ok(),
         DmsResponse::Bool(b) => *b,
+        DmsResponse::Repl(i) => i.ok,
     }
 }
 

@@ -88,6 +88,14 @@ const FLAG_COMMIT: u8 = 0x01;
 /// u64 seq), patched when the group seals.
 const FLAGS_OFFSET: usize = 8;
 
+/// Commit tap: called as `(first_seq, last_seq, bytes)` with the
+/// sealed, crc-complete bytes of every commit group immediately after
+/// the group is appended + flushed to the local WAL. The bytes are the
+/// exact on-disk encoding — a standby feeds them verbatim to
+/// [`DurableStore::apply_replicated_group`]. Invoked under the store
+/// lock, so tap invocations observe groups in WAL order.
+pub type CommitTap = Box<dyn FnMut(u64, u64, &[u8]) + Send>;
+
 /// When the WAL is fsync'd. Independently of the policy, the WAL is
 /// *flushed* (userspace buffer → OS page cache) per commit group, so
 /// acknowledged mutations survive a `kill -9` under either policy; the
@@ -166,6 +174,8 @@ pub struct DurableStore<S: KvStore> {
     /// request appended without an inline fsync. Taken (and cleared)
     /// by [`DurableStore::take_sync_ticket`].
     sync_ticket: Option<u64>,
+    /// Replication feed: observes every sealed commit group.
+    tap: Option<CommitTap>,
     stats: PersistenceStats,
 }
 
@@ -453,6 +463,7 @@ impl<S: KvStore> DurableStore<S> {
             defer_sync: false,
             unsynced_records: 0,
             sync_ticket: None,
+            tap: None,
             stats,
         };
         let _ = s.inner.take_cost(); // recovery is offline work
@@ -492,11 +503,11 @@ impl<S: KvStore> DurableStore<S> {
         &self.stats
     }
 
-    /// Write a full snapshot atomically and rotate the log.
-    pub fn checkpoint(&mut self) -> std::io::Result<()> {
-        loco_log::debug!("wal.checkpoint", "checkpoint begin";
-            wal_records = self.stats.wal_records);
-        loco_faults::crashpoint("checkpoint_pre_write");
+    /// Build the crc-sealed snapshot envelope (the exact bytes
+    /// `checkpoint` persists) for the current state; returns
+    /// `(last_covered_seq, envelope)`. Also the replication snapshot
+    /// image a primary ships to a lagging standby.
+    pub fn snapshot_image(&mut self) -> (u64, Vec<u8>) {
         let image = crate::snapshot::dump(&mut self.inner);
         let _ = self.inner.take_cost();
         let last_seq = self.next_seq - 1;
@@ -507,6 +518,15 @@ impl<S: KvStore> DurableStore<S> {
         let header_crc = crc32(&env);
         env.extend_from_slice(&header_crc.to_le_bytes());
         env.extend_from_slice(&image);
+        (last_seq, env)
+    }
+
+    /// Write a full snapshot atomically and rotate the log.
+    pub fn checkpoint(&mut self) -> std::io::Result<()> {
+        loco_log::debug!("wal.checkpoint", "checkpoint begin";
+            wal_records = self.stats.wal_records);
+        loco_faults::crashpoint("checkpoint_pre_write");
+        let (last_seq, env) = self.snapshot_image();
         let tmp = self.dir.join("snapshot.tmp");
         {
             let mut f = File::create(&tmp)?;
@@ -615,6 +635,9 @@ impl<S: KvStore> DurableStore<S> {
             wal_fatal("write", e);
         }
         loco_faults::crashpoint("wal_after_append");
+        if let Some(tap) = self.tap.as_mut() {
+            tap(self.next_seq - n, self.next_seq - 1, &group);
+        }
         if self.policy == SyncPolicy::EveryRecord {
             if self.defer_sync {
                 // Group commit: the records are in the OS page cache;
@@ -740,6 +763,169 @@ impl<S: KvStore> DurableStore<S> {
             }),
         ))
     }
+
+    // ----- replication (warm-standby) side ------------------------------
+
+    /// Install the commit tap (replaces any previous tap).
+    pub fn set_commit_tap(&mut self, tap: CommitTap) {
+        self.tap = Some(tap);
+    }
+
+    /// The next WAL sequence number this store would assign.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Standby-side apply of one or more replicated commit groups —
+    /// the exact bytes a primary's commit tap produced, possibly
+    /// concatenated. Torn-tail safe: the payload is fully validated
+    /// (parse, crc, contiguous seqs, final commit flag) before a single
+    /// byte hits the local WAL or the wrapped store, so a malformed
+    /// ship can never leave partial effects.
+    ///
+    /// Idempotent: a payload whose records are all `< next_seq` is
+    /// skipped with `Ok(0)`. A payload starting past `next_seq` is a
+    /// gap error — the primary must back-fill from its ring or send a
+    /// snapshot. Returns the number of records applied.
+    pub fn apply_replicated_group(&mut self, group: &[u8]) -> Result<u64, String> {
+        let mut recs = Vec::new();
+        let mut pos = 0usize;
+        while pos < group.len() {
+            let Some((rec, next)) = parse_v2_record(group, pos) else {
+                return Err(format!("malformed replicated record at byte {pos}"));
+            };
+            pos = next;
+            recs.push(rec);
+        }
+        let (Some(first), Some(last)) = (recs.first(), recs.last()) else {
+            return Err("empty replicated group".into());
+        };
+        if !last.commit {
+            return Err("replicated group missing its commit record".into());
+        }
+        let (first_seq, last_seq) = (first.seq, last.seq);
+        for (i, r) in recs.iter().enumerate() {
+            if r.seq != first_seq + i as u64 {
+                return Err(format!(
+                    "non-contiguous replicated seqs: expected {} got {}",
+                    first_seq + i as u64,
+                    r.seq
+                ));
+            }
+        }
+        if last_seq < self.next_seq {
+            return Ok(0); // already applied (duplicate ship)
+        }
+        if first_seq > self.next_seq {
+            return Err(format!(
+                "replication gap: group starts at {first_seq}, store expects {}",
+                self.next_seq
+            ));
+        }
+        if first_seq != self.next_seq {
+            // A group straddling the applied prefix would mean the
+            // primary resent half a group — groups are atomic, refuse.
+            return Err(format!(
+                "replicated group straddles applied prefix ({first_seq}..{last_seq} vs next {})",
+                self.next_seq
+            ));
+        }
+        let n = recs.len() as u64;
+        // Verbatim append: the standby's WAL stays byte-identical to
+        // the primary's for the replicated range.
+        if let Err(e) = self.wal.write_all(group).and_then(|()| self.wal.flush()) {
+            wal_fatal("write", e);
+        }
+        if self.policy == SyncPolicy::EveryRecord {
+            if self.defer_sync {
+                // The hosting server's group-commit flush fsyncs before
+                // the replication ack leaves — "standby acked" must
+                // imply "standby durable" or the primary's quorum is a
+                // lie.
+                self.unsynced_records += n;
+                self.sync_ticket = Some(last_seq);
+            } else {
+                if let Err(e) = self.wal.get_ref().sync_data() {
+                    wal_fatal("fsync", e);
+                }
+                self.stats.wal_fsyncs += 1;
+            }
+        }
+        for r in &recs {
+            apply(&mut self.inner, r.op, &r.key, &r.parts);
+        }
+        let _ = self.inner.take_cost();
+        self.next_seq = last_seq + 1;
+        self.stats.wal_records += n;
+        if let Some(tap) = self.tap.as_mut() {
+            // Keep our own replication ring warm: if this standby is
+            // promoted it can back-fill its peers without a snapshot.
+            tap(first_seq, last_seq, group);
+        }
+        if self.stats.wal_records as usize >= self.checkpoint_every && self.txn_depth == 0 {
+            if let Err(e) = self.checkpoint() {
+                wal_fatal("checkpoint", e);
+            }
+        }
+        Ok(n)
+    }
+
+    /// Install a snapshot envelope (from [`DurableStore::snapshot_image`]
+    /// on the primary): validate, persist atomically, replace the
+    /// in-memory state wholesale, and rotate the WAL. The standby
+    /// resumes applying groups at `last_covered_seq + 1`.
+    pub fn install_snapshot(&mut self, env: &[u8]) -> Result<usize, String> {
+        if !env.starts_with(SNAP_MAGIC) || env.len() < SNAP_HEADER_LEN {
+            return Err("bad snapshot envelope".into());
+        }
+        if env[4] != SNAP_VERSION {
+            return Err(format!("unsupported snapshot version {}", env[4]));
+        }
+        let want = u32::from_le_bytes(env[SNAP_CRC_OFFSET..SNAP_HEADER_LEN].try_into().unwrap());
+        if crc32(&env[..SNAP_CRC_OFFSET]) != want {
+            return Err("snapshot envelope header checksum mismatch".into());
+        }
+        let snap_seq = u64::from_le_bytes(env[5..SNAP_CRC_OFFSET].try_into().unwrap());
+        // Load into a scratch store shape first? The image format is
+        // self-checksummed; validate by loading into the (cleared)
+        // inner store — on failure the store is unusable for serving,
+        // but the caller reports the error and the daemon refuses the
+        // ship, which is the honest outcome.
+        let io = |what: &str, e: std::io::Error| format!("snapshot install {what}: {e}");
+        let tmp = self.dir.join("snapshot.tmp");
+        {
+            let mut f = File::create(&tmp).map_err(|e| io("create", e))?;
+            f.write_all(env).map_err(|e| io("write", e))?;
+            f.sync_all().map_err(|e| io("fsync", e))?;
+        }
+        std::fs::rename(&tmp, snap_path(&self.dir)).map_err(|e| io("rename", e))?;
+        if let Ok(d) = File::open(&self.dir) {
+            let _ = d.sync_all();
+        }
+        let _ = self.inner.extract_prefix(b"");
+        let count = crate::snapshot::load(&mut self.inner, &env[SNAP_HEADER_LEN..])?;
+        let _ = self.inner.take_cost();
+        // Rotate the WAL only after the snapshot is durable (same
+        // ordering argument as `checkpoint`).
+        let mut wal =
+            BufWriter::new(File::create(wal_path(&self.dir)).map_err(|e| io("rotate", e))?);
+        wal.write_all(WAL_MAGIC).map_err(|e| io("rotate", e))?;
+        wal.write_all(&[WAL_VERSION]).map_err(|e| io("rotate", e))?;
+        wal.flush().map_err(|e| io("rotate", e))?;
+        self.wal = wal;
+        self.next_seq = snap_seq + 1;
+        self.txn_buf.clear();
+        self.sync_ticket = None;
+        self.unsynced_records = 0;
+        self.stats.wal_records = 0;
+        self.stats.snapshot_records = count as u64;
+        self.stats.checkpoints += 1;
+        loco_log::info!("wal.snapshot", "replication snapshot installed";
+            last_seq = snap_seq,
+            records = count as u64,
+            bytes = env.len() as u64);
+        Ok(count)
+    }
 }
 
 impl<S: KvStore> KvStore for DurableStore<S> {
@@ -861,6 +1047,27 @@ impl<S: KvStore> KvStore for DurableStore<S> {
 
     fn persistence(&self) -> Option<PersistenceStats> {
         Some(self.stats.clone())
+    }
+
+    fn repl_set_tap(&mut self, tap: CommitTap) -> bool {
+        self.set_commit_tap(tap);
+        true
+    }
+
+    fn repl_next_seq(&self) -> u64 {
+        self.next_seq()
+    }
+
+    fn repl_apply_group(&mut self, group: &[u8]) -> Result<u64, String> {
+        self.apply_replicated_group(group)
+    }
+
+    fn repl_snapshot_image(&mut self) -> Option<(u64, Vec<u8>)> {
+        Some(self.snapshot_image())
+    }
+
+    fn repl_install_snapshot(&mut self, env: &[u8]) -> Result<usize, String> {
+        self.install_snapshot(env)
     }
 }
 
@@ -1262,6 +1469,132 @@ mod tests {
         db.checkpoint().unwrap();
         // The fsync'd snapshot covers the group: nothing left to flush.
         assert_eq!(db.commit_flush(), 0);
+    }
+
+    #[test]
+    fn commit_tap_feed_replays_on_a_standby() {
+        use std::sync::{Arc, Mutex};
+        type TappedGroups = Arc<Mutex<Vec<(u64, u64, Vec<u8>)>>>;
+        let (p, s) = (Scratch::new(), Scratch::new());
+        let feed: TappedGroups = Arc::new(Mutex::new(Vec::new()));
+        let mut primary = fresh(&p.0);
+        let sink = feed.clone();
+        primary.set_commit_tap(Box::new(move |f, l, b| {
+            sink.lock().unwrap().push((f, l, b.to_vec()));
+        }));
+        primary.put(b"a", b"1");
+        primary.txn_begin();
+        primary.put(b"b", b"2");
+        primary.delete(b"a");
+        primary.txn_commit();
+        primary.append(b"log", b"xyz");
+
+        let mut standby = fresh(&s.0);
+        let groups = feed.lock().unwrap().clone();
+        assert_eq!(groups.len(), 3, "three commit groups tapped");
+        assert_eq!(groups[0].0, 1, "first group starts at seq 1");
+        assert_eq!(groups[1].1 - groups[1].0, 1, "txn group spans 2 records");
+        for (_, last, bytes) in &groups {
+            let n = standby.apply_replicated_group(bytes).unwrap();
+            assert!(n > 0);
+            assert_eq!(standby.next_seq(), last + 1);
+        }
+        assert_eq!(standby.get(b"a"), None);
+        assert_eq!(standby.get(b"b").as_deref(), Some(&b"2"[..]));
+        assert_eq!(standby.get(b"log").as_deref(), Some(&b"xyz"[..]));
+        // Duplicate ship is idempotent; a gap is an error.
+        assert_eq!(
+            standby.apply_replicated_group(&groups[2].2).unwrap(),
+            0,
+            "duplicate group skipped"
+        );
+        let gap = encode_v2(99, FLAG_COMMIT, OP_PUT, b"hole", &[b"x"]);
+        assert!(standby.apply_replicated_group(&gap).is_err());
+        // And the replicated range is durable: reopen the standby.
+        drop(standby);
+        let mut standby = fresh(&s.0);
+        assert_eq!(standby.get(b"b").as_deref(), Some(&b"2"[..]));
+        assert_eq!(standby.get(b"log").as_deref(), Some(&b"xyz"[..]));
+    }
+
+    #[test]
+    fn replicated_group_without_commit_flag_is_rejected() {
+        let scratch = Scratch::new();
+        let mut db = fresh(&scratch.0);
+        let open = encode_v2(1, 0, OP_PUT, b"k", &[b"v"]);
+        assert!(db.apply_replicated_group(&open).is_err());
+        assert_eq!(db.get(b"k"), None, "rejected group leaves no effects");
+        assert_eq!(db.next_seq(), 1);
+        // Damaged crc is also rejected wholesale.
+        let mut torn = encode_v2(1, FLAG_COMMIT, OP_PUT, b"k", &[b"v"]);
+        let n = torn.len();
+        torn[n - 1] ^= 0xFF;
+        assert!(db.apply_replicated_group(&torn).is_err());
+    }
+
+    #[test]
+    fn snapshot_image_installs_on_a_standby() {
+        let (p, s) = (Scratch::new(), Scratch::new());
+        let mut primary = fresh(&p.0);
+        for i in 0..50u32 {
+            primary.put(&i.to_be_bytes(), b"v");
+        }
+        let (last_seq, env) = primary.snapshot_image();
+        assert_eq!(last_seq, 50);
+
+        let mut standby = fresh(&s.0);
+        standby.put(b"stale", b"state"); // wiped by the install
+        let count = standby.install_snapshot(&env).unwrap();
+        assert_eq!(count, 50);
+        assert_eq!(standby.len(), 50);
+        assert_eq!(standby.get(b"stale"), None);
+        assert_eq!(standby.next_seq(), last_seq + 1);
+        // The standby can now take the WAL tail from exactly last_seq+1.
+        let tail = encode_v2(last_seq + 1, FLAG_COMMIT, OP_PUT, b"tail", &[b"t"]);
+        assert_eq!(standby.apply_replicated_group(&tail).unwrap(), 1);
+        // Both snapshot and tail survive a reopen.
+        drop(standby);
+        let mut standby = fresh(&s.0);
+        assert_eq!(standby.len(), 51);
+        assert_eq!(standby.get(b"tail").as_deref(), Some(&b"t"[..]));
+        // A corrupted envelope is refused before any state changes.
+        let mut bad = env.clone();
+        bad[6] ^= 0x01;
+        assert!(standby.install_snapshot(&bad).is_err());
+    }
+
+    #[test]
+    fn replicated_apply_defers_fsync_under_group_commit() {
+        let scratch = Scratch::new();
+        let mut db = fresh(&scratch.0).with_sync_policy(SyncPolicy::EveryRecord);
+        db.set_defer_sync(true);
+        let group = encode_v2(1, FLAG_COMMIT, OP_PUT, b"k", &[b"v"]);
+        let before = db.stats().wal_fsyncs;
+        db.apply_replicated_group(&group).unwrap();
+        assert_eq!(db.stats().wal_fsyncs, before, "fsync deferred");
+        assert_eq!(
+            db.take_sync_ticket(),
+            Some(1),
+            "replicated apply takes a commit ticket so the ack waits for the flush"
+        );
+        assert_eq!(db.commit_flush(), 1);
+    }
+
+    #[test]
+    fn repl_hooks_route_through_the_trait_object() {
+        let scratch = Scratch::new();
+        let mut db: Box<dyn KvStore> = Box::new(fresh(&scratch.0));
+        assert!(db.repl_set_tap(Box::new(|_, _, _| {})));
+        db.put(b"k", b"v");
+        assert_eq!(db.repl_next_seq(), 2);
+        assert!(db.repl_snapshot_image().is_some());
+        // Volatile stores opt out of every hook.
+        let mut plain: Box<dyn KvStore> = Box::new(BTreeDb::new(KvConfig::default()));
+        assert!(!plain.repl_set_tap(Box::new(|_, _, _| {})));
+        assert_eq!(plain.repl_next_seq(), 0);
+        assert!(plain.repl_apply_group(b"x").is_err());
+        assert!(plain.repl_snapshot_image().is_none());
+        assert!(plain.repl_install_snapshot(b"x").is_err());
     }
 
     #[test]

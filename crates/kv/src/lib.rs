@@ -38,7 +38,7 @@ pub mod watermark;
 
 pub use bloom::BloomFilter;
 pub use btree::BTreeDb;
-pub use durable::{DurableStore, PersistenceStats, SyncPolicy};
+pub use durable::{CommitTap, DurableStore, PersistenceStats, SyncPolicy};
 pub use hashdb::HashDb;
 pub use lsm::LsmDb;
 
@@ -276,6 +276,49 @@ pub trait KvStore: Send {
     fn persistence(&self) -> Option<PersistenceStats> {
         None
     }
+
+    // ----- replication hooks (DurableStore only) ------------------------
+
+    /// Install a commit tap: invoked as `(first_seq, last_seq, bytes)`
+    /// with the sealed, crc-complete bytes of every WAL commit group
+    /// right after it is written — the feed a replication shipper
+    /// forwards to warm standbys. Returns whether the store supports
+    /// tapping (`false` for volatile stores, which have no WAL).
+    fn repl_set_tap(&mut self, _tap: durable::CommitTap) -> bool {
+        false
+    }
+
+    /// The next WAL sequence number this store would assign (equals
+    /// `last applied seq + 1`). `0` for volatile stores.
+    fn repl_next_seq(&self) -> u64 {
+        0
+    }
+
+    /// Apply a replicated commit group (the exact bytes a tap
+    /// produced) on a standby: validate, append verbatim to the local
+    /// WAL, and apply to the wrapped store. Idempotent — a group whose
+    /// records are already covered returns `Ok(0)`. A sequence gap
+    /// (group starts past our next seq) is an error; the primary must
+    /// back-fill from its ring or send a snapshot.
+    fn repl_apply_group(&mut self, _group: &[u8]) -> Result<u64, String> {
+        Err("store does not support replication".into())
+    }
+
+    /// Build a crc-sealed snapshot envelope of the current state (the
+    /// same format `checkpoint` writes) without touching disk; returns
+    /// `(last_covered_seq, envelope_bytes)`. `None` for volatile
+    /// stores.
+    fn repl_snapshot_image(&mut self) -> Option<(u64, Vec<u8>)> {
+        None
+    }
+
+    /// Install a snapshot envelope produced by
+    /// [`KvStore::repl_snapshot_image`] on a standby: validate, persist
+    /// atomically, replace the in-memory state, and rotate the WAL.
+    /// Returns the number of records loaded.
+    fn repl_install_snapshot(&mut self, _env: &[u8]) -> Result<usize, String> {
+        Err("store does not support replication".into())
+    }
 }
 
 /// A boxed store is itself a store, so layers that are generic over
@@ -350,6 +393,21 @@ impl KvStore for Box<dyn KvStore> {
     }
     fn persistence(&self) -> Option<PersistenceStats> {
         (**self).persistence()
+    }
+    fn repl_set_tap(&mut self, tap: durable::CommitTap) -> bool {
+        (**self).repl_set_tap(tap)
+    }
+    fn repl_next_seq(&self) -> u64 {
+        (**self).repl_next_seq()
+    }
+    fn repl_apply_group(&mut self, group: &[u8]) -> Result<u64, String> {
+        (**self).repl_apply_group(group)
+    }
+    fn repl_snapshot_image(&mut self) -> Option<(u64, Vec<u8>)> {
+        (**self).repl_snapshot_image()
+    }
+    fn repl_install_snapshot(&mut self, env: &[u8]) -> Result<usize, String> {
+        (**self).repl_install_snapshot(env)
     }
 }
 

@@ -93,6 +93,26 @@ pub trait Service: Send {
     fn commit_flush_begin(&mut self) -> Option<(u64, CommitFsync)> {
         None
     }
+
+    // ----- replication (warm-standby fencing) -------------------------
+
+    /// Replication stamp for the reply of the request just handled:
+    /// the server's fencing epoch plus whether the request was
+    /// *rejected* because this server is not the primary. Read after
+    /// `handle`, attached to every TCP reply. `None` — the default —
+    /// for unreplicated services.
+    fn take_repl_stamp(&mut self) -> Option<crate::rpc::ReplStamp> {
+        None
+    }
+
+    /// After the staged group-commit fsync ran: `true` when the batch
+    /// failed its replication ack quorum (or the node fenced mid-batch)
+    /// and the parked replies must be **dropped**, not sent — the
+    /// clients time out and retry against the new primary, so nothing
+    /// unreplicated is ever acknowledged. The default never aborts.
+    fn commit_abort(&mut self) -> bool {
+        false
+    }
 }
 
 /// The out-of-lock half of a staged [`Service::commit_flush_begin`]:
@@ -248,6 +268,14 @@ pub enum RpcError {
     },
     /// The peer sent bytes that failed frame or codec validation.
     Decode(String),
+    /// The server rejected the request because it is not the primary
+    /// (fenced or standby) at the carried epoch. Not retried against
+    /// the same address beyond one fast-path attempt — the caller must
+    /// redial through an updated cluster view.
+    FencedEpoch {
+        /// The server's fencing epoch.
+        epoch: u64,
+    },
     /// All retry attempts failed; carries the final attempt's error.
     Exhausted {
         /// How many attempts were made.
@@ -266,6 +294,9 @@ impl std::fmt::Display for RpcError {
                 write!(f, "rpc deadline ({deadline_ms} ms) elapsed")
             }
             RpcError::Decode(e) => write!(f, "undecodable reply: {e}"),
+            RpcError::FencedEpoch { epoch } => {
+                write!(f, "server fenced (not primary, epoch {epoch})")
+            }
             RpcError::Exhausted { attempts, last } => {
                 write!(f, "rpc failed after {attempts} attempts: {last}")
             }

@@ -190,6 +190,7 @@ fn committer_loop<S: Service>(
             loco_faults::crashpoint("group_commit_pre_sync");
             svc.commit_flush_begin()
         };
+        let staged_any = staged.is_some();
         // The fsync runs with the service lock *released*: workers keep
         // appending the next batch while this one reaches the platter.
         let records = match staged {
@@ -199,6 +200,18 @@ fn committer_loop<S: Service>(
             }
             None => 0,
         };
+        // A replicated service may fail its ack-quorum inside the
+        // staged flush (standbys dead or this node fenced). The batch
+        // is locally durable, but the promised replication guarantee is
+        // not met — so no ack leaves: every reply of the batch is
+        // dropped and the clients redial through the cluster view. The
+        // empty frames below still flow to the workers so per-conn
+        // inflight accounting stays balanced.
+        let aborted = staged_any && lock(&svc).commit_abort();
+        if aborted {
+            loco_log::warn!("wal.commit", "group commit acks dropped: replication quorum not met";
+                records = records);
+        }
         // Crash here: the batch is durable but no ack left — recovery
         // replays it, a superset of what clients saw. Also correct.
         loco_faults::crashpoint("group_commit_post_sync");
@@ -217,7 +230,7 @@ fn committer_loop<S: Service>(
             by_worker[w.worker].push(ReplyMsg {
                 slot: w.slot,
                 gen: w.gen,
-                frame: w.frame,
+                frame: if aborted { Vec::new() } else { w.frame },
             });
         }
         for (worker, replies) in by_worker.into_iter().enumerate() {
@@ -563,6 +576,7 @@ where
                 attrs,
             }
         });
+        let repl = guard.take_repl_stamp();
         let group = self.commit.is_some() && !self.draining;
         let ticket = if self.commit.is_some() {
             guard.take_commit_ticket()
@@ -573,6 +587,10 @@ where
             // Draining: the committer no longer waits on this worker,
             // so make the records durable inline before replying.
             guard.commit_flush();
+            if guard.commit_abort() {
+                // Quorum failed during the inline flush: never ack.
+                return Err(());
+            }
         }
         drop(guard);
         if let Some(m) = &self.opts.metrics {
@@ -583,7 +601,13 @@ where
                 .unwrap_or(0);
             m.observe_profiled(op, cost, queue_ns, kv_ns, allocs, alloc_bytes);
         }
-        let resp = RpcResponse { cost, span, body }.to_wire();
+        let resp = RpcResponse {
+            cost,
+            span,
+            repl,
+            body,
+        }
+        .to_wire();
         if resp.len() > MAX_PAYLOAD {
             return Err(());
         }

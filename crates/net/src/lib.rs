@@ -50,8 +50,10 @@ pub use endpoint::{
 };
 pub use metrics::{role_name, EndpointMetrics, ServerMetrics};
 pub use poller::{Interest, Poller, PollerEvent};
-pub use rpc::{Control, ControlReply, RpcRequest, RpcResponse, SpanReply};
-pub use tcp::{control, serve_tcp, RetryPolicy, ServeOptions, TcpEndpoint, TcpServerGuard};
+pub use rpc::{Control, ControlReply, ReplStamp, RpcRequest, RpcResponse, SpanReply};
+pub use tcp::{
+    control, serve_tcp, serve_tcp_shared, RetryPolicy, ServeOptions, TcpEndpoint, TcpServerGuard,
+};
 pub use threaded::{spawn, spawn_with_metrics, ThreadEndpoint, ThreadServerGuard};
 pub use trace_export::{chrome_trace_of_ops, op_spans};
 

@@ -160,6 +160,32 @@ impl<Req: Wire> Wire for RpcRequest<Req> {
     }
 }
 
+/// Replication stamp a replicated service attaches to every reply:
+/// the server's fencing epoch, and whether the request was *rejected*
+/// because this server is not the primary (fenced or standby). Clients
+/// seeing `fenced = true` redial through an updated cluster view
+/// instead of retrying the same address.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReplStamp {
+    /// The server's current fencing epoch.
+    pub epoch: u64,
+    /// The request was rejected for fencing reasons (not primary).
+    pub fenced: bool,
+}
+
+impl Wire for ReplStamp {
+    fn put(&self, out: &mut Vec<u8>) {
+        self.epoch.put(out);
+        self.fenced.put(out);
+    }
+    fn get(buf: &mut &[u8]) -> WireResult<Self> {
+        Ok(ReplStamp {
+            epoch: u64::get(buf)?,
+            fenced: bool::get(buf)?,
+        })
+    }
+}
+
 /// Server → client payload of a `Response` frame.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RpcResponse<Resp> {
@@ -168,6 +194,9 @@ pub struct RpcResponse<Resp> {
     /// Span attribution, present iff the request carried a sampled
     /// trace context.
     pub span: Option<SpanReply>,
+    /// Replication stamp (`Service::take_repl_stamp`): present on every
+    /// reply from a replicated service, absent otherwise.
+    pub repl: Option<ReplStamp>,
     /// The typed response.
     pub body: Resp,
 }
@@ -176,12 +205,14 @@ impl<Resp: Wire> Wire for RpcResponse<Resp> {
     fn put(&self, out: &mut Vec<u8>) {
         self.cost.put(out);
         self.span.put(out);
+        self.repl.put(out);
         self.body.put(out);
     }
     fn get(buf: &mut &[u8]) -> WireResult<Self> {
         Ok(RpcResponse {
             cost: Nanos::get(buf)?,
             span: Option::<SpanReply>::get(buf)?,
+            repl: Option::<ReplStamp>::get(buf)?,
             body: Resp::get(buf)?,
         })
     }
@@ -370,11 +401,16 @@ mod tests {
                 queue_ns: 7,
                 attrs: vec![("kv_bytes_read", 72)],
             }),
+            repl: Some(ReplStamp {
+                epoch: 3,
+                fenced: true,
+            }),
             body: String::from("ok"),
         };
         let back = RpcResponse::<String>::from_wire(&resp.to_wire()).unwrap();
         assert_eq!(back.cost, 5000);
         assert_eq!(back.span, resp.span);
+        assert_eq!(back.repl, resp.repl);
         assert_eq!(back.body, "ok");
     }
 
@@ -411,6 +447,7 @@ mod tests {
         let resp = RpcResponse {
             cost: 1,
             span: None,
+            repl: None,
             body: 9u32,
         };
         let bytes = resp.to_wire();

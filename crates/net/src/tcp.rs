@@ -318,6 +318,27 @@ impl<S: Service> TcpEndpoint<S> {
         }
     }
 
+    /// Success bookkeeping shared by every `try_call` return path.
+    fn record_ok(
+        &self,
+        ctx: &mut CallCtx,
+        label: &'static str,
+        resp: RpcResponse<S::Resp>,
+    ) -> S::Resp
+    where
+        S::Resp: Wire,
+    {
+        ctx.record(self.id, resp.cost);
+        if let Some(span) = resp.span {
+            ctx.record_span(self.id, span.op, resp.cost, span.queue_ns, span.attrs);
+        }
+        if let Some(m) = &self.metrics {
+            m.begin();
+            m.observe(label, resp.cost, 0);
+        }
+        resp.body
+    }
+
     /// Send `req_bytes` as `req_id` on `conn` and await the response.
     fn attempt_on(
         &self,
@@ -340,8 +361,20 @@ impl<S: Service> TcpEndpoint<S> {
             return Err(RpcError::ConnectionLost(e.to_string()));
         }
         match rx.recv_timeout(self.policy.deadline) {
-            Ok(payload) => RpcResponse::<S::Resp>::from_wire(&payload)
-                .map_err(|e| RpcError::Decode(e.to_string())),
+            Ok(payload) => {
+                let resp = RpcResponse::<S::Resp>::from_wire(&payload)
+                    .map_err(|e| RpcError::Decode(e.to_string()))?;
+                // A fenced reply is a *valid* answer from a server that
+                // is no longer (or not yet) the primary: surface it as
+                // its own error class so the caller can redial through
+                // the cluster view instead of retrying here.
+                if let Some(stamp) = resp.repl {
+                    if stamp.fenced {
+                        return Err(RpcError::FencedEpoch { epoch: stamp.epoch });
+                    }
+                }
+                Ok(resp)
+            }
             Err(RecvTimeoutError::Timeout) => {
                 lock(&conn.pending).remove(&req_id);
                 Err(RpcError::Timeout {
@@ -391,6 +424,7 @@ where
         .to_wire();
         let window_start = Instant::now();
         let mut total_attempts = 0u32;
+        let mut fenced_fast_retry = false;
         loop {
             let mut backoff = self.policy.backoff;
             let mut last: Option<RpcError> = None;
@@ -402,16 +436,33 @@ where
                 }
                 total_attempts += 1;
                 match self.attempt(&req_bytes) {
-                    Ok(resp) => {
-                        ctx.record(self.id, resp.cost);
-                        if let Some(span) = resp.span {
-                            ctx.record_span(self.id, span.op, resp.cost, span.queue_ns, span.attrs);
+                    Ok(resp) => return Ok(self.record_ok(ctx, label, resp)),
+                    Err(e @ RpcError::FencedEpoch { .. }) => {
+                        // A fenced answer is not a transport fault: the
+                        // server replied, it just is not the primary.
+                        // Backing off exponentially here only delays
+                        // the redial — so take ONE immediate no-sleep
+                        // retry (covers a promote racing this call),
+                        // then surface FencedEpoch directly for the
+                        // caller to re-resolve the primary.
+                        if fenced_fast_retry {
+                            loco_log::warn!("net.client", "rpc fenced; caller must redial primary";
+                                addr = format_args!("{}", self.addr), op = label,
+                                attempts = total_attempts);
+                            return Err(e);
                         }
-                        if let Some(m) = &self.metrics {
-                            m.begin();
-                            m.observe(label, resp.cost, 0);
+                        fenced_fast_retry = true;
+                        total_attempts += 1;
+                        match self.attempt(&req_bytes) {
+                            Ok(resp) => return Ok(self.record_ok(ctx, label, resp)),
+                            Err(e2 @ RpcError::FencedEpoch { .. }) => {
+                                loco_log::warn!("net.client", "rpc fenced; caller must redial primary";
+                                    addr = format_args!("{}", self.addr), op = label,
+                                    attempts = total_attempts);
+                                return Err(e2);
+                            }
+                            Err(other) => last = Some(other),
                         }
-                        return Ok(resp.body);
                     }
                     Err(e) => last = Some(e),
                 }
@@ -556,10 +607,29 @@ where
     S::Req: Wire,
     S::Resp: Wire,
 {
+    serve_tcp_shared(id, Arc::new(Mutex::new(svc)), listener, opts)
+}
+
+/// Like [`serve_tcp`], but the caller keeps a handle on the service
+/// mutex. This is how a replicated DMS wires up: the replication
+/// shipper and the lease loop need the same `DirServer` instance the
+/// request handlers run against, so the daemon builds the
+/// `Arc<Mutex<_>>` itself, hands clones to the `loco-repl` host
+/// closures, and passes the original here.
+pub fn serve_tcp_shared<S>(
+    id: ServerId,
+    svc: Arc<Mutex<S>>,
+    listener: TcpListener,
+    opts: ServeOptions,
+) -> io::Result<TcpServerGuard>
+where
+    S: Service + 'static,
+    S::Req: Wire,
+    S::Resp: Wire,
+{
     let addr = listener.local_addr()?;
     listener.set_nonblocking(true)?;
     let shutdown = Arc::new(AtomicBool::new(false));
-    let svc = Arc::new(Mutex::new(svc));
     // `LOCO_SERVER_CORE=threaded` (read once at boot) selects the
     // legacy thread-per-connection core — the pre-event-loop seed
     // behaviour, kept as the bench baseline and a debugging fallback.

@@ -182,6 +182,7 @@ where
             attrs,
         }
     });
+    let repl = guard.take_repl_stamp();
     drop(guard);
     if let Some(m) = &opts.metrics {
         let kv_ns = attrs
@@ -191,7 +192,13 @@ where
             .unwrap_or(0);
         m.observe_profiled(op, cost, queue_ns, kv_ns, allocs, alloc_bytes);
     }
-    let resp = RpcResponse { cost, span, body }.to_wire();
+    let resp = RpcResponse {
+        cost,
+        span,
+        repl,
+        body,
+    }
+    .to_wire();
     if resp.len() > MAX_PAYLOAD {
         return Err(());
     }

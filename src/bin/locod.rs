@@ -46,19 +46,29 @@
 
 use locofs::client::{fsck, DmsBackend, FmsMode, LocoCluster, LocoConfig};
 use locofs::collect;
-use locofs::dms::DirServer;
+use locofs::dms::{DirServer, DmsRequest, DmsResponse};
 use locofs::fms::FileServer;
 use locofs::kv::{BTreeDb, DurableStore, HashDb, KvConfig, KvStore, PersistenceStats, SyncPolicy};
-use locofs::net::tcp::{serve_tcp, ServeOptions};
-use locofs::net::{class, control, Control, ControlReply, EndpointMetrics, ServerId, SimEndpoint};
+use locofs::net::tcp::{serve_tcp, serve_tcp_shared, RetryPolicy, ServeOptions, TcpEndpoint};
+use locofs::net::{
+    class, control, CallCtx, Control, ControlReply, Endpoint, EndpointMetrics, ServerId,
+    Service as _, SimEndpoint,
+};
 use locofs::obs::{MetricsRegistry, TimeSeriesRing};
 use locofs::ostore::ObjectStore;
+use locofs::repl::{
+    AckPolicy, ReplCtl, ReplHost, ReplInfo, ReplTransport, Replicator, ReplicatorConfig, Role,
+};
 use std::io::Write as _;
 use std::net::TcpListener;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Duration;
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 const USAGE: &str = "\
 locod — LocoFS metadata daemon
@@ -70,15 +80,19 @@ USAGE:
               [--checkpoint-every N] [--maintain-ms MS]
               [--workers N] [--max-conns N]
               [--metrics-out FILE]
+              [--standby-of ADDR] [--replicate-to A,B] [--repl-ack {none|one|all}]
+              [--repl-lease-ms MS]
   locod ping ADDR
   locod metrics ADDR
   locod profile ADDR
   locod series ADDR
   locod shutdown ADDR
+  locod promote ADDR
+  locod repl-status ADDR
   locod logs ADDR [--follow] [--json]
   locod collect --state FILE --out DIR [--interval-ms MS] [--duration-ms MS]
   locod report --out DIR
-  locod fsck --data-dir ROOT [--dms-backend B] [--fms-mode M]
+  locod fsck --data-dir ROOT [--dms-backend B] [--fms-mode M] [--dms-index N]
   locod chaos-apply  --data-dir DIR --ops N [--sync-policy P]
               [--checkpoint-every N] [--ack-file FILE]
   locod chaos-verify --data-dir DIR --ops N [--ack-file FILE]
@@ -90,9 +104,14 @@ ROOT/<role><index>/ (WAL-before-ack + periodic checkpoints). The
 server runs an event-driven core: --workers sizes the readiness loops
 (0 = auto) and --max-conns caps open connections (0 = unlimited);
 durable roles batch WAL fsyncs across connections (disable with
-LOCO_GROUP_COMMIT=off). Env knobs: LOCO_RPC_DEADLINE_MS / ATTEMPTS /
-BACKOFF_MS / RECONNECT_MS / CONNS (client side), LOCO_TRACE (span
-sampling), LOCO_CRASHPOINT / LOCO_IOFAULT (fault injection, see
+LOCO_GROUP_COMMIT=off). A durable dms can run warm-standby WAL
+replication: give every replica --replicate-to with its peers, start
+standbys with --standby-of PRIMARY, and pick --repl-ack (none=async,
+one=any standby, all=every standby) — promote flips a standby to
+primary with a fresh fencing epoch (LOCO_REPL_AUTO_PROMOTE=1 enables
+lease-based self-promotion). Env knobs: LOCO_RPC_DEADLINE_MS /
+ATTEMPTS / BACKOFF_MS / RECONNECT_MS / CONNS (client side), LOCO_TRACE
+(span sampling), LOCO_CRASHPOINT / LOCO_IOFAULT (fault injection, see
 loco-faults).";
 
 fn fail(msg: &str) -> ExitCode {
@@ -150,6 +169,8 @@ fn main() -> ExitCode {
                 }
             }
         }
+        Some("promote") => repl_cmd(&args[1..], true),
+        Some("repl-status") => repl_cmd(&args[1..], false),
         Some("logs") => logs_cmd(&args[1..]),
         Some("collect") => collect_cmd(&args[1..]),
         Some("report") => report_cmd(&args[1..]),
@@ -158,8 +179,53 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         _ => fail(
-            "expected a subcommand (serve/ping/metrics/logs/collect/report/shutdown/fsck/chaos-*)",
+            "expected a subcommand (serve/ping/metrics/logs/collect/report/promote/repl-status/\
+             shutdown/fsck/chaos-*)",
         ),
+    }
+}
+
+// --- replication control plane ----------------------------------------
+
+/// `locod promote ADDR` / `locod repl-status ADDR`: drive a replicated
+/// DMS over its normal request port. Promote bumps the fencing epoch
+/// (durably, via the WAL) and flips the daemon to primary; status just
+/// reports `role/epoch/next_seq`.
+fn repl_cmd(args: &[String], promote: bool) -> ExitCode {
+    let Some(addr) = args.first() else {
+        return fail("missing daemon address");
+    };
+    let ep = TcpEndpoint::<DirServer>::connect(ServerId::new(class::DMS, 0), addr);
+    let req = if promote {
+        DmsRequest::Promote {}
+    } else {
+        DmsRequest::ReplStatus {}
+    };
+    let mut ctx = CallCtx::new();
+    match ep.try_call(&mut ctx, req) {
+        Ok(DmsResponse::Repl(info)) => {
+            let role = Role::from_u8(info.role).map_or("?", Role::as_str);
+            println!(
+                "locod: {addr}: role={role} epoch={} next_seq={}{}",
+                info.epoch,
+                info.next_seq,
+                if promote { " (promoted)" } else { "" },
+            );
+            if info.ok {
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("locod: {addr}: daemon refused the request");
+                ExitCode::FAILURE
+            }
+        }
+        Ok(other) => {
+            eprintln!("locod: {addr}: unexpected reply {other:?} (not a replicated dms?)");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("locod: {addr}: {e}");
+            ExitCode::FAILURE
+        }
     }
 }
 
@@ -344,6 +410,15 @@ struct ServeArgs {
     maintain_ms: u64,
     workers: usize,
     max_conns: usize,
+    /// Boot as a warm standby of this primary (dms only).
+    standby_of: Option<String>,
+    /// Peer replicas this node ships WAL groups to when primary.
+    replicate_to: Vec<String>,
+    /// Standby acks required before client acks release.
+    repl_ack: AckPolicy,
+    /// Primary lease duration (standbys self-arm promotion eligibility
+    /// after 2× this of primary silence).
+    repl_lease_ms: u64,
 }
 
 fn parse_serve(args: &[String]) -> Result<ServeArgs, String> {
@@ -360,6 +435,10 @@ fn parse_serve(args: &[String]) -> Result<ServeArgs, String> {
         maintain_ms: 1000,
         workers: 0,
         max_conns: 0,
+        standby_of: None,
+        replicate_to: Vec::new(),
+        repl_ack: AckPolicy::One,
+        repl_lease_ms: 500,
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -403,6 +482,24 @@ fn parse_serve(args: &[String]) -> Result<ServeArgs, String> {
                     .parse()
                     .map_err(|_| "--max-conns must be an integer".to_string())?
             }
+            "--standby-of" => out.standby_of = Some(val()?),
+            "--replicate-to" => {
+                out.replicate_to = val()?
+                    .split(',')
+                    .map(|a| a.trim().to_string())
+                    .filter(|a| !a.is_empty())
+                    .collect()
+            }
+            "--repl-ack" => {
+                let v = val()?;
+                out.repl_ack = AckPolicy::parse(&v)
+                    .ok_or_else(|| format!("unknown repl ack policy {v:?} (none/one/all)"))?
+            }
+            "--repl-lease-ms" => {
+                out.repl_lease_ms = val()?
+                    .parse()
+                    .map_err(|_| "--repl-lease-ms must be an integer".to_string())?
+            }
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -433,6 +530,56 @@ fn parse_mode(s: &str) -> Result<FmsMode, String> {
 
 fn parse_policy(s: &str) -> Result<SyncPolicy, String> {
     SyncPolicy::parse(s).ok_or_else(|| format!("unknown sync policy {s:?}"))
+}
+
+/// [`ReplTransport`] over the standby's normal DMS request port. The
+/// shipper threads own retry/backoff, so every call is a single
+/// attempt; the generous deadline covers snapshot installs.
+struct TcpReplTransport {
+    ep: TcpEndpoint<DirServer>,
+}
+
+impl TcpReplTransport {
+    fn new(addr: &str, peer_index: usize) -> Self {
+        let policy = RetryPolicy {
+            attempts: 1,
+            backoff: Duration::from_millis(10),
+            deadline: Duration::from_secs(10),
+            connect_timeout: Duration::from_millis(500),
+            reconnect_window: Duration::ZERO,
+        };
+        let id = ServerId::new(class::DMS, peer_index as u16);
+        Self {
+            ep: TcpEndpoint::<DirServer>::with_policy(id, addr, policy),
+        }
+    }
+
+    fn roundtrip(&self, req: DmsRequest) -> Result<ReplInfo, String> {
+        let mut ctx = CallCtx::new();
+        match self.ep.try_call(&mut ctx, req) {
+            Ok(DmsResponse::Repl(info)) => Ok(info),
+            Ok(other) => Err(format!("unexpected replication reply {other:?}")),
+            Err(e) => Err(e.to_string()),
+        }
+    }
+}
+
+impl ReplTransport for TcpReplTransport {
+    fn append(&self, epoch: u64, first_seq: u64, group: &[u8]) -> Result<ReplInfo, String> {
+        self.roundtrip(DmsRequest::ReplAppend {
+            epoch,
+            first_seq,
+            group: group.to_vec(),
+        })
+    }
+
+    fn snapshot(&self, epoch: u64, last_seq: u64, image: &[u8]) -> Result<ReplInfo, String> {
+        self.roundtrip(DmsRequest::ReplSnapshot {
+            epoch,
+            last_seq,
+            image: image.to_vec(),
+        })
+    }
 }
 
 /// Wrap `inner` in a [`DurableStore`] rooted at `dir`, applying the
@@ -515,6 +662,11 @@ fn serve(args: &[String]) -> ExitCode {
         max_conns: a.max_conns,
         ..Default::default()
     };
+    let repl_on = a.standby_of.is_some() || !a.replicate_to.is_empty();
+    if repl_on && (a.role != "dms" || a.data_dir.is_none()) {
+        return fail("--standby-of/--replicate-to need --role dms with --data-dir");
+    }
+    let mut replicator: Option<Replicator> = None;
     let result = match a.role.as_str() {
         "dms" => {
             let id = ServerId::new(class::DMS, a.index);
@@ -525,12 +677,100 @@ fn serve(args: &[String]) -> ExitCode {
                 DmsBackend::Hash => Box::new(HashDb::new(kv.clone())),
             });
             match store {
-                Ok(db) => serve_tcp(
-                    id,
-                    DirServer::with_store(db, a.index),
-                    listener,
-                    opts(m, &registry),
-                ),
+                Ok(db) => {
+                    let mut server = DirServer::with_store(db, a.index);
+                    if repl_on {
+                        // Warm-standby replication: seed the fencing
+                        // epoch from the store (it rides the WAL, so a
+                        // restarted replica remembers how far the
+                        // cluster's election history got), hook the
+                        // WAL commit tap, and run shipper + lease
+                        // threads against the shared service.
+                        let stored = server.stored_epoch();
+                        let role = if a.standby_of.is_some() {
+                            Role::Standby
+                        } else {
+                            Role::Primary
+                        };
+                        let epoch = if role == Role::Primary {
+                            stored.max(1)
+                        } else {
+                            stored
+                        };
+                        let lease = Duration::from_millis(a.repl_lease_ms.max(1));
+                        let ctl = Arc::new(ReplCtl::new(
+                            epoch,
+                            role,
+                            a.repl_ack,
+                            lease,
+                            a.replicate_to.clone(),
+                        ));
+                        if !server.enable_repl(ctl.clone()) {
+                            eprintln!(
+                                "locod: dms #{}: store rejected the replication tap",
+                                a.index
+                            );
+                            return ExitCode::FAILURE;
+                        }
+                        locofs::log::info!("repl", "replication enabled";
+                            role = format_args!("{}", ctl.role().as_str()),
+                            epoch = ctl.epoch(),
+                            ack = format_args!("{}", a.repl_ack.as_str()),
+                            lease_ms = a.repl_lease_ms,
+                            peers = a.replicate_to.len() as u64);
+                        let svc = Arc::new(Mutex::new(server));
+                        let transports: Vec<Box<dyn ReplTransport>> = a
+                            .replicate_to
+                            .iter()
+                            .enumerate()
+                            .map(|(i, addr)| {
+                                Box::new(TcpReplTransport::new(addr, i)) as Box<dyn ReplTransport>
+                            })
+                            .collect();
+                        let host = ReplHost {
+                            last_seq: {
+                                let s = svc.clone();
+                                Arc::new(move || lock(&s).wal_next_seq().saturating_sub(1))
+                            },
+                            snapshot: {
+                                let s = svc.clone();
+                                Arc::new(move || lock(&s).repl_snapshot())
+                            },
+                            promote: {
+                                let s = svc.clone();
+                                Arc::new(move || {
+                                    // Same path as an external Promote
+                                    // request, driven locally: handle,
+                                    // then flush the epoch record and
+                                    // clear the per-request state the
+                                    // serve loop would normally drain.
+                                    let mut g = lock(&s);
+                                    let _ = g.handle(DmsRequest::Promote {});
+                                    let _ = g.take_commit_ticket();
+                                    let _ = g.take_repl_stamp();
+                                    g.commit_flush();
+                                    let _ = g.commit_abort();
+                                })
+                            },
+                        };
+                        let rcfg = ReplicatorConfig {
+                            heartbeat: (lease / 3).max(Duration::from_millis(1)),
+                            rank: u64::from(a.index.saturating_sub(1)),
+                            auto_promote: std::env::var("LOCO_REPL_AUTO_PROMOTE")
+                                .is_ok_and(|v| v == "1"),
+                        };
+                        replicator = Some(Replicator::spawn(
+                            ctl,
+                            transports,
+                            host,
+                            Some(registry.clone()),
+                            rcfg,
+                        ));
+                        serve_tcp_shared(id, svc, listener, opts(m, &registry))
+                    } else {
+                        serve_tcp(id, server, listener, opts(m, &registry))
+                    }
+                }
                 Err(e) => {
                     eprintln!("locod: dms #{}: cannot open data dir: {e}", a.index);
                     return ExitCode::FAILURE;
@@ -594,6 +834,9 @@ fn serve(args: &[String]) -> ExitCode {
     // then joins every connection thread (draining in-flight requests)
     // and runs the drain-time maintain pass (final checkpoint).
     guard.wait();
+    if let Some(r) = replicator.take() {
+        r.stop();
+    }
     let dump = registry.render_prometheus();
     match &a.metrics_out {
         Some(path) => {
@@ -624,6 +867,7 @@ fn fsck_cmd(args: &[String]) -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut backend = DmsBackend::BTree;
     let mut mode = FmsMode::Decoupled;
+    let mut dms_index = 0usize;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut val = || {
@@ -635,6 +879,14 @@ fn fsck_cmd(args: &[String]) -> ExitCode {
             "--data-dir" => val().map(|v| root = Some(PathBuf::from(v))),
             "--dms-backend" => val().and_then(|v| parse_backend(&v).map(|b| backend = b)),
             "--fms-mode" => val().and_then(|v| parse_mode(&v).map(|m| mode = m)),
+            // Which dms replica's store to check the namespace against
+            // (a replicated cluster has dms0..dmsN under one root;
+            // after a failover the promoted standby is authoritative).
+            "--dms-index" => val().and_then(|v| {
+                v.parse()
+                    .map(|n| dms_index = n)
+                    .map_err(|_| "--dms-index must be an integer".into())
+            }),
             other => Err(format!("unknown flag {other:?}")),
         };
         if let Err(e) = r {
@@ -646,8 +898,9 @@ fn fsck_cmd(args: &[String]) -> ExitCode {
     };
     let num_fms = role_count(&root, "fms").max(1);
     let num_ost = role_count(&root, "ost").max(1);
-    if !root.join("dms0").is_dir() {
-        eprintln!("locod: fsck: no dms0/ under {}", root.display());
+    let dms_dir = format!("dms{dms_index}");
+    if !root.join(&dms_dir).is_dir() {
+        eprintln!("locod: fsck: no {dms_dir}/ under {}", root.display());
         return ExitCode::FAILURE;
     }
     let kv = KvConfig::default();
@@ -671,13 +924,13 @@ fn fsck_cmd(args: &[String]) -> ExitCode {
     };
     let mut cluster = LocoCluster::new(config);
     let dms_db = match recover(
-        root.join("dms0"),
+        root.join(&dms_dir),
         kv.clone(),
         matches!(backend, DmsBackend::Hash),
     ) {
         Ok(db) => db,
         Err(e) => {
-            eprintln!("locod: fsck: dms0: {e}");
+            eprintln!("locod: fsck: {dms_dir}: {e}");
             return ExitCode::FAILURE;
         }
     };

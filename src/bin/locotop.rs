@@ -190,6 +190,12 @@ struct Row {
     fsyncs_per_op: Option<f64>,
     allocs_per_op: Option<f64>,
     alloc_bytes_per_op: Option<f64>,
+    /// Replication role gauge (1=primary, 2=standby, 3=fenced); absent
+    /// on unreplicated daemons.
+    repl_role: Option<f64>,
+    repl_epoch: Option<f64>,
+    /// Records the slowest peer is behind (primaries only).
+    repl_lag: Option<f64>,
 }
 
 /// Mean of a summary family: `Σ_sum / Σ_count` over every label set.
@@ -273,6 +279,27 @@ fn scrape(addr: &str, timeout: Duration) -> Row {
         fsyncs_per_op,
         allocs_per_op: ratio(&pt, "loco_alloc_per_op"),
         alloc_bytes_per_op: ratio(&pt, "loco_alloc_bytes_per_op"),
+        repl_role: pt.value("loco_repl_role", &[]),
+        repl_epoch: pt.value("loco_repl_epoch", &[]),
+        repl_lag: pt
+            .value("loco_repl_role", &[])
+            .map(|_| pt.sum("loco_repl_lag_records", &[])),
+    }
+}
+
+/// `pri@3` — replication role + fencing epoch, `-` when unreplicated.
+fn fmt_repl(r: &Row) -> String {
+    match r.repl_role {
+        Some(role) => {
+            let name = match role as u8 {
+                1 => "pri",
+                2 => "sby",
+                3 => "fen",
+                _ => "?",
+            };
+            format!("{name}@{}", r.repl_epoch.unwrap_or(0.0) as u64)
+        }
+        None => "-".into(),
     }
 }
 
@@ -287,7 +314,7 @@ fn fmt_opt(v: Option<f64>) -> String {
 fn render_table(rows: &[(String, String, Row)]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<6} {:<21} {:>9} {:>8} {:>8} {:>5} {:>5} {:>6} {:>6} {:>6} {:>8} {:>9}\n",
+        "{:<6} {:<21} {:>9} {:>8} {:>8} {:>5} {:>5} {:>6} {:>6} {:>6} {:>8} {:>9} {:>7} {:>5}\n",
         "NAME",
         "ADDR",
         "OP/S",
@@ -299,7 +326,9 @@ fn render_table(rows: &[(String, String, Row)]) -> String {
         "WALB",
         "FS/OP",
         "ALLOC/OP",
-        "BYTES/OP"
+        "BYTES/OP",
+        "REPL",
+        "RLAG"
     ));
     for (name, addr, r) in rows {
         if !r.ok {
@@ -310,7 +339,7 @@ fn render_table(rows: &[(String, String, Row)]) -> String {
             continue;
         }
         out.push_str(&format!(
-            "{:<6} {:<21} {:>9} {:>8} {:>8} {:>5} {:>5} {:>6} {:>6} {:>6} {:>8} {:>9}\n",
+            "{:<6} {:<21} {:>9} {:>8} {:>8} {:>5} {:>5} {:>6} {:>6} {:>6} {:>8} {:>9} {:>7} {:>5}\n",
             name,
             addr,
             fmt_opt(r.ops_per_sec),
@@ -323,6 +352,8 @@ fn render_table(rows: &[(String, String, Row)]) -> String {
             fmt_opt(r.fsyncs_per_op),
             fmt_opt(r.allocs_per_op),
             fmt_opt(r.alloc_bytes_per_op),
+            fmt_repl(r),
+            fmt_opt(r.repl_lag),
         ));
     }
     out
@@ -355,6 +386,9 @@ fn render_json(rows: &[(String, String, Row)]) -> String {
                 ("fsyncs_per_op", opt_num(r.fsyncs_per_op)),
                 ("allocs_per_op", opt_num(r.allocs_per_op)),
                 ("alloc_bytes_per_op", opt_num(r.alloc_bytes_per_op)),
+                ("repl_role", opt_num(r.repl_role)),
+                ("repl_epoch", opt_num(r.repl_epoch)),
+                ("repl_lag_records", opt_num(r.repl_lag)),
             ])
         })
         .collect();

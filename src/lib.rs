@@ -62,5 +62,6 @@ pub use loco_net as net;
 pub use loco_obs as obs;
 pub use loco_ostore as ostore;
 pub use loco_posix as posix;
+pub use loco_repl as repl;
 pub use loco_sim as sim;
 pub use loco_types as types;

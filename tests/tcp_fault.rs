@@ -271,6 +271,73 @@ fn idle_pooled_conn_closed_by_server_redials_lazily_without_spurious_eio() {
 }
 
 #[test]
+fn fenced_reply_skips_backoff_budget_and_surfaces_fenced_epoch() {
+    // A standby (or fenced ex-primary) answers instantly with a
+    // fenced stamp. That is not a transport fault: burning the full
+    // exponential-backoff budget before reporting it would only delay
+    // the client's redial to the real primary. The endpoint takes ONE
+    // immediate no-sleep retry (covers a promote racing the call) and
+    // then surfaces `RpcError::FencedEpoch` — never `Exhausted`, and
+    // never a backoff sleep.
+    use locofs::dms::DmsRequest;
+    use locofs::kv::{BTreeDb, DurableStore};
+    use locofs::net::RpcError;
+    use locofs::repl::{AckPolicy, ReplCtl, Role};
+
+    let scratch = std::env::temp_dir().join(format!("loco-tcp-fenced-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    std::fs::create_dir_all(&scratch).unwrap();
+
+    // A durable DMS booted as a *standby* at epoch 3: every client op
+    // is rejected with a fenced reply stamp.
+    let db = DurableStore::open(&scratch, BTreeDb::new(KvConfig::default())).unwrap();
+    let mut server = DirServer::with_store(Box::new(db), 0);
+    let ctl = Arc::new(ReplCtl::new(
+        3,
+        Role::Standby,
+        AckPolicy::None,
+        Duration::from_millis(500),
+        Vec::new(),
+    ));
+    assert!(server.enable_repl(ctl), "durable store must take the tap");
+
+    let id = ServerId::new(class::DMS, 0);
+    let l = TcpListener::bind("127.0.0.1:0").unwrap();
+    let g = serve_tcp(id, server, l, ServeOptions::default()).unwrap();
+
+    // Pathological budget: if the fenced reply took the normal retry
+    // path, the backoff sleeps alone (2 s + 4 s + ...) would trip the
+    // elapsed assertion below.
+    let slow_policy = RetryPolicy {
+        attempts: 5,
+        backoff: Duration::from_secs(2),
+        deadline: Duration::from_secs(10),
+        connect_timeout: Duration::from_secs(2),
+        reconnect_window: Duration::ZERO,
+    };
+    let ep = TcpEndpoint::<DirServer>::with_policy(id, &g.addr().to_string(), slow_policy);
+    let mut ctx = locofs::net::CallCtx::new();
+
+    let start = Instant::now();
+    let err = ep
+        .try_call(&mut ctx, DmsRequest::GetDir { path: "/".into() })
+        .expect_err("standby must fence client metadata ops");
+    let elapsed = start.elapsed();
+
+    match err {
+        RpcError::FencedEpoch { epoch } => assert_eq!(epoch, 3, "stamp carries the fencing epoch"),
+        other => panic!("expected FencedEpoch (not Exhausted/backoff), got {other:?}"),
+    }
+    assert!(
+        elapsed < Duration::from_millis(500),
+        "fenced fast path must not burn the backoff budget: {elapsed:?}"
+    );
+
+    drop(g);
+    let _ = std::fs::remove_dir_all(&scratch);
+}
+
+#[test]
 fn deadline_fires_on_a_black_hole_server() {
     // A listener that accepts but never replies: the per-call deadline
     // (not TCP buffering) must bound the latency of every attempt.

@@ -7,7 +7,7 @@
 use locofs::dms::{DmsRequest, DmsResponse};
 use locofs::fms::{FmsRequest, FmsResponse};
 use locofs::net::frame::{crc32, decode_header, encode_frame, read_frame, FrameKind, HEADER_LEN};
-use locofs::net::{RpcRequest, RpcResponse, SpanReply, TraceCtx};
+use locofs::net::{ReplStamp, RpcRequest, RpcResponse, SpanReply, TraceCtx};
 use locofs::ostore::{OstoreRequest, OstoreResponse};
 use locofs::types::{DirInode, FileAccess, FileContent, FsError, Perm, Uuid, Wire};
 
@@ -351,6 +351,7 @@ fn rpc_envelopes_roundtrip_and_reject_corruption() {
         RpcResponse {
             cost: 1234,
             span: None,
+            repl: None,
             body: DmsResponse::Bool(true),
         },
         RpcResponse {
@@ -359,6 +360,10 @@ fn rpc_envelopes_roundtrip_and_reject_corruption() {
                 op: "GetDir",
                 queue_ns: 55,
                 attrs: vec![("kv_ns", 9), ("sw_ns", 2)],
+            }),
+            repl: Some(ReplStamp {
+                epoch: 7,
+                fenced: true,
             }),
             body: DmsResponse::Bool(true),
         },
