@@ -963,15 +963,22 @@ impl DirServer {
 
     /// Snapshot of the replication state for a control reply.
     fn repl_info(&mut self, ok: bool) -> DmsResponse {
-        let (epoch, role) = match &self.repl {
-            Some(ctl) => (ctl.epoch(), ctl.role().as_u8()),
-            None => (0, 0),
+        let (epoch, role, silence_ms) = match &self.repl {
+            Some(ctl) => {
+                let silence = match ctl.role() {
+                    Role::Primary => 0,
+                    _ => ctl.primary_silence_ms(),
+                };
+                (ctl.epoch(), ctl.role().as_u8(), silence)
+            }
+            None => (0, 0, u64::MAX),
         };
         DmsResponse::Repl(ReplInfo {
             ok,
             epoch,
             next_seq: self.db.repl_next_seq(),
             role,
+            silence_ms,
         })
     }
 
@@ -987,6 +994,7 @@ impl DirServer {
                 epoch: 0,
                 next_seq: self.db.repl_next_seq(),
                 role: 0,
+                silence_ms: u64::MAX,
             };
         };
         let epoch = ctl.max_seen_epoch().max(ctl.epoch()) + 1;
@@ -1009,6 +1017,7 @@ impl DirServer {
             epoch,
             next_seq: self.db.repl_next_seq(),
             role: Role::Primary.as_u8(),
+            silence_ms: 0,
         }
     }
 
@@ -1078,6 +1087,14 @@ impl DirServer {
                 }
                 if epoch > ctl.epoch() {
                     ctl.transition(Role::Standby, epoch);
+                } else if ctl.role() == Role::Primary {
+                    // Same epoch from another node claiming primary —
+                    // split brain, exactly as in ReplAppend: refuse
+                    // rather than let a rival wholesale-clobber a live
+                    // primary's store while it keeps acking clients.
+                    loco_log::warn!("repl.ship", "equal-epoch snapshot from rival primary refused";
+                        epoch = epoch, last_seq = last_seq);
+                    return self.repl_info(false);
                 }
                 ctl.note_primary_contact(epoch);
                 match self.db.repl_install_snapshot(&image) {
@@ -1517,6 +1534,35 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+        // An equal-epoch ReplSnapshot from a rival claimed primary is
+        // split brain, exactly like an equal-epoch append: it must be
+        // refused before it can wholesale-clobber a live primary's
+        // store while that primary keeps acking clients.
+        let (snap_last, image) = standby.repl_snapshot().expect("snapshot image");
+        let resp = standby.handle(DmsRequest::Mkdir {
+            path: "/post-snap".into(),
+            mode: 0o755,
+            uid: 1,
+            gid: 1,
+            ts: 2,
+        });
+        assert!(matches!(resp, DmsResponse::Done(Ok(1))), "{resp:?}");
+        let resp = standby.handle(DmsRequest::ReplSnapshot {
+            epoch: 2,
+            last_seq: snap_last,
+            image,
+        });
+        match resp {
+            DmsResponse::Repl(i) => {
+                assert!(!i.ok, "equal-epoch rival snapshot must be refused");
+                assert_eq!(i.role, Role::Primary.as_u8(), "role keeps its claim");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(
+            standby.lookup("/post-snap").is_some(),
+            "refused snapshot must leave the live store untouched"
+        );
         let _ = std::fs::remove_dir_all(&tmp);
     }
 

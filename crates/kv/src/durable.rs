@@ -886,11 +886,11 @@ impl<S: KvStore> DurableStore<S> {
             return Err("snapshot envelope header checksum mismatch".into());
         }
         let snap_seq = u64::from_le_bytes(env[5..SNAP_CRC_OFFSET].try_into().unwrap());
-        // Load into a scratch store shape first? The image format is
-        // self-checksummed; validate by loading into the (cleared)
-        // inner store — on failure the store is unusable for serving,
-        // but the caller reports the error and the daemon refuses the
-        // ship, which is the honest outcome.
+        // Fully parse + checksum the image payload BEFORE touching the
+        // disk envelope or the live store: a corrupt ship must leave
+        // this replica serving (and acking) its current state, never
+        // gut a running standby that then keeps taking the stream.
+        crate::snapshot::validate(&env[SNAP_HEADER_LEN..])?;
         let io = |what: &str, e: std::io::Error| format!("snapshot install {what}: {e}");
         let tmp = self.dir.join("snapshot.tmp");
         {
@@ -1561,6 +1561,20 @@ mod tests {
         let mut bad = env.clone();
         bad[6] ^= 0x01;
         assert!(standby.install_snapshot(&bad).is_err());
+        // Corruption past the envelope header (inside the image
+        // payload) is caught by the pre-install validation pass: the
+        // live store keeps serving its current state instead of being
+        // cleared and then failing the load.
+        let mut bad = env.clone();
+        let n = bad.len();
+        bad[n - 3] ^= 0x10;
+        assert!(standby.install_snapshot(&bad).is_err());
+        assert_eq!(standby.len(), 51, "failed install must not gut the store");
+        assert_eq!(standby.get(b"tail").as_deref(), Some(&b"t"[..]));
+        assert_eq!(standby.next_seq(), last_seq + 2, "cursor unchanged");
+        // ...and the replication stream resumes where it left off.
+        let more = encode_v2(last_seq + 2, FLAG_COMMIT, OP_PUT, b"more", &[b"m"]);
+        assert_eq!(standby.apply_replicated_group(&more).unwrap(), 1);
     }
 
     #[test]

@@ -45,7 +45,19 @@ pub fn dump(store: &mut dyn KvStore) -> Vec<u8> {
 /// the number of records loaded. Corruption — truncation, bit flips,
 /// oversized lengths, trailing bytes — is an error, never a panic and
 /// never a partial load the caller can't detect.
-pub fn load(store: &mut dyn KvStore, mut bytes: &[u8]) -> Result<usize, String> {
+pub fn load(store: &mut dyn KvStore, bytes: &[u8]) -> Result<usize, String> {
+    walk(bytes, |k, v| store.put(k, v))
+}
+
+/// Fully parse and checksum-verify an image without applying it
+/// anywhere. Callers that must not disturb live state on a bad image
+/// (a standby installing a replicated snapshot) validate first, then
+/// [`load`] — which cannot fail on the same bytes.
+pub fn validate(bytes: &[u8]) -> Result<usize, String> {
+    walk(bytes, |_, _| {})
+}
+
+fn walk(mut bytes: &[u8], mut sink: impl FnMut(&[u8], &[u8])) -> Result<usize, String> {
     if bytes.len() < 4 {
         return Err("truncated snapshot".into());
     }
@@ -67,14 +79,14 @@ pub fn load(store: &mut dyn KvStore, mut bytes: &[u8]) -> Result<usize, String> 
         }
         bytes = body;
     }
-    let take = |bytes: &mut &[u8], n: usize| -> Result<Vec<u8>, String> {
+    fn take<'a>(bytes: &mut &'a [u8], n: usize) -> Result<&'a [u8], String> {
         if bytes.len() < n {
             return Err("truncated snapshot".into());
         }
         let (head, rest) = bytes.split_at(n);
         *bytes = rest;
-        Ok(head.to_vec())
-    };
+        Ok(head)
+    }
     take(&mut bytes, 4)?; // magic, already validated
     let count = u64::from_le_bytes(take(&mut bytes, 8)?.try_into().unwrap()) as usize;
     for _ in 0..count {
@@ -82,7 +94,7 @@ pub fn load(store: &mut dyn KvStore, mut bytes: &[u8]) -> Result<usize, String> 
         let key = take(&mut bytes, klen)?;
         let vlen = u32::from_le_bytes(take(&mut bytes, 4)?.try_into().unwrap()) as usize;
         let value = take(&mut bytes, vlen)?;
-        store.put(&key, &value);
+        sink(key, value);
     }
     if !bytes.is_empty() {
         return Err("trailing bytes after snapshot".into());

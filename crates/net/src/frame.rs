@@ -26,7 +26,13 @@ use std::io::{self, Read, Write};
 /// Frame magic: the first two bytes of every frame.
 pub const MAGIC: [u8; 2] = *b"LW";
 /// Protocol version byte. Bump on any incompatible codec change.
-pub const VERSION: u8 = 1;
+///
+/// * v1 — original codec.
+/// * v2 — `RpcResponse` gained the `repl` replication stamp between
+///   `span` and `body`, and `ReplInfo` gained `silence_ms`; a v1 peer
+///   would mis-decode every reply, so the version gate turns a mixed
+///   rolling upgrade into a clean connection error instead.
+pub const VERSION: u8 = 2;
 /// Fixed header size in bytes.
 pub const HEADER_LEN: usize = 20;
 /// Hard cap on a frame payload — matches the codec's

@@ -195,7 +195,9 @@ pub struct RpcResponse<Resp> {
     /// trace context.
     pub span: Option<SpanReply>,
     /// Replication stamp (`Service::take_repl_stamp`): present on every
-    /// reply from a replicated service, absent otherwise.
+    /// reply from a replicated service, absent otherwise. Adding this
+    /// field changed the reply codec — frame protocol v2
+    /// ([`crate::frame::VERSION`]).
     pub repl: Option<ReplStamp>,
     /// The typed response.
     pub body: Resp,

@@ -29,13 +29,32 @@
 //! The primary heartbeats each standby every `lease/3` even when idle.
 //! A standby whose last valid primary contact is older than `2×lease`
 //! considers the lease expired and becomes *promotion-eligible*; with
-//! auto-promotion enabled (`LOCO_REPL_AUTO_PROMOTE=1`) standby rank `r`
-//! promotes itself after `(2 + r) × lease` of silence, so the fleet
-//! picks a single winner without a coordinator in the common case.
-//! Because the primary fences itself as soon as it cannot reach a
-//! quorum *and* any successor's first act is an epoch bump that the
-//! old primary cannot outvote, a fenced stale primary can never ack a
-//! post-promotion mutation.
+//! auto-promotion enabled (`LOCO_REPL_AUTO_PROMOTE=1`, fleet-wide)
+//! standby rank `r` promotes itself after `(2 + r) × lease` of
+//! silence, so the fleet picks a single winner without a coordinator
+//! in the common case. Two guards keep an automatic promotion from
+//! racing a primary that is alive but unreachable:
+//!
+//! * **isolation fence** — with auto-promotion armed, a primary that
+//!   has not completed an exchange with *any* standby for one lease
+//!   self-fences (stops acking, for the rest of the process lifetime),
+//!   a full lease before the earliest standby timer (`2×lease`) can
+//!   fire on the same silence. This is a CP trade: in a 1+1 fleet a
+//!   *dead* peer also fences the survivor until the peer is restarted
+//!   (boot role comes from flags, so a reboot heals the fleet);
+//! * **promotion gate** — before self-promoting, a standby probes its
+//!   peers (`ReplStatus`): a reachable live primary, a standby that
+//!   heard the primary within the last lease, or any higher epoch
+//!   vetoes the promotion, and in fleets of three or more replicas a
+//!   majority of the replica set must corroborate the loss — a lone
+//!   partitioned standby cannot crown itself.
+//!
+//! Operator-driven promotion (auto-promotion off, the default) has no
+//! silent-primary fence: a stale primary fences only on first contact
+//! with the new epoch. With `--repl-ack one|all` it still cannot ack
+//! in the interim (no standby at its epoch covers its batches), which
+//! is what the zero-acked-loss guarantee rests on; `--repl-ack none`
+//! explicitly trades that guarantee for latency.
 //!
 //! The crate is transport-agnostic: `loco-dms` carries the frames and
 //! `locod` supplies a [`ReplTransport`] per peer, so `loco-repl`
@@ -156,6 +175,10 @@ pub struct ReplInfo {
     pub next_seq: u64,
     /// The replica's [`Role`] byte.
     pub role: u8,
+    /// Ms since the replica last heard a valid primary (0 on a primary
+    /// — it *is* the feed; `u64::MAX` when unreplicated). Peers use
+    /// this to corroborate a primary loss before auto-promoting.
+    pub silence_ms: u64,
 }
 
 impl Wire for ReplInfo {
@@ -164,6 +187,7 @@ impl Wire for ReplInfo {
         self.epoch.put(out);
         self.next_seq.put(out);
         self.role.put(out);
+        self.silence_ms.put(out);
     }
     fn get(buf: &mut &[u8]) -> WireResult<Self> {
         Ok(ReplInfo {
@@ -171,6 +195,7 @@ impl Wire for ReplInfo {
             epoch: u64::get(buf)?,
             next_seq: u64::get(buf)?,
             role: u8::get(buf)?,
+            silence_ms: u64::get(buf)?,
         })
     }
 }
@@ -453,6 +478,26 @@ impl ReplCtl {
         loco_log::warn!("repl.election", "higher epoch observed: self-fencing";
             my_epoch = self.epoch(),
             seen_epoch = seen_epoch);
+        self.fence_now();
+    }
+
+    /// Isolation fence: a primary that cannot complete an exchange with
+    /// any standby for a full lease stops acking *before* any standby's
+    /// staggered auto-promotion timer (earliest `2×lease`) can fire.
+    /// Only meaningful with auto-promotion armed; the lease monitor
+    /// owns the trigger.
+    pub fn fence_isolated(&self) {
+        if self.role() != Role::Primary {
+            return;
+        }
+        loco_log::warn!("repl.lease", "no standby reachable within one lease: self-fencing";
+            epoch = self.epoch(),
+            silence_ms = self.peer_silence_ms(),
+            lease_ms = self.lease.as_millis() as u64);
+        self.fence_now();
+    }
+
+    fn fence_now(&self) {
         self.transition(Role::Fenced, self.epoch());
         // Fail any in-flight quorum waits — their batches must not ack.
         self.abort_pending.store(true, Ordering::Release);
@@ -495,27 +540,46 @@ impl ReplCtl {
     }
 
     /// The lease has been silent past `2×lease`: this standby may be
-    /// promoted without risking a live primary (which fences itself
-    /// strictly earlier, at one lease of quorum silence).
+    /// promoted. Automatic promotion additionally waits out the rank
+    /// stagger and the peer-corroboration gate (see the module docs);
+    /// an operator promoting manually owns that judgement.
     pub fn promotion_eligible(&self) -> bool {
         self.role() == Role::Standby
             && self.primary_silence_ms() >= 2 * self.lease.as_millis() as u64
     }
 
+    /// Primary-side: ms since the last completed exchange with *any*
+    /// peer (since boot if none yet — mirrors the standby lease clock,
+    /// so the isolation fence and the standby promotion timers measure
+    /// the same silence window).
+    pub fn peer_silence_ms(&self) -> u64 {
+        let now = self.now_ms();
+        self.peers
+            .iter()
+            .map(|p| now.saturating_sub(p.last_ok_ms.load(Ordering::Acquire)))
+            .min()
+            .unwrap_or(u64::MAX)
+    }
+
     /// Primary-side: record the outcome of one exchange with peer `i`.
-    /// Wakes quorum waiters on success.
+    /// Wakes quorum waiters on success. The durable-ack watermark only
+    /// advances on an accepting reply from a standby: a refusal from an
+    /// equal-epoch rival primary reports *its own* divergent WAL cursor,
+    /// which must never count toward this primary's quorum.
     pub fn note_peer(&self, i: usize, info: Option<&ReplInfo>) {
         let Some(p) = self.peers.get(i) else { return };
         match info {
             Some(info) => {
                 self.observe_epoch(info.epoch);
                 p.next.store(info.next_seq, Ordering::Release);
-                p.acked
-                    .store(info.next_seq.saturating_sub(1), Ordering::Release);
                 p.up.store(true, Ordering::Release);
                 p.last_ok_ms.store(self.now_ms(), Ordering::Release);
-                let _g = lock(&self.acks);
-                self.ack_cv.notify_all();
+                if info.ok || Role::from_u8(info.role) == Some(Role::Standby) {
+                    p.acked
+                        .store(info.next_seq.saturating_sub(1), Ordering::Release);
+                    let _g = lock(&self.acks);
+                    self.ack_cv.notify_all();
+                }
             }
             None => p.up.store(false, Ordering::Release),
         }
@@ -546,6 +610,12 @@ impl ReplCtl {
     /// or the timeout expires. `true` = safe to ack. On failure the
     /// abort flag is raised so the committer drops the batch's replies.
     pub fn wait_quorum(&self, last_seq: u64, timeout: Duration) -> bool {
+        if self.role() == Role::Fenced {
+            // A fenced node never acks — even under `ack=none`, where
+            // there is no quorum to wait for.
+            self.abort_pending.store(true, Ordering::Release);
+            return false;
+        }
         if self.ack == AckPolicy::None || self.peers.is_empty() {
             return true;
         }
@@ -599,13 +669,20 @@ impl ReplCtl {
 
 // ----- the replicator ---------------------------------------------------
 
-/// Transport to one standby, supplied by the daemon (an RPC endpoint
-/// speaking the DMS `ReplAppend`/`ReplSnapshot` frames).
-pub trait ReplTransport: Send {
+/// Transport to one peer replica, supplied by the daemon (an RPC
+/// endpoint speaking the DMS `ReplAppend`/`ReplSnapshot`/`ReplStatus`
+/// frames). Shared between the peer's shipper thread and the lease
+/// monitor, hence `Sync`.
+pub trait ReplTransport: Send + Sync {
     /// Ship one sealed commit group (`group` empty = heartbeat/probe).
     fn append(&self, epoch: u64, first_seq: u64, group: &[u8]) -> Result<ReplInfo, String>;
     /// Ship a full snapshot envelope covering sequences `..= last_seq`.
     fn snapshot(&self, epoch: u64, last_seq: u64, image: &[u8]) -> Result<ReplInfo, String>;
+    /// Read-only probe of the peer's replication state. Unlike an
+    /// empty `append`, this must NOT renew the peer's lease clock —
+    /// the pre-promotion gate uses it to ask peers how long ago *they*
+    /// heard the primary.
+    fn status(&self) -> Result<ReplInfo, String>;
 }
 
 /// Reads the highest locally appended WAL sequence number.
@@ -654,8 +731,12 @@ impl Replicator {
         cfg: ReplicatorConfig,
     ) -> Self {
         assert_eq!(transports.len(), ctl.peers().len());
+        // The lease monitor shares the transports with the shippers:
+        // its pre-promotion gate probes peers with `status()`.
+        let transports: Vec<Arc<dyn ReplTransport>> =
+            transports.into_iter().map(Arc::from).collect();
         let mut threads = Vec::new();
-        for (i, transport) in transports.into_iter().enumerate() {
+        for (i, transport) in transports.iter().cloned().enumerate() {
             let ctl2 = ctl.clone();
             let host_last = host.last_seq.clone();
             let host_snap = host.snapshot.clone();
@@ -687,7 +768,9 @@ impl Replicator {
             threads.push(
                 std::thread::Builder::new()
                     .name("loco-repl-lease".into())
-                    .spawn(move || lease_loop(&ctl2, &promote, reg.as_deref(), rank, auto))
+                    .spawn(move || {
+                        lease_loop(&ctl2, &transports, &promote, reg.as_deref(), rank, auto)
+                    })
                     .expect("spawn replication lease monitor"),
             );
         }
@@ -851,11 +934,61 @@ fn ship_loop(
     }
 }
 
-/// Lease monitor: on a standby, tracks primary silence and (optionally)
-/// self-promotes at `(2 + rank) × lease`; on a primary it only keeps
-/// the gauges fresh.
+/// Pre-promotion election gate: ask the other replicas whether they
+/// corroborate the primary loss this standby observed. Vetoed by a
+/// reachable live primary, a peer that heard the primary within the
+/// last lease, or any higher epoch (an election already concluded
+/// elsewhere — its stream will reach us). Fleets of three or more
+/// replicas additionally require a majority of the replica set
+/// (corroborating peers + this node) to agree, so a standby that is
+/// itself the partitioned one cannot crown itself; a lone pair cannot
+/// make that distinction, and relies on the primary-side isolation
+/// fence instead.
+fn promotion_confirmed(
+    ctl: &ReplCtl,
+    transports: &[Arc<dyn ReplTransport>],
+    lease_ms: u64,
+) -> bool {
+    let mut corroborating = 0usize;
+    for (i, t) in transports.iter().enumerate() {
+        let Ok(info) = t.status() else { continue };
+        ctl.observe_epoch(info.epoch);
+        let peer = ctl.peers()[i].addr.clone();
+        if info.epoch > ctl.epoch() {
+            loco_log::debug!("repl.lease", "promotion gate: peer already at a higher epoch";
+                peer = peer, epoch = info.epoch);
+            return false;
+        }
+        match Role::from_u8(info.role) {
+            Some(Role::Primary) => {
+                loco_log::debug!("repl.lease", "promotion gate: peer is a live primary";
+                    peer = peer, epoch = info.epoch);
+                return false;
+            }
+            Some(Role::Standby) if info.silence_ms < lease_ms => {
+                loco_log::debug!("repl.lease", "promotion gate: peer still hears the primary";
+                    peer = peer, peer_silence_ms = info.silence_ms);
+                return false;
+            }
+            // A fenced peer has certainly stopped acking; it counts as
+            // corroboration just like a silent standby.
+            Some(Role::Standby) | Some(Role::Fenced) => corroborating += 1,
+            None => {}
+        }
+    }
+    transports.len() <= 1 || 2 * (corroborating + 1) > transports.len() + 1
+}
+
+/// Lease monitor. On a standby: tracks primary silence and (with
+/// auto-promotion armed) self-promotes at `(2 + rank) × lease` once
+/// [`promotion_confirmed`] agrees. On a primary with auto-promotion
+/// armed: enforces the isolation fence — one lease without a completed
+/// standby exchange and the node stops acking, strictly before any
+/// standby's promotion timer can fire. Also keeps the role/epoch
+/// gauges fresh.
 fn lease_loop(
     ctl: &ReplCtl,
+    transports: &[Arc<dyn ReplTransport>],
     promote: &Arc<dyn Fn() + Send + Sync>,
     reg: Option<&MetricsRegistry>,
     rank: u64,
@@ -863,6 +996,7 @@ fn lease_loop(
 ) {
     let lease_ms = ctl.lease().as_millis() as u64;
     let mut announced_expired = false;
+    let mut announced_withheld = false;
     loop {
         if ctl.is_shutdown() {
             return;
@@ -872,23 +1006,39 @@ fn lease_loop(
             reg.gauge("loco_repl_role", &[])
                 .set(ctl.role().as_u8() as i64);
         }
-        if ctl.role() == Role::Standby {
-            let silence = ctl.primary_silence_ms();
-            if silence >= 2 * lease_ms && !announced_expired {
-                announced_expired = true;
-                loco_log::warn!("repl.lease", "primary lease expired; promotion-eligible";
-                    silence_ms = silence,
-                    lease_ms = lease_ms,
-                    rank = rank);
-            } else if silence < lease_ms {
-                announced_expired = false;
+        match ctl.role() {
+            Role::Primary if auto_promote && !ctl.peers().is_empty() => {
+                if ctl.peer_silence_ms() >= lease_ms {
+                    ctl.fence_isolated();
+                }
             }
-            if auto_promote && silence >= (2 + rank) * lease_ms {
-                loco_log::warn!("repl.lease", "auto-promoting after staggered lease expiry";
-                    silence_ms = silence, rank = rank);
-                promote();
-                // The promote path transitions the role; loop back.
+            Role::Standby => {
+                let silence = ctl.primary_silence_ms();
+                if silence >= 2 * lease_ms && !announced_expired {
+                    announced_expired = true;
+                    loco_log::warn!("repl.lease", "primary lease expired; promotion-eligible";
+                        silence_ms = silence,
+                        lease_ms = lease_ms,
+                        rank = rank);
+                } else if silence < lease_ms {
+                    announced_expired = false;
+                    announced_withheld = false;
+                }
+                if auto_promote && silence >= (2 + rank) * lease_ms {
+                    if promotion_confirmed(ctl, transports, lease_ms) {
+                        loco_log::warn!("repl.lease", "auto-promoting after staggered lease expiry";
+                            silence_ms = silence, rank = rank);
+                        announced_withheld = false;
+                        promote();
+                        // The promote path transitions the role; loop back.
+                    } else if !announced_withheld {
+                        announced_withheld = true;
+                        loco_log::warn!("repl.lease", "auto-promotion withheld: peers do not corroborate primary loss";
+                            silence_ms = silence, rank = rank);
+                    }
+                }
             }
+            _ => {}
         }
         std::thread::sleep(Duration::from_millis((lease_ms / 4).clamp(5, 250)));
     }
@@ -918,6 +1068,7 @@ mod tests {
             epoch: 7,
             next_seq: 42,
             role: Role::Standby.as_u8(),
+            silence_ms: 0,
         };
         assert_eq!(ReplInfo::from_wire(&info.to_wire()), Ok(info));
     }
@@ -1000,6 +1151,7 @@ mod tests {
                 epoch: 1,
                 next_seq: 11,
                 role: Role::Standby.as_u8(),
+                silence_ms: 0,
             }),
         );
         assert!(ctl.wait_quorum(10, Duration::from_millis(20)));
@@ -1015,6 +1167,7 @@ mod tests {
                 epoch: 1,
                 next_seq: 11,
                 role: Role::Standby.as_u8(),
+                silence_ms: 0,
             }),
         );
         assert!(!ctl.wait_quorum(10, Duration::from_millis(20)));
@@ -1026,6 +1179,7 @@ mod tests {
                 epoch: 1,
                 next_seq: 11,
                 role: Role::Standby.as_u8(),
+                silence_ms: 0,
             }),
         );
         assert!(ctl.wait_quorum(10, Duration::from_millis(20)));
@@ -1050,6 +1204,7 @@ mod tests {
                     epoch: 1,
                     next_seq: 100,
                     role: Role::Standby.as_u8(),
+                    silence_ms: 0,
                 }),
             );
         });
@@ -1120,6 +1275,7 @@ mod tests {
                         epoch: fence,
                         next_seq: self.next.load(Ordering::Acquire),
                         role: Role::Primary.as_u8(),
+                        silence_ms: 0,
                     });
                 }
                 if !group.is_empty() && first_seq == self.next.load(Ordering::Acquire) {
@@ -1136,6 +1292,7 @@ mod tests {
                     epoch,
                     next_seq: self.next.load(Ordering::Acquire),
                     role: Role::Standby.as_u8(),
+                    silence_ms: 0,
                 })
             }
             fn snapshot(
@@ -1150,6 +1307,16 @@ mod tests {
                     epoch,
                     next_seq: last_seq + 1,
                     role: Role::Standby.as_u8(),
+                    silence_ms: 0,
+                })
+            }
+            fn status(&self) -> Result<ReplInfo, String> {
+                Ok(ReplInfo {
+                    ok: true,
+                    epoch: 1,
+                    next_seq: self.next.load(Ordering::Acquire),
+                    role: Role::Standby.as_u8(),
+                    silence_ms: 0,
                 })
             }
         }
@@ -1208,6 +1375,270 @@ mod tests {
         }
         assert_eq!(ctl.role(), Role::Fenced, "higher epoch must fence");
         assert!(!ctl.wait_quorum(4, Duration::from_millis(50)));
+        repl.stop();
+    }
+
+    fn info(ok: bool, epoch: u64, next_seq: u64, role: Role, silence_ms: u64) -> ReplInfo {
+        ReplInfo {
+            ok,
+            epoch,
+            next_seq,
+            role: role.as_u8(),
+            silence_ms,
+        }
+    }
+
+    #[test]
+    fn refused_appends_do_not_advance_the_ack_watermark() {
+        let ctl = ReplCtl::new(
+            1,
+            Role::Primary,
+            AckPolicy::One,
+            Duration::from_millis(50),
+            vec!["a:1".into()],
+        );
+        // An equal-epoch rival primary refuses the append and reports
+        // its own divergent WAL cursor: reachability bookkeeping
+        // updates, but the durable-ack watermark must not — quorum
+        // releases on its strength would ack unreplicated batches.
+        ctl.note_peer(0, Some(&info(false, 1, 100, Role::Primary, 0)));
+        assert!(ctl.peers()[0].is_up());
+        assert_eq!(ctl.peer_next(0), 100);
+        assert_eq!(ctl.peers()[0].acked(), 0, "rival cursor must not count");
+        assert!(!ctl.wait_quorum(5, Duration::from_millis(10)));
+        let _ = ctl.take_abort();
+        // A genuine standby refusing a gap still reports a cursor that
+        // *is* its durable high-water mark: that one counts.
+        ctl.note_peer(0, Some(&info(false, 1, 7, Role::Standby, 0)));
+        assert_eq!(ctl.peers()[0].acked(), 6);
+        assert!(ctl.wait_quorum(5, Duration::from_millis(10)));
+    }
+
+    /// A transport to a peer that never answers.
+    struct DeadPeer;
+    impl ReplTransport for DeadPeer {
+        fn append(&self, _: u64, _: u64, _: &[u8]) -> Result<ReplInfo, String> {
+            Err("unreachable".into())
+        }
+        fn snapshot(&self, _: u64, _: u64, _: &[u8]) -> Result<ReplInfo, String> {
+            Err("unreachable".into())
+        }
+        fn status(&self) -> Result<ReplInfo, String> {
+            Err("unreachable".into())
+        }
+    }
+
+    /// A transport whose `status()` reply is scripted by the test.
+    struct FixedStatus(std::sync::Mutex<Result<ReplInfo, String>>);
+    impl FixedStatus {
+        fn new(r: Result<ReplInfo, String>) -> Arc<dyn ReplTransport> {
+            Arc::new(FixedStatus(std::sync::Mutex::new(r)))
+        }
+    }
+    impl ReplTransport for FixedStatus {
+        fn append(&self, _: u64, _: u64, _: &[u8]) -> Result<ReplInfo, String> {
+            // Answer heartbeats with the same scripted reply so a
+            // freshly promoted primary in these tests keeps one peer
+            // in contact (no spurious isolation fence).
+            self.0.lock().unwrap().clone()
+        }
+        fn snapshot(&self, _: u64, _: u64, _: &[u8]) -> Result<ReplInfo, String> {
+            Err("not a shipping target".into())
+        }
+        fn status(&self) -> Result<ReplInfo, String> {
+            self.0.lock().unwrap().clone()
+        }
+    }
+
+    #[test]
+    fn isolated_primary_fences_after_one_lease_without_standby_contact() {
+        let ctl = Arc::new(ReplCtl::new(
+            3,
+            Role::Primary,
+            AckPolicy::One,
+            Duration::from_millis(30),
+            vec!["dead:1".into()],
+        ));
+        let host = ReplHost {
+            last_seq: Arc::new(|| 0),
+            snapshot: Arc::new(|| None),
+            promote: Arc::new(|| {}),
+        };
+        let repl = Replicator::spawn(
+            ctl.clone(),
+            vec![Box::new(DeadPeer)],
+            host,
+            None,
+            ReplicatorConfig {
+                heartbeat: Duration::from_millis(10),
+                rank: 0,
+                auto_promote: true,
+            },
+        );
+        for _ in 0..200 {
+            if ctl.role() == Role::Fenced {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(
+            ctl.role(),
+            Role::Fenced,
+            "one lease of total standby silence must fence an auto-promote primary"
+        );
+        assert!(!ctl.wait_quorum(1, Duration::from_millis(10)));
+        assert!(ctl.take_abort(), "in-flight batches must drop, not ack");
+        repl.stop();
+    }
+
+    #[test]
+    fn isolation_fence_stays_off_without_auto_promote() {
+        // Operator-driven fleets (the default) must not fence a healthy
+        // primary over a transient standby outage — nothing can promote
+        // behind its back without an operator deciding to.
+        let ctl = Arc::new(ReplCtl::new(
+            3,
+            Role::Primary,
+            AckPolicy::None,
+            Duration::from_millis(10),
+            vec!["dead:1".into()],
+        ));
+        let host = ReplHost {
+            last_seq: Arc::new(|| 0),
+            snapshot: Arc::new(|| None),
+            promote: Arc::new(|| {}),
+        };
+        let repl = Replicator::spawn(
+            ctl.clone(),
+            vec![Box::new(DeadPeer)],
+            host,
+            None,
+            ReplicatorConfig {
+                heartbeat: Duration::from_millis(5),
+                rank: 0,
+                auto_promote: false,
+            },
+        );
+        std::thread::sleep(Duration::from_millis(60)); // 6 leases
+        assert_eq!(ctl.role(), Role::Primary);
+        repl.stop();
+    }
+
+    #[test]
+    fn promotion_gate_requires_peer_corroboration() {
+        let lease_ms = 10u64;
+        let ctl = ReplCtl::new(
+            1,
+            Role::Standby,
+            AckPolicy::One,
+            Duration::from_millis(lease_ms),
+            vec!["p:1".into(), "s:2".into()],
+        );
+        let dead: Arc<dyn ReplTransport> = Arc::new(DeadPeer);
+        // A reachable live primary vetoes: this standby is the
+        // partitioned one, not the primary.
+        let live_primary = FixedStatus::new(Ok(info(true, 1, 9, Role::Primary, 0)));
+        assert!(!promotion_confirmed(
+            &ctl,
+            &[live_primary, dead.clone()],
+            lease_ms
+        ));
+        // A peer that still hears the primary vetoes too.
+        let fresh_standby = FixedStatus::new(Ok(info(true, 1, 9, Role::Standby, 2)));
+        assert!(!promotion_confirmed(
+            &ctl,
+            &[dead.clone(), fresh_standby],
+            lease_ms
+        ));
+        // A higher epoch anywhere means an election already concluded.
+        let promoted = FixedStatus::new(Ok(info(true, 5, 9, Role::Standby, 50)));
+        assert!(!promotion_confirmed(
+            &ctl,
+            &[promoted, dead.clone()],
+            lease_ms
+        ));
+        // A fully isolated standby (no peer reachable, fleet of 3)
+        // cannot crown itself...
+        assert!(!promotion_confirmed(
+            &ctl,
+            &[dead.clone(), dead.clone()],
+            lease_ms
+        ));
+        // ...but one corroborating silent standby makes a majority of
+        // the replica set (2 of 3), and a fenced peer counts the same.
+        let silent = FixedStatus::new(Ok(info(true, 1, 9, Role::Standby, 40)));
+        assert!(promotion_confirmed(&ctl, &[dead.clone(), silent], lease_ms));
+        let fenced = FixedStatus::new(Ok(info(true, 1, 9, Role::Fenced, 40)));
+        assert!(promotion_confirmed(&ctl, &[dead.clone(), fenced], lease_ms));
+        // A lone pair cannot distinguish primary death from its own
+        // isolation; the primary-side isolation fence covers it, so
+        // the gate waives corroboration.
+        let ctl2 = ReplCtl::new(
+            1,
+            Role::Standby,
+            AckPolicy::One,
+            Duration::from_millis(lease_ms),
+            vec!["p:1".into()],
+        );
+        assert!(promotion_confirmed(&ctl2, &[dead.clone()], lease_ms));
+    }
+
+    #[test]
+    fn auto_promotion_waits_for_the_gate_then_fires() {
+        // End-to-end through the lease monitor: a rank-0 standby with a
+        // corroborating silent peer self-promotes once its own silence
+        // passes 2x lease; the promote hook transitions the role.
+        let ctl = Arc::new(ReplCtl::new(
+            1,
+            Role::Standby,
+            AckPolicy::One,
+            Duration::from_millis(15),
+            vec!["p:1".into(), "s:2".into()],
+        ));
+        let promoted = Arc::new(AtomicBool::new(false));
+        let host = ReplHost {
+            last_seq: Arc::new(|| 0),
+            snapshot: Arc::new(|| None),
+            promote: {
+                let ctl = ctl.clone();
+                let promoted = promoted.clone();
+                Arc::new(move || {
+                    promoted.store(true, Ordering::Release);
+                    let epoch = ctl.max_seen_epoch().max(ctl.epoch()) + 1;
+                    ctl.transition(Role::Primary, epoch);
+                })
+            },
+        };
+        let silent = FixedStatus(std::sync::Mutex::new(Ok(info(
+            true,
+            1,
+            9,
+            Role::Standby,
+            1_000,
+        ))));
+        let repl = Replicator::spawn(
+            ctl.clone(),
+            vec![Box::new(DeadPeer), Box::new(silent)],
+            host,
+            None,
+            ReplicatorConfig {
+                heartbeat: Duration::from_millis(5),
+                rank: 0,
+                auto_promote: true,
+            },
+        );
+        for _ in 0..400 {
+            if promoted.load(Ordering::Acquire) {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(
+            promoted.load(Ordering::Acquire),
+            "gate must allow promotion"
+        );
+        assert_eq!(ctl.role(), Role::Primary);
+        assert_eq!(ctl.epoch(), 2);
         repl.stop();
     }
 }

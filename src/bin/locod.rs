@@ -205,8 +205,15 @@ fn repl_cmd(args: &[String], promote: bool) -> ExitCode {
     match ep.try_call(&mut ctx, req) {
         Ok(DmsResponse::Repl(info)) => {
             let role = Role::from_u8(info.role).map_or("?", Role::as_str);
+            // silence_ms is appended last so existing `grep -o` parsers
+            // (cluster.sh, CI) keep matching role/epoch/next_seq.
+            let silence = if info.silence_ms == u64::MAX {
+                "-".to_string()
+            } else {
+                info.silence_ms.to_string()
+            };
             println!(
-                "locod: {addr}: role={role} epoch={} next_seq={}{}",
+                "locod: {addr}: role={role} epoch={} next_seq={} silence_ms={silence}{}",
                 info.epoch,
                 info.next_seq,
                 if promote { " (promoted)" } else { "" },
@@ -579,6 +586,10 @@ impl ReplTransport for TcpReplTransport {
             last_seq,
             image: image.to_vec(),
         })
+    }
+
+    fn status(&self) -> Result<ReplInfo, String> {
+        self.roundtrip(DmsRequest::ReplStatus {})
     }
 }
 
