@@ -115,6 +115,10 @@ pub struct LocoClient {
     /// Allocation counters at `begin`, taken only for sampled ops so
     /// the unsampled path stays two branches with no TLS reads.
     op_alloc0: Option<loco_obs::AllocSnapshot>,
+    /// Per-op wall-clock budget (`LOCO_OP_DEADLINE_MS`), stamped onto
+    /// the call context at `begin` so every RPC the op fans out to
+    /// carries its remaining share and servers can drop it once stale.
+    op_deadline: Option<std::time::Duration>,
     /// Caller user id (permission checks).
     pub uid: u32,
     /// Caller group id (permission checks).
@@ -189,6 +193,11 @@ impl LocoClient {
             watchdog: obs.watchdog,
             op_start: 0,
             op_alloc0: None,
+            op_deadline: std::env::var("LOCO_OP_DEADLINE_MS")
+                .ok()
+                .and_then(|v| v.trim().parse::<u64>().ok())
+                .filter(|&ms| ms > 0)
+                .map(std::time::Duration::from_millis),
             uid,
             gid,
         }
@@ -199,6 +208,12 @@ impl LocoClient {
     fn begin(&mut self) {
         debug_assert_eq!(self.ctx.round_trips(), 0, "nested op");
         self.op_start = self.clock;
+        // The ctx is reused across ops, so the budget is re-armed (or
+        // cleared) here rather than inherited from the previous op.
+        match self.op_deadline {
+            Some(d) => self.ctx.set_deadline(d),
+            None => self.ctx.clear_deadline(),
+        }
         // Head-based sampling: the decision is made once here, so a
         // sampled op carries a complete span tree and an unsampled op
         // costs a single branch.

@@ -42,6 +42,7 @@ fn probe_policy() -> RetryPolicy {
         deadline: Duration::from_millis(300),
         connect_timeout: Duration::from_millis(300),
         reconnect_window: Duration::ZERO,
+        ..RetryPolicy::default()
     }
 }
 
@@ -140,6 +141,13 @@ impl FailoverDms {
             | RpcError::ConnectionLost(_)
             | RpcError::Timeout { .. } => true,
             RpcError::Exhausted { last, .. } => Self::failover_worthy(last),
+            // The breaker only opens after repeated exhaustion against one
+            // address — exactly when hunting for a new primary pays off.
+            RpcError::CircuitOpen { .. } => true,
+            RpcError::MaybeApplied { last, .. } => Self::failover_worthy(last),
+            // Overloaded/Expired mean the server is alive and answering;
+            // redialing another address would just spread the load spike.
+            RpcError::Overloaded | RpcError::Expired => false,
             RpcError::Decode(_) => false,
         }
     }

@@ -838,6 +838,33 @@ impl Service for DirServer {
             DmsRequest::Promote {} => "Promote",
         }
     }
+
+    /// Read-only wire tags (GetDir=2, StatDir=3, ReaddirSubdirs=4,
+    /// CheckAccess=7, ReplStatus=14) are never shed by admission
+    /// control; everything else mutates.
+    fn tag_mutates(tag: u8) -> bool {
+        !matches!(tag, 2 | 3 | 4 | 7 | 14)
+    }
+
+    /// Reads are trivially idempotent; `SetDirAttr` sets absolute
+    /// values and the replication stream (`ReplAppend`/`ReplSnapshot`)
+    /// is sequence-guarded, so re-sending after an ambiguous loss is
+    /// safe. `Mkdir`/`Rmdir`/`RenameDir`/dirent edits/`Promote` are
+    /// not: a blind re-send can double-apply (e.g. `AlreadyExists` on
+    /// a mkdir that did land) — those surface `MaybeApplied`.
+    fn req_idempotent(req: &DmsRequest) -> bool {
+        matches!(
+            req,
+            DmsRequest::GetDir { .. }
+                | DmsRequest::StatDir { .. }
+                | DmsRequest::ReaddirSubdirs { .. }
+                | DmsRequest::CheckAccess { .. }
+                | DmsRequest::SetDirAttr { .. }
+                | DmsRequest::ReplAppend { .. }
+                | DmsRequest::ReplSnapshot { .. }
+                | DmsRequest::ReplStatus {}
+        )
+    }
 }
 
 /// The error a response carries, if any — the one choke point where

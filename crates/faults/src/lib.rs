@@ -37,6 +37,9 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
 
+pub mod proxy;
+pub use proxy::{ctl_send, ChaosProxy};
+
 /// One armed fault: a site name, the 1-based hit number to trigger on,
 /// and the live hit counter.
 struct Armed {

@@ -732,6 +732,24 @@ impl Service for FileServer {
             FmsRequest::PutFile { .. } => "PutFile",
         }
     }
+
+    /// Reads (Open/Stat/GetContent/Access/ListFiles/ListFilesPlus/CountFiles)
+    /// never touch the WAL and keep draining under overload; everything else
+    /// is a mutation and is eligible for load shedding.
+    fn tag_mutates(tag: u8) -> bool {
+        !matches!(tag, 1 | 2 | 3 | 4 | 10 | 11 | 12)
+    }
+
+    /// Safe to blind-retry: all reads, plus attribute/content setters that
+    /// overwrite with caller-supplied values (re-applying is a no-op).
+    /// Create/Remove/TakeFile are existence-sensitive and stay non-idempotent
+    /// so an ambiguous outcome surfaces as `MaybeApplied`.
+    fn req_idempotent(req: &FmsRequest) -> bool {
+        !matches!(
+            req,
+            FmsRequest::Create { .. } | FmsRequest::Remove { .. } | FmsRequest::TakeFile { .. }
+        )
+    }
 }
 
 /// The error a response carries, if any — the one choke point where

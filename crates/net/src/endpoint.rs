@@ -35,6 +35,26 @@ pub trait Service: Send {
         "req"
     }
 
+    /// Whether the request behind a given wire body tag mutates server
+    /// state. Consulted by the overloaded server *before decoding* the
+    /// request body, so sheds stay cheap: mutations past the admission
+    /// watermark are rejected with `Overloaded` while reads drain. The
+    /// conservative default treats every tag as a mutation (sheddable —
+    /// never lets an unknown tag bypass admission control).
+    fn tag_mutates(_tag: u8) -> bool {
+        true
+    }
+
+    /// Whether retrying this request after an *ambiguous* failure
+    /// (timeout or connection loss — the ack may or may not have been
+    /// applied) is safe. Idempotent requests (reads, absolute-value
+    /// sets) may be re-sent blindly; for the rest the client surfaces
+    /// [`RpcError::MaybeApplied`] on exhaustion instead of pretending
+    /// the op never ran. The conservative default is non-idempotent.
+    fn req_idempotent(_req: &Self::Req) -> bool {
+        false
+    }
+
     /// Numeric span attributes describing the *last* handled request —
     /// typically the software-vs-KV split of `take_cost` plus KV byte
     /// volumes. Read after `take_cost`, for traced calls and for
@@ -150,6 +170,10 @@ pub struct CallCtx {
     /// Present only for sampled ops; boxed so the untraced hot path
     /// stays one pointer wide.
     trace: Option<Box<OpTrace>>,
+    /// Wall-clock point after which the operation's caller no longer
+    /// cares about the result. Propagated as a remaining-budget field
+    /// in every request frame so servers can drop dead work.
+    deadline: Option<Instant>,
 }
 
 impl CallCtx {
@@ -161,6 +185,28 @@ impl CallCtx {
     /// Record one server visit.
     pub fn record(&mut self, server: ServerId, service: Nanos) {
         self.visits.push(Visit { server, service });
+    }
+
+    // ----- deadline budget ------------------------------------------
+
+    /// Give the current operation a wall-clock deadline, measured from
+    /// now. Every subsequent RPC encodes the *remaining* budget into
+    /// its request frame; servers drop the request once it expires.
+    pub fn set_deadline(&mut self, budget: std::time::Duration) {
+        self.deadline = Some(Instant::now() + budget);
+    }
+
+    /// Clear the operation deadline (ops after this call carry no
+    /// budget and are never expired server-side).
+    pub fn clear_deadline(&mut self) {
+        self.deadline = None;
+    }
+
+    /// Budget left before the operation deadline: `None` when no
+    /// deadline is set, `Some(ZERO)` once it has passed.
+    pub fn remaining_budget(&self) -> Option<std::time::Duration> {
+        self.deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
     }
 
     // ----- span tracing ---------------------------------------------
@@ -276,6 +322,33 @@ pub enum RpcError {
         /// The server's fencing epoch.
         epoch: u64,
     },
+    /// The server shed the request at admission (past its inflight or
+    /// queue watermark) without decoding or executing it. Retryable
+    /// after a capped pushback delay — never an immediate redial.
+    Overloaded,
+    /// The request's deadline budget ran out — either client-side
+    /// before sending, or server-side while the request sat in a
+    /// queue. The op was *not* executed. Not retried: the caller
+    /// already stopped caring.
+    Expired,
+    /// A non-idempotent request exhausted its retries on an
+    /// *ambiguous* failure (timeout / connection loss after the bytes
+    /// left): the mutation may or may not have been applied. The
+    /// caller must reconcile (e.g. treat `AlreadyExists` on re-issue
+    /// as success) rather than blindly re-send.
+    MaybeApplied {
+        /// How many attempts were made.
+        attempts: u32,
+        /// The ambiguous error of the last attempt.
+        last: Box<RpcError>,
+    },
+    /// The per-address circuit breaker is open after consecutive
+    /// exhaustions: the call failed fast without touching the network.
+    /// The breaker half-opens with a probe once the cooldown elapses.
+    CircuitOpen {
+        /// Cooldown before the next half-open probe, in milliseconds.
+        cooldown_ms: u64,
+    },
     /// All retry attempts failed; carries the final attempt's error.
     Exhausted {
         /// How many attempts were made.
@@ -296,6 +369,22 @@ impl std::fmt::Display for RpcError {
             RpcError::Decode(e) => write!(f, "undecodable reply: {e}"),
             RpcError::FencedEpoch { epoch } => {
                 write!(f, "server fenced (not primary, epoch {epoch})")
+            }
+            RpcError::Overloaded => {
+                write!(f, "server overloaded (request shed at admission)")
+            }
+            RpcError::Expired => {
+                write!(f, "request deadline budget expired before execution")
+            }
+            RpcError::MaybeApplied { attempts, last } => {
+                write!(
+                    f,
+                    "non-idempotent rpc ambiguous after {attempts} attempts \
+                     (may have been applied): {last}"
+                )
+            }
+            RpcError::CircuitOpen { cooldown_ms } => {
+                write!(f, "circuit breaker open (retry in {cooldown_ms} ms)")
             }
             RpcError::Exhausted { attempts, last } => {
                 write!(f, "rpc failed after {attempts} attempts: {last}")

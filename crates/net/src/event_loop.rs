@@ -38,7 +38,10 @@ use crate::endpoint::Service;
 use crate::frame::{crc32, decode_header, encode_frame, FrameKind, HEADER_LEN, MAX_PAYLOAD};
 use crate::metrics::ServerMetrics;
 use crate::poller::{Interest, Poller};
-use crate::rpc::{Control, ControlReply, RpcRequest, RpcResponse, SpanReply};
+use crate::rpc::{
+    peek_body_tag, peek_budget_ms, Control, ControlReply, RpcRequest, RpcResponse, SpanReply,
+    REJECT_EXPIRED, REJECT_OVERLOADED,
+};
 use crate::tcp::{lock, run_maintain, ServeOptions};
 use loco_sim::des::ServerId;
 use loco_sim::time::Nanos;
@@ -73,6 +76,20 @@ const WAKE_TOKEN: u64 = u64::MAX;
 /// thread-per-connection server did).
 fn group_commit_enabled() -> bool {
     match std::env::var("LOCO_GROUP_COMMIT") {
+        Ok(v) => !matches!(
+            v.trim().to_ascii_lowercase().as_str(),
+            "off" | "0" | "false" | "no"
+        ),
+        Err(_) => true,
+    }
+}
+
+/// `LOCO_GUARD=off|0|false|no` disables the loco-guard server-side
+/// protections (deadline expiry drops and admission-control sheds) —
+/// the pre-guard behaviour, kept as the baseline arm for the overload
+/// bench.
+pub(crate) fn guard_enabled() -> bool {
+    match std::env::var("LOCO_GUARD") {
         Ok(v) => !matches!(
             v.trim().to_ascii_lowercase().as_str(),
             "off" | "0" | "false" | "no"
@@ -124,6 +141,14 @@ struct CommitWaiter {
     worker: usize,
     slot: usize,
     gen: u64,
+    req_id: u64,
+    /// The request's `req_label`, for the expiry counter.
+    op: &'static str,
+    /// Deadline derived from the request's budget; a waiter still
+    /// parked past this point is dropped by the committer *before*
+    /// staging its fsync (the caller gave up — dead work must not cost
+    /// a flush).
+    expires_at: Option<Instant>,
     frame: Vec<u8>,
 }
 
@@ -138,6 +163,10 @@ struct CommitState {
 struct CommitShared {
     state: Mutex<CommitState>,
     cv: Condvar,
+    /// Lock-free mirror of `state.waiters.len()`, read by workers for
+    /// the `--shed-watermark` admission check without touching the
+    /// commit mutex on the reject path. Updated under the state lock.
+    depth: AtomicUsize,
 }
 
 /// One fsync per swapped batch; replies released only afterwards.
@@ -180,9 +209,31 @@ fn committer_loop<S: Service>(
                 }
                 seen = st.waiters.len();
             }
+            shared.depth.store(0, Ordering::Relaxed);
             std::mem::take(&mut st.waiters)
         };
-        let staged = {
+        // Deadline check at the last possible moment before staging:
+        // a waiter whose budget ran out while parked is dropped here —
+        // its caller already gave up, so its ack is dead work. The WAL
+        // records it appended stay buffered (they ride the next live
+        // batch or the drain flush), but they never *cause* an fsync:
+        // an all-expired batch skips the stage entirely.
+        let now = Instant::now();
+        let (expired, batch): (Vec<_>, Vec<_>) = batch
+            .into_iter()
+            .partition(|w| w.expires_at.is_some_and(|t| now >= t));
+        for w in &expired {
+            if let Some(m) = &metrics {
+                m.expired(w.op);
+            }
+        }
+        if !expired.is_empty() {
+            loco_log::debug!("wal.commit", "expired parked replies dropped before fsync";
+                expired = expired.len() as u64, live = batch.len() as u64);
+        }
+        let staged = if batch.is_empty() {
+            None
+        } else {
             let mut svc = lock(&svc);
             // Crash here: records of the batch hit the WAL but were
             // never fsynced, and no ack left — recovery may lose them
@@ -233,6 +284,16 @@ fn committer_loop<S: Service>(
                 frame: if aborted { Vec::new() } else { w.frame },
             });
         }
+        // Expired waiters still flow back as one Error frame each so
+        // per-connection inflight accounting stays balanced and the
+        // client learns immediately instead of timing out.
+        for w in expired {
+            by_worker[w.worker].push(ReplyMsg {
+                slot: w.slot,
+                gen: w.gen,
+                frame: encode_frame(FrameKind::Error, w.req_id, &[REJECT_EXPIRED]),
+            });
+        }
         for (worker, replies) in by_worker.into_iter().enumerate() {
             if !replies.is_empty() {
                 workers[worker].send(InboxMsg::Replies(replies));
@@ -254,6 +315,11 @@ struct ConnState {
     /// Outbound reply bytes not yet accepted by the socket.
     out: Vec<u8>,
     out_pos: usize,
+    /// When the oldest unparsed byte in `read_buf` arrived — the
+    /// request arrival time the deadline-budget check measures from.
+    /// Conservative under pipelining (later frames of one read share
+    /// the stamp of the first).
+    buf_stamp: Instant,
     /// Replies parked in the group committer for this connection.
     inflight: usize,
     interest: Interest,
@@ -290,6 +356,12 @@ struct Worker<S: Service> {
     slot_gen: Vec<u64>,
     free: Vec<usize>,
     draining: bool,
+    /// loco-guard master switch (`LOCO_GUARD`), sampled once at boot.
+    guard: bool,
+    /// Replies this worker currently has parked in the group committer
+    /// — the "per-worker inflight" the `--max-inflight` admission
+    /// watermark measures.
+    parked_total: usize,
 }
 
 impl<S> Worker<S>
@@ -371,6 +443,11 @@ where
                 InboxMsg::Conn(stream) => self.add_conn(stream),
                 InboxMsg::Replies(replies) => {
                     for ReplyMsg { slot, gen, frame } in replies {
+                        // Every parked waiter produces exactly one
+                        // reply message, delivered or not — the
+                        // admission watermark tracks parked work, not
+                        // live connections.
+                        self.parked_total = self.parked_total.saturating_sub(1);
                         let live = self.conns.get(slot).and_then(|c| c.as_ref());
                         if live.is_some_and(|c| c.gen == gen) {
                             let conn = self.conns[slot].as_mut().unwrap();
@@ -418,6 +495,7 @@ where
             read_pos: 0,
             out: Vec::new(),
             out_pos: 0,
+            buf_stamp: Instant::now(),
             inflight: 0,
             interest: Interest::READ,
             peer_closed: false,
@@ -454,8 +532,9 @@ where
                         let ok = match kind {
                             FrameKind::Request => self.dispatch_request(slot, req_id, payload),
                             FrameKind::Control => self.dispatch_control(slot, &payload),
-                            // A client must never send Response frames.
-                            FrameKind::Response => Err(()),
+                            // A client must never send Response or
+                            // Error frames.
+                            FrameKind::Response | FrameKind::Error => Err(()),
                         };
                         if ok.is_err() {
                             self.close_conn(slot);
@@ -484,7 +563,15 @@ where
                     conn.peer_closed = true;
                     break;
                 }
-                Ok(n) => conn.read_buf.extend_from_slice(&chunk[..n]),
+                Ok(n) => {
+                    if !conn.buffered() {
+                        // The buffer was fully parsed: these bytes are
+                        // the oldest unconsumed ones — (re)stamp their
+                        // arrival for the deadline-budget check.
+                        conn.buf_stamp = Instant::now();
+                    }
+                    conn.read_buf.extend_from_slice(&chunk[..n]);
+                }
                 Err(e)
                     if e.kind() == std::io::ErrorKind::WouldBlock
                         || e.kind() == std::io::ErrorKind::Interrupted =>
@@ -540,6 +627,52 @@ where
     /// park the reply with the committer (durable mutation, group
     /// commit active) or queue it for writing directly.
     fn dispatch_request(&mut self, slot: usize, req_id: u64, payload: Vec<u8>) -> Result<(), ()> {
+        let arrived = self.conns[slot].as_ref().ok_or(())?.buf_stamp;
+        let guard_on = self.guard && !self.draining;
+        // Deadline derived from the frame's budget field (0 = none).
+        // Peeked, not decoded — expired and shed requests must be
+        // rejected before the codec or the service lock touch them.
+        let deadline = match peek_budget_ms(&payload) {
+            Some(b) if guard_on && b > 0 => Some(arrived + Duration::from_millis(b as u64)),
+            _ => None,
+        };
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            // Budget consumed while the bytes sat in this worker's
+            // read buffer (admission backpressure): the caller gave
+            // up — drop without executing. Decode only for the label.
+            let op = RpcRequest::<S::Req>::from_wire(&payload)
+                .map(|r| S::req_label(&r.body))
+                .unwrap_or("?");
+            if let Some(m) = &self.srv_metrics {
+                m.expired(op);
+            }
+            let frame = encode_frame(FrameKind::Error, req_id, &[REJECT_EXPIRED]);
+            self.push_out(slot, &frame);
+            return Ok(());
+        }
+        if guard_on && peek_body_tag(&payload).map_or(true, S::tag_mutates) {
+            // Admission control: past the watermarks, mutations are
+            // shed with a fast pre-decode reject (no WAL touch) while
+            // reads still drain.
+            let inflight_hit =
+                self.opts.max_inflight > 0 && self.parked_total >= self.opts.max_inflight;
+            let queue_hit = self.opts.shed_watermark > 0
+                && self.commit.as_ref().is_some_and(|c| {
+                    c.depth.load(Ordering::Relaxed) >= self.opts.shed_watermark
+                });
+            if inflight_hit || queue_hit {
+                if let Some(m) = &self.srv_metrics {
+                    if inflight_hit {
+                        m.shed_inflight();
+                    } else {
+                        m.shed_queue();
+                    }
+                }
+                let frame = encode_frame(FrameKind::Error, req_id, &[REJECT_OVERLOADED]);
+                self.push_out(slot, &frame);
+                return Ok(());
+            }
+        }
         let rpc = RpcRequest::<S::Req>::from_wire(&payload).map_err(|_| ())?;
         let traced = rpc.trace.is_some_and(|t| t.sampled);
         let op = S::req_label(&rpc.body);
@@ -557,6 +690,23 @@ where
         // As with the in-process endpoints: queue wait is the real time
         // spent waiting for the single-writer service, here the mutex.
         let queue_ns = received.elapsed().as_nanos() as Nanos;
+        // Re-check the deadline now that the lock is held: the mutex
+        // wait is the dominant queue on a loaded server, and a request
+        // that expired in it must not execute (this is what makes
+        // "expired requests never reach the WAL" exact, not
+        // best-effort).
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            drop(guard);
+            if let Some(m) = &self.opts.metrics {
+                m.abort();
+            }
+            if let Some(m) = &self.srv_metrics {
+                m.expired(op);
+            }
+            let frame = encode_frame(FrameKind::Error, req_id, &[REJECT_EXPIRED]);
+            self.push_out(slot, &frame);
+            return Ok(());
+        }
         let alloc0 = loco_obs::alloc::snapshot();
         let body = guard.handle(rpc.body);
         let (allocs, alloc_bytes) = alloc0.delta();
@@ -616,14 +766,19 @@ where
             let conn = self.conns[slot].as_mut().ok_or(())?;
             conn.inflight += 1;
             let gen = conn.gen;
+            self.parked_total += 1;
             let mut st = lock(&c.state);
             let was_empty = st.waiters.is_empty();
             st.waiters.push(CommitWaiter {
                 worker: self.idx,
                 slot,
                 gen,
+                req_id,
+                op,
+                expires_at: deadline,
                 frame,
             });
+            c.depth.store(st.waiters.len(), Ordering::Relaxed);
             // Only the batch-opening waiter needs to wake the committer
             // — it drains the whole queue, and its aggregation window
             // picks up later arrivals on its own timer. Skipping the
@@ -842,6 +997,7 @@ pub(crate) fn run<S>(
     } else {
         opts.workers.min(64)
     };
+    let guard = guard_enabled();
     let deferred = group_commit_enabled() && lock(&svc).defer_sync(true);
     let commit = deferred.then(|| {
         Arc::new(CommitShared {
@@ -850,6 +1006,7 @@ pub(crate) fn run<S>(
                 producing: n_workers,
             }),
             cv: Condvar::new(),
+            depth: AtomicUsize::new(0),
         })
     });
     let open = Arc::new(AtomicUsize::new(0));
@@ -886,6 +1043,8 @@ pub(crate) fn run<S>(
             slot_gen: Vec::new(),
             free: Vec::new(),
             draining: false,
+            guard,
+            parked_total: 0,
         };
         if let Ok(h) = std::thread::Builder::new()
             .name(format!("locod-worker-{i}"))

@@ -32,7 +32,12 @@ pub const MAGIC: [u8; 2] = *b"LW";
 ///   `span` and `body`, and `ReplInfo` gained `silence_ms`; a v1 peer
 ///   would mis-decode every reply, so the version gate turns a mixed
 ///   rolling upgrade into a clean connection error instead.
-pub const VERSION: u8 = 2;
+/// * v3 — `RpcRequest` gained a leading fixed-width `budget_ms`
+///   deadline field (loco-guard), and [`FrameKind::Error`] was added
+///   for fast guard rejections (shed / expired). A v2 peer would read
+///   the budget bytes as the trace tag, so again: clean header-level
+///   rejection, no negotiation.
+pub const VERSION: u8 = 3;
 /// Fixed header size in bytes.
 pub const HEADER_LEN: usize = 20;
 /// Hard cap on a frame payload — matches the codec's
@@ -48,6 +53,12 @@ pub enum FrameKind {
     Response,
     /// A `Control` message (ping, metrics scrape, shutdown).
     Control,
+    /// A guard rejection (server → client), `req_id` echoes the
+    /// request. Payload is a single reject-code byte
+    /// ([`crate::rpc::REJECT_OVERLOADED`] / [`crate::rpc::REJECT_EXPIRED`])
+    /// — cheap enough to send for a request the server refused to
+    /// decode.
+    Error,
 }
 
 impl FrameKind {
@@ -56,6 +67,7 @@ impl FrameKind {
             FrameKind::Request => 0,
             FrameKind::Response => 1,
             FrameKind::Control => 2,
+            FrameKind::Error => 3,
         }
     }
 
@@ -64,6 +76,7 @@ impl FrameKind {
             0 => Some(FrameKind::Request),
             1 => Some(FrameKind::Response),
             2 => Some(FrameKind::Control),
+            3 => Some(FrameKind::Error),
             _ => None,
         }
     }
@@ -191,6 +204,15 @@ mod tests {
         let bytes = encode_frame(FrameKind::Control, 0, b"");
         let frame = read_frame(&mut &bytes[..]).unwrap().unwrap();
         assert_eq!(frame.payload, b"");
+    }
+
+    #[test]
+    fn error_kind_roundtrip() {
+        let bytes = encode_frame(FrameKind::Error, 9, &[1]);
+        let frame = read_frame(&mut &bytes[..]).unwrap().unwrap();
+        assert_eq!(frame.kind, FrameKind::Error);
+        assert_eq!(frame.req_id, 9);
+        assert_eq!(frame.payload, [1]);
     }
 
     #[test]

@@ -50,7 +50,10 @@ pub use endpoint::{
 };
 pub use metrics::{role_name, EndpointMetrics, ServerMetrics};
 pub use poller::{Interest, Poller, PollerEvent};
-pub use rpc::{Control, ControlReply, ReplStamp, RpcRequest, RpcResponse, SpanReply};
+pub use rpc::{
+    Control, ControlReply, ReplStamp, RpcRequest, RpcResponse, SpanReply, REJECT_EXPIRED,
+    REJECT_OVERLOADED,
+};
 pub use tcp::{
     control, serve_tcp, serve_tcp_shared, RetryPolicy, ServeOptions, TcpEndpoint, TcpServerGuard,
 };

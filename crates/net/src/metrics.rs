@@ -29,7 +29,11 @@
 //! * `loco_alloc_per_op{role,server,op}` /
 //!   `loco_alloc_bytes_per_op{role,server,op}` — heap allocations and
 //!   bytes the handler performed per request (loco-prof counting
-//!   allocator; recorded by the server dispatch paths, always on).
+//!   allocator; recorded by the server dispatch paths, always on);
+//! * `loco_rpc_retries_total{role,server}` — retry attempts the client
+//!   spent against this endpoint (loco-guard retry-budget accounting);
+//! * `loco_rpc_brkr_trips_total{role,server}` — client circuit-breaker
+//!   trips for this endpoint's address.
 //!
 //! [`Service::req_label`]: crate::Service::req_label
 
@@ -61,6 +65,8 @@ pub struct EndpointMetrics {
     service: Arc<LogHistogram>,
     queue_wait: Arc<LogHistogram>,
     inflight: Arc<Gauge>,
+    retries: Arc<Counter>,
+    brkr_trips: Arc<Counter>,
     per_op: Mutex<HashMap<&'static str, OpHandles>>,
 }
 
@@ -85,6 +91,8 @@ impl EndpointMetrics {
             service: registry.histogram("loco_rpc_service_nanos", &labels),
             queue_wait: registry.histogram("loco_rpc_queue_wait_nanos", &labels),
             inflight: registry.gauge("loco_rpc_inflight", &labels),
+            retries: registry.counter("loco_rpc_retries_total", &labels),
+            brkr_trips: registry.counter("loco_rpc_brkr_trips_total", &labels),
             registry: registry.clone(),
             role,
             server,
@@ -96,6 +104,14 @@ impl EndpointMetrics {
     #[inline]
     pub fn begin(&self) {
         self.inflight.inc();
+    }
+
+    /// Undo [`begin`](Self::begin) for a request that was dropped
+    /// before its handler ran (loco-guard deadline expiry): the
+    /// in-flight gauge drops without counting a handled request.
+    #[inline]
+    pub fn abort(&self) {
+        self.inflight.dec();
     }
 
     /// Record a completed request: `op` is the RPC-type label,
@@ -176,6 +192,29 @@ impl EndpointMetrics {
     pub fn service_total(&self) -> u64 {
         self.service.sum()
     }
+
+    /// A retry attempt was spent against this endpoint (loco-guard
+    /// retry budget accounting — first attempts are not retries).
+    #[inline]
+    pub fn retry(&self) {
+        self.retries.inc();
+    }
+
+    /// The per-address circuit breaker tripped open.
+    #[inline]
+    pub fn breaker_trip(&self) {
+        self.brkr_trips.inc();
+    }
+
+    /// Retries recorded so far (test hook).
+    pub fn retries(&self) -> u64 {
+        self.retries.get()
+    }
+
+    /// Breaker trips recorded so far (test hook).
+    pub fn breaker_trips(&self) -> u64 {
+        self.brkr_trips.get()
+    }
 }
 
 /// Instrumentation for the event-driven server core itself (as opposed
@@ -192,13 +231,27 @@ impl EndpointMetrics {
 /// * `loco_srv_pipeline_depth` — requests parsed per readable pass on
 ///   one connection (the observed client pipelining depth);
 /// * `loco_wal_batch_size` — WAL records covered by one group-commit
-///   fsync. `sum > count` proves cross-connection batching happened.
+///   fsync. `sum > count` proves cross-connection batching happened;
+/// * `loco_server_shed{reason}` — requests rejected at admission
+///   (loco-guard), split by `reason="inflight"` (per-server parked
+///   mutations over `--max-inflight`) vs `reason="queue"` (group-commit
+///   queue over `--shed-watermark`);
+/// * `loco_server_expired{op}` — requests dropped because their
+///   deadline budget ran out in a server queue (never executed, never
+///   fsynced).
 pub struct ServerMetrics {
+    registry: Arc<MetricsRegistry>,
+    role: &'static str,
+    server: String,
     open_conns: Arc<Gauge>,
     conns_shed: Arc<Counter>,
     wakeups: Arc<Counter>,
     pipeline_depth: Arc<LogHistogram>,
     wal_batch: Arc<LogHistogram>,
+    shed_inflight: Arc<Counter>,
+    shed_queue: Arc<Counter>,
+    expired_unknown: Arc<Counter>,
+    expired_per_op: Mutex<HashMap<&'static str, Arc<Counter>>>,
 }
 
 impl ServerMetrics {
@@ -213,6 +266,22 @@ impl ServerMetrics {
             wakeups: registry.counter("loco_epoll_wakeups_total", &labels),
             pipeline_depth: registry.histogram("loco_srv_pipeline_depth", &labels),
             wal_batch: registry.histogram("loco_wal_batch_size", &labels),
+            shed_inflight: registry.counter(
+                "loco_server_shed",
+                &[("role", role), ("server", &server), ("reason", "inflight")],
+            ),
+            shed_queue: registry.counter(
+                "loco_server_shed",
+                &[("role", role), ("server", &server), ("reason", "queue")],
+            ),
+            expired_unknown: registry.counter(
+                "loco_server_expired",
+                &[("role", role), ("server", &server), ("op", "?")],
+            ),
+            registry: registry.clone(),
+            role,
+            server,
+            expired_per_op: Mutex::new(HashMap::new()),
         })
     }
 
@@ -252,6 +321,60 @@ impl ServerMetrics {
     #[inline]
     pub fn wal_batch(&self, records: u64) {
         self.wal_batch.record(records);
+    }
+
+    /// A mutation was shed at admission because the per-server parked
+    /// inflight watermark was hit.
+    #[inline]
+    pub fn shed_inflight(&self) {
+        self.shed_inflight.inc();
+    }
+
+    /// A mutation was shed at admission because the group-commit queue
+    /// watermark was hit.
+    #[inline]
+    pub fn shed_queue(&self) {
+        self.shed_queue.inc();
+    }
+
+    /// A request's deadline budget ran out in a server queue; `op` is
+    /// its `req_label` when the label was recoverable, `"?"` otherwise.
+    pub fn expired(&self, op: &'static str) {
+        if op == "?" {
+            self.expired_unknown.inc();
+            return;
+        }
+        let mut map = self
+            .expired_per_op
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        map.entry(op)
+            .or_insert_with(|| {
+                self.registry.counter(
+                    "loco_server_expired",
+                    &[
+                        ("role", self.role),
+                        ("server", self.server.as_str()),
+                        ("op", op),
+                    ],
+                )
+            })
+            .inc();
+    }
+
+    /// Total requests shed at admission, across both reasons (test
+    /// hook).
+    pub fn shed_total(&self) -> u64 {
+        self.shed_inflight.get() + self.shed_queue.get()
+    }
+
+    /// Total requests expired in a server queue (test hook).
+    pub fn expired_total(&self) -> u64 {
+        let map = self
+            .expired_per_op
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        self.expired_unknown.get() + map.values().map(|c| c.get()).sum::<u64>()
     }
 
     /// Currently open connections (test hook).

@@ -129,6 +129,15 @@ fn get_trace_ctx(buf: &mut &[u8]) -> WireResult<TraceCtx> {
 /// Client → server payload of a `Request` frame.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RpcRequest<Req> {
+    /// Remaining deadline budget of the caller's operation in
+    /// milliseconds, measured when the frame was (re)sent; `0` means
+    /// "no deadline". Servers drop the request (without executing it)
+    /// once this much time has passed since the frame arrived. Encoded
+    /// *first* and fixed-width so the server can read it — and the
+    /// body tag behind it — before decoding anything. Adding this
+    /// field changed the request codec — frame protocol v3
+    /// ([`crate::frame::VERSION`]).
+    pub budget_ms: u32,
     /// Trace propagation context of the caller's sampled op, if any —
     /// asks the server to attach a [`SpanReply`].
     pub trace: Option<TraceCtx>,
@@ -138,6 +147,7 @@ pub struct RpcRequest<Req> {
 
 impl<Req: Wire> Wire for RpcRequest<Req> {
     fn put(&self, out: &mut Vec<u8>) {
+        self.budget_ms.put(out);
         match &self.trace {
             None => out.push(0),
             Some(t) => {
@@ -148,17 +158,73 @@ impl<Req: Wire> Wire for RpcRequest<Req> {
         self.body.put(out);
     }
     fn get(buf: &mut &[u8]) -> WireResult<Self> {
+        let budget_ms = u32::get(buf)?;
         let trace = match u8::get(buf)? {
             0 => None,
             1 => Some(get_trace_ctx(buf)?),
             tag => return Err(WireError::BadTag { what: "trace", tag }),
         };
         Ok(RpcRequest {
+            budget_ms,
             trace,
             body: Req::get(buf)?,
         })
     }
 }
+
+// ----- guard fast-path peeking ------------------------------------------
+
+/// Byte offset of the `budget_ms` field in an encoded [`RpcRequest`].
+const REQ_BUDGET_OFF: usize = 0;
+/// Byte offset of the trace presence tag in an encoded [`RpcRequest`].
+const REQ_TRACE_OFF: usize = 4;
+/// Encoded size of a [`TraceCtx`] (u64 + u32 + u32 + bool).
+const TRACE_CTX_LEN: usize = 17;
+
+/// Read the `budget_ms` field out of an encoded [`RpcRequest`] payload
+/// without decoding it. `None` if the payload is too short to be one.
+pub fn peek_budget_ms(payload: &[u8]) -> Option<u32> {
+    let b = payload.get(REQ_BUDGET_OFF..REQ_BUDGET_OFF + 4)?;
+    Some(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+}
+
+/// Overwrite the `budget_ms` field of an already-encoded
+/// [`RpcRequest`] payload in place (the client restamps the remaining
+/// budget on every retry attempt without re-encoding the body). False
+/// if the payload is too short.
+pub fn restamp_budget_ms(payload: &mut [u8], budget_ms: u32) -> bool {
+    match payload.get_mut(REQ_BUDGET_OFF..REQ_BUDGET_OFF + 4) {
+        Some(b) => {
+            b.copy_from_slice(&budget_ms.to_le_bytes());
+            true
+        }
+        None => false,
+    }
+}
+
+/// Read the request-body enum tag out of an encoded [`RpcRequest`]
+/// payload without decoding it — the first body byte sits right after
+/// the fixed-width budget and the (optional, fixed-width) trace
+/// context. `None` when the payload is malformed; the caller falls
+/// back to the conservative path (full decode / treat as mutation).
+pub fn peek_body_tag(payload: &[u8]) -> Option<u8> {
+    let body_off = match *payload.get(REQ_TRACE_OFF)? {
+        0 => REQ_TRACE_OFF + 1,
+        1 => REQ_TRACE_OFF + 1 + TRACE_CTX_LEN,
+        _ => return None,
+    };
+    payload.get(body_off).copied()
+}
+
+// ----- guard reject codes -----------------------------------------------
+
+/// Payload byte of a [`crate::frame::FrameKind::Error`] frame: the
+/// request was shed at admission (server past its inflight or
+/// queue-depth watermark).
+pub const REJECT_OVERLOADED: u8 = 1;
+/// Payload byte of a [`crate::frame::FrameKind::Error`] frame: the
+/// request's deadline budget expired while it sat in a server queue.
+pub const REJECT_EXPIRED: u8 = 2;
 
 /// Replication stamp a replicated service attaches to every reply:
 /// the server's fencing epoch, and whether the request was *rejected*
@@ -374,6 +440,7 @@ mod tests {
     #[test]
     fn rpc_request_roundtrip_with_and_without_trace() {
         let req = RpcRequest {
+            budget_ms: 1500,
             trace: Some(TraceCtx {
                 trace_id: 99,
                 span_id: 1,
@@ -384,14 +451,47 @@ mod tests {
         };
         let back = RpcRequest::<u64>::from_wire(&req.to_wire()).unwrap();
         assert_eq!(back.trace, req.trace);
+        assert_eq!(back.budget_ms, 1500);
         assert_eq!(back.body, 7);
 
         let req = RpcRequest {
+            budget_ms: 0,
             trace: None,
             body: 7u64,
         };
         let back = RpcRequest::<u64>::from_wire(&req.to_wire()).unwrap();
         assert!(back.trace.is_none());
+        assert_eq!(back.budget_ms, 0);
+    }
+
+    #[test]
+    fn budget_peek_and_restamp_match_codec() {
+        for trace in [
+            None,
+            Some(TraceCtx {
+                trace_id: 1,
+                span_id: 2,
+                parent: 0,
+                sampled: true,
+            }),
+        ] {
+            let mut bytes = RpcRequest {
+                budget_ms: 250,
+                trace,
+                body: 0xABu8, // body tag byte for an enum would sit here
+            }
+            .to_wire();
+            assert_eq!(peek_budget_ms(&bytes), Some(250));
+            assert_eq!(peek_body_tag(&bytes), Some(0xAB));
+            assert!(restamp_budget_ms(&mut bytes, 75));
+            let back = RpcRequest::<u8>::from_wire(&bytes).unwrap();
+            assert_eq!(back.budget_ms, 75);
+            assert_eq!(back.body, 0xAB);
+        }
+        // Degenerate payloads peek to None, not panic.
+        assert_eq!(peek_budget_ms(&[1, 2]), None);
+        assert_eq!(peek_body_tag(&[0, 0, 0, 0]), None);
+        assert_eq!(peek_body_tag(&[0, 0, 0, 0, 9]), None);
     }
 
     #[test]

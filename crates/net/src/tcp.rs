@@ -46,7 +46,10 @@
 use crate::endpoint::{CallCtx, Endpoint, MaintainReport, RpcError, Service};
 use crate::frame::{write_frame, FrameKind};
 use crate::metrics::EndpointMetrics;
-use crate::rpc::{Control, ControlReply, RpcRequest, RpcResponse};
+use crate::rpc::{
+    restamp_budget_ms, Control, ControlReply, RpcRequest, RpcResponse, REJECT_EXPIRED,
+    REJECT_OVERLOADED,
+};
 use loco_obs::MetricsRegistry;
 use loco_sim::des::ServerId;
 use loco_types::wire::Wire;
@@ -81,6 +84,19 @@ pub struct RetryPolicy {
     /// [`RpcError::Exhausted`]. `ZERO` (the default) disables the
     /// window, preserving fast-fail semantics for fault tests.
     pub reconnect_window: Duration,
+    /// Retry-budget token bucket capacity, in retries (loco-guard).
+    /// The bucket starts full; each retry attempt withdraws one token
+    /// and each success deposits a tenth of one (capping the sustained
+    /// retry ratio near 10% — the knob that turns a brownout's retry
+    /// storm back into load the server can shed). `0` disables the
+    /// budget (unbounded retries, the pre-guard behaviour).
+    pub retry_budget: u32,
+    /// Consecutive call exhaustions that trip the per-address circuit
+    /// breaker into fail-fast. `0` disables the breaker.
+    pub breaker_threshold: u32,
+    /// How long a tripped breaker stays open before it half-opens and
+    /// lets one probe call through.
+    pub breaker_cooldown: Duration,
 }
 
 impl Default for RetryPolicy {
@@ -91,6 +107,9 @@ impl Default for RetryPolicy {
             deadline: Duration::from_millis(2000),
             connect_timeout: Duration::from_millis(1000),
             reconnect_window: Duration::ZERO,
+            retry_budget: 10,
+            breaker_threshold: 3,
+            breaker_cooldown: Duration::from_millis(500),
         }
     }
 }
@@ -100,7 +119,10 @@ impl RetryPolicy {
     /// `LOCO_RPC_BACKOFF_MS`, `LOCO_RPC_DEADLINE_MS` and
     /// `LOCO_RPC_RECONNECT_MS` — the fault tests shrink these to keep
     /// retry exhaustion fast; the chaos harness widens the reconnect
-    /// window to ride out a daemon restart.
+    /// window to ride out a daemon restart. The loco-guard knobs read
+    /// `LOCO_RPC_RETRY_BUDGET`, `LOCO_RPC_BRKR_THRESHOLD` and
+    /// `LOCO_RPC_BRKR_COOLDOWN_MS`; `LOCO_GUARD=off` zeroes the budget
+    /// and breaker (the baseline arm of the overload bench).
     pub fn from_env() -> Self {
         let mut p = Self::default();
         if let Some(n) = env_u64("LOCO_RPC_ATTEMPTS") {
@@ -115,12 +137,35 @@ impl RetryPolicy {
         if let Some(ms) = env_u64("LOCO_RPC_RECONNECT_MS") {
             p.reconnect_window = Duration::from_millis(ms);
         }
+        if !crate::event_loop::guard_enabled() {
+            p.retry_budget = 0;
+            p.breaker_threshold = 0;
+        }
+        if let Some(n) = env_u64("LOCO_RPC_RETRY_BUDGET") {
+            p.retry_budget = n as u32;
+        }
+        if let Some(n) = env_u64("LOCO_RPC_BRKR_THRESHOLD") {
+            p.breaker_threshold = n as u32;
+        }
+        if let Some(ms) = env_u64("LOCO_RPC_BRKR_COOLDOWN_MS") {
+            p.breaker_cooldown = Duration::from_millis(ms.max(1));
+        }
         p
     }
 }
 
 fn env_u64(key: &str) -> Option<u64> {
     std::env::var(key).ok()?.trim().parse().ok()
+}
+
+/// Encode a remaining deadline budget as the wire's `budget_ms` field:
+/// `0` means "no deadline", so a positive-but-sub-millisecond
+/// remainder rounds up to 1 rather than losing the deadline.
+fn budget_ms(rem: Option<Duration>) -> u32 {
+    match rem {
+        None => 0,
+        Some(d) => (d.as_millis() as u64).clamp(1, u32::MAX as u64) as u32,
+    }
 }
 
 /// Deterministic backoff jitter: xorshift of the attempt's request id,
@@ -140,12 +185,105 @@ fn jitter(seed: u64, backoff: Duration) -> Duration {
 
 // ----- client side ------------------------------------------------------
 
+/// Milli-tokens one retry withdraws from the budget bucket.
+const RETRY_TOKEN_MILLI: u64 = 1000;
+/// Milli-tokens one success deposits (1/10 of a retry — the ~10%
+/// sustained retry-ratio cap).
+const SUCCESS_REFILL_MILLI: u64 = 100;
+
+/// Per-address circuit breaker state.
+#[derive(Clone, Copy, Debug)]
+enum BreakerState {
+    /// Calls flow normally.
+    Closed,
+    /// Fail-fast until the cooldown instant.
+    Open { until: Instant },
+    /// Cooldown elapsed: probe calls flow; the first failure re-opens,
+    /// the first success closes.
+    HalfOpen,
+}
+
+struct Breaker {
+    state: BreakerState,
+    consec_fails: u32,
+}
+
+/// Client-side loco-guard state, shared by every clone of a
+/// [`TcpEndpoint`] (so the budget and breaker govern the *address*,
+/// not one handle).
+struct GuardState {
+    /// Retry-budget bucket in milli-tokens (see [`RETRY_TOKEN_MILLI`]).
+    tokens_milli: AtomicU64,
+    breaker: Mutex<Breaker>,
+    trips: AtomicU64,
+}
+
+impl GuardState {
+    fn new(capacity: u32) -> Self {
+        Self {
+            tokens_milli: AtomicU64::new(capacity as u64 * RETRY_TOKEN_MILLI),
+            breaker: Mutex::new(Breaker {
+                state: BreakerState::Closed,
+                consec_fails: 0,
+            }),
+            trips: AtomicU64::new(0),
+        }
+    }
+
+    /// Withdraw one retry token. `capacity == 0` disables the budget.
+    fn try_spend_retry(&self, capacity: u32) -> bool {
+        if capacity == 0 {
+            return true;
+        }
+        loop {
+            let cur = self.tokens_milli.load(Ordering::Relaxed);
+            if cur < RETRY_TOKEN_MILLI {
+                return false;
+            }
+            if self
+                .tokens_milli
+                .compare_exchange(
+                    cur,
+                    cur - RETRY_TOKEN_MILLI,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                )
+                .is_ok()
+            {
+                return true;
+            }
+        }
+    }
+
+    /// Deposit the per-success refill, capped at capacity.
+    fn deposit(&self, capacity: u32) {
+        if capacity == 0 {
+            return;
+        }
+        let cap = capacity as u64 * RETRY_TOKEN_MILLI;
+        loop {
+            let cur = self.tokens_milli.load(Ordering::Relaxed);
+            let next = (cur + SUCCESS_REFILL_MILLI).min(cap);
+            if next == cur {
+                return;
+            }
+            if self
+                .tokens_milli
+                .compare_exchange(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                return;
+            }
+        }
+    }
+}
+
 /// One pooled connection: a locked writer half, a reader thread that
 /// routes response frames to per-request reply slots, and a dead flag
 /// that poisons the connection on any socket or framing error.
 struct Conn {
     writer: Mutex<TcpStream>,
-    pending: Arc<Mutex<HashMap<u64, SyncSender<Vec<u8>>>>>,
+    pending: Arc<Mutex<HashMap<u64, SyncSender<(FrameKind, Vec<u8>)>>>>,
     dead: Arc<AtomicBool>,
 }
 
@@ -158,7 +296,7 @@ impl Conn {
         let reader = stream
             .try_clone()
             .map_err(|e| RpcError::Connect(format!("{addr}: clone: {e}")))?;
-        let pending: Arc<Mutex<HashMap<u64, SyncSender<Vec<u8>>>>> =
+        let pending: Arc<Mutex<HashMap<u64, SyncSender<(FrameKind, Vec<u8>)>>>> =
             Arc::new(Mutex::new(HashMap::new()));
         let dead = Arc::new(AtomicBool::new(false));
         let conn = Arc::new(Conn {
@@ -188,17 +326,19 @@ fn resolve(addr: &str) -> Result<SocketAddr, RpcError> {
 /// out.
 fn reader_loop(
     mut stream: TcpStream,
-    pending: Arc<Mutex<HashMap<u64, SyncSender<Vec<u8>>>>>,
+    pending: Arc<Mutex<HashMap<u64, SyncSender<(FrameKind, Vec<u8>)>>>>,
     dead: Arc<AtomicBool>,
 ) {
     loop {
         match crate::frame::read_frame(&mut stream) {
-            Ok(Some(frame)) if frame.kind == FrameKind::Response => {
+            Ok(Some(frame))
+                if matches!(frame.kind, FrameKind::Response | FrameKind::Error) =>
+            {
                 let slot = lock(&pending).remove(&frame.req_id);
                 if let Some(tx) = slot {
                     // A deadline may have fired concurrently; a closed
                     // slot just discards the late response.
-                    let _ = tx.send(frame.payload);
+                    let _ = tx.send((frame.kind, frame.payload));
                 }
             }
             Ok(Some(_)) => {} // stray control frame: ignore
@@ -220,6 +360,7 @@ pub struct TcpEndpoint<S: Service> {
     pool: Arc<Vec<Mutex<Option<Arc<Conn>>>>>,
     next_req: Arc<AtomicU64>,
     metrics: Option<Arc<EndpointMetrics>>,
+    guard: Arc<GuardState>,
     _svc: PhantomData<fn(S)>,
 }
 
@@ -232,6 +373,7 @@ impl<S: Service> Clone for TcpEndpoint<S> {
             pool: Arc::clone(&self.pool),
             next_req: Arc::clone(&self.next_req),
             metrics: self.metrics.clone(),
+            guard: Arc::clone(&self.guard),
             _svc: PhantomData,
         }
     }
@@ -261,6 +403,7 @@ impl<S: Service> TcpEndpoint<S> {
             pool: Arc::new((0..width).map(|_| Mutex::new(None)).collect()),
             next_req: Arc::new(AtomicU64::new(1)),
             metrics: None,
+            guard: Arc::new(GuardState::new(policy.retry_budget)),
             _svc: PhantomData,
         }
     }
@@ -276,6 +419,78 @@ impl<S: Service> TcpEndpoint<S> {
     /// The remote address this endpoint dials.
     pub fn addr(&self) -> &str {
         &self.addr
+    }
+
+    /// How many times this endpoint's circuit breaker has tripped
+    /// open (test hook).
+    pub fn breaker_trips(&self) -> u64 {
+        self.guard.trips.load(Ordering::Relaxed)
+    }
+
+    /// Remaining retry-budget tokens, in thousandths (test hook).
+    pub fn retry_tokens_milli(&self) -> u64 {
+        self.guard.tokens_milli.load(Ordering::Relaxed)
+    }
+
+    /// Breaker entry check: fail fast while open, transition to
+    /// half-open once the cooldown elapses.
+    fn breaker_admit(&self) -> Result<(), RpcError> {
+        if self.policy.breaker_threshold == 0 {
+            return Ok(());
+        }
+        let mut b = lock(&self.guard.breaker);
+        match b.state {
+            BreakerState::Closed | BreakerState::HalfOpen => Ok(()),
+            BreakerState::Open { until } => {
+                let now = Instant::now();
+                if now >= until {
+                    b.state = BreakerState::HalfOpen;
+                    loco_log::debug!("net.client", "circuit breaker half-open: probing";
+                        addr = format_args!("{}", self.addr));
+                    Ok(())
+                } else {
+                    Err(RpcError::CircuitOpen {
+                        cooldown_ms: until.duration_since(now).as_millis() as u64,
+                    })
+                }
+            }
+        }
+    }
+
+    /// A call succeeded: refill the retry budget and close the
+    /// breaker.
+    fn guard_success(&self) {
+        self.guard.deposit(self.policy.retry_budget);
+        if self.policy.breaker_threshold == 0 {
+            return;
+        }
+        let mut b = lock(&self.guard.breaker);
+        b.consec_fails = 0;
+        b.state = BreakerState::Closed;
+    }
+
+    /// A call exhausted its attempts: count toward the breaker
+    /// threshold; a half-open probe failure re-opens immediately.
+    fn guard_exhausted(&self) {
+        if self.policy.breaker_threshold == 0 {
+            return;
+        }
+        let mut b = lock(&self.guard.breaker);
+        b.consec_fails += 1;
+        let reopen = matches!(b.state, BreakerState::HalfOpen);
+        if reopen || b.consec_fails >= self.policy.breaker_threshold {
+            b.state = BreakerState::Open {
+                until: Instant::now() + self.policy.breaker_cooldown,
+            };
+            b.consec_fails = 0;
+            self.guard.trips.fetch_add(1, Ordering::Relaxed);
+            if let Some(m) = &self.metrics {
+                m.breaker_trip();
+            }
+            loco_log::warn!("net.client", "circuit breaker tripped open";
+                addr = format_args!("{}", self.addr),
+                cooldown_ms = self.policy.breaker_cooldown.as_millis() as u64);
+        }
     }
 
     /// Grab (or lazily open) the pooled connection for `req_id`. The
@@ -303,16 +518,16 @@ impl<S: Service> TcpEndpoint<S> {
     /// before the failure counts against the retry budget. The redial
     /// is guaranteed to dial fresh: every `ConnectionLost` path marks
     /// the connection dead before returning.
-    fn attempt(&self, req_bytes: &[u8]) -> Result<RpcResponse<S::Resp>, RpcError>
+    fn attempt(&self, req_bytes: &[u8], wait: Duration) -> Result<RpcResponse<S::Resp>, RpcError>
     where
         S::Resp: Wire,
     {
         let req_id = self.next_req.fetch_add(1, Ordering::Relaxed);
         let (conn, fresh) = self.conn_for(req_id)?;
-        match self.attempt_on(&conn, req_id, req_bytes) {
+        match self.attempt_on(&conn, req_id, req_bytes, wait) {
             Err(RpcError::ConnectionLost(_)) if !fresh => {
                 let (conn, _fresh) = self.conn_for(req_id)?;
-                self.attempt_on(&conn, req_id, req_bytes)
+                self.attempt_on(&conn, req_id, req_bytes, wait)
             }
             other => other,
         }
@@ -328,6 +543,7 @@ impl<S: Service> TcpEndpoint<S> {
     where
         S::Resp: Wire,
     {
+        self.guard_success();
         ctx.record(self.id, resp.cost);
         if let Some(span) = resp.span {
             ctx.record_span(self.id, span.op, resp.cost, span.queue_ns, span.attrs);
@@ -339,12 +555,15 @@ impl<S: Service> TcpEndpoint<S> {
         resp.body
     }
 
-    /// Send `req_bytes` as `req_id` on `conn` and await the response.
+    /// Send `req_bytes` as `req_id` on `conn` and await the response
+    /// for at most `wait` (the per-attempt deadline, already clipped to
+    /// the op's remaining budget).
     fn attempt_on(
         &self,
         conn: &Arc<Conn>,
         req_id: u64,
         req_bytes: &[u8],
+        wait: Duration,
     ) -> Result<RpcResponse<S::Resp>, RpcError>
     where
         S::Resp: Wire,
@@ -360,8 +579,17 @@ impl<S: Service> TcpEndpoint<S> {
             lock(&conn.pending).remove(&req_id);
             return Err(RpcError::ConnectionLost(e.to_string()));
         }
-        match rx.recv_timeout(self.policy.deadline) {
-            Ok(payload) => {
+        match rx.recv_timeout(wait) {
+            Ok((FrameKind::Error, payload)) => match payload.first() {
+                // Guard rejects: the server refused the request without
+                // executing it — cheap, unambiguous failures.
+                Some(&REJECT_OVERLOADED) => Err(RpcError::Overloaded),
+                Some(&REJECT_EXPIRED) => Err(RpcError::Expired),
+                other => Err(RpcError::Decode(format!(
+                    "unknown guard reject code {other:?}"
+                ))),
+            },
+            Ok((_, payload)) => {
                 let resp = RpcResponse::<S::Resp>::from_wire(&payload)
                     .map_err(|e| RpcError::Decode(e.to_string()))?;
                 // A fenced reply is a *valid* answer from a server that
@@ -378,7 +606,7 @@ impl<S: Service> TcpEndpoint<S> {
             Err(RecvTimeoutError::Timeout) => {
                 lock(&conn.pending).remove(&req_id);
                 Err(RpcError::Timeout {
-                    deadline_ms: self.policy.deadline.as_millis() as u64,
+                    deadline_ms: wait.as_millis() as u64,
                 })
             }
             Err(RecvTimeoutError::Disconnected) => {
@@ -410,14 +638,24 @@ where
 
     fn try_call(&self, ctx: &mut CallCtx, req: S::Req) -> Result<S::Resp, RpcError> {
         let label = S::req_label(&req);
+        // Ambiguous-failure classification must happen before the
+        // request is consumed by the encoder.
+        let idempotent = S::req_idempotent(&req);
         // Client-side correlation: retry/reconnect events emitted
         // below carry the sampled op's trace identity.
         let _span = ctx
             .trace_ctx()
             .filter(|t| t.sampled)
             .map(|t| loco_log::span_scope(t.trace_id, t.span_id as u64));
-        // Encode once; retries resend the same bytes.
-        let req_bytes = RpcRequest {
+        self.breaker_admit()?;
+        if ctx.remaining_budget().is_some_and(|b| b.is_zero()) {
+            // The op's deadline already passed: don't even send.
+            return Err(RpcError::Expired);
+        }
+        // Encode once; retries resend the same bytes with the budget
+        // field restamped in place.
+        let mut req_bytes = RpcRequest {
+            budget_ms: budget_ms(ctx.remaining_budget()),
             trace: ctx.trace_ctx(),
             body: req,
         }
@@ -430,13 +668,54 @@ where
             let mut last: Option<RpcError> = None;
             for attempt in 0..self.policy.attempts {
                 if attempt > 0 {
+                    // Retry budget: a token per retry, refilled by
+                    // successes. An empty bucket ends the call — under
+                    // a brownout the fleet's aggregate retry traffic
+                    // stays a bounded fraction of its success traffic
+                    // instead of amplifying the overload.
+                    if !self.guard.try_spend_retry(self.policy.retry_budget) {
+                        loco_log::warn!("net.client", "retry budget exhausted; not retrying";
+                            addr = format_args!("{}", self.addr), op = label,
+                            attempts = total_attempts);
+                        break;
+                    }
+                    if let Some(m) = &self.metrics {
+                        m.retry();
+                    }
                     let seed = (self.next_req.load(Ordering::Relaxed) << 8) | attempt as u64;
-                    std::thread::sleep(backoff + jitter(seed, backoff));
+                    let sleep = if matches!(last, Some(RpcError::Overloaded)) {
+                        // Overloaded is explicit pushback from a live
+                        // server: wait at least a full backoff step
+                        // (never an immediate redial), capped so a
+                        // brief shed doesn't stall the caller forever.
+                        (backoff + jitter(seed, backoff)).min(Duration::from_millis(250))
+                    } else {
+                        backoff + jitter(seed, backoff)
+                    };
+                    std::thread::sleep(sleep);
                     backoff = backoff.saturating_mul(2);
                 }
+                // Clip the attempt's wait to the op's remaining budget
+                // and restamp the wire field so the server sees the
+                // *current* remaining budget, not the original.
+                let wait = match ctx.remaining_budget() {
+                    Some(rem) if rem.is_zero() => {
+                        return Err(RpcError::Expired);
+                    }
+                    Some(rem) => {
+                        restamp_budget_ms(&mut req_bytes, budget_ms(Some(rem)));
+                        rem.min(self.policy.deadline)
+                    }
+                    None => self.policy.deadline,
+                };
                 total_attempts += 1;
-                match self.attempt(&req_bytes) {
+                match self.attempt(&req_bytes, wait) {
                     Ok(resp) => return Ok(self.record_ok(ctx, label, resp)),
+                    Err(RpcError::Expired) => {
+                        // The server dropped it unexecuted; the caller
+                        // stopped caring — nothing to retry.
+                        return Err(RpcError::Expired);
+                    }
                     Err(e @ RpcError::FencedEpoch { .. }) => {
                         // A fenced answer is not a transport fault: the
                         // server replied, it just is not the primary.
@@ -453,7 +732,7 @@ where
                         }
                         fenced_fast_retry = true;
                         total_attempts += 1;
-                        match self.attempt(&req_bytes) {
+                        match self.attempt(&req_bytes, wait) {
                             Ok(resp) => return Ok(self.record_ok(ctx, label, resp)),
                             Err(e2 @ RpcError::FencedEpoch { .. }) => {
                                 loco_log::warn!("net.client", "rpc fenced; caller must redial primary";
@@ -480,9 +759,28 @@ where
                     addr = format_args!("{}", self.addr), op = label,
                     attempts = total_attempts,
                     error = format_args!("{last}"));
-                return Err(RpcError::Exhausted {
-                    attempts: total_attempts,
-                    last: Box::new(last),
+                self.guard_exhausted();
+                // Timeouts and lost connections after the bytes left
+                // are *ambiguous*: the mutation may have been applied.
+                // For non-idempotent requests that distinction must
+                // reach the caller — re-issuing blindly could apply
+                // the op twice (the chaos client reconciles its
+                // re-issue's AlreadyExists as success for exactly this
+                // reason).
+                let ambiguous = matches!(
+                    last,
+                    RpcError::ConnectionLost(_) | RpcError::Timeout { .. } | RpcError::Decode(_)
+                );
+                return Err(if ambiguous && !idempotent {
+                    RpcError::MaybeApplied {
+                        attempts: total_attempts,
+                        last: Box::new(last),
+                    }
+                } else {
+                    RpcError::Exhausted {
+                        attempts: total_attempts,
+                        last: Box::new(last),
+                    }
                 });
             }
             // Correlated with the op via the ambient span scope when
@@ -529,6 +827,14 @@ pub struct ServeOptions {
     /// the worker stops reading that connection until the socket
     /// accepts the backlog (slow-reader backpressure).
     pub write_buf_limit: usize,
+    /// loco-guard admission watermark: mutations are shed with a fast
+    /// `Overloaded` reject while a worker has this many replies parked
+    /// in the group committer (reads still drain). `0` disables.
+    pub max_inflight: usize,
+    /// loco-guard admission watermark on the group-commit queue depth
+    /// (parked waiters across all workers awaiting one fsync): past
+    /// it, mutations are shed with `Overloaded`. `0` disables.
+    pub shed_watermark: usize,
     /// Metrics time-series ring answered to [`Control::Series`]
     /// scrapes. Ticked with a registry snapshot on the maintenance
     /// timer (so it needs both `registry` and `maintain_every` to
@@ -546,6 +852,8 @@ impl Default for ServeOptions {
             max_conns: 0,
             pipeline_limit: 128,
             write_buf_limit: 1 << 20,
+            max_inflight: 0,
+            shed_watermark: 0,
             series: None,
         }
     }
@@ -749,6 +1057,10 @@ mod tests {
             deadline: Duration::from_millis(500),
             connect_timeout: Duration::from_millis(500),
             reconnect_window: Duration::ZERO,
+            // Guard off: these tests pin pre-guard retry semantics.
+            retry_budget: 0,
+            breaker_threshold: 0,
+            breaker_cooldown: Duration::from_millis(100),
         }
     }
 

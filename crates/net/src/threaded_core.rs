@@ -125,7 +125,8 @@ fn conn_loop<S>(
                 Ok(stop) => stop,
                 Err(_) => break,
             },
-            FrameKind::Response => break, // nonsense from a client
+            // Nonsense from a client.
+            FrameKind::Response | FrameKind::Error => break,
         };
         if stop {
             break;
@@ -378,6 +379,7 @@ mod tests {
             deadline: Duration::from_secs(2),
             connect_timeout: Duration::from_secs(2),
             reconnect_window: Duration::ZERO,
+            ..RetryPolicy::default()
         };
         let ep = TcpEndpoint::<Adder>::with_policy(id, &addr, policy);
         let mut ctx = CallCtx::new();

@@ -249,6 +249,19 @@ impl Service for ObjectStore {
             OstoreRequest::RemoveObject { .. } => "RemoveObject",
         }
     }
+
+    /// Only ReadBlock (tag 1) is a read; block writes, truncates, and object
+    /// removal all mutate the store.
+    fn tag_mutates(tag: u8) -> bool {
+        tag != 1
+    }
+
+    /// Every OST op is idempotent by content: WriteBlock overwrites the same
+    /// block bytes, TruncateBlocks/RemoveObject converge to the same state,
+    /// and ReadBlock is a pure read. Blind re-send is always safe.
+    fn req_idempotent(_req: &OstoreRequest) -> bool {
+        true
+    }
 }
 
 #[cfg(test)]

@@ -35,6 +35,11 @@
 #   --data-dir DIR    run durably: each role persists under DIR/<role><i>/
 #   --sync-policy     os-managed (default) or every-record
 #   --workers N       event-loop workers per daemon (default: locod auto)
+#   --max-inflight N  loco-guard admission watermark: shed mutations
+#                     while a worker has N replies parked in the group
+#                     committer (default: locod's, 0 = off)
+#   --shed-watermark N loco-guard watermark on the group-commit queue
+#                     depth (default: locod's, 0 = off)
 #   --dms-standbys N  boot N warm-standby dms replicas (dms1..dmsN)
 #                     with WAL replication from dms0 (needs --data-dir)
 #   --repl-ack        none|one|all standby acks before client acks
@@ -80,6 +85,12 @@ start_one() { # role index port data_dir sync_policy [repl]
   fi
   if [[ -n "${WORKERS:-}" ]]; then
     extra+=(--workers "$WORKERS")
+  fi
+  if [[ -n "${MAX_INFLIGHT:-}" ]]; then
+    extra+=(--max-inflight "$MAX_INFLIGHT")
+  fi
+  if [[ -n "${SHED_WATERMARK:-}" ]]; then
+    extra+=(--shed-watermark "$SHED_WATERMARK")
   fi
   # Replication spec (col 7): primary@PEERS@ACK@LEASE or
   # standby@PRIMARY@PEERS@ACK@LEASE (PEERS comma-joined).
@@ -289,6 +300,8 @@ KEEP=0
 DATA_DIR="-"
 SYNC_POLICY=os-managed
 WORKERS="${WORKERS:-}"
+MAX_INFLIGHT="${MAX_INFLIGHT:-}"
+SHED_WATERMARK="${SHED_WATERMARK:-}"
 DMS_STANDBYS=0
 REPL_ACK=one
 REPL_LEASE_MS=500
@@ -300,6 +313,8 @@ while [[ $# -gt 0 ]]; do
     --data-dir) DATA_DIR=$2; shift 2 ;;
     --sync-policy) SYNC_POLICY=$2; shift 2 ;;
     --workers) WORKERS=$2; shift 2 ;;
+    --max-inflight) MAX_INFLIGHT=$2; shift 2 ;;
+    --shed-watermark) SHED_WATERMARK=$2; shift 2 ;;
     --dms-standbys) DMS_STANDBYS=$2; shift 2 ;;
     --repl-ack) REPL_ACK=$2; shift 2 ;;
     --repl-lease-ms) REPL_LEASE_MS=$2; shift 2 ;;

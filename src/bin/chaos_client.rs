@@ -9,6 +9,22 @@
 //! attempt's commit group survived the crash; only its response frame
 //! was lost).
 //!
+//! ## The canonical `MaybeApplied` recovery pattern
+//!
+//! `Create` is tagged non-idempotent (`Service::req_idempotent`), so
+//! when a connection dies *after* the request was written but before
+//! the reply arrives, the RPC layer cannot silently re-send it —
+//! retrying a create that already committed would double-apply. It
+//! instead returns `RpcError::MaybeApplied { last, .. }`, which this
+//! client sees as a transient `EIO`. Recovery is **reconcile, not
+//! resend**: re-issue the create and treat `AlreadyExists` as proof
+//! the ambiguous first attempt actually landed. That read-your-own-
+//! write probe turns an at-most-once ambiguity into exactly-once
+//! semantics, and is the pattern every non-idempotent caller should
+//! copy (for `Remove`, the mirror image: reconcile `NotFound` as
+//! success). Idempotent ops (stat, lookup, readdir, object reads)
+//! never produce `MaybeApplied` — the RPC layer retries those itself.
+//!
 //! `chaos_client verify` re-reads the manifest and stats every file:
 //! an acknowledged create that cannot be found after recovery is a
 //! durability bug, and the run exits nonzero.
@@ -103,8 +119,9 @@ fn run() -> ExitCode {
         }
         for i in 0..files {
             let path = format!("/chaos/f{i:05}");
-            // AlreadyExists after a retry means the pre-crash attempt
-            // was durably applied — count it as acked.
+            // MaybeApplied reconciliation (see module docs): an
+            // AlreadyExists after a retry means the ambiguous earlier
+            // attempt was durably applied — count it as acked.
             let r = with_retry(budget, || match client.create(&path, 0o644) {
                 Ok(_) | Err(FsError::AlreadyExists) => Ok(()),
                 Err(e) => Err(e),

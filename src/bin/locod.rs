@@ -79,6 +79,7 @@ USAGE:
               [--data-dir ROOT] [--sync-policy {os-managed|every-record}]
               [--checkpoint-every N] [--maintain-ms MS]
               [--workers N] [--max-conns N]
+              [--max-inflight N] [--shed-watermark N]
               [--metrics-out FILE]
               [--standby-of ADDR] [--replicate-to A,B] [--repl-ack {none|one|all}]
               [--repl-lease-ms MS]
@@ -96,6 +97,8 @@ USAGE:
   locod chaos-apply  --data-dir DIR --ops N [--sync-policy P]
               [--checkpoint-every N] [--ack-file FILE]
   locod chaos-verify --data-dir DIR --ops N [--ack-file FILE]
+  locod chaos-proxy --listen ADDR --upstream ADDR --ctl ADDR
+  locod chaos-ctl ADDR COMMAND [ARGS...]
 
 The serve role maps to the LocoFS split: one dms (full-path d-inodes),
 N fms (consistent-hash file metadata; --index is the ring slot), and
@@ -109,10 +112,16 @@ replication: give every replica --replicate-to with its peers, start
 standbys with --standby-of PRIMARY, and pick --repl-ack (none=async,
 one=any standby, all=every standby) — promote flips a standby to
 primary with a fresh fencing epoch (LOCO_REPL_AUTO_PROMOTE=1 enables
-lease-based self-promotion). Env knobs: LOCO_RPC_DEADLINE_MS /
-ATTEMPTS / BACKOFF_MS / RECONNECT_MS / CONNS (client side), LOCO_TRACE
-(span sampling), LOCO_CRASHPOINT / LOCO_IOFAULT (fault injection, see
-loco-faults).";
+lease-based self-promotion). Overload guard: --max-inflight caps
+parked commit waiters per worker and --shed-watermark caps committer
+queue depth — past either, mutations are shed with a fast Overloaded
+reject while reads drain (LOCO_GUARD=off disables). chaos-proxy runs
+a misbehaving TCP relay (latency/bandwidth/partition/dribble/kill)
+tuned at runtime via chaos-ctl. Env knobs: LOCO_RPC_DEADLINE_MS /
+ATTEMPTS / BACKOFF_MS / RECONNECT_MS / CONNS / RETRY_BUDGET /
+BRKR_THRESHOLD / BRKR_COOLDOWN_MS and LOCO_OP_DEADLINE_MS (client
+side), LOCO_TRACE (span sampling), LOCO_CRASHPOINT / LOCO_IOFAULT
+(fault injection, see loco-faults).";
 
 fn fail(msg: &str) -> ExitCode {
     eprintln!("locod: {msg}");
@@ -127,6 +136,8 @@ fn main() -> ExitCode {
         Some("fsck") => fsck_cmd(&args[1..]),
         Some("chaos-apply") => chaos_cmd(&args[1..], true),
         Some("chaos-verify") => chaos_cmd(&args[1..], false),
+        Some("chaos-proxy") => chaos_proxy_cmd(&args[1..]),
+        Some("chaos-ctl") => chaos_ctl_cmd(&args[1..]),
         Some("ping") | Some("metrics") | Some("profile") | Some("series") | Some("shutdown") => {
             let Some(addr) = args.get(1) else {
                 return fail("missing daemon address");
@@ -417,6 +428,11 @@ struct ServeArgs {
     maintain_ms: u64,
     workers: usize,
     max_conns: usize,
+    /// Per-worker parked commit-waiter ceiling; past it, mutations are
+    /// shed with `Overloaded` (0 = unlimited).
+    max_inflight: usize,
+    /// Committer queue-depth watermark with the same shedding effect.
+    shed_watermark: usize,
     /// Boot as a warm standby of this primary (dms only).
     standby_of: Option<String>,
     /// Peer replicas this node ships WAL groups to when primary.
@@ -442,6 +458,8 @@ fn parse_serve(args: &[String]) -> Result<ServeArgs, String> {
         maintain_ms: 1000,
         workers: 0,
         max_conns: 0,
+        max_inflight: 0,
+        shed_watermark: 0,
         standby_of: None,
         replicate_to: Vec::new(),
         repl_ack: AckPolicy::One,
@@ -488,6 +506,16 @@ fn parse_serve(args: &[String]) -> Result<ServeArgs, String> {
                 out.max_conns = val()?
                     .parse()
                     .map_err(|_| "--max-conns must be an integer".to_string())?
+            }
+            "--max-inflight" => {
+                out.max_inflight = val()?
+                    .parse()
+                    .map_err(|_| "--max-inflight must be an integer".to_string())?
+            }
+            "--shed-watermark" => {
+                out.shed_watermark = val()?
+                    .parse()
+                    .map_err(|_| "--shed-watermark must be an integer".to_string())?
             }
             "--standby-of" => out.standby_of = Some(val()?),
             "--replicate-to" => {
@@ -554,6 +582,10 @@ impl TcpReplTransport {
             deadline: Duration::from_secs(10),
             connect_timeout: Duration::from_millis(500),
             reconnect_window: Duration::ZERO,
+            // Replication shipping has its own retry loop; a breaker here
+            // would only delay the standby's catch-up after a blip.
+            breaker_threshold: 0,
+            ..RetryPolicy::default()
         };
         let id = ServerId::new(class::DMS, peer_index as u16);
         Self {
@@ -671,6 +703,8 @@ fn serve(args: &[String]) -> ExitCode {
         maintain_every: Some(Duration::from_millis(a.maintain_ms.max(1))),
         workers: a.workers,
         max_conns: a.max_conns,
+        max_inflight: a.max_inflight,
+        shed_watermark: a.shed_watermark,
         ..Default::default()
     };
     let repl_on = a.standby_of.is_some() || !a.replicate_to.is_empty();
@@ -1087,6 +1121,68 @@ fn chaos_cmd(args: &[String], apply: bool) -> ExitCode {
         chaos_apply(&a)
     } else {
         chaos_verify(&a)
+    }
+}
+
+/// `locod chaos-proxy --listen A --upstream B --ctl C` — run a
+/// misbehaving TCP relay in the foreground until killed. Faults start
+/// clear; arm them at runtime with `locod chaos-ctl C <command>`.
+fn chaos_proxy_cmd(args: &[String]) -> ExitCode {
+    let (mut listen, mut upstream, mut ctl) = (String::new(), String::new(), String::new());
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let Some(v) = it.next() else {
+            return fail(&format!("{flag} needs a value"));
+        };
+        match flag.as_str() {
+            "--listen" => listen = v.clone(),
+            "--upstream" => upstream = v.clone(),
+            "--ctl" => ctl = v.clone(),
+            other => return fail(&format!("unknown flag {other:?}")),
+        }
+    }
+    if listen.is_empty() || upstream.is_empty() || ctl.is_empty() {
+        return fail("chaos-proxy needs --listen, --upstream and --ctl");
+    }
+    let proxy = match locofs::faults::ChaosProxy::start(&listen, &upstream, Some(&ctl)) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("locod: chaos-proxy: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    locofs::log::info!("locod.chaos", "chaos proxy up";
+        listen = format_args!("{}", proxy.addr()),
+        upstream = format_args!("{upstream}"),
+        ctl = format_args!("{}", proxy.ctl_addr().unwrap_or("-")));
+    // Foreground daemon: the accept threads do all the work.
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}
+
+/// `locod chaos-ctl ADDR COMMAND [ARGS...]` — send one control command
+/// to a running chaos proxy and print its reply.
+fn chaos_ctl_cmd(args: &[String]) -> ExitCode {
+    let Some((addr, cmd)) = args.split_first() else {
+        return fail("chaos-ctl needs an address and a command");
+    };
+    if cmd.is_empty() {
+        return fail("chaos-ctl needs a command (latency/bandwidth/partition/dribble/kill/reset/stat)");
+    }
+    match locofs::faults::ctl_send(addr, &cmd.join(" ")) {
+        Ok(reply) => {
+            println!("{reply}");
+            if reply.starts_with("ok") {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("locod: chaos-ctl {addr}: {e}");
+            ExitCode::FAILURE
+        }
     }
 }
 

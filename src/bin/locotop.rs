@@ -184,6 +184,13 @@ struct Row {
     p50_us: Option<f64>,
     p99_us: Option<f64>,
     inflight: f64,
+    /// Mutations rejected by admission control (all shed reasons).
+    shed_total: f64,
+    /// Requests dropped because their deadline budget expired in queue.
+    expired_total: f64,
+    /// Client-side circuit-breaker trips observed by this daemon's own
+    /// outbound endpoints (replication shippers etc.).
+    brkr_trips: f64,
     open_conns: Option<f64>,
     pipeline_avg: Option<f64>,
     wal_batch_avg: Option<f64>,
@@ -273,6 +280,9 @@ fn scrape(addr: &str, timeout: Duration) -> Row {
             .quantile("loco_rpc_service_nanos", &[], "0.99")
             .map(|v| v / 1_000.0),
         inflight: pt.sum("loco_rpc_inflight", &[]),
+        shed_total: pt.sum("loco_server_shed", &[]),
+        expired_total: pt.sum("loco_server_expired", &[]),
+        brkr_trips: pt.sum("loco_rpc_brkr_trips_total", &[]),
         open_conns: pt.value("loco_srv_open_conns", &[]),
         pipeline_avg: ratio(&pt, "loco_srv_pipeline_depth"),
         wal_batch_avg: ratio(&pt, "loco_wal_batch_size"),
@@ -314,13 +324,16 @@ fn fmt_opt(v: Option<f64>) -> String {
 fn render_table(rows: &[(String, String, Row)]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<6} {:<21} {:>9} {:>8} {:>8} {:>5} {:>5} {:>6} {:>6} {:>6} {:>8} {:>9} {:>7} {:>5}\n",
+        "{:<6} {:<21} {:>9} {:>8} {:>8} {:>5} {:>5} {:>7} {:>4} {:>5} {:>6} {:>6} {:>6} {:>8} {:>9} {:>7} {:>5}\n",
         "NAME",
         "ADDR",
         "OP/S",
         "P50us",
         "P99us",
         "INFL",
+        "SHED",
+        "EXPIRED",
+        "BRKR",
         "CONN",
         "PIPE",
         "WALB",
@@ -339,13 +352,16 @@ fn render_table(rows: &[(String, String, Row)]) -> String {
             continue;
         }
         out.push_str(&format!(
-            "{:<6} {:<21} {:>9} {:>8} {:>8} {:>5} {:>5} {:>6} {:>6} {:>6} {:>8} {:>9} {:>7} {:>5}\n",
+            "{:<6} {:<21} {:>9} {:>8} {:>8} {:>5} {:>5} {:>7} {:>4} {:>5} {:>6} {:>6} {:>6} {:>8} {:>9} {:>7} {:>5}\n",
             name,
             addr,
             fmt_opt(r.ops_per_sec),
             fmt_opt(r.p50_us),
             fmt_opt(r.p99_us),
             r.inflight,
+            r.shed_total,
+            r.expired_total,
+            r.brkr_trips,
             fmt_opt(r.open_conns),
             fmt_opt(r.pipeline_avg),
             fmt_opt(r.wal_batch_avg),
@@ -380,6 +396,9 @@ fn render_json(rows: &[(String, String, Row)]) -> String {
                 ("p50_us", opt_num(r.p50_us)),
                 ("p99_us", opt_num(r.p99_us)),
                 ("inflight", Json::Num(r.inflight)),
+                ("shed_total", Json::Num(r.shed_total)),
+                ("expired_total", Json::Num(r.expired_total)),
+                ("brkr_trips", Json::Num(r.brkr_trips)),
                 ("open_conns", opt_num(r.open_conns)),
                 ("pipeline_depth_avg", opt_num(r.pipeline_avg)),
                 ("wal_batch_avg", opt_num(r.wal_batch_avg)),

@@ -236,6 +236,9 @@ fn run_daemon_committer_case(site: &str) {
         deadline: Duration::from_secs(2),
         connect_timeout: Duration::from_secs(2),
         reconnect_window: Duration::ZERO,
+        retry_budget: 0,
+        breaker_threshold: 0,
+        breaker_cooldown: Duration::from_millis(100),
     };
     let mut handles = Vec::new();
     for t in 0..THREADS {

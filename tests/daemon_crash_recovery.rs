@@ -112,6 +112,9 @@ fn endpoint(addr: &str) -> TcpEndpoint<DirServer> {
             deadline: Duration::from_secs(2),
             connect_timeout: Duration::from_secs(2),
             reconnect_window: Duration::ZERO,
+            retry_budget: 0,
+            breaker_threshold: 0,
+            breaker_cooldown: Duration::from_millis(100),
         },
     )
 }

@@ -55,10 +55,12 @@ fn client_workload_family_names_are_stable() {
         "loco_client_cache_misses_total",
         "loco_client_op_latency_nanos",
         "loco_op_kv_nanos",
+        "loco_rpc_brkr_trips_total",
         "loco_rpc_inflight",
         "loco_rpc_op_service_nanos",
         "loco_rpc_queue_wait_nanos",
         "loco_rpc_requests_total",
+        "loco_rpc_retries_total",
         "loco_rpc_service_nanos",
     ];
     assert_eq!(
@@ -80,10 +82,14 @@ fn server_core_family_names_are_stable() {
     let got = family_names(&reg);
     let want = [
         "loco_epoll_wakeups_total",
+        "loco_rpc_brkr_trips_total",
         "loco_rpc_inflight",
         "loco_rpc_queue_wait_nanos",
         "loco_rpc_requests_total",
+        "loco_rpc_retries_total",
         "loco_rpc_service_nanos",
+        "loco_server_expired",
+        "loco_server_shed",
         "loco_srv_conns_shed_total",
         "loco_srv_open_conns",
         "loco_srv_pipeline_depth",

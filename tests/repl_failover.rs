@@ -145,6 +145,9 @@ fn one_shot(addr: &str) -> TcpEndpoint<DirServer> {
             deadline: Duration::from_secs(5),
             connect_timeout: Duration::from_secs(2),
             reconnect_window: Duration::ZERO,
+            retry_budget: 0,
+            breaker_threshold: 0,
+            breaker_cooldown: Duration::from_millis(100),
         },
     )
 }

@@ -25,6 +25,9 @@ fn fast_policy() -> RetryPolicy {
         deadline: Duration::from_millis(200),
         connect_timeout: Duration::from_millis(200),
         reconnect_window: Duration::ZERO,
+        retry_budget: 0,
+        breaker_threshold: 0,
+        breaker_cooldown: Duration::from_millis(100),
     }
 }
 
@@ -218,6 +221,9 @@ fn idle_pooled_conn_closed_by_server_redials_lazily_without_spurious_eio() {
         deadline: Duration::from_millis(2000),
         connect_timeout: Duration::from_millis(2000),
         reconnect_window: Duration::ZERO,
+        retry_budget: 0,
+        breaker_threshold: 0,
+        breaker_cooldown: Duration::from_millis(100),
     };
     let id = ServerId::new(class::OST, 0);
     let listener = TcpListener::bind("127.0.0.1:0").unwrap();
@@ -314,6 +320,9 @@ fn fenced_reply_skips_backoff_budget_and_surfaces_fenced_epoch() {
         deadline: Duration::from_secs(10),
         connect_timeout: Duration::from_secs(2),
         reconnect_window: Duration::ZERO,
+        retry_budget: 0,
+        breaker_threshold: 0,
+        breaker_cooldown: Duration::from_millis(100),
     };
     let ep = TcpEndpoint::<DirServer>::with_policy(id, &g.addr().to_string(), slow_policy);
     let mut ctx = locofs::net::CallCtx::new();
@@ -356,6 +365,9 @@ fn deadline_fires_on_a_black_hole_server() {
         deadline: Duration::from_millis(100),
         connect_timeout: Duration::from_millis(200),
         reconnect_window: Duration::ZERO,
+        retry_budget: 0,
+        breaker_threshold: 0,
+        breaker_cooldown: Duration::from_millis(100),
     };
     let ep = TcpEndpoint::<DirServer>::with_policy(
         ServerId::new(class::DMS, 0),

@@ -33,6 +33,9 @@ fn patient_policy() -> RetryPolicy {
         deadline: Duration::from_secs(10),
         connect_timeout: Duration::from_secs(10),
         reconnect_window: Duration::ZERO,
+        retry_budget: 0,
+        breaker_threshold: 0,
+        breaker_cooldown: Duration::from_millis(100),
     }
 }
 
@@ -126,6 +129,7 @@ fn one_connection_pipelines_many_inflight_requests() {
     stream.set_nodelay(true).unwrap();
     for req_id in 1..=DEPTH {
         let payload = RpcRequest {
+            budget_ms: 0,
             trace: None,
             body: mkdir_local(format!("/p{req_id}")),
         }
@@ -173,6 +177,7 @@ fn slow_reader_is_backpressured_not_buffered_unboundedly() {
 
     let mut stream = TcpStream::connect(_guard.addr()).unwrap();
     let seed = RpcRequest {
+        budget_ms: 0,
         trace: None,
         body: OstoreRequest::WriteBlock {
             uuid,
@@ -192,6 +197,7 @@ fn slow_reader_is_backpressured_not_buffered_unboundedly() {
     // ~50 MiB of responses for a while.
     for req_id in 2..=(1 + READS) {
         let payload = RpcRequest {
+            budget_ms: 0,
             trace: None,
             body: OstoreRequest::ReadBlock { uuid, blk: 0 },
         }
@@ -243,6 +249,7 @@ fn half_written_frames_reassemble_across_readiness_events() {
     stream.set_nodelay(true).unwrap();
 
     let payload = RpcRequest {
+        budget_ms: 0,
         trace: None,
         body: mkdir_local("/split".into()),
     }
@@ -266,11 +273,13 @@ fn half_written_frames_reassemble_across_readiness_events() {
     // A second frame glued right behind a first in one write must also
     // parse as two requests.
     let p1 = RpcRequest {
+        budget_ms: 0,
         trace: None,
         body: mkdir_local("/glued-1".into()),
     }
     .to_wire();
     let p2 = RpcRequest {
+        budget_ms: 0,
         trace: None,
         body: mkdir_local("/glued-2".into()),
     }

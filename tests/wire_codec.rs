@@ -333,10 +333,12 @@ fn rpc_envelopes_roundtrip_and_reject_corruption() {
     let mut rng = Rng(0x1656_67B1_9E37_79F9);
     let reqs = vec![
         RpcRequest {
+            budget_ms: 0,
             trace: None,
             body: DmsRequest::GetDir { path: "/x".into() },
         },
         RpcRequest {
+            budget_ms: 0,
             trace: Some(TraceCtx {
                 trace_id: 42,
                 span_id: 7,
